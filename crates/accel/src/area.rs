@@ -1,0 +1,85 @@
+//! Area model (paper Section VI: 52 mm² baseline, 53 mm² with reuse).
+//!
+//! Component densities are calibrated to the 32 nm figures the paper
+//! reports; the interesting output is the *overhead ratio* of the reuse
+//! extension, which the paper gives as "less than 1%".
+
+use crate::AcceleratorConfig;
+
+/// Area in mm² of eDRAM per MiB at 32 nm (dense, multi-banked).
+const EDRAM_MM2_PER_MIB: f64 = 1.11;
+/// Area in mm² of SRAM per KiB at 32 nm.
+const SRAM_MM2_PER_KIB: f64 = 0.0021;
+/// Area in mm² of one FP32 multiplier + adder lane.
+const FPU_LANE_MM2: f64 = 0.055;
+/// Fixed area of control, data master and routers, mm².
+const CONTROL_MM2: f64 = 2.0;
+
+/// Area estimate of one accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// eDRAM weights buffer, mm².
+    pub edram_mm2: f64,
+    /// SRAM I/O buffer, mm².
+    pub sram_mm2: f64,
+    /// Compute engine, mm².
+    pub ce_mm2: f64,
+    /// Control and interconnect, mm².
+    pub control_mm2: f64,
+}
+
+impl AreaReport {
+    /// Total die area in mm².
+    pub fn total(&self) -> f64 {
+        self.edram_mm2 + self.sram_mm2 + self.ce_mm2 + self.control_mm2
+    }
+}
+
+/// Area of the baseline accelerator (Table II, without the reuse extension).
+pub fn baseline_area(config: &AcceleratorConfig) -> AreaReport {
+    area_with_io(config, config.io_buffer_baseline_bytes)
+}
+
+/// Area with the reuse extension: a larger I/O buffer (index area) and a
+/// slightly larger control unit (centroid table + comparison control).
+pub fn reuse_area(config: &AcceleratorConfig) -> AreaReport {
+    let mut a = area_with_io(config, config.io_buffer_reuse_bytes);
+    a.control_mm2 += 0.1; // centroid table + index compare control
+    a
+}
+
+fn area_with_io(config: &AcceleratorConfig, io_bytes: u64) -> AreaReport {
+    AreaReport {
+        edram_mm2: config.weights_buffer_bytes as f64 / (1024.0 * 1024.0) * EDRAM_MM2_PER_MIB,
+        sram_mm2: io_bytes as f64 / 1024.0 * SRAM_MM2_PER_KIB,
+        ce_mm2: config.total_multipliers() as f64 * FPU_LANE_MM2,
+        control_mm2: CONTROL_MM2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_area_is_about_52mm2() {
+        let a = baseline_area(&AcceleratorConfig::paper());
+        assert!((a.total() - 52.0).abs() < 2.0, "total {}", a.total());
+    }
+
+    #[test]
+    fn reuse_overhead_below_one_percent() {
+        let c = AcceleratorConfig::paper();
+        let b = baseline_area(&c).total();
+        let r = reuse_area(&c).total();
+        assert!(r > b);
+        let overhead = (r - b) / b;
+        assert!(overhead < 0.01, "overhead {overhead}");
+    }
+
+    #[test]
+    fn edram_dominates_die() {
+        let a = baseline_area(&AcceleratorConfig::paper());
+        assert!(a.edram_mm2 > a.total() / 2.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Accelerator configuration (paper Table II).
+
+/// Arithmetic precision of the datapath.
+///
+/// The main evaluation uses 32-bit floating point; Section VI-A studies an
+/// 8-bit fixed-point variant of the same accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// 32-bit IEEE-754 floating point.
+    #[default]
+    Fp32,
+    /// 8-bit fixed point (reduced-precision accelerator, Section VI-A).
+    Fixed8,
+}
+
+impl Precision {
+    /// Bytes used to store one value (weight, input or output).
+    pub fn bytes_per_value(&self) -> u64 {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Fixed8 => 1,
+        }
+    }
+}
+
+/// Hardware parameters of the accelerator (paper Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Number of tiles; work is distributed across tiles (Section IV-E).
+    pub tiles: usize,
+    /// Multipliers per tile.
+    pub multipliers_per_tile: usize,
+    /// Adders per tile.
+    pub adders_per_tile: usize,
+    /// Clock frequency in hertz.
+    pub frequency_hz: f64,
+    /// eDRAM Weights Buffer capacity in bytes (9 MB per tile).
+    pub weights_buffer_bytes: u64,
+    /// SRAM I/O Buffer capacity in bytes, baseline accelerator.
+    pub io_buffer_baseline_bytes: u64,
+    /// SRAM I/O Buffer capacity in bytes with the reuse scheme (extra area
+    /// for the input indices).
+    pub io_buffer_reuse_bytes: u64,
+    /// Main-memory (LPDDR4 dual channel) bandwidth in bytes per second.
+    pub dram_bandwidth_bytes_per_sec: f64,
+    /// Datapath precision.
+    pub precision: Precision,
+}
+
+impl AcceleratorConfig {
+    /// The configuration of paper Table II: 32 nm, 500 MHz, 4 tiles,
+    /// 128 + 128 FPUs, 36 MB eDRAM, 1152/1280 KB I/O buffer, LPDDR4-16 GB/s.
+    pub fn paper() -> Self {
+        AcceleratorConfig {
+            tiles: 4,
+            multipliers_per_tile: 32,
+            adders_per_tile: 32,
+            frequency_hz: 500e6,
+            weights_buffer_bytes: 36 << 20,
+            io_buffer_baseline_bytes: 1152 << 10,
+            io_buffer_reuse_bytes: 1280 << 10,
+            dram_bandwidth_bytes_per_sec: 16e9,
+            precision: Precision::Fp32,
+        }
+    }
+
+    /// The Section VI-A variant: identical organization, 8-bit fixed point.
+    pub fn paper_fixed8() -> Self {
+        AcceleratorConfig { precision: Precision::Fixed8, ..Self::paper() }
+    }
+
+    /// Total multipliers across tiles (128 in the paper configuration).
+    pub fn total_multipliers(&self) -> usize {
+        self.tiles * self.multipliers_per_tile
+    }
+
+    /// Total adders across tiles.
+    pub fn total_adders(&self) -> usize {
+        self.tiles * self.adders_per_tile
+    }
+
+    /// Bytes per stored value under the configured precision.
+    pub fn bytes_per_value(&self) -> u64 {
+        self.precision.bytes_per_value()
+    }
+
+    /// Main-memory bytes transferable per clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth_bytes_per_sec / self.frequency_hz
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table2() {
+        let c = AcceleratorConfig::paper();
+        assert_eq!(c.tiles, 4);
+        assert_eq!(c.total_multipliers(), 128);
+        assert_eq!(c.total_adders(), 128);
+        assert_eq!(c.frequency_hz, 500e6);
+        assert_eq!(c.weights_buffer_bytes, 36 * 1024 * 1024);
+        assert_eq!(c.io_buffer_baseline_bytes, 1152 * 1024);
+        assert_eq!(c.io_buffer_reuse_bytes, 1280 * 1024);
+        assert_eq!(c.bytes_per_value(), 4);
+    }
+
+    #[test]
+    fn dram_bytes_per_cycle_is_32() {
+        let c = AcceleratorConfig::paper();
+        assert!((c.dram_bytes_per_cycle() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed8_halves_nothing_but_bytes() {
+        let c = AcceleratorConfig::paper_fixed8();
+        assert_eq!(c.bytes_per_value(), 1);
+        assert_eq!(c.total_multipliers(), 128);
+    }
+}

@@ -1,0 +1,104 @@
+//! Ring interconnect between tiles (paper Section IV-E).
+//!
+//! Each tile has a router; the tiles form a unidirectional ring. After a
+//! layer finishes, the outputs computed by each tile must reach whichever
+//! tiles consume them as inputs for the next layer. With the paper's work
+//! distribution (neurons/filters split by output index, every tile reading
+//! the full input vector), each output value crosses on average half the
+//! ring.
+//!
+//! The model quantifies the ring's bandwidth-time and energy so the "small
+//! overheads" claim covers the interconnect too.
+
+use crate::AcceleratorConfig;
+
+/// Ring traffic for redistributing one layer's outputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingTraffic {
+    /// Total byte-hops over the ring (bytes × hops each byte travels).
+    pub byte_hops: u64,
+    /// Cycles the redistribution occupies the ring (pipelined, all links
+    /// active: byte-hops over links × link width).
+    pub cycles: u64,
+    /// Energy in joules at the configured per-byte-hop cost.
+    pub energy_j: f64,
+}
+
+/// Energy to move one byte across one ring hop (router + link, 32 nm).
+pub const RING_J_PER_BYTE_HOP: f64 = 0.18e-12;
+
+/// Bytes each ring link moves per cycle.
+pub const RING_BYTES_PER_CYCLE: u64 = 16;
+
+/// Traffic to make every tile hold the full output vector of a layer
+/// (the next layer's input), given each tile produced an equal share.
+///
+/// With `t` tiles, each tile's share must reach the other `t−1` tiles; on a
+/// unidirectional ring a value forwarded tile-to-tile travels `t−1` hops to
+/// visit everyone, so byte-hops = `bytes × (t−1)`.
+pub fn broadcast_outputs(
+    n_outputs: u64,
+    config: &AcceleratorConfig,
+) -> RingTraffic {
+    let t = config.tiles.max(1) as u64;
+    let bytes = n_outputs * config.bytes_per_value();
+    let byte_hops = bytes * (t - 1);
+    // All `t` links run in parallel; each byte-hop is one link-cycle of
+    // RING_BYTES_PER_CYCLE capacity.
+    let cycles = byte_hops.div_ceil(RING_BYTES_PER_CYCLE * t);
+    RingTraffic { byte_hops, cycles, energy_j: byte_hops as f64 * RING_J_PER_BYTE_HOP }
+}
+
+/// Ring overhead of a whole execution relative to its compute cycles:
+/// returns `(ring_cycles, compute_cycles, overhead_fraction)`.
+pub fn execution_overhead(
+    layer_outputs: &[u64],
+    compute_cycles: u64,
+    config: &AcceleratorConfig,
+) -> (u64, u64, f64) {
+    let ring: u64 = layer_outputs.iter().map(|&n| broadcast_outputs(n, config).cycles).sum();
+    let frac = if compute_cycles == 0 { 0.0 } else { ring as f64 / compute_cycles as f64 };
+    (ring, compute_cycles, frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tile_needs_no_ring() {
+        let config = AcceleratorConfig { tiles: 1, ..AcceleratorConfig::paper() };
+        let t = broadcast_outputs(2000, &config);
+        assert_eq!(t.byte_hops, 0);
+        assert_eq!(t.cycles, 0);
+        assert_eq!(t.energy_j, 0.0);
+    }
+
+    #[test]
+    fn byte_hops_scale_with_tiles_minus_one() {
+        let mk = |tiles| AcceleratorConfig { tiles, ..AcceleratorConfig::paper() };
+        let t2 = broadcast_outputs(1000, &mk(2));
+        let t4 = broadcast_outputs(1000, &mk(4));
+        assert_eq!(t2.byte_hops, 1000 * 4);
+        assert_eq!(t4.byte_hops, 1000 * 4 * 3);
+        assert!(t4.energy_j > t2.energy_j);
+    }
+
+    #[test]
+    fn kaldi_layer_ring_overhead_is_negligible() {
+        // Kaldi FC3: 2000 outputs redistributed vs 400x2000/128 compute
+        // cycles — the ring must be in the low percents.
+        let config = AcceleratorConfig::paper();
+        let compute = (400u64 * 2000).div_ceil(128);
+        let (ring, _, frac) = execution_overhead(&[2000], compute, &config);
+        assert!(ring > 0);
+        assert!(frac < 0.10, "ring overhead {frac}");
+    }
+
+    #[test]
+    fn overhead_fraction_handles_zero_compute() {
+        let config = AcceleratorConfig::paper();
+        let (_, _, frac) = execution_overhead(&[100], 0, &config);
+        assert_eq!(frac, 0.0);
+    }
+}

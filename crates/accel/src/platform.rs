@@ -1,0 +1,145 @@
+//! Analytical models of the reference CPU and GPU (paper Fig. 12).
+//!
+//! The paper measures Kaldi/Caffe/TensorFlow/EESEN software on an Intel
+//! i7-7700K and an NVIDIA GTX 1080. We substitute roofline-with-occupancy
+//! models: each platform has a peak FLOP/s, and a per-layer efficiency that
+//! saturates with layer size (small layers cannot fill wide SIMD/SIMT
+//! machines — this is why the GPU only wins on C3D, the one workload with
+//! multi-GMAC layers). Energy is power × time with published package powers.
+
+use reuse_core::ExecutionTrace;
+
+/// A reference software platform for the Fig. 12 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferencePlatform {
+    /// Platform name.
+    pub name: &'static str,
+    /// Peak single-precision FLOP/s.
+    pub peak_flops: f64,
+    /// Maximum achievable fraction of peak on large DNN layers.
+    pub max_efficiency: f64,
+    /// Layer MAC count at which efficiency reaches half its maximum (the
+    /// occupancy knee; smaller layers run proportionally less efficiently).
+    pub half_size_macs: f64,
+    /// Fixed per-layer dispatch cost in seconds (kernel launch on the GPU,
+    /// function-call/threading overhead on the CPU).
+    pub launch_overhead_s: f64,
+    /// Average package power while running DNN inference, watts.
+    pub power_watts: f64,
+}
+
+impl ReferencePlatform {
+    /// Intel i7-7700K (Skylake, 4 cores, AVX2 FMA, 4.2 GHz turbo):
+    /// peak ≈ 4 cores × 2 FMA ports × 8 lanes × 2 FLOPs × 4.2 GHz.
+    pub fn cpu_i7_7700k() -> Self {
+        ReferencePlatform {
+            name: "i7-7700K",
+            peak_flops: 537e9,
+            max_efficiency: 0.35,
+            half_size_macs: 2e6,
+            launch_overhead_s: 1e-6,
+            power_watts: 80.0,
+        }
+    }
+
+    /// NVIDIA GTX 1080 (Pascal, 2560 FPUs at 1.82 GHz ≈ 9.3 TFLOP/s,
+    /// >200 W under full DNN load per the paper).
+    pub fn gtx_1080() -> Self {
+        ReferencePlatform {
+            name: "GTX 1080",
+            peak_flops: 9.3e12,
+            max_efficiency: 0.65,
+            half_size_macs: 40e6,
+            launch_overhead_s: 25e-6,
+            power_watts: 200.0,
+        }
+    }
+
+    /// Efficiency achieved on a layer of the given MAC count.
+    pub fn efficiency(&self, layer_macs: u64) -> f64 {
+        let m = layer_macs as f64;
+        self.max_efficiency * m / (m + self.half_size_macs)
+    }
+
+    /// Seconds to run the given executions from scratch (software performs
+    /// every MAC — there is no reuse on the reference platforms).
+    pub fn seconds_for(&self, traces: &[ExecutionTrace]) -> f64 {
+        let mut seconds = 0.0;
+        for trace in traces {
+            for layer in &trace.layers {
+                let flops = 2.0 * layer.macs_total as f64;
+                let eff = self.efficiency(layer.macs_total).max(1e-4);
+                seconds += flops / (self.peak_flops * eff) + self.launch_overhead_s;
+            }
+        }
+        seconds
+    }
+
+    /// Joules for the given executions.
+    pub fn energy_for(&self, traces: &[ExecutionTrace]) -> f64 {
+        self.seconds_for(traces) * self.power_watts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuse_core::{LayerTrace, TraceKind};
+    use reuse_nn::LayerKind;
+
+    fn trace_of(macs: u64) -> Vec<ExecutionTrace> {
+        vec![ExecutionTrace {
+            layers: vec![LayerTrace {
+                name: "l".into(),
+                kind: LayerKind::Fc,
+                mode: TraceKind::ScratchFp32,
+                n_inputs: 100,
+                n_changed: 100,
+                n_outputs: 100,
+                n_params: 10_000,
+                macs_total: macs,
+                macs_performed: macs,
+            }],
+        }]
+    }
+
+    #[test]
+    fn efficiency_saturates_with_size() {
+        let gpu = ReferencePlatform::gtx_1080();
+        assert!(gpu.efficiency(1_000_000) < 0.05);
+        assert!(gpu.efficiency(2_000_000_000) > 0.6);
+        let cpu = ReferencePlatform::cpu_i7_7700k();
+        // The CPU reaches useful efficiency on much smaller layers.
+        assert!(cpu.efficiency(2_000_000) > gpu.efficiency(2_000_000));
+    }
+
+    #[test]
+    fn gpu_wins_only_on_large_layers() {
+        let cpu = ReferencePlatform::cpu_i7_7700k();
+        let gpu = ReferencePlatform::gtx_1080();
+        let small = trace_of(800_000); // Kaldi-sized FC layer
+        let large = trace_of(2_000_000_000); // C3D-sized conv layer
+        assert!(cpu.seconds_for(&small) < gpu.seconds_for(&small));
+        assert!(gpu.seconds_for(&large) < cpu.seconds_for(&large));
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let cpu = ReferencePlatform::cpu_i7_7700k();
+        let t = trace_of(10_000_000);
+        let s = cpu.seconds_for(&t);
+        assert!((cpu.energy_for(&t) - s * 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_scale_with_work() {
+        let gpu = ReferencePlatform::gtx_1080();
+        let one = trace_of(1_000_000_000);
+        let mut ten = Vec::new();
+        for _ in 0..10 {
+            ten.extend(trace_of(1_000_000_000));
+        }
+        let r = gpu.seconds_for(&ten) / gpu.seconds_for(&one);
+        assert!((r - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! Simulation reports.
+
+use crate::EnergyBreakdown;
+
+/// The result of simulating one workload on the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Workload name.
+    pub name: String,
+    /// `"baseline"` or `"reuse"`.
+    pub mode: &'static str,
+    /// Executions simulated.
+    pub executions: u64,
+    /// Total clock cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds at the configured frequency.
+    pub seconds: f64,
+    /// Energy attributed per component (includes static energy).
+    pub energy: EnergyBreakdown,
+    /// MACs performed.
+    pub macs: u64,
+    /// Bytes fetched from the eDRAM weights buffer.
+    pub edram_bytes: u64,
+    /// Bytes accessed in the I/O buffer.
+    pub io_bytes: u64,
+    /// Bytes transferred to/from main memory.
+    pub dram_bytes: u64,
+}
+
+impl SimReport {
+    /// Total energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Speedup of this report relative to another (other.seconds / self.seconds).
+    pub fn speedup_over(&self, other: &SimReport) -> f64 {
+        other.seconds / self.seconds
+    }
+
+    /// This report's energy normalized to another's (self / other).
+    pub fn normalized_energy_to(&self, other: &SimReport) -> f64 {
+        self.energy_j() / other.energy_j()
+    }
+
+    /// Energy-delay product in joule-seconds.
+    pub fn energy_delay(&self) -> f64 {
+        self.energy_j() * self.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(seconds: f64, ce: f64) -> SimReport {
+        SimReport {
+            name: "x".into(),
+            mode: "baseline",
+            executions: 1,
+            cycles: 100,
+            seconds,
+            energy: EnergyBreakdown { compute_engine: ce, ..Default::default() },
+            macs: 0,
+            edram_bytes: 0,
+            io_bytes: 0,
+            dram_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let base = report(2.0, 4.0);
+        let fast = report(0.5, 1.0);
+        assert!((fast.speedup_over(&base) - 4.0).abs() < 1e-12);
+        assert!((fast.normalized_energy_to(&base) - 0.25).abs() < 1e-12);
+        assert!((base.energy_delay() - 8.0).abs() < 1e-12);
+    }
+}

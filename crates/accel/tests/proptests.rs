@@ -1,0 +1,130 @@
+//! Property-based tests of the accelerator simulator's accounting.
+
+use proptest::prelude::*;
+use reuse_accel::{tiles, AcceleratorConfig, SimInput, Simulator};
+use reuse_core::{ExecutionTrace, LayerTrace, TraceKind};
+use reuse_nn::LayerKind;
+
+fn arbitrary_layer() -> impl Strategy<Value = LayerTrace> {
+    (
+        1u64..10_000,
+        1u64..5_000,
+        0u64..100,
+        proptest::sample::select(vec![
+            TraceKind::ScratchFp32,
+            TraceKind::ScratchQuantized,
+            TraceKind::Incremental,
+        ]),
+        proptest::sample::select(vec![LayerKind::Fc, LayerKind::Conv, LayerKind::Recurrent]),
+    )
+        .prop_map(|(n_in, n_out, changed_pct, mode, kind)| {
+            let n_changed = (n_in * changed_pct / 100).min(n_in);
+            let macs_total = n_in * n_out;
+            let macs_performed = match mode {
+                TraceKind::Incremental => n_changed * n_out,
+                _ => macs_total,
+            };
+            LayerTrace {
+                name: "l".into(),
+                kind,
+                mode,
+                n_inputs: n_in,
+                n_changed,
+                n_outputs: n_out,
+                n_params: macs_total,
+                macs_total,
+                macs_performed,
+            }
+        })
+}
+
+fn arbitrary_traces() -> impl Strategy<Value = Vec<ExecutionTrace>> {
+    proptest::collection::vec(
+        proptest::collection::vec(arbitrary_layer(), 1..5)
+            .prop_map(|layers| ExecutionTrace { layers }),
+        1..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reuse_never_does_more_macs_than_baseline(traces in arbitrary_traces()) {
+        let sim = Simulator::new(AcceleratorConfig::paper());
+        let input = SimInput {
+            name: "p",
+            traces: &traces,
+            model_bytes: 8 << 20,
+            executions_per_sequence: 100,
+            activations_spill: false,
+        };
+        let base = sim.simulate_baseline(&input);
+        let reuse = sim.simulate_reuse(&input);
+        prop_assert!(reuse.macs <= base.macs);
+        prop_assert!(reuse.edram_bytes <= base.edram_bytes);
+    }
+
+    #[test]
+    fn energy_components_sum_to_total(traces in arbitrary_traces()) {
+        let sim = Simulator::new(AcceleratorConfig::paper());
+        let input = SimInput {
+            name: "p",
+            traces: &traces,
+            model_bytes: 4 << 20,
+            executions_per_sequence: 50,
+            activations_spill: true,
+        };
+        for report in [sim.simulate_baseline(&input), sim.simulate_reuse(&input)] {
+            let sum: f64 = reuse_accel::COMPONENTS
+                .iter()
+                .map(|&c| report.energy.component(c))
+                .sum();
+            prop_assert!((sum - report.energy_j()).abs() <= 1e-9 * report.energy_j().max(1.0));
+            prop_assert!(report.energy_j() >= 0.0);
+            prop_assert!(report.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn more_tiles_never_slow_down(traces in arbitrary_traces(), tiles_a in 1usize..5, extra in 1usize..5) {
+        let tiles_b = tiles_a + extra;
+        let mk = |tiles| Simulator::new(AcceleratorConfig { tiles, ..AcceleratorConfig::paper() });
+        let input = SimInput {
+            name: "p",
+            traces: &traces,
+            model_bytes: 1 << 20,
+            executions_per_sequence: 100,
+            activations_spill: false,
+        };
+        let a = mk(tiles_a).simulate_baseline(&input);
+        let b = mk(tiles_b).simulate_baseline(&input);
+        prop_assert!(b.cycles <= a.cycles, "{} tiles {} cycles vs {} tiles {} cycles", tiles_a, a.cycles, tiles_b, b.cycles);
+    }
+
+    #[test]
+    fn tile_distribution_conserves_macs(layer in arbitrary_layer(), tiles_n in 1usize..9) {
+        let a = tiles::distribute(&layer, tiles_n);
+        // Conservation up to the per-unit rounding.
+        let total = a.total();
+        let diff = total.abs_diff(layer.macs_performed);
+        prop_assert!(diff <= tiles_n as u64 * 4, "total {total} vs performed {} (diff {diff})", layer.macs_performed);
+        // Critical tile never smaller than the perfect split.
+        prop_assert!(a.critical() as f64 >= total as f64 / tiles_n as f64 - 1.0);
+        prop_assert!(a.imbalance() >= 0.999);
+    }
+
+    #[test]
+    fn fixed8_never_uses_more_energy_than_fp32(traces in arbitrary_traces()) {
+        let input = SimInput {
+            name: "p",
+            traces: &traces,
+            model_bytes: 8 << 20,
+            executions_per_sequence: 100,
+            activations_spill: false,
+        };
+        let f32_r = Simulator::new(AcceleratorConfig::paper()).simulate_baseline(&input);
+        let q8_r = Simulator::new(AcceleratorConfig::paper_fixed8()).simulate_baseline(&input);
+        prop_assert!(q8_r.energy_j() <= f32_r.energy_j());
+    }
+}

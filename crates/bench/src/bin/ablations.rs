@@ -1,0 +1,28 @@
+//! Ablation studies: cluster count (paper Section III), tile count,
+//! calibration length, and the overhead floor on uncorrelated inputs.
+
+use reuse_bench::ablations;
+use reuse_workloads::{Scale, WorkloadKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sep = "=".repeat(78);
+    for kind in [WorkloadKind::Kaldi, WorkloadKind::AutoPilot] {
+        println!("{sep}");
+        println!("{}", ablations::cluster_sweep(kind, scale));
+    }
+    println!("{sep}");
+    println!("{}", ablations::tile_sweep(WorkloadKind::AutoPilot, scale));
+    println!("{sep}");
+    println!("{}", ablations::calibration_sweep(WorkloadKind::Kaldi, scale));
+    println!("{sep}");
+    println!("{}", ablations::replay_cluster_sweep(WorkloadKind::Kaldi, scale));
+    println!("{sep}");
+    println!("{}", ablations::block_size_ablation());
+    println!("{sep}");
+    println!("{}", ablations::quantizer_comparison(scale));
+    println!("{sep}");
+    println!("{}", ablations::drift_study(scale));
+    println!("{sep}");
+    println!("{}", ablations::overhead_stress(scale));
+}

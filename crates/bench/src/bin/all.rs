@@ -1,0 +1,24 @@
+//! Runs every experiment in DESIGN.md's index and prints the full report.
+
+use reuse_bench::experiments as exp;
+use reuse_workloads::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sep = "=".repeat(78);
+    for section in [
+        exp::table1(scale),
+        exp::fig4(scale, 200),
+        exp::fig5(scale),
+        exp::fig9(scale),
+        exp::fig10(scale),
+        exp::fig11(scale),
+        exp::table2(),
+        exp::table3(scale),
+        exp::fig12(scale),
+        exp::reduced_precision(scale),
+    ] {
+        println!("{sep}");
+        println!("{section}");
+    }
+}

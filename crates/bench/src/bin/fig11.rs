@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 11: energy breakdown per component.
+
+fn main() {
+    print!("{}", reuse_bench::experiments::fig11(reuse_workloads::Scale::from_env()));
+}

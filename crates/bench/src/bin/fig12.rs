@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 12: comparison against CPU and GPU.
+
+fn main() {
+    print!("{}", reuse_bench::experiments::fig12(reuse_workloads::Scale::from_env()));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 4: relative input differences, Kaldi FC5/FC6.
+
+fn main() {
+    let scale = reuse_workloads::Scale::from_env();
+    let frames = std::env::var("REUSE_EXECUTIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    print!("{}", reuse_bench::experiments::fig4(scale, frames));
+}

@@ -1,0 +1,163 @@
+//! `reuse_cli` — command-line front end for the reuse-dnn workspace.
+//!
+//! ```text
+//! reuse_cli inspect <kaldi|eesen|c3d|autopilot>     layer table + model stats
+//! reuse_cli run <workload> [executions]             run the reuse engine, print summary
+//! reuse_cli simulate <workload> [executions]        accelerator baseline vs reuse
+//! reuse_cli export <workload> <path>                serialize the model to a file
+//! reuse_cli experiments                             list the table/figure binaries
+//! ```
+//!
+//! Scale is controlled by `REUSE_SCALE` (full/small/tiny, default small),
+//! like the experiment binaries.
+
+use std::process::ExitCode;
+
+use reuse_accel::{AcceleratorConfig, SimInput, Simulator};
+use reuse_bench::measure::executions_from_env;
+use reuse_bench::table::{human_bytes, human_joules, human_seconds};
+use reuse_core::{summary, ReuseEngine};
+use reuse_nn::stats::network_stats;
+use reuse_workloads::{Scale, Workload, WorkloadKind};
+
+fn parse_workload(name: &str) -> Option<WorkloadKind> {
+    match name.to_lowercase().as_str() {
+        "kaldi" => Some(WorkloadKind::Kaldi),
+        "eesen" => Some(WorkloadKind::Eesen),
+        "c3d" => Some(WorkloadKind::C3d),
+        "autopilot" => Some(WorkloadKind::AutoPilot),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: reuse_cli <command> [args]\n\n\
+         commands:\n\
+         \x20 inspect  <workload>               layer table and model statistics\n\
+         \x20 run      <workload> [executions]  run the reuse engine, print the reuse summary\n\
+         \x20 simulate <workload> [executions]  simulate baseline vs reuse accelerators\n\
+         \x20 export   <workload> <path>        serialize the model to a file\n\
+         \x20 experiments                       list the paper-artifact binaries\n\n\
+         workloads: kaldi, eesen, c3d, autopilot (REUSE_SCALE=full|small|tiny)"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    match args.first().map(String::as_str) {
+        Some("inspect") => {
+            let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else { return usage() };
+            let w = Workload::build(kind, scale);
+            print!("{}", network_stats(w.network()).to_table());
+            println!(
+                "reuse config: {} enabled layers, recurrent: {}, activations spill: {}",
+                w.network()
+                    .layers()
+                    .iter()
+                    .filter(|(n, l)| l.has_weights() && w.reuse_config().setting_for(n).enabled)
+                    .count(),
+                w.is_recurrent(),
+                w.activations_spill(),
+            );
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else { return usage() };
+            let executions: usize = args
+                .get(2)
+                .and_then(|a| a.parse().ok())
+                .unwrap_or_else(|| executions_from_env(kind, scale));
+            let w = Workload::build(kind, scale);
+            let mut engine = ReuseEngine::from_network(w.network(), w.reuse_config());
+            if w.is_recurrent() {
+                let seq_len = 40.min(executions.max(2));
+                for seq in w.generate_sequences(executions.div_ceil(seq_len) + 1, seq_len, 42) {
+                    if let Err(e) = engine.execute_sequence(&seq) {
+                        eprintln!("execution failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                for frame in w.generate_frames(executions, 42) {
+                    if let Err(e) = engine.execute(&frame) {
+                        eprintln!("execution failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            print!("{}", summary::render(&engine));
+            ExitCode::SUCCESS
+        }
+        Some("simulate") => {
+            let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else { return usage() };
+            let executions = args
+                .get(2)
+                .and_then(|a| a.parse().ok())
+                .unwrap_or_else(|| executions_from_env(kind, scale));
+            let m = reuse_bench::cache::cached_measurement(kind, scale, executions, 42);
+            let sim = Simulator::new(AcceleratorConfig::paper());
+            let input = SimInput {
+                name: m.kind.name(),
+                traces: &m.traces,
+                model_bytes: m.model_bytes,
+                executions_per_sequence: m.executions_per_sequence,
+                activations_spill: m.activations_spill,
+            };
+            let base = sim.simulate_baseline(&input);
+            let reuse = sim.simulate_reuse(&input);
+            println!(
+                "{} ({} executions, model {}):",
+                m.kind.name(),
+                m.traces.len(),
+                human_bytes(m.model_bytes)
+            );
+            println!(
+                "  baseline: {} / {}",
+                human_seconds(base.seconds),
+                human_joules(base.energy_j())
+            );
+            println!(
+                "  reuse   : {} / {}",
+                human_seconds(reuse.seconds),
+                human_joules(reuse.energy_j())
+            );
+            println!(
+                "  speedup {:.2}x, energy savings {:.0}%",
+                reuse.speedup_over(&base),
+                (1.0 - reuse.normalized_energy_to(&base)) * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Some("export") => {
+            let (Some(kind), Some(path)) =
+                (args.get(1).and_then(|a| parse_workload(a)), args.get(2))
+            else {
+                return usage();
+            };
+            let w = Workload::build(kind, scale);
+            let text = reuse_nn::serialize::to_string(w.network());
+            match std::fs::write(path, &text) {
+                Ok(()) => {
+                    println!("wrote {} ({})", path, human_bytes(text.len() as u64));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("experiments") => {
+            println!(
+                "paper artifacts (cargo run --release -p reuse-bench --bin <name>):\n\
+                 \x20 table1, fig4, fig5, fig9, fig10, fig11, table2, table3,\n\
+                 \x20 fig12, reduced_precision, ablations, all"
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

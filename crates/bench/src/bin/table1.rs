@@ -1,0 +1,5 @@
+//! Regenerates paper Table I: per-layer computation reuse and accuracy.
+
+fn main() {
+    print!("{}", reuse_bench::experiments::table1(reuse_workloads::Scale::from_env()));
+}

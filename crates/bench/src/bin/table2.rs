@@ -1,0 +1,5 @@
+//! Regenerates paper Table II: accelerator parameters.
+
+fn main() {
+    print!("{}", reuse_bench::experiments::table2());
+}

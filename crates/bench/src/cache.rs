@@ -1,0 +1,255 @@
+//! On-disk cache for measurements.
+//!
+//! Running the full-scale C3D through the engine takes minutes on a scalar
+//! simulator; every figure binary needs the same four measurements. The
+//! cache stores one plain-text file per `(workload, scale, executions,
+//! seed)` under `target/reuse_cache/`, holding the per-layer summaries and
+//! the complete activity traces. The format is a simple line protocol — no
+//! extra dependencies needed.
+
+use std::fs;
+use std::path::PathBuf;
+
+use reuse_core::{ExecutionTrace, LayerTrace, TraceKind};
+use reuse_nn::LayerKind;
+use reuse_workloads::accuracy::AgreementReport;
+use reuse_workloads::{Scale, WorkloadKind};
+
+use crate::measure::{measure_workload, LayerSummary, Measurement};
+
+/// Cache format version; bump when the line protocol changes.
+const VERSION: u32 = 5;
+
+/// Directory holding the cache files.
+pub fn cache_dir() -> PathBuf {
+    PathBuf::from(std::env::var("REUSE_CACHE_DIR").unwrap_or_else(|_| "target/reuse_cache".into()))
+}
+
+fn cache_path(kind: WorkloadKind, scale: Scale, executions: usize, seed: u64) -> PathBuf {
+    cache_dir().join(format!("v{VERSION}_{}_{}_{executions}_{seed}.txt", kind.name(), scale))
+}
+
+/// Returns the measurement for the given parameters, computing and caching
+/// it if needed. Set `REUSE_NO_CACHE=1` to force recomputation.
+pub fn cached_measurement(
+    kind: WorkloadKind,
+    scale: Scale,
+    executions: usize,
+    seed: u64,
+) -> Measurement {
+    let path = cache_path(kind, scale, executions, seed);
+    let no_cache = std::env::var("REUSE_NO_CACHE").map(|v| v == "1").unwrap_or(false);
+    if !no_cache {
+        if let Ok(text) = fs::read_to_string(&path) {
+            if let Some(m) = deserialize(&text) {
+                return m;
+            }
+        }
+    }
+    eprintln!("[measure] running {} at {scale} scale ({executions} executions)...", kind.name());
+    let m = measure_workload(kind, scale, executions, seed);
+    let _ = fs::create_dir_all(cache_dir());
+    let _ = fs::write(&path, serialize(&m));
+    m
+}
+
+fn kind_str(kind: WorkloadKind) -> &'static str {
+    kind.name()
+}
+
+fn kind_from_str(s: &str) -> Option<WorkloadKind> {
+    WorkloadKind::ALL.into_iter().find(|k| k.name() == s)
+}
+
+fn scale_from_str(s: &str) -> Option<Scale> {
+    match s {
+        "full" => Some(Scale::Full),
+        "small" => Some(Scale::Small),
+        "tiny" => Some(Scale::Tiny),
+        _ => None,
+    }
+}
+
+fn layer_kind_str(k: LayerKind) -> &'static str {
+    match k {
+        LayerKind::Fc => "fc",
+        LayerKind::Conv => "conv",
+        LayerKind::Pool => "pool",
+        LayerKind::Reshape => "reshape",
+        LayerKind::Recurrent => "recurrent",
+    }
+}
+
+fn layer_kind_from_str(s: &str) -> Option<LayerKind> {
+    match s {
+        "fc" => Some(LayerKind::Fc),
+        "conv" => Some(LayerKind::Conv),
+        "pool" => Some(LayerKind::Pool),
+        "reshape" => Some(LayerKind::Reshape),
+        "recurrent" => Some(LayerKind::Recurrent),
+        _ => None,
+    }
+}
+
+fn mode_str(m: TraceKind) -> &'static str {
+    match m {
+        TraceKind::ScratchFp32 => "fp32",
+        TraceKind::ScratchQuantized => "scratch",
+        TraceKind::Incremental => "incr",
+    }
+}
+
+fn mode_from_str(s: &str) -> Option<TraceKind> {
+    match s {
+        "fp32" => Some(TraceKind::ScratchFp32),
+        "scratch" => Some(TraceKind::ScratchQuantized),
+        "incr" => Some(TraceKind::Incremental),
+        _ => None,
+    }
+}
+
+/// Serializes a measurement to the line protocol.
+pub fn serialize(m: &Measurement) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "meta {} {} {} {} {} {} {} {} {} {} {}\n",
+        kind_str(m.kind),
+        m.scale,
+        m.executions,
+        m.overall_similarity,
+        m.overall_reuse,
+        m.agreement.executions,
+        m.agreement.agreements,
+        m.model_bytes,
+        m.executions_per_sequence,
+        m.activations_spill as u8,
+        m.reuse_storage_bytes,
+    ));
+    s.push_str(&format!("centroid {}\n", m.centroid_table_bytes));
+    s.push_str(&format!("relerr {}\n", m.mean_relative_error));
+    for l in &m.layers {
+        s.push_str(&format!(
+            "layer {} {} {} {} {} {}\n",
+            l.name, l.inputs, l.outputs, l.enabled as u8, l.input_similarity, l.computation_reuse
+        ));
+    }
+    for t in &m.traces {
+        s.push_str("exec\n");
+        for l in &t.layers {
+            s.push_str(&format!(
+                "t {} {} {} {} {} {} {} {} {}\n",
+                l.name,
+                layer_kind_str(l.kind),
+                mode_str(l.mode),
+                l.n_inputs,
+                l.n_changed,
+                l.n_outputs,
+                l.n_params,
+                l.macs_total,
+                l.macs_performed
+            ));
+        }
+    }
+    s
+}
+
+/// Deserializes a measurement; `None` on any malformed line (the caller
+/// recomputes).
+pub fn deserialize(text: &str) -> Option<Measurement> {
+    let mut lines = text.lines();
+    let meta = lines.next()?;
+    let f: Vec<&str> = meta.split_whitespace().collect();
+    if f.len() != 12 || f[0] != "meta" {
+        return None;
+    }
+    let kind = kind_from_str(f[1])?;
+    let scale = scale_from_str(f[2])?;
+    let mut m = Measurement {
+        kind,
+        scale,
+        executions: f[3].parse().ok()?,
+        overall_similarity: f[4].parse().ok()?,
+        overall_reuse: f[5].parse().ok()?,
+        agreement: AgreementReport {
+            executions: f[6].parse().ok()?,
+            agreements: f[7].parse().ok()?,
+        },
+        model_bytes: f[8].parse().ok()?,
+        executions_per_sequence: f[9].parse().ok()?,
+        activations_spill: f[10] == "1",
+        reuse_storage_bytes: f[11].parse().ok()?,
+        centroid_table_bytes: 0,
+        mean_relative_error: 0.0,
+        layers: Vec::new(),
+        traces: Vec::new(),
+    };
+    for line in lines {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        match f.first().copied() {
+            Some("centroid") if f.len() == 2 => {
+                m.centroid_table_bytes = f[1].parse().ok()?;
+            }
+            Some("relerr") if f.len() == 2 => {
+                m.mean_relative_error = f[1].parse().ok()?;
+            }
+            Some("layer") if f.len() == 7 => {
+                m.layers.push(LayerSummary {
+                    name: f[1].to_string(),
+                    inputs: f[2].parse().ok()?,
+                    outputs: f[3].parse().ok()?,
+                    enabled: f[4] == "1",
+                    input_similarity: f[5].parse().ok()?,
+                    computation_reuse: f[6].parse().ok()?,
+                });
+            }
+            Some("exec") => m.traces.push(ExecutionTrace::default()),
+            Some("t") if f.len() == 10 => {
+                let trace = m.traces.last_mut()?;
+                trace.layers.push(LayerTrace {
+                    name: f[1].to_string(),
+                    kind: layer_kind_from_str(f[2])?,
+                    mode: mode_from_str(f[3])?,
+                    n_inputs: f[4].parse().ok()?,
+                    n_changed: f[5].parse().ok()?,
+                    n_outputs: f[6].parse().ok()?,
+                    n_params: f[7].parse().ok()?,
+                    macs_total: f[8].parse().ok()?,
+                    macs_performed: f[9].parse().ok()?,
+                });
+            }
+            None => {}
+            _ => return None,
+        }
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_measurement() {
+        let m = measure_workload(WorkloadKind::Kaldi, Scale::Tiny, 6, 2);
+        let text = serialize(&m);
+        let back = deserialize(&text).expect("round trip");
+        assert_eq!(back.kind, m.kind);
+        assert_eq!(back.executions, m.executions);
+        assert_eq!(back.overall_similarity, m.overall_similarity);
+        assert_eq!(back.layers.len(), m.layers.len());
+        assert_eq!(back.traces.len(), m.traces.len());
+        assert_eq!(back.traces[2], m.traces[2]);
+        assert_eq!(back.agreement, m.agreement);
+        assert_eq!(back.centroid_table_bytes, m.centroid_table_bytes);
+    }
+
+    #[test]
+    fn malformed_text_returns_none() {
+        assert!(deserialize("garbage").is_none());
+        assert!(deserialize("").is_none());
+        let m = measure_workload(WorkloadKind::Kaldi, Scale::Tiny, 4, 2);
+        let mut text = serialize(&m);
+        text.push_str("unknown line\n");
+        assert!(deserialize(&text).is_none());
+    }
+}

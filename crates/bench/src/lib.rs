@@ -1,0 +1,31 @@
+//! Experiment harness for the `reuse-dnn` reproduction.
+//!
+//! One binary per paper table/figure (see DESIGN.md's experiment index):
+//!
+//! | binary              | paper artifact |
+//! |---------------------|----------------|
+//! | `table1`            | Table I — per-layer computation reuse + accuracy proxy |
+//! | `fig4`              | Fig. 4 — relative input difference over a Kaldi utterance |
+//! | `fig5`              | Fig. 5 — input similarity & computation reuse per DNN |
+//! | `fig9`              | Fig. 9 — accelerator speedup per DNN |
+//! | `fig10`             | Fig. 10 — normalized energy per DNN |
+//! | `fig11`             | Fig. 11 — energy breakdown per component |
+//! | `table2`            | Table II — accelerator parameters |
+//! | `table3`            | Table III — memory overheads |
+//! | `fig12`             | Fig. 12 — comparison with CPU (i7-7700K) and GPU (GTX 1080) |
+//! | `reduced_precision` | Section VI-A — 8-bit fixed-point accelerator |
+//!
+//! All binaries share [`measure`]: it runs each workload through the reuse
+//! engine once and caches the per-layer metrics and activity traces on
+//! disk, so regenerating every figure costs one engine run per workload.
+//! Set `REUSE_SCALE=full|small|tiny` to choose the model scale and
+//! `REUSE_EXECUTIONS=N` to override the number of DNN executions measured.
+
+pub mod ablations;
+pub mod cache;
+pub mod csv;
+pub mod experiments;
+pub mod measure;
+pub mod table;
+
+pub use measure::{measure_workload, LayerSummary, Measurement};

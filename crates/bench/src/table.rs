@@ -1,0 +1,88 @@
+//! Small plain-text table/bar rendering helpers shared by the experiment
+//! binaries.
+
+/// Renders a horizontal ASCII bar of `value` within `[0, max]`, `width`
+/// characters wide.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Formats a fraction as a percentage with no decimals (`0.63` → `"63%"`).
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct2(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Formats bytes as a human-readable quantity (KB/MB).
+pub fn human_bytes(b: u64) -> String {
+    if b >= 10 << 20 {
+        format!("{:.0} MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.0} KB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Formats seconds with an appropriate unit.
+pub fn human_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} us", s * 1e6)
+    }
+}
+
+/// Formats joules with an appropriate unit.
+pub fn human_joules(j: f64) -> String {
+    if j >= 1.0 {
+        format!("{j:.2} J")
+    } else if j >= 1e-3 {
+        format!("{:.2} mJ", j * 1e3)
+    } else if j >= 1e-6 {
+        format!("{:.2} uJ", j * 1e6)
+    } else {
+        format!("{:.2} nJ", j * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.5, 1.0, 10), "#####.....");
+        assert_eq!(bar(0.0, 1.0, 4), "....");
+        assert_eq!(bar(2.0, 1.0, 4), "####"); // clamped
+        assert_eq!(bar(1.0, 0.0, 4), "");
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(pct(0.634), "63%");
+        assert_eq!(pct2(0.0047), "0.47%");
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(66 * 1024), "66 KB");
+        assert_eq!(human_bytes(18 << 20), "18 MB");
+        assert_eq!(human_seconds(0.0021), "2.10 ms");
+        assert_eq!(human_joules(1.5e-3), "1.50 mJ");
+        assert_eq!(human_joules(0.5e-3), "500.00 uJ");
+    }
+}

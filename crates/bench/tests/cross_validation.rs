@@ -1,0 +1,170 @@
+//! Cross-validation of the cost models on real measured traces:
+//!
+//! * The analytical simulator's compute cycles must agree with the
+//!   cycle-level pipeline model of paper Fig. 7 within pipeline overheads.
+//! * The energy accounting must track the MAC savings the traces record.
+
+use reuse_accel::{pipeline, AcceleratorConfig, SimInput, Simulator};
+use reuse_bench::measure_workload;
+use reuse_core::TraceKind;
+use reuse_workloads::{Scale, WorkloadKind};
+
+/// Converts a measured execution trace to pipeline-layer parameters.
+fn to_pipeline_layers(
+    trace: &reuse_core::ExecutionTrace,
+    reuse_mode: bool,
+) -> Vec<pipeline::PipelineLayer> {
+    trace
+        .layers
+        .iter()
+        .map(|l| {
+            let incremental = reuse_mode && l.mode == TraceKind::Incremental;
+            let (n_changed, macs) =
+                if incremental { (l.n_changed, l.macs_performed) } else { (l.n_inputs, l.macs_total) };
+            // Average fan-out per changed input.
+            let fanout = if n_changed == 0 { 0 } else { macs / n_changed.max(1) };
+            pipeline::PipelineLayer {
+                n_inputs: l.n_inputs,
+                n_changed,
+                fanout: fanout.max(1),
+                quantize: reuse_mode && l.mode != TraceKind::ScratchFp32,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn analytical_cycles_agree_with_pipeline_model() {
+    let config = AcceleratorConfig::paper();
+    let lanes = config.total_multipliers() as u64;
+    let sim = Simulator::new(config);
+    for kind in [WorkloadKind::Kaldi, WorkloadKind::AutoPilot] {
+        let m = measure_workload(kind, Scale::Tiny, 20, 11);
+        let input = SimInput {
+            name: "xval",
+            traces: &m.traces,
+            model_bytes: m.model_bytes,
+            // Isolate compute: no weight reloading traffic.
+            executions_per_sequence: u64::MAX,
+            activations_spill: false,
+        };
+        for reuse_mode in [false, true] {
+            let report =
+                if reuse_mode { sim.simulate_reuse(&input) } else { sim.simulate_baseline(&input) };
+            let pipeline_cycles: u64 = m
+                .traces
+                .iter()
+                .map(|t| pipeline::execution_cycles(&to_pipeline_layers(t, reuse_mode), lanes))
+                .sum();
+            // The pipeline model is an upper bound (per-input rounding,
+            // fill/drain); the analytical model must stay within it and not
+            // be wildly below. Tiny layers have large per-input rounding, so
+            // the band is loose but still diagnostic.
+            assert!(
+                report.cycles <= pipeline_cycles,
+                "{kind} reuse={reuse_mode}: analytical {} above pipeline {}",
+                report.cycles,
+                pipeline_cycles
+            );
+            assert!(
+                (report.cycles as f64) > 0.02 * pipeline_cycles as f64,
+                "{kind} reuse={reuse_mode}: analytical {} far below pipeline {}",
+                report.cycles,
+                pipeline_cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_savings_track_mac_savings() {
+    let sim = Simulator::new(AcceleratorConfig::paper());
+    let m = measure_workload(WorkloadKind::Kaldi, Scale::Tiny, 24, 12);
+    let input = SimInput {
+        name: "xval",
+        traces: &m.traces,
+        model_bytes: m.model_bytes,
+        executions_per_sequence: 500,
+        activations_spill: false,
+    };
+    let base = sim.simulate_baseline(&input);
+    let reuse = sim.simulate_reuse(&input);
+    let mac_ratio = reuse.macs as f64 / base.macs as f64;
+    let energy_ratio = reuse.energy_j() / base.energy_j();
+    // Energy ratio must lie between the MAC ratio (perfect scaling) and 1
+    // (no savings at all): overheads and non-reusable layers sit in between.
+    assert!(energy_ratio >= mac_ratio - 0.05, "energy {energy_ratio} vs macs {mac_ratio}");
+    assert!(energy_ratio < 1.0, "reuse must save energy: {energy_ratio}");
+}
+
+#[test]
+fn speedup_bounded_by_amdahl() {
+    // The reuse speedup can never exceed the reciprocal of the performed
+    // fraction of MACs (Amdahl over the compute; memory only hurts).
+    let sim = Simulator::new(AcceleratorConfig::paper());
+    for kind in [WorkloadKind::Kaldi, WorkloadKind::C3d] {
+        let m = measure_workload(kind, Scale::Tiny, 12, 13);
+        let input = SimInput {
+            name: "xval",
+            traces: &m.traces,
+            model_bytes: m.model_bytes,
+            executions_per_sequence: 100,
+            activations_spill: m.activations_spill,
+        };
+        let base = sim.simulate_baseline(&input);
+        let reuse = sim.simulate_reuse(&input);
+        let amdahl = base.macs as f64 / reuse.macs.max(1) as f64;
+        let speedup = reuse.speedup_over(&base);
+        assert!(
+            speedup <= amdahl * 1.05,
+            "{kind}: speedup {speedup} exceeds Amdahl bound {amdahl}"
+        );
+    }
+}
+
+#[test]
+fn event_simulator_agrees_with_analytical_on_real_traces() {
+    let config = AcceleratorConfig::paper();
+    let sim = Simulator::new(config.clone());
+    for kind in [WorkloadKind::Kaldi, WorkloadKind::AutoPilot] {
+        let m = measure_workload(kind, Scale::Tiny, 16, 21);
+        let input = SimInput {
+            name: "ev",
+            traces: &m.traces,
+            model_bytes: m.model_bytes,
+            executions_per_sequence: u64::MAX,
+            activations_spill: false,
+        };
+        let analytical = sim.simulate_reuse(&input);
+        let event_cycles: u64 = m
+            .traces
+            .iter()
+            .map(|t| {
+                let work = reuse_accel::events::work_from_trace(
+                    t,
+                    &config,
+                    m.model_bytes,
+                    true,
+                    false,
+                );
+                reuse_accel::events::simulate_execution(&work, &config).cycles
+            })
+            .sum();
+        // The event simulator models per-input stalls the analytical model
+        // amortizes; they must land within 3x of each other (tiny layers
+        // make per-input rounding harsh) and the analytical model must not
+        // exceed the event model's cycle count.
+        assert!(
+            analytical.cycles <= event_cycles,
+            "{kind}: analytical {} > event {}",
+            analytical.cycles,
+            event_cycles
+        );
+        assert!(
+            event_cycles < analytical.cycles * 12,
+            "{kind}: event {} too far above analytical {}",
+            event_cycles,
+            analytical.cycles
+        );
+    }
+}

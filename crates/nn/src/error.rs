@@ -1,0 +1,72 @@
+use std::fmt;
+
+use reuse_tensor::TensorError;
+
+/// Errors produced by layer construction and network execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor-level error (shape/index mismatch) surfaced during execution.
+    Tensor(TensorError),
+    /// A layer was configured with inconsistent dimensions.
+    InvalidConfig {
+        /// Human-readable description of what was inconsistent.
+        context: String,
+    },
+    /// The network received an input whose shape does not match layer 0.
+    InputShape {
+        /// Expected flat length.
+        expected: usize,
+        /// Supplied flat length.
+        actual: usize,
+    },
+    /// A sequence operation was invoked on an empty sequence.
+    EmptySequence,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::InvalidConfig { context } => write!(f, "invalid layer configuration: {context}"),
+            NnError::InputShape { expected, actual } => {
+                write!(f, "network input length {actual} does not match expected {expected}")
+            }
+            NnError::EmptySequence => write!(f, "input sequence must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_tensor_error_preserves_source() {
+        use std::error::Error;
+        let err: NnError = TensorError::EmptyShape.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<NnError>();
+    }
+}

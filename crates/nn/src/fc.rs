@@ -1,0 +1,161 @@
+//! Fully-connected layer (paper Eq. 1).
+
+use reuse_tensor::{matmul, Shape, Tensor};
+
+use crate::{init, Activation, NnError};
+
+/// A fully-connected layer: `out = act(Wᵀ·x + b)`.
+///
+/// Weights are stored **input-major** (`[n_inputs, n_outputs]`), mirroring
+/// the interleaved Weights Buffer layout of the paper's accelerator
+/// (Fig. 7): the `n_outputs` weights fed by a single input are contiguous,
+/// which is what the reuse scheme walks when an input changes.
+#[derive(Debug, Clone)]
+pub struct FullyConnected {
+    weights: Tensor,
+    bias: Tensor,
+    activation: Activation,
+}
+
+impl FullyConnected {
+    /// Builds a layer from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when `weights` is not rank-2 or
+    /// `bias` does not match the output dimension.
+    pub fn new(weights: Tensor, bias: Tensor, activation: Activation) -> Result<Self, NnError> {
+        let dims = weights.shape().dims();
+        if dims.len() != 2 {
+            return Err(NnError::InvalidConfig {
+                context: format!("fc weights must be rank-2, got {}", weights.shape()),
+            });
+        }
+        if bias.len() != dims[1] {
+            return Err(NnError::InvalidConfig {
+                context: format!("fc bias length {} != output dim {}", bias.len(), dims[1]),
+            });
+        }
+        Ok(FullyConnected { weights, bias, activation })
+    }
+
+    /// Builds a layer with deterministic pseudo-random parameters.
+    pub fn random(
+        n_in: usize,
+        n_out: usize,
+        activation: Activation,
+        rng: &mut init::Rng64,
+    ) -> Self {
+        let w = init::xavier_uniform(rng, n_in, n_out, n_in * n_out);
+        let b = init::small_bias(rng, n_out);
+        let weights = Tensor::from_vec(Shape::d2(n_in, n_out), w).expect("sized by construction");
+        let bias = Tensor::from_vec(Shape::d1(n_out), b).expect("sized by construction");
+        FullyConnected { weights, bias, activation }
+    }
+
+    /// Number of inputs.
+    pub fn n_in(&self) -> usize {
+        self.weights.shape().dims()[0]
+    }
+
+    /// Number of output neurons.
+    pub fn n_out(&self) -> usize {
+        self.weights.shape().dims()[1]
+    }
+
+    /// The input-major weight matrix `[n_in, n_out]`.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// The bias vector `[n_out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// The post-linear activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Linear part only (`Wᵀx + b`), before the activation. The reuse
+    /// engine buffers and corrects *this* value, then re-applies the
+    /// activation (the correction of Eq. 10 is linear).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the kernel.
+    pub fn forward_linear(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        Ok(matmul::fc_forward(&self.weights, input, &self.bias)?)
+    }
+
+    /// Full forward pass including the activation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the kernel.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        Ok(self.activation.apply(&self.forward_linear(input)?))
+    }
+
+    /// Parameter count (weights + biases).
+    pub fn param_count(&self) -> u64 {
+        (self.n_in() * self.n_out() + self.n_out()) as u64
+    }
+
+    /// Multiply+add count of a from-scratch execution.
+    pub fn flops(&self) -> u64 {
+        matmul::fc_flops(self.n_in(), self.n_out())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual() {
+        let w = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let b = Tensor::from_slice_1d(&[1.0, -1.0]).unwrap();
+        let fc = FullyConnected::new(w, b, Activation::Identity).unwrap();
+        let out = fc.forward(&Tensor::from_slice_1d(&[2.0, 3.0]).unwrap()).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_applied_after_linear() {
+        let w = Tensor::from_vec(Shape::d2(1, 1), vec![1.0]).unwrap();
+        let b = Tensor::from_slice_1d(&[0.0]).unwrap();
+        let fc = FullyConnected::new(w, b, Activation::Relu).unwrap();
+        let out = fc.forward(&Tensor::from_slice_1d(&[-5.0]).unwrap()).unwrap();
+        assert_eq!(out.as_slice(), &[0.0]);
+        let lin = fc.forward_linear(&Tensor::from_slice_1d(&[-5.0]).unwrap()).unwrap();
+        assert_eq!(lin.as_slice(), &[-5.0]);
+    }
+
+    #[test]
+    fn invalid_bias_rejected() {
+        let w = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d1(2));
+        assert!(FullyConnected::new(w, b, Activation::Identity).is_err());
+    }
+
+    #[test]
+    fn random_layer_is_deterministic() {
+        let mut r1 = init::Rng64::new(11);
+        let mut r2 = init::Rng64::new(11);
+        let a = FullyConnected::random(8, 4, Activation::Relu, &mut r1);
+        let b = FullyConnected::random(8, 4, Activation::Relu, &mut r2);
+        assert_eq!(a.weights().as_slice(), b.weights().as_slice());
+        assert_eq!(a.bias().as_slice(), b.bias().as_slice());
+    }
+
+    #[test]
+    fn accounting() {
+        let mut rng = init::Rng64::new(0);
+        let fc = FullyConnected::random(400, 2000, Activation::Relu, &mut rng);
+        assert_eq!(fc.param_count(), 400 * 2000 + 2000);
+        assert_eq!(fc.flops(), 2 * 400 * 2000);
+        assert_eq!((fc.n_in(), fc.n_out()), (400, 2000));
+    }
+}

@@ -1,0 +1,162 @@
+//! Deterministic pseudo-random weight initialization.
+//!
+//! The paper evaluates trained models; we substitute deterministic
+//! pseudo-random weights with variance scaled to keep activations in a
+//! stable range (He/Xavier-style fan-in scaling). Everything is seeded, so
+//! every experiment in the workspace reproduces bit-for-bit.
+//!
+//! The generator is a self-contained SplitMix64 — we deliberately avoid a
+//! `rand` dependency in this low-level crate so its output can never drift
+//! with upstream versions.
+
+/// A small, fast, deterministic 64-bit generator (SplitMix64).
+///
+/// # Example
+///
+/// ```
+/// use reuse_nn::init::Rng64;
+///
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[-limit, limit)`.
+    pub fn uniform(&mut self, limit: f32) -> f32 {
+        (self.next_f32() * 2.0 - 1.0) * limit
+    }
+
+    /// Standard normal via Box-Muller (one value per call; simple and
+    /// deterministic).
+    pub fn normal(&mut self) -> f32 {
+        // Guard against log(0).
+        let u1 = self.next_f32().max(f32::MIN_POSITIVE);
+        let u2 = self.next_f32();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Derives an independent child generator; used to give each layer its
+    /// own stream so inserting a layer does not reshuffle the others.
+    pub fn fork(&mut self, stream: u64) -> Rng64 {
+        Rng64::new(self.next_u64() ^ stream.wrapping_mul(0xA24BAED4963EE407))
+    }
+}
+
+/// Xavier/Glorot-uniform weights for a `fan_in × fan_out` dense layer.
+pub fn xavier_uniform(rng: &mut Rng64, fan_in: usize, fan_out: usize, count: usize) -> Vec<f32> {
+    let limit = (6.0 / (fan_in as f32 + fan_out as f32)).sqrt();
+    (0..count).map(|_| rng.uniform(limit)).collect()
+}
+
+/// He-normal weights appropriate before a ReLU.
+pub fn he_normal(rng: &mut Rng64, fan_in: usize, count: usize) -> Vec<f32> {
+    let std = (2.0 / fan_in as f32).sqrt();
+    (0..count).map(|_| rng.normal() * std).collect()
+}
+
+/// Small uniform biases in `[-0.05, 0.05)`.
+pub fn small_bias(rng: &mut Rng64, count: usize) -> Vec<f32> {
+    (0..count).map(|_| rng.uniform(0.05)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f32_stays_in_unit_interval() {
+        let mut rng = Rng64::new(3);
+        for _ in 0..1000 {
+            let v = rng.next_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = Rng64::new(4);
+        for _ in 0..1000 {
+            let v = rng.uniform(0.3);
+            assert!(v.abs() <= 0.3);
+        }
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = Rng64::new(5);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_fan() {
+        let mut rng = Rng64::new(6);
+        let w = xavier_uniform(&mut rng, 4096, 4096, 1000);
+        let limit = (6.0f32 / 8192.0).sqrt();
+        assert!(w.iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn he_normal_scales_std() {
+        let mut rng = Rng64::new(8);
+        let w = he_normal(&mut rng, 800, 20_000);
+        let std = (w.iter().map(|v| v * v).sum::<f32>() / w.len() as f32).sqrt();
+        let expected = (2.0f32 / 800.0).sqrt();
+        assert!((std - expected).abs() / expected < 0.1, "std {std} vs {expected}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_reproducible() {
+        let mut parent1 = Rng64::new(9);
+        let mut parent2 = Rng64::new(9);
+        let mut c1 = parent1.fork(0);
+        let mut c2 = parent2.fork(0);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut c3 = parent1.fork(1);
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+}

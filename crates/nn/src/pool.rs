@@ -1,0 +1,106 @@
+//! Max-pooling layers.
+//!
+//! Pooling layers carry no weights, so the paper excludes them from the
+//! reuse scheme (Table I note); they still matter for shape plumbing and for
+//! the accelerator's op accounting.
+
+use reuse_tensor::conv::{max_pool2d_mode, max_pool3d_mode};
+use reuse_tensor::Tensor;
+
+use crate::NnError;
+
+/// A 2D max-pooling layer with a square window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool2dLayer {
+    /// Window side length.
+    pub window: usize,
+    /// Stride (usually equal to `window`).
+    pub stride: usize,
+    /// Emit a final partial window when the stride does not divide evenly.
+    pub ceil: bool,
+}
+
+impl Pool2dLayer {
+    /// Square non-overlapping pooling (stride = window, floor mode).
+    pub fn square(window: usize) -> Self {
+        Pool2dLayer { window, stride: window, ceil: false }
+    }
+
+    /// Runs the pooling operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window/shape mismatches from the kernel.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        Ok(max_pool2d_mode(input, self.window, self.stride, self.ceil)?)
+    }
+}
+
+/// A 3D max-pooling layer with independent temporal and spatial windows
+/// (C3D convention: pool1 is 1×2×2, the rest 2×2×2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool3dLayer {
+    /// Temporal (depth) window; stride equals the window.
+    pub wd: usize,
+    /// Spatial window (applied to both height and width); stride equals it.
+    pub whw: usize,
+    /// Emit final partial windows (Caffe/C3D ceil mode).
+    pub ceil: bool,
+}
+
+impl Pool3dLayer {
+    /// Creates a pooling layer with the C3D window convention.
+    pub fn new(wd: usize, whw: usize, ceil: bool) -> Self {
+        Pool3dLayer { wd, whw, ceil }
+    }
+
+    /// Runs the pooling operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window/shape mismatches from the kernel.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        Ok(max_pool3d_mode(input, self.wd, self.whw, self.ceil)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuse_tensor::Shape;
+
+    #[test]
+    fn square_pool_halves_dimensions() {
+        let layer = Pool2dLayer::square(2);
+        let input = Tensor::from_fn(Shape::d3(2, 4, 4), |i| i as f32);
+        let out = layer.forward(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn pool3d_c3d_chain_shapes() {
+        // The C3D feature-map chain from Table I:
+        // 64x16x112x112 -pool 1x2x2-> 64x16x56x56
+        let input = Tensor::zeros(Shape::d4(2, 16, 112, 112));
+        let p1 = Pool3dLayer::new(1, 2, false).forward(&input).unwrap();
+        assert_eq!(p1.shape().dims(), &[2, 16, 56, 56]);
+        // 128x16x56x56 -pool 2x2x2-> 128x8x28x28
+        let input2 = Tensor::zeros(Shape::d4(2, 16, 56, 56));
+        let p2 = Pool3dLayer::new(2, 2, false).forward(&input2).unwrap();
+        assert_eq!(p2.shape().dims(), &[2, 8, 28, 28]);
+    }
+
+    #[test]
+    fn pool3d_ceil_final_stage() {
+        // 512x2x7x7 -pool 2x2x2 ceil-> 512x1x4x4 (8192 inputs for FC1).
+        let input = Tensor::zeros(Shape::d4(4, 2, 7, 7));
+        let out = Pool3dLayer::new(2, 2, true).forward(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[4, 1, 4, 4]);
+    }
+
+    #[test]
+    fn oversized_window_errors() {
+        let input = Tensor::zeros(Shape::d3(1, 2, 2));
+        assert!(Pool2dLayer::square(4).forward(&input).is_err());
+    }
+}

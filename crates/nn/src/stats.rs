@@ -1,0 +1,123 @@
+//! Per-network summary statistics: parameters, FLOPs, bytes per layer.
+//!
+//! These feed the accelerator model's cost accounting and the experiment
+//! reports (model sizes in Table I, memory footprints in Table III).
+
+use crate::{LayerKind, Network};
+
+/// Summary of one layer for reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStats {
+    /// Layer name within the network (e.g. `fc3`).
+    pub name: String,
+    /// Coarse layer kind.
+    pub kind: LayerKind,
+    /// Number of scalar inputs the layer reads per execution.
+    pub inputs: usize,
+    /// Number of scalar outputs the layer produces per execution.
+    pub outputs: usize,
+    /// Parameter count (weights + biases).
+    pub params: u64,
+    /// Multiply+add count of one from-scratch execution.
+    pub flops: u64,
+}
+
+/// Summary of a whole network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Network name.
+    pub name: String,
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerStats>,
+    /// Total parameters.
+    pub total_params: u64,
+    /// Model size in bytes at 32-bit precision.
+    pub total_bytes: u64,
+    /// Total multiply+adds of one from-scratch execution.
+    pub total_flops: u64,
+}
+
+/// Computes summary statistics for a network.
+pub fn network_stats(net: &Network) -> NetworkStats {
+    let mut layers = Vec::with_capacity(net.layers().len());
+    for ((name, layer), in_shape) in net.layers().iter().zip(net.layer_input_shapes().iter()) {
+        let out_shape = layer.output_shape(in_shape).expect("shapes validated at build time");
+        layers.push(LayerStats {
+            name: name.clone(),
+            kind: layer.kind(),
+            inputs: in_shape.volume(),
+            outputs: out_shape.volume(),
+            params: layer.param_count(),
+            flops: layer.flops(in_shape),
+        });
+    }
+    NetworkStats {
+        name: net.name().to_string(),
+        total_params: net.param_count(),
+        total_bytes: net.model_bytes(),
+        total_flops: net.flops(),
+        layers,
+    }
+}
+
+impl NetworkStats {
+    /// Renders a plain-text table, one row per layer.
+    pub fn to_table(&self) -> String {
+        let mut s = format!(
+            "{}: {} params, {:.1} MB, {:.1} MFLOPs/exec\n",
+            self.name,
+            self.total_params,
+            self.total_bytes as f64 / 1e6,
+            self.total_flops as f64 / 1e6
+        );
+        s.push_str(&format!(
+            "{:<12} {:<10} {:>10} {:>10} {:>12} {:>14}\n",
+            "layer", "kind", "inputs", "outputs", "params", "flops"
+        ));
+        for l in &self.layers {
+            s.push_str(&format!(
+                "{:<12} {:<10} {:>10} {:>10} {:>12} {:>14}\n",
+                l.name,
+                format!("{:?}", l.kind),
+                l.inputs,
+                l.outputs,
+                l.params,
+                l.flops
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, NetworkBuilder};
+
+    #[test]
+    fn stats_match_network_accounting() {
+        let net = NetworkBuilder::new("mlp", 8)
+            .fully_connected(16, Activation::Relu)
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap();
+        let stats = network_stats(&net);
+        assert_eq!(stats.total_params, net.param_count());
+        assert_eq!(stats.total_flops, net.flops());
+        assert_eq!(stats.layers.len(), 2);
+        assert_eq!(stats.layers[0].inputs, 8);
+        assert_eq!(stats.layers[0].outputs, 16);
+        assert_eq!(stats.layers[1].outputs, 4);
+    }
+
+    #[test]
+    fn table_contains_layer_names() {
+        let net = NetworkBuilder::new("mlp", 4)
+            .fully_connected(2, Activation::Identity)
+            .build()
+            .unwrap();
+        let table = network_stats(&net).to_table();
+        assert!(table.contains("fc1"));
+        assert!(table.contains("mlp"));
+    }
+}

@@ -1,0 +1,47 @@
+use std::fmt;
+
+/// Errors produced when configuring quantizers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// The number of clusters must be at least 2.
+    TooFewClusters {
+        /// The rejected cluster count.
+        clusters: usize,
+    },
+    /// The profiled range is empty or inverted.
+    InvalidRange {
+        /// Profiled minimum.
+        min: f32,
+        /// Profiled maximum.
+        max: f32,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::TooFewClusters { clusters } => {
+                write!(f, "linear quantization needs at least 2 clusters, got {clusters}")
+            }
+            QuantError::InvalidRange { min, max } => {
+                write!(f, "invalid input range [{min}, {max}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_values() {
+        let e = QuantError::TooFewClusters { clusters: 1 };
+        assert!(e.to_string().contains('1'));
+        let e = QuantError::InvalidRange { min: 2.0, max: 1.0 };
+        assert!(e.to_string().contains('2'));
+    }
+}

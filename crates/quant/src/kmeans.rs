@@ -1,0 +1,213 @@
+//! 1-D k-means (Lloyd) quantization — the clustered alternative the paper
+//! chose *linear* quantization over.
+//!
+//! Prior computation-reuse work the paper cites clusters *weights* with
+//! k-means; the paper instead quantizes *inputs* with uniformly distributed
+//! linear quantization, which needs no trained codebook and a trivial
+//! hardware index computation (one multiply + round). This module provides
+//! the k-means variant so the choice can be evaluated as an ablation: the
+//! adaptive centroids fit the data distribution better (lower error at equal
+//! cluster counts) at the cost of a calibration fit and a nearest-centroid
+//! search per input.
+
+use crate::{QuantCode, QuantError};
+
+/// A quantizer with k-means-fitted centroids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansQuantizer {
+    /// Sorted cluster centroids.
+    centroids: Vec<f32>,
+    /// Midpoints between adjacent centroids (decision boundaries).
+    boundaries: Vec<f32>,
+}
+
+impl KMeansQuantizer {
+    /// Fits `clusters` centroids to the sample distribution with Lloyd's
+    /// algorithm (deterministic: quantile initialization, fixed iteration
+    /// cap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::TooFewClusters`] for fewer than 2 clusters and
+    /// [`QuantError::InvalidRange`] when the samples have no spread.
+    pub fn fit(samples: &[f32], clusters: usize, iterations: usize) -> Result<Self, QuantError> {
+        if clusters < 2 {
+            return Err(QuantError::TooFewClusters { clusters });
+        }
+        let mut sorted: Vec<f32> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(f32::total_cmp);
+        let (Some(&lo), Some(&hi)) = (sorted.first(), sorted.last()) else {
+            return Err(QuantError::InvalidRange { min: f32::NAN, max: f32::NAN });
+        };
+        if hi <= lo {
+            return Err(QuantError::InvalidRange { min: lo, max: hi });
+        }
+        // Uniform-grid initialization — exactly the linear quantizer's
+        // centroid set. Lloyd's update monotonically decreases MSE from
+        // there, so the fitted quantizer never does worse than linear
+        // quantization at the same cluster count.
+        let step = (hi - lo) / (clusters - 1) as f32;
+        let mut centroids: Vec<f32> = (0..clusters).map(|c| lo + c as f32 * step).collect();
+        centroids.dedup();
+        // Lloyd iterations over the sorted samples.
+        for _ in 0..iterations {
+            let boundaries = midpoints(&centroids);
+            let mut sums = vec![0.0f64; centroids.len()];
+            let mut counts = vec![0u64; centroids.len()];
+            let mut cluster = 0usize;
+            for &v in &sorted {
+                while cluster < boundaries.len() && v > boundaries[cluster] {
+                    cluster += 1;
+                }
+                sums[cluster] += v as f64;
+                counts[cluster] += 1;
+            }
+            let mut moved = false;
+            for (i, c) in centroids.iter_mut().enumerate() {
+                if counts[i] > 0 {
+                    let new = (sums[i] / counts[i] as f64) as f32;
+                    if (new - *c).abs() > 1e-7 {
+                        moved = true;
+                    }
+                    *c = new;
+                }
+            }
+            centroids.sort_by(f32::total_cmp);
+            centroids.dedup();
+            if !moved {
+                break;
+            }
+        }
+        let boundaries = midpoints(&centroids);
+        Ok(KMeansQuantizer { centroids, boundaries })
+    }
+
+    /// The fitted centroids, ascending.
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Number of clusters actually in use (duplicates collapse during
+    /// fitting).
+    pub fn clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Quantizes a value to its cluster index (binary search over the
+    /// decision boundaries).
+    pub fn quantize(&self, x: f32) -> QuantCode {
+        let idx = self.boundaries.partition_point(|&b| x > b);
+        QuantCode(idx as i32)
+    }
+
+    /// Centroid of a code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code did not come from this quantizer.
+    pub fn centroid(&self, code: QuantCode) -> f32 {
+        self.centroids[code.0 as usize]
+    }
+
+    /// The quantized value of `x`.
+    pub fn quantized_value(&self, x: f32) -> f32 {
+        self.centroid(self.quantize(x))
+    }
+
+    /// Mean squared quantization error over a sample set.
+    pub fn mse(&self, samples: &[f32]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples
+            .iter()
+            .map(|&v| {
+                let d = (self.quantized_value(v) - v) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / samples.len() as f64
+    }
+}
+
+fn midpoints(centroids: &[f32]) -> Vec<f32> {
+    centroids.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InputRange, LinearQuantizer};
+
+    fn skewed_samples() -> Vec<f32> {
+        // Mass concentrated near zero with a long positive tail — the shape
+        // of post-ReLU activations.
+        (0..2000)
+            .map(|i| {
+                let u = i as f32 / 2000.0;
+                u * u * 4.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_produces_sorted_centroids() {
+        let q = KMeansQuantizer::fit(&skewed_samples(), 8, 50).unwrap();
+        let c = q.centroids();
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+        assert!(q.clusters() <= 8 && q.clusters() >= 2);
+    }
+
+    #[test]
+    fn quantize_picks_nearest_centroid() {
+        let q = KMeansQuantizer::fit(&skewed_samples(), 8, 50).unwrap();
+        for &v in &[0.0f32, 0.5, 1.7, 3.9] {
+            let chosen = q.quantized_value(v);
+            for &c in q.centroids() {
+                assert!((chosen - v).abs() <= (c - v).abs() + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let q = KMeansQuantizer::fit(&skewed_samples(), 16, 50).unwrap();
+        for &v in &[0.1f32, 0.9, 2.5] {
+            let once = q.quantized_value(v);
+            assert_eq!(q.quantized_value(once), once);
+        }
+    }
+
+    #[test]
+    fn beats_linear_on_skewed_data() {
+        // The reason anyone would consider k-means: lower error at equal
+        // cluster count when the data is non-uniform.
+        let samples = skewed_samples();
+        let km = KMeansQuantizer::fit(&samples, 16, 100).unwrap();
+        let lin = LinearQuantizer::new(InputRange::new(0.0, 4.0), 16).unwrap();
+        let lin_mse: f64 = samples
+            .iter()
+            .map(|&v| {
+                let d = (lin.quantized_value(v) - v) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(km.mse(&samples) < lin_mse, "kmeans {} vs linear {lin_mse}", km.mse(&samples));
+    }
+
+    #[test]
+    fn degenerate_samples_rejected() {
+        assert!(KMeansQuantizer::fit(&[], 8, 10).is_err());
+        assert!(KMeansQuantizer::fit(&[1.0; 50], 8, 10).is_err());
+        assert!(KMeansQuantizer::fit(&[0.0, 1.0], 1, 10).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = skewed_samples();
+        let a = KMeansQuantizer::fit(&s, 8, 50).unwrap();
+        let b = KMeansQuantizer::fit(&s, 8, 50).unwrap();
+        assert_eq!(a, b);
+    }
+}

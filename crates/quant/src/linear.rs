@@ -1,0 +1,208 @@
+//! Uniformly distributed linear quantization (paper Eq. 9).
+
+use crate::{InputRange, QuantError};
+
+/// The integer code (cluster index) of a quantized input.
+///
+/// The paper's accelerator stores these indices in a dedicated I/O-buffer
+/// area and compares them across executions: two inputs are "the same" for
+/// the reuse scheme exactly when their codes are equal. Codes fit in one
+/// byte for all evaluated cluster counts (≤32), which is what the Table III
+/// overhead accounting assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QuantCode(pub i32);
+
+impl std::fmt::Display for QuantCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A uniformly distributed linear quantizer over a profiled range
+/// (paper Eq. 9): `Qval = round(x / step) · step`, `step = range / C`.
+///
+/// Inputs outside the profiled range are clamped to it first, modelling the
+/// finite centroid table of the hardware's Control Unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearQuantizer {
+    range: InputRange,
+    clusters: usize,
+    step: f32,
+    code_min: i32,
+    code_max: i32,
+}
+
+impl LinearQuantizer {
+    /// Creates a quantizer with `clusters` uniformly spaced centroids over
+    /// `range`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::TooFewClusters`] for fewer than 2 clusters and
+    /// [`QuantError::InvalidRange`] for a degenerate range.
+    pub fn new(range: InputRange, clusters: usize) -> Result<Self, QuantError> {
+        if clusters < 2 {
+            return Err(QuantError::TooFewClusters { clusters });
+        }
+        let range = range.validated()?;
+        let step = range.width() / clusters as f32;
+        let code_min = (range.min() / step).round() as i32;
+        let code_max = (range.max() / step).round() as i32;
+        Ok(LinearQuantizer { range, clusters, step, code_min, code_max })
+    }
+
+    /// The profiled input range.
+    pub fn range(&self) -> InputRange {
+        self.range
+    }
+
+    /// The number of clusters `C`.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// The quantization step (`range / C`).
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// Quantizes a value to its integer code: `round(clamp(x) / step)`.
+    pub fn quantize(&self, x: f32) -> QuantCode {
+        let clamped = self.range.clamp(x);
+        QuantCode(((clamped / self.step).round() as i32).clamp(self.code_min, self.code_max))
+    }
+
+    /// The centroid (representable value) of a code: `code · step`.
+    pub fn centroid(&self, code: QuantCode) -> f32 {
+        code.0 as f32 * self.step
+    }
+
+    /// The quantized value of `x` (Eq. 9): centroid of its code.
+    pub fn quantized_value(&self, x: f32) -> f32 {
+        self.centroid(self.quantize(x))
+    }
+
+    /// Quantizes a slice to codes.
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<QuantCode> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Quantized values (centroids) of a slice.
+    pub fn quantized_values(&self, xs: &[f32]) -> Vec<f32> {
+        xs.iter().map(|&x| self.quantized_value(x)).collect()
+    }
+
+    /// Size in bytes of the centroid table this quantizer needs in the
+    /// accelerator's Control Unit (one f32 per cluster).
+    pub fn centroid_table_bytes(&self) -> usize {
+        self.clusters * 4
+    }
+
+    /// Maximum absolute quantization error for in-range inputs: half a step.
+    pub fn max_error(&self) -> f32 {
+        self.step / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q16() -> LinearQuantizer {
+        LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap()
+    }
+
+    #[test]
+    fn step_is_range_over_clusters() {
+        let q = q16();
+        assert!((q.step() - 2.0 / 16.0).abs() < 1e-7);
+        assert_eq!(q.clusters(), 16);
+    }
+
+    #[test]
+    fn eq9_round_times_step() {
+        let q = q16();
+        for &x in &[0.0f32, 0.07, -0.3, 0.99, -1.0, 0.51] {
+            let expect = (x / q.step()).round() * q.step();
+            assert!((q.quantized_value(x) - expect).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let q = q16();
+        for i in -100..=100 {
+            let x = i as f32 / 100.0;
+            assert!((q.quantized_value(x) - x).abs() <= q.max_error() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let q = q16();
+        for i in -20..=20 {
+            let x = i as f32 / 7.0;
+            let once = q.quantized_value(x);
+            assert_eq!(q.quantize(once), q.quantize(x));
+            assert_eq!(q.quantized_value(once), once);
+        }
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edge_codes() {
+        let q = q16();
+        assert_eq!(q.quantize(100.0), q.quantize(1.0));
+        assert_eq!(q.quantize(-100.0), q.quantize(-1.0));
+    }
+
+    #[test]
+    fn code_equality_tracks_closeness() {
+        let q = q16();
+        // Two values within the same cluster share a code...
+        assert_eq!(q.quantize(0.50), q.quantize(0.51));
+        // ...two values a full step apart never do.
+        assert_ne!(q.quantize(0.0), q.quantize(q.step() * 1.01));
+    }
+
+    #[test]
+    fn fewer_clusters_coarser_codes() {
+        let q8 = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 8).unwrap();
+        let q32 = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 32).unwrap();
+        // Values that q32 distinguishes may collide under q8.
+        let (a, b) = (0.01f32, 0.07f32);
+        assert_eq!(q8.quantize(a), q8.quantize(b));
+        assert_ne!(q32.quantize(a), q32.quantize(b));
+    }
+
+    #[test]
+    fn asymmetric_range() {
+        let q = LinearQuantizer::new(InputRange::new(0.0, 6.0), 12).unwrap();
+        assert!((q.step() - 0.5).abs() < 1e-7);
+        assert_eq!(q.quantize(0.0), QuantCode(0));
+        assert_eq!(q.quantize(6.0), QuantCode(12));
+        assert!((q.quantized_value(2.74) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slice_helpers_match_scalar() {
+        let q = q16();
+        let xs = [0.1f32, -0.9, 0.33];
+        let codes = q.quantize_slice(&xs);
+        let vals = q.quantized_values(&xs);
+        for i in 0..3 {
+            assert_eq!(codes[i], q.quantize(xs[i]));
+            assert_eq!(vals[i], q.quantized_value(xs[i]));
+        }
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(LinearQuantizer::new(InputRange::new(-1.0, 1.0), 1).is_err());
+        assert!(LinearQuantizer::new(InputRange::new(1.0, 1.0), 16).is_err());
+    }
+
+    #[test]
+    fn table_bytes() {
+        assert_eq!(q16().centroid_table_bytes(), 64);
+    }
+}

@@ -1,0 +1,261 @@
+//! Input-range profiling.
+//!
+//! The paper obtains each layer's input range "via profiling using the
+//! training dataset" (Section III). [`RangeProfiler`] plays that role here:
+//! feed it every input vector of a calibration sequence and ask for the
+//! resulting [`InputRange`].
+
+use crate::QuantError;
+
+/// A closed input interval `[min, max]` for one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputRange {
+    min: f32,
+    max: f32,
+}
+
+impl InputRange {
+    /// Creates a range; `min` may equal `max` (degenerate constant input).
+    pub fn new(min: f32, max: f32) -> Self {
+        InputRange { min, max }
+    }
+
+    /// A symmetric range `[-m, m]`.
+    pub fn symmetric(m: f32) -> Self {
+        InputRange { min: -m.abs(), max: m.abs() }
+    }
+
+    /// The lower bound.
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// The upper bound.
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+
+    /// The width `max - min`.
+    pub fn width(&self) -> f32 {
+        self.max - self.min
+    }
+
+    /// Validates the range for quantizer construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidRange`] when inverted, non-finite or of
+    /// zero width.
+    pub fn validated(self) -> Result<Self, QuantError> {
+        if !self.min.is_finite() || !self.max.is_finite() || self.max <= self.min {
+            return Err(QuantError::InvalidRange { min: self.min, max: self.max });
+        }
+        Ok(self)
+    }
+
+    /// Clamps a value into the range.
+    pub fn clamp(&self, v: f32) -> f32 {
+        v.clamp(self.min, self.max)
+    }
+}
+
+/// Accumulates the observed min/max over calibration inputs.
+///
+/// A fixed-size histogram is maintained alongside the extremes so
+/// [`RangeProfiler::percentile_range`] can clip outliers — one extreme
+/// calibration value would otherwise stretch the range and waste centroid
+/// resolution on values that never recur.
+#[derive(Debug, Clone, Default)]
+pub struct RangeProfiler {
+    min: Option<f32>,
+    max: Option<f32>,
+    samples: u64,
+    /// Coarse histogram over the running [min, max]; rebinned lazily at
+    /// query time from the stored raw reservoir.
+    reservoir: Vec<f32>,
+}
+
+/// Maximum reservoir size for percentile estimation.
+const RESERVOIR_CAP: usize = 4096;
+
+impl RangeProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one value.
+    pub fn observe(&mut self, v: f32) {
+        if !v.is_finite() {
+            return;
+        }
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        self.samples += 1;
+        // Deterministic systematic reservoir: keep every k-th sample once
+        // full, with k growing geometrically.
+        if self.reservoir.len() < RESERVOIR_CAP {
+            self.reservoir.push(v);
+        } else {
+            let stride = (self.samples / RESERVOIR_CAP as u64).max(1);
+            if self.samples.is_multiple_of(stride) {
+                let idx = (self.samples / stride) as usize % RESERVOIR_CAP;
+                self.reservoir[idx] = v;
+            }
+        }
+    }
+
+    /// Observes a whole slice.
+    pub fn observe_slice(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.observe(v);
+        }
+    }
+
+    /// Number of finite values observed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// An outlier-clipped range covering the central `fraction` of the
+    /// observed distribution (e.g. `0.999`), estimated from a deterministic
+    /// sample reservoir. Values outside the range saturate at the edge
+    /// centroids, trading rare large errors for finer resolution where the
+    /// mass is.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidRange`] when too little data was
+    /// observed or the clipped range is degenerate.
+    pub fn percentile_range(&self, fraction: f32) -> Result<InputRange, QuantError> {
+        if self.reservoir.len() < 8 {
+            return Err(QuantError::InvalidRange { min: f32::NAN, max: f32::NAN });
+        }
+        let mut sorted = self.reservoir.clone();
+        sorted.sort_by(f32::total_cmp);
+        let tail = ((1.0 - fraction.clamp(0.0, 1.0)) / 2.0 * sorted.len() as f32) as usize;
+        let lo = sorted[tail.min(sorted.len() - 1)];
+        let hi = sorted[(sorted.len() - 1 - tail).max(tail)];
+        InputRange::new(lo, hi).validated()
+    }
+
+    /// The profiled range, widened by `margin` (relative) on both sides so
+    /// the deployed quantizer tolerates mild distribution shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidRange`] when nothing (or only a single
+    /// constant value) was observed.
+    pub fn range(&self, margin: f32) -> Result<InputRange, QuantError> {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) if hi > lo => {
+                let pad = (hi - lo) * margin;
+                InputRange::new(lo - pad, hi + pad).validated()
+            }
+            (Some(lo), Some(hi)) => Err(QuantError::InvalidRange { min: lo, max: hi }),
+            _ => Err(QuantError::InvalidRange { min: f32::NAN, max: f32::NAN }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_tracks_extremes() {
+        let mut p = RangeProfiler::new();
+        p.observe_slice(&[0.5, -1.5, 2.0, 0.0]);
+        let r = p.range(0.0).unwrap();
+        assert_eq!((r.min(), r.max()), (-1.5, 2.0));
+        assert_eq!(p.samples(), 4);
+    }
+
+    #[test]
+    fn margin_widens_range() {
+        let mut p = RangeProfiler::new();
+        p.observe_slice(&[0.0, 1.0]);
+        let r = p.range(0.1).unwrap();
+        assert!((r.min() + 0.1).abs() < 1e-6);
+        assert!((r.max() - 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_profiler_errors() {
+        let p = RangeProfiler::new();
+        assert!(p.range(0.0).is_err());
+    }
+
+    #[test]
+    fn constant_input_errors() {
+        let mut p = RangeProfiler::new();
+        p.observe_slice(&[3.0, 3.0, 3.0]);
+        assert!(p.range(0.0).is_err());
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut p = RangeProfiler::new();
+        p.observe(f32::NAN);
+        p.observe(f32::INFINITY);
+        p.observe_slice(&[1.0, 2.0]);
+        assert_eq!(p.samples(), 2);
+        let r = p.range(0.0).unwrap();
+        assert_eq!((r.min(), r.max()), (1.0, 2.0));
+    }
+
+    #[test]
+    fn clamp_and_width() {
+        let r = InputRange::new(-1.0, 3.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.clamp(5.0), 3.0);
+        assert_eq!(r.clamp(-5.0), -1.0);
+        assert_eq!(r.clamp(0.5), 0.5);
+    }
+
+    #[test]
+    fn symmetric_takes_abs() {
+        let r = InputRange::symmetric(-2.0);
+        assert_eq!((r.min(), r.max()), (-2.0, 2.0));
+    }
+
+    #[test]
+    fn percentile_range_clips_outliers() {
+        let mut p = RangeProfiler::new();
+        // Tight distribution with two far outliers.
+        for i in 0..1000 {
+            p.observe((i % 100) as f32 / 100.0);
+        }
+        p.observe(50.0);
+        p.observe(-50.0);
+        let full = p.range(0.0).unwrap();
+        assert_eq!((full.min(), full.max()), (-50.0, 50.0));
+        let clipped = p.percentile_range(0.99).unwrap();
+        assert!(clipped.min() > -1.0, "clipped min {}", clipped.min());
+        assert!(clipped.max() < 2.0, "clipped max {}", clipped.max());
+    }
+
+    #[test]
+    fn percentile_range_needs_enough_samples() {
+        let mut p = RangeProfiler::new();
+        p.observe_slice(&[0.0, 1.0, 2.0]);
+        assert!(p.percentile_range(0.99).is_err());
+    }
+
+    #[test]
+    fn percentile_one_equals_extremes_for_small_sets() {
+        let mut p = RangeProfiler::new();
+        for i in 0..100 {
+            p.observe(i as f32);
+        }
+        let r = p.percentile_range(1.0).unwrap();
+        assert_eq!((r.min(), r.max()), (0.0, 99.0));
+    }
+
+    #[test]
+    fn inverted_range_invalid() {
+        assert!(InputRange::new(1.0, -1.0).validated().is_err());
+        assert!(InputRange::new(0.0, 0.0).validated().is_err());
+        assert!(InputRange::new(0.0, 1.0).validated().is_ok());
+    }
+}

@@ -1,0 +1,184 @@
+//! Configuration of the reuse scheme: which layers participate and with how
+//! many quantization clusters.
+//!
+//! The paper tunes this per network (Section III): quantization is applied
+//! selectively starting from the last layer, because early-layer errors
+//! propagate; 16 clusters suit Kaldi/EESEN, 32 suit C3D/AutoPilot; tiny
+//! output layers are excluded because they have nothing to save.
+
+use std::collections::HashMap;
+
+/// Per-layer reuse setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSetting {
+    /// Whether this layer participates in quantization + reuse.
+    pub enabled: bool,
+    /// Number of linear-quantization clusters for this layer's inputs.
+    pub clusters: usize,
+}
+
+/// Configuration of a [`crate::ReuseEngine`].
+#[derive(Debug, Clone)]
+pub struct ReuseConfig {
+    default_clusters: usize,
+    overrides: HashMap<String, LayerSetting>,
+    range_margin: f32,
+    calibration_executions: usize,
+    record_relative_difference: bool,
+    record_trace: bool,
+}
+
+impl ReuseConfig {
+    /// All weighted layers enabled with the same cluster count.
+    pub fn uniform(clusters: usize) -> Self {
+        ReuseConfig {
+            default_clusters: clusters,
+            overrides: HashMap::new(),
+            range_margin: 0.25,
+            calibration_executions: 1,
+            record_relative_difference: false,
+            record_trace: false,
+        }
+    }
+
+    /// Disables quantization + reuse for one layer (it runs from scratch in
+    /// full precision, like Kaldi FC1/FC2 or C3D CONV1 in the paper).
+    pub fn disable_layer(mut self, name: &str) -> Self {
+        let clusters = self.setting_for(name).clusters;
+        self.overrides.insert(name.to_string(), LayerSetting { enabled: false, clusters });
+        self
+    }
+
+    /// Overrides the cluster count for one layer.
+    pub fn layer_clusters(mut self, name: &str, clusters: usize) -> Self {
+        let enabled = self.setting_for(name).enabled;
+        self.overrides.insert(name.to_string(), LayerSetting { enabled, clusters });
+        self
+    }
+
+    /// Replaces the default cluster count while keeping every per-layer
+    /// override's enabled/disabled status (used by the cluster-count sweep
+    /// of paper Section III).
+    pub fn with_default_clusters(mut self, clusters: usize) -> Self {
+        self.default_clusters = clusters;
+        for setting in self.overrides.values_mut() {
+            setting.clusters = clusters;
+        }
+        self
+    }
+
+    /// Sets the relative widening of profiled input ranges (default 0.25).
+    pub fn range_margin(mut self, margin: f32) -> Self {
+        self.range_margin = margin;
+        self
+    }
+
+    /// Sets how many initial executions (or sequences, for recurrent
+    /// networks) run in full precision to profile input ranges (default 1,
+    /// minimum 1).
+    pub fn calibration_executions(mut self, n: usize) -> Self {
+        self.calibration_executions = n.max(1);
+        self
+    }
+
+    /// Enables recording of the Fig. 4 relative-difference series per layer.
+    pub fn record_relative_difference(mut self, on: bool) -> Self {
+        self.record_relative_difference = on;
+        self
+    }
+
+    /// Enables recording of per-execution activity traces (consumed by the
+    /// accelerator simulator).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// The effective setting for a layer.
+    pub fn setting_for(&self, name: &str) -> LayerSetting {
+        self.overrides
+            .get(name)
+            .copied()
+            .unwrap_or(LayerSetting { enabled: true, clusters: self.default_clusters })
+    }
+
+    /// The default cluster count.
+    pub fn default_clusters(&self) -> usize {
+        self.default_clusters
+    }
+
+    /// The profiled-range widening factor.
+    pub fn margin(&self) -> f32 {
+        self.range_margin
+    }
+
+    /// Number of full-precision calibration executions.
+    pub fn calibration(&self) -> usize {
+        self.calibration_executions
+    }
+
+    /// Whether Fig. 4 relative differences are recorded.
+    pub fn records_relative_difference(&self) -> bool {
+        self.record_relative_difference
+    }
+
+    /// Whether execution traces are recorded.
+    pub fn records_trace(&self) -> bool {
+        self.record_trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_defaults() {
+        let c = ReuseConfig::uniform(16);
+        let s = c.setting_for("anything");
+        assert!(s.enabled);
+        assert_eq!(s.clusters, 16);
+        assert_eq!(c.calibration(), 1);
+    }
+
+    #[test]
+    fn disable_layer_keeps_clusters() {
+        let c = ReuseConfig::uniform(32).disable_layer("conv1");
+        assert!(!c.setting_for("conv1").enabled);
+        assert_eq!(c.setting_for("conv1").clusters, 32);
+        assert!(c.setting_for("conv2").enabled);
+    }
+
+    #[test]
+    fn per_layer_clusters_preserved_across_disable_order() {
+        let c = ReuseConfig::uniform(16).layer_clusters("fc3", 32).disable_layer("fc3");
+        let s = c.setting_for("fc3");
+        assert!(!s.enabled);
+        assert_eq!(s.clusters, 32);
+    }
+
+    #[test]
+    fn with_default_clusters_keeps_disables() {
+        let c = ReuseConfig::uniform(16).disable_layer("fc1").with_default_clusters(32);
+        assert!(!c.setting_for("fc1").enabled);
+        assert_eq!(c.setting_for("fc1").clusters, 32);
+        assert_eq!(c.setting_for("fc9").clusters, 32);
+    }
+
+    #[test]
+    fn calibration_minimum_is_one() {
+        let c = ReuseConfig::uniform(16).calibration_executions(0);
+        assert_eq!(c.calibration(), 1);
+    }
+
+    #[test]
+    fn flags() {
+        let c = ReuseConfig::uniform(8)
+            .record_relative_difference(true)
+            .record_trace(true)
+            .range_margin(0.5);
+        assert!(c.records_relative_difference());
+        assert!(c.records_trace());
+        assert_eq!(c.margin(), 0.5);
+    }
+}

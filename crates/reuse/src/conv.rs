@@ -1,0 +1,546 @@
+//! Incremental convolution execution (paper Section IV-C).
+//!
+//! In a convolutional layer every input pixel/voxel feeds a bounded window
+//! of output neurons: `k×k` positions per output feature map (`k×k×k` for 3D
+//! convolution), for every filter. When an input's quantized index changes,
+//! the accelerator corrects exactly that fan-out (paper Fig. 8); when it is
+//! unchanged, the entire fan-out of computations and weight fetches is
+//! skipped.
+//!
+//! To keep the correction loop contiguous in memory, each state holds a
+//! transposed copy of the filter weights laid out input-major
+//! (`[in_c, k.., out_c]`) — the software analogue of the interleaved
+//! weights-buffer layout the paper uses for FC layers.
+
+use reuse_nn::{Conv2dLayer, Conv3dLayer};
+use reuse_quant::{LinearQuantizer, QuantCode};
+use reuse_tensor::{Shape, Tensor};
+
+use crate::ReuseError;
+
+/// Activity counters of one convolution execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvExecStats {
+    /// Inputs read.
+    pub n_inputs: u64,
+    /// Inputs whose index changed.
+    pub n_changed: u64,
+    /// MACs a from-scratch execution performs.
+    pub macs_total: u64,
+    /// MACs actually performed.
+    pub macs_performed: u64,
+    /// Whether this was the state-initializing from-scratch execution.
+    pub from_scratch: bool,
+}
+
+/// The output-position range `[lo, hi)` whose receptive field covers input
+/// coordinate `y`, for kernel size `k`, stride `s`, padding `p` and output
+/// extent `n`.
+fn affected_range(y: usize, k: usize, s: usize, p: usize, n: usize) -> (usize, usize) {
+    let y = y as isize + p as isize;
+    let k = k as isize;
+    let s = s as isize;
+    // oy*s <= y  and  oy*s + k - 1 >= y
+    let hi = y / s; // floor
+    let lo = (y - k + 1 + s - 1).div_euclid(s); // ceil((y-k+1)/s)
+    let lo = lo.max(0) as usize;
+    let hi = (hi.min(n as isize - 1) + 1).max(0) as usize;
+    (lo.min(n), hi.min(n))
+}
+
+/// Buffered state of one 2D convolutional layer between executions.
+#[derive(Debug, Clone)]
+pub struct Conv2dReuseState {
+    prev_codes: Vec<QuantCode>,
+    prev_linear: Vec<f32>,
+    /// Weights transposed to `[in_c, kh, kw, out_c]` for contiguous
+    /// correction updates.
+    w_t: Vec<f32>,
+    in_shape: Shape,
+    out_shape: Shape,
+    initialized: bool,
+}
+
+impl Conv2dReuseState {
+    /// Creates state for a layer processing inputs of shape `in_shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `in_shape` is incompatible with the layer.
+    pub fn new(layer: &Conv2dLayer, in_shape: &Shape) -> Result<Self, ReuseError> {
+        let d = in_shape.dims();
+        if d.len() != 3 || d[0] != layer.spec().in_channels {
+            return Err(ReuseError::InvalidConfig {
+                context: format!("conv2d state input shape {in_shape} incompatible"),
+            });
+        }
+        let spec = layer.spec();
+        let (oh, ow) = spec.output_hw(d[1], d[2])?;
+        let out_shape = Shape::d3(spec.out_channels, oh, ow);
+        // Transpose [f, c, ky, kx] -> [c, ky, kx, f].
+        let w = layer.weights().as_slice();
+        let (fc, cc, kh, kw) = (spec.out_channels, spec.in_channels, spec.kh, spec.kw);
+        let mut w_t = vec![0.0f32; w.len()];
+        for f in 0..fc {
+            for c in 0..cc {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let src = ((f * cc + c) * kh + ky) * kw + kx;
+                        let dst = ((c * kh + ky) * kw + kx) * fc + f;
+                        w_t[dst] = w[src];
+                    }
+                }
+            }
+        }
+        Ok(Conv2dReuseState {
+            prev_codes: Vec::new(),
+            prev_linear: Vec::new(),
+            w_t,
+            in_shape: in_shape.clone(),
+            out_shape,
+            initialized: false,
+        })
+    }
+
+    /// Whether the first (from-scratch) execution has happened.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Drops buffered state.
+    pub fn reset(&mut self) {
+        self.prev_codes.clear();
+        self.prev_linear.clear();
+        self.initialized = false;
+    }
+
+    /// Extra storage: one byte per input index plus four bytes per buffered
+    /// output (Table III accounting; for CNNs these live in main memory
+    /// between executions with one block staged on-chip).
+    pub fn storage_bytes(&self) -> u64 {
+        (self.in_shape.volume() + 4 * self.out_shape.volume()) as u64
+    }
+
+    /// Executes the layer, reusing buffered results where quantized inputs
+    /// are unchanged. Returns the linear (pre-activation) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when the input shape disagrees with the state.
+    pub fn execute(
+        &mut self,
+        layer: &Conv2dLayer,
+        quantizer: &LinearQuantizer,
+        input: &Tensor,
+    ) -> Result<(Tensor, ConvExecStats), ReuseError> {
+        if input.shape() != &self.in_shape {
+            return Err(ReuseError::InvalidConfig {
+                context: format!("conv2d input {} != state shape {}", input.shape(), self.in_shape),
+            });
+        }
+        let spec = *layer.spec();
+        let idims = self.in_shape.dims();
+        let (h, w) = (idims[1], idims[2]);
+        let odims = self.out_shape.dims();
+        let (fc, oh, ow) = (odims[0], odims[1], odims[2]);
+        let macs_total = spec.flops(h, w) / 2;
+        let n_in = self.in_shape.volume() as u64;
+
+        if !self.initialized {
+            self.prev_codes = quantizer.quantize_slice(input.as_slice());
+            let centroids: Vec<f32> =
+                self.prev_codes.iter().map(|&c| quantizer.centroid(c)).collect();
+            let qin = Tensor::from_vec(self.in_shape.clone(), centroids)?;
+            let linear = layer.forward_linear(&qin)?;
+            self.prev_linear = linear.as_slice().to_vec();
+            self.initialized = true;
+            let stats = ConvExecStats {
+                n_inputs: n_in,
+                n_changed: n_in,
+                macs_total,
+                macs_performed: macs_total,
+                from_scratch: true,
+            };
+            return Ok((linear, stats));
+        }
+
+        let x = input.as_slice();
+        let mut changed = 0u64;
+        let mut macs = 0u64;
+        let (kh, kw, s, p) = (spec.kh, spec.kw, spec.stride, spec.pad);
+        for c in 0..spec.in_channels {
+            for y in 0..h {
+                for xw in 0..w {
+                    let idx = (c * h + y) * w + xw;
+                    let code = quantizer.quantize(x[idx]);
+                    let prev = self.prev_codes[idx];
+                    if code == prev {
+                        continue;
+                    }
+                    changed += 1;
+                    self.prev_codes[idx] = code;
+                    let delta = quantizer.centroid(code) - quantizer.centroid(prev);
+                    let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
+                    let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
+                    for oy in oy_lo..oy_hi {
+                        let ky = y + p - oy * s;
+                        for ox in ox_lo..ox_hi {
+                            let kx = xw + p - ox * s;
+                            let wrow = &self.w_t[((c * kh + ky) * kw + kx) * fc..][..fc];
+                            let obase = oy * ow + ox;
+                            // Output layout is [f, oy, ox]; stride over f is oh*ow.
+                            for (f, &wv) in wrow.iter().enumerate() {
+                                self.prev_linear[f * oh * ow + obase] += delta * wv;
+                            }
+                            macs += fc as u64;
+                        }
+                    }
+                }
+            }
+        }
+        let out = Tensor::from_vec(self.out_shape.clone(), self.prev_linear.clone())?;
+        let stats = ConvExecStats {
+            n_inputs: n_in,
+            n_changed: changed,
+            macs_total,
+            macs_performed: macs,
+            from_scratch: false,
+        };
+        Ok((out, stats))
+    }
+}
+
+/// Buffered state of one 3D convolutional layer between executions.
+#[derive(Debug, Clone)]
+pub struct Conv3dReuseState {
+    prev_codes: Vec<QuantCode>,
+    prev_linear: Vec<f32>,
+    /// Weights transposed to `[in_c, kd, kh, kw, out_c]`.
+    w_t: Vec<f32>,
+    in_shape: Shape,
+    out_shape: Shape,
+    initialized: bool,
+}
+
+impl Conv3dReuseState {
+    /// Creates state for a layer processing inputs of shape `in_shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `in_shape` is incompatible with the layer.
+    pub fn new(layer: &Conv3dLayer, in_shape: &Shape) -> Result<Self, ReuseError> {
+        let d = in_shape.dims();
+        if d.len() != 4 || d[0] != layer.spec().in_channels {
+            return Err(ReuseError::InvalidConfig {
+                context: format!("conv3d state input shape {in_shape} incompatible"),
+            });
+        }
+        let spec = layer.spec();
+        let (od, oh, ow) = spec.output_dhw(d[1], d[2], d[3])?;
+        let out_shape = Shape::d4(spec.out_channels, od, oh, ow);
+        let w = layer.weights().as_slice();
+        let (fc, cc) = (spec.out_channels, spec.in_channels);
+        let (kd, kh, kw) = (spec.kd, spec.kh, spec.kw);
+        let mut w_t = vec![0.0f32; w.len()];
+        for f in 0..fc {
+            for c in 0..cc {
+                for kz in 0..kd {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let src = (((f * cc + c) * kd + kz) * kh + ky) * kw + kx;
+                            let dst = (((c * kd + kz) * kh + ky) * kw + kx) * fc + f;
+                            w_t[dst] = w[src];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Conv3dReuseState {
+            prev_codes: Vec::new(),
+            prev_linear: Vec::new(),
+            w_t,
+            in_shape: in_shape.clone(),
+            out_shape,
+            initialized: false,
+        })
+    }
+
+    /// Whether the first (from-scratch) execution has happened.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Drops buffered state.
+    pub fn reset(&mut self) {
+        self.prev_codes.clear();
+        self.prev_linear.clear();
+        self.initialized = false;
+    }
+
+    /// Extra storage bytes (indices + buffered outputs), as in Table III.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.in_shape.volume() + 4 * self.out_shape.volume()) as u64
+    }
+
+    /// Executes the layer, reusing buffered results where quantized inputs
+    /// are unchanged. Returns the linear (pre-activation) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when the input shape disagrees with the state.
+    pub fn execute(
+        &mut self,
+        layer: &Conv3dLayer,
+        quantizer: &LinearQuantizer,
+        input: &Tensor,
+    ) -> Result<(Tensor, ConvExecStats), ReuseError> {
+        if input.shape() != &self.in_shape {
+            return Err(ReuseError::InvalidConfig {
+                context: format!("conv3d input {} != state shape {}", input.shape(), self.in_shape),
+            });
+        }
+        let spec = *layer.spec();
+        let idims = self.in_shape.dims();
+        let (d, h, w) = (idims[1], idims[2], idims[3]);
+        let odims = self.out_shape.dims();
+        let (fc, od, oh, ow) = (odims[0], odims[1], odims[2], odims[3]);
+        let macs_total = spec.flops(d, h, w) / 2;
+        let n_in = self.in_shape.volume() as u64;
+
+        if !self.initialized {
+            self.prev_codes = quantizer.quantize_slice(input.as_slice());
+            let centroids: Vec<f32> =
+                self.prev_codes.iter().map(|&c| quantizer.centroid(c)).collect();
+            let qin = Tensor::from_vec(self.in_shape.clone(), centroids)?;
+            let linear = layer.forward_linear(&qin)?;
+            self.prev_linear = linear.as_slice().to_vec();
+            self.initialized = true;
+            let stats = ConvExecStats {
+                n_inputs: n_in,
+                n_changed: n_in,
+                macs_total,
+                macs_performed: macs_total,
+                from_scratch: true,
+            };
+            return Ok((linear, stats));
+        }
+
+        let x = input.as_slice();
+        let mut changed = 0u64;
+        let mut macs = 0u64;
+        let (kd, kh, kw, s, p) = (spec.kd, spec.kh, spec.kw, spec.stride, spec.pad);
+        let o_plane = oh * ow;
+        let o_vol = od * o_plane;
+        for c in 0..spec.in_channels {
+            for z in 0..d {
+                for y in 0..h {
+                    for xw in 0..w {
+                        let idx = ((c * d + z) * h + y) * w + xw;
+                        let code = quantizer.quantize(x[idx]);
+                        let prev = self.prev_codes[idx];
+                        if code == prev {
+                            continue;
+                        }
+                        changed += 1;
+                        self.prev_codes[idx] = code;
+                        let delta = quantizer.centroid(code) - quantizer.centroid(prev);
+                        let (oz_lo, oz_hi) = affected_range(z, kd, s, p, od);
+                        let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
+                        let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
+                        for oz in oz_lo..oz_hi {
+                            let kz = z + p - oz * s;
+                            for oy in oy_lo..oy_hi {
+                                let ky = y + p - oy * s;
+                                for ox in ox_lo..ox_hi {
+                                    let kx = xw + p - ox * s;
+                                    let wrow = &self.w_t
+                                        [(((c * kd + kz) * kh + ky) * kw + kx) * fc..][..fc];
+                                    let obase = (oz * oh + oy) * ow + ox;
+                                    for (f, &wv) in wrow.iter().enumerate() {
+                                        self.prev_linear[f * o_vol + obase] += delta * wv;
+                                    }
+                                    macs += fc as u64;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let out = Tensor::from_vec(self.out_shape.clone(), self.prev_linear.clone())?;
+        let stats = ConvExecStats {
+            n_inputs: n_in,
+            n_changed: changed,
+            macs_total,
+            macs_performed: macs,
+            from_scratch: false,
+        };
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuse_nn::{init::Rng64, Activation};
+    use reuse_quant::InputRange;
+    use reuse_tensor::conv::{Conv2dSpec, Conv3dSpec};
+
+    fn q() -> LinearQuantizer {
+        LinearQuantizer::new(InputRange::new(-1.0, 1.0), 32).unwrap()
+    }
+
+    fn layer2d(stride: usize, pad: usize) -> Conv2dLayer {
+        let spec =
+            Conv2dSpec { in_channels: 2, out_channels: 3, kh: 3, kw: 3, stride, pad };
+        Conv2dLayer::random(spec, Activation::Identity, &mut Rng64::new(21))
+    }
+
+    fn oracle2d(layer: &Conv2dLayer, q: &LinearQuantizer, input: &Tensor) -> Vec<f32> {
+        let centroids = q.quantized_values(input.as_slice());
+        let t = Tensor::from_vec(input.shape().clone(), centroids).unwrap();
+        layer.forward_linear(&t).unwrap().into_vec()
+    }
+
+    fn rand_input(shape: Shape, seed: u64) -> Tensor {
+        let mut rng = Rng64::new(seed);
+        Tensor::from_fn(shape, |_| rng.uniform(0.9))
+    }
+
+    #[test]
+    fn affected_range_stride1_interior() {
+        // k=3, s=1, p=0, n=6: input y=3 is covered by outputs 1,2,3.
+        assert_eq!(affected_range(3, 3, 1, 0, 6), (1, 4));
+        // Border input y=0 only covered by output 0.
+        assert_eq!(affected_range(0, 3, 1, 0, 6), (0, 1));
+    }
+
+    #[test]
+    fn affected_range_with_padding() {
+        // k=3, s=1, p=1, n=6 (same conv on a 6-long input):
+        // y=0 covered by outputs 0 and 1 (and the padded -1 position).
+        assert_eq!(affected_range(0, 3, 1, 1, 6), (0, 2));
+        assert_eq!(affected_range(5, 3, 1, 1, 6), (4, 6));
+    }
+
+    #[test]
+    fn affected_range_stride2() {
+        // k=5, s=2, p=0: input y=6 covered by oy with 2oy<=6<=2oy+4
+        // -> oy in {1,2,3}.
+        assert_eq!(affected_range(6, 5, 2, 0, 10), (1, 4));
+    }
+
+    #[test]
+    fn fanout_sums_to_total_macs_without_padding() {
+        // Without padding every from-scratch MAC corresponds to exactly one
+        // (input, output, filter) triple, so sum of fan-outs == total MACs.
+        let layer = layer2d(1, 0);
+        let in_shape = Shape::d3(2, 6, 6);
+        let mut state = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        let a = rand_input(in_shape.clone(), 1);
+        state.execute(&layer, &q(), &a).unwrap();
+        // Shift every input by three steps: every code changes, so the
+        // correction performs the full fan-out of every input.
+        let shift = 3.0 * q().step();
+        let b = reuse_tensor::ops::map(&a, |v| v + shift);
+        let (_, stats) = state.execute(&layer, &q(), &b).unwrap();
+        assert_eq!(stats.n_changed, stats.n_inputs);
+        assert_eq!(stats.macs_performed, stats.macs_total);
+    }
+
+    #[test]
+    fn incremental_matches_oracle_2d() {
+        for (stride, pad) in [(1usize, 0usize), (1, 1), (2, 0), (2, 1)] {
+            let layer = layer2d(stride, pad);
+            let in_shape = Shape::d3(2, 7, 7);
+            let mut state = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+            let a = rand_input(in_shape.clone(), 2);
+            let (out0, s0) = state.execute(&layer, &q(), &a).unwrap();
+            assert!(s0.from_scratch);
+            let expect0 = oracle2d(&layer, &q(), &a);
+            for (x, y) in out0.as_slice().iter().zip(expect0.iter()) {
+                assert!((x - y).abs() < 1e-4);
+            }
+            // Perturb a few pixels heavily.
+            let mut bdata = a.as_slice().to_vec();
+            bdata[5] = -bdata[5] + 0.3;
+            bdata[40] = 0.77;
+            bdata[90] = -0.9;
+            let b = Tensor::from_vec(in_shape.clone(), bdata).unwrap();
+            let (out1, s1) = state.execute(&layer, &q(), &b).unwrap();
+            assert!(!s1.from_scratch);
+            assert!(s1.n_changed >= 2, "stride {stride} pad {pad}");
+            assert!(s1.macs_performed < s1.macs_total);
+            let expect1 = oracle2d(&layer, &q(), &b);
+            for (x, y) in out1.as_slice().iter().zip(expect1.iter()) {
+                assert!((x - y).abs() < 1e-3, "stride {stride} pad {pad}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_input_is_free_2d() {
+        let layer = layer2d(1, 1);
+        let in_shape = Shape::d3(2, 5, 5);
+        let mut state = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        let a = rand_input(in_shape, 3);
+        let (o1, _) = state.execute(&layer, &q(), &a).unwrap();
+        let (o2, stats) = state.execute(&layer, &q(), &a).unwrap();
+        assert_eq!(stats.macs_performed, 0);
+        assert_eq!(stats.n_changed, 0);
+        assert_eq!(o1.as_slice(), o2.as_slice());
+    }
+
+    #[test]
+    fn incremental_matches_oracle_3d() {
+        let spec = Conv3dSpec {
+            in_channels: 2,
+            out_channels: 2,
+            kd: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let layer = Conv3dLayer::random(spec, Activation::Identity, &mut Rng64::new(5));
+        let in_shape = Shape::d4(2, 4, 5, 5);
+        let mut state = Conv3dReuseState::new(&layer, &in_shape).unwrap();
+        let a = rand_input(in_shape.clone(), 6);
+        state.execute(&layer, &q(), &a).unwrap();
+        let mut bdata = a.as_slice().to_vec();
+        bdata[17] = 0.9;
+        bdata[100] = -0.6;
+        let b = Tensor::from_vec(in_shape, bdata).unwrap();
+        let (out, stats) = state.execute(&layer, &q(), &b).unwrap();
+        assert!(stats.n_changed >= 1);
+        let centroids = q().quantized_values(b.as_slice());
+        let qb = Tensor::from_vec(b.shape().clone(), centroids).unwrap();
+        let expect = layer.forward_linear(&qb).unwrap();
+        for (x, y) in out.as_slice().iter().zip(expect.as_slice().iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn reset_and_storage() {
+        let layer = layer2d(1, 0);
+        let in_shape = Shape::d3(2, 6, 6);
+        let mut state = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        // out: 3 x 4 x 4.
+        assert_eq!(state.storage_bytes(), (2 * 36 + 4 * 3 * 16) as u64);
+        let a = rand_input(in_shape, 7);
+        state.execute(&layer, &q(), &a).unwrap();
+        assert!(state.is_initialized());
+        state.reset();
+        assert!(!state.is_initialized());
+    }
+
+    #[test]
+    fn wrong_shape_rejected() {
+        let layer = layer2d(1, 0);
+        let state = Conv2dReuseState::new(&layer, &Shape::d3(3, 6, 6));
+        assert!(state.is_err());
+        let mut ok = Conv2dReuseState::new(&layer, &Shape::d3(2, 6, 6)).unwrap();
+        assert!(ok.execute(&layer, &q(), &Tensor::zeros(Shape::d3(2, 5, 5))).is_err());
+    }
+}

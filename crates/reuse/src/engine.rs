@@ -1,0 +1,882 @@
+//! The reuse engine: runs a network over a temporal sequence, quantizing
+//! layer inputs, buffering per-layer state and reusing results across
+//! consecutive executions (paper Section IV).
+
+use reuse_nn::{Layer, LayerKind, Network};
+use reuse_quant::{LinearQuantizer, RangeProfiler};
+use reuse_tensor::Tensor;
+
+use crate::conv::{Conv2dReuseState, Conv3dReuseState, ConvExecStats};
+use crate::fc::{FcExecStats, FcReuseState};
+use crate::lstm::{LstmExecStats, LstmReuseState};
+use crate::metrics::{relative_difference, EngineMetrics, LayerMetrics};
+use crate::trace::{ExecutionTrace, LayerTrace, TraceKind};
+use crate::{LayerSetting, ReuseConfig, ReuseError};
+
+/// Buffered reuse machinery for one weighted layer.
+#[derive(Debug)]
+struct LayerSlot {
+    /// Index into the network's layer list.
+    layer_index: usize,
+    name: String,
+    kind: LayerKind,
+    setting: LayerSetting,
+    /// Set when the profiled range was degenerate and reuse was auto-disabled.
+    auto_disabled: bool,
+    profiler_x: RangeProfiler,
+    profiler_h: RangeProfiler,
+    quantizer_x: Option<LinearQuantizer>,
+    quantizer_h: Option<LinearQuantizer>,
+    state: SlotState,
+    /// Index into `EngineMetrics::layers`.
+    metrics_index: usize,
+    /// Previous raw input (for the Fig. 4 relative-difference series).
+    prev_raw_input: Option<Vec<f32>>,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Fc(FcReuseState),
+    Conv2d(Conv2dReuseState),
+    Conv3d(Conv3dReuseState),
+    Lstm(LstmReuseState),
+    BiLstm { fwd: LstmReuseState, bwd: LstmReuseState },
+}
+
+/// Normalized per-execution stats shared by all layer families.
+#[derive(Debug, Clone, Copy)]
+struct ExecStats {
+    n_inputs: u64,
+    n_changed: u64,
+    macs_total: u64,
+    macs_performed: u64,
+    from_scratch: bool,
+}
+
+impl From<FcExecStats> for ExecStats {
+    fn from(s: FcExecStats) -> Self {
+        ExecStats {
+            n_inputs: s.n_inputs,
+            n_changed: s.n_changed,
+            macs_total: s.macs_total,
+            macs_performed: s.macs_performed,
+            from_scratch: s.from_scratch,
+        }
+    }
+}
+
+impl From<ConvExecStats> for ExecStats {
+    fn from(s: ConvExecStats) -> Self {
+        ExecStats {
+            n_inputs: s.n_inputs,
+            n_changed: s.n_changed,
+            macs_total: s.macs_total,
+            macs_performed: s.macs_performed,
+            from_scratch: s.from_scratch,
+        }
+    }
+}
+
+impl From<LstmExecStats> for ExecStats {
+    fn from(s: LstmExecStats) -> Self {
+        ExecStats {
+            n_inputs: s.n_inputs,
+            n_changed: s.n_changed,
+            macs_total: s.macs_total,
+            macs_performed: s.macs_performed,
+            from_scratch: s.from_scratch,
+        }
+    }
+}
+
+impl ExecStats {
+    fn merge(self, other: ExecStats) -> ExecStats {
+        ExecStats {
+            n_inputs: self.n_inputs + other.n_inputs,
+            n_changed: self.n_changed + other.n_changed,
+            macs_total: self.macs_total + other.macs_total,
+            macs_performed: self.macs_performed + other.macs_performed,
+            from_scratch: self.from_scratch || other.from_scratch,
+        }
+    }
+
+    fn mode(&self, enabled: bool) -> TraceKind {
+        if !enabled {
+            TraceKind::ScratchFp32
+        } else if self.from_scratch {
+            TraceKind::ScratchQuantized
+        } else {
+            TraceKind::Incremental
+        }
+    }
+}
+
+/// Runs a [`Network`] over a temporal sequence with the paper's computation
+/// reuse scheme.
+///
+/// Lifecycle:
+///
+/// 1. The first `calibration_executions` executions (sequences, for
+///    recurrent networks) run in full precision while input ranges are
+///    profiled per layer — the paper's offline profiling pass.
+/// 2. The next execution builds the linear quantizers and runs from scratch
+///    on quantized inputs, initializing the buffered state (the paper's
+///    "first execution", Fig. 7).
+/// 3. Every further execution quantizes inputs, skips unchanged ones and
+///    corrects the buffered outputs (Eq. 10).
+///
+/// See the crate-level example for basic usage.
+#[derive(Debug)]
+pub struct ReuseEngine {
+    network: Network,
+    config: ReuseConfig,
+    /// Slot per weighted layer, ordered by layer index.
+    slots: Vec<LayerSlot>,
+    /// Map from layer index to slot position (usize::MAX = no slot).
+    slot_of_layer: Vec<usize>,
+    metrics: EngineMetrics,
+    traces: Vec<ExecutionTrace>,
+    calibrated: bool,
+    executions_seen: u64,
+    calibration_units_seen: u64,
+}
+
+impl ReuseEngine {
+    /// Creates an engine for a network (cloned) under a reuse configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a convolutional layer's state cannot be sized — impossible
+    /// for networks built through `NetworkBuilder`, whose shapes are
+    /// validated.
+    pub fn from_network(network: &Network, config: &ReuseConfig) -> Self {
+        let network = network.clone();
+        let mut slots = Vec::new();
+        let mut slot_of_layer = vec![usize::MAX; network.layers().len()];
+        let mut metrics = EngineMetrics::default();
+        for (i, ((name, layer), in_shape)) in
+            network.layers().iter().zip(network.layer_input_shapes().iter()).enumerate()
+        {
+            if !layer.has_weights() {
+                continue;
+            }
+            let setting = config.setting_for(name);
+            let state = match layer {
+                Layer::FullyConnected(fc) => SlotState::Fc(FcReuseState::new(fc)),
+                Layer::Conv2d(c) => SlotState::Conv2d(
+                    Conv2dReuseState::new(c, in_shape).expect("validated at network build"),
+                ),
+                Layer::Conv3d(c) => SlotState::Conv3d(
+                    Conv3dReuseState::new(c, in_shape).expect("validated at network build"),
+                ),
+                Layer::Lstm(cell) => SlotState::Lstm(LstmReuseState::new(cell)),
+                Layer::BiLstm(l) => SlotState::BiLstm {
+                    fwd: LstmReuseState::new(l.forward_cell()),
+                    bwd: LstmReuseState::new(l.backward_cell()),
+                },
+                _ => continue,
+            };
+            let metrics_index = metrics.layers.len();
+            metrics.layers.push(LayerMetrics::new(name));
+            slot_of_layer[i] = slots.len();
+            slots.push(LayerSlot {
+                layer_index: i,
+                name: name.clone(),
+                kind: layer.kind(),
+                setting,
+                auto_disabled: false,
+                profiler_x: RangeProfiler::new(),
+                profiler_h: RangeProfiler::new(),
+                quantizer_x: None,
+                quantizer_h: None,
+                state,
+                metrics_index,
+                prev_raw_input: None,
+            });
+        }
+        ReuseEngine {
+            network,
+            config: config.clone(),
+            slots,
+            slot_of_layer,
+            metrics,
+            traces: Vec::new(),
+            calibrated: false,
+            executions_seen: 0,
+            calibration_units_seen: 0,
+        }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Accumulated reuse metrics.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Total executions so far (calibration included; timesteps for
+    /// recurrent networks).
+    pub fn executions(&self) -> u64 {
+        self.executions_seen
+    }
+
+    /// Whether quantizers have been built (calibration finished).
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    /// Layers whose profiled range was degenerate, forcing full-precision
+    /// execution.
+    pub fn auto_disabled_layers(&self) -> Vec<String> {
+        self.slots.iter().filter(|s| s.auto_disabled).map(|s| s.name.clone()).collect()
+    }
+
+    /// Takes the recorded execution traces (empties the internal buffer).
+    pub fn take_traces(&mut self) -> Vec<ExecutionTrace> {
+        std::mem::take(&mut self.traces)
+    }
+
+    /// The quantizer used for a layer's (feed-forward) inputs, if built.
+    pub fn quantizer_for(&self, name: &str) -> Option<&LinearQuantizer> {
+        self.slots.iter().find(|s| s.name == name).and_then(|s| s.quantizer_x.as_ref())
+    }
+
+    /// The Fig. 4 relative-difference series recorded for a layer (requires
+    /// [`ReuseConfig::record_relative_difference`]).
+    pub fn layer_relative_differences(&self, name: &str) -> Option<&[f32]> {
+        let slot = self.slots.iter().find(|s| s.name == name)?;
+        Some(&self.metrics.layers[slot.metrics_index].relative_differences)
+    }
+
+    /// Extra I/O-buffer/main-memory bytes the reuse scheme needs: indices
+    /// plus buffered outputs for every enabled layer (Table III accounting).
+    pub fn reuse_storage_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for slot in self.slots.iter().filter(|s| self.slot_enabled(s)) {
+            let (_, layer) = &self.network.layers()[slot.layer_index];
+            total += match (&slot.state, layer) {
+                (SlotState::Fc(st), Layer::FullyConnected(fc)) => st.storage_bytes(fc),
+                (SlotState::Conv2d(st), _) => st.storage_bytes(),
+                (SlotState::Conv3d(st), _) => st.storage_bytes(),
+                (SlotState::Lstm(st), Layer::Lstm(cell)) => st.storage_bytes(cell),
+                (SlotState::BiLstm { fwd, bwd }, Layer::BiLstm(l)) => {
+                    fwd.storage_bytes(l.forward_cell()) + bwd.storage_bytes(l.backward_cell())
+                }
+                _ => 0,
+            };
+        }
+        total
+    }
+
+    /// Bytes of centroid tables stored in the control unit (paper reports
+    /// 1.25 KB for its configuration).
+    pub fn centroid_table_bytes(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| self.slot_enabled(s))
+            .map(|s| {
+                s.quantizer_x.map_or(0, |q| q.centroid_table_bytes() as u64)
+                    + s.quantizer_h.map_or(0, |q| q.centroid_table_bytes() as u64)
+            })
+            .sum()
+    }
+
+    /// Drops all buffered layer state; the next execution recomputes from
+    /// scratch. Models the accelerator being power-gated between sequences.
+    /// Quantizers and metrics are kept.
+    pub fn reset_state(&mut self) {
+        for slot in &mut self.slots {
+            let (_, layer) = &self.network.layers()[slot.layer_index];
+            match (&mut slot.state, layer) {
+                (SlotState::Fc(st), _) => st.reset(),
+                (SlotState::Conv2d(st), _) => st.reset(),
+                (SlotState::Conv3d(st), _) => st.reset(),
+                (SlotState::Lstm(st), Layer::Lstm(cell)) => st.reset(cell),
+                (SlotState::BiLstm { fwd, bwd }, Layer::BiLstm(l)) => {
+                    fwd.reset(l.forward_cell());
+                    bwd.reset(l.backward_cell());
+                }
+                _ => {}
+            }
+            slot.prev_raw_input = None;
+        }
+    }
+
+    /// Full-precision from-scratch output for the same frame — the accuracy
+    /// oracle used by the workloads' accuracy proxy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn reference_forward(&self, frame: &[f32]) -> Result<Tensor, ReuseError> {
+        Ok(self.network.forward_flat(frame)?)
+    }
+
+    fn slot_enabled(&self, slot: &LayerSlot) -> bool {
+        slot.setting.enabled && !slot.auto_disabled
+    }
+
+    /// Executes the network on one frame (feed-forward networks only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::WrongApi`] for recurrent networks; otherwise
+    /// propagates shape/quantizer errors.
+    pub fn execute(&mut self, frame: &[f32]) -> Result<Tensor, ReuseError> {
+        if self.network.is_recurrent() {
+            return Err(ReuseError::WrongApi {
+                context: "recurrent network: use execute_sequence".into(),
+            });
+        }
+        if !self.calibrated && self.calibration_units_seen < self.config.calibration() as u64 {
+            let out = self.calibration_execute(frame)?;
+            self.calibration_units_seen += 1;
+            return Ok(out);
+        }
+        if !self.calibrated {
+            self.build_quantizers();
+        }
+        self.reuse_execute(frame)
+    }
+
+    /// Executes a whole temporal sequence. For feed-forward networks the
+    /// frames are executed back-to-back (state carries across frames). For
+    /// recurrent networks the sequence is the paper's execution unit: each
+    /// layer runs over all timesteps before the next layer, with reuse
+    /// between consecutive timesteps, and all state resets at the start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::Nn`] on shape mismatches or an empty sequence.
+    pub fn execute_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
+        if frames.is_empty() {
+            return Err(ReuseError::Nn(reuse_nn::NnError::EmptySequence));
+        }
+        if !self.network.is_recurrent() {
+            return frames.iter().map(|f| self.execute(f)).collect();
+        }
+        if !self.calibrated && self.calibration_units_seen < self.config.calibration() as u64 {
+            let out = self.calibration_sequence(frames)?;
+            self.calibration_units_seen += 1;
+            return Ok(out);
+        }
+        if !self.calibrated {
+            self.build_quantizers();
+        }
+        self.reuse_sequence(frames)
+    }
+
+    // ---------------------------------------------------------------------
+    // Calibration phase
+    // ---------------------------------------------------------------------
+
+    fn calibration_execute(&mut self, frame: &[f32]) -> Result<Tensor, ReuseError> {
+        let input_shape = self.network.input_shape().clone();
+        if frame.len() != input_shape.volume() {
+            return Err(ReuseError::Nn(reuse_nn::NnError::InputShape {
+                expected: input_shape.volume(),
+                actual: frame.len(),
+            }));
+        }
+        let mut cur = Tensor::from_vec(input_shape, frame.to_vec())?;
+        let mut trace = ExecutionTrace::default();
+        for i in 0..self.network.layers().len() {
+            cur = self.reshape_to_layer(cur, i)?;
+            let slot_pos = self.slot_of_layer[i];
+            if slot_pos != usize::MAX {
+                let enabled = {
+                    let slot = &self.slots[slot_pos];
+                    self.slot_enabled(slot)
+                };
+                if enabled {
+                    self.slots[slot_pos].profiler_x.observe_slice(cur.as_slice());
+                }
+                if self.config.records_trace() {
+                    trace.layers.push(self.scratch_trace_entry(i, &cur));
+                }
+            }
+            cur = self.network.apply_layer(i, cur)?;
+        }
+        if self.config.records_trace() {
+            self.traces.push(trace);
+        }
+        self.executions_seen += 1;
+        self.metrics.executions += 1;
+        Ok(cur)
+    }
+
+    fn calibration_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
+        let input_shape = self.network.input_shape().clone();
+        let mut seq: Vec<Tensor> = frames
+            .iter()
+            .map(|f| Tensor::from_vec(input_shape.clone(), f.clone()).map_err(ReuseError::from))
+            .collect::<Result<_, _>>()?;
+        let n_layers = self.network.layers().len();
+        let mut traces: Vec<ExecutionTrace> = vec![ExecutionTrace::default(); frames.len()];
+        for i in 0..n_layers {
+            let slot_pos = self.slot_of_layer[i];
+            let is_recurrent_layer =
+                matches!(self.network.layers()[i].1, Layer::Lstm(_) | Layer::BiLstm(_));
+            if slot_pos != usize::MAX {
+                let enabled = self.slot_enabled(&self.slots[slot_pos]);
+                if enabled {
+                    for t in &seq {
+                        self.slots[slot_pos].profiler_x.observe_slice(t.as_slice());
+                    }
+                }
+                if self.config.records_trace() {
+                    for (t, frame) in seq.iter().enumerate() {
+                        traces[t].layers.push(self.scratch_trace_entry(i, frame));
+                    }
+                }
+            }
+            if let Layer::Lstm(cell) = &self.network.layers()[i].1 {
+                // Unidirectional cell: step manually so the recurrent
+                // inputs (h) can be profiled too.
+                let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
+                let mut h_values: Vec<f32> = Vec::new();
+                let mut state = reuse_nn::LstmState::zeros(cell.cell_dim());
+                let mut out = Vec::with_capacity(xs.len());
+                for x in &xs {
+                    h_values.extend_from_slice(&state.h);
+                    state = cell.step(x, &state)?;
+                    out.push(state.h.clone());
+                }
+                if slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]) {
+                    self.slots[slot_pos].profiler_h.observe_slice(&h_values);
+                }
+                seq = out
+                    .into_iter()
+                    .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
+                    .collect::<Result<_, _>>()?;
+            } else if is_recurrent_layer {
+                // Step the cells manually so the recurrent inputs (h) can be
+                // profiled too.
+                let Layer::BiLstm(layer) = &self.network.layers()[i].1 else { unreachable!() };
+                let d = layer.cell_dim();
+                let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
+                let mut out = vec![vec![0.0f32; 2 * d]; xs.len()];
+                let mut h_values: Vec<f32> = Vec::new();
+                let mut state = reuse_nn::LstmState::zeros(d);
+                for (t, x) in xs.iter().enumerate() {
+                    h_values.extend_from_slice(&state.h);
+                    state = layer.forward_cell().step(x, &state)?;
+                    out[t][..d].copy_from_slice(&state.h);
+                }
+                let mut state = reuse_nn::LstmState::zeros(d);
+                for (t, x) in xs.iter().enumerate().rev() {
+                    h_values.extend_from_slice(&state.h);
+                    state = layer.backward_cell().step(x, &state)?;
+                    out[t][d..].copy_from_slice(&state.h);
+                }
+                if slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]) {
+                    self.slots[slot_pos].profiler_h.observe_slice(&h_values);
+                }
+                seq = out
+                    .into_iter()
+                    .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
+                    .collect::<Result<_, _>>()?;
+            } else {
+                seq = seq
+                    .into_iter()
+                    .map(|t| -> Result<Tensor, ReuseError> {
+                        let t = self.reshape_to_layer(t, i)?;
+                        Ok(self.network.apply_layer(i, t)?)
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+        }
+        if self.config.records_trace() {
+            self.traces.extend(traces);
+        }
+        self.executions_seen += frames.len() as u64;
+        self.metrics.executions += frames.len() as u64;
+        Ok(seq)
+    }
+
+    fn scratch_trace_entry(&self, layer_index: usize, input: &Tensor) -> LayerTrace {
+        let (name, layer) = &self.network.layers()[layer_index];
+        let in_shape = &self.network.layer_input_shapes()[layer_index];
+        let out_shape = layer.output_shape(in_shape).expect("validated at build");
+        let macs = layer.flops(in_shape) / 2;
+        LayerTrace {
+            name: name.clone(),
+            kind: layer.kind(),
+            mode: TraceKind::ScratchFp32,
+            n_inputs: input.len() as u64,
+            n_changed: input.len() as u64,
+            n_outputs: out_shape.volume() as u64,
+            n_params: layer.param_count(),
+            macs_total: macs,
+            macs_performed: macs,
+        }
+    }
+
+    fn build_quantizers(&mut self) {
+        let margin = self.config.margin();
+        for slot in &mut self.slots {
+            if !slot.setting.enabled {
+                continue;
+            }
+            match slot.profiler_x.range(margin) {
+                Ok(range) => match LinearQuantizer::new(range, slot.setting.clusters) {
+                    Ok(q) => slot.quantizer_x = Some(q),
+                    Err(_) => slot.auto_disabled = true,
+                },
+                Err(_) => slot.auto_disabled = true,
+            }
+            if matches!(slot.state, SlotState::Lstm(_) | SlotState::BiLstm { .. })
+                && !slot.auto_disabled
+            {
+                match slot.profiler_h.range(margin) {
+                    Ok(range) => match LinearQuantizer::new(range, slot.setting.clusters) {
+                        Ok(q) => slot.quantizer_h = Some(q),
+                        Err(_) => slot.auto_disabled = true,
+                    },
+                    Err(_) => slot.auto_disabled = true,
+                }
+            }
+        }
+        self.calibrated = true;
+    }
+
+    // ---------------------------------------------------------------------
+    // Reuse phase
+    // ---------------------------------------------------------------------
+
+    fn reshape_to_layer(&self, cur: Tensor, layer_index: usize) -> Result<Tensor, ReuseError> {
+        let expected = &self.network.layer_input_shapes()[layer_index];
+        if cur.shape() == expected {
+            Ok(cur)
+        } else {
+            Ok(cur.reshape(expected.clone())?)
+        }
+    }
+
+    fn record_layer_execution(
+        &mut self,
+        slot_pos: usize,
+        raw_input: Option<&[f32]>,
+        stats: ExecStats,
+        n_outputs: u64,
+        trace: Option<&mut ExecutionTrace>,
+    ) {
+        let record_rd = self.config.records_relative_difference();
+        let slot = &mut self.slots[slot_pos];
+        let m = &mut self.metrics.layers[slot.metrics_index];
+        if !stats.from_scratch {
+            m.record(stats.n_inputs, stats.n_inputs - stats.n_changed, stats.macs_total, stats.macs_performed);
+        }
+        if record_rd {
+            if let Some(raw) = raw_input {
+                if let Some(prev) = &slot.prev_raw_input {
+                    if prev.len() == raw.len() {
+                        m.relative_differences.push(relative_difference(prev, raw));
+                    }
+                }
+                slot.prev_raw_input = Some(raw.to_vec());
+            }
+        }
+        if let Some(trace) = trace {
+            let n_params = self.network.layers()[slot.layer_index].1.param_count();
+            trace.layers.push(LayerTrace {
+                name: slot.name.clone(),
+                kind: slot.kind,
+                mode: stats.mode(true),
+                n_inputs: stats.n_inputs,
+                n_changed: stats.n_changed,
+                n_outputs,
+                n_params,
+                macs_total: stats.macs_total,
+                macs_performed: stats.macs_performed,
+            });
+        }
+    }
+
+    fn reuse_execute(&mut self, frame: &[f32]) -> Result<Tensor, ReuseError> {
+        let input_shape = self.network.input_shape().clone();
+        if frame.len() != input_shape.volume() {
+            return Err(ReuseError::Nn(reuse_nn::NnError::InputShape {
+                expected: input_shape.volume(),
+                actual: frame.len(),
+            }));
+        }
+        let mut cur = Tensor::from_vec(input_shape, frame.to_vec())?;
+        let mut trace =
+            if self.config.records_trace() { Some(ExecutionTrace::default()) } else { None };
+        let n_layers = self.network.layers().len();
+        for i in 0..n_layers {
+            cur = self.reshape_to_layer(cur, i)?;
+            let slot_pos = self.slot_of_layer[i];
+            let run_reuse = slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]);
+            if run_reuse {
+                let raw_input = cur.as_slice().to_vec();
+                // Execute through the slot state. Clone the network's layer
+                // reference data we need via pattern matching; states hold
+                // everything else.
+                let (out, stats): (Tensor, ExecStats) = {
+                    let network = &self.network;
+                    let slot = &mut self.slots[slot_pos];
+                    let q = slot.quantizer_x.as_ref().expect("enabled slot has quantizer");
+                    match (&mut slot.state, &network.layers()[i].1) {
+                        (SlotState::Fc(st), Layer::FullyConnected(fc)) => {
+                            let (lin, s) = st.execute(fc, q, cur.as_slice())?;
+                            (fc.activation().apply(&lin), s.into())
+                        }
+                        (SlotState::Conv2d(st), Layer::Conv2d(c)) => {
+                            let (lin, s) = st.execute(c, q, &cur)?;
+                            (c.activation().apply(&lin), s.into())
+                        }
+                        (SlotState::Conv3d(st), Layer::Conv3d(c)) => {
+                            let (lin, s) = st.execute(c, q, &cur)?;
+                            (c.activation().apply(&lin), s.into())
+                        }
+                        _ => unreachable!("slot state matches layer kind by construction"),
+                    }
+                };
+                let n_outputs = out.len() as u64;
+                self.record_layer_execution(
+                    slot_pos,
+                    Some(&raw_input),
+                    stats,
+                    n_outputs,
+                    trace.as_mut(),
+                );
+                cur = out;
+            } else {
+                if let Some(trace) = trace.as_mut() {
+                    if slot_pos != usize::MAX {
+                        trace.layers.push(self.scratch_trace_entry(i, &cur));
+                    }
+                }
+                cur = self.network.apply_layer(i, cur)?;
+            }
+        }
+        if let Some(trace) = trace {
+            self.traces.push(trace);
+        }
+        self.executions_seen += 1;
+        self.metrics.executions += 1;
+        Ok(cur)
+    }
+
+    fn reuse_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
+        // Paper Section IV-D: the accelerator is power-gated between
+        // sequences, so all buffered state starts fresh.
+        self.reset_state();
+        let input_shape = self.network.input_shape().clone();
+        let mut seq: Vec<Tensor> = frames
+            .iter()
+            .map(|f| Tensor::from_vec(input_shape.clone(), f.clone()).map_err(ReuseError::from))
+            .collect::<Result<_, _>>()?;
+        let n_layers = self.network.layers().len();
+        let record_trace = self.config.records_trace();
+        let mut traces: Vec<ExecutionTrace> = vec![ExecutionTrace::default(); frames.len()];
+        for i in 0..n_layers {
+            let slot_pos = self.slot_of_layer[i];
+            let run_reuse = slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]);
+            let is_recurrent_layer =
+                matches!(self.network.layers()[i].1, Layer::Lstm(_) | Layer::BiLstm(_));
+            if is_recurrent_layer && run_reuse {
+                if matches!(self.network.layers()[i].1, Layer::Lstm(_)) {
+                    seq = self.reuse_lstm_layer(i, slot_pos, seq, &mut traces)?;
+                } else {
+                    seq = self.reuse_bilstm_layer(i, slot_pos, seq, &mut traces)?;
+                }
+            } else if is_recurrent_layer {
+                // Disabled recurrent layer: full-precision sequence pass.
+                let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
+                if record_trace {
+                    for (t, frame) in seq.iter().enumerate() {
+                        traces[t].layers.push(self.scratch_trace_entry(i, frame));
+                    }
+                }
+                let out = match &self.network.layers()[i].1 {
+                    Layer::Lstm(cell) => cell.forward_sequence(&xs)?,
+                    Layer::BiLstm(layer) => layer.forward_sequence(&xs)?,
+                    _ => unreachable!(),
+                };
+                seq = out
+                    .into_iter()
+                    .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
+                    .collect::<Result<_, _>>()?;
+            } else if run_reuse {
+                // Weighted frame-wise layer inside a recurrent network
+                // (e.g. an FC output layer): consecutive timesteps are
+                // consecutive executions.
+                let mut out_seq = Vec::with_capacity(seq.len());
+                for (t, frame) in seq.iter().enumerate() {
+                    let frame = self.reshape_to_layer(frame.clone(), i)?;
+                    let raw = frame.as_slice().to_vec();
+                    let (out, stats): (Tensor, ExecStats) = {
+                        let network = &self.network;
+                        let slot = &mut self.slots[slot_pos];
+                        let q = slot.quantizer_x.as_ref().expect("enabled slot has quantizer");
+                        match (&mut slot.state, &network.layers()[i].1) {
+                            (SlotState::Fc(st), Layer::FullyConnected(fc)) => {
+                                let (lin, s) = st.execute(fc, q, frame.as_slice())?;
+                                (fc.activation().apply(&lin), s.into())
+                            }
+                            _ => unreachable!("recurrent nets only contain FC and BiLSTM weighted layers"),
+                        }
+                    };
+                    let n_outputs = out.len() as u64;
+                    let trace_ref = if record_trace { Some(&mut traces[t]) } else { None };
+                    self.record_layer_execution(slot_pos, Some(&raw), stats, n_outputs, trace_ref);
+                    out_seq.push(out);
+                }
+                seq = out_seq;
+            } else {
+                if record_trace {
+                    for (t, frame) in seq.iter().enumerate() {
+                        if slot_pos != usize::MAX {
+                            traces[t].layers.push(self.scratch_trace_entry(i, frame));
+                        }
+                    }
+                }
+                seq = seq
+                    .into_iter()
+                    .map(|t| -> Result<Tensor, ReuseError> {
+                        let t = self.reshape_to_layer(t, i)?;
+                        Ok(self.network.apply_layer(i, t)?)
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+        }
+        if record_trace {
+            self.traces.extend(traces);
+        }
+        self.executions_seen += frames.len() as u64;
+        self.metrics.executions += frames.len() as u64;
+        Ok(seq)
+    }
+
+    /// Runs one unidirectional LSTM layer over the sequence with reuse
+    /// between consecutive timesteps.
+    fn reuse_lstm_layer(
+        &mut self,
+        layer_index: usize,
+        slot_pos: usize,
+        seq: Vec<Tensor>,
+        traces: &mut [ExecutionTrace],
+    ) -> Result<Vec<Tensor>, ReuseError> {
+        let record_trace = self.config.records_trace();
+        let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
+        let (out, stats) = {
+            let network = &self.network;
+            let Layer::Lstm(cell) = &network.layers()[layer_index].1 else { unreachable!() };
+            let slot = &mut self.slots[slot_pos];
+            let qx = slot.quantizer_x.expect("enabled lstm has x quantizer");
+            let qh = slot.quantizer_h.expect("enabled lstm has h quantizer");
+            let SlotState::Lstm(state) = &mut slot.state else { unreachable!() };
+            let mut out = Vec::with_capacity(xs.len());
+            let mut stats: Vec<ExecStats> = Vec::with_capacity(xs.len());
+            for x in &xs {
+                let (h, s) = state.step(cell, &qx, &qh, x)?;
+                out.push(h);
+                stats.push(s.into());
+            }
+            (out, stats)
+        };
+        for (t, s) in stats.into_iter().enumerate() {
+            let trace_ref = if record_trace { Some(&mut traces[t]) } else { None };
+            let n_outputs = out[t].len() as u64;
+            let raw = xs[t].clone();
+            self.record_layer_execution(slot_pos, Some(&raw), s, n_outputs, trace_ref);
+        }
+        out.into_iter()
+            .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
+            .collect()
+    }
+
+    /// Runs one BiLSTM layer over the sequence with per-direction reuse.
+    fn reuse_bilstm_layer(
+        &mut self,
+        layer_index: usize,
+        slot_pos: usize,
+        seq: Vec<Tensor>,
+        traces: &mut [ExecutionTrace],
+    ) -> Result<Vec<Tensor>, ReuseError> {
+        let record_trace = self.config.records_trace();
+        let n = seq.len();
+        let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
+        let (out, fwd_stats, bwd_stats) = {
+            let network = &self.network;
+            let Layer::BiLstm(layer) = &network.layers()[layer_index].1 else { unreachable!() };
+            let d = layer.cell_dim();
+            let slot = &mut self.slots[slot_pos];
+            let qx = slot.quantizer_x.expect("enabled bilstm has x quantizer");
+            let qh = slot.quantizer_h.expect("enabled bilstm has h quantizer");
+            let SlotState::BiLstm { fwd, bwd } = &mut slot.state else { unreachable!() };
+            let mut out = vec![vec![0.0f32; 2 * d]; n];
+            let mut fwd_stats: Vec<ExecStats> = Vec::with_capacity(n);
+            let mut bwd_stats: Vec<Option<ExecStats>> = vec![None; n];
+            for (t, x) in xs.iter().enumerate() {
+                let (h, s) = fwd.step(layer.forward_cell(), &qx, &qh, x)?;
+                out[t][..d].copy_from_slice(&h);
+                fwd_stats.push(s.into());
+            }
+            for (t, x) in xs.iter().enumerate().rev() {
+                let (h, s) = bwd.step(layer.backward_cell(), &qx, &qh, x)?;
+                out[t][d..].copy_from_slice(&h);
+                bwd_stats[t] = Some(s.into());
+            }
+            (out, fwd_stats, bwd_stats)
+        };
+        // Record metrics and traces per timestep, merging the two directions.
+        for t in 0..n {
+            let merged = fwd_stats[t].merge(bwd_stats[t].expect("filled for every t"));
+            let raw = xs[t].clone();
+            let trace_ref = if record_trace { Some(&mut traces[t]) } else { None };
+            let n_outputs = out[t].len() as u64;
+            self.record_layer_execution(slot_pos, Some(&raw), merged, n_outputs, trace_ref);
+        }
+        out.into_iter()
+            .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
+            .collect()
+    }
+}
+
+// Engine-level behaviour is exercised by the integration tests in
+// `crates/reuse/tests/engine.rs`; unit tests here cover the private pieces.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuse_nn::{Activation, NetworkBuilder};
+    use reuse_tensor::Shape;
+
+    #[test]
+    fn slots_cover_only_weighted_layers() {
+        let net = NetworkBuilder::with_input_shape("cnn", Shape::d3(1, 6, 6))
+            .conv2d(2, 3, 1, 1, Activation::Relu)
+            .pool2d(2)
+            .flatten()
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap();
+        let engine = ReuseEngine::from_network(&net, &ReuseConfig::uniform(16));
+        assert_eq!(engine.slots.len(), 2);
+        assert_eq!(engine.metrics().layers.len(), 2);
+        assert_eq!(engine.slot_of_layer[0], 0);
+        assert_eq!(engine.slot_of_layer[1], usize::MAX);
+        assert_eq!(engine.slot_of_layer[3], 1);
+    }
+
+    #[test]
+    fn exec_stats_merge_adds_counts() {
+        let a = ExecStats { n_inputs: 10, n_changed: 2, macs_total: 100, macs_performed: 20, from_scratch: false };
+        let b = ExecStats { n_inputs: 5, n_changed: 5, macs_total: 50, macs_performed: 50, from_scratch: true };
+        let m = a.merge(b);
+        assert_eq!(m.n_inputs, 15);
+        assert_eq!(m.n_changed, 7);
+        assert_eq!(m.macs_total, 150);
+        assert_eq!(m.macs_performed, 70);
+        assert!(m.from_scratch);
+        assert_eq!(m.mode(true), TraceKind::ScratchQuantized);
+        assert_eq!(a.mode(true), TraceKind::Incremental);
+        assert_eq!(a.mode(false), TraceKind::ScratchFp32);
+    }
+}

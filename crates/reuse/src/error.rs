@@ -1,0 +1,91 @@
+use std::fmt;
+
+use reuse_nn::NnError;
+use reuse_quant::QuantError;
+use reuse_tensor::TensorError;
+
+/// Errors produced by the reuse engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReuseError {
+    /// An error from the DNN substrate.
+    Nn(NnError),
+    /// An error from quantizer construction (usually a degenerate profiled
+    /// range — calibrate with more varied data).
+    Quant(QuantError),
+    /// A tensor-level error.
+    Tensor(TensorError),
+    /// The engine was used with the wrong execution API for its network.
+    WrongApi {
+        /// Description of the misuse.
+        context: String,
+    },
+    /// The engine configuration is inconsistent.
+    InvalidConfig {
+        /// Description of the inconsistency.
+        context: String,
+    },
+}
+
+impl fmt::Display for ReuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReuseError::Nn(e) => write!(f, "network error: {e}"),
+            ReuseError::Quant(e) => write!(f, "quantization error: {e}"),
+            ReuseError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ReuseError::WrongApi { context } => write!(f, "wrong execution api: {context}"),
+            ReuseError::InvalidConfig { context } => write!(f, "invalid reuse configuration: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for ReuseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReuseError::Nn(e) => Some(e),
+            ReuseError::Quant(e) => Some(e),
+            ReuseError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ReuseError {
+    fn from(e: NnError) -> Self {
+        ReuseError::Nn(e)
+    }
+}
+
+impl From<QuantError> for ReuseError {
+    fn from(e: QuantError) -> Self {
+        ReuseError::Quant(e)
+    }
+}
+
+impl From<TensorError> for ReuseError {
+    fn from(e: TensorError) -> Self {
+        ReuseError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        use std::error::Error;
+        let e: ReuseError = NnError::EmptySequence.into();
+        assert!(e.source().is_some());
+        let e: ReuseError = QuantError::TooFewClusters { clusters: 0 }.into();
+        assert!(e.to_string().contains("quantization"));
+        let e: ReuseError = TensorError::EmptyShape.into();
+        assert!(e.to_string().contains("tensor"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<ReuseError>();
+    }
+}

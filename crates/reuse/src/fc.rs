@@ -1,0 +1,265 @@
+//! Incremental fully-connected execution (paper Section IV-B, Eq. 10).
+//!
+//! The state buffers the layer's quantized input indices and its linear
+//! (pre-activation) outputs from the previous execution — the two extra
+//! I/O-buffer areas of paper Fig. 7. Each new execution quantizes the
+//! current inputs, skips every input whose index is unchanged, and corrects
+//! the buffered outputs for the rest:
+//!
+//! ```text
+//! z'ₒ = zₒ + Σᵢ (c'ᵢ − cᵢ) · wᵢₒ        over changed inputs i only
+//! ```
+
+use reuse_nn::FullyConnected;
+use reuse_quant::{LinearQuantizer, QuantCode};
+use reuse_tensor::{Shape, Tensor};
+
+use crate::ReuseError;
+
+/// Buffered state of one FC layer between executions.
+#[derive(Debug, Clone)]
+pub struct FcReuseState {
+    /// Quantized input indices of the previous execution.
+    prev_codes: Vec<QuantCode>,
+    /// Linear (pre-activation) outputs of the previous execution.
+    prev_linear: Vec<f32>,
+    initialized: bool,
+}
+
+/// Activity counters of one FC execution, fed into metrics and traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FcExecStats {
+    /// Inputs read.
+    pub n_inputs: u64,
+    /// Inputs whose index changed (== `n_inputs` on the first execution).
+    pub n_changed: u64,
+    /// MACs a from-scratch execution performs.
+    pub macs_total: u64,
+    /// MACs actually performed.
+    pub macs_performed: u64,
+    /// Whether this was the state-initializing from-scratch execution.
+    pub from_scratch: bool,
+}
+
+impl FcReuseState {
+    /// Creates empty (uninitialized) state for a layer.
+    pub fn new(layer: &FullyConnected) -> Self {
+        FcReuseState {
+            prev_codes: Vec::with_capacity(layer.n_in()),
+            prev_linear: Vec::with_capacity(layer.n_out()),
+            initialized: false,
+        }
+    }
+
+    /// Whether the first (from-scratch) execution has happened.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Drops the buffered state; the next execution recomputes from scratch
+    /// (the paper's accelerator does this when power-gated between
+    /// sequences).
+    pub fn reset(&mut self) {
+        self.prev_codes.clear();
+        self.prev_linear.clear();
+        self.initialized = false;
+    }
+
+    /// Extra I/O-buffer bytes this state occupies: one byte per input index
+    /// plus four bytes per buffered output (paper Table III accounting).
+    pub fn storage_bytes(&self, layer: &FullyConnected) -> u64 {
+        (layer.n_in() + 4 * layer.n_out()) as u64
+    }
+
+    /// Executes the layer on `input`, reusing the previous execution's
+    /// results where the quantized inputs are unchanged. Returns the linear
+    /// (pre-activation) output; the caller applies the activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `input` has the wrong length.
+    pub fn execute(
+        &mut self,
+        layer: &FullyConnected,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+    ) -> Result<(Tensor, FcExecStats), ReuseError> {
+        let n_in = layer.n_in();
+        let n_out = layer.n_out();
+        if input.len() != n_in {
+            return Err(ReuseError::Nn(reuse_nn::NnError::InputShape {
+                expected: n_in,
+                actual: input.len(),
+            }));
+        }
+        let macs_total = (n_in * n_out) as u64;
+        if !self.initialized {
+            // First execution: quantize every input, compute from scratch on
+            // the centroids, buffer indices and linear outputs (paper
+            // Fig. 7, "first execution").
+            self.prev_codes = quantizer.quantize_slice(input);
+            let centroids: Vec<f32> =
+                self.prev_codes.iter().map(|&c| quantizer.centroid(c)).collect();
+            let qin = Tensor::from_vec(Shape::d1(n_in), centroids)?;
+            let linear = layer.forward_linear(&qin)?;
+            self.prev_linear = linear.as_slice().to_vec();
+            self.initialized = true;
+            let stats = FcExecStats {
+                n_inputs: n_in as u64,
+                n_changed: n_in as u64,
+                macs_total,
+                macs_performed: macs_total,
+                from_scratch: true,
+            };
+            return Ok((linear, stats));
+        }
+
+        let w = layer.weights().as_slice();
+        let mut changed = 0u64;
+        for (i, &x) in input.iter().enumerate() {
+            let code = quantizer.quantize(x);
+            let prev = self.prev_codes[i];
+            if code == prev {
+                continue;
+            }
+            changed += 1;
+            self.prev_codes[i] = code;
+            let delta = quantizer.centroid(code) - quantizer.centroid(prev);
+            let row = &w[i * n_out..(i + 1) * n_out];
+            for (z, &wij) in self.prev_linear.iter_mut().zip(row.iter()) {
+                *z += delta * wij;
+            }
+        }
+        let out = Tensor::from_vec(Shape::d1(n_out), self.prev_linear.clone())?;
+        let stats = FcExecStats {
+            n_inputs: n_in as u64,
+            n_changed: changed,
+            macs_total,
+            macs_performed: changed * n_out as u64,
+            from_scratch: false,
+        };
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuse_nn::{init::Rng64, Activation};
+    use reuse_quant::InputRange;
+
+    fn setup() -> (FullyConnected, LinearQuantizer) {
+        let layer = FullyConnected::random(6, 4, Activation::Identity, &mut Rng64::new(3));
+        let q = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        (layer, q)
+    }
+
+    /// From-scratch execution on quantized inputs, the correctness oracle.
+    fn oracle(layer: &FullyConnected, q: &LinearQuantizer, input: &[f32]) -> Vec<f32> {
+        let centroids = q.quantized_values(input);
+        let t = Tensor::from_slice_1d(&centroids).unwrap();
+        layer.forward_linear(&t).unwrap().into_vec()
+    }
+
+    #[test]
+    fn first_execution_matches_oracle_and_counts_all() {
+        let (layer, q) = setup();
+        let mut state = FcReuseState::new(&layer);
+        let input = [0.3f32, -0.5, 0.9, 0.0, 0.1, -0.99];
+        let (out, stats) = state.execute(&layer, &q, &input).unwrap();
+        assert!(stats.from_scratch);
+        assert_eq!(stats.n_changed, 6);
+        assert_eq!(stats.macs_performed, 24);
+        let expect = oracle(&layer, &q, &input);
+        for (a, b) in out.as_slice().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn identical_input_skips_everything() {
+        let (layer, q) = setup();
+        let mut state = FcReuseState::new(&layer);
+        let input = [0.3f32, -0.5, 0.9, 0.0, 0.1, -0.99];
+        let (out1, _) = state.execute(&layer, &q, &input).unwrap();
+        let (out2, stats) = state.execute(&layer, &q, &input).unwrap();
+        assert!(!stats.from_scratch);
+        assert_eq!(stats.n_changed, 0);
+        assert_eq!(stats.macs_performed, 0);
+        assert_eq!(out1.as_slice(), out2.as_slice());
+    }
+
+    #[test]
+    fn sub_step_perturbation_is_free() {
+        let (layer, q) = setup();
+        let mut state = FcReuseState::new(&layer);
+        let input = [0.31f32, -0.52, 0.88, 0.01, 0.12, -0.97];
+        state.execute(&layer, &q, &input).unwrap();
+        // Perturb each value by much less than half a step: codes unchanged.
+        let nudged: Vec<f32> = input.iter().map(|v| v + q.step() * 0.05).collect();
+        let (_, stats) = state.execute(&layer, &q, &nudged).unwrap();
+        // Most codes unchanged (a value can sit on a rounding boundary).
+        assert!(stats.n_changed <= 1, "changed {}", stats.n_changed);
+    }
+
+    #[test]
+    fn incremental_matches_oracle_after_changes() {
+        let (layer, q) = setup();
+        let mut state = FcReuseState::new(&layer);
+        let a = [0.3f32, -0.5, 0.9, 0.0, 0.1, -0.99];
+        let b = [0.3f32, 0.5, 0.9, -0.4, 0.1, 0.2]; // 3 inputs changed a lot
+        state.execute(&layer, &q, &a).unwrap();
+        let (out, stats) = state.execute(&layer, &q, &b).unwrap();
+        assert!(stats.n_changed >= 3);
+        let expect = oracle(&layer, &q, &b);
+        for (x, y) in out.as_slice().iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn long_chain_stays_close_to_oracle() {
+        let (layer, q) = setup();
+        let mut state = FcReuseState::new(&layer);
+        let mut input = [0.0f32; 6];
+        let mut rng = Rng64::new(99);
+        for step in 0..200 {
+            for v in &mut input {
+                *v = (*v + rng.uniform(0.1)).clamp(-1.0, 1.0);
+            }
+            let (out, _) = state.execute(&layer, &q, &input).unwrap();
+            let expect = oracle(&layer, &q, &input);
+            for (x, y) in out.as_slice().iter().zip(expect.iter()) {
+                assert!((x - y).abs() < 1e-3, "step {step}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_forces_scratch() {
+        let (layer, q) = setup();
+        let mut state = FcReuseState::new(&layer);
+        let input = [0.1f32; 6];
+        state.execute(&layer, &q, &input).unwrap();
+        assert!(state.is_initialized());
+        state.reset();
+        assert!(!state.is_initialized());
+        let (_, stats) = state.execute(&layer, &q, &input).unwrap();
+        assert!(stats.from_scratch);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let (layer, _) = setup();
+        let state = FcReuseState::new(&layer);
+        // 6 one-byte indices + 4 four-byte outputs.
+        assert_eq!(state.storage_bytes(&layer), 6 + 16);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let (layer, q) = setup();
+        let mut state = FcReuseState::new(&layer);
+        assert!(state.execute(&layer, &q, &[0.0; 5]).is_err());
+    }
+}

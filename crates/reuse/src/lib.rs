@@ -1,0 +1,70 @@
+//! Temporal computation reuse across consecutive DNN executions — the core
+//! contribution of *"Computation Reuse in DNNs by Exploiting Input
+//! Similarity"* (ISCA 2018).
+//!
+//! # The mechanism
+//!
+//! When a DNN processes a temporal sequence (audio frames, video frames),
+//! the inputs each layer sees change very little between consecutive
+//! executions. After linear quantization (paper Eq. 9) most inputs map to
+//! the *same* cluster index as in the previous execution. For those inputs
+//! nothing needs to be computed: their contribution to every buffered
+//! output is already there. For the few inputs whose index changed, the
+//! buffered outputs are corrected (paper Eq. 10):
+//!
+//! ```text
+//! z' = z + Σᵢ (c'ᵢ − cᵢ) · wᵢₒ        (only over changed inputs i)
+//! ```
+//!
+//! # Crate layout
+//!
+//! * [`ReuseConfig`] — which layers participate and with how many clusters.
+//! * [`ReuseEngine`] — runs a `reuse_nn::Network` over a sequence of frames,
+//!   calibrating quantizers, buffering per-layer state and producing
+//!   outputs, metrics and execution traces.
+//! * [`fc`], [`conv`], [`lstm`] — the incremental kernels for each layer
+//!   family (paper Sections IV-B/C/D).
+//! * [`metrics`] — input similarity, computation reuse and the Fig. 4
+//!   relative-difference metric.
+//! * [`trace`] — per-execution, per-layer activity records consumed by the
+//!   accelerator model in `reuse-accel`.
+//!
+//! # Example
+//!
+//! ```
+//! use reuse_core::{ReuseConfig, ReuseEngine};
+//! use reuse_nn::{Activation, NetworkBuilder};
+//!
+//! let net = NetworkBuilder::new("demo", 8)
+//!     .fully_connected(16, Activation::Relu)
+//!     .fully_connected(4, Activation::Identity)
+//!     .build()
+//!     .unwrap();
+//! let mut engine = ReuseEngine::from_network(&net, &ReuseConfig::uniform(16));
+//! let frame = vec![0.25f32; 8];
+//! engine.execute(&frame)?;          // calibrates, runs from scratch
+//! engine.execute(&frame)?;          // stores quantized state
+//! engine.execute(&frame)?;          // identical frame: everything reused
+//! assert!(engine.metrics().overall_input_similarity() > 0.99);
+//! # Ok::<(), reuse_core::ReuseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+pub mod conv;
+pub mod drift;
+mod engine;
+mod error;
+pub mod fc;
+pub mod lstm;
+pub mod metrics;
+pub mod replay;
+pub mod summary;
+pub mod trace;
+
+pub use config::{LayerSetting, ReuseConfig};
+pub use engine::ReuseEngine;
+pub use error::ReuseError;
+pub use metrics::{relative_difference, EngineMetrics, LayerMetrics};
+pub use trace::{ExecutionTrace, LayerTrace, TraceKind};

@@ -1,0 +1,339 @@
+//! Incremental LSTM execution (paper Section IV-D).
+//!
+//! Recurrent layers are especially amenable to reuse:
+//!
+//! 1. The four gates of a cell share the same two inputs (`x_t` and
+//!    `h_{t-1}`), so one index comparison saves work in all four gates.
+//! 2. The layer is executed back-to-back for every timestep before moving
+//!    on, so only one layer's state needs to stay resident.
+//!
+//! The state buffers, per direction: the quantized indices of the previous
+//! feed-forward input (`x_{t-1}`) and previous recurrent input (`h_{t-2}`),
+//! and the four gates' linear pre-activations from the previous timestep.
+//! The nonlinear part (σ/φ, cell-state update) is always recomputed — it is
+//! a negligible `O(cell)` cost next to the `O((n_in + cell) · cell)` gate
+//! matrices.
+
+use reuse_nn::lstm::NUM_GATES;
+use reuse_nn::{LstmCell, LstmState};
+use reuse_quant::{LinearQuantizer, QuantCode};
+
+use crate::ReuseError;
+
+/// Activity counters of one LSTM cell step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmExecStats {
+    /// Inputs compared (feed-forward + recurrent; counted once, not per gate).
+    pub n_inputs: u64,
+    /// Inputs whose index changed.
+    pub n_changed: u64,
+    /// MACs a from-scratch step performs (all four gates).
+    pub macs_total: u64,
+    /// MACs actually performed.
+    pub macs_performed: u64,
+    /// Whether this was the state-initializing from-scratch step.
+    pub from_scratch: bool,
+}
+
+/// Buffered reuse state of one LSTM cell (one direction of a BiLSTM layer).
+#[derive(Debug, Clone)]
+pub struct LstmReuseState {
+    prev_x_codes: Vec<QuantCode>,
+    prev_h_codes: Vec<QuantCode>,
+    /// Previous gate pre-activations, `[NUM_GATES × cell_dim]` row-major.
+    prev_pre: Vec<f32>,
+    /// Recurrent (h, c) state carried between timesteps.
+    state: LstmState,
+    initialized: bool,
+}
+
+impl LstmReuseState {
+    /// Creates empty state for a cell.
+    pub fn new(cell: &LstmCell) -> Self {
+        LstmReuseState {
+            prev_x_codes: Vec::with_capacity(cell.n_in()),
+            prev_h_codes: Vec::with_capacity(cell.cell_dim()),
+            prev_pre: Vec::new(),
+            state: LstmState::zeros(cell.cell_dim()),
+            initialized: false,
+        }
+    }
+
+    /// Whether the first (from-scratch) step has happened.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Resets recurrent and reuse state (start of a new sequence).
+    pub fn reset(&mut self, cell: &LstmCell) {
+        self.prev_x_codes.clear();
+        self.prev_h_codes.clear();
+        self.prev_pre.clear();
+        self.state = LstmState::zeros(cell.cell_dim());
+        self.initialized = false;
+    }
+
+    /// The current recurrent state (h after the last step).
+    pub fn state(&self) -> &LstmState {
+        &self.state
+    }
+
+    /// Extra I/O-buffer bytes: indices for x and h (1 byte each) plus the
+    /// buffered pre-activations of the four gates (4 bytes each).
+    pub fn storage_bytes(&self, cell: &LstmCell) -> u64 {
+        (cell.n_in() + cell.cell_dim() + 4 * NUM_GATES * cell.cell_dim()) as u64
+    }
+
+    /// Runs one timestep on feed-forward input `x`, reusing unchanged
+    /// inputs. Returns the new hidden output `h_t`.
+    ///
+    /// Both `x` and the recurrent input `h_{t-1}` are quantized with the
+    /// provided quantizers; the correction updates the pre-activations of
+    /// all four gates at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `x` has the wrong length.
+    pub fn step(
+        &mut self,
+        cell: &LstmCell,
+        x_quantizer: &LinearQuantizer,
+        h_quantizer: &LinearQuantizer,
+        x: &[f32],
+    ) -> Result<(Vec<f32>, LstmExecStats), ReuseError> {
+        let n_in = cell.n_in();
+        let d = cell.cell_dim();
+        if x.len() != n_in {
+            return Err(ReuseError::Nn(reuse_nn::NnError::InputShape {
+                expected: n_in,
+                actual: x.len(),
+            }));
+        }
+        let macs_total = (NUM_GATES * (n_in + d) * d) as u64;
+        let n_inputs = (n_in + d) as u64;
+
+        if !self.initialized {
+            // First timestep: quantize x and h (h starts at zero), compute
+            // the four gates from scratch on the centroids.
+            self.prev_x_codes = x_quantizer.quantize_slice(x);
+            self.prev_h_codes = h_quantizer.quantize_slice(&self.state.h);
+            let qx: Vec<f32> =
+                self.prev_x_codes.iter().map(|&c| x_quantizer.centroid(c)).collect();
+            let qh: Vec<f32> =
+                self.prev_h_codes.iter().map(|&c| h_quantizer.centroid(c)).collect();
+            self.prev_pre = cell.gate_preactivations(&qx, &qh)?;
+            let next = cell.step_from_preactivations(&self.prev_pre, &self.state);
+            self.state = next;
+            self.initialized = true;
+            let stats = LstmExecStats {
+                n_inputs,
+                n_changed: n_inputs,
+                macs_total,
+                macs_performed: macs_total,
+                from_scratch: true,
+            };
+            return Ok((self.state.h.clone(), stats));
+        }
+
+        let mut changed = 0u64;
+        let mut macs = 0u64;
+        // Correct for changed feed-forward inputs: x_t vs x_{t-1}.
+        for (i, &xi) in x.iter().enumerate() {
+            let code = x_quantizer.quantize(xi);
+            let prev = self.prev_x_codes[i];
+            if code == prev {
+                continue;
+            }
+            changed += 1;
+            self.prev_x_codes[i] = code;
+            let delta = x_quantizer.centroid(code) - x_quantizer.centroid(prev);
+            for g in 0..NUM_GATES {
+                let row = &cell.w_x(g).as_slice()[i * d..(i + 1) * d];
+                let dst = &mut self.prev_pre[g * d..(g + 1) * d];
+                for (z, &wij) in dst.iter_mut().zip(row.iter()) {
+                    *z += delta * wij;
+                }
+            }
+            macs += (NUM_GATES * d) as u64;
+        }
+        // Correct for changed recurrent inputs: h_{t-1} vs h_{t-2}.
+        let h_now = self.state.h.clone();
+        for (i, &hi) in h_now.iter().enumerate() {
+            let code = h_quantizer.quantize(hi);
+            let prev = self.prev_h_codes[i];
+            if code == prev {
+                continue;
+            }
+            changed += 1;
+            self.prev_h_codes[i] = code;
+            let delta = h_quantizer.centroid(code) - h_quantizer.centroid(prev);
+            for g in 0..NUM_GATES {
+                let row = &cell.w_h(g).as_slice()[i * d..(i + 1) * d];
+                let dst = &mut self.prev_pre[g * d..(g + 1) * d];
+                for (z, &wij) in dst.iter_mut().zip(row.iter()) {
+                    *z += delta * wij;
+                }
+            }
+            macs += (NUM_GATES * d) as u64;
+        }
+        let next = cell.step_from_preactivations(&self.prev_pre, &self.state);
+        self.state = next;
+        let stats = LstmExecStats {
+            n_inputs,
+            n_changed: changed,
+            macs_total,
+            macs_performed: macs,
+            from_scratch: false,
+        };
+        Ok((self.state.h.clone(), stats))
+    }
+}
+
+/// Reference from-scratch LSTM on quantized inputs — the oracle the
+/// incremental path must match. Runs a whole sequence and returns the h
+/// outputs.
+///
+/// # Errors
+///
+/// Returns [`ReuseError`] when a frame has the wrong length.
+pub fn quantized_scratch_sequence(
+    cell: &LstmCell,
+    x_quantizer: &LinearQuantizer,
+    h_quantizer: &LinearQuantizer,
+    xs: &[Vec<f32>],
+) -> Result<Vec<Vec<f32>>, ReuseError> {
+    let mut state = LstmState::zeros(cell.cell_dim());
+    let mut out = Vec::with_capacity(xs.len());
+    for x in xs {
+        let qx = x_quantizer.quantized_values(x);
+        let qh = h_quantizer.quantized_values(&state.h);
+        let pre = cell.gate_preactivations(&qx, &qh)?;
+        state = cell.step_from_preactivations(&pre, &state);
+        out.push(state.h.clone());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuse_nn::init::Rng64;
+    use reuse_quant::InputRange;
+
+    fn setup() -> (LstmCell, LinearQuantizer, LinearQuantizer) {
+        let cell = LstmCell::random(5, 3, &mut Rng64::new(31));
+        let xq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let hq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        (cell, xq, hq)
+    }
+
+    fn sequence(len: usize, seed: u64) -> Vec<Vec<f32>> {
+        // Smooth random walk so consecutive frames are similar.
+        let mut rng = Rng64::new(seed);
+        let mut frame = vec![0.0f32; 5];
+        (0..len)
+            .map(|_| {
+                for v in &mut frame {
+                    *v = (*v + rng.uniform(0.15)).clamp(-1.0, 1.0);
+                }
+                frame.clone()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_matches_quantized_scratch_over_sequence() {
+        let (cell, xq, hq) = setup();
+        let xs = sequence(40, 7);
+        let oracle = quantized_scratch_sequence(&cell, &xq, &hq, &xs).unwrap();
+        let mut state = LstmReuseState::new(&cell);
+        for (t, x) in xs.iter().enumerate() {
+            let (h, _) = state.step(&cell, &xq, &hq, x).unwrap();
+            for (a, b) in h.iter().zip(oracle[t].iter()) {
+                assert!((a - b).abs() < 1e-3, "t={t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_step_is_scratch_then_incremental() {
+        let (cell, xq, hq) = setup();
+        let mut state = LstmReuseState::new(&cell);
+        let (_, s0) = state.step(&cell, &xq, &hq, &[0.1; 5]).unwrap();
+        assert!(s0.from_scratch);
+        assert_eq!(s0.macs_performed, s0.macs_total);
+        let (_, s1) = state.step(&cell, &xq, &hq, &[0.1; 5]).unwrap();
+        assert!(!s1.from_scratch);
+        // x unchanged; only h inputs that crossed a cluster boundary cost.
+        assert!(s1.macs_performed < s1.macs_total);
+    }
+
+    #[test]
+    fn constant_input_converges_to_full_reuse() {
+        // With a constant input the hidden state converges, so eventually
+        // neither x nor h codes change and steps become free.
+        let (cell, xq, hq) = setup();
+        let mut state = LstmReuseState::new(&cell);
+        let x = [0.3f32, -0.2, 0.1, 0.0, 0.25];
+        let mut last = 0;
+        for _ in 0..50 {
+            let (_, s) = state.step(&cell, &xq, &hq, &x).unwrap();
+            last = s.macs_performed;
+        }
+        assert_eq!(last, 0, "steady state should be fully reused");
+    }
+
+    #[test]
+    fn shared_gate_comparison_counts_inputs_once() {
+        let (cell, xq, hq) = setup();
+        let mut state = LstmReuseState::new(&cell);
+        let (_, s) = state.step(&cell, &xq, &hq, &[0.0; 5]).unwrap();
+        // inputs = n_in + cell_dim, NOT multiplied by 4 gates.
+        assert_eq!(s.n_inputs, 5 + 3);
+    }
+
+    #[test]
+    fn changed_input_costs_four_gates() {
+        let (cell, xq, hq) = setup();
+        let mut state = LstmReuseState::new(&cell);
+        state.step(&cell, &xq, &hq, &[0.0; 5]).unwrap();
+        // Freeze h by re-stepping until stable, then flip one x input.
+        for _ in 0..30 {
+            state.step(&cell, &xq, &hq, &[0.0; 5]).unwrap();
+        }
+        let mut x = [0.0f32; 5];
+        x[2] = 0.9;
+        let (_, s) = state.step(&cell, &xq, &hq, &x).unwrap();
+        // The one changed x input costs 4 gates × cell_dim MACs (plus any h
+        // drift, which is zero at the fixed point).
+        assert_eq!(s.macs_performed % (4 * 3) as u64, 0);
+        assert!(s.macs_performed >= (4 * 3) as u64);
+    }
+
+    #[test]
+    fn reset_starts_over() {
+        let (cell, xq, hq) = setup();
+        let mut state = LstmReuseState::new(&cell);
+        state.step(&cell, &xq, &hq, &[0.5; 5]).unwrap();
+        state.reset(&cell);
+        assert!(!state.is_initialized());
+        assert_eq!(state.state().h, vec![0.0; 3]);
+        let (_, s) = state.step(&cell, &xq, &hq, &[0.5; 5]).unwrap();
+        assert!(s.from_scratch);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let (cell, _, _) = setup();
+        let state = LstmReuseState::new(&cell);
+        // x indices (5) + h indices (3) + 4 gates × 3 preacts × 4 bytes.
+        assert_eq!(state.storage_bytes(&cell), 5 + 3 + 48);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let (cell, xq, hq) = setup();
+        let mut state = LstmReuseState::new(&cell);
+        assert!(state.step(&cell, &xq, &hq, &[0.0; 4]).is_err());
+    }
+}

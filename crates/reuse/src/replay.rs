@@ -1,0 +1,253 @@
+//! Offline similarity replay (the paper's Section III methodology).
+//!
+//! The paper analyzes input similarity across "multiple configurations:
+//! number of clusters, range of the inputs and layers where the
+//! quantization is applied". Re-running the DNN for every configuration is
+//! wasteful: the *raw* layer inputs do not depend on the quantizer under
+//! analysis (inputs are produced by the fp32 network during profiling).
+//! [`InputRecorder`] captures each layer's raw input stream once;
+//! [`replay_similarity`] then evaluates any cluster count against the
+//! recording in one cheap pass.
+//!
+//! The replay is *exact* for the first quantized layer of a configuration
+//! and a close approximation for deeper layers (whose real inputs would be
+//! perturbed by upstream quantization — a second-order effect the paper's
+//! per-layer table ignores too).
+
+use reuse_nn::Network;
+use reuse_quant::{InputRange, LinearQuantizer, RangeProfiler};
+
+use crate::ReuseError;
+
+/// Recorded raw input streams for every weighted layer of a network.
+#[derive(Debug, Clone)]
+pub struct InputRecorder {
+    /// Layer names, in network order.
+    names: Vec<String>,
+    /// Per layer: one raw input vector per execution.
+    streams: Vec<Vec<Vec<f32>>>,
+}
+
+impl InputRecorder {
+    /// Runs the fp32 network over `frames`, recording every weighted
+    /// layer's input stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network execution errors.
+    pub fn record(network: &Network, frames: &[Vec<f32>]) -> Result<Self, ReuseError> {
+        let weighted: Vec<usize> = network
+            .layers()
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, l))| l.has_weights())
+            .map(|(i, _)| i)
+            .collect();
+        let names = weighted
+            .iter()
+            .map(|&i| network.layers()[i].0.clone())
+            .collect();
+        let mut streams: Vec<Vec<Vec<f32>>> = vec![Vec::new(); weighted.len()];
+        for frame in frames {
+            let mut cur = reuse_tensor::Tensor::from_vec(
+                network.input_shape().clone(),
+                frame.clone(),
+            )?;
+            for (slot, &layer_index) in weighted.iter().enumerate() {
+                // Apply any passive layers between the previous weighted
+                // layer and this one.
+                let start = if slot == 0 { 0 } else { weighted[slot - 1] + 1 };
+                for i in start..layer_index {
+                    cur = network.apply_layer(i, cur)?;
+                }
+                streams[slot].push(cur.as_slice().to_vec());
+                cur = network.apply_layer(layer_index, cur)?;
+            }
+        }
+        Ok(InputRecorder { names, streams })
+    }
+
+    /// Recorded layer names.
+    pub fn layer_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The raw input stream of one layer.
+    pub fn stream(&self, name: &str) -> Option<&[Vec<f32>]> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        Some(&self.streams[idx])
+    }
+
+    /// Executions recorded.
+    pub fn executions(&self) -> usize {
+        self.streams.first().map_or(0, Vec::len)
+    }
+}
+
+/// Similarity of one recorded stream under a hypothetical quantizer
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySimilarity {
+    /// Layer name.
+    pub name: String,
+    /// Fraction of inputs whose quantized index matches the previous
+    /// execution's, over all non-first executions.
+    pub input_similarity: f64,
+    /// The quantizer's step under the profiled range.
+    pub step: f32,
+}
+
+/// Replays one layer's recorded stream under `clusters`-way linear
+/// quantization with a range profiled from the stream itself (margin 0).
+///
+/// Returns `None` for unknown layers or degenerate streams.
+pub fn replay_similarity(
+    recorder: &InputRecorder,
+    layer: &str,
+    clusters: usize,
+) -> Option<ReplaySimilarity> {
+    let stream = recorder.stream(layer)?;
+    if stream.len() < 2 {
+        return None;
+    }
+    let mut profiler = RangeProfiler::new();
+    for input in stream {
+        profiler.observe_slice(input);
+    }
+    let range: InputRange = profiler.range(0.0).ok()?;
+    let quantizer = LinearQuantizer::new(range, clusters).ok()?;
+    let mut prev = quantizer.quantize_slice(&stream[0]);
+    let mut same = 0u64;
+    let mut total = 0u64;
+    for input in &stream[1..] {
+        let codes = quantizer.quantize_slice(input);
+        same += codes.iter().zip(prev.iter()).filter(|(a, b)| a == b).count() as u64;
+        total += codes.len() as u64;
+        prev = codes;
+    }
+    Some(ReplaySimilarity {
+        name: layer.to_string(),
+        input_similarity: same as f64 / total.max(1) as f64,
+        step: quantizer.step(),
+    })
+}
+
+/// Replays every recorded layer under a set of cluster counts:
+/// `result[layer][cluster_config]`.
+pub fn replay_sweep(
+    recorder: &InputRecorder,
+    cluster_counts: &[usize],
+) -> Vec<Vec<Option<ReplaySimilarity>>> {
+    recorder
+        .layer_names()
+        .to_vec()
+        .iter()
+        .map(|name| {
+            cluster_counts
+                .iter()
+                .map(|&c| replay_similarity(recorder, name, c))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuse_nn::{init::Rng64, Activation, NetworkBuilder};
+
+    fn walk(len: usize, dim: usize, step: f32, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Rng64::new(seed);
+        let mut frame: Vec<f32> = (0..dim).map(|_| rng.uniform(0.5)).collect();
+        (0..len)
+            .map(|_| {
+                for v in &mut frame {
+                    *v = (*v + rng.uniform(step)).clamp(-1.0, 1.0);
+                }
+                frame.clone()
+            })
+            .collect()
+    }
+
+    fn mlp() -> Network {
+        NetworkBuilder::new("replay-mlp", 8)
+            .seed(3)
+            .fully_connected(12, Activation::Relu)
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn recorder_captures_all_weighted_layers() {
+        let net = mlp();
+        let rec = InputRecorder::record(&net, &walk(10, 8, 0.1, 1)).unwrap();
+        assert_eq!(rec.layer_names(), &["fc1".to_string(), "fc2".to_string()]);
+        assert_eq!(rec.executions(), 10);
+        assert_eq!(rec.stream("fc1").unwrap()[0].len(), 8);
+        assert_eq!(rec.stream("fc2").unwrap()[0].len(), 12);
+        assert!(rec.stream("nope").is_none());
+    }
+
+    #[test]
+    fn recorded_fc2_inputs_equal_fc1_outputs() {
+        let net = mlp();
+        let frames = walk(5, 8, 0.1, 2);
+        let rec = InputRecorder::record(&net, &frames).unwrap();
+        // fc2's recorded input at execution t is the fp32 fc1 activation.
+        let reuse_nn::Layer::FullyConnected(fc1) = &net.layers()[0].1 else { panic!() };
+        let t_in = reuse_tensor::Tensor::from_slice_1d(&frames[3]).unwrap();
+        let expect = fc1.forward(&t_in).unwrap();
+        assert_eq!(rec.stream("fc2").unwrap()[3], expect.as_slice());
+    }
+
+    #[test]
+    fn replay_matches_engine_for_first_quantized_layer() {
+        // The engine's fc1 similarity (reuse enabled everywhere, margin 0,
+        // calibrated on the same frames) must match the replay exactly:
+        // fc1's real inputs are raw frames in both paths.
+        let net = mlp();
+        let frames = walk(30, 8, 0.1, 3);
+        let rec = InputRecorder::record(&net, &frames).unwrap();
+        let replay = replay_similarity(&rec, "fc1", 16).unwrap();
+
+        let config = crate::ReuseConfig::uniform(16).range_margin(0.0);
+        let mut engine = crate::ReuseEngine::from_network(&net, &config);
+        for f in &frames {
+            engine.execute(f).unwrap();
+        }
+        let engine_sim = engine.metrics().layer("fc1").unwrap().input_similarity();
+        // The engine's first reuse execution compares against the quantized
+        // scratch execution (frame 1), while the replay starts at frame 0 —
+        // one frame of offset tolerance.
+        assert!(
+            (replay.input_similarity - engine_sim).abs() < 0.06,
+            "replay {} vs engine {engine_sim}",
+            replay.input_similarity
+        );
+    }
+
+    #[test]
+    fn fewer_clusters_more_similarity() {
+        let net = mlp();
+        let rec = InputRecorder::record(&net, &walk(40, 8, 0.1, 4)).unwrap();
+        let sweep = replay_sweep(&rec, &[8, 16, 32, 64]);
+        for layer_row in &sweep {
+            let sims: Vec<f64> =
+                layer_row.iter().map(|r| r.as_ref().unwrap().input_similarity).collect();
+            for pair in sims.windows(2) {
+                assert!(pair[0] >= pair[1] - 1e-9, "similarity must not rise with clusters: {sims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_streams_return_none() {
+        let net = mlp();
+        let rec = InputRecorder::record(&net, &walk(1, 8, 0.1, 5)).unwrap();
+        assert!(replay_similarity(&rec, "fc1", 16).is_none());
+        // Constant stream: zero-width range.
+        let rec2 = InputRecorder::record(&net, &vec![vec![0.5; 8]; 4]).unwrap();
+        assert!(replay_similarity(&rec2, "fc1", 16).is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-execution activity traces.
+//!
+//! The accelerator simulator in `reuse-accel` is *trace-driven*: the reuse
+//! engine records, for every execution and every weighted layer, how many
+//! inputs it saw, how many changed, and how many multiply-accumulates were
+//! performed. The simulator turns those counts into cycles and energy using
+//! the Table II hardware parameters.
+
+/// The execution mode a layer ran in for one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Full-precision from-scratch execution (reuse disabled for the layer).
+    ScratchFp32,
+    /// Quantized from-scratch execution (first execution of a reuse layer).
+    ScratchQuantized,
+    /// Incremental execution correcting the buffered outputs.
+    Incremental,
+}
+
+/// Activity of one weighted layer during one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTrace {
+    /// Layer name within the network.
+    pub name: String,
+    /// Coarse layer kind.
+    pub kind: reuse_nn::LayerKind,
+    /// How the layer executed.
+    pub mode: TraceKind,
+    /// Scalar inputs read.
+    pub n_inputs: u64,
+    /// Inputs whose quantized index changed (equals `n_inputs` for
+    /// from-scratch executions).
+    pub n_changed: u64,
+    /// Scalar outputs produced / buffered.
+    pub n_outputs: u64,
+    /// Weight + bias parameters of the layer (drives per-execution weight
+    /// streaming traffic for models that do not fit on-chip).
+    pub n_params: u64,
+    /// Multiply-accumulates a from-scratch execution performs.
+    pub macs_total: u64,
+    /// Multiply-accumulates actually performed.
+    pub macs_performed: u64,
+}
+
+impl LayerTrace {
+    /// Weight elements fetched from the weights memory (one per MAC — the
+    /// data master streams the weights that each processed input needs,
+    /// paper Fig. 7).
+    pub fn weight_fetches(&self) -> u64 {
+        self.macs_performed
+    }
+
+    /// Output elements read-modify-written in the I/O buffer by the
+    /// correction path (zero for from-scratch executions, which only write
+    /// the final outputs).
+    pub fn correction_output_accesses(&self) -> u64 {
+        match self.mode {
+            TraceKind::Incremental => self.macs_performed,
+            _ => 0,
+        }
+    }
+}
+
+/// Activity of one whole DNN execution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecutionTrace {
+    /// Per-layer records in network order (weighted layers only).
+    pub layers: Vec<LayerTrace>,
+}
+
+impl ExecutionTrace {
+    /// Total MACs performed in this execution.
+    pub fn macs_performed(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs_performed).sum()
+    }
+
+    /// Total MACs a from-scratch execution would perform.
+    pub fn macs_total(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs_total).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuse_nn::LayerKind;
+
+    fn trace(mode: TraceKind, performed: u64) -> LayerTrace {
+        LayerTrace {
+            name: "fc1".into(),
+            kind: LayerKind::Fc,
+            mode,
+            n_inputs: 10,
+            n_changed: 4,
+            n_outputs: 20,
+            n_params: 200,
+            macs_total: 200,
+            macs_performed: performed,
+        }
+    }
+
+    #[test]
+    fn weight_fetches_track_performed_macs() {
+        assert_eq!(trace(TraceKind::Incremental, 80).weight_fetches(), 80);
+        assert_eq!(trace(TraceKind::ScratchQuantized, 200).weight_fetches(), 200);
+    }
+
+    #[test]
+    fn corrections_only_for_incremental() {
+        assert_eq!(trace(TraceKind::Incremental, 80).correction_output_accesses(), 80);
+        assert_eq!(trace(TraceKind::ScratchFp32, 200).correction_output_accesses(), 0);
+    }
+
+    #[test]
+    fn execution_totals() {
+        let e = ExecutionTrace {
+            layers: vec![trace(TraceKind::Incremental, 80), trace(TraceKind::Incremental, 50)],
+        };
+        assert_eq!(e.macs_performed(), 130);
+        assert_eq!(e.macs_total(), 400);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests: the incremental path must always agree with a
+//! from-scratch execution on the same quantized inputs (paper Eq. 10).
+
+use proptest::prelude::*;
+use reuse_core::conv::Conv2dReuseState;
+use reuse_core::fc::FcReuseState;
+use reuse_core::lstm::{quantized_scratch_sequence, LstmReuseState};
+use reuse_nn::{init::Rng64, Activation, Conv2dLayer, FullyConnected, LstmCell};
+use reuse_quant::{InputRange, LinearQuantizer};
+use reuse_tensor::conv::Conv2dSpec;
+use reuse_tensor::{Shape, Tensor};
+
+fn frames(n_frames: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((-100i32..=100).prop_map(|v| v as f32 / 100.0), dim),
+        1..=n_frames,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fc_incremental_equals_scratch(xs in frames(8, 6), clusters in 4usize..33) {
+        let layer = FullyConnected::random(6, 5, Activation::Identity, &mut Rng64::new(17));
+        let q = LinearQuantizer::new(InputRange::new(-1.0, 1.0), clusters).unwrap();
+        let mut state = FcReuseState::new(&layer);
+        for x in &xs {
+            let (out, stats) = state.execute(&layer, &q, x).unwrap();
+            let qx = q.quantized_values(x);
+            let expect = layer
+                .forward_linear(&Tensor::from_slice_1d(&qx).unwrap())
+                .unwrap();
+            for (a, b) in out.as_slice().iter().zip(expect.as_slice().iter()) {
+                prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+            prop_assert!(stats.macs_performed <= stats.macs_total);
+            prop_assert!(stats.n_changed <= stats.n_inputs);
+        }
+    }
+
+    #[test]
+    fn fc_macs_equal_changed_times_outputs(xs in frames(6, 4)) {
+        let layer = FullyConnected::random(4, 7, Activation::Identity, &mut Rng64::new(18));
+        let q = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let mut state = FcReuseState::new(&layer);
+        for (t, x) in xs.iter().enumerate() {
+            let (_, stats) = state.execute(&layer, &q, x).unwrap();
+            if t > 0 {
+                prop_assert_eq!(stats.macs_performed, stats.n_changed * 7);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_incremental_equals_scratch(
+        xs in frames(4, 2 * 5 * 5),
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 3, kh: 3, kw: 3, stride, pad };
+        let layer = Conv2dLayer::random(spec, Activation::Identity, &mut Rng64::new(19));
+        let q = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let in_shape = Shape::d3(2, 5, 5);
+        let mut state = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        for x in &xs {
+            let input = Tensor::from_vec(in_shape.clone(), x.clone()).unwrap();
+            let (out, stats) = state.execute(&layer, &q, &input).unwrap();
+            let qx = q.quantized_values(x);
+            let qin = Tensor::from_vec(in_shape.clone(), qx).unwrap();
+            let expect = layer.forward_linear(&qin).unwrap();
+            for (a, b) in out.as_slice().iter().zip(expect.as_slice().iter()) {
+                prop_assert!((a - b).abs() < 1e-3, "stride {stride} pad {pad}: {a} vs {b}");
+            }
+            prop_assert!(stats.macs_performed <= stats.macs_total);
+        }
+    }
+
+    #[test]
+    fn lstm_incremental_equals_scratch(xs in frames(10, 4)) {
+        let cell = LstmCell::random(4, 3, &mut Rng64::new(20));
+        let xq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let hq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let oracle = quantized_scratch_sequence(&cell, &xq, &hq, &xs).unwrap();
+        let mut state = LstmReuseState::new(&cell);
+        for (t, x) in xs.iter().enumerate() {
+            let (h, stats) = state.step(&cell, &xq, &hq, x).unwrap();
+            for (a, b) in h.iter().zip(oracle[t].iter()) {
+                prop_assert!((a - b).abs() < 1e-3, "t {t}: {a} vs {b}");
+            }
+            prop_assert!(stats.macs_performed <= stats.macs_total);
+            // MAC granularity: every changed input touches all 4 gates.
+            prop_assert_eq!(stats.macs_performed % (4 * 3), 0);
+        }
+    }
+
+    #[test]
+    fn unchanged_codes_cost_nothing(x in proptest::collection::vec(-1.0f32..1.0, 6)) {
+        let layer = FullyConnected::random(6, 5, Activation::Identity, &mut Rng64::new(21));
+        let q = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let mut state = FcReuseState::new(&layer);
+        state.execute(&layer, &q, &x).unwrap();
+        // Re-present the centroids themselves: codes cannot change.
+        let centroids = q.quantized_values(&x);
+        let (_, stats) = state.execute(&layer, &q, &centroids).unwrap();
+        prop_assert_eq!(stats.n_changed, 0);
+        prop_assert_eq!(stats.macs_performed, 0);
+    }
+}

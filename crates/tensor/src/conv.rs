@@ -1,0 +1,645 @@
+//! Direct convolution kernels (2D and 3D).
+//!
+//! The paper evaluates 2D convolutions (AutoPilot, paper Table I) and 3D
+//! convolutions (C3D, Eq. 2). These kernels implement the same loop nest the
+//! accelerator model accounts for: direct convolution (no im2col) with
+//! symmetric zero padding and a configurable stride, matching the Table I
+//! layer geometries:
+//!
+//! * AutoPilot: 5×5 kernels stride 2 (CONV1-3) and 3×3 stride 1 (CONV4-5),
+//!   no padding.
+//! * C3D: 3×3×3 kernels stride 1 with "same" padding (pad 1), pooling
+//!   between layers (pool1 is 1×2×2, the rest 2×2×2, ceil mode).
+//!
+//! Input layout is `[channels, (depth,) height, width]`; weights are
+//! `[out_channels, in_channels, (kd,) kh, kw]`.
+
+use crate::{Shape, Tensor, TensorError};
+
+/// Geometry of a 2D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels (filters).
+    pub out_channels: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding in both spatial dimensions.
+    pub pad: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for a given input `(h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the padded input is
+    /// smaller than the kernel.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize), TensorError> {
+        let (ph, pw) = (h + 2 * self.pad, w + 2 * self.pad);
+        if ph < self.kh || pw < self.kw {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "conv2d kernel {}x{} larger than padded input {}x{}",
+                    self.kh, self.kw, ph, pw
+                ),
+            });
+        }
+        Ok(((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1))
+    }
+
+    /// Weight tensor shape `[out_c, in_c, kh, kw]`.
+    pub fn weight_shape(&self) -> Shape {
+        Shape::d4(self.out_channels, self.in_channels, self.kh, self.kw)
+    }
+
+    /// Multiply+add count for one forward pass over an `h×w` input.
+    pub fn flops(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = match self.output_hw(h, w) {
+            Ok(v) => v,
+            Err(_) => return 0,
+        };
+        2 * (self.out_channels * oh * ow * self.in_channels * self.kh * self.kw) as u64
+    }
+}
+
+/// Geometry of a 3D convolution (paper Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv3dSpec {
+    /// Number of input feature maps.
+    pub in_channels: usize,
+    /// Number of output feature maps (filters).
+    pub out_channels: usize,
+    /// Kernel depth (temporal extent).
+    pub kd: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride in all three dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding in all three dimensions.
+    pub pad: usize,
+}
+
+impl Conv3dSpec {
+    /// Output size for a `(d, h, w)` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the padded input is
+    /// smaller than the kernel.
+    pub fn output_dhw(
+        &self,
+        d: usize,
+        h: usize,
+        w: usize,
+    ) -> Result<(usize, usize, usize), TensorError> {
+        let (pd, ph, pw) = (d + 2 * self.pad, h + 2 * self.pad, w + 2 * self.pad);
+        if pd < self.kd || ph < self.kh || pw < self.kw {
+            return Err(TensorError::ShapeMismatch {
+                context: format!(
+                    "conv3d kernel {}x{}x{} larger than padded input {}x{}x{}",
+                    self.kd, self.kh, self.kw, pd, ph, pw
+                ),
+            });
+        }
+        Ok((
+            (pd - self.kd) / self.stride + 1,
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        ))
+    }
+
+    /// Weight tensor shape `[out_c, in_c, kd, kh, kw]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero (specs are validated at layer build time).
+    pub fn weight_shape(&self) -> Shape {
+        Shape::new(&[self.out_channels, self.in_channels, self.kd, self.kh, self.kw])
+            .expect("conv3d spec fields must be non-zero")
+    }
+
+    /// Multiply+add count for one forward pass over a `d×h×w` input.
+    pub fn flops(&self, d: usize, h: usize, w: usize) -> u64 {
+        let (od, oh, ow) = match self.output_dhw(d, h, w) {
+            Ok(v) => v,
+            Err(_) => return 0,
+        };
+        2 * (self.out_channels * od * oh * ow * self.in_channels * self.kd * self.kh * self.kw)
+            as u64
+    }
+}
+
+/// Direct 2D convolution with symmetric zero padding.
+///
+/// `input`: `[in_c, h, w]`; `weights`: `[out_c, in_c, kh, kw]`;
+/// `bias`: `[out_c]`. Returns `[out_c, oh, ow]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when any dimension disagrees with
+/// the spec.
+#[allow(clippy::needless_range_loop)] // `oc` indexes outputs, weights and biases together
+pub fn conv2d_forward(
+    spec: &Conv2dSpec,
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let idims = input.shape().dims();
+    if idims.len() != 3 || idims[0] != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            context: format!(
+                "conv2d input {} does not match spec in_channels {}",
+                input.shape(),
+                spec.in_channels
+            ),
+        });
+    }
+    if weights.shape() != &spec.weight_shape() {
+        return Err(TensorError::ShapeMismatch {
+            context: format!(
+                "conv2d weights {} do not match spec {}",
+                weights.shape(),
+                spec.weight_shape()
+            ),
+        });
+    }
+    if bias.len() != spec.out_channels {
+        return Err(TensorError::ShapeMismatch {
+            context: format!(
+                "conv2d bias length {} != out_channels {}",
+                bias.len(),
+                spec.out_channels
+            ),
+        });
+    }
+    let (h, w) = (idims[1], idims[2]);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let x = input.as_slice();
+    let wv = weights.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * oh * ow];
+
+    let in_plane = h * w;
+    let k_plane = spec.kh * spec.kw;
+    let w_per_filter = spec.in_channels * k_plane;
+    let pad = spec.pad as isize;
+    for oc in 0..spec.out_channels {
+        let wbase = oc * w_per_filter;
+        let obase = oc * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bv[oc];
+                let iy0 = (oy * spec.stride) as isize - pad;
+                let ix0 = (ox * spec.stride) as isize - pad;
+                for ic in 0..spec.in_channels {
+                    let ibase = ic * in_plane;
+                    let wcbase = wbase + ic * k_plane;
+                    for ky in 0..spec.kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let irow = ibase + iy as usize * w;
+                        let wrow = wcbase + ky * spec.kw;
+                        for kx in 0..spec.kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += x[irow + ix as usize] * wv[wrow + kx];
+                        }
+                    }
+                }
+                out[obase + oy * ow + ox] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d3(spec.out_channels, oh, ow), out)
+}
+
+/// Direct 3D convolution with symmetric zero padding (paper Eq. 2).
+///
+/// `input`: `[in_c, d, h, w]`; `weights`: `[out_c, in_c, kd, kh, kw]`;
+/// `bias`: `[out_c]`. Returns `[out_c, od, oh, ow]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when any dimension disagrees with
+/// the spec.
+#[allow(clippy::needless_range_loop)] // `oc` indexes outputs, weights and biases together
+pub fn conv3d_forward(
+    spec: &Conv3dSpec,
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let idims = input.shape().dims();
+    if idims.len() != 4 || idims[0] != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            context: format!(
+                "conv3d input {} does not match spec in_channels {}",
+                input.shape(),
+                spec.in_channels
+            ),
+        });
+    }
+    if weights.shape() != &spec.weight_shape() {
+        return Err(TensorError::ShapeMismatch {
+            context: format!(
+                "conv3d weights {} do not match spec {}",
+                weights.shape(),
+                spec.weight_shape()
+            ),
+        });
+    }
+    if bias.len() != spec.out_channels {
+        return Err(TensorError::ShapeMismatch {
+            context: format!(
+                "conv3d bias length {} != out_channels {}",
+                bias.len(),
+                spec.out_channels
+            ),
+        });
+    }
+    let (d, h, w) = (idims[1], idims[2], idims[3]);
+    let (od, oh, ow) = spec.output_dhw(d, h, w)?;
+    let x = input.as_slice();
+    let wv = weights.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * od * oh * ow];
+
+    let in_plane = h * w;
+    let in_vol = d * in_plane;
+    let k_plane = spec.kh * spec.kw;
+    let k_vol = spec.kd * k_plane;
+    let w_per_filter = spec.in_channels * k_vol;
+    let pad = spec.pad as isize;
+    for oc in 0..spec.out_channels {
+        let wbase = oc * w_per_filter;
+        let obase = oc * od * oh * ow;
+        for oz in 0..od {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bv[oc];
+                    let iz0 = (oz * spec.stride) as isize - pad;
+                    let iy0 = (oy * spec.stride) as isize - pad;
+                    let ix0 = (ox * spec.stride) as isize - pad;
+                    for ic in 0..spec.in_channels {
+                        let icbase = ic * in_vol;
+                        let wcbase = wbase + ic * k_vol;
+                        for kz in 0..spec.kd {
+                            let iz = iz0 + kz as isize;
+                            if iz < 0 || iz >= d as isize {
+                                continue;
+                            }
+                            let izbase = icbase + iz as usize * in_plane;
+                            let wzbase = wcbase + kz * k_plane;
+                            for ky in 0..spec.kh {
+                                let iy = iy0 + ky as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let irow = izbase + iy as usize * w;
+                                let wrow = wzbase + ky * spec.kw;
+                                for kx in 0..spec.kw {
+                                    let ix = ix0 + kx as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += x[irow + ix as usize] * wv[wrow + kx];
+                                }
+                            }
+                        }
+                    }
+                    out[obase + (oz * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d4(spec.out_channels, od, oh, ow), out)
+}
+
+fn pool_extent(size: usize, window: usize, stride: usize, ceil: bool) -> usize {
+    if size < window {
+        return 0;
+    }
+    let span = size - window;
+    if ceil && !span.is_multiple_of(stride) {
+        span / stride + 2
+    } else {
+        span / stride + 1
+    }
+}
+
+/// 2D max pooling with a square window and equal stride (floor mode).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the window does not fit.
+pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor, TensorError> {
+    max_pool2d_mode(input, window, stride, false)
+}
+
+/// 2D max pooling with a selectable rounding mode.
+///
+/// In ceil mode a final partial window is emitted when the stride does not
+/// divide the input evenly (Caffe's convention, used by C3D).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the window does not fit.
+pub fn max_pool2d_mode(
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    ceil: bool,
+) -> Result<Tensor, TensorError> {
+    let idims = input.shape().dims();
+    if idims.len() != 3 {
+        return Err(TensorError::ShapeMismatch { context: "max_pool2d expects [c,h,w]".into() });
+    }
+    let (c, h, w) = (idims[0], idims[1], idims[2]);
+    let oh = pool_extent(h, window, stride, ceil);
+    let ow = pool_extent(w, window, stride, ceil);
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("pool window {window} larger than input {h}x{w}"),
+        });
+    }
+    let x = input.as_slice();
+    let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut m = f32::NEG_INFINITY;
+                for ky in 0..window {
+                    let iy = oy * stride + ky;
+                    if iy >= h {
+                        continue;
+                    }
+                    for kx in 0..window {
+                        let ix = ox * stride + kx;
+                        if ix >= w {
+                            continue;
+                        }
+                        m = m.max(x[ci * h * w + iy * w + ix]);
+                    }
+                }
+                out[ci * oh * ow + oy * ow + ox] = m;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d3(c, oh, ow), out)
+}
+
+/// 3D max pooling with independent temporal/spatial windows, stride equal to
+/// the window, floor mode (the C3D convention: pool1 is 1×2×2, the rest
+/// 2×2×2).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the window does not fit.
+pub fn max_pool3d(input: &Tensor, wd: usize, whw: usize) -> Result<Tensor, TensorError> {
+    max_pool3d_mode(input, wd, whw, false)
+}
+
+/// 3D max pooling with a selectable rounding mode (see [`max_pool2d_mode`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the window does not fit.
+pub fn max_pool3d_mode(
+    input: &Tensor,
+    wd: usize,
+    whw: usize,
+    ceil: bool,
+) -> Result<Tensor, TensorError> {
+    let idims = input.shape().dims();
+    if idims.len() != 4 {
+        return Err(TensorError::ShapeMismatch { context: "max_pool3d expects [c,d,h,w]".into() });
+    }
+    let (c, d, h, w) = (idims[0], idims[1], idims[2], idims[3]);
+    let od = pool_extent(d, wd, wd, ceil);
+    let oh = pool_extent(h, whw, whw, ceil);
+    let ow = pool_extent(w, whw, whw, ceil);
+    if od == 0 || oh == 0 || ow == 0 {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("pool window {wd}x{whw}x{whw} larger than input {d}x{h}x{w}"),
+        });
+    }
+    let x = input.as_slice();
+    let mut out = vec![f32::NEG_INFINITY; c * od * oh * ow];
+    for ci in 0..c {
+        for oz in 0..od {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut m = f32::NEG_INFINITY;
+                    for kz in 0..wd {
+                        let iz = oz * wd + kz;
+                        if iz >= d {
+                            continue;
+                        }
+                        for ky in 0..whw {
+                            let iy = oy * whw + ky;
+                            if iy >= h {
+                                continue;
+                            }
+                            for kx in 0..whw {
+                                let ix = ox * whw + kx;
+                                if ix >= w {
+                                    continue;
+                                }
+                                m = m.max(x[((ci * d + iz) * h + iy) * w + ix]);
+                            }
+                        }
+                    }
+                    out[((ci * od + oz) * oh + oy) * ow + ox] = m;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d4(c, od, oh, ow), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let input = Tensor::from_vec(Shape::d3(1, 2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let w = Tensor::from_vec(spec.weight_shape(), vec![1.0]).unwrap();
+        let b = Tensor::from_slice_1d(&[0.0]).unwrap();
+        let out = conv2d_forward(&spec, &input, &w, &b).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv2d_sum_kernel() {
+        // 2x2 all-ones kernel computes window sums.
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 2, kw: 2, stride: 1, pad: 0 };
+        let input =
+            Tensor::from_vec(Shape::d3(1, 3, 3), (1..=9).map(|v| v as f32).collect()).unwrap();
+        let w = Tensor::from_vec(spec.weight_shape(), vec![1.0; 4]).unwrap();
+        let b = Tensor::from_slice_1d(&[0.0]).unwrap();
+        let out = conv2d_forward(&spec, &input, &w, &b).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv2d_stride_two() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 1, kw: 1, stride: 2, pad: 0 };
+        let input =
+            Tensor::from_vec(Shape::d3(1, 3, 3), (0..9).map(|v| v as f32).collect()).unwrap();
+        let w = Tensor::from_vec(spec.weight_shape(), vec![1.0]).unwrap();
+        let b = Tensor::from_slice_1d(&[0.0]).unwrap();
+        let out = conv2d_forward(&spec, &input, &w, &b).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 2.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn conv2d_same_padding_preserves_size() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 3, kw: 3, stride: 1, pad: 1 };
+        assert_eq!(spec.output_hw(5, 7).unwrap(), (5, 7));
+        let input = Tensor::full(Shape::d3(1, 3, 3), 1.0);
+        let w = Tensor::from_vec(spec.weight_shape(), vec![1.0; 9]).unwrap();
+        let b = Tensor::from_slice_1d(&[0.0]).unwrap();
+        let out = conv2d_forward(&spec, &input, &w, &b).unwrap();
+        // Center sees all 9 ones; corners see only 4.
+        assert_eq!(out.get(&[0, 1, 1]).unwrap(), 9.0);
+        assert_eq!(out.get(&[0, 0, 0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn conv2d_multi_channel_accumulates() {
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let input = Tensor::from_vec(Shape::d3(2, 1, 1), vec![3.0, 4.0]).unwrap();
+        let w = Tensor::from_vec(spec.weight_shape(), vec![1.0, 10.0]).unwrap();
+        let b = Tensor::from_slice_1d(&[0.5]).unwrap();
+        let out = conv2d_forward(&spec, &input, &w, &b).unwrap();
+        assert_eq!(out.as_slice(), &[3.0 + 40.0 + 0.5]);
+    }
+
+    #[test]
+    fn conv2d_bias_per_filter() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let input = Tensor::from_vec(Shape::d3(1, 1, 1), vec![1.0]).unwrap();
+        let w = Tensor::from_vec(spec.weight_shape(), vec![2.0, 3.0]).unwrap();
+        let b = Tensor::from_slice_1d(&[10.0, 20.0]).unwrap();
+        let out = conv2d_forward(&spec, &input, &w, &b).unwrap();
+        assert_eq!(out.as_slice(), &[12.0, 23.0]);
+    }
+
+    #[test]
+    fn conv3d_matches_2d_when_depth_is_one() {
+        let spec3 =
+            Conv3dSpec { in_channels: 1, out_channels: 1, kd: 1, kh: 2, kw: 2, stride: 1, pad: 0 };
+        let spec2 = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 2, kw: 2, stride: 1, pad: 0 };
+        let data: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let in3 = Tensor::from_vec(Shape::d4(1, 1, 3, 3), data.clone()).unwrap();
+        let in2 = Tensor::from_vec(Shape::d3(1, 3, 3), data).unwrap();
+        let w3 = Tensor::from_vec(spec3.weight_shape(), vec![1.0; 4]).unwrap();
+        let w2 = Tensor::from_vec(spec2.weight_shape(), vec![1.0; 4]).unwrap();
+        let b = Tensor::from_slice_1d(&[0.0]).unwrap();
+        let o3 = conv3d_forward(&spec3, &in3, &w3, &b).unwrap();
+        let o2 = conv2d_forward(&spec2, &in2, &w2, &b).unwrap();
+        assert_eq!(o3.as_slice(), o2.as_slice());
+    }
+
+    #[test]
+    fn conv3d_temporal_sum() {
+        // Kernel 2x1x1 of ones sums adjacent frames.
+        let spec =
+            Conv3dSpec { in_channels: 1, out_channels: 1, kd: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let input = Tensor::from_vec(Shape::d4(1, 3, 1, 1), vec![1.0, 2.0, 4.0]).unwrap();
+        let w = Tensor::from_vec(spec.weight_shape(), vec![1.0, 1.0]).unwrap();
+        let b = Tensor::from_slice_1d(&[0.0]).unwrap();
+        let out = conv3d_forward(&spec, &input, &w, &b).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn conv3d_same_padding_preserves_size() {
+        // The C3D convention: 3x3x3 kernel, stride 1, pad 1.
+        let spec =
+            Conv3dSpec { in_channels: 1, out_channels: 1, kd: 3, kh: 3, kw: 3, stride: 1, pad: 1 };
+        assert_eq!(spec.output_dhw(16, 112, 112).unwrap(), (16, 112, 112));
+    }
+
+    #[test]
+    fn output_geometry() {
+        // AutoPilot CONV1: 3x66x200 -> 24x31x98 with 5x5 stride 2.
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 24, kh: 5, kw: 5, stride: 2, pad: 0 };
+        assert_eq!(spec.output_hw(66, 200).unwrap(), (31, 98));
+        // kernel larger than input
+        assert!(spec.output_hw(4, 4).is_err());
+    }
+
+    #[test]
+    fn flop_counts() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 2, kw: 2, stride: 1, pad: 0 };
+        // 2x2 output, 4 macs each, x2 for mul+add.
+        assert_eq!(spec.flops(3, 3), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn max_pool2d_takes_window_max() {
+        let input =
+            Tensor::from_vec(Shape::d3(1, 2, 4), vec![1., 5., 2., 0., 3., 4., 8., 1.]).unwrap();
+        let out = max_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2]);
+        assert_eq!(out.as_slice(), &[5.0, 8.0]);
+    }
+
+    #[test]
+    fn max_pool2d_ceil_emits_partial_window() {
+        let input = Tensor::from_vec(Shape::d3(1, 1, 5), vec![1., 2., 3., 4., 9.]).unwrap();
+        let floor = max_pool2d_mode(&input, 1, 2, false).unwrap();
+        assert_eq!(floor.shape().dims(), &[1, 1, 3]);
+        let input2 = Tensor::from_vec(Shape::d3(1, 3, 3), (1..=9).map(|v| v as f32).collect()).unwrap();
+        let ceil = max_pool2d_mode(&input2, 2, 2, true).unwrap();
+        assert_eq!(ceil.shape().dims(), &[1, 2, 2]);
+        assert_eq!(ceil.as_slice(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn max_pool3d_c3d_style() {
+        // pool 1x2x2 keeps depth.
+        let input =
+            Tensor::from_vec(Shape::d4(1, 2, 2, 2), vec![1., 2., 3., 4., 5., 6., 7., 8.]).unwrap();
+        let out = max_pool3d(&input, 1, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 1, 1]);
+        assert_eq!(out.as_slice(), &[4.0, 8.0]);
+        // pool 2x2x2 collapses depth too.
+        let input2 =
+            Tensor::from_vec(Shape::d4(1, 2, 2, 2), vec![1., 2., 3., 4., 5., 6., 7., 8.]).unwrap();
+        let out2 = max_pool3d(&input2, 2, 2).unwrap();
+        assert_eq!(out2.as_slice(), &[8.0]);
+    }
+
+    #[test]
+    fn max_pool3d_ceil_matches_c3d_pool5() {
+        // C3D pool5: 512x2x7x7 --2x2x2 ceil--> 512x1x4x4.
+        let input = Tensor::zeros(Shape::d4(1, 2, 7, 7));
+        let out = max_pool3d_mode(&input, 2, 2, true).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn pool_rejects_oversized_window() {
+        let input = Tensor::zeros(Shape::d3(1, 2, 2));
+        assert!(max_pool2d(&input, 3, 3).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Q-format fixed-point arithmetic for the reduced-precision accelerator
+//! study (paper Section VI-A).
+//!
+//! The paper's 8-bit variant represents weights and inputs as signed 8-bit
+//! fixed-point values. [`Q8`] models one such value together with its scale;
+//! [`quantize_slice_q8`] converts an `f32` slice given a symmetric range.
+//! Because an 8-bit value space is itself a 256-cluster linear quantizer,
+//! switching the accelerator to Q8 both raises input similarity (fewer
+//! distinguishable values) and shrinks every memory/compute cost — exactly
+//! the effect Section VI-A reports.
+
+use std::fmt;
+
+/// A signed 8-bit fixed-point value with an associated power-free scale.
+///
+/// The represented real value is `raw as f32 * scale`.
+///
+/// # Example
+///
+/// ```
+/// use reuse_tensor::fixed::Q8;
+///
+/// let q = Q8::from_f32(0.5, 1.0 / 127.0);
+/// assert!((q.to_f32() - 0.5).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Q8 {
+    raw: i8,
+    scale: f32,
+}
+
+impl Q8 {
+    /// Quantizes an `f32` to the nearest representable Q8 value, saturating
+    /// at the i8 range.
+    pub fn from_f32(value: f32, scale: f32) -> Self {
+        let raw = (value / scale).round().clamp(i8::MIN as f32, i8::MAX as f32) as i8;
+        Q8 { raw, scale }
+    }
+
+    /// The raw integer code.
+    pub fn raw(&self) -> i8 {
+        self.raw
+    }
+
+    /// The scale (real value per unit code).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn to_f32(&self) -> f32 {
+        self.raw as f32 * self.scale
+    }
+}
+
+impl fmt::Display for Q8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}q({:.6})", self.raw, self.scale)
+    }
+}
+
+/// Derives the symmetric Q8 scale covering `[-max_abs, max_abs]`.
+///
+/// A `max_abs` of zero yields a unit scale so zero tensors stay representable.
+pub fn q8_scale(max_abs: f32) -> f32 {
+    if max_abs == 0.0 {
+        1.0
+    } else {
+        max_abs / 127.0
+    }
+}
+
+/// Quantizes a slice to raw i8 codes under a shared scale.
+pub fn quantize_slice_q8(values: &[f32], scale: f32) -> Vec<i8> {
+    values
+        .iter()
+        .map(|&v| (v / scale).round().clamp(i8::MIN as f32, i8::MAX as f32) as i8)
+        .collect()
+}
+
+/// Dequantizes raw i8 codes back to `f32` under a shared scale.
+pub fn dequantize_slice_q8(codes: &[i8], scale: f32) -> Vec<f32> {
+    codes.iter().map(|&c| c as f32 * scale).collect()
+}
+
+/// Fixed-point dot product: accumulates in i32 (the hardware accumulator
+/// width) and rescales once at the end, mirroring an 8-bit MAC array.
+pub fn dot_q8(a: &[i8], b: &[i8], a_scale: f32, b_scale: f32) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let acc: i32 = a.iter().zip(b.iter()).map(|(&x, &y)| x as i32 * y as i32).sum();
+    acc as f32 * a_scale * b_scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_within_half_step() {
+        let scale = q8_scale(1.0);
+        for &v in &[0.0f32, 0.25, -0.5, 0.999, -1.0] {
+            let q = Q8::from_f32(v, scale);
+            assert!((q.to_f32() - v).abs() <= scale / 2.0 + 1e-7, "value {v}");
+        }
+    }
+
+    #[test]
+    fn saturation_at_range_edges() {
+        let scale = q8_scale(1.0);
+        let hi = Q8::from_f32(10.0, scale);
+        assert_eq!(hi.raw(), 127);
+        let lo = Q8::from_f32(-10.0, scale);
+        assert_eq!(lo.raw(), -128);
+    }
+
+    #[test]
+    fn zero_max_abs_keeps_unit_scale() {
+        assert_eq!(q8_scale(0.0), 1.0);
+        assert_eq!(Q8::from_f32(0.0, q8_scale(0.0)).raw(), 0);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let values = [0.5f32, -0.25, 0.75, 0.0];
+        let scale = q8_scale(1.0);
+        let codes = quantize_slice_q8(&values, scale);
+        let back = dequantize_slice_q8(&codes, scale);
+        for (v, b) in values.iter().zip(back.iter()) {
+            assert!((v - b).abs() <= scale / 2.0 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let scale = q8_scale(2.0);
+        let q1 = Q8::from_f32(1.37, scale);
+        let q2 = Q8::from_f32(q1.to_f32(), scale);
+        assert_eq!(q1.raw(), q2.raw());
+    }
+
+    #[test]
+    fn dot_q8_matches_f32_dot_within_quantization_error() {
+        let a = [0.5f32, -0.5, 0.25, 1.0];
+        let b = [1.0f32, 1.0, -1.0, 0.5];
+        let (sa, sb) = (q8_scale(1.0), q8_scale(1.0));
+        let qa = quantize_slice_q8(&a, sa);
+        let qb = quantize_slice_q8(&b, sb);
+        let fx = dot_q8(&qa, &qb, sa, sb);
+        let fl: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        assert!((fx - fl).abs() < 0.05, "fixed {fx} vs float {fl}");
+    }
+
+    #[test]
+    fn display_shows_raw_and_scale() {
+        let q = Q8::from_f32(0.5, 0.01);
+        assert!(q.to_string().contains('q'));
+    }
+}

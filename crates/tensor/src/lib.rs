@@ -1,0 +1,38 @@
+//! Tensor substrate for the `reuse-dnn` reproduction.
+//!
+//! This crate provides the minimal-but-complete numeric foundation the rest
+//! of the workspace builds on:
+//!
+//! * [`Shape`] — dimension bookkeeping with row-major strides.
+//! * [`Tensor`] — an owned, row-major `f32` tensor with checked indexing.
+//! * [`ops`] — elementwise operations and reductions.
+//! * [`matmul`] — dense matrix multiply / matrix-vector kernels used by
+//!   fully-connected layers.
+//! * [`conv`] — direct 2D and 3D convolution kernels used by convolutional
+//!   layers (no im2col; the accelerator model mirrors the direct loop nest).
+//! * [`fixed`] — Q-format fixed-point scalars used by the reduced-precision
+//!   accelerator study (paper Section VI-A).
+//!
+//! # Example
+//!
+//! ```
+//! use reuse_tensor::{Shape, Tensor};
+//!
+//! let t = Tensor::from_vec(Shape::d2(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! assert_eq!(t.get(&[1, 2])?, 6.0);
+//! # Ok::<(), reuse_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod conv;
+mod error;
+pub mod fixed;
+pub mod matmul;
+pub mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,167 @@
+//! Dense matrix kernels for fully-connected layers.
+//!
+//! The fully-connected layer of the paper (Eq. 1) is a matrix-vector product
+//! plus bias. Weights are stored **input-major** (`weights[input][neuron]`),
+//! mirroring the accelerator's interleaved Weights Buffer layout (paper
+//! Fig. 7): all the weights that a single *input* feeds are contiguous, which
+//! is exactly what the reuse scheme needs to skip or correct one input at a
+//! time.
+
+use crate::{Shape, Tensor, TensorError};
+
+/// Computes `out[j] = Σ_i w[i][j] · x[i] + b[j]` (paper Eq. 1).
+///
+/// * `weights` must have shape `[n_inputs, n_outputs]` (input-major).
+/// * `input` must have `n_inputs` elements (any shape; flattened).
+/// * `bias` must have `n_outputs` elements.
+///
+/// The accumulation walks inputs in ascending order so that the incremental
+/// reuse path in `reuse-core` can reproduce results deterministically.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when dimensions disagree.
+pub fn fc_forward(weights: &Tensor, input: &Tensor, bias: &Tensor) -> Result<Tensor, TensorError> {
+    let dims = weights.shape().dims();
+    if dims.len() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("fc weights must be rank-2, got {}", weights.shape()),
+        });
+    }
+    let (n_in, n_out) = (dims[0], dims[1]);
+    if input.len() != n_in {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("fc input length {} does not match weight rows {}", input.len(), n_in),
+        });
+    }
+    if bias.len() != n_out {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("fc bias length {} does not match weight cols {}", bias.len(), n_out),
+        });
+    }
+    let w = weights.as_slice();
+    let x = input.as_slice();
+    let mut out = bias.as_slice().to_vec();
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            // Mathematically a no-op; skipping keeps the flop pattern
+            // identical to what the zero-aware hardware would do while not
+            // changing the result.
+            continue;
+        }
+        let row = &w[i * n_out..(i + 1) * n_out];
+        for (o, &wij) in row.iter().enumerate() {
+            out[o] += xi * wij;
+        }
+    }
+    Tensor::from_vec(Shape::d1(n_out), out)
+}
+
+/// General dense matrix multiply `C = A · B` with `A: [m, k]`, `B: [k, n]`.
+///
+/// Used by tests and by the LSTM gates when batching the four gate weight
+/// matrices.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when inner dimensions disagree or
+/// either operand is not rank-2.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (ad, bd) = (a.shape().dims(), b.shape().dims());
+    if ad.len() != 2 || bd.len() != 2 {
+        return Err(TensorError::ShapeMismatch { context: "matmul operands must be rank-2".into() });
+    }
+    let (m, k) = (ad[0], ad[1]);
+    let (k2, n) = (bd[0], bd[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("matmul inner dims {k} vs {k2}"),
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for l in 0..k {
+            let aik = av[i * k + l];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[l * n..(l + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                *cj += aik * bj;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d2(m, n), c)
+}
+
+/// Number of multiply and add operations an FC layer performs from scratch:
+/// `2 · n_in · n_out` (paper Section II-A).
+pub fn fc_flops(n_in: usize, n_out: usize) -> u64 {
+    2 * n_in as u64 * n_out as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_forward_matches_hand_computation() {
+        // 2 inputs, 3 neurons; weights input-major.
+        let w = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let x = Tensor::from_slice_1d(&[10.0, 100.0]).unwrap();
+        let b = Tensor::from_slice_1d(&[0.5, 0.5, 0.5]).unwrap();
+        let y = fc_forward(&w, &x, &b).unwrap();
+        assert_eq!(y.as_slice(), &[10.0 + 400.0 + 0.5, 20.0 + 500.0 + 0.5, 30.0 + 600.0 + 0.5]);
+    }
+
+    #[test]
+    fn fc_forward_with_zero_input_equals_bias() {
+        let w = Tensor::from_vec(Shape::d2(3, 2), vec![1.0; 6]).unwrap();
+        let x = Tensor::from_slice_1d(&[0.0, 0.0, 0.0]).unwrap();
+        let b = Tensor::from_slice_1d(&[7.0, -7.0]).unwrap();
+        let y = fc_forward(&w, &x, &b).unwrap();
+        assert_eq!(y.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn fc_forward_validates_dimensions() {
+        let w = Tensor::from_vec(Shape::d2(2, 3), vec![0.0; 6]).unwrap();
+        let x = Tensor::from_slice_1d(&[1.0]).unwrap();
+        let b = Tensor::from_slice_1d(&[0.0; 3]).unwrap();
+        assert!(fc_forward(&w, &x, &b).is_err());
+        let x2 = Tensor::from_slice_1d(&[1.0, 2.0]).unwrap();
+        let b2 = Tensor::from_slice_1d(&[0.0; 2]).unwrap();
+        assert!(fc_forward(&w, &x2, &b2).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let i = Tensor::from_vec(Shape::d2(2, 2), vec![1., 0., 0., 1.]).unwrap();
+        let a = Tensor::from_vec(Shape::d2(2, 2), vec![1., 2., 3., 4.]).unwrap();
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(Shape::d2(1, 3), vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_vec(Shape::d2(3, 2), vec![1., 0., 0., 1., 1., 1.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[1, 2]);
+        assert_eq!(c.as_slice(), &[1. + 3., 2. + 3.]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d2(2, 2));
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(fc_flops(400, 2000), 1_600_000);
+    }
+}

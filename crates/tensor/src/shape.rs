@@ -1,0 +1,193 @@
+use crate::TensorError;
+
+/// The shape of a tensor: an ordered list of dimension sizes.
+///
+/// Shapes are row-major: the last dimension varies fastest in memory.
+///
+/// # Example
+///
+/// ```
+/// use reuse_tensor::Shape;
+///
+/// let s = Shape::d3(2, 3, 4);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] if `dims` is empty or any
+    /// dimension is zero.
+    pub fn new(dims: &[usize]) -> Result<Self, TensorError> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(TensorError::EmptyShape);
+        }
+        Ok(Shape { dims: dims.to_vec() })
+    }
+
+    /// Creates a 1-dimensional shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn d1(n: usize) -> Self {
+        Self::new(&[n]).expect("dimension must be non-zero")
+    }
+
+    /// Creates a 2-dimensional shape (rows, cols).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Self::new(&[rows, cols]).expect("dimensions must be non-zero")
+    }
+
+    /// Creates a 3-dimensional shape (channels, height, width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn d3(c: usize, h: usize, w: usize) -> Self {
+        Self::new(&[c, h, w]).expect("dimensions must be non-zero")
+    }
+
+    /// Creates a 4-dimensional shape (channels, depth, height, width),
+    /// the NCDHW-without-batch convention used for 3D convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn d4(c: usize, d: usize, h: usize, w: usize) -> Self {
+        Self::new(&[c, d, h, w]).expect("dimensions must be non-zero")
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `index` has the wrong rank and
+    /// [`TensorError::OutOfBounds`] if any coordinate exceeds its dimension.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::RankMismatch { expected: self.dims.len(), actual: index.len() });
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for dim in (0..self.dims.len()).rev() {
+            let idx = index[dim];
+            let size = self.dims[dim];
+            if idx >= size {
+                return Err(TensorError::OutOfBounds { dim, index: idx, size });
+            }
+            off += idx * stride;
+            stride *= size;
+        }
+        Ok(off)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Shape> for Vec<usize> {
+    fn from(shape: Shape) -> Self {
+        shape.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::d4(3, 16, 112, 112);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.volume(), 3 * 16 * 112 * 112);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s1 = Shape::d1(7);
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::d3(2, 3, 4);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..2 {
+            for h in 0..3 {
+                for w in 0..4 {
+                    let off = s.offset(&[c, h, w]).unwrap();
+                    assert!(off < s.volume());
+                    assert!(seen.insert(off), "offsets must be unique");
+                }
+            }
+        }
+        assert_eq!(seen.len(), s.volume());
+    }
+
+    #[test]
+    fn offset_rejects_bad_rank_and_bounds() {
+        let s = Shape::d2(2, 3);
+        assert!(matches!(s.offset(&[0]), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(s.offset(&[0, 3]), Err(TensorError::OutOfBounds { dim: 1, .. })));
+        assert!(matches!(s.offset(&[2, 0]), Err(TensorError::OutOfBounds { dim: 0, .. })));
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert_eq!(Shape::new(&[]), Err(TensorError::EmptyShape));
+        assert_eq!(Shape::new(&[2, 0, 3]), Err(TensorError::EmptyShape));
+    }
+
+    #[test]
+    fn display_formats_dimensions() {
+        assert_eq!(Shape::d3(3, 66, 200).to_string(), "[3x66x200]");
+    }
+}

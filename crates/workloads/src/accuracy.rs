@@ -1,0 +1,149 @@
+//! Output-agreement accuracy proxy.
+//!
+//! Without the trained models and labeled test sets, "accuracy loss" is
+//! measured as the fraction of executions whose *decision* changes when
+//! quantization + reuse is enabled, relative to the full-precision network
+//! on the same inputs (see DESIGN.md substitution table):
+//!
+//! * Classification networks (Kaldi, EESEN, C3D): arg-max agreement.
+//! * Regression networks (AutoPilot): steering output within a tolerance.
+
+use reuse_tensor::Tensor;
+
+/// Agreement between a test run and its full-precision reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgreementReport {
+    /// Executions compared.
+    pub executions: u64,
+    /// Executions whose decisions agreed.
+    pub agreements: u64,
+}
+
+impl AgreementReport {
+    /// Agreement ratio in `[0, 1]` (1 when nothing was compared).
+    pub fn ratio(&self) -> f64 {
+        if self.executions == 0 {
+            1.0
+        } else {
+            self.agreements as f64 / self.executions as f64
+        }
+    }
+
+    /// The "accuracy loss" the experiment tables print: `1 − ratio`.
+    pub fn loss(&self) -> f64 {
+        1.0 - self.ratio()
+    }
+}
+
+/// Arg-max agreement for classification outputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn classification_agreement(reference: &[Tensor], test: &[Tensor]) -> AgreementReport {
+    assert_eq!(reference.len(), test.len(), "output sequences must align");
+    let agreements = reference
+        .iter()
+        .zip(test.iter())
+        .filter(|(r, t)| r.argmax() == t.argmax())
+        .count() as u64;
+    AgreementReport { executions: reference.len() as u64, agreements }
+}
+
+/// Tolerance agreement for scalar regression outputs: agree when
+/// `|test − reference| ≤ tol · max(|reference|, floor)`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn regression_agreement(
+    reference: &[Tensor],
+    test: &[Tensor],
+    tol: f32,
+    floor: f32,
+) -> AgreementReport {
+    assert_eq!(reference.len(), test.len(), "output sequences must align");
+    let agreements = reference
+        .iter()
+        .zip(test.iter())
+        .filter(|(r, t)| {
+            let rv = r.as_slice()[0];
+            let tv = t.as_slice()[0];
+            (tv - rv).abs() <= tol * rv.abs().max(floor)
+        })
+        .count() as u64;
+    AgreementReport { executions: reference.len() as u64, agreements }
+}
+
+/// Mean relative L2 error between test and reference output vectors:
+/// `mean_t ‖test_t − ref_t‖ / ‖ref_t‖`. This is the direct measure of the
+/// degradation channel quantization + reuse introduces; the paper's small
+/// accuracy losses correspond to this being small.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mean_relative_error(reference: &[Tensor], test: &[Tensor]) -> f64 {
+    assert_eq!(reference.len(), test.len(), "output sequences must align");
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (r, t) in reference.iter().zip(test.iter()) {
+        let dist = r.l2_distance(t).expect("aligned shapes") as f64;
+        let mag = (r.l2_norm() as f64).max(1e-9);
+        total += dist / mag;
+    }
+    total / reference.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice_1d(v).unwrap()
+    }
+
+    #[test]
+    fn classification_counts_argmax_matches() {
+        let reference = vec![t(&[0.1, 0.9]), t(&[0.8, 0.2]), t(&[0.4, 0.6])];
+        let test = vec![t(&[0.2, 0.8]), t(&[0.3, 0.7]), t(&[0.1, 0.9])];
+        let r = classification_agreement(&reference, &test);
+        assert_eq!(r.executions, 3);
+        assert_eq!(r.agreements, 2);
+        assert!((r.loss() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_uses_relative_tolerance_with_floor() {
+        let reference = vec![t(&[1.0]), t(&[0.0]), t(&[-2.0])];
+        let test = vec![t(&[1.04]), t(&[0.05]), t(&[-2.5])];
+        let r = regression_agreement(&reference, &test, 0.05, 0.2);
+        // 1.04 within 5% of 1.0; 0.05 within 5% of floor 0.2? 0.05>0.01 no;
+        // -2.5 vs -2.0 is 25% off.
+        assert_eq!(r.agreements, 1);
+    }
+
+    #[test]
+    fn empty_comparison_is_perfect() {
+        let r = classification_agreement(&[], &[]);
+        assert_eq!(r.ratio(), 1.0);
+        assert_eq!(r.loss(), 0.0);
+        assert_eq!(mean_relative_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_zero_for_identical_outputs() {
+        let outs = vec![t(&[3.0, 4.0]), t(&[1.0, 0.0])];
+        assert_eq!(mean_relative_error(&outs, &outs), 0.0);
+    }
+
+    #[test]
+    fn relative_error_scales_with_distance() {
+        let reference = vec![t(&[3.0, 4.0])]; // norm 5
+        let test = vec![t(&[3.0, 4.5])]; // distance 0.5
+        let e = mean_relative_error(&reference, &test);
+        assert!((e - 0.1).abs() < 1e-6, "error {e}");
+    }
+}

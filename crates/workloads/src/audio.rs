@@ -1,0 +1,185 @@
+//! Synthetic speech-feature streams.
+//!
+//! Speech is quasi-stationary over ~10 ms frames (paper Fig. 1): feature
+//! vectors evolve smoothly within a phoneme and jump at phoneme boundaries.
+//! [`SpeechStream`] models this as a piecewise Ornstein-Uhlenbeck process:
+//! every `phone_len` frames a new random target vector is drawn, and
+//! between jumps features relax toward the target with small innovations.
+//!
+//! For the Kaldi MLP the DNN input is a *sliding window* of `window`
+//! consecutive frames, so two consecutive DNN executions share all but one
+//! frame — the second driver of similarity the paper identifies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic stream of synthetic speech feature frames.
+#[derive(Debug, Clone)]
+pub struct SpeechStream {
+    rng: StdRng,
+    features: usize,
+    /// Frames per synthetic phoneme segment.
+    phone_len: usize,
+    /// Relaxation rate toward the segment target in `(0, 1]`.
+    relax: f32,
+    /// Innovation noise amplitude.
+    noise: f32,
+    state: Vec<f32>,
+    target: Vec<f32>,
+    frame_index: usize,
+}
+
+impl SpeechStream {
+    /// Creates a stream of `features`-dimensional frames.
+    pub fn new(features: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state: Vec<f32> = (0..features).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let target: Vec<f32> = (0..features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        SpeechStream {
+            rng,
+            features,
+            phone_len: 8,
+            relax: 0.25,
+            noise: 0.02,
+            state,
+            target,
+            frame_index: 0,
+        }
+    }
+
+    /// Overrides the phoneme segment length in frames.
+    pub fn phone_len(mut self, frames: usize) -> Self {
+        self.phone_len = frames.max(1);
+        self
+    }
+
+    /// Overrides the innovation noise amplitude (higher ⇒ less similarity).
+    pub fn noise(mut self, noise: f32) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Overrides the relaxation rate toward the segment target (higher ⇒
+    /// faster per-frame drift ⇒ less similarity).
+    pub fn relax(mut self, relax: f32) -> Self {
+        self.relax = relax.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Number of features per frame.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Produces the next frame.
+    pub fn next_frame(&mut self) -> Vec<f32> {
+        if self.frame_index > 0 && self.frame_index.is_multiple_of(self.phone_len) {
+            // Phoneme boundary: new target.
+            for t in &mut self.target {
+                *t = self.rng.gen_range(-1.0..1.0);
+            }
+        }
+        self.frame_index += 1;
+        for (s, &t) in self.state.iter_mut().zip(self.target.iter()) {
+            let innovation: f32 = self.rng.gen_range(-1.0..1.0) * self.noise;
+            *s += self.relax * (t - *s) + innovation;
+            *s = s.clamp(-1.5, 1.5);
+        }
+        self.state.clone()
+    }
+
+    /// Produces `n` consecutive frames.
+    pub fn frames(&mut self, n: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|_| self.next_frame()).collect()
+    }
+}
+
+/// Builds sliding-window DNN inputs from a frame sequence: execution `t`
+/// sees frames `[t, t + window)` concatenated. Returns
+/// `frames.len() - window + 1` inputs.
+///
+/// # Panics
+///
+/// Panics if `window` is zero or larger than the sequence.
+pub fn sliding_windows(frames: &[Vec<f32>], window: usize) -> Vec<Vec<f32>> {
+    assert!(window > 0 && window <= frames.len(), "window must fit the sequence");
+    frames
+        .windows(window)
+        .map(|w| w.iter().flat_map(|f| f.iter().copied()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = SpeechStream::new(40, 7);
+        let mut b = SpeechStream::new(40, 7);
+        assert_eq!(a.frames(20), b.frames(20));
+    }
+
+    #[test]
+    fn consecutive_frames_are_similar() {
+        let mut s = SpeechStream::new(40, 1);
+        let frames = s.frames(100);
+        let mut total_rd = 0.0f64;
+        for pair in frames.windows(2) {
+            let dist: f32 = pair[0]
+                .iter()
+                .zip(pair[1].iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            let mag: f32 = pair[0].iter().map(|v| v * v).sum::<f32>().sqrt();
+            total_rd += (dist / mag.max(1e-6)) as f64;
+        }
+        let mean_rd = total_rd / 99.0;
+        // The paper's Fig. 4 shows 5-25% relative differences.
+        assert!(mean_rd < 0.5, "mean relative difference {mean_rd}");
+        assert!(mean_rd > 0.005, "frames should not be constant");
+    }
+
+    #[test]
+    fn phoneme_jumps_change_targets() {
+        let mut quick = SpeechStream::new(8, 3).phone_len(2);
+        let mut slow = SpeechStream::new(8, 3).phone_len(1000);
+        let fq = quick.frames(60);
+        let fs = slow.frames(60);
+        let var = |fs: &[Vec<f32>]| -> f32 {
+            let n = fs.len() as f32;
+            let mean: Vec<f32> = (0..8)
+                .map(|i| fs.iter().map(|f| f[i]).sum::<f32>() / n)
+                .collect();
+            fs.iter()
+                .map(|f| f.iter().zip(&mean).map(|(a, m)| (a - m) * (a - m)).sum::<f32>())
+                .sum::<f32>()
+                / n
+        };
+        assert!(var(&fq) > var(&fs), "frequent jumps should add variance");
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        let frames = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let wins = sliding_windows(&frames, 3);
+        assert_eq!(wins.len(), 2);
+        assert_eq!(wins[0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(wins[1], vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must fit")]
+    fn oversized_window_panics() {
+        sliding_windows(&[vec![1.0]], 2);
+    }
+
+    #[test]
+    fn frames_stay_bounded() {
+        let mut s = SpeechStream::new(16, 9).noise(0.1);
+        for f in s.frames(500) {
+            assert!(f.iter().all(|v| v.abs() <= 1.5));
+        }
+    }
+}

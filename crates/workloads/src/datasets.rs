@@ -1,0 +1,198 @@
+//! Named synthetic datasets with calibration/evaluation splits.
+//!
+//! The paper calibrates quantizer ranges on the *training* set and
+//! evaluates on held-out audio/video. This module gives the synthetic
+//! streams the same discipline: a [`Dataset`] is a named, seeded collection
+//! of sequences split into a calibration part and an evaluation part, so
+//! experiments never profile ranges on the data they measure.
+
+use crate::Workload;
+
+/// A deterministic synthetic dataset for one workload.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    /// Calibration sequences (profile quantizer ranges here).
+    calibration: Vec<Vec<Vec<f32>>>,
+    /// Evaluation sequences (measure similarity/reuse/accuracy here).
+    evaluation: Vec<Vec<Vec<f32>>>,
+}
+
+/// Configuration for dataset generation.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Base seed; calibration and evaluation derive disjoint streams.
+    pub seed: u64,
+    /// Number of calibration sequences.
+    pub calibration_sequences: usize,
+    /// Number of evaluation sequences.
+    pub evaluation_sequences: usize,
+    /// Frames (DNN executions) per sequence.
+    pub sequence_length: usize,
+}
+
+impl Default for DatasetSpec {
+    fn default() -> Self {
+        DatasetSpec {
+            seed: 42,
+            calibration_sequences: 1,
+            evaluation_sequences: 3,
+            sequence_length: 40,
+        }
+    }
+}
+
+impl Dataset {
+    /// Generates a dataset for a workload. Calibration and evaluation use
+    /// disjoint seed spaces, so no evaluation frame is ever profiled.
+    pub fn generate(workload: &Workload, spec: &DatasetSpec) -> Self {
+        let gen_split = |count: usize, salt: u64| -> Vec<Vec<Vec<f32>>> {
+            (0..count)
+                .map(|i| {
+                    let seed = spec
+                        .seed
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add(salt)
+                        .wrapping_add(i as u64 * 7919);
+                    if workload.is_recurrent() {
+                        workload
+                            .generate_sequences(1, spec.sequence_length, seed)
+                            .pop()
+                            .expect("one sequence requested")
+                    } else {
+                        workload.generate_frames(spec.sequence_length, seed)
+                    }
+                })
+                .collect()
+        };
+        Dataset {
+            name: format!("{}-{}", workload.kind().name().to_lowercase(), spec.seed),
+            calibration: gen_split(spec.calibration_sequences, 0x0C01),
+            evaluation: gen_split(spec.evaluation_sequences, 0xE7A1),
+        }
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Calibration sequences.
+    pub fn calibration(&self) -> &[Vec<Vec<f32>>] {
+        &self.calibration
+    }
+
+    /// Evaluation sequences.
+    pub fn evaluation(&self) -> &[Vec<Vec<f32>>] {
+        &self.evaluation
+    }
+
+    /// Total evaluation executions.
+    pub fn evaluation_executions(&self) -> usize {
+        self.evaluation.iter().map(Vec::len).sum()
+    }
+
+    /// Raw-input temporal statistics of the evaluation split: mean relative
+    /// difference between consecutive frames, per sequence.
+    pub fn frame_statistics(&self) -> FrameStats {
+        let mut rds = Vec::new();
+        for seq in &self.evaluation {
+            for pair in seq.windows(2) {
+                let mut dist2 = 0.0f64;
+                let mut mag2 = 0.0f64;
+                for (a, b) in pair[0].iter().zip(pair[1].iter()) {
+                    let d = (b - a) as f64;
+                    dist2 += d * d;
+                    mag2 += (*a as f64) * (*a as f64);
+                }
+                if mag2 > 0.0 {
+                    rds.push((dist2.sqrt() / mag2.sqrt()) as f32);
+                }
+            }
+        }
+        let mean = if rds.is_empty() { 0.0 } else { rds.iter().sum::<f32>() / rds.len() as f32 };
+        let max = rds.iter().copied().fold(0.0f32, f32::max);
+        FrameStats { mean_relative_difference: mean, max_relative_difference: max }
+    }
+}
+
+/// Temporal statistics of a dataset's raw frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameStats {
+    /// Mean relative difference between consecutive frames (the paper
+    /// reports <14% on average for its DNN inputs).
+    pub mean_relative_difference: f32,
+    /// Maximum observed relative difference.
+    pub max_relative_difference: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scale, WorkloadKind};
+
+    fn dataset(kind: WorkloadKind) -> Dataset {
+        let w = Workload::build(kind, Scale::Tiny);
+        Dataset::generate(
+            &w,
+            &DatasetSpec {
+                seed: 7,
+                calibration_sequences: 1,
+                evaluation_sequences: 2,
+                sequence_length: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn splits_have_requested_sizes() {
+        let d = dataset(WorkloadKind::Kaldi);
+        assert_eq!(d.calibration().len(), 1);
+        assert_eq!(d.evaluation().len(), 2);
+        assert_eq!(d.evaluation_executions(), 20);
+        assert!(d.name().contains("kaldi"));
+    }
+
+    #[test]
+    fn calibration_and_evaluation_are_disjoint() {
+        let d = dataset(WorkloadKind::Kaldi);
+        // No calibration frame equals any evaluation frame (different seed
+        // streams).
+        for c in &d.calibration()[0][..3] {
+            for seq in d.evaluation() {
+                for e in &seq[..3] {
+                    assert_ne!(c, e);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = dataset(WorkloadKind::AutoPilot);
+        let b = dataset(WorkloadKind::AutoPilot);
+        assert_eq!(a.evaluation()[0][0], b.evaluation()[0][0]);
+    }
+
+    #[test]
+    fn frame_statistics_in_paper_band() {
+        // The paper: mean relative difference below 14% for its inputs.
+        let d = dataset(WorkloadKind::AutoPilot);
+        let stats = d.frame_statistics();
+        assert!(stats.mean_relative_difference > 0.0);
+        assert!(
+            stats.mean_relative_difference < 0.2,
+            "mean rd {}",
+            stats.mean_relative_difference
+        );
+        assert!(stats.max_relative_difference >= stats.mean_relative_difference);
+    }
+
+    #[test]
+    fn recurrent_datasets_produce_sequences() {
+        let d = dataset(WorkloadKind::Eesen);
+        assert_eq!(d.evaluation()[0].len(), 10);
+        let w = Workload::build(WorkloadKind::Eesen, Scale::Tiny);
+        assert_eq!(d.evaluation()[0][0].len(), w.network().input_shape().volume());
+    }
+}

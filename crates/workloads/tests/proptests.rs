@@ -1,0 +1,88 @@
+//! Property-based tests of the synthetic input generators: determinism,
+//! bounds, and temporal-similarity structure.
+
+use proptest::prelude::*;
+use reuse_workloads::audio::{sliding_windows, SpeechStream};
+use reuse_workloads::video::{ActionClip, DashcamStream};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn speech_stream_deterministic(seed in 0u64..1000, features in 4usize..64) {
+        let mut a = SpeechStream::new(features, seed);
+        let mut b = SpeechStream::new(features, seed);
+        prop_assert_eq!(a.frames(16), b.frames(16));
+    }
+
+    #[test]
+    fn speech_frames_bounded(seed in 0u64..1000, noise in 0.0f32..0.2) {
+        let mut s = SpeechStream::new(16, seed).noise(noise);
+        for frame in s.frames(64) {
+            prop_assert!(frame.iter().all(|v| v.abs() <= 1.5));
+        }
+    }
+
+    #[test]
+    fn higher_noise_lowers_frame_similarity(seed in 0u64..100) {
+        let step = 2.0 / 16.0; // a 16-cluster quantizer over [-1, 1]
+        let sim_of = |noise: f32| {
+            let mut s = SpeechStream::new(32, seed).noise(noise);
+            let frames = s.frames(50);
+            let mut same = 0usize;
+            let mut total = 0usize;
+            for pair in frames.windows(2) {
+                for (a, b) in pair[0].iter().zip(pair[1].iter()) {
+                    total += 1;
+                    if ((a / step).round() - (b / step).round()).abs() < 0.5 {
+                        same += 1;
+                    }
+                }
+            }
+            same as f64 / total as f64
+        };
+        let quiet = sim_of(0.005);
+        let loud = sim_of(0.3);
+        prop_assert!(quiet > loud, "quiet {quiet} <= loud {loud}");
+    }
+
+    #[test]
+    fn sliding_windows_preserve_frame_data(
+        n_frames in 3usize..10, window in 1usize..4, dim in 1usize..5
+    ) {
+        prop_assume!(window <= n_frames);
+        let frames: Vec<Vec<f32>> = (0..n_frames)
+            .map(|t| (0..dim).map(|d| (t * dim + d) as f32).collect())
+            .collect();
+        let wins = sliding_windows(&frames, window);
+        prop_assert_eq!(wins.len(), n_frames - window + 1);
+        for (t, win) in wins.iter().enumerate() {
+            prop_assert_eq!(win.len(), window * dim);
+            // Window t starts with frame t.
+            prop_assert_eq!(&win[..dim], frames[t].as_slice());
+        }
+    }
+
+    #[test]
+    fn dashcam_pixels_unit_bounded(seed in 0u64..100) {
+        let mut s = DashcamStream::new(20, 40, seed);
+        for _ in 0..5 {
+            let f = s.next_frame();
+            prop_assert_eq!(f.len(), 3 * 20 * 40);
+            prop_assert!(f.iter().all(|v| (0.0..=1.0).contains(v)));
+            prop_assert!(s.steering().abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn action_clip_windows_deterministic(seed in 0u64..100) {
+        let mut a = ActionClip::new(16, 4, seed);
+        let mut b = ActionClip::new(16, 4, seed);
+        prop_assert_eq!(a.next_window(), b.next_window());
+        // Streams diverge from their own history (motion), not across
+        // instances.
+        let w2a = a.next_window();
+        let w2b = b.next_window();
+        prop_assert_eq!(w2a, w2b);
+    }
+}
