@@ -63,8 +63,8 @@ impl BlockedConv {
         let haloed = b + halo;
         let in_block_bytes = b * b * 4;
         let out_block_bytes = haloed * haloed * 4;
-        let io_buffer_bytes = self.in_channels as u64 * in_block_bytes
-            + self.out_channels as u64 * out_block_bytes;
+        let io_buffer_bytes =
+            self.in_channels as u64 * in_block_bytes + self.out_channels as u64 * out_block_bytes;
         let index_bytes = self.in_channels as u64 * b * b;
 
         // Inputs stream exactly once. Output tiles are read before
@@ -101,7 +101,14 @@ mod tests {
 
     /// C3D CONV6: 512 -> 512 maps at 14x14, 3x3 spatial kernel.
     fn c3d_conv6() -> BlockedConv {
-        BlockedConv { in_channels: 512, out_channels: 512, h: 14, w: 14, k: 3, block: 16 }
+        BlockedConv {
+            in_channels: 512,
+            out_channels: 512,
+            h: 14,
+            w: 14,
+            k: 3,
+            block: 16,
+        }
     }
 
     #[test]
@@ -120,7 +127,14 @@ mod tests {
 
     #[test]
     fn smaller_blocks_less_buffer_more_bandwidth() {
-        let layer = BlockedConv { in_channels: 64, out_channels: 128, h: 56, w: 56, k: 3, block: 0 };
+        let layer = BlockedConv {
+            in_channels: 64,
+            out_channels: 128,
+            h: 56,
+            w: 56,
+            k: 3,
+            block: 0,
+        };
         let sweep = block_size_sweep(&layer, &[4, 8, 16, 32]);
         for pair in sweep.windows(2) {
             let (_, io_a, dram_a) = pair[0];
@@ -132,7 +146,14 @@ mod tests {
 
     #[test]
     fn halo_vanishes_for_1x1_kernels() {
-        let layer = BlockedConv { in_channels: 8, out_channels: 8, h: 32, w: 32, k: 1, block: 16 };
+        let layer = BlockedConv {
+            in_channels: 8,
+            out_channels: 8,
+            h: 32,
+            w: 32,
+            k: 1,
+            block: 16,
+        };
         let c = layer.costs();
         // No halo: output tiles equal input tiles.
         assert_eq!(c.io_buffer_bytes, (8 + 8) * 16 * 16 * 4);
@@ -140,7 +161,14 @@ mod tests {
 
     #[test]
     fn block_count_covers_partial_edges() {
-        let layer = BlockedConv { in_channels: 1, out_channels: 1, h: 31, w: 98, k: 5, block: 16 };
+        let layer = BlockedConv {
+            in_channels: 1,
+            out_channels: 1,
+            h: 31,
+            w: 98,
+            k: 5,
+            block: 16,
+        };
         // ceil(31/16)=2, ceil(98/16)=7.
         assert_eq!(layer.blocks_per_map(), 14);
     }

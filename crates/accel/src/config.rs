@@ -66,7 +66,10 @@ impl AcceleratorConfig {
 
     /// The Section VI-A variant: identical organization, 8-bit fixed point.
     pub fn paper_fixed8() -> Self {
-        AcceleratorConfig { precision: Precision::Fixed8, ..Self::paper() }
+        AcceleratorConfig {
+            precision: Precision::Fixed8,
+            ..Self::paper()
+        }
     }
 
     /// Total multipliers across tiles (128 in the paper configuration).

@@ -78,7 +78,10 @@ pub fn simulate_execution(layers: &[LayerWork], config: &AcceleratorConfig) -> E
         // Cycle-accurate front/back end interplay.
         now += layer_compute_cycles(layer, lanes);
     }
-    EventReport { cycles: now, dram_stall_cycles: stalls }
+    EventReport {
+        cycles: now,
+        dram_stall_cycles: stalls,
+    }
 }
 
 /// Front end issues one input per cycle; changed inputs occupy the back end
@@ -142,7 +145,11 @@ pub fn work_from_trace(
             } else {
                 (l.n_inputs, l.macs_total)
             };
-            let fanout = if n_changed == 0 { 1 } else { (macs / n_changed.max(1)).max(1) };
+            let fanout = if n_changed == 0 {
+                1
+            } else {
+                (macs / n_changed.max(1)).max(1)
+            };
             let mut dram = (l.n_params as f64 * (1.0 - resident_fraction)) as u64 * bpv;
             if incremental && l.kind == reuse_nn::LayerKind::Fc {
                 dram = (dram as f64 * (l.n_changed as f64 / l.n_inputs.max(1) as f64)) as u64;
@@ -150,7 +157,12 @@ pub fn work_from_trace(
             if activations_spill {
                 dram += (l.n_inputs + l.n_outputs) * bpv;
             }
-            LayerWork { n_inputs: l.n_inputs, n_changed, fanout, dram_bytes: dram }
+            LayerWork {
+                n_inputs: l.n_inputs,
+                n_changed,
+                fanout,
+                dram_bytes: dram,
+            }
         })
         .collect()
 }
@@ -169,16 +181,32 @@ mod tests {
         // full back-end occupancy; the stepped machine overlaps the final
         // drain with trailing unchanged issues, so it is at most one
         // back-end burst tighter — never looser.
-        for (n_inputs, n_changed, fanout) in
-            [(400u64, 100u64, 2000u64), (400, 0, 2000), (400, 400, 2000), (1000, 1000, 64)]
-        {
-            let work = LayerWork { n_inputs, n_changed, fanout, dram_bytes: 0 };
+        for (n_inputs, n_changed, fanout) in [
+            (400u64, 100u64, 2000u64),
+            (400, 0, 2000),
+            (400, 400, 2000),
+            (1000, 1000, 64),
+        ] {
+            let work = LayerWork {
+                n_inputs,
+                n_changed,
+                fanout,
+                dram_bytes: 0,
+            };
             let stepped = layer_compute_cycles(&work, 128);
             let closed = crate::pipeline::layer_cycles(
-                &crate::pipeline::PipelineLayer { n_inputs, n_changed, fanout, quantize: true },
+                &crate::pipeline::PipelineLayer {
+                    n_inputs,
+                    n_changed,
+                    fanout,
+                    quantize: true,
+                },
                 128,
             );
-            assert!(stepped <= closed, "({n_inputs},{n_changed},{fanout}): {stepped} > {closed}");
+            assert!(
+                stepped <= closed,
+                "({n_inputs},{n_changed},{fanout}): {stepped} > {closed}"
+            );
             let slack = fanout.div_ceil(128) + crate::pipeline::STAGES;
             assert!(
                 closed - stepped <= slack,
@@ -192,11 +220,27 @@ mod tests {
     fn dram_overlaps_compute_with_double_buffering() {
         // Two layers: the second's transfer should hide behind the first's
         // compute when compute is long enough.
-        let long_compute = LayerWork { n_inputs: 10_000, n_changed: 10_000, fanout: 2000, dram_bytes: 0 };
-        let after = LayerWork { n_inputs: 10, n_changed: 10, fanout: 128, dram_bytes: 32_000 };
+        let long_compute = LayerWork {
+            n_inputs: 10_000,
+            n_changed: 10_000,
+            fanout: 2000,
+            dram_bytes: 0,
+        };
+        let after = LayerWork {
+            n_inputs: 10,
+            n_changed: 10,
+            fanout: 128,
+            dram_bytes: 32_000,
+        };
         let with_transfer = simulate_execution(&[long_compute, after], &config());
         let without = simulate_execution(
-            &[long_compute, LayerWork { dram_bytes: 0, ..after }],
+            &[
+                long_compute,
+                LayerWork {
+                    dram_bytes: 0,
+                    ..after
+                },
+            ],
             &config(),
         );
         // 32 KB at 32 B/cycle = 1000 cycles, fully hidden behind the first
@@ -208,7 +252,12 @@ mod tests {
     #[test]
     fn dram_bound_layer_stalls_the_pipeline() {
         // A tiny compute with a huge transfer must expose the transfer.
-        let layer = LayerWork { n_inputs: 10, n_changed: 10, fanout: 64, dram_bytes: 3_200_000 };
+        let layer = LayerWork {
+            n_inputs: 10,
+            n_changed: 10,
+            fanout: 64,
+            dram_bytes: 3_200_000,
+        };
         let report = simulate_execution(&[layer], &config());
         // 3.2 MB at 32 B/cycle = 100k cycles dominates.
         assert!(report.cycles >= 100_000);
@@ -217,8 +266,18 @@ mod tests {
 
     #[test]
     fn zero_similarity_equals_scratch_cost_plus_compare() {
-        let scratch = LayerWork { n_inputs: 400, n_changed: 400, fanout: 2000, dram_bytes: 0 };
-        let reused = LayerWork { n_inputs: 400, n_changed: 0, fanout: 2000, dram_bytes: 0 };
+        let scratch = LayerWork {
+            n_inputs: 400,
+            n_changed: 400,
+            fanout: 2000,
+            dram_bytes: 0,
+        };
+        let reused = LayerWork {
+            n_inputs: 400,
+            n_changed: 0,
+            fanout: 2000,
+            dram_bytes: 0,
+        };
         let s = simulate_execution(&[scratch], &config());
         let r = simulate_execution(&[reused], &config());
         // Fully-reused layer: one cycle per input.

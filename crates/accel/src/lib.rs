@@ -45,17 +45,17 @@
 
 pub mod area;
 pub mod blocking;
-pub mod events;
 mod config;
 mod energy;
+pub mod events;
 pub mod memory;
 pub mod noc;
 pub mod pipeline;
 pub mod platform;
-pub mod tiles;
 mod report;
 mod sim;
 pub mod sweep;
+pub mod tiles;
 
 pub use config::{AcceleratorConfig, Precision};
 pub use energy::{Component, EnergyBreakdown, EnergyModel, COMPONENTS};

@@ -32,7 +32,9 @@ pub struct StorageReport {
 /// IV-C / Table III): layer inputs/outputs live in main memory and move to
 /// the I/O buffer one block per feature map.
 pub fn activations_spill(net: &Network) -> bool {
-    net.layers().iter().any(|(_, l)| matches!(l, Layer::Conv2d(_) | Layer::Conv3d(_)))
+    net.layers()
+        .iter()
+        .any(|(_, l)| matches!(l, Layer::Conv2d(_) | Layer::Conv3d(_)))
 }
 
 fn largest_layer_io_bytes(net: &Network) -> u64 {
@@ -112,8 +114,7 @@ pub fn storage_report(net: &Network, enabled: impl Fn(&str) -> bool) -> StorageR
                     // x and h plus the four gates' buffered pre-activations
                     // per direction.
                     if let Layer::BiLstm(l) = layer {
-                        let per_dir =
-                            (l.n_in() + l.cell_dim() + 4 * 4 * l.cell_dim()) as u64;
+                        let per_dir = (l.n_in() + l.cell_dim() + 4 * 4 * l.cell_dim()) as u64;
                         io_reuse_extra = io_reuse_extra.max(2 * per_dir);
                     }
                 }

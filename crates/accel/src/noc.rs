@@ -36,17 +36,18 @@ pub const RING_BYTES_PER_CYCLE: u64 = 16;
 /// With `t` tiles, each tile's share must reach the other `t−1` tiles; on a
 /// unidirectional ring a value forwarded tile-to-tile travels `t−1` hops to
 /// visit everyone, so byte-hops = `bytes × (t−1)`.
-pub fn broadcast_outputs(
-    n_outputs: u64,
-    config: &AcceleratorConfig,
-) -> RingTraffic {
+pub fn broadcast_outputs(n_outputs: u64, config: &AcceleratorConfig) -> RingTraffic {
     let t = config.tiles.max(1) as u64;
     let bytes = n_outputs * config.bytes_per_value();
     let byte_hops = bytes * (t - 1);
     // All `t` links run in parallel; each byte-hop is one link-cycle of
     // RING_BYTES_PER_CYCLE capacity.
     let cycles = byte_hops.div_ceil(RING_BYTES_PER_CYCLE * t);
-    RingTraffic { byte_hops, cycles, energy_j: byte_hops as f64 * RING_J_PER_BYTE_HOP }
+    RingTraffic {
+        byte_hops,
+        cycles,
+        energy_j: byte_hops as f64 * RING_J_PER_BYTE_HOP,
+    }
 }
 
 /// Ring overhead of a whole execution relative to its compute cycles:
@@ -56,8 +57,15 @@ pub fn execution_overhead(
     compute_cycles: u64,
     config: &AcceleratorConfig,
 ) -> (u64, u64, f64) {
-    let ring: u64 = layer_outputs.iter().map(|&n| broadcast_outputs(n, config).cycles).sum();
-    let frac = if compute_cycles == 0 { 0.0 } else { ring as f64 / compute_cycles as f64 };
+    let ring: u64 = layer_outputs
+        .iter()
+        .map(|&n| broadcast_outputs(n, config).cycles)
+        .sum();
+    let frac = if compute_cycles == 0 {
+        0.0
+    } else {
+        ring as f64 / compute_cycles as f64
+    };
     (ring, compute_cycles, frac)
 }
 
@@ -67,7 +75,10 @@ mod tests {
 
     #[test]
     fn single_tile_needs_no_ring() {
-        let config = AcceleratorConfig { tiles: 1, ..AcceleratorConfig::paper() };
+        let config = AcceleratorConfig {
+            tiles: 1,
+            ..AcceleratorConfig::paper()
+        };
         let t = broadcast_outputs(2000, &config);
         assert_eq!(t.byte_hops, 0);
         assert_eq!(t.cycles, 0);
@@ -76,7 +87,10 @@ mod tests {
 
     #[test]
     fn byte_hops_scale_with_tiles_minus_one() {
-        let mk = |tiles| AcceleratorConfig { tiles, ..AcceleratorConfig::paper() };
+        let mk = |tiles| AcceleratorConfig {
+            tiles,
+            ..AcceleratorConfig::paper()
+        };
         let t2 = broadcast_outputs(1000, &mk(2));
         let t4 = broadcast_outputs(1000, &mk(4));
         assert_eq!(t2.byte_hops, 1000 * 4);

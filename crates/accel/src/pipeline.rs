@@ -66,14 +66,24 @@ mod tests {
 
     #[test]
     fn fully_reused_layer_costs_one_cycle_per_input() {
-        let l = PipelineLayer { n_inputs: 400, n_changed: 0, fanout: 2000, quantize: true };
+        let l = PipelineLayer {
+            n_inputs: 400,
+            n_changed: 0,
+            fanout: 2000,
+            quantize: true,
+        };
         assert_eq!(layer_cycles(&l, 128), 400 + STAGES);
     }
 
     #[test]
     fn from_scratch_matches_analytical_within_pipeline_overheads() {
         // Kaldi FC3 from scratch: 400 inputs x 2000 outputs on 128 lanes.
-        let l = PipelineLayer { n_inputs: 400, n_changed: 400, fanout: 2000, quantize: false };
+        let l = PipelineLayer {
+            n_inputs: 400,
+            n_changed: 400,
+            fanout: 2000,
+            quantize: false,
+        };
         let pipeline = layer_cycles(&l, 128);
         let analytical = (400u64 * 2000).div_ceil(128);
         // ceil(2000/128) = 16 > 2000/128 = 15.6: per-input rounding makes
@@ -85,7 +95,12 @@ mod tests {
 
     #[test]
     fn reuse_cycles_scale_with_changed_inputs() {
-        let changed = |n| PipelineLayer { n_inputs: 400, n_changed: n, fanout: 2000, quantize: true };
+        let changed = |n| PipelineLayer {
+            n_inputs: 400,
+            n_changed: n,
+            fanout: 2000,
+            quantize: true,
+        };
         let c0 = layer_cycles(&changed(0), 128);
         let c100 = layer_cycles(&changed(100), 128);
         let c400 = layer_cycles(&changed(400), 128);
@@ -102,14 +117,29 @@ mod tests {
     fn small_fanout_is_front_end_bound() {
         // A layer whose fanout fits the lanes retires one input per cycle
         // regardless of how many changed.
-        let l = PipelineLayer { n_inputs: 1000, n_changed: 1000, fanout: 64, quantize: true };
+        let l = PipelineLayer {
+            n_inputs: 1000,
+            n_changed: 1000,
+            fanout: 64,
+            quantize: true,
+        };
         assert_eq!(layer_cycles(&l, 128), 1000 + STAGES);
     }
 
     #[test]
     fn execution_sums_layers() {
-        let a = PipelineLayer { n_inputs: 10, n_changed: 0, fanout: 100, quantize: true };
-        let b = PipelineLayer { n_inputs: 20, n_changed: 20, fanout: 256, quantize: true };
+        let a = PipelineLayer {
+            n_inputs: 10,
+            n_changed: 0,
+            fanout: 100,
+            quantize: true,
+        };
+        let b = PipelineLayer {
+            n_inputs: 20,
+            n_changed: 20,
+            fanout: 256,
+            quantize: true,
+        };
         assert_eq!(
             execution_cycles(&[a, b], 128),
             layer_cycles(&a, 128) + layer_cycles(&b, 128)
@@ -118,7 +148,12 @@ mod tests {
 
     #[test]
     fn zero_lanes_clamped() {
-        let l = PipelineLayer { n_inputs: 4, n_changed: 4, fanout: 4, quantize: false };
+        let l = PipelineLayer {
+            n_inputs: 4,
+            n_changed: 4,
+            fanout: 4,
+            quantize: false,
+        };
         assert_eq!(layer_cycles(&l, 0), 4 * 4 + STAGES);
     }
 }

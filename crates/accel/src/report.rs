@@ -60,7 +60,10 @@ mod tests {
             executions: 1,
             cycles: 100,
             seconds,
-            energy: EnergyBreakdown { compute_engine: ce, ..Default::default() },
+            energy: EnergyBreakdown {
+                compute_engine: ce,
+                ..Default::default()
+            },
             macs: 0,
             edram_bytes: 0,
             io_bytes: 0,

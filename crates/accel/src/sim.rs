@@ -183,7 +183,11 @@ impl Simulator {
     ) -> Costs {
         let mut c = Costs::default();
         let incremental = mode == Mode::Reuse && layer.mode == TraceKind::Incremental;
-        c.macs = if incremental { layer.macs_performed } else { layer.macs_total };
+        c.macs = if incremental {
+            layer.macs_performed
+        } else {
+            layer.macs_total
+        };
         // Weight traffic. The data master fetches one weight per MAC from the
         // on-chip weights buffer (weights are reused across output positions,
         // so even streamed weights are staged there first).
@@ -204,8 +208,8 @@ impl Simulator {
             // Recurrent layers execute back-to-back over the whole sequence
             // before the next layer starts (paper Section IV-D), so their
             // streamed weights arrive once per sequence, not per timestep.
-            c.dram_bytes = (c.dram_bytes as f64
-                / input.executions_per_sequence.max(1) as f64) as u64;
+            c.dram_bytes =
+                (c.dram_bytes as f64 / input.executions_per_sequence.max(1) as f64) as u64;
         }
 
         // I/O buffer traffic: the input-stationary dataflow reads each
@@ -239,7 +243,13 @@ mod tests {
     use super::*;
     use reuse_nn::LayerKind;
 
-    fn layer(mode: TraceKind, n_in: u64, n_out: u64, macs_total: u64, macs_perf: u64) -> LayerTrace {
+    fn layer(
+        mode: TraceKind,
+        n_in: u64,
+        n_out: u64,
+        macs_total: u64,
+        macs_perf: u64,
+    ) -> LayerTrace {
         LayerTrace {
             name: "fc1".into(),
             kind: LayerKind::Fc,
@@ -255,7 +265,9 @@ mod tests {
 
     fn traces(n: usize, mode: TraceKind, perf: u64) -> Vec<ExecutionTrace> {
         (0..n)
-            .map(|_| ExecutionTrace { layers: vec![layer(mode, 400, 2000, 800_000, perf)] })
+            .map(|_| ExecutionTrace {
+                layers: vec![layer(mode, 400, 2000, 800_000, perf)],
+            })
             .collect()
     }
 
@@ -313,7 +325,10 @@ mod tests {
         // Model twice as large as the weights buffer: the non-resident half
         // streams from main memory once per execution, while per-MAC weight
         // fetches still come from the on-chip staging buffer.
-        let inp = SimInput { model_bytes: 72 << 20, ..input(&t) };
+        let inp = SimInput {
+            model_bytes: 72 << 20,
+            ..input(&t)
+        };
         let r = sim.simulate_reuse(&inp);
         assert!(r.dram_bytes > 0);
         let on_chip = sim.simulate_reuse(&input(&t));
@@ -329,7 +344,10 @@ mod tests {
     fn activation_spill_adds_dram_traffic() {
         let t = traces(4, TraceKind::Incremental, 200_000);
         let sim = Simulator::new(AcceleratorConfig::paper());
-        let spill = SimInput { activations_spill: true, ..input(&t) };
+        let spill = SimInput {
+            activations_spill: true,
+            ..input(&t)
+        };
         let r_spill = sim.simulate_reuse(&spill);
         let r_res = sim.simulate_reuse(&input(&t));
         assert!(r_spill.dram_bytes > r_res.dram_bytes);

@@ -5,6 +5,8 @@
 //! frequencies). [`ConfigSweep`] names each point and runs baseline + reuse
 //! in one call, returning a grid the caller can print or post-process.
 
+use reuse_tensor::{parallel_map, ParallelConfig};
+
 use crate::{AcceleratorConfig, Precision, SimInput, SimReport, Simulator};
 
 /// One named configuration point in a sweep.
@@ -53,7 +55,10 @@ impl ConfigSweep {
 
     /// Adds an arbitrary named configuration.
     pub fn point(mut self, label: &str, config: AcceleratorConfig) -> Self {
-        self.points.push(SweepPoint { label: label.to_string(), config });
+        self.points.push(SweepPoint {
+            label: label.to_string(),
+            config,
+        });
         self
     }
 
@@ -62,7 +67,10 @@ impl ConfigSweep {
         for &tiles in counts {
             self.points.push(SweepPoint {
                 label: format!("{tiles} tiles"),
-                config: AcceleratorConfig { tiles, ..AcceleratorConfig::paper() },
+                config: AcceleratorConfig {
+                    tiles,
+                    ..AcceleratorConfig::paper()
+                },
             });
         }
         self
@@ -73,7 +81,10 @@ impl ConfigSweep {
         for (label, precision) in [("fp32", Precision::Fp32), ("fixed8", Precision::Fixed8)] {
             self.points.push(SweepPoint {
                 label: label.to_string(),
-                config: AcceleratorConfig { precision, ..AcceleratorConfig::paper() },
+                config: AcceleratorConfig {
+                    precision,
+                    ..AcceleratorConfig::paper()
+                },
             });
         }
         self
@@ -85,7 +96,10 @@ impl ConfigSweep {
         for &frequency_hz in hertz {
             self.points.push(SweepPoint {
                 label: format!("{:.0} MHz", frequency_hz / 1e6),
-                config: AcceleratorConfig { frequency_hz, ..AcceleratorConfig::paper() },
+                config: AcceleratorConfig {
+                    frequency_hz,
+                    ..AcceleratorConfig::paper()
+                },
             });
         }
         self
@@ -98,17 +112,22 @@ impl ConfigSweep {
 
     /// Simulates every point against the given workload input.
     pub fn run(&self, input: &SimInput<'_>) -> Vec<SweepResult> {
-        self.points
-            .iter()
-            .map(|p| {
-                let sim = Simulator::new(p.config.clone());
-                SweepResult {
-                    label: p.label.clone(),
-                    baseline: sim.simulate_baseline(input),
-                    reuse: sim.simulate_reuse(input),
-                }
-            })
-            .collect()
+        self.run_parallel(&ParallelConfig::serial(), input)
+    }
+
+    /// Like [`ConfigSweep::run`], but fans the points out across worker
+    /// threads. Each point's simulation is independent, so the results are
+    /// identical to [`ConfigSweep::run`] (in input order) for any thread
+    /// count.
+    pub fn run_parallel(&self, config: &ParallelConfig, input: &SimInput<'_>) -> Vec<SweepResult> {
+        parallel_map(config, &self.points, |p| {
+            let sim = Simulator::new(p.config.clone());
+            SweepResult {
+                label: p.label.clone(),
+                baseline: sim.simulate_baseline(input),
+                reuse: sim.simulate_reuse(input),
+            }
+        })
     }
 }
 
@@ -148,7 +167,10 @@ mod tests {
 
     #[test]
     fn builder_accumulates_points() {
-        let sweep = ConfigSweep::new().tiles(&[1, 4]).precisions().frequencies(&[500e6]);
+        let sweep = ConfigSweep::new()
+            .tiles(&[1, 4])
+            .precisions()
+            .frequencies(&[500e6]);
         assert_eq!(sweep.points().len(), 5);
         assert_eq!(sweep.points()[0].label, "1 tiles");
         assert_eq!(sweep.points()[2].label, "fp32");
@@ -169,10 +191,31 @@ mod tests {
     }
 
     #[test]
+    fn run_parallel_matches_run() {
+        let t = traces();
+        let sweep = ConfigSweep::new()
+            .tiles(&[1, 2, 4])
+            .precisions()
+            .frequencies(&[250e6]);
+        let serial = sweep.run(&input(&t));
+        for threads in [1, 2, 3, 7] {
+            let cfg = ParallelConfig::with_threads(threads).min_work_per_thread(1);
+            let par = sweep.run_parallel(&cfg, &input(&t));
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(serial.iter()) {
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.baseline.seconds.to_bits(), b.baseline.seconds.to_bits());
+                assert_eq!(a.reuse.seconds.to_bits(), b.reuse.seconds.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn frequency_scales_time_not_energy_ratio() {
         let t = traces();
-        let results =
-            ConfigSweep::new().frequencies(&[250e6, 500e6]).run(&input(&t));
+        let results = ConfigSweep::new()
+            .frequencies(&[250e6, 500e6])
+            .run(&input(&t));
         assert!(results[0].baseline.seconds > results[1].baseline.seconds);
         // The reuse/baseline energy ratio barely moves with frequency (both
         // scale the same static energy).

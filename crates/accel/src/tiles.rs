@@ -87,11 +87,13 @@ pub fn distribute(trace: &LayerTrace, tiles: usize) -> TileAssignment {
             for g in 0..gates {
                 per_tile[(g as usize) % tiles_used] += macs_per_gate.round() as u64;
             }
-            TileAssignment { per_tile_macs: per_tile }
+            TileAssignment {
+                per_tile_macs: per_tile,
+            }
         }
-        LayerKind::Pool | LayerKind::Reshape => {
-            TileAssignment { per_tile_macs: vec![0; tiles.max(1)] }
-        }
+        LayerKind::Pool | LayerKind::Reshape => TileAssignment {
+            per_tile_macs: vec![0; tiles.max(1)],
+        },
     }
 }
 

@@ -56,9 +56,15 @@ fn bench_fc(c: &mut Criterion) {
                 b.iter(|| {
                     // Alternate back to base so the change fraction stays
                     // stable from iteration to iteration.
-                    let input = if i % 2 == 0 { &variants[(i / 2) % 8] } else { &base };
+                    let input = if i % 2 == 0 {
+                        &variants[(i / 2) % 8]
+                    } else {
+                        &base
+                    };
                     i += 1;
-                    state.execute(&layer, &q, std::hint::black_box(input)).unwrap()
+                    state
+                        .execute(&layer, &q, std::hint::black_box(input))
+                        .unwrap()
                 })
             },
         );
@@ -68,7 +74,14 @@ fn bench_fc(c: &mut Criterion) {
 
 fn bench_conv(c: &mut Criterion) {
     // AutoPilot CONV2 geometry: 24 -> 36 channels, 5x5 stride 2.
-    let spec = Conv2dSpec { in_channels: 24, out_channels: 36, kh: 5, kw: 5, stride: 2, pad: 0 };
+    let spec = Conv2dSpec {
+        in_channels: 24,
+        out_channels: 36,
+        kh: 5,
+        kw: 5,
+        stride: 2,
+        pad: 0,
+    };
     let layer = Conv2dLayer::random(spec, Activation::Relu, &mut Rng64::new(3));
     let in_shape = Shape::d3(24, 31, 98);
     let q = quantizer();
@@ -97,7 +110,9 @@ fn bench_conv(c: &mut Criterion) {
                 b.iter(|| {
                     let input = if i % 2 == 0 { &variant } else { &base_t };
                     i += 1;
-                    state.execute(&layer, &q, std::hint::black_box(input)).unwrap()
+                    state
+                        .execute(&layer, &q, std::hint::black_box(input))
+                        .unwrap()
                 })
             },
         );
@@ -121,7 +136,11 @@ fn bench_lstm(c: &mut Criterion) {
     group.bench_function("reuse_step_stable_input", |b| {
         let mut state = LstmReuseState::new(&cell);
         state.step(&cell, &q, &q, &base).unwrap();
-        b.iter(|| state.step(&cell, &q, &q, std::hint::black_box(&base)).unwrap())
+        b.iter(|| {
+            state
+                .step(&cell, &q, &q, std::hint::black_box(&base))
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -135,5 +154,11 @@ fn bench_quantization(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fc, bench_conv, bench_lstm, bench_quantization);
+criterion_group!(
+    benches,
+    bench_fc,
+    bench_conv,
+    bench_lstm,
+    bench_quantization
+);
 criterion_main!(benches);

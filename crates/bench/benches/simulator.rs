@@ -14,8 +14,7 @@ fn bench_engine_execution(c: &mut Criterion) {
         let workload = Workload::build(kind, Scale::Tiny);
         let frames = workload.generate_frames(64, 1);
         group.bench_function(format!("{}_tiny_execute", kind.name()), |b| {
-            let mut engine =
-                ReuseEngine::from_network(workload.network(), workload.reuse_config());
+            let mut engine = ReuseEngine::from_network(workload.network(), workload.reuse_config());
             // Warm through calibration + scratch.
             engine.execute(&frames[0]).unwrap();
             engine.execute(&frames[1]).unwrap();
@@ -38,7 +37,12 @@ fn bench_engine_vs_scratch(c: &mut Criterion) {
     let mut group = c.benchmark_group("kaldi_small_end_to_end");
     group.sample_size(20);
     group.bench_function("fp32_from_scratch", |b| {
-        b.iter(|| workload.network().forward_flat(std::hint::black_box(&frames[5])).unwrap())
+        b.iter(|| {
+            workload
+                .network()
+                .forward_flat(std::hint::black_box(&frames[5]))
+                .unwrap()
+        })
     });
     group.bench_function("reuse_incremental", |b| {
         let mut engine = ReuseEngine::from_network(workload.network(), workload.reuse_config());

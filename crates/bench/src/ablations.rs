@@ -69,7 +69,10 @@ pub fn tile_sweep(kind: WorkloadKind, scale: Scale) -> String {
         "tiles", "lanes", "baseline", "reuse", "speedup"
     ));
     for tiles in [1usize, 2, 4, 8] {
-        let config = AcceleratorConfig { tiles, ..AcceleratorConfig::paper() };
+        let config = AcceleratorConfig {
+            tiles,
+            ..AcceleratorConfig::paper()
+        };
         let sim = Simulator::new(config);
         let input = m.sim_input();
         let base = sim.simulate_baseline(&input);
@@ -123,11 +126,14 @@ pub fn replay_cluster_sweep(kind: WorkloadKind, scale: Scale) -> String {
     use reuse_core::replay::{replay_sweep, InputRecorder};
     let workload = Workload::build(kind, scale);
     if workload.is_recurrent() {
-        return format!("replay sweep: {} is recurrent; streams are per-timestep — skipped\n", kind.name());
+        return format!(
+            "replay sweep: {} is recurrent; streams are per-timestep — skipped\n",
+            kind.name()
+        );
     }
     let frames = workload.generate_frames(40, SEED);
-    let recorder = InputRecorder::record(workload.network(), &frames)
-        .expect("workload frames are valid");
+    let recorder =
+        InputRecorder::record(workload.network(), &frames).expect("workload frames are valid");
     let clusters = [8usize, 16, 32, 64];
     let sweep = replay_sweep(&recorder, &clusters);
     let mut out = String::new();
@@ -161,14 +167,24 @@ pub fn replay_cluster_sweep(kind: WorkloadKind, scale: Scale) -> String {
 pub fn block_size_ablation() -> String {
     use reuse_accel::blocking::{block_size_sweep, BlockedConv};
     // The largest C3D staging case: CONV2, 64 -> 128 maps at 16x56x56.
-    let layer = BlockedConv { in_channels: 64, out_channels: 128, h: 56, w: 56, k: 3, block: 16 };
+    let layer = BlockedConv {
+        in_channels: 64,
+        out_channels: 128,
+        h: 56,
+        w: 56,
+        k: 3,
+        block: 16,
+    };
     let mut out = String::new();
     out.push_str(
         "ABLATION — CNN block size (C3D CONV2 geometry, paper Section V)\n\
          smaller blocks need less I/O buffer but re-transfer halo pixels;\n\
          the paper picks 16x16x1\n\n",
     );
-    out.push_str(&format!("{:>7} {:>16} {:>18}\n", "block", "staging (I/O+idx)", "DRAM per exec"));
+    out.push_str(&format!(
+        "{:>7} {:>16} {:>18}\n",
+        "block", "staging (I/O+idx)", "DRAM per exec"
+    ));
     for (block, staging, dram) in block_size_sweep(&layer, &[4, 8, 16, 32, 56]) {
         out.push_str(&format!(
             "{:>7} {:>16} {:>18}\n",
@@ -195,11 +211,8 @@ pub fn quantizer_comparison(scale: Scale) -> String {
     let net = workload.network();
     let mut samples: Vec<f32> = Vec::new();
     for frame in &frames {
-        let mut cur = reuse_tensor::Tensor::from_vec(
-            net.input_shape().clone(),
-            frame.clone(),
-        )
-        .expect("frame sized");
+        let mut cur = reuse_tensor::Tensor::from_vec(net.input_shape().clone(), frame.clone())
+            .expect("frame sized");
         for i in 0..3 {
             cur = net.apply_layer(i, cur).expect("prefix layers run");
         }
@@ -314,8 +327,16 @@ pub fn drift_study(scale: Scale) -> String {
     else {
         unreachable!("kaldi has fc3")
     };
-    let lo = stream.iter().flatten().cloned().fold(f32::INFINITY, f32::min);
-    let hi = stream.iter().flatten().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let lo = stream
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f32::INFINITY, f32::min);
+    let hi = stream
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max);
     let q = LinearQuantizer::new(InputRange::new(lo, hi), 16).expect("varied stream");
     let report = measure_fc_drift(fc3, &q, &stream, 50).expect("drift run");
     let mut out = String::new();
@@ -338,7 +359,6 @@ pub fn drift_study(scale: Scale) -> String {
     ));
     out
 }
-
 
 #[cfg(test)]
 mod tests {

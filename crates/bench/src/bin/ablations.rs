@@ -14,9 +14,15 @@ fn main() {
     println!("{sep}");
     println!("{}", ablations::tile_sweep(WorkloadKind::AutoPilot, scale));
     println!("{sep}");
-    println!("{}", ablations::calibration_sweep(WorkloadKind::Kaldi, scale));
+    println!(
+        "{}",
+        ablations::calibration_sweep(WorkloadKind::Kaldi, scale)
+    );
     println!("{sep}");
-    println!("{}", ablations::replay_cluster_sweep(WorkloadKind::Kaldi, scale));
+    println!(
+        "{}",
+        ablations::replay_cluster_sweep(WorkloadKind::Kaldi, scale)
+    );
     println!("{sep}");
     println!("{}", ablations::block_size_ablation());
     println!("{sep}");

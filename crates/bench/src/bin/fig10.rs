@@ -1,5 +1,8 @@
 //! Regenerates paper Fig. 10: normalized energy.
 
 fn main() {
-    print!("{}", reuse_bench::experiments::fig10(reuse_workloads::Scale::from_env()));
+    print!(
+        "{}",
+        reuse_bench::experiments::fig10(reuse_workloads::Scale::from_env())
+    );
 }

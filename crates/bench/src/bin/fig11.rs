@@ -1,5 +1,8 @@
 //! Regenerates paper Fig. 11: energy breakdown per component.
 
 fn main() {
-    print!("{}", reuse_bench::experiments::fig11(reuse_workloads::Scale::from_env()));
+    print!(
+        "{}",
+        reuse_bench::experiments::fig11(reuse_workloads::Scale::from_env())
+    );
 }

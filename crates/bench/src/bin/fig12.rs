@@ -1,5 +1,8 @@
 //! Regenerates paper Fig. 12: comparison against CPU and GPU.
 
 fn main() {
-    print!("{}", reuse_bench::experiments::fig12(reuse_workloads::Scale::from_env()));
+    print!(
+        "{}",
+        reuse_bench::experiments::fig12(reuse_workloads::Scale::from_env())
+    );
 }

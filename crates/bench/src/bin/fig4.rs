@@ -2,6 +2,9 @@
 
 fn main() {
     let scale = reuse_workloads::Scale::from_env();
-    let frames = std::env::var("REUSE_EXECUTIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let frames = std::env::var("REUSE_EXECUTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
     print!("{}", reuse_bench::experiments::fig4(scale, frames));
 }

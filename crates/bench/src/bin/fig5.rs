@@ -1,5 +1,8 @@
 //! Regenerates paper Fig. 5: input similarity and computation reuse.
 
 fn main() {
-    print!("{}", reuse_bench::experiments::fig5(reuse_workloads::Scale::from_env()));
+    print!(
+        "{}",
+        reuse_bench::experiments::fig5(reuse_workloads::Scale::from_env())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates paper Fig. 9: speedups over the baseline accelerator.
 
 fn main() {
-    print!("{}", reuse_bench::experiments::fig9(reuse_workloads::Scale::from_env()));
+    print!(
+        "{}",
+        reuse_bench::experiments::fig9(reuse_workloads::Scale::from_env())
+    );
 }

@@ -1,0 +1,277 @@
+//! Serial-vs-parallel kernel timings at the paper's Table I layer
+//! geometries, written to `BENCH_kernels.json`.
+//!
+//! Measures the from-scratch forward kernels and the incremental reuse
+//! correction (at ~10% changed inputs) for a Kaldi FC layer, the AutoPilot
+//! CONV2 layer, a C3D-style 3D convolution and the EESEN LSTM cell, each
+//! under the serial config and under `REUSE_THREADS` workers (default 4).
+//!
+//! The parallel kernels partition output elements, so their results are
+//! bit-identical to serial — the speedup column is the only thing that
+//! varies with the machine. `hardware_threads` is recorded alongside the
+//! numbers: on a single-core host the parallel rows legitimately show no
+//! gain.
+//!
+//! Usage: `cargo run --release -p reuse-bench --bin kernel_bench [out.json]`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use reuse_core::conv::{Conv2dReuseState, Conv3dReuseState};
+use reuse_core::fc::FcReuseState;
+use reuse_core::lstm::LstmReuseState;
+use reuse_nn::{init::Rng64, Activation, Conv2dLayer, Conv3dLayer, FullyConnected, LstmCell};
+use reuse_quant::{InputRange, LinearQuantizer};
+use reuse_tensor::conv::{Conv2dSpec, Conv3dSpec};
+use reuse_tensor::{ParallelConfig, Shape, Tensor};
+
+/// One serial/parallel pair of measurements.
+struct Row {
+    name: String,
+    serial_ns: f64,
+    parallel_ns: f64,
+}
+
+/// Times `f` until it has run for ~200 ms (at least 5 iterations) and
+/// returns ns/iter.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    for _ in 0..2 {
+        f();
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        if iters >= 5 && start.elapsed().as_millis() >= 200 {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn quantizer() -> LinearQuantizer {
+    LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap()
+}
+
+/// Mutates ~`fraction` of the inputs by more than one quantization step.
+fn perturb(base: &[f32], fraction: f64, step: f32, rng: &mut Rng64) -> Vec<f32> {
+    let mut out = base.to_vec();
+    let n = ((base.len() as f64) * fraction) as usize;
+    for _ in 0..n {
+        let i = (rng.next_u64() % base.len() as u64) as usize;
+        out[i] = (out[i] + 3.0 * step).rem_euclid(2.0) - 1.0;
+    }
+    out
+}
+
+fn random_input(len: usize, rng: &mut Rng64) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(0.9)).collect()
+}
+
+fn bench_pair(name: &str, parallel: &ParallelConfig, mut f: impl FnMut(&ParallelConfig)) -> Row {
+    let serial = ParallelConfig::serial();
+    let serial_ns = time_ns(|| f(&serial));
+    let parallel_ns = time_ns(|| f(parallel));
+    let row = Row {
+        name: name.to_string(),
+        serial_ns,
+        parallel_ns,
+    };
+    eprintln!(
+        "{:<40} serial {:>12.0} ns/iter   parallel {:>12.0} ns/iter   speedup {:.2}x",
+        row.name,
+        row.serial_ns,
+        row.parallel_ns,
+        row.serial_ns / row.parallel_ns
+    );
+    row
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let threads: usize = std::env::var("REUSE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let hardware_threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    // No work floor: these are benchmark-sized layers, always worth splitting.
+    let parallel = ParallelConfig::with_threads(threads).min_work_per_thread(1);
+    let q = quantizer();
+    let mut rows = Vec::new();
+
+    // Kaldi FC3 geometry: 400 inputs x 2000 neurons.
+    {
+        let layer = FullyConnected::random(400, 2000, Activation::Relu, &mut Rng64::new(1));
+        let mut rng = Rng64::new(2);
+        let base = random_input(400, &mut rng);
+        let input = Tensor::from_slice_1d(&base).unwrap();
+        let mut out = Vec::new();
+        rows.push(bench_pair("kaldi_fc3_400x2000/forward", &parallel, |cfg| {
+            layer
+                .forward_linear_into(cfg, black_box(&input), &mut out)
+                .unwrap();
+            black_box(&out);
+        }));
+
+        let variant = perturb(&base, 0.1, q.step(), &mut rng);
+        let mut state = FcReuseState::new(&layer);
+        let mut i = 0usize;
+        rows.push(bench_pair(
+            "kaldi_fc3_400x2000/reuse_10pct",
+            &parallel,
+            |cfg| {
+                let input = if i.is_multiple_of(2) { &variant } else { &base };
+                i += 1;
+                state
+                    .execute_into(cfg, &layer, &q, black_box(input), &mut out)
+                    .unwrap();
+                black_box(&out);
+            },
+        ));
+    }
+
+    // AutoPilot CONV2 geometry: 24 -> 36 channels, 5x5 stride 2.
+    {
+        let spec = Conv2dSpec {
+            in_channels: 24,
+            out_channels: 36,
+            kh: 5,
+            kw: 5,
+            stride: 2,
+            pad: 0,
+        };
+        let layer = Conv2dLayer::random(spec, Activation::Relu, &mut Rng64::new(3));
+        let in_shape = Shape::d3(24, 31, 98);
+        let mut rng = Rng64::new(4);
+        let base = random_input(in_shape.volume(), &mut rng);
+        let base_t = Tensor::from_vec(in_shape.clone(), base.clone()).unwrap();
+        rows.push(bench_pair(
+            "autopilot_conv2_24x31x98/forward",
+            &parallel,
+            |cfg| {
+                black_box(layer.forward_linear_with(cfg, black_box(&base_t)).unwrap());
+            },
+        ));
+
+        let variant = perturb(&base, 0.1, q.step(), &mut rng);
+        let mut state = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        rows.push(bench_pair(
+            "autopilot_conv2_24x31x98/reuse_10pct",
+            &parallel,
+            |cfg| {
+                let input = if i.is_multiple_of(2) { &variant } else { &base };
+                i += 1;
+                state
+                    .execute_into(cfg, &layer, &q, black_box(input), &mut out)
+                    .unwrap();
+                black_box(&out);
+            },
+        ));
+    }
+
+    // C3D-style 3D convolution (CONV3 channel ratio, reduced spatial size so
+    // one iteration stays in the tens of milliseconds).
+    {
+        let spec = Conv3dSpec {
+            in_channels: 32,
+            out_channels: 64,
+            kd: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let layer = Conv3dLayer::random(spec, Activation::Relu, &mut Rng64::new(5));
+        let in_shape = Shape::d4(32, 4, 14, 14);
+        let mut rng = Rng64::new(6);
+        let base = random_input(in_shape.volume(), &mut rng);
+        let base_t = Tensor::from_vec(in_shape.clone(), base.clone()).unwrap();
+        rows.push(bench_pair(
+            "c3d_conv3_32x4x14x14/forward",
+            &parallel,
+            |cfg| {
+                black_box(layer.forward_linear_with(cfg, black_box(&base_t)).unwrap());
+            },
+        ));
+
+        let variant = perturb(&base, 0.1, q.step(), &mut rng);
+        let mut state = Conv3dReuseState::new(&layer, &in_shape).unwrap();
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        rows.push(bench_pair(
+            "c3d_conv3_32x4x14x14/reuse_10pct",
+            &parallel,
+            |cfg| {
+                let input = if i.is_multiple_of(2) { &variant } else { &base };
+                i += 1;
+                state
+                    .execute_into(cfg, &layer, &q, black_box(input), &mut out)
+                    .unwrap();
+                black_box(&out);
+            },
+        ));
+    }
+
+    // EESEN LSTM cell geometry: 640 inputs, 320 cell.
+    {
+        let cell = LstmCell::random(640, 320, &mut Rng64::new(7));
+        let mut rng = Rng64::new(8);
+        let base = random_input(640, &mut rng);
+        let variant = perturb(&base, 0.1, q.step(), &mut rng);
+        let mut state = LstmReuseState::new(&cell);
+        let mut h_out = Vec::new();
+        let mut i = 0usize;
+        rows.push(bench_pair(
+            "eesen_lstm_640x320/reuse_step_10pct",
+            &parallel,
+            |cfg| {
+                let input = if i.is_multiple_of(2) { &variant } else { &base };
+                i += 1;
+                state
+                    .step_into(cfg, &cell, &q, &q, black_box(input), &mut h_out)
+                    .unwrap();
+                black_box(&h_out);
+            },
+        ));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"kernel_bench\",");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(json, "  \"parallel_threads\": {threads},");
+    if hardware_threads < threads {
+        let _ = writeln!(
+            json,
+            "  \"note\": \"host exposes {hardware_threads} hardware thread(s); \
+             {threads} workers oversubscribe it, so parallel speedups here \
+             reflect scheduling overhead, not kernel scaling\","
+        );
+    }
+    json.push_str("  \"kernels\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"serial_ns_per_iter\": {:.0}, \"parallel_ns_per_iter\": {:.0}, \"speedup\": {:.3}}}{}",
+            r.name,
+            r.serial_ns,
+            r.parallel_ns,
+            r.serial_ns / r.parallel_ns,
+            if k + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    eprintln!(
+        "wrote {out_path} ({} kernels, {threads} threads, {hardware_threads} hw)",
+        rows.len()
+    );
+}

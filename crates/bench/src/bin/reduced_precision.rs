@@ -1,5 +1,8 @@
 //! Regenerates paper Section VI-A: the 8-bit fixed-point accelerator study.
 
 fn main() {
-    print!("{}", reuse_bench::experiments::reduced_precision(reuse_workloads::Scale::from_env()));
+    print!(
+        "{}",
+        reuse_bench::experiments::reduced_precision(reuse_workloads::Scale::from_env())
+    );
 }

@@ -49,7 +49,9 @@ fn main() -> ExitCode {
     let scale = Scale::from_env();
     match args.first().map(String::as_str) {
         Some("inspect") => {
-            let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else { return usage() };
+            let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else {
+                return usage();
+            };
             let w = Workload::build(kind, scale);
             print!("{}", network_stats(w.network()).to_table());
             println!(
@@ -65,7 +67,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => {
-            let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else { return usage() };
+            let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else {
+                return usage();
+            };
             let executions: usize = args
                 .get(2)
                 .and_then(|a| a.parse().ok())
@@ -92,7 +96,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("simulate") => {
-            let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else { return usage() };
+            let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else {
+                return usage();
+            };
             let executions = args
                 .get(2)
                 .and_then(|a| a.parse().ok())

@@ -1,5 +1,8 @@
 //! Regenerates paper Table I: per-layer computation reuse and accuracy.
 
 fn main() {
-    print!("{}", reuse_bench::experiments::table1(reuse_workloads::Scale::from_env()));
+    print!(
+        "{}",
+        reuse_bench::experiments::table1(reuse_workloads::Scale::from_env())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates paper Table III: memory overheads of the reuse scheme.
 
 fn main() {
-    print!("{}", reuse_bench::experiments::table3(reuse_workloads::Scale::from_env()));
+    print!(
+        "{}",
+        reuse_bench::experiments::table3(reuse_workloads::Scale::from_env())
+    );
 }

@@ -26,7 +26,11 @@ pub fn cache_dir() -> PathBuf {
 }
 
 fn cache_path(kind: WorkloadKind, scale: Scale, executions: usize, seed: u64) -> PathBuf {
-    cache_dir().join(format!("v{VERSION}_{}_{}_{executions}_{seed}.txt", kind.name(), scale))
+    cache_dir().join(format!(
+        "v{VERSION}_{}_{}_{executions}_{seed}.txt",
+        kind.name(),
+        scale
+    ))
 }
 
 /// Returns the measurement for the given parameters, computing and caching
@@ -38,7 +42,9 @@ pub fn cached_measurement(
     seed: u64,
 ) -> Measurement {
     let path = cache_path(kind, scale, executions, seed);
-    let no_cache = std::env::var("REUSE_NO_CACHE").map(|v| v == "1").unwrap_or(false);
+    let no_cache = std::env::var("REUSE_NO_CACHE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     if !no_cache {
         if let Ok(text) = fs::read_to_string(&path) {
             if let Some(m) = deserialize(&text) {
@@ -46,7 +52,10 @@ pub fn cached_measurement(
             }
         }
     }
-    eprintln!("[measure] running {} at {scale} scale ({executions} executions)...", kind.name());
+    eprintln!(
+        "[measure] running {} at {scale} scale ({executions} executions)...",
+        kind.name()
+    );
     let m = measure_workload(kind, scale, executions, seed);
     let _ = fs::create_dir_all(cache_dir());
     let _ = fs::write(&path, serialize(&m));

@@ -25,7 +25,11 @@ fn field(s: &str) -> String {
 
 /// Renders rows to CSV text with a header.
 pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
-    let mut out = header.iter().map(|h| field(h)).collect::<Vec<_>>().join(",");
+    let mut out = header
+        .iter()
+        .map(|h| field(h))
+        .collect::<Vec<_>>()
+        .join(",");
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
@@ -70,8 +74,15 @@ pub fn layer_rows(m: &Measurement) -> Vec<Vec<String>> {
 }
 
 /// Header matching [`layer_rows`].
-pub const LAYER_HEADER: [&str; 7] =
-    ["dnn", "layer", "inputs", "outputs", "enabled", "input_similarity", "computation_reuse"];
+pub const LAYER_HEADER: [&str; 7] = [
+    "dnn",
+    "layer",
+    "inputs",
+    "outputs",
+    "enabled",
+    "input_similarity",
+    "computation_reuse",
+];
 
 /// If `REUSE_CSV_DIR` is set, writes the per-layer data of the given
 /// measurements and returns the written path.
@@ -91,7 +102,10 @@ mod tests {
     fn render_escapes_fields() {
         let text = render(
             &["a", "b"],
-            &[vec!["plain".into(), "has,comma".into()], vec!["has\"quote".into(), "x".into()]],
+            &[
+                vec!["plain".into(), "has,comma".into()],
+                vec!["has\"quote".into(), "x".into()],
+            ],
         );
         assert_eq!(text, "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n");
     }

@@ -65,8 +65,11 @@ pub fn table1(scale: Scale) -> String {
             "layer", "in dim", "out dim", "enabled", "comp. reuse"
         ));
         for l in &m.layers {
-            let reuse =
-                if l.enabled { pct(l.computation_reuse) } else { "-".to_string() };
+            let reuse = if l.enabled {
+                pct(l.computation_reuse)
+            } else {
+                "-".to_string()
+            };
             out.push_str(&format!(
                 "  {:<10} {:>10} {:>10} {:>9} {:>12}\n",
                 l.name, l.inputs, l.outputs, l.enabled, reuse
@@ -85,7 +88,10 @@ pub fn table1(scale: Scale) -> String {
 /// last two Kaldi FC layers over one synthetic utterance.
 pub fn fig4(scale: Scale, executions: usize) -> String {
     let workload = Workload::build(WorkloadKind::Kaldi, scale);
-    let config = workload.reuse_config().clone().record_relative_difference(true);
+    let config = workload
+        .reuse_config()
+        .clone()
+        .record_relative_difference(true);
     let mut engine = reuse_core::ReuseEngine::from_network(workload.network(), &config);
     let frames = workload.generate_frames(executions, SEED);
     for f in &frames {
@@ -99,8 +105,16 @@ pub fn fig4(scale: Scale, executions: usize) -> String {
     ));
     for layer in ["fc5", "fc6"] {
         let rd = engine.layer_relative_differences(layer).unwrap_or(&[]);
-        let mean = if rd.is_empty() { 0.0 } else { rd.iter().sum::<f32>() / rd.len() as f32 };
-        out.push_str(&format!("{} (mean {:.1}%):\n", layer.to_uppercase(), mean * 100.0));
+        let mean = if rd.is_empty() {
+            0.0
+        } else {
+            rd.iter().sum::<f32>() / rd.len() as f32
+        };
+        out.push_str(&format!(
+            "{} (mean {:.1}%):\n",
+            layer.to_uppercase(),
+            mean * 100.0
+        ));
         for (t, chunk) in rd.chunks(rd.len().div_ceil(20).max(1)).enumerate() {
             let v = chunk.iter().sum::<f32>() / chunk.len() as f32;
             out.push_str(&format!(
@@ -127,8 +141,13 @@ pub fn fig5(scale: Scale) -> String {
         eprintln!("[csv] wrote {}", path.display());
     }
     let mut out = String::new();
-    out.push_str(&format!("FIGURE 5 — input similarity and computation reuse (scale: {scale})\n\n"));
-    out.push_str(&format!("{:<12} {:>11} {:>13}\n", "DNN", "similarity", "comp. reuse"));
+    out.push_str(&format!(
+        "FIGURE 5 — input similarity and computation reuse (scale: {scale})\n\n"
+    ));
+    out.push_str(&format!(
+        "{:<12} {:>11} {:>13}\n",
+        "DNN", "similarity", "comp. reuse"
+    ));
     let mut sims = Vec::new();
     let mut reuses = Vec::new();
     for m in &measurements {
@@ -160,7 +179,9 @@ pub fn fig5(scale: Scale) -> String {
 /// Fig. 9: speedup of the reuse accelerator over the baseline accelerator.
 pub fn fig9(scale: Scale) -> String {
     let mut out = String::new();
-    out.push_str(&format!("FIGURE 9 — speedup over the baseline accelerator (scale: {scale})\n\n"));
+    out.push_str(&format!(
+        "FIGURE 9 — speedup over the baseline accelerator (scale: {scale})\n\n"
+    ));
     let mut speedups = Vec::new();
     for m in all_measurements(scale) {
         let (base, reuse) = simulate(&m);
@@ -186,7 +207,9 @@ pub fn fig9(scale: Scale) -> String {
 /// Fig. 10: energy of the reuse accelerator normalized to the baseline.
 pub fn fig10(scale: Scale) -> String {
     let mut out = String::new();
-    out.push_str(&format!("FIGURE 10 — normalized energy (baseline accelerator = 1.0; scale: {scale})\n\n"));
+    out.push_str(&format!(
+        "FIGURE 10 — normalized energy (baseline accelerator = 1.0; scale: {scale})\n\n"
+    ));
     let mut ratios = Vec::new();
     for m in all_measurements(scale) {
         let (base, reuse) = simulate(&m);
@@ -237,7 +260,9 @@ pub fn fig11(scale: Scale) -> String {
         reuse_total.accumulate(&reuse.energy);
     }
     let mut out = String::new();
-    out.push_str(&format!("FIGURE 11 — energy breakdown by component (all four DNNs; scale: {scale})\n\n"));
+    out.push_str(&format!(
+        "FIGURE 11 — energy breakdown by component (all four DNNs; scale: {scale})\n\n"
+    ));
     out.push_str(&format!(
         "{:<18} {:>14} {:>8} {:>14} {:>8}\n",
         "component", "baseline", "(share)", "reuse", "(share)"
@@ -303,7 +328,9 @@ pub fn table2() -> String {
 /// Table III: I/O-buffer and main-memory overheads of the reuse scheme.
 pub fn table3(scale: Scale) -> String {
     let mut out = String::new();
-    out.push_str(&format!("TABLE III — memory overheads of the reuse scheme (scale: {scale})\n\n"));
+    out.push_str(&format!(
+        "TABLE III — memory overheads of the reuse scheme (scale: {scale})\n\n"
+    ));
     out.push_str(&format!(
         "{:<12} {:>16} {:>14} {:>18} {:>14}\n",
         "DNN", "I/O base", "I/O reuse", "main mem base", "main mem reuse"
@@ -391,10 +418,14 @@ pub fn reduced_precision(scale: Scale) -> String {
     // "Strict" similarity of the fp32 baseline: quantize with so many
     // clusters that only genuinely identical values collide (ReLU zeros and
     // saturated activations).
-    let strict = ReuseConfig::uniform(1 << 20).disable_layer("fc1").disable_layer("fc2");
+    let strict = ReuseConfig::uniform(1 << 20)
+        .disable_layer("fc1")
+        .disable_layer("fc2");
     let m_fp32 = measure_with_config(kind, scale, executions, SEED, Some(strict));
     // Similarity of the raw 8-bit datapath: 255 value levels.
-    let q8 = ReuseConfig::uniform(255).disable_layer("fc1").disable_layer("fc2");
+    let q8 = ReuseConfig::uniform(255)
+        .disable_layer("fc1")
+        .disable_layer("fc2");
     let m_q8 = measure_with_config(kind, scale, executions, SEED, Some(q8));
     // The reuse scheme itself (16 clusters), simulated on the 8-bit
     // accelerator.

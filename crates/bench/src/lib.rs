@@ -28,4 +28,4 @@ pub mod experiments;
 pub mod measure;
 pub mod table;
 
-pub use measure::{measure_workload, LayerSummary, Measurement};
+pub use measure::{measure_workload, parallel_from_env, LayerSummary, Measurement};

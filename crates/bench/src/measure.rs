@@ -1,7 +1,7 @@
 //! Workload measurement: run a DNN over its synthetic input stream with the
 //! reuse engine and collect everything the experiment binaries need.
 
-use reuse_core::{ExecutionTrace, ReuseConfig, ReuseEngine};
+use reuse_core::{ExecutionTrace, ParallelConfig, ReuseConfig, ReuseEngine};
 use reuse_workloads::accuracy::{
     classification_agreement, mean_relative_error, regression_agreement, AgreementReport,
 };
@@ -79,6 +79,21 @@ pub fn executions_from_env(kind: WorkloadKind, scale: Scale) -> usize {
         .unwrap_or_else(|| default_executions(kind, scale))
 }
 
+/// Engine parallelism, honoring `REUSE_THREADS` (`0` = one worker per
+/// hardware thread; unset = serial). All parallel kernels are bit-identical
+/// to serial, so this only changes wall-clock time — measurements and
+/// cached results are unaffected.
+pub fn parallel_from_env() -> ParallelConfig {
+    match std::env::var("REUSE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(0) => ParallelConfig::auto(),
+        Some(n) => ParallelConfig::with_threads(n),
+        None => ParallelConfig::serial(),
+    }
+}
+
 /// Runs one workload through the reuse engine and collects a
 /// [`Measurement`]. Deterministic for a given `(kind, scale, executions,
 /// seed)`.
@@ -103,7 +118,8 @@ pub fn measure_with_config(
     let workload = Workload::build(kind, scale);
     let config = config_override
         .unwrap_or_else(|| workload.reuse_config().clone())
-        .record_trace(true);
+        .record_trace(true)
+        .parallel(parallel_from_env());
     let mut engine = ReuseEngine::from_network(workload.network(), &config);
 
     let (agreement, fidelity) = if workload.is_recurrent() {
@@ -116,28 +132,43 @@ pub fn measure_with_config(
         let mut reference = Vec::new();
         let mut test = Vec::new();
         for seq in &seqs {
-            let outs = engine.execute_sequence(seq).expect("workload sequences are valid");
-            let refs = workload.network().forward_sequence(seq).expect("reference pass");
+            let outs = engine
+                .execute_sequence(seq)
+                .expect("workload sequences are valid");
+            let refs = workload
+                .network()
+                .forward_sequence(seq)
+                .expect("reference pass");
             test.extend(outs);
             reference.extend(refs);
         }
-        (classification_agreement(&reference, &test), mean_relative_error(&reference, &test))
+        (
+            classification_agreement(&reference, &test),
+            mean_relative_error(&reference, &test),
+        )
     } else {
         let frames = workload.generate_frames(executions, seed);
         let mut reference = Vec::new();
         let mut test = Vec::new();
         for frame in &frames {
             test.push(engine.execute(frame).expect("workload frames are valid"));
-            reference.push(workload.network().forward_flat(frame).expect("reference pass"));
+            reference.push(
+                workload
+                    .network()
+                    .forward_flat(frame)
+                    .expect("reference pass"),
+            );
         }
         let agreement = if matches!(kind, WorkloadKind::AutoPilot) {
             // Steering regression: agree within 10% of the observed steering
             // range (the output of an untrained network has no absolute
             // scale; see DESIGN.md).
-            let (lo, hi) = reference.iter().map(|t| t.as_slice()[0]).fold(
-                (f32::INFINITY, f32::NEG_INFINITY),
-                |(lo, hi), v| (lo.min(v), hi.max(v)),
-            );
+            let (lo, hi) = reference
+                .iter()
+                .map(|t| t.as_slice()[0])
+                .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), v| {
+                    (lo.min(v), hi.max(v))
+                });
             let range = (hi - lo).max(1e-3);
             regression_agreement(&reference, &test, 0.1, range)
         } else {
@@ -155,15 +186,19 @@ pub fn measure_with_config(
         .filter(|((_, l), _)| l.has_weights())
         .map(|((name, layer), in_shape)| {
             let m = metrics.layer(name);
-            let enabled = config.setting_for(name).enabled
-                && !engine.auto_disabled_layers().contains(name);
+            let enabled =
+                config.setting_for(name).enabled && !engine.auto_disabled_layers().contains(name);
             let out = layer.output_shape(in_shape).expect("validated").volume();
             LayerSummary {
                 name: name.clone(),
                 inputs: in_shape.volume(),
                 outputs: out,
                 enabled,
-                input_similarity: if enabled { m.map_or(0.0, |m| m.input_similarity()) } else { 0.0 },
+                input_similarity: if enabled {
+                    m.map_or(0.0, |m| m.input_similarity())
+                } else {
+                    0.0
+                },
                 computation_reuse: if enabled {
                     m.map_or(0.0, |m| m.computation_reuse())
                 } else {
@@ -240,7 +275,11 @@ mod tests {
                     m.mean_relative_error
                 );
             } else {
-                assert!(m.agreement.ratio() > 0.5, "{kind}: agreement {}", m.agreement.ratio());
+                assert!(
+                    m.agreement.ratio() > 0.5,
+                    "{kind}: agreement {}",
+                    m.agreement.ratio()
+                );
             }
         }
     }

@@ -19,10 +19,17 @@ fn to_pipeline_layers(
         .iter()
         .map(|l| {
             let incremental = reuse_mode && l.mode == TraceKind::Incremental;
-            let (n_changed, macs) =
-                if incremental { (l.n_changed, l.macs_performed) } else { (l.n_inputs, l.macs_total) };
+            let (n_changed, macs) = if incremental {
+                (l.n_changed, l.macs_performed)
+            } else {
+                (l.n_inputs, l.macs_total)
+            };
             // Average fan-out per changed input.
-            let fanout = if n_changed == 0 { 0 } else { macs / n_changed.max(1) };
+            let fanout = if n_changed == 0 {
+                0
+            } else {
+                macs / n_changed.max(1)
+            };
             pipeline::PipelineLayer {
                 n_inputs: l.n_inputs,
                 n_changed,
@@ -49,8 +56,11 @@ fn analytical_cycles_agree_with_pipeline_model() {
             activations_spill: false,
         };
         for reuse_mode in [false, true] {
-            let report =
-                if reuse_mode { sim.simulate_reuse(&input) } else { sim.simulate_baseline(&input) };
+            let report = if reuse_mode {
+                sim.simulate_reuse(&input)
+            } else {
+                sim.simulate_baseline(&input)
+            };
             let pipeline_cycles: u64 = m
                 .traces
                 .iter()
@@ -93,7 +103,10 @@ fn energy_savings_track_mac_savings() {
     let energy_ratio = reuse.energy_j() / base.energy_j();
     // Energy ratio must lie between the MAC ratio (perfect scaling) and 1
     // (no savings at all): overheads and non-reusable layers sit in between.
-    assert!(energy_ratio >= mac_ratio - 0.05, "energy {energy_ratio} vs macs {mac_ratio}");
+    assert!(
+        energy_ratio >= mac_ratio - 0.05,
+        "energy {energy_ratio} vs macs {mac_ratio}"
+    );
     assert!(energy_ratio < 1.0, "reuse must save energy: {energy_ratio}");
 }
 
@@ -140,13 +153,8 @@ fn event_simulator_agrees_with_analytical_on_real_traces() {
             .traces
             .iter()
             .map(|t| {
-                let work = reuse_accel::events::work_from_trace(
-                    t,
-                    &config,
-                    m.model_bytes,
-                    true,
-                    false,
-                );
+                let work =
+                    reuse_accel::events::work_from_trace(t, &config, m.model_bytes, true, false);
                 reuse_accel::events::simulate_execution(&work, &config).cycles
             })
             .sum();

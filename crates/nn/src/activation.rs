@@ -36,6 +36,18 @@ impl Activation {
         }
     }
 
+    /// Applies the activation elementwise in place — the allocation-free
+    /// variant the engine's steady-state path uses. `Identity` touches
+    /// nothing.
+    pub fn apply_in_place(&self, values: &mut [f32]) {
+        if matches!(self, Activation::Identity) {
+            return;
+        }
+        for v in values.iter_mut() {
+            *v = self.apply_scalar(*v);
+        }
+    }
+
     /// Short lowercase name used in reports.
     pub fn name(&self) -> &'static str {
         match self {

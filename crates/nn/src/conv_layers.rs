@@ -1,8 +1,11 @@
 //! Convolutional layers (paper Eq. 2) wrapping the direct kernels in
 //! `reuse-tensor`.
 
-use reuse_tensor::conv::{conv2d_forward, conv3d_forward, Conv2dSpec, Conv3dSpec};
-use reuse_tensor::{Shape, Tensor};
+use reuse_tensor::conv::{
+    conv2d_forward, conv2d_forward_with, conv3d_forward, conv3d_forward_with, Conv2dSpec,
+    Conv3dSpec,
+};
+use reuse_tensor::{ParallelConfig, Shape, Tensor};
 
 use crate::{init, Activation, NnError};
 
@@ -30,15 +33,28 @@ impl Conv2dLayer {
     ) -> Result<Self, NnError> {
         if weights.shape() != &spec.weight_shape() {
             return Err(NnError::InvalidConfig {
-                context: format!("conv2d weights {} != spec {}", weights.shape(), spec.weight_shape()),
+                context: format!(
+                    "conv2d weights {} != spec {}",
+                    weights.shape(),
+                    spec.weight_shape()
+                ),
             });
         }
         if bias.len() != spec.out_channels {
             return Err(NnError::InvalidConfig {
-                context: format!("conv2d bias {} != out_channels {}", bias.len(), spec.out_channels),
+                context: format!(
+                    "conv2d bias {} != out_channels {}",
+                    bias.len(),
+                    spec.out_channels
+                ),
             });
         }
-        Ok(Conv2dLayer { spec, weights, bias, activation })
+        Ok(Conv2dLayer {
+            spec,
+            weights,
+            bias,
+            activation,
+        })
     }
 
     /// Builds a layer with deterministic pseudo-random parameters.
@@ -48,8 +64,14 @@ impl Conv2dLayer {
         let w = init::he_normal(rng, fan_in, count);
         let b = init::small_bias(rng, spec.out_channels);
         let weights = Tensor::from_vec(spec.weight_shape(), w).expect("sized by construction");
-        let bias = Tensor::from_vec(Shape::d1(spec.out_channels), b).expect("sized by construction");
-        Conv2dLayer { spec, weights, bias, activation }
+        let bias =
+            Tensor::from_vec(Shape::d1(spec.out_channels), b).expect("sized by construction");
+        Conv2dLayer {
+            spec,
+            weights,
+            bias,
+            activation,
+        }
     }
 
     /// The convolution geometry.
@@ -78,7 +100,32 @@ impl Conv2dLayer {
     ///
     /// Propagates dimension mismatches from the kernel.
     pub fn forward_linear(&self, input: &Tensor) -> Result<Tensor, NnError> {
-        Ok(conv2d_forward(&self.spec, input, &self.weights, &self.bias)?)
+        Ok(conv2d_forward(
+            &self.spec,
+            input,
+            &self.weights,
+            &self.bias,
+        )?)
+    }
+
+    /// [`Self::forward_linear`] with an explicit parallelism budget (output
+    /// channels are partitioned; results are bit-identical to serial).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the kernel.
+    pub fn forward_linear_with(
+        &self,
+        config: &ParallelConfig,
+        input: &Tensor,
+    ) -> Result<Tensor, NnError> {
+        Ok(conv2d_forward_with(
+            config,
+            &self.spec,
+            input,
+            &self.weights,
+            &self.bias,
+        )?)
     }
 
     /// Full forward pass including the activation.
@@ -120,15 +167,28 @@ impl Conv3dLayer {
     ) -> Result<Self, NnError> {
         if weights.shape() != &spec.weight_shape() {
             return Err(NnError::InvalidConfig {
-                context: format!("conv3d weights {} != spec {}", weights.shape(), spec.weight_shape()),
+                context: format!(
+                    "conv3d weights {} != spec {}",
+                    weights.shape(),
+                    spec.weight_shape()
+                ),
             });
         }
         if bias.len() != spec.out_channels {
             return Err(NnError::InvalidConfig {
-                context: format!("conv3d bias {} != out_channels {}", bias.len(), spec.out_channels),
+                context: format!(
+                    "conv3d bias {} != out_channels {}",
+                    bias.len(),
+                    spec.out_channels
+                ),
             });
         }
-        Ok(Conv3dLayer { spec, weights, bias, activation })
+        Ok(Conv3dLayer {
+            spec,
+            weights,
+            bias,
+            activation,
+        })
     }
 
     /// Builds a layer with deterministic pseudo-random parameters.
@@ -138,8 +198,14 @@ impl Conv3dLayer {
         let w = init::he_normal(rng, fan_in, count);
         let b = init::small_bias(rng, spec.out_channels);
         let weights = Tensor::from_vec(spec.weight_shape(), w).expect("sized by construction");
-        let bias = Tensor::from_vec(Shape::d1(spec.out_channels), b).expect("sized by construction");
-        Conv3dLayer { spec, weights, bias, activation }
+        let bias =
+            Tensor::from_vec(Shape::d1(spec.out_channels), b).expect("sized by construction");
+        Conv3dLayer {
+            spec,
+            weights,
+            bias,
+            activation,
+        }
     }
 
     /// The convolution geometry.
@@ -168,7 +234,32 @@ impl Conv3dLayer {
     ///
     /// Propagates dimension mismatches from the kernel.
     pub fn forward_linear(&self, input: &Tensor) -> Result<Tensor, NnError> {
-        Ok(conv3d_forward(&self.spec, input, &self.weights, &self.bias)?)
+        Ok(conv3d_forward(
+            &self.spec,
+            input,
+            &self.weights,
+            &self.bias,
+        )?)
+    }
+
+    /// [`Self::forward_linear`] with an explicit parallelism budget (output
+    /// filters are partitioned; results are bit-identical to serial).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the kernel.
+    pub fn forward_linear_with(
+        &self,
+        config: &ParallelConfig,
+        input: &Tensor,
+    ) -> Result<Tensor, NnError> {
+        Ok(conv3d_forward_with(
+            config,
+            &self.spec,
+            input,
+            &self.weights,
+            &self.bias,
+        )?)
     }
 
     /// Full forward pass including the activation.
@@ -192,7 +283,14 @@ mod tests {
 
     #[test]
     fn conv2d_layer_forward_applies_activation() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let w = Tensor::from_vec(spec.weight_shape(), vec![-1.0]).unwrap();
         let b = Tensor::from_slice_1d(&[0.0]).unwrap();
         let layer = Conv2dLayer::new(spec, w, b, Activation::Relu).unwrap();
@@ -205,7 +303,14 @@ mod tests {
 
     #[test]
     fn conv2d_layer_rejects_mismatched_weights() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 2, kh: 3, kw: 3, stride: 1, pad: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 0,
+        };
         let w = Tensor::zeros(Shape::d4(1, 1, 3, 3));
         let b = Tensor::zeros(Shape::d1(2));
         assert!(Conv2dLayer::new(spec, w, b, Activation::Identity).is_err());
@@ -213,8 +318,15 @@ mod tests {
 
     #[test]
     fn conv3d_layer_random_is_deterministic() {
-        let spec =
-            Conv3dSpec { in_channels: 2, out_channels: 3, kd: 3, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let spec = Conv3dSpec {
+            in_channels: 2,
+            out_channels: 3,
+            kd: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         let a = Conv3dLayer::random(spec, Activation::Relu, &mut init::Rng64::new(5));
         let b = Conv3dLayer::random(spec, Activation::Relu, &mut init::Rng64::new(5));
         assert_eq!(a.weights().as_slice(), b.weights().as_slice());

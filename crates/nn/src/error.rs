@@ -28,9 +28,14 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
-            NnError::InvalidConfig { context } => write!(f, "invalid layer configuration: {context}"),
+            NnError::InvalidConfig { context } => {
+                write!(f, "invalid layer configuration: {context}")
+            }
             NnError::InputShape { expected, actual } => {
-                write!(f, "network input length {actual} does not match expected {expected}")
+                write!(
+                    f,
+                    "network input length {actual} does not match expected {expected}"
+                )
             }
             NnError::EmptySequence => write!(f, "input sequence must not be empty"),
         }

@@ -1,6 +1,6 @@
 //! Fully-connected layer (paper Eq. 1).
 
-use reuse_tensor::{matmul, Shape, Tensor};
+use reuse_tensor::{matmul, ParallelConfig, Shape, Tensor};
 
 use crate::{init, Activation, NnError};
 
@@ -36,7 +36,11 @@ impl FullyConnected {
                 context: format!("fc bias length {} != output dim {}", bias.len(), dims[1]),
             });
         }
-        Ok(FullyConnected { weights, bias, activation })
+        Ok(FullyConnected {
+            weights,
+            bias,
+            activation,
+        })
     }
 
     /// Builds a layer with deterministic pseudo-random parameters.
@@ -50,7 +54,11 @@ impl FullyConnected {
         let b = init::small_bias(rng, n_out);
         let weights = Tensor::from_vec(Shape::d2(n_in, n_out), w).expect("sized by construction");
         let bias = Tensor::from_vec(Shape::d1(n_out), b).expect("sized by construction");
-        FullyConnected { weights, bias, activation }
+        FullyConnected {
+            weights,
+            bias,
+            activation,
+        }
     }
 
     /// Number of inputs.
@@ -89,6 +97,47 @@ impl FullyConnected {
         Ok(matmul::fc_forward(&self.weights, input, &self.bias)?)
     }
 
+    /// [`Self::forward_linear`] with an explicit parallelism budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the kernel.
+    pub fn forward_linear_with(
+        &self,
+        config: &ParallelConfig,
+        input: &Tensor,
+    ) -> Result<Tensor, NnError> {
+        Ok(matmul::fc_forward_with(
+            config,
+            &self.weights,
+            input,
+            &self.bias,
+        )?)
+    }
+
+    /// Allocation-free linear forward: clears `out` and writes the `n_out`
+    /// pre-activation values into it, reusing its capacity across calls.
+    /// Results are bit-identical to [`Self::forward_linear`] for any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the kernel.
+    pub fn forward_linear_into(
+        &self,
+        config: &ParallelConfig,
+        input: &Tensor,
+        out: &mut Vec<f32>,
+    ) -> Result<(), NnError> {
+        Ok(matmul::fc_forward_into(
+            config,
+            &self.weights,
+            input,
+            &self.bias,
+            out,
+        )?)
+    }
+
     /// Full forward pass including the activation.
     ///
     /// # Errors
@@ -118,7 +167,9 @@ mod tests {
         let w = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         let b = Tensor::from_slice_1d(&[1.0, -1.0]).unwrap();
         let fc = FullyConnected::new(w, b, Activation::Identity).unwrap();
-        let out = fc.forward(&Tensor::from_slice_1d(&[2.0, 3.0]).unwrap()).unwrap();
+        let out = fc
+            .forward(&Tensor::from_slice_1d(&[2.0, 3.0]).unwrap())
+            .unwrap();
         assert_eq!(out.as_slice(), &[3.0, 2.0]);
     }
 
@@ -127,9 +178,13 @@ mod tests {
         let w = Tensor::from_vec(Shape::d2(1, 1), vec![1.0]).unwrap();
         let b = Tensor::from_slice_1d(&[0.0]).unwrap();
         let fc = FullyConnected::new(w, b, Activation::Relu).unwrap();
-        let out = fc.forward(&Tensor::from_slice_1d(&[-5.0]).unwrap()).unwrap();
+        let out = fc
+            .forward(&Tensor::from_slice_1d(&[-5.0]).unwrap())
+            .unwrap();
         assert_eq!(out.as_slice(), &[0.0]);
-        let lin = fc.forward_linear(&Tensor::from_slice_1d(&[-5.0]).unwrap()).unwrap();
+        let lin = fc
+            .forward_linear(&Tensor::from_slice_1d(&[-5.0]).unwrap())
+            .unwrap();
         assert_eq!(lin.as_slice(), &[-5.0]);
     }
 

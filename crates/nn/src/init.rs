@@ -28,7 +28,9 @@ pub struct Rng64 {
 impl Rng64 {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Rng64 { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+        Rng64 {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
     }
 
     /// Next raw 64-bit value.
@@ -146,7 +148,10 @@ mod tests {
         let w = he_normal(&mut rng, 800, 20_000);
         let std = (w.iter().map(|v| v * v).sum::<f32>() / w.len() as f32).sqrt();
         let expected = (2.0f32 / 800.0).sqrt();
-        assert!((std - expected).abs() / expected < 0.1, "std {std} vs {expected}");
+        assert!(
+            (std - expected).abs() / expected < 0.1,
+            "std {std} vs {expected}"
+        );
     }
 
     #[test]

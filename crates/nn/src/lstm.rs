@@ -38,7 +38,10 @@ pub struct LstmState {
 impl LstmState {
     /// A zeroed state (the start-of-sequence convention).
     pub fn zeros(cell_dim: usize) -> Self {
-        LstmState { h: vec![0.0; cell_dim], c: vec![0.0; cell_dim] }
+        LstmState {
+            h: vec![0.0; cell_dim],
+            c: vec![0.0; cell_dim],
+        }
     }
 }
 
@@ -76,12 +79,18 @@ impl LstmCell {
         for g in 0..NUM_GATES {
             if w_x[g].shape().dims() != [n_in, cell_dim] {
                 return Err(NnError::InvalidConfig {
-                    context: format!("gate {g} w_x shape {} != [{n_in}, {cell_dim}]", w_x[g].shape()),
+                    context: format!(
+                        "gate {g} w_x shape {} != [{n_in}, {cell_dim}]",
+                        w_x[g].shape()
+                    ),
                 });
             }
             if w_h[g].shape().dims() != [cell_dim, cell_dim] {
                 return Err(NnError::InvalidConfig {
-                    context: format!("gate {g} w_h shape {} != [{cell_dim}, {cell_dim}]", w_h[g].shape()),
+                    context: format!(
+                        "gate {g} w_h shape {} != [{cell_dim}, {cell_dim}]",
+                        w_h[g].shape()
+                    ),
                 });
             }
             if bias[g].len() != cell_dim {
@@ -90,7 +99,13 @@ impl LstmCell {
                 });
             }
         }
-        Ok(LstmCell { n_in, cell_dim, w_x, w_h, bias })
+        Ok(LstmCell {
+            n_in,
+            cell_dim,
+            w_x,
+            w_h,
+            bias,
+        })
     }
 
     /// Builds a cell with deterministic pseudo-random parameters.
@@ -121,8 +136,19 @@ impl LstmCell {
         };
         let w_x = [mk_x(rng), mk_x(rng), mk_x(rng), mk_x(rng)];
         let w_h = [mk_h(rng), mk_h(rng), mk_h(rng), mk_h(rng)];
-        let bias = [mk_b(rng, false), mk_b(rng, true), mk_b(rng, false), mk_b(rng, false)];
-        LstmCell { n_in, cell_dim, w_x, w_h, bias }
+        let bias = [
+            mk_b(rng, false),
+            mk_b(rng, true),
+            mk_b(rng, false),
+            mk_b(rng, false),
+        ];
+        LstmCell {
+            n_in,
+            cell_dim,
+            w_x,
+            w_h,
+            bias,
+        }
     }
 
     /// Feed-forward input dimension.
@@ -159,10 +185,16 @@ impl LstmCell {
     /// Returns [`NnError::InputShape`] when `x` or `h` have wrong lengths.
     pub fn gate_preactivations(&self, x: &[f32], h: &[f32]) -> Result<Vec<f32>, NnError> {
         if x.len() != self.n_in {
-            return Err(NnError::InputShape { expected: self.n_in, actual: x.len() });
+            return Err(NnError::InputShape {
+                expected: self.n_in,
+                actual: x.len(),
+            });
         }
         if h.len() != self.cell_dim {
-            return Err(NnError::InputShape { expected: self.cell_dim, actual: h.len() });
+            return Err(NnError::InputShape {
+                expected: self.cell_dim,
+                actual: h.len(),
+            });
         }
         let mut pre = vec![0.0f32; NUM_GATES * self.cell_dim];
         for g in 0..NUM_GATES {
@@ -182,22 +214,35 @@ impl LstmCell {
     /// Panics in debug builds if `pre` is not `NUM_GATES × cell_dim` or the
     /// state dimension disagrees.
     pub fn step_from_preactivations(&self, pre: &[f32], state: &LstmState) -> LstmState {
+        let mut next = state.clone();
+        self.step_from_preactivations_in_place(pre, &mut next);
+        next
+    }
+
+    /// In-place variant of [`Self::step_from_preactivations`] — advances
+    /// `state` to the next timestep without allocating. The cell update
+    /// (Eq. 7) reads each `c[j]` before overwriting it, so updating
+    /// elementwise is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `pre` is not `NUM_GATES × cell_dim` or the
+    /// state dimension disagrees.
+    pub fn step_from_preactivations_in_place(&self, pre: &[f32], state: &mut LstmState) {
         debug_assert_eq!(pre.len(), NUM_GATES * self.cell_dim);
         debug_assert_eq!(state.c.len(), self.cell_dim);
         let d = self.cell_dim;
         let sig = Activation::Sigmoid;
         let tanh = Activation::Tanh;
-        let mut next = LstmState::zeros(d);
         for j in 0..d {
             let i = sig.apply_scalar(pre[GATE_I * d + j]);
             let f = sig.apply_scalar(pre[GATE_F * d + j]);
             let g = tanh.apply_scalar(pre[GATE_G * d + j]);
             let o = sig.apply_scalar(pre[GATE_O * d + j]);
             let c = f * state.c[j] + i * g; // Eq. 7
-            next.c[j] = c;
-            next.h[j] = o * tanh.apply_scalar(c); // Eq. 8
+            state.c[j] = c;
+            state.h[j] = o * tanh.apply_scalar(c); // Eq. 8
         }
-        next
     }
 
     /// One full cell step: pre-activations + nonlinear update.
@@ -284,7 +329,10 @@ impl BiLstmLayer {
 
     /// Builds a layer with deterministic pseudo-random parameters.
     pub fn random(n_in: usize, cell_dim: usize, rng: &mut init::Rng64) -> Self {
-        BiLstmLayer { fwd: LstmCell::random(n_in, cell_dim, rng), bwd: LstmCell::random(n_in, cell_dim, rng) }
+        BiLstmLayer {
+            fwd: LstmCell::random(n_in, cell_dim, rng),
+            bwd: LstmCell::random(n_in, cell_dim, rng),
+        }
     }
 
     /// Feed-forward input dimension of both cells.
@@ -382,7 +430,10 @@ mod tests {
         )
         .unwrap();
         let x = 0.7f32;
-        let state = LstmState { h: vec![0.0], c: vec![0.5] };
+        let state = LstmState {
+            h: vec![0.0],
+            c: vec![0.5],
+        };
         let next = cell.step(&[x], &state).unwrap();
         let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
         let i = sig(x);
@@ -419,30 +470,46 @@ mod tests {
         let cell = tiny_cell();
         assert!(matches!(
             cell.step(&[0.0; 4], &LstmState::zeros(2)),
-            Err(NnError::InputShape { expected: 3, actual: 4 })
+            Err(NnError::InputShape {
+                expected: 3,
+                actual: 4
+            })
         ));
     }
 
     #[test]
     fn bilstm_output_concatenates_directions() {
         let layer = BiLstmLayer::random(3, 2, &mut init::Rng64::new(1));
-        let xs = vec![vec![0.1, 0.2, 0.3], vec![0.2, 0.1, 0.0], vec![-0.1, 0.0, 0.1]];
+        let xs = vec![
+            vec![0.1, 0.2, 0.3],
+            vec![0.2, 0.1, 0.0],
+            vec![-0.1, 0.0, 0.1],
+        ];
         let out = layer.forward_sequence(&xs).unwrap();
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|o| o.len() == 4));
         // The backward half at t=last equals a single backward step from zero
         // state on xs[last].
-        let bwd_state = layer.backward_cell().step(&xs[2], &LstmState::zeros(2)).unwrap();
+        let bwd_state = layer
+            .backward_cell()
+            .step(&xs[2], &LstmState::zeros(2))
+            .unwrap();
         assert_eq!(&out[2][2..], bwd_state.h.as_slice());
         // The forward half at t=0 equals a single forward step from zero state.
-        let fwd_state = layer.forward_cell().step(&xs[0], &LstmState::zeros(2)).unwrap();
+        let fwd_state = layer
+            .forward_cell()
+            .step(&xs[0], &LstmState::zeros(2))
+            .unwrap();
         assert_eq!(&out[0][..2], fwd_state.h.as_slice());
     }
 
     #[test]
     fn empty_sequence_is_rejected() {
         let layer = BiLstmLayer::random(3, 2, &mut init::Rng64::new(1));
-        assert!(matches!(layer.forward_sequence(&[]), Err(NnError::EmptySequence)));
+        assert!(matches!(
+            layer.forward_sequence(&[]),
+            Err(NnError::EmptySequence)
+        ));
     }
 
     #[test]
@@ -452,7 +519,10 @@ mod tests {
         assert_eq!(layer.n_out(), 640);
         let per_cell = 4 * (640 * 320 + 320 * 320 + 320);
         assert_eq!(layer.param_count(), 2 * per_cell as u64);
-        assert_eq!(layer.flops_per_step(), 2 * 2 * (4 * (640 + 320) * 320) as u64);
+        assert_eq!(
+            layer.flops_per_step(),
+            2 * 2 * (4 * (640 + 320) * 320) as u64
+        );
     }
 
     #[test]

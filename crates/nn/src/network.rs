@@ -99,7 +99,10 @@ impl Layer {
         match self {
             Layer::FullyConnected(l) => {
                 if input.volume() != l.n_in() {
-                    return Err(NnError::InputShape { expected: l.n_in(), actual: input.volume() });
+                    return Err(NnError::InputShape {
+                        expected: l.n_in(),
+                        actual: input.volume(),
+                    });
                 }
                 Ok(Shape::d1(l.n_out()))
             }
@@ -107,7 +110,10 @@ impl Layer {
                 let d = input.dims();
                 if d.len() != 3 || d[0] != l.spec().in_channels {
                     return Err(NnError::InvalidConfig {
-                        context: format!("conv2d expects [{}, h, w], got {input}", l.spec().in_channels),
+                        context: format!(
+                            "conv2d expects [{}, h, w], got {input}",
+                            l.spec().in_channels
+                        ),
                     });
                 }
                 let (oh, ow) = l.spec().output_hw(d[1], d[2])?;
@@ -117,7 +123,10 @@ impl Layer {
                 let d = input.dims();
                 if d.len() != 4 || d[0] != l.spec().in_channels {
                     return Err(NnError::InvalidConfig {
-                        context: format!("conv3d expects [{}, d, h, w], got {input}", l.spec().in_channels),
+                        context: format!(
+                            "conv3d expects [{}, d, h, w], got {input}",
+                            l.spec().in_channels
+                        ),
                     });
                 }
                 let (od, oh, ow) = l.spec().output_dhw(d[1], d[2], d[3])?;
@@ -126,25 +135,33 @@ impl Layer {
             Layer::Pool2d(p) => {
                 let d = input.dims();
                 if d.len() != 3 {
-                    return Err(NnError::InvalidConfig { context: format!("pool2d expects [c,h,w], got {input}") });
+                    return Err(NnError::InvalidConfig {
+                        context: format!("pool2d expects [c,h,w], got {input}"),
+                    });
                 }
                 let oh = pool_extent(d[1], p.window, p.stride, p.ceil);
                 let ow = pool_extent(d[2], p.window, p.stride, p.ceil);
                 if oh == 0 || ow == 0 {
-                    return Err(NnError::InvalidConfig { context: format!("pool window does not fit {input}") });
+                    return Err(NnError::InvalidConfig {
+                        context: format!("pool window does not fit {input}"),
+                    });
                 }
                 Ok(Shape::d3(d[0], oh, ow))
             }
             Layer::Pool3d(p) => {
                 let d = input.dims();
                 if d.len() != 4 {
-                    return Err(NnError::InvalidConfig { context: format!("pool3d expects [c,d,h,w], got {input}") });
+                    return Err(NnError::InvalidConfig {
+                        context: format!("pool3d expects [c,d,h,w], got {input}"),
+                    });
                 }
                 let od = pool_extent(d[1], p.wd, p.wd, p.ceil);
                 let oh = pool_extent(d[2], p.whw, p.whw, p.ceil);
                 let ow = pool_extent(d[3], p.whw, p.whw, p.ceil);
                 if od == 0 || oh == 0 || ow == 0 {
-                    return Err(NnError::InvalidConfig { context: format!("pool window does not fit {input}") });
+                    return Err(NnError::InvalidConfig {
+                        context: format!("pool window does not fit {input}"),
+                    });
                 }
                 Ok(Shape::d4(d[0], od, oh, ow))
             }
@@ -152,20 +169,29 @@ impl Layer {
             Layer::GroupMax { group } => {
                 if *group == 0 || !input.volume().is_multiple_of(*group) {
                     return Err(NnError::InvalidConfig {
-                        context: format!("group_max({group}) does not divide input volume {}", input.volume()),
+                        context: format!(
+                            "group_max({group}) does not divide input volume {}",
+                            input.volume()
+                        ),
                     });
                 }
                 Ok(Shape::d1(input.volume() / group))
             }
             Layer::Lstm(l) => {
                 if input.volume() != l.n_in() {
-                    return Err(NnError::InputShape { expected: l.n_in(), actual: input.volume() });
+                    return Err(NnError::InputShape {
+                        expected: l.n_in(),
+                        actual: input.volume(),
+                    });
                 }
                 Ok(Shape::d1(l.cell_dim()))
             }
             Layer::BiLstm(l) => {
                 if input.volume() != l.n_in() {
-                    return Err(NnError::InputShape { expected: l.n_in(), actual: input.volume() });
+                    return Err(NnError::InputShape {
+                        expected: l.n_in(),
+                        actual: input.volume(),
+                    });
                 }
                 Ok(Shape::d1(l.n_out()))
             }
@@ -258,7 +284,9 @@ impl Network {
 
     /// Whether the network contains recurrent layers.
     pub fn is_recurrent(&self) -> bool {
-        self.layers.iter().any(|(_, l)| matches!(l, Layer::Lstm(_) | Layer::BiLstm(_)))
+        self.layers
+            .iter()
+            .any(|(_, l)| matches!(l, Layer::Lstm(_) | Layer::BiLstm(_)))
     }
 
     /// Total parameter count.
@@ -364,8 +392,7 @@ impl Network {
         for ((_, layer), in_shape) in self.layers.iter().zip(self.layer_inputs.iter()) {
             match layer {
                 Layer::Lstm(l) => {
-                    let xs: Vec<Vec<f32>> =
-                        seq.iter().map(|t| t.as_slice().to_vec()).collect();
+                    let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
                     let out = l.forward_sequence(&xs)?;
                     seq = out
                         .into_iter()
@@ -373,8 +400,7 @@ impl Network {
                         .collect::<Result<_, _>>()?;
                 }
                 Layer::BiLstm(l) => {
-                    let xs: Vec<Vec<f32>> =
-                        seq.iter().map(|t| t.as_slice().to_vec()).collect();
+                    let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
                     let out = l.forward_sequence(&xs)?;
                     seq = out
                         .into_iter()
@@ -396,7 +422,11 @@ impl Network {
 fn apply_layer(layer: &Layer, input: Tensor, in_shape: &Shape) -> Result<Tensor, NnError> {
     // Frame tensors may arrive flat (e.g. after an FC layer); reshape to the
     // inferred layer input shape first.
-    let input = if input.shape() == in_shape { input } else { input.reshape(in_shape.clone())? };
+    let input = if input.shape() == in_shape {
+        input
+    } else {
+        input.reshape(in_shape.clone())?
+    };
     match layer {
         Layer::FullyConnected(l) => {
             let flat = input.reshape(Shape::d1(in_shape.volume()))?;
@@ -514,32 +544,59 @@ impl NetworkBuilder {
     }
 
     /// Appends a 2D convolution with deterministic random weights.
-    pub fn conv2d(mut self, out_channels: usize, k: usize, stride: usize, pad: usize, act: Activation) -> Self {
+    pub fn conv2d(
+        mut self,
+        out_channels: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        act: Activation,
+    ) -> Self {
         if self.error.is_some() {
             return self;
         }
         let dims = self.cur_shape.dims();
         if dims.len() != 3 {
             self.error = Some(NnError::InvalidConfig {
-                context: format!("conv2d needs a [c,h,w] input, current shape {}", self.cur_shape),
+                context: format!(
+                    "conv2d needs a [c,h,w] input, current shape {}",
+                    self.cur_shape
+                ),
             });
             return self;
         }
-        let spec = Conv2dSpec { in_channels: dims[0], out_channels, kh: k, kw: k, stride, pad };
+        let spec = Conv2dSpec {
+            in_channels: dims[0],
+            out_channels,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        };
         let mut rng = self.rng.fork(self.counter as u64);
         let layer = Conv2dLayer::random(spec, act, &mut rng);
         self.push("conv", Layer::Conv2d(layer))
     }
 
     /// Appends a 3D convolution with deterministic random weights.
-    pub fn conv3d(mut self, out_channels: usize, k: usize, stride: usize, pad: usize, act: Activation) -> Self {
+    pub fn conv3d(
+        mut self,
+        out_channels: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        act: Activation,
+    ) -> Self {
         if self.error.is_some() {
             return self;
         }
         let dims = self.cur_shape.dims();
         if dims.len() != 4 {
             self.error = Some(NnError::InvalidConfig {
-                context: format!("conv3d needs a [c,d,h,w] input, current shape {}", self.cur_shape),
+                context: format!(
+                    "conv3d needs a [c,d,h,w] input, current shape {}",
+                    self.cur_shape
+                ),
             });
             return self;
         }
@@ -629,7 +686,9 @@ impl NetworkBuilder {
             return Err(e);
         }
         if self.layers.is_empty() {
-            return Err(NnError::InvalidConfig { context: "network must have at least one layer".into() });
+            return Err(NnError::InvalidConfig {
+                context: "network must have at least one layer".into(),
+            });
         }
         // Re-derive each layer's input shape from the chain.
         let mut layer_inputs = Vec::with_capacity(self.layers.len());
@@ -753,7 +812,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             net.forward_flat(&[0.0; 3]),
-            Err(NnError::InputShape { expected: 4, actual: 3 })
+            Err(NnError::InputShape {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 
@@ -779,7 +841,15 @@ mod tests {
             .build()
             .unwrap();
         let kinds: Vec<LayerKind> = net.layers().iter().map(|(_, l)| l.kind()).collect();
-        assert_eq!(kinds, vec![LayerKind::Conv, LayerKind::Pool, LayerKind::Reshape, LayerKind::Fc]);
+        assert_eq!(
+            kinds,
+            vec![
+                LayerKind::Conv,
+                LayerKind::Pool,
+                LayerKind::Reshape,
+                LayerKind::Fc
+            ]
+        );
         assert!(net.layers()[0].1.has_weights());
         assert!(!net.layers()[1].1.has_weights());
     }
@@ -803,7 +873,10 @@ mod tests {
 
     #[test]
     fn group_max_must_divide_volume() {
-        let err = NetworkBuilder::new("maxout", 7).group_max(3).build().unwrap_err();
+        let err = NetworkBuilder::new("maxout", 7)
+            .group_max(3)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, NnError::InvalidConfig { .. }));
     }
 

@@ -23,7 +23,11 @@ pub struct Pool2dLayer {
 impl Pool2dLayer {
     /// Square non-overlapping pooling (stride = window, floor mode).
     pub fn square(window: usize) -> Self {
-        Pool2dLayer { window, stride: window, ceil: false }
+        Pool2dLayer {
+            window,
+            stride: window,
+            ceil: false,
+        }
     }
 
     /// Runs the pooling operation.

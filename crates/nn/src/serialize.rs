@@ -105,7 +105,12 @@ fn push_floats(out: &mut String, values: &[f32]) {
 pub fn to_string(net: &Network) -> String {
     let mut out = format!("reuse-dnn-model v{FORMAT_VERSION}\n");
     out.push_str(&format!("name {}\n", net.name().replace(' ', "_")));
-    let dims: Vec<String> = net.input_shape().dims().iter().map(|d| d.to_string()).collect();
+    let dims: Vec<String> = net
+        .input_shape()
+        .dims()
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
     out.push_str(&format!("input {}\n", dims.join(" ")));
     for (name, layer) in net.layers() {
         #[allow(unreachable_patterns)] // future-proofing for new variants
@@ -164,9 +169,7 @@ pub fn to_string(net: &Network) -> String {
                 ));
             }
             Layer::Flatten => out.push_str(&format!("layer flatten {name}\n")),
-            Layer::GroupMax { group } => {
-                out.push_str(&format!("layer groupmax {name} {group}\n"))
-            }
+            Layer::GroupMax { group } => out.push_str(&format!("layer groupmax {name} {group}\n")),
             Layer::Lstm(cell) => {
                 out.push_str(&format!(
                     "layer lstm {name} {} {}\n",
@@ -207,7 +210,10 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn new(text: &'a str) -> Self {
-        Reader { lines: text.lines().enumerate(), pending: Vec::new() }
+        Reader {
+            lines: text.lines().enumerate(),
+            pending: Vec::new(),
+        }
     }
 
     /// Next structural line split into tokens (skips parameter leftovers).
@@ -237,13 +243,15 @@ impl<'a> Reader<'a> {
                 continue;
             }
             let tok = self.pending.pop().expect("non-empty pending");
-            let v: f32 = tok.parse().map_err(|_| {
-                SerializeError::BadParameters(format!("not a float: {tok}"))
-            })?;
+            let v: f32 = tok
+                .parse()
+                .map_err(|_| SerializeError::BadParameters(format!("not a float: {tok}")))?;
             values.push(v);
         }
         if !self.pending.is_empty() {
-            return Err(SerializeError::BadParameters("excess values on parameter line".into()));
+            return Err(SerializeError::BadParameters(
+                "excess values on parameter line".into(),
+            ));
         }
         Ok(values)
     }
@@ -261,10 +269,15 @@ fn read_cell(r: &mut Reader<'_>, n_in: usize, cell_dim: usize) -> Result<LstmCel
         w_h.push(Tensor::from_vec(Shape::d2(cell_dim, cell_dim), wh).map_err(NnError::from)?);
         bias.push(Tensor::from_vec(Shape::d1(cell_dim), b).map_err(NnError::from)?);
     }
-    let to_arr = |v: Vec<Tensor>| -> [Tensor; 4] {
-        v.try_into().expect("exactly four gates were pushed")
-    };
-    Ok(LstmCell::new(n_in, cell_dim, to_arr(w_x), to_arr(w_h), to_arr(bias))?)
+    let to_arr =
+        |v: Vec<Tensor>| -> [Tensor; 4] { v.try_into().expect("exactly four gates were pushed") };
+    Ok(LstmCell::new(
+        n_in,
+        cell_dim,
+        to_arr(w_x),
+        to_arr(w_h),
+        to_arr(bias),
+    )?)
 }
 
 /// Parses a network from the text format.
@@ -274,28 +287,50 @@ fn read_cell(r: &mut Reader<'_>, n_in: usize, cell_dim: usize) -> Result<LstmCel
 /// Returns a [`SerializeError`] describing the first malformed element.
 pub fn from_str(text: &str) -> Result<Network, SerializeError> {
     let mut r = Reader::new(text);
-    let (_, header) =
-        r.next_line().ok_or_else(|| SerializeError::BadHeader("empty input".into()))?;
-    if header.len() != 2 || header[0] != "reuse-dnn-model" || header[1] != format!("v{FORMAT_VERSION}") {
-        return Err(SerializeError::BadHeader(format!("got {:?}", header.join(" "))));
+    let (_, header) = r
+        .next_line()
+        .ok_or_else(|| SerializeError::BadHeader("empty input".into()))?;
+    if header.len() != 2
+        || header[0] != "reuse-dnn-model"
+        || header[1] != format!("v{FORMAT_VERSION}")
+    {
+        return Err(SerializeError::BadHeader(format!(
+            "got {:?}",
+            header.join(" ")
+        )));
     }
-    let (nline, name_tokens) =
-        r.next_line().ok_or_else(|| SerializeError::BadHeader("missing name".into()))?;
+    let (nline, name_tokens) = r
+        .next_line()
+        .ok_or_else(|| SerializeError::BadHeader("missing name".into()))?;
     if name_tokens.len() != 2 || name_tokens[0] != "name" {
-        return Err(SerializeError::BadLine { line: nline, message: "expected `name <id>`".into() });
+        return Err(SerializeError::BadLine {
+            line: nline,
+            message: "expected `name <id>`".into(),
+        });
     }
     let name = name_tokens[1].to_string();
-    let (iline, input_tokens) =
-        r.next_line().ok_or_else(|| SerializeError::BadHeader("missing input shape".into()))?;
+    let (iline, input_tokens) = r
+        .next_line()
+        .ok_or_else(|| SerializeError::BadHeader("missing input shape".into()))?;
     if input_tokens.len() < 2 || input_tokens[0] != "input" {
-        return Err(SerializeError::BadLine { line: iline, message: "expected `input <dims...>`".into() });
+        return Err(SerializeError::BadLine {
+            line: iline,
+            message: "expected `input <dims...>`".into(),
+        });
     }
     let dims: Vec<usize> = input_tokens[1..]
         .iter()
-        .map(|t| t.parse().map_err(|_| SerializeError::BadLine { line: iline, message: format!("bad dim {t}") }))
+        .map(|t| {
+            t.parse().map_err(|_| SerializeError::BadLine {
+                line: iline,
+                message: format!("bad dim {t}"),
+            })
+        })
         .collect::<Result<_, _>>()?;
-    let input_shape = Shape::new(&dims)
-        .map_err(|e| SerializeError::BadLine { line: iline, message: e.to_string() })?;
+    let input_shape = Shape::new(&dims).map_err(|e| SerializeError::BadLine {
+        line: iline,
+        message: e.to_string(),
+    })?;
 
     let mut builder = NetworkBuilder::with_input_shape(&name, input_shape);
     // We push fully-built layers directly through the builder's internals by
@@ -311,7 +346,10 @@ pub fn from_str(text: &str) -> Result<Network, SerializeError> {
         let parse = |idx: usize| -> Result<usize, SerializeError> {
             args.get(idx)
                 .and_then(|t| t.parse().ok())
-                .ok_or_else(|| SerializeError::BadLine { line, message: format!("bad integer arg {idx}") })
+                .ok_or_else(|| SerializeError::BadLine {
+                    line,
+                    message: format!("bad integer arg {idx}"),
+                })
         };
         match kind {
             "fc" => {
@@ -322,10 +360,11 @@ pub fn from_str(text: &str) -> Result<Network, SerializeError> {
                     .ok_or_else(|| bad("bad activation".into()))?;
                 let w = r.floats(n_in * n_out)?;
                 let b = r.floats(n_out)?;
-                let weights =
-                    Tensor::from_vec(Shape::d2(n_in, n_out), w).map_err(NnError::from)?;
+                let weights = Tensor::from_vec(Shape::d2(n_in, n_out), w).map_err(NnError::from)?;
                 let bias = Tensor::from_vec(Shape::d1(n_out), b).map_err(NnError::from)?;
-                layers.push(Layer::FullyConnected(FullyConnected::new(weights, bias, act)?));
+                layers.push(Layer::FullyConnected(FullyConnected::new(
+                    weights, bias, act,
+                )?));
             }
             "conv2d" => {
                 let spec = Conv2dSpec {
@@ -489,7 +528,10 @@ mod tests {
     #[test]
     fn malformed_inputs_are_rejected() {
         assert!(matches!(from_str(""), Err(SerializeError::BadHeader(_))));
-        assert!(matches!(from_str("wrong v1\n"), Err(SerializeError::BadHeader(_))));
+        assert!(matches!(
+            from_str("wrong v1\n"),
+            Err(SerializeError::BadHeader(_))
+        ));
         let mut text = to_string(&mlp());
         // Truncate parameters.
         text.truncate(text.len() / 2);
@@ -499,7 +541,10 @@ mod tests {
     #[test]
     fn unknown_layer_kind_rejected() {
         let text = "reuse-dnn-model v1\nname x\ninput 4\nlayer warp w1 4\n";
-        assert!(matches!(from_str(text), Err(SerializeError::BadLine { .. })));
+        assert!(matches!(
+            from_str(text),
+            Err(SerializeError::BadLine { .. })
+        ));
     }
 
     #[test]

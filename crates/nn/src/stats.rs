@@ -41,7 +41,9 @@ pub struct NetworkStats {
 pub fn network_stats(net: &Network) -> NetworkStats {
     let mut layers = Vec::with_capacity(net.layers().len());
     for ((name, layer), in_shape) in net.layers().iter().zip(net.layer_input_shapes().iter()) {
-        let out_shape = layer.output_shape(in_shape).expect("shapes validated at build time");
+        let out_shape = layer
+            .output_shape(in_shape)
+            .expect("shapes validated at build time");
         layers.push(LayerStats {
             name: name.clone(),
             kind: layer.kind(),

@@ -22,7 +22,10 @@ impl fmt::Display for QuantError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QuantError::TooFewClusters { clusters } => {
-                write!(f, "linear quantization needs at least 2 clusters, got {clusters}")
+                write!(
+                    f,
+                    "linear quantization needs at least 2 clusters, got {clusters}"
+                )
             }
             QuantError::InvalidRange { min, max } => {
                 write!(f, "invalid input range [{min}, {max}]")

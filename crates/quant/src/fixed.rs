@@ -26,7 +26,10 @@ pub fn q8_quantizer(max_abs: f32) -> Result<LinearQuantizer, QuantError> {
 pub fn quantize_weights_q8(weights: &[f32]) -> (Vec<i8>, f32) {
     let max_abs = weights.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     let scale = reuse_tensor::fixed::q8_scale(max_abs);
-    (reuse_tensor::fixed::quantize_slice_q8(weights, scale), scale)
+    (
+        reuse_tensor::fixed::quantize_slice_q8(weights, scale),
+        scale,
+    )
 }
 
 /// Bytes per stored value in the reduced-precision datapath.

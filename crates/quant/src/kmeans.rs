@@ -37,7 +37,10 @@ impl KMeansQuantizer {
         let mut sorted: Vec<f32> = samples.iter().copied().filter(|v| v.is_finite()).collect();
         sorted.sort_by(f32::total_cmp);
         let (Some(&lo), Some(&hi)) = (sorted.first(), sorted.last()) else {
-            return Err(QuantError::InvalidRange { min: f32::NAN, max: f32::NAN });
+            return Err(QuantError::InvalidRange {
+                min: f32::NAN,
+                max: f32::NAN,
+            });
         };
         if hi <= lo {
             return Err(QuantError::InvalidRange { min: lo, max: hi });
@@ -79,7 +82,10 @@ impl KMeansQuantizer {
             }
         }
         let boundaries = midpoints(&centroids);
-        Ok(KMeansQuantizer { centroids, boundaries })
+        Ok(KMeansQuantizer {
+            centroids,
+            boundaries,
+        })
     }
 
     /// The fitted centroids, ascending.
@@ -193,7 +199,11 @@ mod tests {
             })
             .sum::<f64>()
             / samples.len() as f64;
-        assert!(km.mse(&samples) < lin_mse, "kmeans {} vs linear {lin_mse}", km.mse(&samples));
+        assert!(
+            km.mse(&samples) < lin_mse,
+            "kmeans {} vs linear {lin_mse}",
+            km.mse(&samples)
+        );
     }
 
     #[test]

@@ -48,7 +48,13 @@ impl LinearQuantizer {
         let step = range.width() / clusters as f32;
         let code_min = (range.min() / step).round() as i32;
         let code_max = (range.max() / step).round() as i32;
-        Ok(LinearQuantizer { range, clusters, step, code_min, code_max })
+        Ok(LinearQuantizer {
+            range,
+            clusters,
+            step,
+            code_min,
+            code_max,
+        })
     }
 
     /// The profiled input range.

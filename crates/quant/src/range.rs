@@ -22,7 +22,10 @@ impl InputRange {
 
     /// A symmetric range `[-m, m]`.
     pub fn symmetric(m: f32) -> Self {
-        InputRange { min: -m.abs(), max: m.abs() }
+        InputRange {
+            min: -m.abs(),
+            max: m.abs(),
+        }
     }
 
     /// The lower bound.
@@ -48,7 +51,10 @@ impl InputRange {
     /// zero width.
     pub fn validated(self) -> Result<Self, QuantError> {
         if !self.min.is_finite() || !self.max.is_finite() || self.max <= self.min {
-            return Err(QuantError::InvalidRange { min: self.min, max: self.max });
+            return Err(QuantError::InvalidRange {
+                min: self.min,
+                max: self.max,
+            });
         }
         Ok(self)
     }
@@ -129,7 +135,10 @@ impl RangeProfiler {
     /// observed or the clipped range is degenerate.
     pub fn percentile_range(&self, fraction: f32) -> Result<InputRange, QuantError> {
         if self.reservoir.len() < 8 {
-            return Err(QuantError::InvalidRange { min: f32::NAN, max: f32::NAN });
+            return Err(QuantError::InvalidRange {
+                min: f32::NAN,
+                max: f32::NAN,
+            });
         }
         let mut sorted = self.reservoir.clone();
         sorted.sort_by(f32::total_cmp);
@@ -153,7 +162,10 @@ impl RangeProfiler {
                 InputRange::new(lo - pad, hi + pad).validated()
             }
             (Some(lo), Some(hi)) => Err(QuantError::InvalidRange { min: lo, max: hi }),
-            _ => Err(QuantError::InvalidRange { min: f32::NAN, max: f32::NAN }),
+            _ => Err(QuantError::InvalidRange {
+                min: f32::NAN,
+                max: f32::NAN,
+            }),
         }
     }
 }

@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use reuse_tensor::ParallelConfig;
+
 /// Per-layer reuse setting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerSetting {
@@ -26,6 +28,7 @@ pub struct ReuseConfig {
     calibration_executions: usize,
     record_relative_difference: bool,
     record_trace: bool,
+    parallel: ParallelConfig,
 }
 
 impl ReuseConfig {
@@ -38,6 +41,7 @@ impl ReuseConfig {
             calibration_executions: 1,
             record_relative_difference: false,
             record_trace: false,
+            parallel: ParallelConfig::serial(),
         }
     }
 
@@ -45,14 +49,21 @@ impl ReuseConfig {
     /// full precision, like Kaldi FC1/FC2 or C3D CONV1 in the paper).
     pub fn disable_layer(mut self, name: &str) -> Self {
         let clusters = self.setting_for(name).clusters;
-        self.overrides.insert(name.to_string(), LayerSetting { enabled: false, clusters });
+        self.overrides.insert(
+            name.to_string(),
+            LayerSetting {
+                enabled: false,
+                clusters,
+            },
+        );
         self
     }
 
     /// Overrides the cluster count for one layer.
     pub fn layer_clusters(mut self, name: &str, clusters: usize) -> Self {
         let enabled = self.setting_for(name).enabled;
-        self.overrides.insert(name.to_string(), LayerSetting { enabled, clusters });
+        self.overrides
+            .insert(name.to_string(), LayerSetting { enabled, clusters });
         self
     }
 
@@ -96,10 +107,10 @@ impl ReuseConfig {
 
     /// The effective setting for a layer.
     pub fn setting_for(&self, name: &str) -> LayerSetting {
-        self.overrides
-            .get(name)
-            .copied()
-            .unwrap_or(LayerSetting { enabled: true, clusters: self.default_clusters })
+        self.overrides.get(name).copied().unwrap_or(LayerSetting {
+            enabled: true,
+            clusters: self.default_clusters,
+        })
     }
 
     /// The default cluster count.
@@ -126,6 +137,19 @@ impl ReuseConfig {
     pub fn records_trace(&self) -> bool {
         self.record_trace
     }
+
+    /// Sets the parallel-execution budget the engine threads through every
+    /// kernel and correction pass. Results are bit-identical for any value;
+    /// the default is serial.
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The configured parallel-execution budget.
+    pub fn parallel_config(&self) -> &ParallelConfig {
+        &self.parallel
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +175,9 @@ mod tests {
 
     #[test]
     fn per_layer_clusters_preserved_across_disable_order() {
-        let c = ReuseConfig::uniform(16).layer_clusters("fc3", 32).disable_layer("fc3");
+        let c = ReuseConfig::uniform(16)
+            .layer_clusters("fc3", 32)
+            .disable_layer("fc3");
         let s = c.setting_for("fc3");
         assert!(!s.enabled);
         assert_eq!(s.clusters, 32);
@@ -159,7 +185,9 @@ mod tests {
 
     #[test]
     fn with_default_clusters_keeps_disables() {
-        let c = ReuseConfig::uniform(16).disable_layer("fc1").with_default_clusters(32);
+        let c = ReuseConfig::uniform(16)
+            .disable_layer("fc1")
+            .with_default_clusters(32);
         assert!(!c.setting_for("fc1").enabled);
         assert_eq!(c.setting_for("fc1").clusters, 32);
         assert_eq!(c.setting_for("fc9").clusters, 32);
@@ -180,5 +208,13 @@ mod tests {
         assert!(c.records_relative_difference());
         assert!(c.records_trace());
         assert_eq!(c.margin(), 0.5);
+    }
+
+    #[test]
+    fn parallel_defaults_to_serial() {
+        let c = ReuseConfig::uniform(8);
+        assert_eq!(c.parallel_config().num_threads, 1);
+        let c = c.parallel(ParallelConfig::with_threads(4));
+        assert_eq!(c.parallel_config().num_threads, 4);
     }
 }

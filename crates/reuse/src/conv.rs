@@ -14,7 +14,8 @@
 
 use reuse_nn::{Conv2dLayer, Conv3dLayer};
 use reuse_quant::{LinearQuantizer, QuantCode};
-use reuse_tensor::{Shape, Tensor};
+use reuse_tensor::parallel::parallel_for_mut;
+use reuse_tensor::{ParallelConfig, Shape, Tensor};
 
 use crate::ReuseError;
 
@@ -56,6 +57,9 @@ pub struct Conv2dReuseState {
     /// Weights transposed to `[in_c, kh, kw, out_c]` for contiguous
     /// correction updates.
     w_t: Vec<f32>,
+    /// Scratch list of `(input index, centroid delta)` pairs, collected
+    /// serially and applied per output-filter chunk; reused across frames.
+    changed: Vec<(u32, f32)>,
     in_shape: Shape,
     out_shape: Shape,
     initialized: bool,
@@ -96,6 +100,7 @@ impl Conv2dReuseState {
             prev_codes: Vec::new(),
             prev_linear: Vec::new(),
             w_t,
+            changed: Vec::new(),
             in_shape: in_shape.clone(),
             out_shape,
             initialized: false,
@@ -111,6 +116,7 @@ impl Conv2dReuseState {
     pub fn reset(&mut self) {
         self.prev_codes.clear();
         self.prev_linear.clear();
+        self.changed.clear();
         self.initialized = false;
     }
 
@@ -133,9 +139,65 @@ impl Conv2dReuseState {
         quantizer: &LinearQuantizer,
         input: &Tensor,
     ) -> Result<(Tensor, ConvExecStats), ReuseError> {
+        self.execute_with(&ParallelConfig::serial(), layer, quantizer, input)
+    }
+
+    /// [`Self::execute`] with an explicit parallelism budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when the input shape disagrees with the state.
+    pub fn execute_with(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &Conv2dLayer,
+        quantizer: &LinearQuantizer,
+        input: &Tensor,
+    ) -> Result<(Tensor, ConvExecStats), ReuseError> {
         if input.shape() != &self.in_shape {
             return Err(ReuseError::InvalidConfig {
-                context: format!("conv2d input {} != state shape {}", input.shape(), self.in_shape),
+                context: format!(
+                    "conv2d input {} != state shape {}",
+                    input.shape(),
+                    self.in_shape
+                ),
+            });
+        }
+        let mut out = Vec::new();
+        let stats = self.execute_into(config, layer, quantizer, input.as_slice(), &mut out)?;
+        Ok((Tensor::from_vec(self.out_shape.clone(), out)?, stats))
+    }
+
+    /// Allocation-free core of [`Self::execute`]: clears `out` and writes
+    /// the linear feature maps (`[out_c, oh, ow]`, flattened) into it.
+    ///
+    /// Changed inputs are diffed serially; corrections are applied in
+    /// parallel with each worker owning whole output feature maps, so every
+    /// output accumulates its deltas in input order and the result is
+    /// bit-identical to serial execution.
+    ///
+    /// `input` is the flat row-major `[in_c, h, w]` data; only its length is
+    /// checked (the shape-checked entry points are [`Self::execute`] /
+    /// [`Self::execute_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `input` has the wrong length.
+    pub fn execute_into(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &Conv2dLayer,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ConvExecStats, ReuseError> {
+        if input.len() != self.in_shape.volume() {
+            return Err(ReuseError::InvalidConfig {
+                context: format!(
+                    "conv2d input length {} != state volume {}",
+                    input.len(),
+                    self.in_shape.volume()
+                ),
             });
         }
         let spec = *layer.spec();
@@ -147,66 +209,87 @@ impl Conv2dReuseState {
         let n_in = self.in_shape.volume() as u64;
 
         if !self.initialized {
-            self.prev_codes = quantizer.quantize_slice(input.as_slice());
-            let centroids: Vec<f32> =
-                self.prev_codes.iter().map(|&c| quantizer.centroid(c)).collect();
+            self.prev_codes = quantizer.quantize_slice(input);
+            let centroids: Vec<f32> = self
+                .prev_codes
+                .iter()
+                .map(|&c| quantizer.centroid(c))
+                .collect();
             let qin = Tensor::from_vec(self.in_shape.clone(), centroids)?;
-            let linear = layer.forward_linear(&qin)?;
-            self.prev_linear = linear.as_slice().to_vec();
+            let linear = layer.forward_linear_with(config, &qin)?;
+            self.prev_linear = linear.into_vec();
             self.initialized = true;
-            let stats = ConvExecStats {
+            out.clear();
+            out.extend_from_slice(&self.prev_linear);
+            return Ok(ConvExecStats {
                 n_inputs: n_in,
                 n_changed: n_in,
                 macs_total,
                 macs_performed: macs_total,
                 from_scratch: true,
-            };
-            return Ok((linear, stats));
+            });
         }
 
-        let x = input.as_slice();
-        let mut changed = 0u64;
+        // Pass 1 (serial): diff the quantized codes in input order,
+        // collecting the changed list and the MAC count of the correction.
+        let x = input;
         let mut macs = 0u64;
         let (kh, kw, s, p) = (spec.kh, spec.kw, spec.stride, spec.pad);
-        for c in 0..spec.in_channels {
-            for y in 0..h {
-                for xw in 0..w {
-                    let idx = (c * h + y) * w + xw;
-                    let code = quantizer.quantize(x[idx]);
-                    let prev = self.prev_codes[idx];
-                    if code == prev {
-                        continue;
-                    }
-                    changed += 1;
-                    self.prev_codes[idx] = code;
-                    let delta = quantizer.centroid(code) - quantizer.centroid(prev);
-                    let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
-                    let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
-                    for oy in oy_lo..oy_hi {
-                        let ky = y + p - oy * s;
-                        for ox in ox_lo..ox_hi {
-                            let kx = xw + p - ox * s;
-                            let wrow = &self.w_t[((c * kh + ky) * kw + kx) * fc..][..fc];
-                            let obase = oy * ow + ox;
-                            // Output layout is [f, oy, ox]; stride over f is oh*ow.
-                            for (f, &wv) in wrow.iter().enumerate() {
-                                self.prev_linear[f * oh * ow + obase] += delta * wv;
-                            }
-                            macs += fc as u64;
+        self.changed.clear();
+        for (idx, &xv) in x.iter().enumerate() {
+            let code = quantizer.quantize(xv);
+            let prev = self.prev_codes[idx];
+            if code == prev {
+                continue;
+            }
+            self.prev_codes[idx] = code;
+            let delta = quantizer.centroid(code) - quantizer.centroid(prev);
+            self.changed.push((idx as u32, delta));
+            let y = (idx / w) % h;
+            let xw = idx % w;
+            let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
+            let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
+            macs += ((oy_hi - oy_lo) * (ox_hi - ox_lo) * fc) as u64;
+        }
+
+        // Pass 2 (parallel over output feature maps): each worker applies
+        // every delta to the planes it owns.
+        let o_plane = oh * ow;
+        let w_t: &[f32] = &self.w_t;
+        let changed: &[(u32, f32)] = &self.changed;
+        parallel_for_mut(config, &mut self.prev_linear, o_plane, |offset, chunk| {
+            let first_f = offset / o_plane;
+            let n_f = chunk.len() / o_plane;
+            for &(idx, delta) in changed {
+                let idx = idx as usize;
+                let c = idx / (h * w);
+                let y = (idx / w) % h;
+                let xw = idx % w;
+                let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
+                let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
+                for oy in oy_lo..oy_hi {
+                    let ky = y + p - oy * s;
+                    for ox in ox_lo..ox_hi {
+                        let kx = xw + p - ox * s;
+                        let wrow = &w_t[((c * kh + ky) * kw + kx) * fc + first_f..][..n_f];
+                        let obase = oy * ow + ox;
+                        // Output layout is [f, oy, ox]; stride over f is oh*ow.
+                        for (f, &wv) in wrow.iter().enumerate() {
+                            chunk[f * o_plane + obase] += delta * wv;
                         }
                     }
                 }
             }
-        }
-        let out = Tensor::from_vec(self.out_shape.clone(), self.prev_linear.clone())?;
-        let stats = ConvExecStats {
+        });
+        out.clear();
+        out.extend_from_slice(&self.prev_linear);
+        Ok(ConvExecStats {
             n_inputs: n_in,
-            n_changed: changed,
+            n_changed: self.changed.len() as u64,
             macs_total,
             macs_performed: macs,
             from_scratch: false,
-        };
-        Ok((out, stats))
+        })
     }
 }
 
@@ -217,6 +300,8 @@ pub struct Conv3dReuseState {
     prev_linear: Vec<f32>,
     /// Weights transposed to `[in_c, kd, kh, kw, out_c]`.
     w_t: Vec<f32>,
+    /// Scratch `(input index, centroid delta)` list; see [`Conv2dReuseState`].
+    changed: Vec<(u32, f32)>,
     in_shape: Shape,
     out_shape: Shape,
     initialized: bool,
@@ -259,6 +344,7 @@ impl Conv3dReuseState {
             prev_codes: Vec::new(),
             prev_linear: Vec::new(),
             w_t,
+            changed: Vec::new(),
             in_shape: in_shape.clone(),
             out_shape,
             initialized: false,
@@ -274,6 +360,7 @@ impl Conv3dReuseState {
     pub fn reset(&mut self) {
         self.prev_codes.clear();
         self.prev_linear.clear();
+        self.changed.clear();
         self.initialized = false;
     }
 
@@ -294,9 +381,60 @@ impl Conv3dReuseState {
         quantizer: &LinearQuantizer,
         input: &Tensor,
     ) -> Result<(Tensor, ConvExecStats), ReuseError> {
+        self.execute_with(&ParallelConfig::serial(), layer, quantizer, input)
+    }
+
+    /// [`Self::execute`] with an explicit parallelism budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when the input shape disagrees with the state.
+    pub fn execute_with(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &Conv3dLayer,
+        quantizer: &LinearQuantizer,
+        input: &Tensor,
+    ) -> Result<(Tensor, ConvExecStats), ReuseError> {
         if input.shape() != &self.in_shape {
             return Err(ReuseError::InvalidConfig {
-                context: format!("conv3d input {} != state shape {}", input.shape(), self.in_shape),
+                context: format!(
+                    "conv3d input {} != state shape {}",
+                    input.shape(),
+                    self.in_shape
+                ),
+            });
+        }
+        let mut out = Vec::new();
+        let stats = self.execute_into(config, layer, quantizer, input.as_slice(), &mut out)?;
+        Ok((Tensor::from_vec(self.out_shape.clone(), out)?, stats))
+    }
+
+    /// Allocation-free core of [`Self::execute`]; see
+    /// [`Conv2dReuseState::execute_into`] for the two-pass scheme. Workers
+    /// own whole output volumes, so results are bit-identical to serial.
+    ///
+    /// `input` is the flat row-major `[in_c, d, h, w]` data; only its length
+    /// is checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `input` has the wrong length.
+    pub fn execute_into(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &Conv3dLayer,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ConvExecStats, ReuseError> {
+        if input.len() != self.in_shape.volume() {
+            return Err(ReuseError::InvalidConfig {
+                context: format!(
+                    "conv3d input length {} != state volume {}",
+                    input.len(),
+                    self.in_shape.volume()
+                ),
             });
         }
         let spec = *layer.spec();
@@ -308,74 +446,95 @@ impl Conv3dReuseState {
         let n_in = self.in_shape.volume() as u64;
 
         if !self.initialized {
-            self.prev_codes = quantizer.quantize_slice(input.as_slice());
-            let centroids: Vec<f32> =
-                self.prev_codes.iter().map(|&c| quantizer.centroid(c)).collect();
+            self.prev_codes = quantizer.quantize_slice(input);
+            let centroids: Vec<f32> = self
+                .prev_codes
+                .iter()
+                .map(|&c| quantizer.centroid(c))
+                .collect();
             let qin = Tensor::from_vec(self.in_shape.clone(), centroids)?;
-            let linear = layer.forward_linear(&qin)?;
-            self.prev_linear = linear.as_slice().to_vec();
+            let linear = layer.forward_linear_with(config, &qin)?;
+            self.prev_linear = linear.into_vec();
             self.initialized = true;
-            let stats = ConvExecStats {
+            out.clear();
+            out.extend_from_slice(&self.prev_linear);
+            return Ok(ConvExecStats {
                 n_inputs: n_in,
                 n_changed: n_in,
                 macs_total,
                 macs_performed: macs_total,
                 from_scratch: true,
-            };
-            return Ok((linear, stats));
+            });
         }
 
-        let x = input.as_slice();
-        let mut changed = 0u64;
+        // Pass 1 (serial): diff codes in input order, collect changed list
+        // and the MAC count of the correction.
+        let x = input;
         let mut macs = 0u64;
         let (kd, kh, kw, s, p) = (spec.kd, spec.kh, spec.kw, spec.stride, spec.pad);
         let o_plane = oh * ow;
         let o_vol = od * o_plane;
-        for c in 0..spec.in_channels {
-            for z in 0..d {
-                for y in 0..h {
-                    for xw in 0..w {
-                        let idx = ((c * d + z) * h + y) * w + xw;
-                        let code = quantizer.quantize(x[idx]);
-                        let prev = self.prev_codes[idx];
-                        if code == prev {
-                            continue;
-                        }
-                        changed += 1;
-                        self.prev_codes[idx] = code;
-                        let delta = quantizer.centroid(code) - quantizer.centroid(prev);
-                        let (oz_lo, oz_hi) = affected_range(z, kd, s, p, od);
-                        let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
-                        let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
-                        for oz in oz_lo..oz_hi {
-                            let kz = z + p - oz * s;
-                            for oy in oy_lo..oy_hi {
-                                let ky = y + p - oy * s;
-                                for ox in ox_lo..ox_hi {
-                                    let kx = xw + p - ox * s;
-                                    let wrow = &self.w_t
-                                        [(((c * kd + kz) * kh + ky) * kw + kx) * fc..][..fc];
-                                    let obase = (oz * oh + oy) * ow + ox;
-                                    for (f, &wv) in wrow.iter().enumerate() {
-                                        self.prev_linear[f * o_vol + obase] += delta * wv;
-                                    }
-                                    macs += fc as u64;
-                                }
+        self.changed.clear();
+        for (idx, &xv) in x.iter().enumerate() {
+            let code = quantizer.quantize(xv);
+            let prev = self.prev_codes[idx];
+            if code == prev {
+                continue;
+            }
+            self.prev_codes[idx] = code;
+            let delta = quantizer.centroid(code) - quantizer.centroid(prev);
+            self.changed.push((idx as u32, delta));
+            let z = (idx / (h * w)) % d;
+            let y = (idx / w) % h;
+            let xw = idx % w;
+            let (oz_lo, oz_hi) = affected_range(z, kd, s, p, od);
+            let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
+            let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
+            macs += ((oz_hi - oz_lo) * (oy_hi - oy_lo) * (ox_hi - ox_lo) * fc) as u64;
+        }
+
+        // Pass 2 (parallel over output volumes): each worker applies every
+        // delta to the filter volumes it owns.
+        let w_t: &[f32] = &self.w_t;
+        let changed: &[(u32, f32)] = &self.changed;
+        parallel_for_mut(config, &mut self.prev_linear, o_vol, |offset, chunk| {
+            let first_f = offset / o_vol;
+            let n_f = chunk.len() / o_vol;
+            for &(idx, delta) in changed {
+                let idx = idx as usize;
+                let c = idx / (d * h * w);
+                let z = (idx / (h * w)) % d;
+                let y = (idx / w) % h;
+                let xw = idx % w;
+                let (oz_lo, oz_hi) = affected_range(z, kd, s, p, od);
+                let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
+                let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
+                for oz in oz_lo..oz_hi {
+                    let kz = z + p - oz * s;
+                    for oy in oy_lo..oy_hi {
+                        let ky = y + p - oy * s;
+                        for ox in ox_lo..ox_hi {
+                            let kx = xw + p - ox * s;
+                            let wrow =
+                                &w_t[(((c * kd + kz) * kh + ky) * kw + kx) * fc + first_f..][..n_f];
+                            let obase = (oz * oh + oy) * ow + ox;
+                            for (f, &wv) in wrow.iter().enumerate() {
+                                chunk[f * o_vol + obase] += delta * wv;
                             }
                         }
                     }
                 }
             }
-        }
-        let out = Tensor::from_vec(self.out_shape.clone(), self.prev_linear.clone())?;
-        let stats = ConvExecStats {
+        });
+        out.clear();
+        out.extend_from_slice(&self.prev_linear);
+        Ok(ConvExecStats {
             n_inputs: n_in,
-            n_changed: changed,
+            n_changed: self.changed.len() as u64,
             macs_total,
             macs_performed: macs,
             from_scratch: false,
-        };
-        Ok((out, stats))
+        })
     }
 }
 
@@ -391,8 +550,14 @@ mod tests {
     }
 
     fn layer2d(stride: usize, pad: usize) -> Conv2dLayer {
-        let spec =
-            Conv2dSpec { in_channels: 2, out_channels: 3, kh: 3, kw: 3, stride, pad };
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 3,
+            kh: 3,
+            kw: 3,
+            stride,
+            pad,
+        };
         Conv2dLayer::random(spec, Activation::Identity, &mut Rng64::new(21))
     }
 
@@ -473,7 +638,10 @@ mod tests {
             assert!(s1.macs_performed < s1.macs_total);
             let expect1 = oracle2d(&layer, &q(), &b);
             for (x, y) in out1.as_slice().iter().zip(expect1.iter()) {
-                assert!((x - y).abs() < 1e-3, "stride {stride} pad {pad}: {x} vs {y}");
+                assert!(
+                    (x - y).abs() < 1e-3,
+                    "stride {stride} pad {pad}: {x} vs {y}"
+                );
             }
         }
     }
@@ -541,6 +709,8 @@ mod tests {
         let state = Conv2dReuseState::new(&layer, &Shape::d3(3, 6, 6));
         assert!(state.is_err());
         let mut ok = Conv2dReuseState::new(&layer, &Shape::d3(2, 6, 6)).unwrap();
-        assert!(ok.execute(&layer, &q(), &Tensor::zeros(Shape::d3(2, 5, 5))).is_err());
+        assert!(ok
+            .execute(&layer, &q(), &Tensor::zeros(Shape::d3(2, 5, 5)))
+            .is_err());
     }
 }

@@ -100,7 +100,11 @@ mod tests {
         assert_eq!(report.max_abs_error.len(), 9);
         // f32 corrections on O(1) values: drift must stay far below the
         // quantization step (0.125), or the scheme's accuracy story breaks.
-        assert!(report.bounded_by(q.step() / 10.0), "drift {:?}", report.max_abs_error);
+        assert!(
+            report.bounded_by(q.step() / 10.0),
+            "drift {:?}",
+            report.max_abs_error
+        );
         assert!(report.final_relative_error < 1e-3);
     }
 
@@ -111,7 +115,12 @@ mod tests {
         let report = measure_fc_drift(&layer, &q, &walk(400, 20, 4), 100).unwrap();
         // Later checkpoints may exceed earlier ones, but by bounded factors
         // (random-walk accumulation), not orders of magnitude.
-        let first = report.max_abs_error.first().copied().unwrap_or(0.0).max(1e-9);
+        let first = report
+            .max_abs_error
+            .first()
+            .copied()
+            .unwrap_or(0.0)
+            .max(1e-9);
         let last = report.max_abs_error.last().copied().unwrap_or(0.0);
         assert!(last / first < 100.0, "first {first}, last {last}");
     }

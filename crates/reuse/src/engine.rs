@@ -13,6 +13,67 @@ use crate::metrics::{relative_difference, EngineMetrics, LayerMetrics};
 use crate::trace::{ExecutionTrace, LayerTrace, TraceKind};
 use crate::{LayerSetting, ReuseConfig, ReuseError};
 
+/// A recycling arena of `f32` buffers for the engine's per-frame
+/// intermediates.
+///
+/// Every buffer taken during a frame is given back before the frame ends, so
+/// after the first reuse-phase execution the pool holds one buffer per
+/// pipeline stage and steady-state frames allocate nothing. Once `steady` is
+/// armed, a pool miss (which would allocate) trips a debug assertion — the
+/// zero-allocation contract of [`ReuseEngine::execute_into`].
+#[derive(Debug)]
+struct BufferPool {
+    free: Vec<Vec<f32>>,
+    steady: bool,
+    max_free: usize,
+}
+
+impl BufferPool {
+    fn new(max_free: usize) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            steady: false,
+            max_free,
+        }
+    }
+
+    /// Takes a cleared buffer with at least `cap` capacity (best fit), or
+    /// allocates one on a miss.
+    fn take(&mut self, cap: usize) -> Vec<f32> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.free.iter().enumerate() {
+            let c = b.capacity();
+            if c >= cap && best.is_none_or(|(_, bc)| c < bc) {
+                best = Some((i, c));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut b = self.free.swap_remove(i);
+                b.clear();
+                b
+            }
+            None => {
+                debug_assert!(
+                    !self.steady,
+                    "steady-state buffer-pool miss: a frame allocated (needed capacity {cap})"
+                );
+                Vec::with_capacity(cap)
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse by later frames. Pipelines
+    /// with full-precision fallback layers route buffers through the tensor
+    /// API (losing them to the pool), so cap the free list to stop foreign
+    /// replacement buffers from accumulating.
+    fn give(&mut self, buf: Vec<f32>) {
+        if self.free.len() < self.max_free {
+            self.free.push(buf);
+        }
+    }
+}
+
 /// Buffered reuse machinery for one weighted layer.
 #[derive(Debug)]
 struct LayerSlot {
@@ -40,7 +101,10 @@ enum SlotState {
     Conv2d(Conv2dReuseState),
     Conv3d(Conv3dReuseState),
     Lstm(LstmReuseState),
-    BiLstm { fwd: LstmReuseState, bwd: LstmReuseState },
+    BiLstm {
+        fwd: LstmReuseState,
+        bwd: LstmReuseState,
+    },
 }
 
 /// Normalized per-execution stats shared by all layer families.
@@ -139,6 +203,11 @@ pub struct ReuseEngine {
     calibrated: bool,
     executions_seen: u64,
     calibration_units_seen: u64,
+    /// Output volume of every layer, precomputed so the hot path never
+    /// re-derives shapes.
+    layer_out_volumes: Vec<usize>,
+    /// Recycled per-frame intermediate buffers (zero-alloc steady state).
+    pool: BufferPool,
 }
 
 impl ReuseEngine {
@@ -154,8 +223,11 @@ impl ReuseEngine {
         let mut slots = Vec::new();
         let mut slot_of_layer = vec![usize::MAX; network.layers().len()];
         let mut metrics = EngineMetrics::default();
-        for (i, ((name, layer), in_shape)) in
-            network.layers().iter().zip(network.layer_input_shapes().iter()).enumerate()
+        for (i, ((name, layer), in_shape)) in network
+            .layers()
+            .iter()
+            .zip(network.layer_input_shapes().iter())
+            .enumerate()
         {
             if !layer.has_weights() {
                 continue;
@@ -194,6 +266,17 @@ impl ReuseEngine {
                 prev_raw_input: None,
             });
         }
+        let layer_out_volumes: Vec<usize> = network
+            .layers()
+            .iter()
+            .zip(network.layer_input_shapes().iter())
+            .map(|((_, layer), in_shape)| {
+                layer
+                    .output_shape(in_shape)
+                    .expect("validated at network build")
+                    .volume()
+            })
+            .collect();
         ReuseEngine {
             network,
             config: config.clone(),
@@ -204,6 +287,8 @@ impl ReuseEngine {
             calibrated: false,
             executions_seen: 0,
             calibration_units_seen: 0,
+            pool: BufferPool::new(layer_out_volumes.len() + 2),
+            layer_out_volumes,
         }
     }
 
@@ -231,7 +316,11 @@ impl ReuseEngine {
     /// Layers whose profiled range was degenerate, forcing full-precision
     /// execution.
     pub fn auto_disabled_layers(&self) -> Vec<String> {
-        self.slots.iter().filter(|s| s.auto_disabled).map(|s| s.name.clone()).collect()
+        self.slots
+            .iter()
+            .filter(|s| s.auto_disabled)
+            .map(|s| s.name.clone())
+            .collect()
     }
 
     /// Takes the recorded execution traces (empties the internal buffer).
@@ -241,7 +330,10 @@ impl ReuseEngine {
 
     /// The quantizer used for a layer's (feed-forward) inputs, if built.
     pub fn quantizer_for(&self, name: &str) -> Option<&LinearQuantizer> {
-        self.slots.iter().find(|s| s.name == name).and_then(|s| s.quantizer_x.as_ref())
+        self.slots
+            .iter()
+            .find(|s| s.name == name)
+            .and_then(|s| s.quantizer_x.as_ref())
     }
 
     /// The Fig. 4 relative-difference series recorded for a layer (requires
@@ -339,7 +431,43 @@ impl ReuseEngine {
         if !self.calibrated {
             self.build_quantizers();
         }
-        self.reuse_execute(frame)
+        let mut out = Vec::new();
+        self.reuse_execute_into(frame, &mut out)?;
+        Ok(Tensor::from_vec(self.network.output_shape().clone(), out)?)
+    }
+
+    /// Allocation-free variant of [`Self::execute`]: clears `out` and writes
+    /// the flat network output into it, reusing its capacity across calls.
+    ///
+    /// Once the buffered state is initialized (second reuse-phase frame
+    /// onward) and with the default serial [`ParallelConfig`], a call
+    /// performs **zero heap allocations**: per-frame intermediates come from
+    /// an internal recycling pool and the per-layer scratch (changed lists,
+    /// quantized codes, buffered outputs) is reused in place. Calibration
+    /// frames, the state-initializing first execution, tracing and the
+    /// relative-difference recorder still allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::WrongApi`] for recurrent networks; otherwise
+    /// propagates shape/quantizer errors.
+    pub fn execute_into(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
+        if self.network.is_recurrent() {
+            return Err(ReuseError::WrongApi {
+                context: "recurrent network: use execute_sequence".into(),
+            });
+        }
+        if !self.calibrated && self.calibration_units_seen < self.config.calibration() as u64 {
+            let t = self.calibration_execute(frame)?;
+            self.calibration_units_seen += 1;
+            out.clear();
+            out.extend_from_slice(t.as_slice());
+            return Ok(());
+        }
+        if !self.calibrated {
+            self.build_quantizers();
+        }
+        self.reuse_execute_into(frame, out)
     }
 
     /// Executes a whole temporal sequence. For feed-forward networks the
@@ -392,10 +520,14 @@ impl ReuseEngine {
                     self.slot_enabled(slot)
                 };
                 if enabled {
-                    self.slots[slot_pos].profiler_x.observe_slice(cur.as_slice());
+                    self.slots[slot_pos]
+                        .profiler_x
+                        .observe_slice(cur.as_slice());
                 }
                 if self.config.records_trace() {
-                    trace.layers.push(self.scratch_trace_entry(i, &cur));
+                    trace
+                        .layers
+                        .push(self.scratch_trace_entry(i, cur.len() as u64));
                 }
             }
             cur = self.network.apply_layer(i, cur)?;
@@ -418,8 +550,10 @@ impl ReuseEngine {
         let mut traces: Vec<ExecutionTrace> = vec![ExecutionTrace::default(); frames.len()];
         for i in 0..n_layers {
             let slot_pos = self.slot_of_layer[i];
-            let is_recurrent_layer =
-                matches!(self.network.layers()[i].1, Layer::Lstm(_) | Layer::BiLstm(_));
+            let is_recurrent_layer = matches!(
+                self.network.layers()[i].1,
+                Layer::Lstm(_) | Layer::BiLstm(_)
+            );
             if slot_pos != usize::MAX {
                 let enabled = self.slot_enabled(&self.slots[slot_pos]);
                 if enabled {
@@ -429,7 +563,9 @@ impl ReuseEngine {
                 }
                 if self.config.records_trace() {
                     for (t, frame) in seq.iter().enumerate() {
-                        traces[t].layers.push(self.scratch_trace_entry(i, frame));
+                        traces[t]
+                            .layers
+                            .push(self.scratch_trace_entry(i, frame.len() as u64));
                     }
                 }
             }
@@ -455,7 +591,9 @@ impl ReuseEngine {
             } else if is_recurrent_layer {
                 // Step the cells manually so the recurrent inputs (h) can be
                 // profiled too.
-                let Layer::BiLstm(layer) = &self.network.layers()[i].1 else { unreachable!() };
+                let Layer::BiLstm(layer) = &self.network.layers()[i].1 else {
+                    unreachable!()
+                };
                 let d = layer.cell_dim();
                 let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
                 let mut out = vec![vec![0.0f32; 2 * d]; xs.len()];
@@ -497,18 +635,17 @@ impl ReuseEngine {
         Ok(seq)
     }
 
-    fn scratch_trace_entry(&self, layer_index: usize, input: &Tensor) -> LayerTrace {
+    fn scratch_trace_entry(&self, layer_index: usize, input_len: u64) -> LayerTrace {
         let (name, layer) = &self.network.layers()[layer_index];
         let in_shape = &self.network.layer_input_shapes()[layer_index];
-        let out_shape = layer.output_shape(in_shape).expect("validated at build");
         let macs = layer.flops(in_shape) / 2;
         LayerTrace {
             name: name.clone(),
             kind: layer.kind(),
             mode: TraceKind::ScratchFp32,
-            n_inputs: input.len() as u64,
-            n_changed: input.len() as u64,
-            n_outputs: out_shape.volume() as u64,
+            n_inputs: input_len,
+            n_changed: input_len,
+            n_outputs: self.layer_out_volumes[layer_index] as u64,
             n_params: layer.param_count(),
             macs_total: macs,
             macs_performed: macs,
@@ -568,7 +705,12 @@ impl ReuseEngine {
         let slot = &mut self.slots[slot_pos];
         let m = &mut self.metrics.layers[slot.metrics_index];
         if !stats.from_scratch {
-            m.record(stats.n_inputs, stats.n_inputs - stats.n_changed, stats.macs_total, stats.macs_performed);
+            m.record(
+                stats.n_inputs,
+                stats.n_inputs - stats.n_changed,
+                stats.macs_total,
+                stats.macs_performed,
+            );
         }
         if record_rd {
             if let Some(raw) = raw_input {
@@ -596,63 +738,80 @@ impl ReuseEngine {
         }
     }
 
-    fn reuse_execute(&mut self, frame: &[f32]) -> Result<Tensor, ReuseError> {
-        let input_shape = self.network.input_shape().clone();
-        if frame.len() != input_shape.volume() {
+    /// The reuse-phase hot path. Layer intermediates live in flat pooled
+    /// `Vec<f32>` buffers (the network's layers all consume row-major data,
+    /// so "reshapes" between layers are no-ops on the flat representation);
+    /// every buffer taken from the pool is returned before the frame ends.
+    fn reuse_execute_into(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
+        let expected_len = self.network.input_shape().volume();
+        if frame.len() != expected_len {
             return Err(ReuseError::Nn(reuse_nn::NnError::InputShape {
-                expected: input_shape.volume(),
+                expected: expected_len,
                 actual: frame.len(),
             }));
         }
-        let mut cur = Tensor::from_vec(input_shape, frame.to_vec())?;
-        let mut trace =
-            if self.config.records_trace() { Some(ExecutionTrace::default()) } else { None };
+        let parallel = *self.config.parallel_config();
+        let mut pool_intact = true;
+        let mut cur = self.pool.take(frame.len());
+        cur.extend_from_slice(frame);
+        let mut trace = if self.config.records_trace() {
+            Some(ExecutionTrace::default())
+        } else {
+            None
+        };
         let n_layers = self.network.layers().len();
         for i in 0..n_layers {
-            cur = self.reshape_to_layer(cur, i)?;
             let slot_pos = self.slot_of_layer[i];
             let run_reuse = slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]);
             if run_reuse {
-                let raw_input = cur.as_slice().to_vec();
-                // Execute through the slot state. Clone the network's layer
-                // reference data we need via pattern matching; states hold
-                // everything else.
-                let (out, stats): (Tensor, ExecStats) = {
+                let mut next = self.pool.take(self.layer_out_volumes[i]);
+                let stats: ExecStats = {
                     let network = &self.network;
                     let slot = &mut self.slots[slot_pos];
-                    let q = slot.quantizer_x.as_ref().expect("enabled slot has quantizer");
+                    let q = slot
+                        .quantizer_x
+                        .as_ref()
+                        .expect("enabled slot has quantizer");
                     match (&mut slot.state, &network.layers()[i].1) {
                         (SlotState::Fc(st), Layer::FullyConnected(fc)) => {
-                            let (lin, s) = st.execute(fc, q, cur.as_slice())?;
-                            (fc.activation().apply(&lin), s.into())
+                            let s = st.execute_into(&parallel, fc, q, &cur, &mut next)?;
+                            fc.activation().apply_in_place(&mut next);
+                            s.into()
                         }
                         (SlotState::Conv2d(st), Layer::Conv2d(c)) => {
-                            let (lin, s) = st.execute(c, q, &cur)?;
-                            (c.activation().apply(&lin), s.into())
+                            let s = st.execute_into(&parallel, c, q, &cur, &mut next)?;
+                            c.activation().apply_in_place(&mut next);
+                            s.into()
                         }
                         (SlotState::Conv3d(st), Layer::Conv3d(c)) => {
-                            let (lin, s) = st.execute(c, q, &cur)?;
-                            (c.activation().apply(&lin), s.into())
+                            let s = st.execute_into(&parallel, c, q, &cur, &mut next)?;
+                            c.activation().apply_in_place(&mut next);
+                            s.into()
                         }
                         _ => unreachable!("slot state matches layer kind by construction"),
                     }
                 };
-                let n_outputs = out.len() as u64;
-                self.record_layer_execution(
-                    slot_pos,
-                    Some(&raw_input),
-                    stats,
-                    n_outputs,
-                    trace.as_mut(),
-                );
-                cur = out;
+                // `cur` (this layer's raw input) is still alive here, so the
+                // relative-difference recorder reads it without the per-layer
+                // copy the old path made unconditionally.
+                let n_outputs = next.len() as u64;
+                self.record_layer_execution(slot_pos, Some(&cur), stats, n_outputs, trace.as_mut());
+                self.pool.give(std::mem::replace(&mut cur, next));
             } else {
+                // Full-precision fallback (no-weight or disabled layers):
+                // route through the tensor API; allocation here is outside
+                // the reuse steady-state contract.
                 if let Some(trace) = trace.as_mut() {
                     if slot_pos != usize::MAX {
-                        trace.layers.push(self.scratch_trace_entry(i, &cur));
+                        trace
+                            .layers
+                            .push(self.scratch_trace_entry(i, cur.len() as u64));
                     }
                 }
-                cur = self.network.apply_layer(i, cur)?;
+                let in_shape = self.network.layer_input_shapes()[i].clone();
+                let t = Tensor::from_vec(in_shape, std::mem::take(&mut cur))?;
+                cur = self.network.apply_layer(i, t)?.into_vec();
+                pool_intact = false;
             }
         }
         if let Some(trace) = trace {
@@ -660,13 +819,24 @@ impl ReuseEngine {
         }
         self.executions_seen += 1;
         self.metrics.executions += 1;
-        Ok(cur)
+        out.clear();
+        out.extend_from_slice(&cur);
+        self.pool.give(cur);
+        // From here on every pool take must hit a recycled buffer; a miss
+        // would mean a steady-state frame allocated. Pipelines with
+        // full-precision fallback stages lose buffers to the tensor API, so
+        // the contract (and its assertion) only covers all-reuse pipelines.
+        if pool_intact {
+            self.pool.steady = true;
+        }
+        Ok(())
     }
 
     fn reuse_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
         // Paper Section IV-D: the accelerator is power-gated between
         // sequences, so all buffered state starts fresh.
         self.reset_state();
+        let parallel = *self.config.parallel_config();
         let input_shape = self.network.input_shape().clone();
         let mut seq: Vec<Tensor> = frames
             .iter()
@@ -678,8 +848,10 @@ impl ReuseEngine {
         for i in 0..n_layers {
             let slot_pos = self.slot_of_layer[i];
             let run_reuse = slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]);
-            let is_recurrent_layer =
-                matches!(self.network.layers()[i].1, Layer::Lstm(_) | Layer::BiLstm(_));
+            let is_recurrent_layer = matches!(
+                self.network.layers()[i].1,
+                Layer::Lstm(_) | Layer::BiLstm(_)
+            );
             if is_recurrent_layer && run_reuse {
                 if matches!(self.network.layers()[i].1, Layer::Lstm(_)) {
                     seq = self.reuse_lstm_layer(i, slot_pos, seq, &mut traces)?;
@@ -691,7 +863,9 @@ impl ReuseEngine {
                 let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
                 if record_trace {
                     for (t, frame) in seq.iter().enumerate() {
-                        traces[t].layers.push(self.scratch_trace_entry(i, frame));
+                        traces[t]
+                            .layers
+                            .push(self.scratch_trace_entry(i, frame.len() as u64));
                     }
                 }
                 let out = match &self.network.layers()[i].1 {
@@ -710,22 +884,37 @@ impl ReuseEngine {
                 let mut out_seq = Vec::with_capacity(seq.len());
                 for (t, frame) in seq.iter().enumerate() {
                     let frame = self.reshape_to_layer(frame.clone(), i)?;
-                    let raw = frame.as_slice().to_vec();
                     let (out, stats): (Tensor, ExecStats) = {
                         let network = &self.network;
                         let slot = &mut self.slots[slot_pos];
-                        let q = slot.quantizer_x.as_ref().expect("enabled slot has quantizer");
+                        let q = slot
+                            .quantizer_x
+                            .as_ref()
+                            .expect("enabled slot has quantizer");
                         match (&mut slot.state, &network.layers()[i].1) {
                             (SlotState::Fc(st), Layer::FullyConnected(fc)) => {
-                                let (lin, s) = st.execute(fc, q, frame.as_slice())?;
+                                let (lin, s) =
+                                    st.execute_with(&parallel, fc, q, frame.as_slice())?;
                                 (fc.activation().apply(&lin), s.into())
                             }
-                            _ => unreachable!("recurrent nets only contain FC and BiLSTM weighted layers"),
+                            _ => unreachable!(
+                                "recurrent nets only contain FC and BiLSTM weighted layers"
+                            ),
                         }
                     };
                     let n_outputs = out.len() as u64;
-                    let trace_ref = if record_trace { Some(&mut traces[t]) } else { None };
-                    self.record_layer_execution(slot_pos, Some(&raw), stats, n_outputs, trace_ref);
+                    let trace_ref = if record_trace {
+                        Some(&mut traces[t])
+                    } else {
+                        None
+                    };
+                    self.record_layer_execution(
+                        slot_pos,
+                        Some(frame.as_slice()),
+                        stats,
+                        n_outputs,
+                        trace_ref,
+                    );
                     out_seq.push(out);
                 }
                 seq = out_seq;
@@ -733,7 +922,9 @@ impl ReuseEngine {
                 if record_trace {
                     for (t, frame) in seq.iter().enumerate() {
                         if slot_pos != usize::MAX {
-                            traces[t].layers.push(self.scratch_trace_entry(i, frame));
+                            traces[t]
+                                .layers
+                                .push(self.scratch_trace_entry(i, frame.len() as u64));
                         }
                     }
                 }
@@ -764,28 +955,36 @@ impl ReuseEngine {
         traces: &mut [ExecutionTrace],
     ) -> Result<Vec<Tensor>, ReuseError> {
         let record_trace = self.config.records_trace();
+        let parallel = *self.config.parallel_config();
         let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
         let (out, stats) = {
             let network = &self.network;
-            let Layer::Lstm(cell) = &network.layers()[layer_index].1 else { unreachable!() };
+            let Layer::Lstm(cell) = &network.layers()[layer_index].1 else {
+                unreachable!()
+            };
             let slot = &mut self.slots[slot_pos];
             let qx = slot.quantizer_x.expect("enabled lstm has x quantizer");
             let qh = slot.quantizer_h.expect("enabled lstm has h quantizer");
-            let SlotState::Lstm(state) = &mut slot.state else { unreachable!() };
+            let SlotState::Lstm(state) = &mut slot.state else {
+                unreachable!()
+            };
             let mut out = Vec::with_capacity(xs.len());
             let mut stats: Vec<ExecStats> = Vec::with_capacity(xs.len());
             for x in &xs {
-                let (h, s) = state.step(cell, &qx, &qh, x)?;
+                let (h, s) = state.step_with(&parallel, cell, &qx, &qh, x)?;
                 out.push(h);
                 stats.push(s.into());
             }
             (out, stats)
         };
         for (t, s) in stats.into_iter().enumerate() {
-            let trace_ref = if record_trace { Some(&mut traces[t]) } else { None };
+            let trace_ref = if record_trace {
+                Some(&mut traces[t])
+            } else {
+                None
+            };
             let n_outputs = out[t].len() as u64;
-            let raw = xs[t].clone();
-            self.record_layer_execution(slot_pos, Some(&raw), s, n_outputs, trace_ref);
+            self.record_layer_execution(slot_pos, Some(&xs[t]), s, n_outputs, trace_ref);
         }
         out.into_iter()
             .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
@@ -801,26 +1000,31 @@ impl ReuseEngine {
         traces: &mut [ExecutionTrace],
     ) -> Result<Vec<Tensor>, ReuseError> {
         let record_trace = self.config.records_trace();
+        let parallel = *self.config.parallel_config();
         let n = seq.len();
         let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
         let (out, fwd_stats, bwd_stats) = {
             let network = &self.network;
-            let Layer::BiLstm(layer) = &network.layers()[layer_index].1 else { unreachable!() };
+            let Layer::BiLstm(layer) = &network.layers()[layer_index].1 else {
+                unreachable!()
+            };
             let d = layer.cell_dim();
             let slot = &mut self.slots[slot_pos];
             let qx = slot.quantizer_x.expect("enabled bilstm has x quantizer");
             let qh = slot.quantizer_h.expect("enabled bilstm has h quantizer");
-            let SlotState::BiLstm { fwd, bwd } = &mut slot.state else { unreachable!() };
+            let SlotState::BiLstm { fwd, bwd } = &mut slot.state else {
+                unreachable!()
+            };
             let mut out = vec![vec![0.0f32; 2 * d]; n];
             let mut fwd_stats: Vec<ExecStats> = Vec::with_capacity(n);
             let mut bwd_stats: Vec<Option<ExecStats>> = vec![None; n];
             for (t, x) in xs.iter().enumerate() {
-                let (h, s) = fwd.step(layer.forward_cell(), &qx, &qh, x)?;
+                let (h, s) = fwd.step_with(&parallel, layer.forward_cell(), &qx, &qh, x)?;
                 out[t][..d].copy_from_slice(&h);
                 fwd_stats.push(s.into());
             }
             for (t, x) in xs.iter().enumerate().rev() {
-                let (h, s) = bwd.step(layer.backward_cell(), &qx, &qh, x)?;
+                let (h, s) = bwd.step_with(&parallel, layer.backward_cell(), &qx, &qh, x)?;
                 out[t][d..].copy_from_slice(&h);
                 bwd_stats[t] = Some(s.into());
             }
@@ -829,10 +1033,13 @@ impl ReuseEngine {
         // Record metrics and traces per timestep, merging the two directions.
         for t in 0..n {
             let merged = fwd_stats[t].merge(bwd_stats[t].expect("filled for every t"));
-            let raw = xs[t].clone();
-            let trace_ref = if record_trace { Some(&mut traces[t]) } else { None };
+            let trace_ref = if record_trace {
+                Some(&mut traces[t])
+            } else {
+                None
+            };
             let n_outputs = out[t].len() as u64;
-            self.record_layer_execution(slot_pos, Some(&raw), merged, n_outputs, trace_ref);
+            self.record_layer_execution(slot_pos, Some(&xs[t]), merged, n_outputs, trace_ref);
         }
         out.into_iter()
             .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
@@ -867,8 +1074,20 @@ mod tests {
 
     #[test]
     fn exec_stats_merge_adds_counts() {
-        let a = ExecStats { n_inputs: 10, n_changed: 2, macs_total: 100, macs_performed: 20, from_scratch: false };
-        let b = ExecStats { n_inputs: 5, n_changed: 5, macs_total: 50, macs_performed: 50, from_scratch: true };
+        let a = ExecStats {
+            n_inputs: 10,
+            n_changed: 2,
+            macs_total: 100,
+            macs_performed: 20,
+            from_scratch: false,
+        };
+        let b = ExecStats {
+            n_inputs: 5,
+            n_changed: 5,
+            macs_total: 50,
+            macs_performed: 50,
+            from_scratch: true,
+        };
         let m = a.merge(b);
         assert_eq!(m.n_inputs, 15);
         assert_eq!(m.n_changed, 7);

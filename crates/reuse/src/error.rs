@@ -34,7 +34,9 @@ impl fmt::Display for ReuseError {
             ReuseError::Quant(e) => write!(f, "quantization error: {e}"),
             ReuseError::Tensor(e) => write!(f, "tensor error: {e}"),
             ReuseError::WrongApi { context } => write!(f, "wrong execution api: {context}"),
-            ReuseError::InvalidConfig { context } => write!(f, "invalid reuse configuration: {context}"),
+            ReuseError::InvalidConfig { context } => {
+                write!(f, "invalid reuse configuration: {context}")
+            }
         }
     }
 }

@@ -12,7 +12,8 @@
 
 use reuse_nn::FullyConnected;
 use reuse_quant::{LinearQuantizer, QuantCode};
-use reuse_tensor::{Shape, Tensor};
+use reuse_tensor::parallel::parallel_for_mut;
+use reuse_tensor::{ParallelConfig, Shape, Tensor};
 
 use crate::ReuseError;
 
@@ -23,6 +24,11 @@ pub struct FcReuseState {
     prev_codes: Vec<QuantCode>,
     /// Linear (pre-activation) outputs of the previous execution.
     prev_linear: Vec<f32>,
+    /// Scratch: `(input index, centroid delta)` of this frame's changed
+    /// inputs. Collected serially, then applied to output chunks (possibly
+    /// in parallel). Reused across executions so the steady state performs
+    /// no heap allocation.
+    changed: Vec<(u32, f32)>,
     initialized: bool,
 }
 
@@ -47,6 +53,7 @@ impl FcReuseState {
         FcReuseState {
             prev_codes: Vec::with_capacity(layer.n_in()),
             prev_linear: Vec::with_capacity(layer.n_out()),
+            changed: Vec::with_capacity(layer.n_in()),
             initialized: false,
         }
     }
@@ -62,6 +69,7 @@ impl FcReuseState {
     pub fn reset(&mut self) {
         self.prev_codes.clear();
         self.prev_linear.clear();
+        self.changed.clear();
         self.initialized = false;
     }
 
@@ -84,6 +92,46 @@ impl FcReuseState {
         quantizer: &LinearQuantizer,
         input: &[f32],
     ) -> Result<(Tensor, FcExecStats), ReuseError> {
+        self.execute_with(&ParallelConfig::serial(), layer, quantizer, input)
+    }
+
+    /// [`Self::execute`] with an explicit parallelism budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `input` has the wrong length.
+    pub fn execute_with(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &FullyConnected,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+    ) -> Result<(Tensor, FcExecStats), ReuseError> {
+        let mut out = Vec::new();
+        let stats = self.execute_into(config, layer, quantizer, input, &mut out)?;
+        Ok((Tensor::from_vec(Shape::d1(layer.n_out()), out)?, stats))
+    }
+
+    /// Allocation-free core of [`Self::execute`]: clears `out` and writes
+    /// the `n_out` linear outputs into it, reusing its capacity.
+    ///
+    /// Changed inputs are detected serially (updating the code buffer in
+    /// input order), then the corrections are applied to contiguous chunks
+    /// of the buffered linear outputs — each output neuron accumulates its
+    /// deltas in ascending input order on exactly one thread, so the result
+    /// is bit-identical for any `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `input` has the wrong length.
+    pub fn execute_into(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &FullyConnected,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<FcExecStats, ReuseError> {
         let n_in = layer.n_in();
         let n_out = layer.n_out();
         if input.len() != n_in {
@@ -98,47 +146,63 @@ impl FcReuseState {
             // the centroids, buffer indices and linear outputs (paper
             // Fig. 7, "first execution").
             self.prev_codes = quantizer.quantize_slice(input);
-            let centroids: Vec<f32> =
-                self.prev_codes.iter().map(|&c| quantizer.centroid(c)).collect();
+            let centroids: Vec<f32> = self
+                .prev_codes
+                .iter()
+                .map(|&c| quantizer.centroid(c))
+                .collect();
             let qin = Tensor::from_vec(Shape::d1(n_in), centroids)?;
-            let linear = layer.forward_linear(&qin)?;
-            self.prev_linear = linear.as_slice().to_vec();
+            self.prev_linear.clear();
+            layer.forward_linear_into(config, &qin, &mut self.prev_linear)?;
+            self.changed.reserve(n_in);
             self.initialized = true;
-            let stats = FcExecStats {
+            out.clear();
+            out.extend_from_slice(&self.prev_linear);
+            return Ok(FcExecStats {
                 n_inputs: n_in as u64,
                 n_changed: n_in as u64,
                 macs_total,
                 macs_performed: macs_total,
                 from_scratch: true,
-            };
-            return Ok((linear, stats));
+            });
         }
 
-        let w = layer.weights().as_slice();
-        let mut changed = 0u64;
+        // Pass 1 (serial): diff the quantized codes, collecting the changed
+        // list in ascending input order.
+        self.changed.clear();
         for (i, &x) in input.iter().enumerate() {
             let code = quantizer.quantize(x);
             let prev = self.prev_codes[i];
             if code == prev {
                 continue;
             }
-            changed += 1;
             self.prev_codes[i] = code;
             let delta = quantizer.centroid(code) - quantizer.centroid(prev);
-            let row = &w[i * n_out..(i + 1) * n_out];
-            for (z, &wij) in self.prev_linear.iter_mut().zip(row.iter()) {
-                *z += delta * wij;
-            }
+            self.changed.push((i as u32, delta));
         }
-        let out = Tensor::from_vec(Shape::d1(n_out), self.prev_linear.clone())?;
-        let stats = FcExecStats {
+
+        // Pass 2 (parallel over output neurons): apply every delta to this
+        // worker's span of the buffered linear outputs.
+        let w = layer.weights().as_slice();
+        let changed: &[(u32, f32)] = &self.changed;
+        parallel_for_mut(config, &mut self.prev_linear, 1, |offset, chunk| {
+            for &(i, delta) in changed {
+                let base = i as usize * n_out + offset;
+                let row = &w[base..base + chunk.len()];
+                for (z, &wij) in chunk.iter_mut().zip(row.iter()) {
+                    *z += delta * wij;
+                }
+            }
+        });
+        out.clear();
+        out.extend_from_slice(&self.prev_linear);
+        Ok(FcExecStats {
             n_inputs: n_in as u64,
-            n_changed: changed,
+            n_changed: self.changed.len() as u64,
             macs_total,
-            macs_performed: changed * n_out as u64,
+            macs_performed: self.changed.len() as u64 * n_out as u64,
             from_scratch: false,
-        };
-        Ok((out, stats))
+        })
     }
 }
 

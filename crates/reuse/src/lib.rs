@@ -67,4 +67,5 @@ pub use config::{LayerSetting, ReuseConfig};
 pub use engine::ReuseEngine;
 pub use error::ReuseError;
 pub use metrics::{relative_difference, EngineMetrics, LayerMetrics};
+pub use reuse_tensor::ParallelConfig;
 pub use trace::{ExecutionTrace, LayerTrace, TraceKind};

@@ -17,6 +17,8 @@
 use reuse_nn::lstm::NUM_GATES;
 use reuse_nn::{LstmCell, LstmState};
 use reuse_quant::{LinearQuantizer, QuantCode};
+use reuse_tensor::parallel::parallel_for_mut;
+use reuse_tensor::ParallelConfig;
 
 use crate::ReuseError;
 
@@ -42,6 +44,11 @@ pub struct LstmReuseState {
     prev_h_codes: Vec<QuantCode>,
     /// Previous gate pre-activations, `[NUM_GATES × cell_dim]` row-major.
     prev_pre: Vec<f32>,
+    /// Scratch `(index, centroid delta)` list of changed feed-forward
+    /// inputs; collected serially, applied per chunk, reused across steps.
+    changed_x: Vec<(u32, f32)>,
+    /// Scratch changed list for the recurrent inputs.
+    changed_h: Vec<(u32, f32)>,
     /// Recurrent (h, c) state carried between timesteps.
     state: LstmState,
     initialized: bool,
@@ -54,6 +61,8 @@ impl LstmReuseState {
             prev_x_codes: Vec::with_capacity(cell.n_in()),
             prev_h_codes: Vec::with_capacity(cell.cell_dim()),
             prev_pre: Vec::new(),
+            changed_x: Vec::with_capacity(cell.n_in()),
+            changed_h: Vec::with_capacity(cell.cell_dim()),
             state: LstmState::zeros(cell.cell_dim()),
             initialized: false,
         }
@@ -69,7 +78,15 @@ impl LstmReuseState {
         self.prev_x_codes.clear();
         self.prev_h_codes.clear();
         self.prev_pre.clear();
-        self.state = LstmState::zeros(cell.cell_dim());
+        self.changed_x.clear();
+        self.changed_h.clear();
+        let d = cell.cell_dim();
+        if self.state.h.len() == d {
+            self.state.h.fill(0.0);
+            self.state.c.fill(0.0);
+        } else {
+            self.state = LstmState::zeros(d);
+        }
         self.initialized = false;
     }
 
@@ -101,6 +118,48 @@ impl LstmReuseState {
         h_quantizer: &LinearQuantizer,
         x: &[f32],
     ) -> Result<(Vec<f32>, LstmExecStats), ReuseError> {
+        self.step_with(&ParallelConfig::serial(), cell, x_quantizer, h_quantizer, x)
+    }
+
+    /// [`Self::step`] with an explicit parallelism budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `x` has the wrong length.
+    pub fn step_with(
+        &mut self,
+        config: &ParallelConfig,
+        cell: &LstmCell,
+        x_quantizer: &LinearQuantizer,
+        h_quantizer: &LinearQuantizer,
+        x: &[f32],
+    ) -> Result<(Vec<f32>, LstmExecStats), ReuseError> {
+        let mut h_out = Vec::new();
+        let stats = self.step_into(config, cell, x_quantizer, h_quantizer, x, &mut h_out)?;
+        Ok((h_out, stats))
+    }
+
+    /// Allocation-free core of [`Self::step`]: clears `h_out` and writes the
+    /// new hidden output `h_t` into it.
+    ///
+    /// Changed x and h inputs are diffed serially, then the corrections are
+    /// applied to disjoint chunks of the `[NUM_GATES × cell_dim]`
+    /// pre-activation buffer — within a chunk each element accumulates all x
+    /// deltas then all h deltas in input order, exactly like the serial
+    /// path, so results are bit-identical for any `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `x` has the wrong length.
+    pub fn step_into(
+        &mut self,
+        config: &ParallelConfig,
+        cell: &LstmCell,
+        x_quantizer: &LinearQuantizer,
+        h_quantizer: &LinearQuantizer,
+        x: &[f32],
+        h_out: &mut Vec<f32>,
+    ) -> Result<LstmExecStats, ReuseError> {
         let n_in = cell.n_in();
         let d = cell.cell_dim();
         if x.len() != n_in {
@@ -117,75 +176,98 @@ impl LstmReuseState {
             // the four gates from scratch on the centroids.
             self.prev_x_codes = x_quantizer.quantize_slice(x);
             self.prev_h_codes = h_quantizer.quantize_slice(&self.state.h);
-            let qx: Vec<f32> =
-                self.prev_x_codes.iter().map(|&c| x_quantizer.centroid(c)).collect();
-            let qh: Vec<f32> =
-                self.prev_h_codes.iter().map(|&c| h_quantizer.centroid(c)).collect();
+            let qx: Vec<f32> = self
+                .prev_x_codes
+                .iter()
+                .map(|&c| x_quantizer.centroid(c))
+                .collect();
+            let qh: Vec<f32> = self
+                .prev_h_codes
+                .iter()
+                .map(|&c| h_quantizer.centroid(c))
+                .collect();
             self.prev_pre = cell.gate_preactivations(&qx, &qh)?;
-            let next = cell.step_from_preactivations(&self.prev_pre, &self.state);
-            self.state = next;
+            cell.step_from_preactivations_in_place(&self.prev_pre, &mut self.state);
             self.initialized = true;
-            let stats = LstmExecStats {
+            h_out.clear();
+            h_out.extend_from_slice(&self.state.h);
+            return Ok(LstmExecStats {
                 n_inputs,
                 n_changed: n_inputs,
                 macs_total,
                 macs_performed: macs_total,
                 from_scratch: true,
-            };
-            return Ok((self.state.h.clone(), stats));
+            });
         }
 
-        let mut changed = 0u64;
-        let mut macs = 0u64;
-        // Correct for changed feed-forward inputs: x_t vs x_{t-1}.
+        // Pass 1 (serial): diff x_t vs x_{t-1} and h_{t-1} vs h_{t-2},
+        // collecting the changed lists in input order.
+        self.changed_x.clear();
         for (i, &xi) in x.iter().enumerate() {
             let code = x_quantizer.quantize(xi);
             let prev = self.prev_x_codes[i];
             if code == prev {
                 continue;
             }
-            changed += 1;
             self.prev_x_codes[i] = code;
             let delta = x_quantizer.centroid(code) - x_quantizer.centroid(prev);
-            for g in 0..NUM_GATES {
-                let row = &cell.w_x(g).as_slice()[i * d..(i + 1) * d];
-                let dst = &mut self.prev_pre[g * d..(g + 1) * d];
-                for (z, &wij) in dst.iter_mut().zip(row.iter()) {
-                    *z += delta * wij;
-                }
-            }
-            macs += (NUM_GATES * d) as u64;
+            self.changed_x.push((i as u32, delta));
         }
-        // Correct for changed recurrent inputs: h_{t-1} vs h_{t-2}.
-        let h_now = self.state.h.clone();
-        for (i, &hi) in h_now.iter().enumerate() {
+        self.changed_h.clear();
+        for (i, &hi) in self.state.h.iter().enumerate() {
             let code = h_quantizer.quantize(hi);
             let prev = self.prev_h_codes[i];
             if code == prev {
                 continue;
             }
-            changed += 1;
             self.prev_h_codes[i] = code;
             let delta = h_quantizer.centroid(code) - h_quantizer.centroid(prev);
-            for g in 0..NUM_GATES {
-                let row = &cell.w_h(g).as_slice()[i * d..(i + 1) * d];
-                let dst = &mut self.prev_pre[g * d..(g + 1) * d];
-                for (z, &wij) in dst.iter_mut().zip(row.iter()) {
-                    *z += delta * wij;
+            self.changed_h.push((i as u32, delta));
+        }
+
+        // Pass 2 (parallel over the 4×d pre-activation buffer): a chunk may
+        // span gate boundaries, so walk its per-gate segments; one index
+        // comparison above pays for the correction in all four gates.
+        let changed_x: &[(u32, f32)] = &self.changed_x;
+        let changed_h: &[(u32, f32)] = &self.changed_h;
+        parallel_for_mut(config, &mut self.prev_pre, 1, |offset, chunk| {
+            let end = offset + chunk.len();
+            for g in offset / d..NUM_GATES {
+                let lo = (g * d).max(offset);
+                let hi = ((g + 1) * d).min(end);
+                if lo >= hi {
+                    break;
+                }
+                let within = lo - g * d;
+                let seg_len = hi - lo;
+                let seg = &mut chunk[lo - offset..hi - offset];
+                let wx = cell.w_x(g).as_slice();
+                for &(i, delta) in changed_x {
+                    let row = &wx[i as usize * d + within..][..seg_len];
+                    for (z, &wij) in seg.iter_mut().zip(row.iter()) {
+                        *z += delta * wij;
+                    }
+                }
+                let wh = cell.w_h(g).as_slice();
+                for &(i, delta) in changed_h {
+                    let row = &wh[i as usize * d + within..][..seg_len];
+                    for (z, &wij) in seg.iter_mut().zip(row.iter()) {
+                        *z += delta * wij;
+                    }
                 }
             }
-            macs += (NUM_GATES * d) as u64;
-        }
-        let next = cell.step_from_preactivations(&self.prev_pre, &self.state);
-        self.state = next;
-        let stats = LstmExecStats {
+        });
+        let changed = (self.changed_x.len() + self.changed_h.len()) as u64;
+        cell.step_from_preactivations_in_place(&self.prev_pre, &mut self.state);
+        h_out.clear();
+        h_out.extend_from_slice(&self.state.h);
+        Ok(LstmExecStats {
             n_inputs,
             n_changed: changed,
             macs_total,
-            macs_performed: macs,
+            macs_performed: changed * (NUM_GATES * d) as u64,
             from_scratch: false,
-        };
-        Ok((self.state.h.clone(), stats))
+        })
     }
 }
 

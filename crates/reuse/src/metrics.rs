@@ -53,7 +53,10 @@ pub struct LayerMetrics {
 impl LayerMetrics {
     /// Creates empty metrics for a named layer.
     pub fn new(name: &str) -> Self {
-        LayerMetrics { name: name.to_string(), ..Default::default() }
+        LayerMetrics {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     /// Fraction of inputs with unchanged quantized value, in `[0, 1]`.
@@ -169,7 +172,10 @@ mod tests {
         big.record(900, 900, 9000, 0); // fully similar
         let mut small = LayerMetrics::new("small");
         small.record(100, 0, 1000, 1000); // fully dissimilar
-        let e = EngineMetrics { layers: vec![big, small], executions: 2 };
+        let e = EngineMetrics {
+            layers: vec![big, small],
+            executions: 2,
+        };
         assert!((e.overall_input_similarity() - 0.9).abs() < 1e-12);
         assert!((e.overall_computation_reuse() - 0.9).abs() < 1e-12);
         assert!(e.layer("big").is_some());

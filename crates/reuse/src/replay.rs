@@ -49,10 +49,8 @@ impl InputRecorder {
             .collect();
         let mut streams: Vec<Vec<Vec<f32>>> = vec![Vec::new(); weighted.len()];
         for frame in frames {
-            let mut cur = reuse_tensor::Tensor::from_vec(
-                network.input_shape().clone(),
-                frame.clone(),
-            )?;
+            let mut cur =
+                reuse_tensor::Tensor::from_vec(network.input_shape().clone(), frame.clone())?;
             for (slot, &layer_index) in weighted.iter().enumerate() {
                 // Apply any passive layers between the previous weighted
                 // layer and this one.
@@ -121,7 +119,11 @@ pub fn replay_similarity(
     let mut total = 0u64;
     for input in &stream[1..] {
         let codes = quantizer.quantize_slice(input);
-        same += codes.iter().zip(prev.iter()).filter(|(a, b)| a == b).count() as u64;
+        same += codes
+            .iter()
+            .zip(prev.iter())
+            .filter(|(a, b)| a == b)
+            .count() as u64;
         total += codes.len() as u64;
         prev = codes;
     }
@@ -195,7 +197,9 @@ mod tests {
         let frames = walk(5, 8, 0.1, 2);
         let rec = InputRecorder::record(&net, &frames).unwrap();
         // fc2's recorded input at execution t is the fp32 fc1 activation.
-        let reuse_nn::Layer::FullyConnected(fc1) = &net.layers()[0].1 else { panic!() };
+        let reuse_nn::Layer::FullyConnected(fc1) = &net.layers()[0].1 else {
+            panic!()
+        };
         let t_in = reuse_tensor::Tensor::from_slice_1d(&frames[3]).unwrap();
         let expect = fc1.forward(&t_in).unwrap();
         assert_eq!(rec.stream("fc2").unwrap()[3], expect.as_slice());
@@ -233,10 +237,15 @@ mod tests {
         let rec = InputRecorder::record(&net, &walk(40, 8, 0.1, 4)).unwrap();
         let sweep = replay_sweep(&rec, &[8, 16, 32, 64]);
         for layer_row in &sweep {
-            let sims: Vec<f64> =
-                layer_row.iter().map(|r| r.as_ref().unwrap().input_similarity).collect();
+            let sims: Vec<f64> = layer_row
+                .iter()
+                .map(|r| r.as_ref().unwrap().input_similarity)
+                .collect();
             for pair in sims.windows(2) {
-                assert!(pair[0] >= pair[1] - 1e-9, "similarity must not rise with clusters: {sims:?}");
+                assert!(
+                    pair[0] >= pair[1] - 1e-9,
+                    "similarity must not rise with clusters: {sims:?}"
+                );
             }
         }
     }

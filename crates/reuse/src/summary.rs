@@ -69,7 +69,10 @@ mod tests {
         let mut fc1 = LayerMetrics::new("fc1");
         fc1.record(100, 80, 1000, 200);
         let silent = LayerMetrics::new("fc2");
-        let metrics = EngineMetrics { layers: vec![fc1, silent], executions: 5 };
+        let metrics = EngineMetrics {
+            layers: vec![fc1, silent],
+            executions: 5,
+        };
         let s = render_metrics("demo", &metrics);
         assert!(s.contains("demo"));
         assert!(s.contains("fc1"));

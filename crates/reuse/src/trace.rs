@@ -102,19 +102,31 @@ mod tests {
     #[test]
     fn weight_fetches_track_performed_macs() {
         assert_eq!(trace(TraceKind::Incremental, 80).weight_fetches(), 80);
-        assert_eq!(trace(TraceKind::ScratchQuantized, 200).weight_fetches(), 200);
+        assert_eq!(
+            trace(TraceKind::ScratchQuantized, 200).weight_fetches(),
+            200
+        );
     }
 
     #[test]
     fn corrections_only_for_incremental() {
-        assert_eq!(trace(TraceKind::Incremental, 80).correction_output_accesses(), 80);
-        assert_eq!(trace(TraceKind::ScratchFp32, 200).correction_output_accesses(), 0);
+        assert_eq!(
+            trace(TraceKind::Incremental, 80).correction_output_accesses(),
+            80
+        );
+        assert_eq!(
+            trace(TraceKind::ScratchFp32, 200).correction_output_accesses(),
+            0
+        );
     }
 
     #[test]
     fn execution_totals() {
         let e = ExecutionTrace {
-            layers: vec![trace(TraceKind::Incremental, 80), trace(TraceKind::Incremental, 50)],
+            layers: vec![
+                trace(TraceKind::Incremental, 80),
+                trace(TraceKind::Incremental, 50),
+            ],
         };
         assert_eq!(e.macs_performed(), 130);
         assert_eq!(e.macs_total(), 400);

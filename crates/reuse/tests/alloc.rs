@@ -1,0 +1,74 @@
+//! Zero-allocation contract of the steady-state hot path.
+//!
+//! A counting global allocator wraps the system allocator; once the engine
+//! reaches steady state (calibrated, buffered state initialized, pool
+//! primed), `execute_into` with the serial config must not allocate at all:
+//! intermediates come from the engine's recycling pool and per-layer scratch
+//! (changed lists, quantized codes, buffered outputs) is reused in place.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use reuse_core::{ReuseConfig, ReuseEngine};
+use reuse_nn::{init::Rng64, Activation, NetworkBuilder};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_execute_into_is_allocation_free() {
+    let net = NetworkBuilder::new("steady", 32)
+        .fully_connected(64, Activation::Relu)
+        .fully_connected(48, Activation::Relu)
+        .fully_connected(10, Activation::Identity)
+        .build()
+        .unwrap();
+    let mut engine = ReuseEngine::from_network(&net, &ReuseConfig::uniform(16));
+
+    let mut rng = Rng64::new(9);
+    let mut frame: Vec<f32> = (0..32).map(|_| rng.uniform(0.9)).collect();
+    let mut out = Vec::new();
+
+    // Calibration, state-initializing first reuse execution, and one steady
+    // frame to prime the buffer pool and `out`'s capacity.
+    for _ in 0..3 {
+        engine.execute_into(&frame, &mut out).unwrap();
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        // Drift a few inputs in place so the incremental path does real
+        // correction work, not just the all-reused fast case.
+        for _ in 0..8 {
+            let i = (rng.next_u64() % 32) as usize;
+            frame[i] = (frame[i] + rng.uniform(0.5)).clamp(-1.0, 1.0);
+        }
+        engine.execute_into(&frame, &mut out).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "steady-state frames allocated {allocations} times"
+    );
+}

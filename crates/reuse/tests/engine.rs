@@ -163,9 +163,18 @@ fn cnn_outputs_track_reference_and_record_trace() {
     assert_eq!(traces.len(), frames.len());
     // Trace 0: calibration (fp32 scratch); trace 1: quantized scratch;
     // later: incremental.
-    assert!(traces[0].layers.iter().all(|l| l.mode == TraceKind::ScratchFp32));
-    assert!(traces[1].layers.iter().all(|l| l.mode == TraceKind::ScratchQuantized));
-    assert!(traces[5].layers.iter().all(|l| l.mode == TraceKind::Incremental));
+    assert!(traces[0]
+        .layers
+        .iter()
+        .all(|l| l.mode == TraceKind::ScratchFp32));
+    assert!(traces[1]
+        .layers
+        .iter()
+        .all(|l| l.mode == TraceKind::ScratchQuantized));
+    assert!(traces[5]
+        .layers
+        .iter()
+        .all(|l| l.mode == TraceKind::Incremental));
     // Conservation: performed <= total, and totals equal the scratch cost.
     for tr in &traces {
         for l in &tr.layers {
@@ -181,7 +190,9 @@ fn cnn_outputs_track_reference_and_record_trace() {
 #[test]
 fn disabled_layers_run_fp32_and_are_not_metered() {
     let net = cnn();
-    let config = ReuseConfig::uniform(32).disable_layer("conv1").record_trace(true);
+    let config = ReuseConfig::uniform(32)
+        .disable_layer("conv1")
+        .record_trace(true);
     let mut engine = ReuseEngine::from_network(&net, &config);
     for frame in walk(10, 2 * 8 * 8, 0.05, 6) {
         engine.execute(&frame).unwrap();
@@ -202,7 +213,9 @@ fn disabled_layers_run_fp32_and_are_not_metered() {
 #[test]
 fn rnn_sequence_runs_and_reuses() {
     let net = rnn();
-    let config = ReuseConfig::uniform(16).disable_layer("fc1").record_trace(true);
+    let config = ReuseConfig::uniform(16)
+        .disable_layer("fc1")
+        .record_trace(true);
     let mut engine = ReuseEngine::from_network(&net, &config);
     let seq1 = walk(30, 10, 0.05, 7);
     let out_cal = engine.execute_sequence(&seq1).unwrap();
@@ -215,7 +228,11 @@ fn rnn_sequence_runs_and_reuses() {
     let m = engine.metrics();
     let l1 = m.layer("bilstm1").unwrap();
     assert!(l1.reuse_executions > 0);
-    assert!(l1.input_similarity() > 0.0, "similarity {}", l1.input_similarity());
+    assert!(
+        l1.input_similarity() > 0.0,
+        "similarity {}",
+        l1.input_similarity()
+    );
     // Output layer disabled: not metered.
     assert_eq!(m.layer("fc1").unwrap().reuse_executions, 0);
     // Outputs stay close to the fp32 reference.
@@ -351,7 +368,10 @@ fn reset_state_forces_scratch_next_execution() {
     engine.reset_state();
     engine.execute(&frames[0]).unwrap();
     let traces = engine.take_traces();
-    assert!(traces[0].layers.iter().all(|l| l.mode == TraceKind::ScratchQuantized));
+    assert!(traces[0]
+        .layers
+        .iter()
+        .all(|l| l.mode == TraceKind::ScratchQuantized));
 }
 
 #[test]
@@ -364,7 +384,9 @@ fn unidirectional_lstm_reuses_across_timesteps() {
         .build()
         .unwrap();
     assert!(net.is_recurrent());
-    let config = ReuseConfig::uniform(16).disable_layer("fc1").record_trace(true);
+    let config = ReuseConfig::uniform(16)
+        .disable_layer("fc1")
+        .record_trace(true);
     let mut engine = ReuseEngine::from_network(&net, &config);
     let seq1 = walk(25, 8, 0.05, 31);
     engine.execute_sequence(&seq1).unwrap(); // calibration
@@ -399,14 +421,20 @@ fn unidirectional_lstm_reuses_across_timesteps() {
 #[test]
 fn unidirectional_lstm_matches_quantized_oracle() {
     use reuse_core::lstm::quantized_scratch_sequence;
-    let net = NetworkBuilder::new("uni", 6).seed(22).lstm(4).build().unwrap();
+    let net = NetworkBuilder::new("uni", 6)
+        .seed(22)
+        .lstm(4)
+        .build()
+        .unwrap();
     let mut engine = ReuseEngine::from_network(&net, &ReuseConfig::uniform(16));
     let cal = walk(20, 6, 0.08, 33);
     engine.execute_sequence(&cal).unwrap();
     let seq = walk(20, 6, 0.08, 34);
     let outs = engine.execute_sequence(&seq).unwrap();
     // Oracle: quantized scratch with the engine's own quantizers.
-    let reuse_nn::Layer::Lstm(cell) = &net.layers()[0].1 else { panic!("lstm expected") };
+    let reuse_nn::Layer::Lstm(cell) = &net.layers()[0].1 else {
+        panic!("lstm expected")
+    };
     let qx = *engine.quantizer_for("lstm1").unwrap();
     // The h quantizer is internal; the public oracle check uses the same
     // quantizer for both when ranges coincide, so compare loosely.

@@ -1,0 +1,193 @@
+//! Bit-exactness of the parallel runtime at the reuse layer: every
+//! incremental-correction kernel and the whole engine must produce outputs
+//! bit-identical to the serial path for any thread count, because workers
+//! partition *outputs* and each output keeps its serial accumulation order
+//! (DESIGN.md, "Threading model & determinism").
+
+use proptest::prelude::*;
+use reuse_core::conv::{Conv2dReuseState, Conv3dReuseState};
+use reuse_core::fc::FcReuseState;
+use reuse_core::lstm::LstmReuseState;
+use reuse_core::{ParallelConfig, ReuseConfig, ReuseEngine};
+use reuse_nn::{
+    init::Rng64, Activation, Conv2dLayer, Conv3dLayer, FullyConnected, LstmCell, NetworkBuilder,
+};
+use reuse_quant::{InputRange, LinearQuantizer};
+use reuse_tensor::conv::{Conv2dSpec, Conv3dSpec};
+use reuse_tensor::Shape;
+
+fn quantizer(clusters: usize) -> LinearQuantizer {
+    LinearQuantizer::new(InputRange::new(-1.0, 1.0), clusters).unwrap()
+}
+
+fn cfg(threads: usize) -> ParallelConfig {
+    ParallelConfig::with_threads(threads).min_work_per_thread(1)
+}
+
+/// A drifting input stream: each frame perturbs a few positions of the last.
+fn drifting_frames(len: usize, n_frames: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Rng64::new(seed);
+    let mut cur: Vec<f32> = (0..len).map(|_| rng.uniform(0.9)).collect();
+    let mut frames = vec![cur.clone()];
+    for _ in 1..n_frames {
+        for _ in 0..(len / 4).max(1) {
+            let i = (rng.next_u64() % len as u64) as usize;
+            cur[i] = (cur[i] + rng.uniform(0.5)).clamp(-1.0, 1.0);
+        }
+        frames.push(cur.clone());
+    }
+    frames
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "element {i} differs: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fc_state_parallel_matches_serial(threads in 2usize..7, seed in 0u64..500) {
+        let layer = FullyConnected::random(24, 37, Activation::Relu, &mut Rng64::new(seed + 1));
+        let q = quantizer(16);
+        let mut serial = FcReuseState::new(&layer);
+        let mut parallel = FcReuseState::new(&layer);
+        for frame in drifting_frames(24, 6, seed) {
+            let (a, _) = serial.execute(&layer, &q, &frame).unwrap();
+            let (b, _) = parallel.execute_with(&cfg(threads), &layer, &q, &frame).unwrap();
+            assert_bits_eq(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn conv2d_state_parallel_matches_serial(threads in 2usize..7, seed in 0u64..500) {
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 5, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let layer = Conv2dLayer::random(spec, Activation::Relu, &mut Rng64::new(seed + 2));
+        let in_shape = Shape::d3(2, 6, 7);
+        let q = quantizer(16);
+        let mut serial = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        let mut parallel = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        for frame in drifting_frames(in_shape.volume(), 5, seed) {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            serial.execute_into(&ParallelConfig::serial(), &layer, &q, &frame, &mut a).unwrap();
+            parallel.execute_into(&cfg(threads), &layer, &q, &frame, &mut b).unwrap();
+            assert_bits_eq(&a, &b);
+        }
+    }
+
+    #[test]
+    fn conv3d_state_parallel_matches_serial(threads in 2usize..7, seed in 0u64..500) {
+        let spec = Conv3dSpec { in_channels: 2, out_channels: 3, kd: 2, kh: 2, kw: 2, stride: 1, pad: 1 };
+        let layer = Conv3dLayer::random(spec, Activation::Relu, &mut Rng64::new(seed + 3));
+        let in_shape = Shape::d4(2, 3, 4, 5);
+        let q = quantizer(16);
+        let mut serial = Conv3dReuseState::new(&layer, &in_shape).unwrap();
+        let mut parallel = Conv3dReuseState::new(&layer, &in_shape).unwrap();
+        for frame in drifting_frames(in_shape.volume(), 5, seed) {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            serial.execute_into(&ParallelConfig::serial(), &layer, &q, &frame, &mut a).unwrap();
+            parallel.execute_into(&cfg(threads), &layer, &q, &frame, &mut b).unwrap();
+            assert_bits_eq(&a, &b);
+        }
+    }
+
+    #[test]
+    fn lstm_state_parallel_matches_serial(threads in 2usize..7, seed in 0u64..500) {
+        let cell = LstmCell::random(14, 9, &mut Rng64::new(seed + 4));
+        let q = quantizer(16);
+        let mut serial = LstmReuseState::new(&cell);
+        let mut parallel = LstmReuseState::new(&cell);
+        for frame in drifting_frames(14, 6, seed) {
+            let (a, _) = serial.step(&cell, &q, &q, &frame).unwrap();
+            let (b, _) = parallel.step_with(&cfg(threads), &cell, &q, &q, &frame).unwrap();
+            assert_bits_eq(&a, &b);
+        }
+    }
+
+    #[test]
+    fn engine_parallel_matches_serial_bitwise(threads in 2usize..6, seed in 0u64..200) {
+        let net = NetworkBuilder::new("p", 16)
+            .fully_connected(33, Activation::Relu)
+            .fully_connected(7, Activation::Identity)
+            .build()
+            .unwrap();
+        let base = ReuseConfig::uniform(16);
+        let mut serial = ReuseEngine::from_network(&net, &base);
+        let mut parallel = ReuseEngine::from_network(&net, &base.clone().parallel(cfg(threads)));
+        for frame in drifting_frames(16, 8, seed) {
+            let a = serial.execute(&frame).unwrap();
+            let b = parallel.execute(&frame).unwrap();
+            assert_bits_eq(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn cnn_engine_parallel_matches_serial_bitwise(threads in 2usize..6, seed in 0u64..200) {
+        // Mixed pipeline: reuse conv + full-precision pool/flatten fallback
+        // + reuse FC, so both engine paths (pooled and tensor) are covered.
+        let net = NetworkBuilder::with_input_shape("cnn", Shape::d3(1, 6, 6))
+            .conv2d(3, 3, 1, 1, Activation::Relu)
+            .pool2d(2)
+            .flatten()
+            .fully_connected(5, Activation::Identity)
+            .build()
+            .unwrap();
+        let base = ReuseConfig::uniform(16);
+        let mut serial = ReuseEngine::from_network(&net, &base);
+        let mut parallel = ReuseEngine::from_network(&net, &base.clone().parallel(cfg(threads)));
+        for frame in drifting_frames(36, 6, seed) {
+            let a = serial.execute(&frame).unwrap();
+            let b = parallel.execute(&frame).unwrap();
+            assert_bits_eq(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn recurrent_sequence_parallel_matches_serial_bitwise(threads in 2usize..6, seed in 0u64..200) {
+        let net = NetworkBuilder::new("r", 10)
+            .bilstm(6)
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap();
+        let base = ReuseConfig::uniform(16);
+        let mut serial = ReuseEngine::from_network(&net, &base);
+        let mut parallel = ReuseEngine::from_network(&net, &base.clone().parallel(cfg(threads)));
+        let frames = drifting_frames(10, 5, seed);
+        for _ in 0..3 {
+            let a = serial.execute_sequence(&frames).unwrap();
+            let b = parallel.execute_sequence(&frames).unwrap();
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_bits_eq(x.as_slice(), y.as_slice());
+            }
+        }
+    }
+}
+
+/// With reuse disabled everywhere the engine runs full precision through the
+/// pooled pipeline, so `execute_sequence` must equal `reference_forward`
+/// bit-for-bit (the only configuration where exact equality is meaningful —
+/// quantized runs approximate by design).
+#[test]
+fn full_precision_sequence_matches_reference_forward_exactly() {
+    let net = NetworkBuilder::new("fp", 12)
+        .fully_connected(20, Activation::Relu)
+        .fully_connected(6, Activation::Identity)
+        .build()
+        .unwrap();
+    let config = ReuseConfig::uniform(16)
+        .disable_layer("fc1")
+        .disable_layer("fc2")
+        .parallel(cfg(4));
+    let mut engine = ReuseEngine::from_network(&net, &config);
+    let frames = drifting_frames(12, 6, 77);
+    let outs = engine.execute_sequence(&frames).unwrap();
+    for (frame, out) in frames.iter().zip(outs.iter()) {
+        let reference = engine.reference_forward(frame).unwrap();
+        assert_bits_eq(reference.as_slice(), out.as_slice());
+    }
+}

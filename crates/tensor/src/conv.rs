@@ -14,6 +14,7 @@
 //! Input layout is `[channels, (depth,) height, width]`; weights are
 //! `[out_channels, in_channels, (kd,) kh, kw]`.
 
+use crate::parallel::{parallel_for_mut, ParallelConfig};
 use crate::{Shape, Tensor, TensorError};
 
 /// Geometry of a 2D convolution.
@@ -50,7 +51,10 @@ impl Conv2dSpec {
                 ),
             });
         }
-        Ok(((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1))
+        Ok((
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        ))
     }
 
     /// Weight tensor shape `[out_c, in_c, kh, kw]`.
@@ -122,8 +126,14 @@ impl Conv3dSpec {
     ///
     /// Panics if any field is zero (specs are validated at layer build time).
     pub fn weight_shape(&self) -> Shape {
-        Shape::new(&[self.out_channels, self.in_channels, self.kd, self.kh, self.kw])
-            .expect("conv3d spec fields must be non-zero")
+        Shape::new(&[
+            self.out_channels,
+            self.in_channels,
+            self.kd,
+            self.kh,
+            self.kw,
+        ])
+        .expect("conv3d spec fields must be non-zero")
     }
 
     /// Multiply+add count for one forward pass over a `d×h×w` input.
@@ -146,8 +156,26 @@ impl Conv3dSpec {
 ///
 /// Returns [`TensorError::ShapeMismatch`] when any dimension disagrees with
 /// the spec.
-#[allow(clippy::needless_range_loop)] // `oc` indexes outputs, weights and biases together
 pub fn conv2d_forward(
+    spec: &Conv2dSpec,
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+) -> Result<Tensor, TensorError> {
+    conv2d_forward_with(&ParallelConfig::serial(), spec, input, weights, bias)
+}
+
+/// [`conv2d_forward`] with an explicit parallelism budget. Output channels
+/// are chunked across workers (granule = one `oh×ow` output plane), so each
+/// output element is accumulated by one thread in the serial loop order —
+/// results are bit-identical to the serial path.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when any dimension disagrees with
+/// the spec.
+pub fn conv2d_forward_with(
+    config: &ParallelConfig,
     spec: &Conv2dSpec,
     input: &Tensor,
     weights: &Tensor,
@@ -192,37 +220,41 @@ pub fn conv2d_forward(
     let k_plane = spec.kh * spec.kw;
     let w_per_filter = spec.in_channels * k_plane;
     let pad = spec.pad as isize;
-    for oc in 0..spec.out_channels {
-        let wbase = oc * w_per_filter;
-        let obase = oc * oh * ow;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = bv[oc];
-                let iy0 = (oy * spec.stride) as isize - pad;
-                let ix0 = (ox * spec.stride) as isize - pad;
-                for ic in 0..spec.in_channels {
-                    let ibase = ic * in_plane;
-                    let wcbase = wbase + ic * k_plane;
-                    for ky in 0..spec.kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let irow = ibase + iy as usize * w;
-                        let wrow = wcbase + ky * spec.kw;
-                        for kx in 0..spec.kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
+    let o_plane = oh * ow;
+    parallel_for_mut(config, &mut out, o_plane, |chunk_offset, chunk| {
+        let first_oc = chunk_offset / o_plane;
+        for (p, plane) in chunk.chunks_mut(o_plane).enumerate() {
+            let oc = first_oc + p;
+            let wbase = oc * w_per_filter;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bv[oc];
+                    let iy0 = (oy * spec.stride) as isize - pad;
+                    let ix0 = (ox * spec.stride) as isize - pad;
+                    for ic in 0..spec.in_channels {
+                        let ibase = ic * in_plane;
+                        let wcbase = wbase + ic * k_plane;
+                        for ky in 0..spec.kh {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            acc += x[irow + ix as usize] * wv[wrow + kx];
+                            let irow = ibase + iy as usize * w;
+                            let wrow = wcbase + ky * spec.kw;
+                            for kx in 0..spec.kw {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += x[irow + ix as usize] * wv[wrow + kx];
+                            }
                         }
                     }
+                    plane[oy * ow + ox] = acc;
                 }
-                out[obase + oy * ow + ox] = acc;
             }
         }
-    }
+    });
     Tensor::from_vec(Shape::d3(spec.out_channels, oh, ow), out)
 }
 
@@ -235,8 +267,25 @@ pub fn conv2d_forward(
 ///
 /// Returns [`TensorError::ShapeMismatch`] when any dimension disagrees with
 /// the spec.
-#[allow(clippy::needless_range_loop)] // `oc` indexes outputs, weights and biases together
 pub fn conv3d_forward(
+    spec: &Conv3dSpec,
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+) -> Result<Tensor, TensorError> {
+    conv3d_forward_with(&ParallelConfig::serial(), spec, input, weights, bias)
+}
+
+/// [`conv3d_forward`] with an explicit parallelism budget. Output filters
+/// are chunked across workers (granule = one `od×oh×ow` output volume);
+/// results are bit-identical to the serial path.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when any dimension disagrees with
+/// the spec.
+pub fn conv3d_forward_with(
+    config: &ParallelConfig,
     spec: &Conv3dSpec,
     input: &Tensor,
     weights: &Tensor,
@@ -283,48 +332,52 @@ pub fn conv3d_forward(
     let k_vol = spec.kd * k_plane;
     let w_per_filter = spec.in_channels * k_vol;
     let pad = spec.pad as isize;
-    for oc in 0..spec.out_channels {
-        let wbase = oc * w_per_filter;
-        let obase = oc * od * oh * ow;
-        for oz in 0..od {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = bv[oc];
-                    let iz0 = (oz * spec.stride) as isize - pad;
-                    let iy0 = (oy * spec.stride) as isize - pad;
-                    let ix0 = (ox * spec.stride) as isize - pad;
-                    for ic in 0..spec.in_channels {
-                        let icbase = ic * in_vol;
-                        let wcbase = wbase + ic * k_vol;
-                        for kz in 0..spec.kd {
-                            let iz = iz0 + kz as isize;
-                            if iz < 0 || iz >= d as isize {
-                                continue;
-                            }
-                            let izbase = icbase + iz as usize * in_plane;
-                            let wzbase = wcbase + kz * k_plane;
-                            for ky in 0..spec.kh {
-                                let iy = iy0 + ky as isize;
-                                if iy < 0 || iy >= h as isize {
+    let o_vol = od * oh * ow;
+    parallel_for_mut(config, &mut out, o_vol, |chunk_offset, chunk| {
+        let first_oc = chunk_offset / o_vol;
+        for (p, vol) in chunk.chunks_mut(o_vol).enumerate() {
+            let oc = first_oc + p;
+            let wbase = oc * w_per_filter;
+            for oz in 0..od {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bv[oc];
+                        let iz0 = (oz * spec.stride) as isize - pad;
+                        let iy0 = (oy * spec.stride) as isize - pad;
+                        let ix0 = (ox * spec.stride) as isize - pad;
+                        for ic in 0..spec.in_channels {
+                            let icbase = ic * in_vol;
+                            let wcbase = wbase + ic * k_vol;
+                            for kz in 0..spec.kd {
+                                let iz = iz0 + kz as isize;
+                                if iz < 0 || iz >= d as isize {
                                     continue;
                                 }
-                                let irow = izbase + iy as usize * w;
-                                let wrow = wzbase + ky * spec.kw;
-                                for kx in 0..spec.kw {
-                                    let ix = ix0 + kx as isize;
-                                    if ix < 0 || ix >= w as isize {
+                                let izbase = icbase + iz as usize * in_plane;
+                                let wzbase = wcbase + kz * k_plane;
+                                for ky in 0..spec.kh {
+                                    let iy = iy0 + ky as isize;
+                                    if iy < 0 || iy >= h as isize {
                                         continue;
                                     }
-                                    acc += x[irow + ix as usize] * wv[wrow + kx];
+                                    let irow = izbase + iy as usize * w;
+                                    let wrow = wzbase + ky * spec.kw;
+                                    for kx in 0..spec.kw {
+                                        let ix = ix0 + kx as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        acc += x[irow + ix as usize] * wv[wrow + kx];
+                                    }
                                 }
                             }
                         }
+                        vol[(oz * oh + oy) * ow + ox] = acc;
                     }
-                    out[obase + (oz * oh + oy) * ow + ox] = acc;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(Shape::d4(spec.out_channels, od, oh, ow), out)
 }
 
@@ -365,7 +418,9 @@ pub fn max_pool2d_mode(
 ) -> Result<Tensor, TensorError> {
     let idims = input.shape().dims();
     if idims.len() != 3 {
-        return Err(TensorError::ShapeMismatch { context: "max_pool2d expects [c,h,w]".into() });
+        return Err(TensorError::ShapeMismatch {
+            context: "max_pool2d expects [c,h,w]".into(),
+        });
     }
     let (c, h, w) = (idims[0], idims[1], idims[2]);
     let oh = pool_extent(h, window, stride, ceil);
@@ -425,7 +480,9 @@ pub fn max_pool3d_mode(
 ) -> Result<Tensor, TensorError> {
     let idims = input.shape().dims();
     if idims.len() != 4 {
-        return Err(TensorError::ShapeMismatch { context: "max_pool3d expects [c,d,h,w]".into() });
+        return Err(TensorError::ShapeMismatch {
+            context: "max_pool3d expects [c,d,h,w]".into(),
+        });
     }
     let (c, d, h, w) = (idims[0], idims[1], idims[2], idims[3]);
     let od = pool_extent(d, wd, wd, ceil);
@@ -477,7 +534,14 @@ mod tests {
     #[test]
     fn conv2d_identity_kernel() {
         // 1x1 kernel with weight 1 reproduces the input.
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let input = Tensor::from_vec(Shape::d3(1, 2, 2), vec![1., 2., 3., 4.]).unwrap();
         let w = Tensor::from_vec(spec.weight_shape(), vec![1.0]).unwrap();
         let b = Tensor::from_slice_1d(&[0.0]).unwrap();
@@ -488,7 +552,14 @@ mod tests {
     #[test]
     fn conv2d_sum_kernel() {
         // 2x2 all-ones kernel computes window sums.
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 2, kw: 2, stride: 1, pad: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 0,
+        };
         let input =
             Tensor::from_vec(Shape::d3(1, 3, 3), (1..=9).map(|v| v as f32).collect()).unwrap();
         let w = Tensor::from_vec(spec.weight_shape(), vec![1.0; 4]).unwrap();
@@ -500,7 +571,14 @@ mod tests {
 
     #[test]
     fn conv2d_stride_two() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 1, kw: 1, stride: 2, pad: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kh: 1,
+            kw: 1,
+            stride: 2,
+            pad: 0,
+        };
         let input =
             Tensor::from_vec(Shape::d3(1, 3, 3), (0..9).map(|v| v as f32).collect()).unwrap();
         let w = Tensor::from_vec(spec.weight_shape(), vec![1.0]).unwrap();
@@ -511,7 +589,14 @@ mod tests {
 
     #[test]
     fn conv2d_same_padding_preserves_size() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         assert_eq!(spec.output_hw(5, 7).unwrap(), (5, 7));
         let input = Tensor::full(Shape::d3(1, 3, 3), 1.0);
         let w = Tensor::from_vec(spec.weight_shape(), vec![1.0; 9]).unwrap();
@@ -524,7 +609,14 @@ mod tests {
 
     #[test]
     fn conv2d_multi_channel_accumulates() {
-        let spec = Conv2dSpec { in_channels: 2, out_channels: 1, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let input = Tensor::from_vec(Shape::d3(2, 1, 1), vec![3.0, 4.0]).unwrap();
         let w = Tensor::from_vec(spec.weight_shape(), vec![1.0, 10.0]).unwrap();
         let b = Tensor::from_slice_1d(&[0.5]).unwrap();
@@ -534,7 +626,14 @@ mod tests {
 
     #[test]
     fn conv2d_bias_per_filter() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let input = Tensor::from_vec(Shape::d3(1, 1, 1), vec![1.0]).unwrap();
         let w = Tensor::from_vec(spec.weight_shape(), vec![2.0, 3.0]).unwrap();
         let b = Tensor::from_slice_1d(&[10.0, 20.0]).unwrap();
@@ -544,9 +643,23 @@ mod tests {
 
     #[test]
     fn conv3d_matches_2d_when_depth_is_one() {
-        let spec3 =
-            Conv3dSpec { in_channels: 1, out_channels: 1, kd: 1, kh: 2, kw: 2, stride: 1, pad: 0 };
-        let spec2 = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 2, kw: 2, stride: 1, pad: 0 };
+        let spec3 = Conv3dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kd: 1,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 0,
+        };
+        let spec2 = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 0,
+        };
         let data: Vec<f32> = (1..=9).map(|v| v as f32).collect();
         let in3 = Tensor::from_vec(Shape::d4(1, 1, 3, 3), data.clone()).unwrap();
         let in2 = Tensor::from_vec(Shape::d3(1, 3, 3), data).unwrap();
@@ -561,8 +674,15 @@ mod tests {
     #[test]
     fn conv3d_temporal_sum() {
         // Kernel 2x1x1 of ones sums adjacent frames.
-        let spec =
-            Conv3dSpec { in_channels: 1, out_channels: 1, kd: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let spec = Conv3dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kd: 2,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
         let input = Tensor::from_vec(Shape::d4(1, 3, 1, 1), vec![1.0, 2.0, 4.0]).unwrap();
         let w = Tensor::from_vec(spec.weight_shape(), vec![1.0, 1.0]).unwrap();
         let b = Tensor::from_slice_1d(&[0.0]).unwrap();
@@ -573,15 +693,29 @@ mod tests {
     #[test]
     fn conv3d_same_padding_preserves_size() {
         // The C3D convention: 3x3x3 kernel, stride 1, pad 1.
-        let spec =
-            Conv3dSpec { in_channels: 1, out_channels: 1, kd: 3, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let spec = Conv3dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kd: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         assert_eq!(spec.output_dhw(16, 112, 112).unwrap(), (16, 112, 112));
     }
 
     #[test]
     fn output_geometry() {
         // AutoPilot CONV1: 3x66x200 -> 24x31x98 with 5x5 stride 2.
-        let spec = Conv2dSpec { in_channels: 3, out_channels: 24, kh: 5, kw: 5, stride: 2, pad: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 3,
+            out_channels: 24,
+            kh: 5,
+            kw: 5,
+            stride: 2,
+            pad: 0,
+        };
         assert_eq!(spec.output_hw(66, 200).unwrap(), (31, 98));
         // kernel larger than input
         assert!(spec.output_hw(4, 4).is_err());
@@ -589,7 +723,14 @@ mod tests {
 
     #[test]
     fn flop_counts() {
-        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kh: 2, kw: 2, stride: 1, pad: 0 };
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 0,
+        };
         // 2x2 output, 4 macs each, x2 for mul+add.
         assert_eq!(spec.flops(3, 3), 2 * 4 * 4);
     }
@@ -608,7 +749,8 @@ mod tests {
         let input = Tensor::from_vec(Shape::d3(1, 1, 5), vec![1., 2., 3., 4., 9.]).unwrap();
         let floor = max_pool2d_mode(&input, 1, 2, false).unwrap();
         assert_eq!(floor.shape().dims(), &[1, 1, 3]);
-        let input2 = Tensor::from_vec(Shape::d3(1, 3, 3), (1..=9).map(|v| v as f32).collect()).unwrap();
+        let input2 =
+            Tensor::from_vec(Shape::d3(1, 3, 3), (1..=9).map(|v| v as f32).collect()).unwrap();
         let ceil = max_pool2d_mode(&input2, 2, 2, true).unwrap();
         assert_eq!(ceil.shape().dims(), &[1, 2, 2]);
         assert_eq!(ceil.as_slice(), &[5.0, 6.0, 8.0, 9.0]);

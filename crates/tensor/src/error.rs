@@ -40,13 +40,22 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::RankMismatch { expected, actual } => {
-                write!(f, "index rank {actual} does not match tensor rank {expected}")
+                write!(
+                    f,
+                    "index rank {actual} does not match tensor rank {expected}"
+                )
             }
             TensorError::OutOfBounds { dim, index, size } => {
-                write!(f, "index {index} out of bounds for dimension {dim} of size {size}")
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension {dim} of size {size}"
+                )
             }
             TensorError::ShapeMismatch { context } => {
                 write!(f, "incompatible shapes: {context}")
@@ -64,7 +73,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let err = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        let err = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
         let msg = err.to_string();
         assert!(msg.contains('5') && msg.contains('6'));
         assert!(msg.chars().next().unwrap().is_lowercase());
@@ -78,7 +90,11 @@ mod tests {
 
     #[test]
     fn out_of_bounds_reports_all_fields() {
-        let err = TensorError::OutOfBounds { dim: 1, index: 9, size: 4 };
+        let err = TensorError::OutOfBounds {
+            dim: 1,
+            index: 9,
+            size: 4,
+        };
         let msg = err.to_string();
         assert!(msg.contains('9') && msg.contains('4') && msg.contains('1'));
     }

@@ -33,7 +33,9 @@ impl Q8 {
     /// Quantizes an `f32` to the nearest representable Q8 value, saturating
     /// at the i8 range.
     pub fn from_f32(value: f32, scale: f32) -> Self {
-        let raw = (value / scale).round().clamp(i8::MIN as f32, i8::MAX as f32) as i8;
+        let raw = (value / scale)
+            .round()
+            .clamp(i8::MIN as f32, i8::MAX as f32) as i8;
         Q8 { raw, scale }
     }
 
@@ -87,7 +89,11 @@ pub fn dequantize_slice_q8(codes: &[i8], scale: f32) -> Vec<f32> {
 /// width) and rescales once at the end, mirroring an 8-bit MAC array.
 pub fn dot_q8(a: &[i8], b: &[i8], a_scale: f32, b_scale: f32) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let acc: i32 = a.iter().zip(b.iter()).map(|(&x, &y)| x as i32 * y as i32).sum();
+    let acc: i32 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x as i32 * y as i32)
+        .sum();
     acc as f32 * a_scale * b_scale
 }
 

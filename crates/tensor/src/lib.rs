@@ -12,6 +12,8 @@
 //!   layers (no im2col; the accelerator model mirrors the direct loop nest).
 //! * [`fixed`] — Q-format fixed-point scalars used by the reduced-precision
 //!   accelerator study (paper Section VI-A).
+//! * [`parallel`] — dependency-free scoped-thread runtime; kernels partition
+//!   their outputs across workers while staying bit-identical to serial.
 //!
 //! # Example
 //!
@@ -30,9 +32,11 @@ mod error;
 pub mod fixed;
 pub mod matmul;
 pub mod ops;
+pub mod parallel;
 mod shape;
 mod tensor;
 
 pub use error::TensorError;
+pub use parallel::{parallel_for_mut, parallel_map, ParallelConfig};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -7,6 +7,7 @@
 //! is exactly what the reuse scheme needs to skip or correct one input at a
 //! time.
 
+use crate::parallel::{parallel_for_mut, ParallelConfig};
 use crate::{Shape, Tensor, TensorError};
 
 /// Computes `out[j] = Σ_i w[i][j] · x[i] + b[j]` (paper Eq. 1).
@@ -22,6 +23,45 @@ use crate::{Shape, Tensor, TensorError};
 ///
 /// Returns [`TensorError::ShapeMismatch`] when dimensions disagree.
 pub fn fc_forward(weights: &Tensor, input: &Tensor, bias: &Tensor) -> Result<Tensor, TensorError> {
+    fc_forward_with(&ParallelConfig::serial(), weights, input, bias)
+}
+
+/// [`fc_forward`] with an explicit parallelism budget. Output neurons are
+/// chunked across workers; results are bit-identical to the serial path.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when dimensions disagree.
+pub fn fc_forward_with(
+    config: &ParallelConfig,
+    weights: &Tensor,
+    input: &Tensor,
+    bias: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let mut out = Vec::new();
+    fc_forward_into(config, weights, input, bias, &mut out)?;
+    let n_out = weights.shape().dims()[1];
+    Tensor::from_vec(Shape::d1(n_out), out)
+}
+
+/// Allocation-free core of [`fc_forward`]: clears `out` and writes the
+/// `n_outputs` results into it, reusing its capacity across calls.
+///
+/// Each worker owns a contiguous span of output neurons and walks **all**
+/// inputs in ascending order, exactly like the serial loop — only the
+/// `out[o] +=` targets are partitioned — so every output element sees the
+/// same additions in the same order regardless of thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when dimensions disagree.
+pub fn fc_forward_into(
+    config: &ParallelConfig,
+    weights: &Tensor,
+    input: &Tensor,
+    bias: &Tensor,
+    out: &mut Vec<f32>,
+) -> Result<(), TensorError> {
     let dims = weights.shape().dims();
     if dims.len() != 2 {
         return Err(TensorError::ShapeMismatch {
@@ -31,30 +71,41 @@ pub fn fc_forward(weights: &Tensor, input: &Tensor, bias: &Tensor) -> Result<Ten
     let (n_in, n_out) = (dims[0], dims[1]);
     if input.len() != n_in {
         return Err(TensorError::ShapeMismatch {
-            context: format!("fc input length {} does not match weight rows {}", input.len(), n_in),
+            context: format!(
+                "fc input length {} does not match weight rows {}",
+                input.len(),
+                n_in
+            ),
         });
     }
     if bias.len() != n_out {
         return Err(TensorError::ShapeMismatch {
-            context: format!("fc bias length {} does not match weight cols {}", bias.len(), n_out),
+            context: format!(
+                "fc bias length {} does not match weight cols {}",
+                bias.len(),
+                n_out
+            ),
         });
     }
     let w = weights.as_slice();
     let x = input.as_slice();
-    let mut out = bias.as_slice().to_vec();
-    for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
-            // Mathematically a no-op; skipping keeps the flop pattern
-            // identical to what the zero-aware hardware would do while not
-            // changing the result.
-            continue;
+    out.clear();
+    out.extend_from_slice(bias.as_slice());
+    parallel_for_mut(config, out, 1, |offset, chunk| {
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                // Mathematically a no-op; skipping keeps the flop pattern
+                // identical to what the zero-aware hardware would do while
+                // not changing the result.
+                continue;
+            }
+            let row = &w[i * n_out + offset..i * n_out + offset + chunk.len()];
+            for (o, &wij) in chunk.iter_mut().zip(row.iter()) {
+                *o += xi * wij;
+            }
         }
-        let row = &w[i * n_out..(i + 1) * n_out];
-        for (o, &wij) in row.iter().enumerate() {
-            out[o] += xi * wij;
-        }
-    }
-    Tensor::from_vec(Shape::d1(n_out), out)
+    });
+    Ok(())
 }
 
 /// General dense matrix multiply `C = A · B` with `A: [m, k]`, `B: [k, n]`.
@@ -67,9 +118,24 @@ pub fn fc_forward(weights: &Tensor, input: &Tensor, bias: &Tensor) -> Result<Ten
 /// Returns [`TensorError::ShapeMismatch`] when inner dimensions disagree or
 /// either operand is not rank-2.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_with(&ParallelConfig::serial(), a, b)
+}
+
+/// [`matmul`] with an explicit parallelism budget. Rows of `C` are chunked
+/// across workers (granule = one output row), so each `C[i][j]` is
+/// accumulated by one thread in the serial order — results are bit-identical
+/// to [`matmul`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when inner dimensions disagree or
+/// either operand is not rank-2.
+pub fn matmul_with(config: &ParallelConfig, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (ad, bd) = (a.shape().dims(), b.shape().dims());
     if ad.len() != 2 || bd.len() != 2 {
-        return Err(TensorError::ShapeMismatch { context: "matmul operands must be rank-2".into() });
+        return Err(TensorError::ShapeMismatch {
+            context: "matmul operands must be rank-2".into(),
+        });
     }
     let (m, k) = (ad[0], ad[1]);
     let (k2, n) = (bd[0], bd[1]);
@@ -80,19 +146,22 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     }
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        for l in 0..k {
-            let aik = av[i * k + l];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[l * n..(l + 1) * n];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
-                *cj += aik * bj;
+    parallel_for_mut(config, &mut c, n, |offset, chunk| {
+        let first_row = offset / n;
+        for (r, crow) in chunk.chunks_mut(n).enumerate() {
+            let i = first_row + r;
+            for l in 0..k {
+                let aik = av[i * k + l];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &bv[l * n..(l + 1) * n];
+                for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                    *cj += aik * bj;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(Shape::d2(m, n), c)
 }
 
@@ -113,7 +182,10 @@ mod tests {
         let x = Tensor::from_slice_1d(&[10.0, 100.0]).unwrap();
         let b = Tensor::from_slice_1d(&[0.5, 0.5, 0.5]).unwrap();
         let y = fc_forward(&w, &x, &b).unwrap();
-        assert_eq!(y.as_slice(), &[10.0 + 400.0 + 0.5, 20.0 + 500.0 + 0.5, 30.0 + 600.0 + 0.5]);
+        assert_eq!(
+            y.as_slice(),
+            &[10.0 + 400.0 + 0.5, 20.0 + 500.0 + 0.5, 30.0 + 600.0 + 0.5]
+        );
     }
 
     #[test]

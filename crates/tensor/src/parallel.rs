@@ -1,0 +1,229 @@
+//! Scoped-thread parallel runtime for the kernels.
+//!
+//! The build environment pins an offline registry, so there is no rayon
+//! here: workers are plain `std::thread::scope` threads. Every parallel
+//! kernel in the workspace partitions its **output** elements into
+//! contiguous chunks, one per worker. Each output element is still
+//! accumulated by exactly one thread, walking the inputs in the same
+//! ascending order as the serial loop — so parallel results are
+//! bit-identical to serial ones, and the paper's incremental-correction
+//! invariant (`z' = z + (c'−c)·w`, Eq. 10) is preserved under any thread
+//! count. See DESIGN.md, "Threading model & determinism".
+
+/// How much parallelism a kernel call may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads to use. `0` means "ask the OS"
+    /// (`std::thread::available_parallelism`); `1` runs inline with no
+    /// thread spawns at all.
+    pub num_threads: usize,
+    /// Minimum output elements each worker must receive. Calls whose total
+    /// output is below `2 × min_work_per_thread` run inline; otherwise the
+    /// worker count is capped at `total / min_work_per_thread`. This keeps
+    /// tiny layers from paying thread-spawn latency for nothing.
+    pub min_work_per_thread: usize,
+}
+
+/// Default floor under which spawning a thread costs more than it saves.
+pub const DEFAULT_MIN_WORK: usize = 1024;
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::serial()
+    }
+}
+
+impl ParallelConfig {
+    /// Run everything inline on the calling thread (never spawns).
+    pub const fn serial() -> Self {
+        ParallelConfig {
+            num_threads: 1,
+            min_work_per_thread: DEFAULT_MIN_WORK,
+        }
+    }
+
+    /// Use exactly `n` workers (clamped to at least 1).
+    pub fn with_threads(n: usize) -> Self {
+        ParallelConfig {
+            num_threads: n.max(1),
+            min_work_per_thread: DEFAULT_MIN_WORK,
+        }
+    }
+
+    /// Use one worker per hardware thread.
+    pub fn auto() -> Self {
+        ParallelConfig {
+            num_threads: 0,
+            min_work_per_thread: DEFAULT_MIN_WORK,
+        }
+    }
+
+    /// Overrides the per-worker work floor (in output elements).
+    pub fn min_work_per_thread(mut self, elements: usize) -> Self {
+        self.min_work_per_thread = elements;
+        self
+    }
+
+    /// Resolved worker count for a call producing `total_work` output
+    /// elements. Always at least 1; 1 means "run inline".
+    pub fn workers_for(&self, total_work: usize) -> usize {
+        let hw = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        let work_cap = total_work / self.min_work_per_thread.max(1);
+        hw.min(work_cap.max(1)).min(total_work.max(1))
+    }
+}
+
+/// Runs `body` over contiguous chunks of `out`, one chunk per worker.
+///
+/// `granule` is the indivisible output unit in elements (e.g. one conv
+/// output plane); chunk boundaries always fall on granule boundaries so a
+/// worker owns whole granules. `body(offset, chunk)` receives the chunk's
+/// starting element offset within `out`.
+///
+/// With one resolved worker (or one granule) the body runs inline on the
+/// caller thread and nothing is spawned; otherwise the first chunk runs on
+/// the caller thread while the rest run on scoped threads.
+///
+/// # Panics
+///
+/// Propagates panics from `body` (the scope joins all workers first).
+pub fn parallel_for_mut<T, F>(config: &ParallelConfig, out: &mut [T], granule: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    let granule = granule.max(1);
+    let n_granules = out.len().div_ceil(granule);
+    let workers = config.workers_for(out.len()).min(n_granules);
+    if workers <= 1 {
+        body(0, out);
+        return;
+    }
+    let per_chunk = n_granules.div_ceil(workers) * granule;
+    std::thread::scope(|scope| {
+        let body = &body;
+        let mut rest = out;
+        let mut offset = 0usize;
+        let mut caller_chunk: Option<(usize, &mut [T])> = None;
+        while !rest.is_empty() {
+            let take = per_chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            if caller_chunk.is_none() {
+                caller_chunk = Some((offset, head));
+            } else {
+                scope.spawn(move || body(offset, head));
+            }
+            offset += take;
+            rest = tail;
+        }
+        if let Some((off, head)) = caller_chunk {
+            body(off, head);
+        }
+    });
+}
+
+/// Maps `f` over `items` with the configured parallelism, preserving order.
+///
+/// Used by the accelerator config sweep to fan simulation points out across
+/// cores. Results arrive in input order regardless of thread interleaving.
+pub fn parallel_map<T, R, F>(config: &ParallelConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    parallel_for_mut(
+        &config.min_work_per_thread(1),
+        &mut out,
+        1,
+        |offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(f(&items[offset + k]));
+            }
+        },
+    );
+    out.into_iter()
+        .map(|r| r.expect("parallel_map fills every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_config_never_splits() {
+        assert_eq!(ParallelConfig::serial().workers_for(1 << 20), 1);
+    }
+
+    #[test]
+    fn worker_count_respects_work_floor() {
+        let cfg = ParallelConfig::with_threads(8).min_work_per_thread(100);
+        assert_eq!(cfg.workers_for(50), 1);
+        assert_eq!(cfg.workers_for(250), 2);
+        assert_eq!(cfg.workers_for(100_000), 8);
+    }
+
+    #[test]
+    fn chunks_cover_every_element_once() {
+        for threads in 1..6 {
+            for len in [1usize, 2, 7, 64, 65] {
+                let cfg = ParallelConfig::with_threads(threads).min_work_per_thread(1);
+                let mut out = vec![0u32; len];
+                parallel_for_mut(&cfg, &mut out, 1, |offset, chunk| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v += (offset + k) as u32 + 1;
+                    }
+                });
+                let expect: Vec<u32> = (0..len as u32).map(|i| i + 1).collect();
+                assert_eq!(out, expect, "threads={threads} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn granules_are_never_split() {
+        let cfg = ParallelConfig::with_threads(3).min_work_per_thread(1);
+        let granule = 4;
+        let mut out = vec![usize::MAX; granule * 7];
+        parallel_for_mut(&cfg, &mut out, granule, |offset, chunk| {
+            assert_eq!(offset % granule, 0, "chunk start off-granule");
+            assert_eq!(chunk.len() % granule, 0, "chunk length off-granule");
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (offset + k) / granule;
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i / granule);
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..57).collect();
+        for threads in [1, 2, 5] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let mapped = parallel_map(&cfg, &items, |&v| v * 3);
+            assert_eq!(mapped, items.iter().map(|v| v * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_slice_is_a_noop() {
+        let mut out: Vec<f32> = Vec::new();
+        parallel_for_mut(&ParallelConfig::auto(), &mut out, 8, |_, _| {
+            panic!("no work")
+        });
+    }
+}

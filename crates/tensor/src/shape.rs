@@ -29,7 +29,9 @@ impl Shape {
         if dims.is_empty() || dims.contains(&0) {
             return Err(TensorError::EmptyShape);
         }
-        Ok(Shape { dims: dims.to_vec() })
+        Ok(Shape {
+            dims: dims.to_vec(),
+        })
     }
 
     /// Creates a 1-dimensional shape.
@@ -101,7 +103,10 @@ impl Shape {
     /// [`TensorError::OutOfBounds`] if any coordinate exceeds its dimension.
     pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
         if index.len() != self.dims.len() {
-            return Err(TensorError::RankMismatch { expected: self.dims.len(), actual: index.len() });
+            return Err(TensorError::RankMismatch {
+                expected: self.dims.len(),
+                actual: index.len(),
+            });
         }
         let mut off = 0usize;
         let mut stride = 1usize;
@@ -109,7 +114,11 @@ impl Shape {
             let idx = index[dim];
             let size = self.dims[dim];
             if idx >= size {
-                return Err(TensorError::OutOfBounds { dim, index: idx, size });
+                return Err(TensorError::OutOfBounds {
+                    dim,
+                    index: idx,
+                    size,
+                });
             }
             off += idx * stride;
             stride *= size;
@@ -175,9 +184,18 @@ mod tests {
     #[test]
     fn offset_rejects_bad_rank_and_bounds() {
         let s = Shape::d2(2, 3);
-        assert!(matches!(s.offset(&[0]), Err(TensorError::RankMismatch { .. })));
-        assert!(matches!(s.offset(&[0, 3]), Err(TensorError::OutOfBounds { dim: 1, .. })));
-        assert!(matches!(s.offset(&[2, 0]), Err(TensorError::OutOfBounds { dim: 0, .. })));
+        assert!(matches!(
+            s.offset(&[0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+        assert!(matches!(
+            s.offset(&[0, 3]),
+            Err(TensorError::OutOfBounds { dim: 1, .. })
+        ));
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::OutOfBounds { dim: 0, .. })
+        ));
     }
 
     #[test]

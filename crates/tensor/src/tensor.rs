@@ -28,13 +28,19 @@ impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: Shape) -> Self {
         let volume = shape.volume();
-        Tensor { shape, data: vec![0.0; volume] }
+        Tensor {
+            shape,
+            data: vec![0.0; volume],
+        }
     }
 
     /// Creates a tensor filled with a constant value.
     pub fn full(shape: Shape, value: f32) -> Self {
         let volume = shape.volume();
-        Tensor { shape, data: vec![value; volume] }
+        Tensor {
+            shape,
+            data: vec![value; volume],
+        }
     }
 
     /// Creates a tensor from existing data.
@@ -45,7 +51,10 @@ impl Tensor {
     /// the shape volume.
     pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self, TensorError> {
         if data.len() != shape.volume() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -53,7 +62,10 @@ impl Tensor {
     /// Creates a 1-D tensor from a slice.
     pub fn from_slice_1d(data: &[f32]) -> Result<Self, TensorError> {
         let shape = Shape::new(&[data.len()])?;
-        Ok(Tensor { shape, data: data.to_vec() })
+        Ok(Tensor {
+            shape,
+            data: data.to_vec(),
+        })
     }
 
     /// Creates a tensor by evaluating `f` at every flat index.
@@ -121,11 +133,19 @@ impl Tensor {
     pub fn reshape(self, shape: Shape) -> Result<Self, TensorError> {
         if shape.volume() != self.data.len() {
             return Err(TensorError::ShapeMismatch {
-                context: format!("cannot reshape {} (volume {}) to {} (volume {})",
-                    self.shape, self.data.len(), shape, shape.volume()),
+                context: format!(
+                    "cannot reshape {} (volume {}) to {} (volume {})",
+                    self.shape,
+                    self.data.len(),
+                    shape,
+                    shape.volume()
+                ),
             });
         }
-        Ok(Tensor { shape, data: self.data })
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
     }
 
     /// The maximum absolute element, or 0.0 for all-zero tensors.
@@ -151,7 +171,11 @@ impl Tensor {
 
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn l2_norm(&self) -> f32 {
-        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Euclidean distance to another tensor of the same shape.
@@ -188,7 +212,11 @@ impl Tensor {
                 context: format!("approx_eq between {} and {}", self.shape, other.shape),
             });
         }
-        Ok(self.data.iter().zip(other.data.iter()).all(|(a, b)| (a - b).abs() <= tol))
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .all(|(a, b)| (a - b).abs() <= tol))
     }
 }
 
@@ -216,7 +244,10 @@ mod tests {
         assert!(Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 4]).is_ok());
         assert!(matches!(
             Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 5]),
-            Err(TensorError::LengthMismatch { expected: 4, actual: 5 })
+            Err(TensorError::LengthMismatch {
+                expected: 4,
+                actual: 5
+            })
         ));
     }
 

@@ -47,7 +47,10 @@ pub fn classification_agreement(reference: &[Tensor], test: &[Tensor]) -> Agreem
         .zip(test.iter())
         .filter(|(r, t)| r.argmax() == t.argmax())
         .count() as u64;
-    AgreementReport { executions: reference.len() as u64, agreements }
+    AgreementReport {
+        executions: reference.len() as u64,
+        agreements,
+    }
 }
 
 /// Tolerance agreement for scalar regression outputs: agree when
@@ -72,7 +75,10 @@ pub fn regression_agreement(
             (tv - rv).abs() <= tol * rv.abs().max(floor)
         })
         .count() as u64;
-    AgreementReport { executions: reference.len() as u64, agreements }
+    AgreementReport {
+        executions: reference.len() as u64,
+        agreements,
+    }
 }
 
 /// Mean relative L2 error between test and reference output vectors:

@@ -81,7 +81,7 @@ impl SpeechStream {
         }
         self.frame_index += 1;
         for (s, &t) in self.state.iter_mut().zip(self.target.iter()) {
-            let innovation: f32 = self.rng.gen_range(-1.0..1.0) * self.noise;
+            let innovation: f32 = self.rng.gen_range(-1.0f32..1.0) * self.noise;
             *s += self.relax * (t - *s) + innovation;
             *s = s.clamp(-1.5, 1.5);
         }
@@ -102,7 +102,10 @@ impl SpeechStream {
 ///
 /// Panics if `window` is zero or larger than the sequence.
 pub fn sliding_windows(frames: &[Vec<f32>], window: usize) -> Vec<Vec<f32>> {
-    assert!(window > 0 && window <= frames.len(), "window must fit the sequence");
+    assert!(
+        window > 0 && window <= frames.len(),
+        "window must fit the sequence"
+    );
     frames
         .windows(window)
         .map(|w| w.iter().flat_map(|f| f.iter().copied()).collect())
@@ -153,7 +156,12 @@ mod tests {
                 .map(|i| fs.iter().map(|f| f[i]).sum::<f32>() / n)
                 .collect();
             fs.iter()
-                .map(|f| f.iter().zip(&mean).map(|(a, m)| (a - m) * (a - m)).sum::<f32>())
+                .map(|f| {
+                    f.iter()
+                        .zip(&mean)
+                        .map(|(a, m)| (a - m) * (a - m))
+                        .sum::<f32>()
+                })
                 .sum::<f32>()
                 / n
         };

@@ -66,14 +66,17 @@ mod tests {
     #[test]
     fn full_scale_matches_table1() {
         let net = network(Scale::Full).unwrap();
-        let dims: Vec<Vec<usize>> =
-            net.layer_input_shapes().iter().map(|s| s.dims().to_vec()).collect();
+        let dims: Vec<Vec<usize>> = net
+            .layer_input_shapes()
+            .iter()
+            .map(|s| s.dims().to_vec())
+            .collect();
         assert_eq!(dims[0], vec![3, 66, 200]); // CONV1 in
         assert_eq!(dims[1], vec![24, 31, 98]); // CONV2 in
         assert_eq!(dims[2], vec![36, 14, 47]); // CONV3 in
         assert_eq!(dims[3], vec![48, 5, 22]); // CONV4 in
         assert_eq!(dims[4], vec![64, 3, 20]); // CONV5 in
-        // FC1 input = 64 x 1 x 18 = 1152, exactly Table I.
+                                              // FC1 input = 64 x 1 x 18 = 1152, exactly Table I.
         let fc1_in = net
             .layers()
             .iter()

@@ -102,8 +102,11 @@ mod tests {
     #[test]
     fn full_scale_matches_table1() {
         let net = network(Scale::Full).unwrap();
-        let dims: Vec<Vec<usize>> =
-            net.layer_input_shapes().iter().map(|s| s.dims().to_vec()).collect();
+        let dims: Vec<Vec<usize>> = net
+            .layer_input_shapes()
+            .iter()
+            .map(|s| s.dims().to_vec())
+            .collect();
         assert_eq!(dims[0], vec![3, 16, 112, 112]); // CONV1 in
         assert_eq!(dims[2], vec![64, 16, 56, 56]); // CONV2 in
         assert_eq!(dims[4], vec![128, 8, 28, 28]); // CONV3 in
@@ -112,7 +115,7 @@ mod tests {
         assert_eq!(dims[8], vec![512, 4, 14, 14]); // CONV6 in
         assert_eq!(dims[10], vec![512, 2, 7, 7]); // CONV7 in
         assert_eq!(dims[11], vec![512, 2, 7, 7]); // CONV8 in
-        // FC1 input = 512 x 1 x 4 x 4 = 8192, exactly Table I.
+                                                  // FC1 input = 512 x 1 x 4 x 4 = 8192, exactly Table I.
         let fc1_in = net
             .layers()
             .iter()
@@ -139,7 +142,11 @@ mod tests {
     #[test]
     fn small_scale_keeps_full_topology() {
         let net = network(Scale::Small).unwrap();
-        let convs = net.layers().iter().filter(|(n, _)| n.starts_with("conv")).count();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|(n, _)| n.starts_with("conv"))
+            .count();
         assert_eq!(convs, 8);
         let input = net.input_shape().clone();
         assert_eq!(input.dims(), &[3, 16, 56, 56]);

@@ -110,9 +110,16 @@ impl Dataset {
                 }
             }
         }
-        let mean = if rds.is_empty() { 0.0 } else { rds.iter().sum::<f32>() / rds.len() as f32 };
+        let mean = if rds.is_empty() {
+            0.0
+        } else {
+            rds.iter().sum::<f32>() / rds.len() as f32
+        };
         let max = rds.iter().copied().fold(0.0f32, f32::max);
-        FrameStats { mean_relative_difference: mean, max_relative_difference: max }
+        FrameStats {
+            mean_relative_difference: mean,
+            max_relative_difference: max,
+        }
     }
 }
 
@@ -193,6 +200,9 @@ mod tests {
         let d = dataset(WorkloadKind::Eesen);
         assert_eq!(d.evaluation()[0].len(), 10);
         let w = Workload::build(WorkloadKind::Eesen, Scale::Tiny);
-        assert_eq!(d.evaluation()[0][0].len(), w.network().input_shape().volume());
+        assert_eq!(
+            d.evaluation()[0][0].len(),
+            w.network().input_shape().volume()
+        );
     }
 }

@@ -48,8 +48,11 @@ mod tests {
     fn full_scale_matches_table1() {
         let net = network(Scale::Full).unwrap();
         assert!(net.is_recurrent());
-        let shapes: Vec<usize> =
-            net.layer_input_shapes().iter().map(|s| s.volume()).collect();
+        let shapes: Vec<usize> = net
+            .layer_input_shapes()
+            .iter()
+            .map(|s| s.volume())
+            .collect();
         assert_eq!(shapes[0], 120); // BiLSTM1 in
         assert_eq!(shapes[1], 640); // BiLSTM2 in
         assert_eq!(shapes[4], 640); // BiLSTM5 in

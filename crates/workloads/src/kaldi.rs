@@ -58,7 +58,9 @@ pub fn network(scale: Scale) -> Result<Network, NnError> {
 
 /// The paper's reuse configuration for Kaldi: 16 clusters, FC1/FC2 excluded.
 pub fn reuse_config() -> ReuseConfig {
-    ReuseConfig::uniform(16).disable_layer("fc1").disable_layer("fc2")
+    ReuseConfig::uniform(16)
+        .disable_layer("fc1")
+        .disable_layer("fc2")
 }
 
 #[cfg(test)]
@@ -68,8 +70,11 @@ mod tests {
     #[test]
     fn full_scale_matches_table1() {
         let net = network(Scale::Full).unwrap();
-        let shapes: Vec<usize> =
-            net.layer_input_shapes().iter().map(|s| s.volume()).collect();
+        let shapes: Vec<usize> = net
+            .layer_input_shapes()
+            .iter()
+            .map(|s| s.volume())
+            .collect();
         // Layers: fc1, fc2, gmax, fc3, gmax, fc4, gmax, fc5, gmax, fc6.
         assert_eq!(shapes[0], 360); // FC1 in
         assert_eq!(shapes[1], 360); // FC2 in

@@ -128,8 +128,16 @@ impl ActionClip {
         let mut rng = StdRng::seed_from_u64(seed);
         // Smooth random background texture (low-frequency).
         let mut background = vec![0.0f32; 3 * side * side];
-        let waves: Vec<(f32, f32, f32, f32)> =
-            (0..6).map(|_| (rng.gen_range(0.02..0.2), rng.gen_range(0.02..0.2), rng.gen_range(0.0..std::f32::consts::TAU), rng.gen_range(0.05..0.25))).collect();
+        let waves: Vec<(f32, f32, f32, f32)> = (0..6)
+            .map(|_| {
+                (
+                    rng.gen_range(0.02..0.2),
+                    rng.gen_range(0.02..0.2),
+                    rng.gen_range(0.0..std::f32::consts::TAU),
+                    rng.gen_range(0.05..0.25),
+                )
+            })
+            .collect();
         for c in 0..3 {
             for y in 0..side {
                 for x in 0..side {
@@ -230,7 +238,11 @@ mod tests {
     use super::*;
 
     fn similarity(a: &[f32], b: &[f32], tol: f32) -> f64 {
-        let same = a.iter().zip(b.iter()).filter(|(x, y)| (**x - **y).abs() <= tol).count();
+        let same = a
+            .iter()
+            .zip(b.iter())
+            .filter(|(x, y)| (**x - **y).abs() <= tol)
+            .count();
         same as f64 / a.len() as f64
     }
 

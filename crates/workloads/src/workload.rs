@@ -22,8 +22,12 @@ pub enum WorkloadKind {
 
 impl WorkloadKind {
     /// All four workloads in the paper's presentation order.
-    pub const ALL: [WorkloadKind; 4] =
-        [WorkloadKind::Kaldi, WorkloadKind::Eesen, WorkloadKind::C3d, WorkloadKind::AutoPilot];
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::Kaldi,
+        WorkloadKind::Eesen,
+        WorkloadKind::C3d,
+        WorkloadKind::AutoPilot,
+    ];
 
     /// Display name matching the paper.
     pub fn name(&self) -> &'static str {
@@ -60,7 +64,11 @@ impl Scale {
     /// Parses the `REUSE_SCALE` environment variable (`full`/`small`/`tiny`,
     /// default `small`).
     pub fn from_env() -> Scale {
-        match std::env::var("REUSE_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("REUSE_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "full" => Scale::Full,
             "tiny" => Scale::Tiny,
             _ => Scale::Small,
@@ -103,7 +111,12 @@ impl Workload {
             WorkloadKind::AutoPilot => (autopilot::network(scale), autopilot::reuse_config()),
         };
         let network = network.expect("shipped workload geometries are valid");
-        Workload { kind, scale, network, reuse_config }
+        Workload {
+            kind,
+            scale,
+            network,
+            reuse_config,
+        }
     }
 
     /// Which DNN this is.
@@ -142,9 +155,9 @@ impl Workload {
     /// clip).
     pub fn executions_per_sequence(&self) -> u64 {
         match self.kind {
-            WorkloadKind::Kaldi => 500,  // ~5 s utterance at 10 ms frames
+            WorkloadKind::Kaldi => 500, // ~5 s utterance at 10 ms frames
             WorkloadKind::Eesen => 500,
-            WorkloadKind::C3d => 20,     // ~11 s clip in 16-frame windows
+            WorkloadKind::C3d => 20,        // ~11 s clip in 16-frame windows
             WorkloadKind::AutoPilot => 900, // ~30 s of driving at 30 fps
         }
     }
@@ -159,8 +172,9 @@ impl Workload {
     pub fn generate_frames(&self, count: usize, seed: u64) -> Vec<Vec<f32>> {
         match self.kind {
             WorkloadKind::Kaldi => {
-                let mut stream =
-                    audio::SpeechStream::new(kaldi::FEATURES, seed).relax(0.08).noise(0.008);
+                let mut stream = audio::SpeechStream::new(kaldi::FEATURES, seed)
+                    .relax(0.08)
+                    .noise(0.008);
                 let frames = stream.frames(count + kaldi::WINDOW - 1);
                 audio::sliding_windows(&frames, kaldi::WINDOW)
             }
@@ -230,7 +244,11 @@ mod tests {
 
     #[test]
     fn frame_generation_matches_input_shape() {
-        for kind in [WorkloadKind::Kaldi, WorkloadKind::C3d, WorkloadKind::AutoPilot] {
+        for kind in [
+            WorkloadKind::Kaldi,
+            WorkloadKind::C3d,
+            WorkloadKind::AutoPilot,
+        ] {
             let w = Workload::build(kind, Scale::Tiny);
             let frames = w.generate_frames(3, 1);
             assert_eq!(frames.len(), 3);

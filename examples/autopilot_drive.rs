@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frames = workload.generate_frames(30, 7);
     let mut engine = reuse::ReuseEngine::from_network(workload.network(), workload.reuse_config());
 
-    println!("{:<7} {:>14} {:>14} {:>16}", "frame", "steer (reuse)", "steer (fp32)", "macs skipped");
+    println!(
+        "{:<7} {:>14} {:>14} {:>16}",
+        "frame", "steer (reuse)", "steer (fp32)", "macs skipped"
+    );
     let mut last_metrics = (0u64, 0u64);
     for (t, frame) in frames.iter().enumerate() {
         let reuse_out = engine.execute(frame)?;
@@ -30,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (dt, dp) = (total - last_metrics.0, performed - last_metrics.1);
         last_metrics = (total, performed);
         if t % 5 == 0 {
-            let skipped = if dt > 0 { 100.0 * (dt - dp) as f64 / dt as f64 } else { 0.0 };
+            let skipped = if dt > 0 {
+                100.0 * (dt - dp) as f64 / dt as f64
+            } else {
+                0.0
+            };
             println!(
                 "{:<7} {:>14.4} {:>14.4} {:>15.1}%",
                 t,

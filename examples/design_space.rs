@@ -23,12 +23,21 @@ fn measure_traces(
 
 fn main() {
     let workload = Workload::build(WorkloadKind::AutoPilot, reuse_dnn::workloads::Scale::Tiny);
-    println!("design space for {} (tiny scale, 30 executions)\n", workload.kind());
+    println!(
+        "design space for {} (tiny scale, 30 executions)\n",
+        workload.kind()
+    );
 
     // 1. Cluster counts change how much reuse the hardware can harvest.
-    println!("{:<10} {:>12} {:>10} {:>14}", "clusters", "comp. reuse", "speedup", "energy saved");
+    println!(
+        "{:<10} {:>12} {:>10} {:>14}",
+        "clusters", "comp. reuse", "speedup", "energy saved"
+    );
     for clusters in [8usize, 16, 32, 64] {
-        let config = workload.reuse_config().clone().with_default_clusters(clusters);
+        let config = workload
+            .reuse_config()
+            .clone()
+            .with_default_clusters(clusters);
         let (traces, reuse_frac) = measure_traces(&workload, &config, 30);
         let sim = Simulator::new(AcceleratorConfig::paper());
         let input = SimInput {
@@ -51,11 +60,26 @@ fn main() {
 
     // 2. Hardware organization: tiles and precision at the paper's clusters.
     let (traces, _) = measure_traces(&workload, workload.reuse_config(), 30);
-    println!("\n{:<22} {:>12} {:>12} {:>10}", "organization", "baseline", "reuse", "speedup");
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>10}",
+        "organization", "baseline", "reuse", "speedup"
+    );
     for (label, config) in [
-        ("1 tile,  fp32", AcceleratorConfig { tiles: 1, ..AcceleratorConfig::paper() }),
+        (
+            "1 tile,  fp32",
+            AcceleratorConfig {
+                tiles: 1,
+                ..AcceleratorConfig::paper()
+            },
+        ),
         ("4 tiles, fp32", AcceleratorConfig::paper()),
-        ("8 tiles, fp32", AcceleratorConfig { tiles: 8, ..AcceleratorConfig::paper() }),
+        (
+            "8 tiles, fp32",
+            AcceleratorConfig {
+                tiles: 8,
+                ..AcceleratorConfig::paper()
+            },
+        ),
         ("4 tiles, 8-bit", AcceleratorConfig::paper_fixed8()),
     ] {
         let sim = Simulator::new(config);

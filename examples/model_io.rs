@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let text = serialize::to_string(net);
     let path = std::env::temp_dir().join("autopilot-tiny.reuse-dnn");
     std::fs::write(&path, &text)?;
-    println!("saved {} ({} KB) to {}", net.name(), text.len() / 1024, path.display());
+    println!(
+        "saved {} ({} KB) to {}",
+        net.name(),
+        text.len() / 1024,
+        path.display()
+    );
 
     // Load and verify bit-exact behaviour.
     let loaded = serialize::from_str(&std::fs::read_to_string(&path)?)?;
@@ -28,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let b = engine_b.execute(frame)?;
         assert_eq!(a.as_slice(), b.as_slice(), "frame {t} diverged");
     }
-    println!("reloaded model reproduces all {} executions bit-for-bit", frames.len());
+    println!(
+        "reloaded model reproduces all {} executions bit-for-bit",
+        frames.len()
+    );
     println!(
         "reuse after reload: {:.1}% of multiply-accumulates avoided",
         engine_b.metrics().overall_computation_reuse() * 100.0

@@ -13,7 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .fully_connected(32, reuse_dnn::nn::Activation::Relu)
         .fully_connected(8, reuse_dnn::nn::Activation::Identity)
         .build()?;
-    println!("network: {} ({} parameters)", network.name(), network.param_count());
+    println!(
+        "network: {} ({} parameters)",
+        network.name(),
+        network.param_count()
+    );
 
     // 2. The reuse engine with 16-cluster linear quantization (paper Eq. 9).
     let config = ReuseConfig::uniform(16).record_trace(true);
@@ -35,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. How much work did the input similarity save?
     let m = engine.metrics();
     println!();
-    println!("input similarity   : {:.1}%", m.overall_input_similarity() * 100.0);
-    println!("computation reuse  : {:.1}%", m.overall_computation_reuse() * 100.0);
+    println!(
+        "input similarity   : {:.1}%",
+        m.overall_input_similarity() * 100.0
+    );
+    println!(
+        "computation reuse  : {:.1}%",
+        m.overall_computation_reuse() * 100.0
+    );
 
     // 5. The same run on the paper's accelerator (Table II): baseline vs reuse.
     let traces = engine.take_traces();

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A 2-second utterance: 200 overlapping 9-frame windows.
     let frames = workload.generate_frames(200, 1);
-    let config = workload.reuse_config().clone().record_relative_difference(true);
+    let config = workload
+        .reuse_config()
+        .clone()
+        .record_relative_difference(true);
     let mut engine = reuse::ReuseEngine::from_network(workload.network(), &config);
 
     let mut reuse_outs = Vec::new();
@@ -37,13 +40,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("mean relative error  : {:.2}%", rel_err * 100.0);
 
     let m = engine.metrics();
-    println!("input similarity     : {:.1}%", m.overall_input_similarity() * 100.0);
-    println!("computation reuse    : {:.1}%", m.overall_computation_reuse() * 100.0);
+    println!(
+        "input similarity     : {:.1}%",
+        m.overall_input_similarity() * 100.0
+    );
+    println!(
+        "computation reuse    : {:.1}%",
+        m.overall_computation_reuse() * 100.0
+    );
 
     // The Fig. 4 view: how different are consecutive inputs of FC5?
     if let Some(rd) = engine.layer_relative_differences("fc5") {
         let mean = rd.iter().sum::<f32>() / rd.len().max(1) as f32;
-        println!("FC5 relative diff    : {:.1}% mean over the utterance", mean * 100.0);
+        println!(
+            "FC5 relative diff    : {:.1}% mean over the utterance",
+            mean * 100.0
+        );
     }
     Ok(())
 }

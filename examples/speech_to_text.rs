@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             last = c;
         }
     }
-    println!("decoded {} frames into {} character tokens", outs.len(), decoded.len());
+    println!(
+        "decoded {} frames into {} character tokens",
+        outs.len(),
+        decoded.len()
+    );
 
     let m = engine.metrics();
     for layer in ["bilstm1", "bilstm2", "bilstm3", "bilstm4", "bilstm5"] {

@@ -14,9 +14,7 @@ const FRAME_BUDGET_S: f64 = 0.010;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = reuse_dnn::workloads::Scale::from_env();
     let workload = Workload::build(WorkloadKind::Kaldi, scale);
-    println!(
-        "Kaldi acoustic scoring at {scale} scale; one DNN execution per 10 ms frame\n"
-    );
+    println!("Kaldi acoustic scoring at {scale} scale; one DNN execution per 10 ms frame\n");
 
     let config = workload.reuse_config().clone().record_trace(true);
     let mut engine = reuse::ReuseEngine::from_network(workload.network(), &config);

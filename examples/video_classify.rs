@@ -29,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let m = engine.metrics();
     println!();
-    println!("input similarity  : {:.1}%", m.overall_input_similarity() * 100.0);
-    println!("computation reuse : {:.1}%", m.overall_computation_reuse() * 100.0);
+    println!(
+        "input similarity  : {:.1}%",
+        m.overall_input_similarity() * 100.0
+    );
+    println!(
+        "computation reuse : {:.1}%",
+        m.overall_computation_reuse() * 100.0
+    );
 
     // Simulate the clip on the Table II accelerator.
     let traces = engine.take_traces();

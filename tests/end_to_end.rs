@@ -21,7 +21,11 @@ fn run_workload(kind: WorkloadKind, executions: usize) -> (ReuseEngine, Vec<Vec<
 fn kaldi_pipeline_reuses_and_stays_accurate() {
     let (engine, frames) = run_workload(WorkloadKind::Kaldi, 20);
     let m = engine.metrics();
-    assert!(m.overall_computation_reuse() > 0.2, "reuse {}", m.overall_computation_reuse());
+    assert!(
+        m.overall_computation_reuse() > 0.2,
+        "reuse {}",
+        m.overall_computation_reuse()
+    );
     // Output fidelity versus the fp32 network on the last frame.
     let w = Workload::build(WorkloadKind::Kaldi, Scale::Tiny);
     let reference = w.network().forward_flat(frames.last().unwrap()).unwrap();
@@ -43,7 +47,11 @@ fn autopilot_pipeline_simulates_faster_with_reuse() {
     };
     let base = sim.simulate_baseline(&input);
     let reuse = sim.simulate_reuse(&input);
-    assert!(reuse.speedup_over(&base) > 1.5, "speedup {}", reuse.speedup_over(&base));
+    assert!(
+        reuse.speedup_over(&base) > 1.5,
+        "speedup {}",
+        reuse.speedup_over(&base)
+    );
     assert!(reuse.energy_j() < base.energy_j());
 }
 
@@ -130,8 +138,7 @@ fn workload_models_round_trip_through_serialization() {
 #[test]
 fn engine_summary_renders_for_real_workload() {
     let w = Workload::build(WorkloadKind::Kaldi, Scale::Tiny);
-    let mut engine =
-        reuse_dnn::reuse::ReuseEngine::from_network(w.network(), w.reuse_config());
+    let mut engine = reuse_dnn::reuse::ReuseEngine::from_network(w.network(), w.reuse_config());
     for frame in w.generate_frames(6, 2) {
         engine.execute(&frame).unwrap();
     }

@@ -1,0 +1,225 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build environment pins an offline registry, so the workspace vendors
+//! just the surface its benches use: `criterion_group!` / `criterion_main!`,
+//! `Criterion::{bench_function, benchmark_group}`, `BenchmarkGroup`
+//! (`sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! `BenchmarkId::new` and `Bencher::iter`.
+//!
+//! Measurement is a plain wall-clock loop: warm up briefly, then run batches
+//! until a target duration elapses and report mean ns/iter on stdout. No
+//! statistics, plots, or baseline comparisons.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup_ms: u64,
+    measure_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Modest windows keep `cargo bench` tractable in constrained CI.
+        Criterion {
+            warmup_ms: 30,
+            measure_ms: 250,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter label, `"name/param"`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup_ms: u64,
+    measure_ms: u64,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, recording mean wall-clock ns per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warmup = Instant::now();
+        loop {
+            black_box(f());
+            if warmup.elapsed().as_millis() as u64 >= self.warmup_ms {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let mut batch = 1u64;
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            let elapsed = start.elapsed();
+            if elapsed.as_millis() as u64 >= self.measure_ms {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+}
+
+fn run_bench(warmup_ms: u64, measure_ms: u64, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        warmup_ms,
+        measure_ms,
+        ns_per_iter: 0.0,
+    };
+    f(&mut b);
+    println!("bench {id:<50} {:>14.1} ns/iter", b.ns_per_iter);
+}
+
+impl Criterion {
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(self.warmup_ms, self.measure_ms, &id.into().id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in has no sampling plan.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_bench(
+            self.criterion.warmup_ms,
+            self.criterion.measure_ms,
+            &id,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<T, I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: impl FnMut(&mut Bencher, &T),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary built from [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            warmup_ms: 1,
+            measure_ms: 5,
+            ns_per_iter: 0.0,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            warmup_ms: 1,
+            measure_ms: 2,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("p", 3), &3usize, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| 2 + 2));
+    }
+}

@@ -1,0 +1,179 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build environment pins an offline registry, so the workspace vendors
+//! just the surface its property tests use: range / tuple / vec / select
+//! strategies, `prop_map`, the `proptest!` macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Unlike upstream proptest there is no shrinking and no persisted failure
+//! seeds: every test draws a deterministic stream derived from its own name,
+//! so a failure reproduces exactly on re-run, and the failing case index is
+//! printed in the panic message.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (rather than panicking directly) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Bind first so float comparisons don't trip
+        // clippy::neg_cmp_op_on_partial_ord at every call site.
+        let __prop_assert_cond: bool = $cond;
+        if !__prop_assert_cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(__left == __right, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (drawing a fresh one) when a precondition the
+/// generator cannot express does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code)]
+            fn $name() {
+                let __config = $config;
+                let __strategy = ( $($strat,)+ );
+                $crate::test_runner::run(stringify!($name), &__config, &__strategy, |__value| {
+                    let ( $($arg,)+ ) = __value;
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_within_bounds() {
+        let mut rng = TestRng::from_name("ranges_generate_within_bounds");
+        for _ in 0..1000 {
+            let v = (1usize..5).generate(&mut rng);
+            assert!((1..5).contains(&v));
+            let w = (-8i32..=8).generate(&mut rng);
+            assert!((-8..=8).contains(&w));
+            let f = (-1.0f32..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_bounds() {
+        let mut rng = TestRng::from_name("vec_strategy_respects_size_bounds");
+        let strat = crate::collection::vec(0.0f32..1.0, 2..100);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..100).contains(&v.len()));
+        }
+        let fixed = crate::collection::vec(0.0f32..1.0, 7);
+        assert_eq!(fixed.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = TestRng::from_name("prop_map_and_tuples_compose");
+        let strat = (0u64..10, (-100i32..=100).prop_map(|v| v as f32 / 10.0));
+        let (a, b) = strat.generate(&mut rng);
+        assert!(a < 10);
+        assert!((-10.0..=10.0).contains(&b));
+    }
+
+    #[test]
+    fn select_draws_from_options() {
+        let mut rng = TestRng::from_name("select_draws_from_options");
+        let strat = crate::sample::select(vec![3, 5, 9]);
+        for _ in 0..50 {
+            assert!([3, 5, 9].contains(&strat.generate(&mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in -1.0f32..1.0, n in 1usize..4, v in crate::collection::vec(0i32..5, 1..=3)) {
+            prop_assume!(n > 0);
+            prop_assert!(x.abs() < 1.0);
+            prop_assert_eq!(v.len().min(3), v.len());
+            if n == 99 {
+                return Ok(());
+            }
+            prop_assert!(n < 4, "n was {}", n);
+        }
+    }
+}

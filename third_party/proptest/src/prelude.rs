@@ -1,0 +1,5 @@
+//! Common imports, mirroring `proptest::prelude`.
+
+pub use crate::strategy::Strategy;
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};

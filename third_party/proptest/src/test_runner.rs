@@ -1,0 +1,116 @@
+//! Deterministic per-test case driver.
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Default configuration with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold; the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic value source for strategies: SplitMix64 keyed by test name,
+/// so a failing case reproduces exactly on the next run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the generator from a test name (FNV-1a of the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drives one property test: draws cases from `strategy` until `config.cases`
+/// of them are accepted, panicking on the first failure. Rejections
+/// (`prop_assume!`) draw a replacement case, with a cap so a never-satisfied
+/// assumption cannot loop forever.
+pub fn run<S, F>(name: &str, config: &ProptestConfig, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        let value = strategy.generate(&mut rng);
+        match body(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(cond)) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.cases.saturating_mul(64).saturating_add(1024),
+                    "proptest '{name}': too many cases rejected by prop_assume!({cond})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at accepted case {accepted}: {msg}")
+            }
+        }
+    }
+}

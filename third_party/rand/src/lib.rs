@@ -1,0 +1,131 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build environment pins an offline registry, so the workspace vendors
+//! just the API surface this repository uses: a seedable deterministic
+//! generator (`rngs::StdRng`) plus `Rng::gen_range` over numeric ranges.
+//!
+//! The stream is **not** the upstream `rand 0.8` StdRng stream; only the
+//! repository's own guarantee (same seed → same stream, forever) holds.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+/// A source of pseudo-random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Typed sampling helpers layered over [`RngCore`] (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction from a 64-bit seed (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that know how to draw one uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample from `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 random bits → unit in [0, 1); affine map into the range.
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let span = self.end as f64 - self.start as f64;
+                let v = (self.start as f64 + unit * span) as $t;
+                // f64→float rounding can land exactly on `end`; fold it back.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )+};
+}
+float_sample_range!(f32, f64);
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "cannot sample empty range");
+                let span = (e as i128 - s as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (s as i128 + v as i128) as $t
+            }
+        }
+    )+};
+}
+int_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(-1.0f32..1.0).to_bits(),
+                b.gen_range(-1.0f32..1.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn float_samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.5f32..0.5);
+            assert!((-0.5..0.5).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn int_samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&v));
+            let u = rng.gen_range(0usize..17);
+            assert!(u < 17);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<f32> = (0..8).map(|_| a.gen_range(0.0f32..1.0)).collect();
+        let vb: Vec<f32> = (0..8).map(|_| b.gen_range(0.0f32..1.0)).collect();
+        assert_ne!(va, vb);
+    }
+}

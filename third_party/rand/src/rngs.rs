@@ -1,0 +1,35 @@
+//! Named generator types (subset of `rand::rngs`).
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic 64-bit generator: xorshift64* seeded through SplitMix64.
+///
+/// Not the upstream StdRng stream — see the crate docs.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 scramble so nearby seeds diverge immediately; force the
+        // state non-zero because xorshift has a zero fixed point.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StdRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
