@@ -5,6 +5,7 @@
 //! frequencies). [`ConfigSweep`] names each point and runs baseline + reuse
 //! in one call, returning a grid the caller can print or post-process.
 
+use reuse_core::ExecutionTrace;
 use reuse_tensor::{parallel_map, ParallelConfig};
 
 use crate::{AcceleratorConfig, Precision, SimInput, SimReport, Simulator};
@@ -27,6 +28,23 @@ pub struct SweepResult {
     pub baseline: SimReport,
     /// Reuse simulation.
     pub reuse: SimReport,
+    /// Fraction of MACs the workload's traces avoided (`1 − performed /
+    /// total`). A property of the input, identical at every point of one
+    /// sweep; recorded on each result so reports carry the reuse-rate
+    /// provenance alongside the hardware numbers.
+    pub reuse_rate: f64,
+}
+
+/// MAC-level reuse rate of a set of execution traces.
+fn trace_reuse_rate(traces: &[ExecutionTrace]) -> f64 {
+    let (total, performed) = traces.iter().fold((0u64, 0u64), |(t, p), tr| {
+        (t + tr.macs_total(), p + tr.macs_performed())
+    });
+    if total == 0 {
+        0.0
+    } else {
+        1.0 - performed as f64 / total as f64
+    }
 }
 
 impl SweepResult {
@@ -120,12 +138,14 @@ impl ConfigSweep {
     /// identical to [`ConfigSweep::run`] (in input order) for any thread
     /// count.
     pub fn run_parallel(&self, config: &ParallelConfig, input: &SimInput<'_>) -> Vec<SweepResult> {
+        let reuse_rate = trace_reuse_rate(input.traces);
         parallel_map(config, &self.points, |p| {
             let sim = Simulator::new(p.config.clone());
             SweepResult {
                 label: p.label.clone(),
                 baseline: sim.simulate_baseline(input),
                 reuse: sim.simulate_reuse(input),
+                reuse_rate,
             }
         })
     }
@@ -185,6 +205,8 @@ mod tests {
         for r in &results {
             assert!(r.speedup() > 1.0, "{}: {}", r.label, r.speedup());
             assert!(r.energy_savings() > 0.0);
+            // 200k of 800k MACs performed on every trace -> 75% reuse.
+            assert!((r.reuse_rate - 0.75).abs() < 1e-12, "{}", r.reuse_rate);
         }
         // More tiles: faster baseline.
         assert!(results[2].baseline.seconds < results[0].baseline.seconds);

@@ -57,33 +57,30 @@ pub fn cluster_sweep(kind: WorkloadKind, scale: Scale) -> String {
 /// Tile-count sweep: reuse speedup with 1/2/4/8 tiles.
 pub fn tile_sweep(kind: WorkloadKind, scale: Scale) -> String {
     let m = crate::cache::cached_measurement(kind, scale, executions_from_env(kind, scale), SEED);
+    let results = reuse_accel::sweep::ConfigSweep::new()
+        .tiles(&[1, 2, 4, 8])
+        .run(&m.sim_input());
     let mut out = String::new();
     out.push_str(&format!(
         "ABLATION — tile count, {} (scale: {scale})\n\
          more tiles shorten both baseline and reuse runs; the *speedup* of the\n\
-         reuse scheme is organization-independent until memory binds\n\n",
-        kind.name()
+         reuse scheme is organization-independent until memory binds\n\
+         workload reuse rate (MACs avoided in the measured traces): {}\n\n",
+        kind.name(),
+        pct(results.first().map_or(0.0, |r| r.reuse_rate)),
     ));
     out.push_str(&format!(
-        "{:>6} {:>7} {:>14} {:>14} {:>9}\n",
-        "tiles", "lanes", "baseline", "reuse", "speedup"
+        "{:>8} {:>7} {:>14} {:>14} {:>9}\n",
+        "point", "lanes", "baseline", "reuse", "speedup"
     ));
-    for tiles in [1usize, 2, 4, 8] {
-        let config = AcceleratorConfig {
-            tiles,
-            ..AcceleratorConfig::paper()
-        };
-        let sim = Simulator::new(config);
-        let input = m.sim_input();
-        let base = sim.simulate_baseline(&input);
-        let reuse = sim.simulate_reuse(&input);
+    for (r, tiles) in results.iter().zip([1usize, 2, 4, 8]) {
         out.push_str(&format!(
-            "{:>6} {:>7} {:>14} {:>14} {:>8.2}x\n",
-            tiles,
+            "{:>8} {:>7} {:>14} {:>14} {:>8.2}x\n",
+            r.label,
             tiles * 32,
-            crate::table::human_seconds(base.seconds),
-            crate::table::human_seconds(reuse.seconds),
-            reuse.speedup_over(&base),
+            crate::table::human_seconds(r.baseline.seconds),
+            crate::table::human_seconds(r.reuse.seconds),
+            r.speedup(),
         ));
     }
     out

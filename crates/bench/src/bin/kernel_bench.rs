@@ -12,16 +12,27 @@
 //! numbers: on a single-core host the parallel rows legitimately show no
 //! gain.
 //!
+//! An engine-level pair is also measured: the same steady-state frames with
+//! telemetry off and on, reporting the overhead of the recording path and
+//! the per-layer hit rates read back from the telemetry snapshot. Running
+//! `kernel_bench --telemetry-smoke` measures only that pair and exits
+//! nonzero when the overhead exceeds `REUSE_TELEMETRY_OVERHEAD_PCT`
+//! (default 5%) — the CI guard for the zero-cost-when-idle telemetry claim.
+//!
 //! Usage: `cargo run --release -p reuse-bench --bin kernel_bench [out.json]`
 
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use reuse_core::conv::{Conv2dReuseState, Conv3dReuseState};
 use reuse_core::fc::FcReuseState;
 use reuse_core::lstm::LstmReuseState;
-use reuse_nn::{init::Rng64, Activation, Conv2dLayer, Conv3dLayer, FullyConnected, LstmCell};
+use reuse_core::{ReuseConfig, ReuseEngine};
+use reuse_nn::{
+    init::Rng64, Activation, Conv2dLayer, Conv3dLayer, FullyConnected, LstmCell, NetworkBuilder,
+};
 use reuse_quant::{InputRange, LinearQuantizer};
 use reuse_tensor::conv::{Conv2dSpec, Conv3dSpec};
 use reuse_tensor::{ParallelConfig, Shape, Tensor};
@@ -89,10 +100,119 @@ fn bench_pair(name: &str, parallel: &ParallelConfig, mut f: impl FnMut(&Parallel
     row
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+/// Steady-state engine timings with telemetry off vs on, plus the per-layer
+/// hit-rate provenance read back from the telemetry engine's snapshot.
+struct EngineBench {
+    base_ns: f64,
+    telemetry_ns: f64,
+    layers: Vec<(String, f64)>,
+}
+
+impl EngineBench {
+    fn overhead_pct(&self) -> f64 {
+        (self.telemetry_ns - self.base_ns) / self.base_ns * 100.0
+    }
+}
+
+/// A deterministic random walk of input frames: enough per-frame change that
+/// the incremental path does real correction work every execution.
+fn walk_frames(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Rng64::new(seed);
+    let mut frame: Vec<f32> = (0..dim).map(|_| rng.uniform(0.8)).collect();
+    (0..n)
+        .map(|_| {
+            for v in frame.iter_mut() {
+                *v = (*v + rng.uniform(0.05)).clamp(-1.0, 1.0);
+            }
+            frame.clone()
+        })
+        .collect()
+}
+
+/// Times steady-state `execute_into` frames on an already-built engine.
+/// Measured twice, keeping the minimum, to damp scheduler noise — the
+/// telemetry-overhead smoke check compares two of these numbers.
+fn time_engine(engine: &mut ReuseEngine, frames: &[Vec<f32>]) -> f64 {
+    let mut out = Vec::new();
+    for frame in frames.iter().take(3) {
+        engine.execute_into(frame, &mut out).unwrap();
+    }
+    let mut pass = || {
+        let mut i = 0usize;
+        time_ns(|| {
+            engine
+                .execute_into(black_box(&frames[i % frames.len()]), &mut out)
+                .unwrap();
+            i += 1;
+            black_box(&out);
+        })
+    };
+    let first = pass();
+    pass().min(first)
+}
+
+/// Runs the telemetry-off/on engine pair on identical frame streams.
+fn bench_engine_pair() -> EngineBench {
+    let net = NetworkBuilder::new("telemetry-overhead", 256)
+        .fully_connected(512, Activation::Relu)
+        .fully_connected(512, Activation::Relu)
+        .fully_connected(128, Activation::Identity)
+        .build()
+        .unwrap();
+    let frames = walk_frames(16, 256, 21);
+
+    let mut base = ReuseEngine::from_network(&net, &ReuseConfig::uniform(16));
+    let base_ns = time_engine(&mut base, &frames);
+
+    let config = ReuseConfig::uniform(16).telemetry(true);
+    let mut tel = ReuseEngine::from_network(&net, &config);
+    let telemetry_ns = time_engine(&mut tel, &frames);
+
+    let snap = tel.telemetry_snapshot().expect("telemetry enabled");
+    let layers = snap
+        .layers
+        .iter()
+        .map(|l| (l.name.clone(), l.hit_rate))
+        .collect();
+    let bench = EngineBench {
+        base_ns,
+        telemetry_ns,
+        layers,
+    };
+    eprintln!(
+        "{:<40} base   {:>12.0} ns/frame   telemetry {:>12.0} ns/frame   overhead {:+.2}%",
+        "engine_mlp_256/steady_frame",
+        bench.base_ns,
+        bench.telemetry_ns,
+        bench.overhead_pct()
+    );
+    for (name, rate) in &bench.layers {
+        eprintln!("  {name:<12} hit rate {:.3}", rate);
+    }
+    bench
+}
+
+fn smoke_threshold_pct() -> f64 {
+    std::env::var("REUSE_TELEMETRY_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0)
+}
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--telemetry-smoke") {
+        let bench = bench_engine_pair();
+        let threshold = smoke_threshold_pct();
+        let overhead = bench.overhead_pct();
+        if overhead > threshold {
+            eprintln!("telemetry overhead {overhead:.2}% exceeds the {threshold:.2}% budget");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("telemetry overhead {overhead:.2}% within the {threshold:.2}% budget");
+        return ExitCode::SUCCESS;
+    }
+    let out_path = arg.unwrap_or_else(|| "BENCH_kernels.json".to_string());
     let threads: usize = std::env::var("REUSE_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -243,11 +363,34 @@ fn main() {
         ));
     }
 
+    let engine = bench_engine_pair();
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"kernel_bench\",");
     let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
     let _ = writeln!(json, "  \"parallel_threads\": {threads},");
+    let _ = writeln!(json, "  \"engine\": {{");
+    let _ = writeln!(json, "    \"base_ns_per_frame\": {:.0},", engine.base_ns);
+    let _ = writeln!(
+        json,
+        "    \"telemetry_ns_per_frame\": {:.0},",
+        engine.telemetry_ns
+    );
+    let _ = writeln!(
+        json,
+        "    \"telemetry_overhead_pct\": {:.3},",
+        engine.overhead_pct()
+    );
+    json.push_str("    \"layers\": [\n");
+    for (k, (name, rate)) in engine.layers.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"name\": \"{name}\", \"hit_rate\": {rate:.6}}}{}",
+            if k + 1 < engine.layers.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n");
     if hardware_threads < threads {
         let _ = writeln!(
             json,
@@ -274,4 +417,5 @@ fn main() {
         "wrote {out_path} ({} kernels, {threads} threads, {hardware_threads} hw)",
         rows.len()
     );
+    ExitCode::SUCCESS
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! reuse_cli inspect <kaldi|eesen|c3d|autopilot>     layer table + model stats
 //! reuse_cli run <workload> [executions]             run the reuse engine, print summary
+//! reuse_cli run <workload> [executions] --telemetry print the TelemetrySnapshot as JSON
 //! reuse_cli simulate <workload> [executions]        accelerator baseline vs reuse
 //! reuse_cli export <workload> <path>                serialize the model to a file
 //! reuse_cli experiments                             list the table/figure binaries
@@ -36,6 +37,7 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 inspect  <workload>               layer table and model statistics\n\
          \x20 run      <workload> [executions]  run the reuse engine, print the reuse summary\n\
+         \x20          [--telemetry]            ... and print the TelemetrySnapshot as JSON\n\
          \x20 simulate <workload> [executions]  simulate baseline vs reuse accelerators\n\
          \x20 export   <workload> <path>        serialize the model to a file\n\
          \x20 experiments                       list the paper-artifact binaries\n\n\
@@ -45,7 +47,9 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    args.retain(|a| a != "--telemetry");
     let scale = Scale::from_env();
     match args.first().map(String::as_str) {
         Some("inspect") => {
@@ -75,7 +79,8 @@ fn main() -> ExitCode {
                 .and_then(|a| a.parse().ok())
                 .unwrap_or_else(|| executions_from_env(kind, scale));
             let w = Workload::build(kind, scale);
-            let mut engine = ReuseEngine::from_network(w.network(), w.reuse_config());
+            let config = w.reuse_config().clone().telemetry(telemetry);
+            let mut engine = ReuseEngine::from_network(w.network(), &config);
             if w.is_recurrent() {
                 let seq_len = 40.min(executions.max(2));
                 for seq in w.generate_sequences(executions.div_ceil(seq_len) + 1, seq_len, 42) {
@@ -92,7 +97,15 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            print!("{}", summary::render(&engine));
+            if telemetry {
+                // Machine-readable: the snapshot JSON is the whole output.
+                let snap = engine
+                    .telemetry_snapshot()
+                    .expect("telemetry was enabled above");
+                println!("{}", snap.to_json());
+            } else {
+                print!("{}", summary::render(&engine));
+            }
             ExitCode::SUCCESS
         }
         Some("simulate") => {

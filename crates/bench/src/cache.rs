@@ -18,7 +18,7 @@ use reuse_workloads::{Scale, WorkloadKind};
 use crate::measure::{measure_workload, LayerSummary, Measurement};
 
 /// Cache format version; bump when the line protocol changes.
-const VERSION: u32 = 5;
+const VERSION: u32 = 6;
 
 /// Directory holding the cache files.
 pub fn cache_dir() -> PathBuf {
@@ -138,8 +138,14 @@ pub fn serialize(m: &Measurement) -> String {
     s.push_str(&format!("relerr {}\n", m.mean_relative_error));
     for l in &m.layers {
         s.push_str(&format!(
-            "layer {} {} {} {} {} {}\n",
-            l.name, l.inputs, l.outputs, l.enabled as u8, l.input_similarity, l.computation_reuse
+            "layer {} {} {} {} {} {} {}\n",
+            l.name,
+            l.inputs,
+            l.outputs,
+            l.enabled as u8,
+            l.input_similarity,
+            l.computation_reuse,
+            l.hit_rate
         ));
     }
     for t in &m.traces {
@@ -201,7 +207,7 @@ pub fn deserialize(text: &str) -> Option<Measurement> {
             Some("relerr") if f.len() == 2 => {
                 m.mean_relative_error = f[1].parse().ok()?;
             }
-            Some("layer") if f.len() == 7 => {
+            Some("layer") if f.len() == 8 => {
                 m.layers.push(LayerSummary {
                     name: f[1].to_string(),
                     inputs: f[2].parse().ok()?,
@@ -209,6 +215,7 @@ pub fn deserialize(text: &str) -> Option<Measurement> {
                     enabled: f[4] == "1",
                     input_similarity: f[5].parse().ok()?,
                     computation_reuse: f[6].parse().ok()?,
+                    hit_rate: f[7].parse().ok()?,
                 });
             }
             Some("exec") => m.traces.push(ExecutionTrace::default()),
@@ -246,6 +253,7 @@ mod tests {
         assert_eq!(back.executions, m.executions);
         assert_eq!(back.overall_similarity, m.overall_similarity);
         assert_eq!(back.layers.len(), m.layers.len());
+        assert_eq!(back.layers, m.layers);
         assert_eq!(back.traces.len(), m.traces.len());
         assert_eq!(back.traces[2], m.traces[2]);
         assert_eq!(back.agreement, m.agreement);

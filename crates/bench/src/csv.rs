@@ -68,13 +68,14 @@ pub fn layer_rows(m: &Measurement) -> Vec<Vec<String>> {
                 l.enabled.to_string(),
                 format!("{:.6}", l.input_similarity),
                 format!("{:.6}", l.computation_reuse),
+                format!("{:.6}", l.hit_rate),
             ]
         })
         .collect()
 }
 
 /// Header matching [`layer_rows`].
-pub const LAYER_HEADER: [&str; 7] = [
+pub const LAYER_HEADER: [&str; 8] = [
     "dnn",
     "layer",
     "inputs",
@@ -82,6 +83,7 @@ pub const LAYER_HEADER: [&str; 7] = [
     "enabled",
     "input_similarity",
     "computation_reuse",
+    "hit_rate",
 ];
 
 /// If `REUSE_CSV_DIR` is set, writes the per-layer data of the given

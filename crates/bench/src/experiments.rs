@@ -61,18 +61,18 @@ pub fn table1(scale: Scale) -> String {
             pct2(m.mean_relative_error),
         ));
         out.push_str(&format!(
-            "  {:<10} {:>10} {:>10} {:>9} {:>12}\n",
-            "layer", "in dim", "out dim", "enabled", "comp. reuse"
+            "  {:<10} {:>10} {:>10} {:>9} {:>12} {:>10}\n",
+            "layer", "in dim", "out dim", "enabled", "comp. reuse", "hit rate"
         ));
         for l in &m.layers {
-            let reuse = if l.enabled {
-                pct(l.computation_reuse)
+            let (reuse, hit) = if l.enabled {
+                (pct(l.computation_reuse), pct(l.hit_rate))
             } else {
-                "-".to_string()
+                ("-".to_string(), "-".to_string())
             };
             out.push_str(&format!(
-                "  {:<10} {:>10} {:>10} {:>9} {:>12}\n",
-                l.name, l.inputs, l.outputs, l.enabled, reuse
+                "  {:<10} {:>10} {:>10} {:>9} {:>12} {:>10}\n",
+                l.name, l.inputs, l.outputs, l.enabled, reuse, hit
             ));
         }
         out.push('\n');

@@ -22,6 +22,10 @@ pub struct LayerSummary {
     pub input_similarity: f64,
     /// Computation reuse in `[0, 1]` (0 when disabled).
     pub computation_reuse: f64,
+    /// Quantized-input hit rate from runtime telemetry (0 when disabled).
+    /// Agrees with `input_similarity` by construction; kept as a separate
+    /// column so exported tables carry the telemetry provenance.
+    pub hit_rate: f64,
 }
 
 /// Everything measured from one workload run.
@@ -119,6 +123,7 @@ pub fn measure_with_config(
     let config = config_override
         .unwrap_or_else(|| workload.reuse_config().clone())
         .record_trace(true)
+        .telemetry(true)
         .parallel(parallel_from_env());
     let mut engine = ReuseEngine::from_network(workload.network(), &config);
 
@@ -178,6 +183,9 @@ pub fn measure_with_config(
     };
 
     let metrics = engine.metrics().clone();
+    let telemetry = engine
+        .telemetry_snapshot()
+        .expect("measure_with_config always enables telemetry");
     let layers = workload
         .network()
         .layers()
@@ -201,6 +209,15 @@ pub fn measure_with_config(
                 },
                 computation_reuse: if enabled {
                     m.map_or(0.0, |m| m.computation_reuse())
+                } else {
+                    0.0
+                },
+                hit_rate: if enabled {
+                    telemetry
+                        .layers
+                        .iter()
+                        .find(|t| &t.name == name)
+                        .map_or(0.0, |t| t.hit_rate)
                 } else {
                     0.0
                 },
@@ -265,6 +282,17 @@ mod tests {
             assert!(!m.traces.is_empty());
             assert!(m.overall_similarity >= 0.0 && m.overall_similarity <= 1.0);
             assert!(m.overall_reuse >= 0.0 && m.overall_reuse <= 1.0);
+            for l in &m.layers {
+                // Telemetry hit rate is the same quantity as the offline
+                // input similarity, measured on the runtime path.
+                assert!(
+                    (l.hit_rate - l.input_similarity).abs() < f64::EPSILON,
+                    "{kind}/{}: hit_rate {} vs similarity {}",
+                    l.name,
+                    l.hit_rate,
+                    l.input_similarity
+                );
+            }
             if matches!(kind, WorkloadKind::AutoPilot) {
                 // The tiny untrained regressor's output range is noise-
                 // dominated; the relative-error fidelity metric is the

@@ -47,7 +47,13 @@ impl LinearQuantizer {
         let range = range.validated()?;
         let step = range.width() / clusters as f32;
         let code_min = (range.min() / step).round() as i32;
-        let code_max = (range.max() / step).round() as i32;
+        // Derive the top code from the bottom one rather than rounding
+        // `max / step` independently: when `step` subdivides the range
+        // unevenly the two roundings can disagree by one, leaving a code
+        // that `quantize` could only reach through the clamp (or not at
+        // all). Pinning `code_max = code_min + clusters` keeps the code
+        // span exactly `clusters` wide for every range.
+        let code_max = code_min + clusters as i32;
         Ok(LinearQuantizer {
             range,
             clusters,
@@ -73,9 +79,32 @@ impl LinearQuantizer {
     }
 
     /// Quantizes a value to its integer code: `round(clamp(x) / step)`.
+    ///
+    /// The range edges map to the edge codes exactly:
+    /// `quantize(range.min()) == code_min` and
+    /// `quantize(range.max()) == code_max`, regardless of how `step`
+    /// subdivides the range. NaN inputs map to the bottom code.
     pub fn quantize(&self, x: f32) -> QuantCode {
-        let clamped = self.range.clamp(x);
-        QuantCode(((clamped / self.step).round() as i32).clamp(self.code_min, self.code_max))
+        // Edge pinning before the round: `round(max / step)` can land on
+        // `code_max + 1` when the division rounds up, which the old
+        // clamp-after-round masked inconsistently.
+        if x >= self.range.max() {
+            return QuantCode(self.code_max);
+        }
+        if x.is_nan() || x <= self.range.min() {
+            return QuantCode(self.code_min);
+        }
+        QuantCode(((x / self.step).round() as i32).clamp(self.code_min, self.code_max))
+    }
+
+    /// The smallest code this quantizer produces (`quantize(range.min())`).
+    pub fn code_min(&self) -> i32 {
+        self.code_min
+    }
+
+    /// The largest code this quantizer produces (`quantize(range.max())`).
+    pub fn code_max(&self) -> i32 {
+        self.code_max
     }
 
     /// The centroid (representable value) of a code: `code · step`.
@@ -210,5 +239,44 @@ mod tests {
     #[test]
     fn table_bytes() {
         assert_eq!(q16().centroid_table_bytes(), 64);
+    }
+
+    #[test]
+    fn range_edges_map_to_edge_codes_exactly() {
+        // Ranges whose step does not subdivide them evenly in f32: the old
+        // independent rounding of `max / step` could disagree with
+        // `code_min + clusters` by one here.
+        let cases = [
+            (-1.0f32, 1.0f32, 16usize),
+            (0.0, 6.0, 12),
+            (0.05, 1.0, 10),
+            (-0.3, 0.7, 3),
+            (1e-3, 7e-3, 5),
+            (-123.4, 567.8, 31),
+        ];
+        for (lo, hi, clusters) in cases {
+            let q = LinearQuantizer::new(InputRange::new(lo, hi), clusters).unwrap();
+            assert_eq!(
+                q.quantize(lo),
+                QuantCode(q.code_min()),
+                "min of [{lo},{hi}]"
+            );
+            assert_eq!(
+                q.quantize(hi),
+                QuantCode(q.code_max()),
+                "max of [{lo},{hi}]"
+            );
+            assert_eq!(
+                q.code_max() - q.code_min(),
+                clusters as i32,
+                "code span of [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_maps_to_bottom_code() {
+        let q = q16();
+        assert_eq!(q.quantize(f32::NAN), QuantCode(q.code_min()));
     }
 }

@@ -20,6 +20,32 @@ proptest! {
     }
 
     #[test]
+    fn range_boundaries_quantize_to_edge_codes(
+        lo in -100.0f32..100.0,
+        width in 1e-3f32..200.0,
+        clusters in 2usize..64,
+    ) {
+        // Regression for the boundary bug: `round(max / step)` could land
+        // one past the derived top code when `step` subdivided the range
+        // unevenly. The edges must map to the edge codes exactly, for every
+        // range, and the code span must be exactly `clusters` wide.
+        let range = InputRange::new(lo, lo + width);
+        let q = LinearQuantizer::new(range, clusters).unwrap();
+        prop_assert_eq!(q.quantize(range.min()).0, q.code_min());
+        prop_assert_eq!(q.quantize(range.max()).0, q.code_max());
+        prop_assert_eq!(q.code_max() - q.code_min(), clusters as i32);
+        // Out-of-range values clamp onto the same edge codes.
+        prop_assert_eq!(q.quantize(range.min() - 1.0).0, q.code_min());
+        prop_assert_eq!(q.quantize(range.max() + 1.0).0, q.code_max());
+        // Interior values never escape the code span.
+        for i in 0..=16 {
+            let x = range.min() + range.width() * (i as f32 / 16.0);
+            let c = q.quantize(x).0;
+            prop_assert!(c >= q.code_min() && c <= q.code_max(), "code {c} for x={x}");
+        }
+    }
+
+    #[test]
     fn codes_are_monotone(a in -1.0f32..1.0, b in -1.0f32..1.0) {
         let q = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
         if a <= b {

@@ -28,6 +28,11 @@ pub struct ReuseConfig {
     calibration_executions: usize,
     record_relative_difference: bool,
     record_trace: bool,
+    telemetry: bool,
+    telemetry_window: usize,
+    drift_check_every: u64,
+    drift_bound: f32,
+    drift_escalate_after: u64,
     parallel: ParallelConfig,
 }
 
@@ -41,6 +46,11 @@ impl ReuseConfig {
             calibration_executions: 1,
             record_relative_difference: false,
             record_trace: false,
+            telemetry: false,
+            telemetry_window: 64,
+            drift_check_every: 0,
+            drift_bound: 1e-3,
+            drift_escalate_after: 0,
             parallel: ParallelConfig::serial(),
         }
     }
@@ -105,6 +115,42 @@ impl ReuseConfig {
         self
     }
 
+    /// Enables per-layer runtime telemetry (ring-buffer counters and timing
+    /// spans; see [`crate::telemetry`]). Off by default; recording is
+    /// allocation-free on the steady-state hot path when on.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Sets the telemetry ring-buffer capacity in executions (default 64,
+    /// minimum 1).
+    pub fn telemetry_window(mut self, window: usize) -> Self {
+        self.telemetry_window = window.max(1);
+        self
+    }
+
+    /// Arms the runtime drift watchdog: every `check_every` reuse frames the
+    /// engine recomputes the output with [`crate::ReuseEngine::reference_forward`]
+    /// and, if the max-abs deviation exceeds `bound`, re-baselines every
+    /// reuse layer's buffered state from full-precision values.
+    /// `check_every == 0` (the default) disables the watchdog.
+    pub fn drift_watchdog(mut self, check_every: u64, bound: f32) -> Self {
+        self.drift_check_every = check_every;
+        self.drift_bound = bound;
+        self
+    }
+
+    /// Escalation path: a layer whose own buffered outputs deviate beyond
+    /// the drift bound this many times is auto-disabled (falls back to
+    /// full-precision execution, joining
+    /// [`crate::ReuseEngine::auto_disabled_layers`]). `0` (the default)
+    /// means re-baseline forever without disabling.
+    pub fn drift_escalate_after(mut self, strikes: u64) -> Self {
+        self.drift_escalate_after = strikes;
+        self
+    }
+
     /// The effective setting for a layer.
     pub fn setting_for(&self, name: &str) -> LayerSetting {
         self.overrides.get(name).copied().unwrap_or(LayerSetting {
@@ -136,6 +182,31 @@ impl ReuseConfig {
     /// Whether execution traces are recorded.
     pub fn records_trace(&self) -> bool {
         self.record_trace
+    }
+
+    /// Whether runtime telemetry is recorded.
+    pub fn records_telemetry(&self) -> bool {
+        self.telemetry
+    }
+
+    /// Telemetry ring-buffer capacity in executions.
+    pub fn window(&self) -> usize {
+        self.telemetry_window
+    }
+
+    /// Watchdog check cadence in reuse frames (`0` = disabled).
+    pub fn drift_check_every(&self) -> u64 {
+        self.drift_check_every
+    }
+
+    /// Max-abs output deviation tolerated before a re-baseline.
+    pub fn drift_bound(&self) -> f32 {
+        self.drift_bound
+    }
+
+    /// Per-layer strike count that escalates to auto-disable (`0` = never).
+    pub fn escalate_after(&self) -> u64 {
+        self.drift_escalate_after
     }
 
     /// Sets the parallel-execution budget the engine threads through every
@@ -208,6 +279,25 @@ mod tests {
         assert!(c.records_relative_difference());
         assert!(c.records_trace());
         assert_eq!(c.margin(), 0.5);
+    }
+
+    #[test]
+    fn telemetry_and_watchdog_knobs() {
+        let c = ReuseConfig::uniform(16);
+        assert!(!c.records_telemetry());
+        assert_eq!(c.window(), 64);
+        assert_eq!(c.drift_check_every(), 0);
+        assert_eq!(c.escalate_after(), 0);
+        let c = c
+            .telemetry(true)
+            .telemetry_window(0)
+            .drift_watchdog(8, 0.5)
+            .drift_escalate_after(3);
+        assert!(c.records_telemetry());
+        assert_eq!(c.window(), 1, "window has a minimum of 1");
+        assert_eq!(c.drift_check_every(), 8);
+        assert!((c.drift_bound() - 0.5).abs() < 1e-9);
+        assert_eq!(c.escalate_after(), 3);
     }
 
     #[test]

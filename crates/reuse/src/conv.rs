@@ -127,6 +127,24 @@ impl Conv2dReuseState {
         (self.in_shape.volume() + 4 * self.out_shape.volume()) as u64
     }
 
+    /// The buffered linear (pre-activation) outputs of the last execution
+    /// (empty before initialization). Read by the drift watchdog.
+    pub fn buffered_linear(&self) -> &[f32] {
+        &self.prev_linear
+    }
+
+    /// Replaces the buffered state with externally computed values (codes
+    /// from quantizing `input`, linear outputs from `linear`); used by the
+    /// drift watchdog to re-baseline onto full-precision values.
+    pub fn adopt_baseline(&mut self, quantizer: &LinearQuantizer, input: &[f32], linear: &[f32]) {
+        self.prev_codes.clear();
+        self.prev_codes
+            .extend(input.iter().map(|&x| quantizer.quantize(x)));
+        self.prev_linear.clear();
+        self.prev_linear.extend_from_slice(linear);
+        self.initialized = true;
+    }
+
     /// Executes the layer, reusing buffered results where quantized inputs
     /// are unchanged. Returns the linear (pre-activation) output.
     ///
@@ -367,6 +385,23 @@ impl Conv3dReuseState {
     /// Extra storage bytes (indices + buffered outputs), as in Table III.
     pub fn storage_bytes(&self) -> u64 {
         (self.in_shape.volume() + 4 * self.out_shape.volume()) as u64
+    }
+
+    /// The buffered linear (pre-activation) outputs of the last execution
+    /// (empty before initialization). Read by the drift watchdog.
+    pub fn buffered_linear(&self) -> &[f32] {
+        &self.prev_linear
+    }
+
+    /// Replaces the buffered state with externally computed values; see
+    /// [`Conv2dReuseState::adopt_baseline`].
+    pub fn adopt_baseline(&mut self, quantizer: &LinearQuantizer, input: &[f32], linear: &[f32]) {
+        self.prev_codes.clear();
+        self.prev_codes
+            .extend(input.iter().map(|&x| quantizer.quantize(x)));
+        self.prev_linear.clear();
+        self.prev_linear.extend_from_slice(linear);
+        self.initialized = true;
     }
 
     /// Executes the layer, reusing buffered results where quantized inputs

@@ -32,6 +32,20 @@ impl DriftReport {
     }
 }
 
+/// Maximum absolute element-wise difference between two equal-length
+/// slices — the drift measure shared by [`measure_fc_drift`] and the
+/// engine's runtime watchdog.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
 /// Runs an FC layer incrementally over `inputs`, comparing the buffered
 /// outputs against from-scratch recomputation on the same quantized inputs
 /// every `checkpoint_every` executions.
@@ -55,10 +69,7 @@ pub fn measure_fc_drift(
             let centroids = quantizer.quantized_values(input);
             let t_in = Tensor::from_slice_1d(&centroids)?;
             let scratch = layer.forward_linear(&t_in)?;
-            let mut err = 0.0f32;
-            for (a, b) in incremental.as_slice().iter().zip(scratch.as_slice().iter()) {
-                err = err.max((a - b).abs());
-            }
+            let err = max_abs_diff(incremental.as_slice(), scratch.as_slice());
             max_abs_error.push(err);
             last_error = err as f64;
             last_mag = scratch.max_abs().max(1e-9) as f64;
@@ -123,6 +134,19 @@ mod tests {
             .max(1e-9);
         let last = report.max_abs_error.last().copied().unwrap_or(0.0);
         assert!(last / first < 100.0, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn max_abs_diff_basics() {
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, -1.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn max_abs_diff_length_mismatch_panics() {
+        max_abs_diff(&[1.0], &[1.0, 2.0]);
     }
 
     #[test]

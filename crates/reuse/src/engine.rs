@@ -7,11 +7,25 @@ use reuse_quant::{LinearQuantizer, RangeProfiler};
 use reuse_tensor::Tensor;
 
 use crate::conv::{Conv2dReuseState, Conv3dReuseState, ConvExecStats};
+use crate::drift::max_abs_diff;
 use crate::fc::{FcExecStats, FcReuseState};
 use crate::lstm::{LstmExecStats, LstmReuseState};
 use crate::metrics::{relative_difference, EngineMetrics, LayerMetrics};
+use crate::telemetry::{
+    EngineTelemetry, LayerTelemetrySnapshot, PoolStats, TelemetrySnapshot, WatchdogStats,
+};
 use crate::trace::{ExecutionTrace, LayerTrace, TraceKind};
 use crate::{LayerSetting, ReuseConfig, ReuseError};
+
+/// `Instant::now()` only when spans are being recorded, so the disabled
+/// path pays a single branch.
+fn span_start(timed: bool) -> Option<std::time::Instant> {
+    timed.then(std::time::Instant::now)
+}
+
+fn span_elapsed_ns(start: Option<std::time::Instant>) -> u64 {
+    start.map_or(0, |t| t.elapsed().as_nanos() as u64)
+}
 
 /// A recycling arena of `f32` buffers for the engine's per-frame
 /// intermediates.
@@ -26,6 +40,8 @@ struct BufferPool {
     free: Vec<Vec<f32>>,
     steady: bool,
     max_free: usize,
+    /// Hit/miss counters, exported through [`TelemetrySnapshot`].
+    stats: PoolStats,
 }
 
 impl BufferPool {
@@ -34,11 +50,15 @@ impl BufferPool {
             free: Vec::new(),
             steady: false,
             max_free,
+            stats: PoolStats::default(),
         }
     }
 
     /// Takes a cleared buffer with at least `cap` capacity (best fit), or
-    /// allocates one on a miss.
+    /// allocates one on a miss. Only buffers with `capacity >= cap` are
+    /// candidates — a smaller recycled buffer must never be handed out, or
+    /// the caller's `extend_from_slice` would silently reallocate and defeat
+    /// the zero-alloc invariant while the pool reported a hit.
     fn take(&mut self, cap: usize) -> Vec<f32> {
         let mut best: Option<(usize, usize)> = None;
         for (i, b) in self.free.iter().enumerate() {
@@ -47,20 +67,27 @@ impl BufferPool {
                 best = Some((i, c));
             }
         }
-        match best {
+        let buf = match best {
             Some((i, _)) => {
+                self.stats.hits += 1;
                 let mut b = self.free.swap_remove(i);
                 b.clear();
                 b
             }
             None => {
+                self.stats.misses += 1;
                 debug_assert!(
                     !self.steady,
                     "steady-state buffer-pool miss: a frame allocated (needed capacity {cap})"
                 );
                 Vec::with_capacity(cap)
             }
-        }
+        };
+        debug_assert!(
+            buf.capacity() >= cap,
+            "pool handed out an undersized buffer"
+        );
+        buf
     }
 
     /// Returns a buffer to the pool for reuse by later frames. Pipelines
@@ -93,6 +120,11 @@ struct LayerSlot {
     metrics_index: usize,
     /// Previous raw input (for the Fig. 4 relative-difference series).
     prev_raw_input: Option<Vec<f32>>,
+    /// Times the drift watchdog re-baselined this layer's buffered outputs.
+    rebaselines: u64,
+    /// Re-baselines where this layer's own buffered outputs had drifted
+    /// beyond the bound (feeds the auto-disable escalation).
+    drift_strikes: u64,
 }
 
 #[derive(Debug)]
@@ -208,6 +240,12 @@ pub struct ReuseEngine {
     layer_out_volumes: Vec<usize>,
     /// Recycled per-frame intermediate buffers (zero-alloc steady state).
     pool: BufferPool,
+    /// Per-layer ring-buffer counters, preallocated when enabled in config.
+    telemetry: Option<EngineTelemetry>,
+    /// Drift-watchdog counters (maintained even without telemetry).
+    watchdog: WatchdogStats,
+    /// Reuse-phase feed-forward frames seen (drives the watchdog cadence).
+    reuse_frames: u64,
 }
 
 impl ReuseEngine {
@@ -264,6 +302,8 @@ impl ReuseEngine {
                 state,
                 metrics_index,
                 prev_raw_input: None,
+                rebaselines: 0,
+                drift_strikes: 0,
             });
         }
         let layer_out_volumes: Vec<usize> = network
@@ -277,6 +317,9 @@ impl ReuseEngine {
                     .volume()
             })
             .collect();
+        let telemetry = config
+            .records_telemetry()
+            .then(|| EngineTelemetry::new(slots.iter().map(|s| s.name.as_str()), config.window()));
         ReuseEngine {
             network,
             config: config.clone(),
@@ -289,6 +332,9 @@ impl ReuseEngine {
             calibration_units_seen: 0,
             pool: BufferPool::new(layer_out_volumes.len() + 2),
             layer_out_volumes,
+            telemetry,
+            watchdog: WatchdogStats::default(),
+            reuse_frames: 0,
         }
     }
 
@@ -326,6 +372,57 @@ impl ReuseEngine {
     /// Takes the recorded execution traces (empties the internal buffer).
     pub fn take_traces(&mut self) -> Vec<ExecutionTrace> {
         std::mem::take(&mut self.traces)
+    }
+
+    /// Drift-watchdog counters (zeroed when the watchdog is not armed).
+    pub fn watchdog_stats(&self) -> WatchdogStats {
+        self.watchdog
+    }
+
+    /// Buffer-pool hit/miss counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats
+    }
+
+    /// Live per-layer telemetry, when enabled via
+    /// [`ReuseConfig::telemetry`].
+    pub fn telemetry(&self) -> Option<&EngineTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Builds an owned, serializable snapshot of the current telemetry.
+    /// Returns `None` unless telemetry was enabled in the config. This
+    /// allocates — call it from reporting paths, not per frame.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        let tel = self.telemetry.as_ref()?;
+        let layers = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let lt = &tel.layers[slot.metrics_index];
+                LayerTelemetrySnapshot {
+                    name: slot.name.clone(),
+                    reuse_executions: lt.reuse_executions,
+                    hit_rate: lt.lifetime_hit_rate(),
+                    hit_rate_window: lt.hit_rate.mean(),
+                    corrections_total: lt.corrections_total,
+                    macs_skipped_total: lt.macs_skipped_total,
+                    span_ns_window: lt.span_ns.mean(),
+                    rebaselines: slot.rebaselines,
+                    auto_disabled: slot.auto_disabled,
+                }
+            })
+            .collect();
+        Some(TelemetrySnapshot {
+            network: self.network.name().to_string(),
+            frames: tel.frames,
+            window: tel.window(),
+            pool: self.pool.stats,
+            watchdog: self.watchdog,
+            drift_check_every: self.config.drift_check_every(),
+            drift_bound: self.config.drift_bound(),
+            layers,
+        })
     }
 
     /// The quantizer used for a layer's (feed-forward) inputs, if built.
@@ -376,10 +473,11 @@ impl ReuseEngine {
             .sum()
     }
 
-    /// Drops all buffered layer state; the next execution recomputes from
-    /// scratch. Models the accelerator being power-gated between sequences.
-    /// Quantizers and metrics are kept.
-    pub fn reset_state(&mut self) {
+    /// Drops buffered layer state only — metrics, telemetry and calibration
+    /// are untouched. This is the between-sequence power-gate reset
+    /// (statistics keep accumulating across a recurrent workload's
+    /// sequences, paper Fig. 5).
+    fn reset_buffers(&mut self) {
         for slot in &mut self.slots {
             let (_, layer) = &self.network.layers()[slot.layer_index];
             match (&mut slot.state, layer) {
@@ -394,6 +492,40 @@ impl ReuseEngine {
                 _ => {}
             }
             slot.prev_raw_input = None;
+        }
+    }
+
+    /// Drops all buffered layer state; the next execution recomputes from
+    /// scratch. Models the accelerator being power-gated between sequences.
+    ///
+    /// Accumulated statistics are cleared along with the buffers:
+    /// [`EngineMetrics`], the per-layer relative-difference series, pending
+    /// traces, telemetry rings and watchdog counters all restart from zero —
+    /// a reset engine must not report the previous sequence's numbers. If
+    /// calibration had not finished, it is re-armed from the beginning
+    /// (profiled ranges are discarded). Built quantizers and auto-disable
+    /// decisions are kept.
+    pub fn reset_state(&mut self) {
+        self.reset_buffers();
+        self.metrics.reset();
+        self.traces.clear();
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.reset();
+        }
+        self.watchdog = WatchdogStats::default();
+        self.reuse_frames = 0;
+        for slot in &mut self.slots {
+            slot.rebaselines = 0;
+            slot.drift_strikes = 0;
+        }
+        if !self.calibrated {
+            // A partial calibration must not mix pre- and post-reset frames:
+            // discard the profiled ranges and start over.
+            self.calibration_units_seen = 0;
+            for slot in &mut self.slots {
+                slot.profiler_x = RangeProfiler::new();
+                slot.profiler_h = RangeProfiler::new();
+            }
         }
     }
 
@@ -699,6 +831,7 @@ impl ReuseEngine {
         raw_input: Option<&[f32]>,
         stats: ExecStats,
         n_outputs: u64,
+        span_ns: u64,
         trace: Option<&mut ExecutionTrace>,
     ) {
         let record_rd = self.config.records_relative_difference();
@@ -711,6 +844,18 @@ impl ReuseEngine {
                 stats.macs_total,
                 stats.macs_performed,
             );
+            // Same indexing and same inputs as the metrics record above, so
+            // a telemetry snapshot's lifetime hit rate equals the metric's
+            // input similarity exactly. Ring pushes never allocate.
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.layers[slot.metrics_index].record(
+                    stats.n_inputs,
+                    stats.n_changed,
+                    stats.macs_total,
+                    stats.macs_performed,
+                    span_ns,
+                );
+            }
         }
         if record_rd {
             if let Some(raw) = raw_input {
@@ -759,12 +904,14 @@ impl ReuseEngine {
         } else {
             None
         };
+        let timed = self.telemetry.is_some();
         let n_layers = self.network.layers().len();
         for i in 0..n_layers {
             let slot_pos = self.slot_of_layer[i];
             let run_reuse = slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]);
             if run_reuse {
                 let mut next = self.pool.take(self.layer_out_volumes[i]);
+                let span = span_start(timed);
                 let stats: ExecStats = {
                     let network = &self.network;
                     let slot = &mut self.slots[slot_pos];
@@ -791,11 +938,19 @@ impl ReuseEngine {
                         _ => unreachable!("slot state matches layer kind by construction"),
                     }
                 };
+                let span_ns = span_elapsed_ns(span);
                 // `cur` (this layer's raw input) is still alive here, so the
                 // relative-difference recorder reads it without the per-layer
                 // copy the old path made unconditionally.
                 let n_outputs = next.len() as u64;
-                self.record_layer_execution(slot_pos, Some(&cur), stats, n_outputs, trace.as_mut());
+                self.record_layer_execution(
+                    slot_pos,
+                    Some(&cur),
+                    stats,
+                    n_outputs,
+                    span_ns,
+                    trace.as_mut(),
+                );
                 self.pool.give(std::mem::replace(&mut cur, next));
             } else {
                 // Full-precision fallback (no-weight or disabled layers):
@@ -819,6 +974,9 @@ impl ReuseEngine {
         }
         self.executions_seen += 1;
         self.metrics.executions += 1;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.frames += 1;
+        }
         out.clear();
         out.extend_from_slice(&cur);
         self.pool.give(cur);
@@ -829,13 +987,114 @@ impl ReuseEngine {
         if pool_intact {
             self.pool.steady = true;
         }
+        self.reuse_frames += 1;
+        let every = self.config.drift_check_every();
+        if every > 0 && self.reuse_frames.is_multiple_of(every) {
+            // Watchdog frames allocate (reference forward + re-baseline are
+            // cold paths by design); they are outside the zero-alloc
+            // contract, which covers the frames between checks.
+            self.watchdog_check(frame, out)?;
+        }
+        Ok(())
+    }
+
+    /// One drift-watchdog check: compares this frame's incremental output
+    /// against the full-precision reference and re-baselines every reuse
+    /// layer when the deviation exceeds the configured bound. `out` is
+    /// replaced with the exact reference output after a re-baseline.
+    fn watchdog_check(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
+        let reference = self.reference_forward(frame)?;
+        let drift = max_abs_diff(out, reference.as_slice());
+        self.watchdog.checks += 1;
+        self.watchdog.last_drift = drift;
+        self.watchdog.max_drift = self.watchdog.max_drift.max(drift);
+        if drift > self.config.drift_bound() {
+            self.rebaseline_frame(frame, out)?;
+            self.watchdog.rebaselines += 1;
+        }
+        Ok(())
+    }
+
+    /// Re-baselines every enabled reuse layer onto full-precision values for
+    /// `frame`: buffered codes become the quantization of the layer's raw
+    /// input and buffered linear outputs become the exact (serial) linear
+    /// forward on that raw input, so this frame's output — written to `out` —
+    /// is bit-identical to [`Self::reference_forward`] and subsequent frames
+    /// correct from an exact baseline. Layers whose own buffered outputs had
+    /// drifted beyond the bound collect a strike; a layer reaching
+    /// [`ReuseConfig::drift_escalate_after`] strikes is auto-disabled
+    /// (escalation into [`Self::auto_disabled_layers`]).
+    fn rebaseline_frame(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
+        let bound = self.config.drift_bound();
+        let escalate_after = self.config.escalate_after();
+        let mut cur = Tensor::from_vec(self.network.input_shape().clone(), frame.to_vec())?;
+        let n_layers = self.network.layers().len();
+        for i in 0..n_layers {
+            cur = self.reshape_to_layer(cur, i)?;
+            let slot_pos = self.slot_of_layer[i];
+            let run_reuse = slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]);
+            if !run_reuse {
+                cur = self.network.apply_layer(i, cur)?;
+                continue;
+            }
+            let network = &self.network;
+            let slot = &mut self.slots[slot_pos];
+            let q = slot
+                .quantizer_x
+                .as_ref()
+                .expect("enabled slot has quantizer");
+            // Serial linear forward on the RAW input — the same code path
+            // `reference_forward` takes, so the adopted baseline is exact.
+            let (linear, activation) = match &network.layers()[i].1 {
+                Layer::FullyConnected(fc) => (fc.forward_linear(&cur)?, fc.activation()),
+                Layer::Conv2d(c) => (c.forward_linear(&cur)?, c.activation()),
+                Layer::Conv3d(c) => (c.forward_linear(&cur)?, c.activation()),
+                _ => unreachable!("watchdog only runs on feed-forward networks"),
+            };
+            let buffered = match &slot.state {
+                SlotState::Fc(st) => st.buffered_linear(),
+                SlotState::Conv2d(st) => st.buffered_linear(),
+                SlotState::Conv3d(st) => st.buffered_linear(),
+                _ => &[],
+            };
+            // Separating genuine accumulated drift from plain quantization
+            // error would need a second, quantized recomputation per layer;
+            // the strike heuristic instead compares the buffered values
+            // against the raw recomputation using the engine-level bound —
+            // conservative, but consistent with what the watchdog just
+            // observed at the network output.
+            let drifted =
+                buffered.len() == linear.len() && max_abs_diff(buffered, linear.as_slice()) > bound;
+            match &mut slot.state {
+                SlotState::Fc(st) => st.adopt_baseline(q, cur.as_slice(), linear.as_slice()),
+                SlotState::Conv2d(st) => st.adopt_baseline(q, cur.as_slice(), linear.as_slice()),
+                SlotState::Conv3d(st) => st.adopt_baseline(q, cur.as_slice(), linear.as_slice()),
+                _ => unreachable!("watchdog only runs on feed-forward networks"),
+            }
+            slot.rebaselines += 1;
+            if drifted {
+                slot.drift_strikes += 1;
+                if escalate_after > 0 && slot.drift_strikes >= escalate_after {
+                    slot.auto_disabled = true;
+                    // The pipeline now has a full-precision stage that routes
+                    // buffers through the tensor API, so the all-reuse
+                    // zero-alloc contract no longer holds: disarm the pool's
+                    // steady-state assertion.
+                    self.pool.steady = false;
+                }
+            }
+            cur = activation.apply(&linear);
+        }
+        out.clear();
+        out.extend_from_slice(cur.as_slice());
         Ok(())
     }
 
     fn reuse_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
         // Paper Section IV-D: the accelerator is power-gated between
-        // sequences, so all buffered state starts fresh.
-        self.reset_state();
+        // sequences, so all buffered state starts fresh (metrics keep
+        // accumulating across sequences).
+        self.reset_buffers();
         let parallel = *self.config.parallel_config();
         let input_shape = self.network.input_shape().clone();
         let mut seq: Vec<Tensor> = frames
@@ -881,9 +1140,11 @@ impl ReuseEngine {
                 // Weighted frame-wise layer inside a recurrent network
                 // (e.g. an FC output layer): consecutive timesteps are
                 // consecutive executions.
+                let timed = self.telemetry.is_some();
                 let mut out_seq = Vec::with_capacity(seq.len());
                 for (t, frame) in seq.iter().enumerate() {
                     let frame = self.reshape_to_layer(frame.clone(), i)?;
+                    let span = span_start(timed);
                     let (out, stats): (Tensor, ExecStats) = {
                         let network = &self.network;
                         let slot = &mut self.slots[slot_pos];
@@ -902,6 +1163,7 @@ impl ReuseEngine {
                             ),
                         }
                     };
+                    let span_ns = span_elapsed_ns(span);
                     let n_outputs = out.len() as u64;
                     let trace_ref = if record_trace {
                         Some(&mut traces[t])
@@ -913,6 +1175,7 @@ impl ReuseEngine {
                         Some(frame.as_slice()),
                         stats,
                         n_outputs,
+                        span_ns,
                         trace_ref,
                     );
                     out_seq.push(out);
@@ -942,6 +1205,9 @@ impl ReuseEngine {
         }
         self.executions_seen += frames.len() as u64;
         self.metrics.executions += frames.len() as u64;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.frames += frames.len() as u64;
+        }
         Ok(seq)
     }
 
@@ -955,9 +1221,10 @@ impl ReuseEngine {
         traces: &mut [ExecutionTrace],
     ) -> Result<Vec<Tensor>, ReuseError> {
         let record_trace = self.config.records_trace();
+        let timed = self.telemetry.is_some();
         let parallel = *self.config.parallel_config();
         let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
-        let (out, stats) = {
+        let (out, stats, spans) = {
             let network = &self.network;
             let Layer::Lstm(cell) = &network.layers()[layer_index].1 else {
                 unreachable!()
@@ -970,12 +1237,15 @@ impl ReuseEngine {
             };
             let mut out = Vec::with_capacity(xs.len());
             let mut stats: Vec<ExecStats> = Vec::with_capacity(xs.len());
+            let mut spans: Vec<u64> = Vec::with_capacity(xs.len());
             for x in &xs {
+                let span = span_start(timed);
                 let (h, s) = state.step_with(&parallel, cell, &qx, &qh, x)?;
+                spans.push(span_elapsed_ns(span));
                 out.push(h);
                 stats.push(s.into());
             }
-            (out, stats)
+            (out, stats, spans)
         };
         for (t, s) in stats.into_iter().enumerate() {
             let trace_ref = if record_trace {
@@ -984,7 +1254,7 @@ impl ReuseEngine {
                 None
             };
             let n_outputs = out[t].len() as u64;
-            self.record_layer_execution(slot_pos, Some(&xs[t]), s, n_outputs, trace_ref);
+            self.record_layer_execution(slot_pos, Some(&xs[t]), s, n_outputs, spans[t], trace_ref);
         }
         out.into_iter()
             .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
@@ -1000,10 +1270,11 @@ impl ReuseEngine {
         traces: &mut [ExecutionTrace],
     ) -> Result<Vec<Tensor>, ReuseError> {
         let record_trace = self.config.records_trace();
+        let timed = self.telemetry.is_some();
         let parallel = *self.config.parallel_config();
         let n = seq.len();
         let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
-        let (out, fwd_stats, bwd_stats) = {
+        let (out, fwd_stats, bwd_stats, spans) = {
             let network = &self.network;
             let Layer::BiLstm(layer) = &network.layers()[layer_index].1 else {
                 unreachable!()
@@ -1018,17 +1289,23 @@ impl ReuseEngine {
             let mut out = vec![vec![0.0f32; 2 * d]; n];
             let mut fwd_stats: Vec<ExecStats> = Vec::with_capacity(n);
             let mut bwd_stats: Vec<Option<ExecStats>> = vec![None; n];
+            // Per-timestep span: forward and backward direction summed.
+            let mut spans: Vec<u64> = vec![0; n];
             for (t, x) in xs.iter().enumerate() {
+                let span = span_start(timed);
                 let (h, s) = fwd.step_with(&parallel, layer.forward_cell(), &qx, &qh, x)?;
+                spans[t] += span_elapsed_ns(span);
                 out[t][..d].copy_from_slice(&h);
                 fwd_stats.push(s.into());
             }
             for (t, x) in xs.iter().enumerate().rev() {
+                let span = span_start(timed);
                 let (h, s) = bwd.step_with(&parallel, layer.backward_cell(), &qx, &qh, x)?;
+                spans[t] += span_elapsed_ns(span);
                 out[t][d..].copy_from_slice(&h);
                 bwd_stats[t] = Some(s.into());
             }
-            (out, fwd_stats, bwd_stats)
+            (out, fwd_stats, bwd_stats, spans)
         };
         // Record metrics and traces per timestep, merging the two directions.
         for t in 0..n {
@@ -1039,7 +1316,14 @@ impl ReuseEngine {
                 None
             };
             let n_outputs = out[t].len() as u64;
-            self.record_layer_execution(slot_pos, Some(&xs[t]), merged, n_outputs, trace_ref);
+            self.record_layer_execution(
+                slot_pos,
+                Some(&xs[t]),
+                merged,
+                n_outputs,
+                spans[t],
+                trace_ref,
+            );
         }
         out.into_iter()
             .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))

@@ -61,6 +61,7 @@ pub mod lstm;
 pub mod metrics;
 pub mod replay;
 pub mod summary;
+pub mod telemetry;
 pub mod trace;
 
 pub use config::{LayerSetting, ReuseConfig};
@@ -68,4 +69,8 @@ pub use engine::ReuseEngine;
 pub use error::ReuseError;
 pub use metrics::{relative_difference, EngineMetrics, LayerMetrics};
 pub use reuse_tensor::ParallelConfig;
+pub use telemetry::{
+    EngineTelemetry, LayerTelemetry, LayerTelemetrySnapshot, PoolStats, TelemetrySnapshot,
+    WatchdogStats,
+};
 pub use trace::{ExecutionTrace, LayerTrace, TraceKind};

@@ -83,6 +83,16 @@ impl LayerMetrics {
         self.macs_total += macs_total;
         self.macs_performed += macs_performed;
     }
+
+    /// Clears every accumulated counter and the relative-difference series,
+    /// keeping only the layer name.
+    pub fn reset(&mut self) {
+        let name = std::mem::take(&mut self.name);
+        *self = LayerMetrics {
+            name,
+            ..Default::default()
+        };
+    }
 }
 
 /// Aggregated metrics for a whole engine.
@@ -109,6 +119,14 @@ impl EngineMetrics {
         }
         let unchanged: u64 = self.layers.iter().map(|l| l.inputs_unchanged).sum();
         unchanged as f64 / total as f64
+    }
+
+    /// Clears all accumulated statistics, keeping the layer roster.
+    pub fn reset(&mut self) {
+        for layer in &mut self.layers {
+            layer.reset();
+        }
+        self.executions = 0;
     }
 
     /// Computation reuse across all reuse-enabled layers, weighted by MAC
@@ -164,6 +182,27 @@ mod tests {
         let m = LayerMetrics::new("x");
         assert_eq!(m.input_similarity(), 0.0);
         assert_eq!(m.computation_reuse(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_counters_but_keeps_names() {
+        let mut m = LayerMetrics::new("fc1");
+        m.record(10, 5, 100, 50);
+        m.relative_differences.push(0.25);
+        m.reset();
+        assert_eq!(m.name, "fc1");
+        assert_eq!(m.reuse_executions, 0);
+        assert_eq!(m.inputs_total, 0);
+        assert!(m.relative_differences.is_empty());
+        let mut e = EngineMetrics {
+            layers: vec![LayerMetrics::new("a"), LayerMetrics::new("b")],
+            executions: 7,
+        };
+        e.layers[0].record(4, 2, 8, 4);
+        e.reset();
+        assert_eq!(e.executions, 0);
+        assert_eq!(e.layers[0].inputs_total, 0);
+        assert_eq!(e.layers[1].name, "b");
     }
 
     #[test]

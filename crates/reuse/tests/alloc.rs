@@ -72,3 +72,52 @@ fn steady_state_execute_into_is_allocation_free() {
         "steady-state frames allocated {allocations} times"
     );
 }
+
+#[test]
+fn steady_state_with_telemetry_is_allocation_free() {
+    // Telemetry rings are preallocated at engine construction; recording
+    // into them (and the span timing around each layer) must not allocate.
+    // The drift watchdog is left unarmed: its check frames recompute the
+    // reference output and are documented as off the zero-alloc contract.
+    let net = NetworkBuilder::new("steady-tel", 32)
+        .fully_connected(64, Activation::Relu)
+        .fully_connected(48, Activation::Relu)
+        .fully_connected(10, Activation::Identity)
+        .build()
+        .unwrap();
+    let config = ReuseConfig::uniform(16).telemetry(true).telemetry_window(8);
+    let mut engine = ReuseEngine::from_network(&net, &config);
+
+    let mut rng = Rng64::new(11);
+    let mut frame: Vec<f32> = (0..32).map(|_| rng.uniform(0.9)).collect();
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        engine.execute_into(&frame, &mut out).unwrap();
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        for _ in 0..8 {
+            let i = (rng.next_u64() % 32) as usize;
+            frame[i] = (frame[i] + rng.uniform(0.5)).clamp(-1.0, 1.0);
+        }
+        engine.execute_into(&frame, &mut out).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "telemetry-on steady-state frames allocated {allocations} times"
+    );
+
+    // The frames above were recorded: more than the window, so the rings are
+    // full and the lifetime counters kept counting. Of the 13 executions,
+    // one was calibration, so 12 were reuse-phase frames; the first of those
+    // initialized state from scratch, leaving 11 recorded executions.
+    let tel = engine.telemetry().unwrap();
+    assert_eq!(tel.frames, 12);
+    for layer in &tel.layers {
+        assert_eq!(layer.hit_rate.len(), 8, "ring full at window capacity");
+        assert!(layer.reuse_executions >= 11);
+    }
+}

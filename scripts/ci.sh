@@ -13,4 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
+echo "== telemetry overhead smoke (budget ${REUSE_TELEMETRY_OVERHEAD_PCT:-5}%) =="
+# Telemetry recording must stay in the noise of a steady-state frame; the
+# bench binary exits nonzero when the on/off delta exceeds the budget.
+cargo run --release -q -p reuse-bench --bin kernel_bench -- --telemetry-smoke
+
 echo "CI OK"
