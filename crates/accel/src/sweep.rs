@@ -136,7 +136,9 @@ impl ConfigSweep {
     /// Like [`ConfigSweep::run`], but fans the points out across worker
     /// threads. Each point's simulation is independent, so the results are
     /// identical to [`ConfigSweep::run`] (in input order) for any thread
-    /// count.
+    /// count. The worker count is clamped to the host's hardware threads by
+    /// `ParallelConfig` (adaptive dispatch), so oversized sweeps never
+    /// oversubscribe a small machine.
     pub fn run_parallel(&self, config: &ParallelConfig, input: &SimInput<'_>) -> Vec<SweepResult> {
         let reuse_rate = trace_reuse_rate(input.traces);
         parallel_map(config, &self.points, |p| {
@@ -221,7 +223,11 @@ mod tests {
             .frequencies(&[250e6]);
         let serial = sweep.run(&input(&t));
         for threads in [1, 2, 3, 7] {
-            let cfg = ParallelConfig::with_threads(threads).min_work_per_thread(1);
+            // Oversubscribed so the fan-out is exercised even on a
+            // single-hardware-thread CI host.
+            let cfg = ParallelConfig::with_threads(threads)
+                .min_work_per_thread(1)
+                .oversubscribed();
             let par = sweep.run_parallel(&cfg, &input(&t));
             assert_eq!(par.len(), serial.len());
             for (a, b) in par.iter().zip(serial.iter()) {

@@ -1,23 +1,32 @@
-//! Serial-vs-parallel kernel timings at the paper's Table I layer
+//! Naive/blocked/parallel kernel timings at the paper's Table I layer
 //! geometries, written to `BENCH_kernels.json`.
 //!
-//! Measures the from-scratch forward kernels and the incremental reuse
-//! correction (at ~10% changed inputs) for a Kaldi FC layer, the AutoPilot
-//! CONV2 layer, a C3D-style 3D convolution and the EESEN LSTM cell, each
-//! under the serial config and under `REUSE_THREADS` workers (default 4).
+//! Every kernel is measured three ways on identical inputs:
 //!
-//! The parallel kernels partition output elements, so their results are
-//! bit-identical to serial — the speedup column is the only thing that
-//! varies with the machine. `hardware_threads` is recorded alongside the
-//! numbers: on a single-core host the parallel rows legitimately show no
-//! gain.
+//! - **naive**: the original serial loop nest (the bit-identity oracle kept
+//!   as `matmul_naive` / `conv*_forward_naive` / `execute_into_naive`);
+//! - **blocked**: the cache-blocked, panel-packed kernel on the serial
+//!   config — the before/after pair for the blocking work;
+//! - **parallel**: the blocked kernel under `REUSE_THREADS` workers
+//!   (default 4), clamped to the host's hardware threads by
+//!   `ParallelConfig` — the JSON records both the requested and the
+//!   resolved (clamped) count.
+//!
+//! All three produce bit-identical outputs, so only the ns/iter and
+//! GFLOP/s columns vary with the machine. Forward rows use the layer's
+//! analytic FLOP count; reuse-correction rows (at ~10% changed inputs) use
+//! the MACs the correction actually performed, read from the execution
+//! stats.
 //!
 //! An engine-level pair is also measured: the same steady-state frames with
 //! telemetry off and on, reporting the overhead of the recording path and
 //! the per-layer hit rates read back from the telemetry snapshot. Running
 //! `kernel_bench --telemetry-smoke` measures only that pair and exits
 //! nonzero when the overhead exceeds `REUSE_TELEMETRY_OVERHEAD_PCT`
-//! (default 5%) — the CI guard for the zero-cost-when-idle telemetry claim.
+//! (default 5%). Running `kernel_bench --perf-smoke` times only the
+//! naive-vs-blocked matmul pair and exits nonzero when the blocked kernel
+//! is slower than `REUSE_BLOCKED_MIN_SPEEDUP` × naive (default 1.0) — the
+//! CI guard that blocking never regresses.
 //!
 //! Usage: `cargo run --release -p reuse-bench --bin kernel_bench [out.json]`
 
@@ -34,14 +43,30 @@ use reuse_nn::{
     init::Rng64, Activation, Conv2dLayer, Conv3dLayer, FullyConnected, LstmCell, NetworkBuilder,
 };
 use reuse_quant::{InputRange, LinearQuantizer};
-use reuse_tensor::conv::{Conv2dSpec, Conv3dSpec};
-use reuse_tensor::{ParallelConfig, Shape, Tensor};
+use reuse_tensor::conv::{conv2d_forward_naive, conv3d_forward_naive, Conv2dSpec, Conv3dSpec};
+use reuse_tensor::{matmul, ParallelConfig, Shape, Tensor};
 
-/// One serial/parallel pair of measurements.
+/// One naive/blocked/parallel triple of measurements.
 struct Row {
     name: String,
-    serial_ns: f64,
+    /// FLOPs one iteration performs (analytic for forwards, measured MACs
+    /// ×2 for reuse corrections).
+    flops: u64,
+    naive_ns: f64,
+    blocked_ns: f64,
     parallel_ns: f64,
+}
+
+impl Row {
+    fn blocked_speedup(&self) -> f64 {
+        self.naive_ns / self.blocked_ns
+    }
+    fn parallel_speedup(&self) -> f64 {
+        self.naive_ns / self.parallel_ns
+    }
+    fn gflops(&self, ns: f64) -> f64 {
+        self.flops as f64 / ns
+    }
 }
 
 /// Times `f` until it has run for ~200 ms (at least 5 iterations) and
@@ -81,23 +106,48 @@ fn random_input(len: usize, rng: &mut Rng64) -> Vec<f32> {
     (0..len).map(|_| rng.uniform(0.9)).collect()
 }
 
-fn bench_pair(name: &str, parallel: &ParallelConfig, mut f: impl FnMut(&ParallelConfig)) -> Row {
+/// Measures one kernel three ways. `naive` always runs serially; `blocked`
+/// is timed once with the serial config and once with `parallel`.
+fn bench_triple(
+    name: &str,
+    flops: u64,
+    parallel: &ParallelConfig,
+    mut naive: impl FnMut(),
+    mut blocked: impl FnMut(&ParallelConfig),
+) -> Row {
     let serial = ParallelConfig::serial();
-    let serial_ns = time_ns(|| f(&serial));
-    let parallel_ns = time_ns(|| f(parallel));
+    let naive_ns = time_ns(&mut naive);
+    let blocked_ns = time_ns(|| blocked(&serial));
+    let parallel_ns = time_ns(|| blocked(parallel));
     let row = Row {
         name: name.to_string(),
-        serial_ns,
+        flops,
+        naive_ns,
+        blocked_ns,
         parallel_ns,
     };
     eprintln!(
-        "{:<40} serial {:>12.0} ns/iter   parallel {:>12.0} ns/iter   speedup {:.2}x",
+        "{:<40} naive {:>11.0} ns  blocked {:>11.0} ns ({:.2}x, {:.2} GFLOP/s)  parallel {:>11.0} ns ({:.2}x)",
         row.name,
-        row.serial_ns,
+        row.naive_ns,
+        row.blocked_ns,
+        row.blocked_speedup(),
+        row.gflops(row.blocked_ns),
         row.parallel_ns,
-        row.serial_ns / row.parallel_ns
+        row.parallel_speedup(),
     );
     row
+}
+
+/// The naive-vs-blocked matmul pair used by both the full run and the
+/// `--perf-smoke` CI gate: C = A·B at Kaldi-FC3-like geometry with enough
+/// rows to amortize the per-call B repack.
+fn matmul_pair() -> (Tensor, Tensor, u64) {
+    let (m, k, n) = (64usize, 400usize, 2000usize);
+    let mut rng = Rng64::new(12);
+    let a = Tensor::from_vec(Shape::d2(m, k), random_input(m * k, &mut rng)).unwrap();
+    let b = Tensor::from_vec(Shape::d2(k, n), random_input(k * n, &mut rng)).unwrap();
+    (a, b, 2 * (m * k * n) as u64)
 }
 
 /// Steady-state engine timings with telemetry off vs on, plus the per-layer
@@ -199,6 +249,34 @@ fn smoke_threshold_pct() -> f64 {
         .unwrap_or(5.0)
 }
 
+/// Times naive vs blocked matmul and exits nonzero when the blocked kernel
+/// falls below `REUSE_BLOCKED_MIN_SPEEDUP` × naive (default 1.0).
+fn perf_smoke() -> ExitCode {
+    let min_speedup: f64 = std::env::var("REUSE_BLOCKED_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let (a, b, _) = matmul_pair();
+    let serial = ParallelConfig::serial();
+    let naive_ns = time_ns(|| {
+        black_box(matmul::matmul_naive(black_box(&a), black_box(&b)).unwrap());
+    });
+    let blocked_ns = time_ns(|| {
+        black_box(matmul::matmul_with(&serial, black_box(&a), black_box(&b)).unwrap());
+    });
+    let speedup = naive_ns / blocked_ns;
+    eprintln!(
+        "perf smoke: matmul naive {naive_ns:.0} ns, blocked {blocked_ns:.0} ns, \
+         speedup {speedup:.3}x (floor {min_speedup:.3}x)"
+    );
+    if speedup < min_speedup {
+        eprintln!("blocked matmul is slower than the {min_speedup:.3}x floor");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let arg = std::env::args().nth(1);
     if arg.as_deref() == Some("--telemetry-smoke") {
@@ -212,18 +290,40 @@ fn main() -> ExitCode {
         eprintln!("telemetry overhead {overhead:.2}% within the {threshold:.2}% budget");
         return ExitCode::SUCCESS;
     }
+    if arg.as_deref() == Some("--perf-smoke") {
+        return perf_smoke();
+    }
     let out_path = arg.unwrap_or_else(|| "BENCH_kernels.json".to_string());
-    let threads: usize = std::env::var("REUSE_THREADS")
+    let requested_threads: usize = std::env::var("REUSE_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
-    let hardware_threads = std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(1);
-    // No work floor: these are benchmark-sized layers, always worth splitting.
-    let parallel = ParallelConfig::with_threads(threads).min_work_per_thread(1);
+    let hardware_threads = reuse_tensor::hardware_threads();
+    // No work floor and no inline threshold: these are benchmark-sized
+    // layers, always worth splitting. The hardware clamp stays in force —
+    // `resolved_threads` below is what actually runs.
+    let parallel = ParallelConfig::with_threads(requested_threads)
+        .min_work_per_thread(1)
+        .inline_flops(0);
+    let resolved_threads = parallel.workers_for(usize::MAX);
     let q = quantizer();
     let mut rows = Vec::new();
+
+    // Dense matmul at Kaldi-like geometry (the perf-smoke pair).
+    {
+        let (a, b, flops) = matmul_pair();
+        rows.push(bench_triple(
+            "matmul_64x400x2000",
+            flops,
+            &parallel,
+            || {
+                black_box(matmul::matmul_naive(black_box(&a), black_box(&b)).unwrap());
+            },
+            |cfg| {
+                black_box(matmul::matmul_with(cfg, black_box(&a), black_box(&b)).unwrap());
+            },
+        ));
+    }
 
     // Kaldi FC3 geometry: 400 inputs x 2000 neurons.
     {
@@ -231,23 +331,62 @@ fn main() -> ExitCode {
         let mut rng = Rng64::new(2);
         let base = random_input(400, &mut rng);
         let input = Tensor::from_slice_1d(&base).unwrap();
+        let mut naive_out = Vec::new();
         let mut out = Vec::new();
-        rows.push(bench_pair("kaldi_fc3_400x2000/forward", &parallel, |cfg| {
-            layer
-                .forward_linear_into(cfg, black_box(&input), &mut out)
+        let serial = ParallelConfig::serial();
+        rows.push(bench_triple(
+            "kaldi_fc3_400x2000/forward",
+            matmul::fc_flops(400, 2000),
+            &parallel,
+            || {
+                matmul::fc_forward_into(
+                    &serial,
+                    layer.weights(),
+                    black_box(&input),
+                    layer.bias(),
+                    &mut naive_out,
+                )
                 .unwrap();
-            black_box(&out);
-        }));
+                black_box(&naive_out);
+            },
+            |cfg| {
+                layer
+                    .forward_linear_into(cfg, black_box(&input), &mut out)
+                    .unwrap();
+                black_box(&out);
+            },
+        ));
 
         let variant = perturb(&base, 0.1, q.step(), &mut rng);
+        // Measure the correction's actual MAC count on one changed frame.
+        let correction_flops = {
+            let mut probe = FcReuseState::new(&layer);
+            probe
+                .execute_into(&serial, &layer, &q, &base, &mut out)
+                .unwrap();
+            let stats = probe
+                .execute_into(&serial, &layer, &q, &variant, &mut out)
+                .unwrap();
+            2 * stats.macs_performed
+        };
+        let mut naive_state = FcReuseState::new(&layer);
         let mut state = FcReuseState::new(&layer);
-        let mut i = 0usize;
-        rows.push(bench_pair(
+        let (mut i, mut j) = (0usize, 0usize);
+        rows.push(bench_triple(
             "kaldi_fc3_400x2000/reuse_10pct",
+            correction_flops,
             &parallel,
-            |cfg| {
+            || {
                 let input = if i.is_multiple_of(2) { &variant } else { &base };
                 i += 1;
+                naive_state
+                    .execute_into_naive(&serial, &layer, &q, black_box(input), &mut naive_out)
+                    .unwrap();
+                black_box(&naive_out);
+            },
+            |cfg| {
+                let input = if j.is_multiple_of(2) { &variant } else { &base };
+                j += 1;
                 state
                     .execute_into(cfg, &layer, &q, black_box(input), &mut out)
                     .unwrap();
@@ -271,24 +410,53 @@ fn main() -> ExitCode {
         let mut rng = Rng64::new(4);
         let base = random_input(in_shape.volume(), &mut rng);
         let base_t = Tensor::from_vec(in_shape.clone(), base.clone()).unwrap();
-        rows.push(bench_pair(
+        let serial = ParallelConfig::serial();
+        rows.push(bench_triple(
             "autopilot_conv2_24x31x98/forward",
+            spec.flops(31, 98),
             &parallel,
+            || {
+                black_box(
+                    conv2d_forward_naive(&spec, black_box(&base_t), layer.weights(), layer.bias())
+                        .unwrap(),
+                );
+            },
             |cfg| {
                 black_box(layer.forward_linear_with(cfg, black_box(&base_t)).unwrap());
             },
         ));
 
         let variant = perturb(&base, 0.1, q.step(), &mut rng);
-        let mut state = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        let mut naive_out = Vec::new();
         let mut out = Vec::new();
-        let mut i = 0usize;
-        rows.push(bench_pair(
+        let correction_flops = {
+            let mut probe = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+            probe
+                .execute_into(&serial, &layer, &q, &base, &mut out)
+                .unwrap();
+            let stats = probe
+                .execute_into(&serial, &layer, &q, &variant, &mut out)
+                .unwrap();
+            2 * stats.macs_performed
+        };
+        let mut naive_state = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        let mut state = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        let (mut i, mut j) = (0usize, 0usize);
+        rows.push(bench_triple(
             "autopilot_conv2_24x31x98/reuse_10pct",
+            correction_flops,
             &parallel,
-            |cfg| {
+            || {
                 let input = if i.is_multiple_of(2) { &variant } else { &base };
                 i += 1;
+                naive_state
+                    .execute_into_naive(&serial, &layer, &q, black_box(input), &mut naive_out)
+                    .unwrap();
+                black_box(&naive_out);
+            },
+            |cfg| {
+                let input = if j.is_multiple_of(2) { &variant } else { &base };
+                j += 1;
                 state
                     .execute_into(cfg, &layer, &q, black_box(input), &mut out)
                     .unwrap();
@@ -314,24 +482,53 @@ fn main() -> ExitCode {
         let mut rng = Rng64::new(6);
         let base = random_input(in_shape.volume(), &mut rng);
         let base_t = Tensor::from_vec(in_shape.clone(), base.clone()).unwrap();
-        rows.push(bench_pair(
+        let serial = ParallelConfig::serial();
+        rows.push(bench_triple(
             "c3d_conv3_32x4x14x14/forward",
+            spec.flops(4, 14, 14),
             &parallel,
+            || {
+                black_box(
+                    conv3d_forward_naive(&spec, black_box(&base_t), layer.weights(), layer.bias())
+                        .unwrap(),
+                );
+            },
             |cfg| {
                 black_box(layer.forward_linear_with(cfg, black_box(&base_t)).unwrap());
             },
         ));
 
         let variant = perturb(&base, 0.1, q.step(), &mut rng);
-        let mut state = Conv3dReuseState::new(&layer, &in_shape).unwrap();
+        let mut naive_out = Vec::new();
         let mut out = Vec::new();
-        let mut i = 0usize;
-        rows.push(bench_pair(
+        let correction_flops = {
+            let mut probe = Conv3dReuseState::new(&layer, &in_shape).unwrap();
+            probe
+                .execute_into(&serial, &layer, &q, &base, &mut out)
+                .unwrap();
+            let stats = probe
+                .execute_into(&serial, &layer, &q, &variant, &mut out)
+                .unwrap();
+            2 * stats.macs_performed
+        };
+        let mut naive_state = Conv3dReuseState::new(&layer, &in_shape).unwrap();
+        let mut state = Conv3dReuseState::new(&layer, &in_shape).unwrap();
+        let (mut i, mut j) = (0usize, 0usize);
+        rows.push(bench_triple(
             "c3d_conv3_32x4x14x14/reuse_10pct",
+            correction_flops,
             &parallel,
-            |cfg| {
+            || {
                 let input = if i.is_multiple_of(2) { &variant } else { &base };
                 i += 1;
+                naive_state
+                    .execute_into_naive(&serial, &layer, &q, black_box(input), &mut naive_out)
+                    .unwrap();
+                black_box(&naive_out);
+            },
+            |cfg| {
+                let input = if j.is_multiple_of(2) { &variant } else { &base };
+                j += 1;
                 state
                     .execute_into(cfg, &layer, &q, black_box(input), &mut out)
                     .unwrap();
@@ -346,15 +543,37 @@ fn main() -> ExitCode {
         let mut rng = Rng64::new(8);
         let base = random_input(640, &mut rng);
         let variant = perturb(&base, 0.1, q.step(), &mut rng);
-        let mut state = LstmReuseState::new(&cell);
+        let serial = ParallelConfig::serial();
+        let mut naive_h = Vec::new();
         let mut h_out = Vec::new();
-        let mut i = 0usize;
-        rows.push(bench_pair(
+        let correction_flops = {
+            let mut probe = LstmReuseState::new(&cell);
+            probe
+                .step_into(&serial, &cell, &q, &q, &base, &mut h_out)
+                .unwrap();
+            let stats = probe
+                .step_into(&serial, &cell, &q, &q, &variant, &mut h_out)
+                .unwrap();
+            2 * stats.macs_performed
+        };
+        let mut naive_state = LstmReuseState::new(&cell);
+        let mut state = LstmReuseState::new(&cell);
+        let (mut i, mut j) = (0usize, 0usize);
+        rows.push(bench_triple(
             "eesen_lstm_640x320/reuse_step_10pct",
+            correction_flops,
             &parallel,
-            |cfg| {
+            || {
                 let input = if i.is_multiple_of(2) { &variant } else { &base };
                 i += 1;
+                naive_state
+                    .step_into_naive(&serial, &cell, &q, &q, black_box(input), &mut naive_h)
+                    .unwrap();
+                black_box(&naive_h);
+            },
+            |cfg| {
+                let input = if j.is_multiple_of(2) { &variant } else { &base };
+                j += 1;
                 state
                     .step_into(cfg, &cell, &q, &q, black_box(input), &mut h_out)
                     .unwrap();
@@ -369,7 +588,8 @@ fn main() -> ExitCode {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"kernel_bench\",");
     let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
-    let _ = writeln!(json, "  \"parallel_threads\": {threads},");
+    let _ = writeln!(json, "  \"requested_threads\": {requested_threads},");
+    let _ = writeln!(json, "  \"resolved_threads\": {resolved_threads},");
     let _ = writeln!(json, "  \"engine\": {{");
     let _ = writeln!(json, "    \"base_ns_per_frame\": {:.0},", engine.base_ns);
     let _ = writeln!(
@@ -391,30 +611,42 @@ fn main() -> ExitCode {
         );
     }
     json.push_str("    ]\n  },\n");
-    if hardware_threads < threads {
+    if hardware_threads < requested_threads {
         let _ = writeln!(
             json,
-            "  \"note\": \"host exposes {hardware_threads} hardware thread(s); \
-             {threads} workers oversubscribe it, so parallel speedups here \
-             reflect scheduling overhead, not kernel scaling\","
+            "  \"note\": \"host exposes {hardware_threads} hardware thread(s); the \
+             requested {requested_threads} workers were clamped to \
+             {resolved_threads}, so the parallel column matches blocked \
+             single-thread performance here\","
         );
     }
     json.push_str("  \"kernels\": [\n");
     for (k, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"serial_ns_per_iter\": {:.0}, \"parallel_ns_per_iter\": {:.0}, \"speedup\": {:.3}}}{}",
+            "    {{\"name\": \"{}\", \"flops\": {}, \
+             \"naive_ns_per_iter\": {:.0}, \"blocked_ns_per_iter\": {:.0}, \
+             \"parallel_ns_per_iter\": {:.0}, \"blocked_speedup\": {:.3}, \
+             \"parallel_speedup\": {:.3}, \"naive_gflops\": {:.3}, \
+             \"blocked_gflops\": {:.3}, \"parallel_gflops\": {:.3}}}{}",
             r.name,
-            r.serial_ns,
+            r.flops,
+            r.naive_ns,
+            r.blocked_ns,
             r.parallel_ns,
-            r.serial_ns / r.parallel_ns,
+            r.blocked_speedup(),
+            r.parallel_speedup(),
+            r.gflops(r.naive_ns),
+            r.gflops(r.blocked_ns),
+            r.gflops(r.parallel_ns),
             if k + 1 < rows.len() { "," } else { "" }
         );
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
     eprintln!(
-        "wrote {out_path} ({} kernels, {threads} threads, {hardware_threads} hw)",
+        "wrote {out_path} ({} kernels, {requested_threads} threads requested, \
+         {resolved_threads} resolved, {hardware_threads} hw)",
         rows.len()
     );
     ExitCode::SUCCESS

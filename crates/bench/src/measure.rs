@@ -84,17 +84,27 @@ pub fn executions_from_env(kind: WorkloadKind, scale: Scale) -> usize {
 }
 
 /// Engine parallelism, honoring `REUSE_THREADS` (`0` = one worker per
-/// hardware thread; unset = serial). All parallel kernels are bit-identical
-/// to serial, so this only changes wall-clock time — measurements and
-/// cached results are unaffected.
+/// hardware thread; unset = serial) and `REUSE_INLINE_FLOPS` (per-call FLOP
+/// estimate below which kernels stay on the calling thread; unset keeps the
+/// default adaptive threshold). Explicit thread counts are still clamped to
+/// the host's hardware threads by `ParallelConfig`. All parallel kernels
+/// are bit-identical to serial, so these only change wall-clock time —
+/// measurements and cached results are unaffected.
 pub fn parallel_from_env() -> ParallelConfig {
-    match std::env::var("REUSE_THREADS")
+    let base = match std::env::var("REUSE_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
     {
         Some(0) => ParallelConfig::auto(),
         Some(n) => ParallelConfig::with_threads(n),
         None => ParallelConfig::serial(),
+    };
+    match std::env::var("REUSE_INLINE_FLOPS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(flops) => base.inline_flops(flops),
+        None => base,
     }
 }
 

@@ -1,6 +1,6 @@
 //! Fully-connected layer (paper Eq. 1).
 
-use reuse_tensor::{matmul, ParallelConfig, Shape, Tensor};
+use reuse_tensor::{block, matmul, PackedPanels, ParallelConfig, Shape, Tensor};
 
 use crate::{init, Activation, NnError};
 
@@ -10,9 +10,15 @@ use crate::{init, Activation, NnError};
 /// the interleaved Weights Buffer layout of the paper's accelerator
 /// (Fig. 7): the `n_outputs` weights fed by a single input are contiguous,
 /// which is what the reuse scheme walks when an input changes.
+///
+/// At construction the weights are additionally repacked once into
+/// cache-blocked [`PackedPanels`]; forward passes and the reuse-correction
+/// path both run the 8-lane blocked microkernel over that copy (results
+/// stay bit-identical to the naive input-major walk).
 #[derive(Debug, Clone)]
 pub struct FullyConnected {
     weights: Tensor,
+    packed: PackedPanels,
     bias: Tensor,
     activation: Activation,
 }
@@ -36,8 +42,10 @@ impl FullyConnected {
                 context: format!("fc bias length {} != output dim {}", bias.len(), dims[1]),
             });
         }
+        let packed = PackedPanels::pack(&weights).expect("rank checked above");
         Ok(FullyConnected {
             weights,
+            packed,
             bias,
             activation,
         })
@@ -54,8 +62,10 @@ impl FullyConnected {
         let b = init::small_bias(rng, n_out);
         let weights = Tensor::from_vec(Shape::d2(n_in, n_out), w).expect("sized by construction");
         let bias = Tensor::from_vec(Shape::d1(n_out), b).expect("sized by construction");
+        let packed = PackedPanels::pack(&weights).expect("rank-2 by construction");
         FullyConnected {
             weights,
+            packed,
             bias,
             activation,
         }
@@ -76,6 +86,13 @@ impl FullyConnected {
         &self.weights
     }
 
+    /// The cache-blocked panel repack of [`Self::weights`], built once at
+    /// construction and shared by the forward and reuse-correction
+    /// microkernels.
+    pub fn packed(&self) -> &PackedPanels {
+        &self.packed
+    }
+
     /// The bias vector `[n_out]`.
     pub fn bias(&self) -> &Tensor {
         &self.bias
@@ -94,7 +111,7 @@ impl FullyConnected {
     ///
     /// Propagates dimension mismatches from the kernel.
     pub fn forward_linear(&self, input: &Tensor) -> Result<Tensor, NnError> {
-        Ok(matmul::fc_forward(&self.weights, input, &self.bias)?)
+        self.forward_linear_with(&ParallelConfig::serial(), input)
     }
 
     /// [`Self::forward_linear`] with an explicit parallelism budget.
@@ -107,18 +124,15 @@ impl FullyConnected {
         config: &ParallelConfig,
         input: &Tensor,
     ) -> Result<Tensor, NnError> {
-        Ok(matmul::fc_forward_with(
-            config,
-            &self.weights,
-            input,
-            &self.bias,
-        )?)
+        let mut out = Vec::new();
+        self.forward_linear_into(config, input, &mut out)?;
+        Ok(Tensor::from_vec(Shape::d1(self.n_out()), out)?)
     }
 
     /// Allocation-free linear forward: clears `out` and writes the `n_out`
     /// pre-activation values into it, reusing its capacity across calls.
-    /// Results are bit-identical to [`Self::forward_linear`] for any thread
-    /// count.
+    /// Runs the cache-blocked packed microkernel; results are bit-identical
+    /// to the naive [`matmul::fc_forward`] walk for any thread count.
     ///
     /// # Errors
     ///
@@ -129,11 +143,11 @@ impl FullyConnected {
         input: &Tensor,
         out: &mut Vec<f32>,
     ) -> Result<(), NnError> {
-        Ok(matmul::fc_forward_into(
+        Ok(block::fc_forward_packed_into(
             config,
-            &self.weights,
-            input,
-            &self.bias,
+            &self.packed,
+            input.as_slice(),
+            self.bias.as_slice(),
             out,
         )?)
     }
@@ -203,6 +217,20 @@ mod tests {
         let b = FullyConnected::random(8, 4, Activation::Relu, &mut r2);
         assert_eq!(a.weights().as_slice(), b.weights().as_slice());
         assert_eq!(a.bias().as_slice(), b.bias().as_slice());
+    }
+
+    #[test]
+    fn packed_forward_matches_naive_kernel_bitwise() {
+        let mut rng = init::Rng64::new(7);
+        // Odd n_out so the last panel is partial.
+        let fc = FullyConnected::random(37, 53, Activation::Identity, &mut rng);
+        let x: Vec<f32> = (0..37).map(|v| (v as f32) * 0.11 - 2.0).collect();
+        let xt = Tensor::from_slice_1d(&x).unwrap();
+        let naive = matmul::fc_forward(fc.weights(), &xt, fc.bias()).unwrap();
+        let blocked = fc.forward_linear(&xt).unwrap();
+        for (a, b) in naive.as_slice().iter().zip(blocked.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -221,6 +221,16 @@ impl ReuseConfig {
     pub fn parallel_config(&self) -> &ParallelConfig {
         &self.parallel
     }
+
+    /// Sets the per-call FLOP estimate below which kernels and correction
+    /// passes run inline on the calling thread instead of fanning out
+    /// (adaptive dispatch; see
+    /// [`ParallelConfig::inline_flops`]). Convenience passthrough to the
+    /// stored parallel budget.
+    pub fn parallel_inline_flops(mut self, flops: u64) -> Self {
+        self.parallel = self.parallel.inline_flops(flops);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -306,5 +316,14 @@ mod tests {
         assert_eq!(c.parallel_config().num_threads, 1);
         let c = c.parallel(ParallelConfig::with_threads(4));
         assert_eq!(c.parallel_config().num_threads, 4);
+    }
+
+    #[test]
+    fn inline_flops_passthrough_updates_parallel_budget() {
+        let c = ReuseConfig::uniform(8)
+            .parallel(ParallelConfig::with_threads(4))
+            .parallel_inline_flops(5000);
+        assert_eq!(c.parallel_config().num_threads, 4);
+        assert_eq!(c.parallel_config().inline_flops, 5000);
     }
 }

@@ -7,14 +7,23 @@
 //! unchanged, the entire fan-out of computations and weight fetches is
 //! skipped.
 //!
-//! To keep the correction loop contiguous in memory, each state holds a
-//! transposed copy of the filter weights laid out input-major
-//! (`[in_c, k.., out_c]`) — the software analogue of the interleaved
-//! weights-buffer layout the paper uses for FC layers.
+//! The correction pass is cache-blocked: pass 1 diffs the quantized codes
+//! serially and precomputes each changed input's geometry (channel weight
+//! offset, padded coordinates, affected output ranges) into a reusable
+//! scratch list; pass 2 walks the outputs **filter-tile-outer,
+//! delta-inner** — a worker owns a tile of [`FILTER_TILE`] filters' output
+//! planes, which stay cache-resident while every delta streams through
+//! them, so each delta's geometry is computed once per tile instead of once
+//! per filter. Both paths read the lazily-built `[in_c, k.., out_c]`
+//! weight transpose: it makes one tap's weights for a tile of filters a
+//! single contiguous load. Each output element still receives its delta
+//! corrections in changed-list (input) order, so results are bit-identical
+//! to the original scattered walk, which is kept as a `#[doc(hidden)]`
+//! naive oracle.
 
 use reuse_nn::{Conv2dLayer, Conv3dLayer};
 use reuse_quant::{LinearQuantizer, QuantCode};
-use reuse_tensor::parallel::parallel_for_mut;
+use reuse_tensor::parallel::{parallel_for_mut, parallel_for_mut_cost};
 use reuse_tensor::{ParallelConfig, Shape, Tensor};
 
 use crate::ReuseError;
@@ -49,17 +58,54 @@ fn affected_range(y: usize, k: usize, s: usize, p: usize, n: usize) -> (usize, u
     (lo.min(n), hi.min(n))
 }
 
+/// Filters corrected together per pass-2 tile. Each delta's output-range
+/// geometry is computed once and applied to this many filters' planes
+/// (whose weights for one tap sit contiguously in the transpose), and the
+/// four `+=` chains give the CPU independent FP-add streams — the same ILP
+/// rationale as the packed forward tiles.
+const FILTER_TILE: usize = 4;
+
+/// Deltas walked together through all filter tiles before moving to the
+/// next group. A dense frame's scratch list is far larger than L1, and the
+/// tiled walk re-streams it once per tile; blocking keeps the group (~11
+/// KiB) cache-hot across every re-stream. Groups are processed in list
+/// order and each tile walks a group in list order, so per-output delta
+/// order — and therefore bit-identity — is unchanged.
+const DELTA_BLOCK: usize = 128;
+
+/// One changed input's correction, with its geometry precomputed in pass 1
+/// so the per-filter pass 2 does no division or range math: the channel's
+/// weight-block offset `wc = c·kd·kh·kw`, the padded coordinates (so the
+/// kernel tap for output `o` is `coord + pad − o·stride`), and the affected
+/// output ranges.
+#[derive(Debug, Clone, Copy)]
+struct ConvDelta {
+    delta: f32,
+    wc: usize,
+    zp: usize,
+    yp: usize,
+    xp: usize,
+    oz_lo: usize,
+    oz_hi: usize,
+    oy_lo: usize,
+    oy_hi: usize,
+    ox_lo: usize,
+    ox_hi: usize,
+}
+
 /// Buffered state of one 2D convolutional layer between executions.
 #[derive(Debug, Clone)]
 pub struct Conv2dReuseState {
     prev_codes: Vec<QuantCode>,
     prev_linear: Vec<f32>,
-    /// Weights transposed to `[in_c, kh, kw, out_c]` for contiguous
-    /// correction updates.
-    w_t: Vec<f32>,
-    /// Scratch list of `(input index, centroid delta)` pairs, collected
-    /// serially and applied per output-filter chunk; reused across frames.
-    changed: Vec<(u32, f32)>,
+    /// Lazily-built `[in_c, kh, kw, out_c]` weight transpose shared by both
+    /// correction paths: the blocked walk reads one tap's tile of filters
+    /// as a contiguous load, the naive oracle walks it filter-inner.
+    w_t: Option<Vec<f32>>,
+    /// Scratch list of precomputed per-delta corrections, collected
+    /// serially in input order and applied per output-filter panel;
+    /// capacity is reserved up front so steady-state frames never allocate.
+    deltas: Vec<ConvDelta>,
     in_shape: Shape,
     out_shape: Shape,
     initialized: bool,
@@ -81,26 +127,13 @@ impl Conv2dReuseState {
         let spec = layer.spec();
         let (oh, ow) = spec.output_hw(d[1], d[2])?;
         let out_shape = Shape::d3(spec.out_channels, oh, ow);
-        // Transpose [f, c, ky, kx] -> [c, ky, kx, f].
-        let w = layer.weights().as_slice();
-        let (fc, cc, kh, kw) = (spec.out_channels, spec.in_channels, spec.kh, spec.kw);
-        let mut w_t = vec![0.0f32; w.len()];
-        for f in 0..fc {
-            for c in 0..cc {
-                for ky in 0..kh {
-                    for kx in 0..kw {
-                        let src = ((f * cc + c) * kh + ky) * kw + kx;
-                        let dst = ((c * kh + ky) * kw + kx) * fc + f;
-                        w_t[dst] = w[src];
-                    }
-                }
-            }
-        }
         Ok(Conv2dReuseState {
             prev_codes: Vec::new(),
             prev_linear: Vec::new(),
-            w_t,
-            changed: Vec::new(),
+            w_t: None,
+            // Worst case every input changes; reserving up front keeps
+            // steady-state execution allocation-free.
+            deltas: Vec::with_capacity(in_shape.volume()),
             in_shape: in_shape.clone(),
             out_shape,
             initialized: false,
@@ -116,7 +149,7 @@ impl Conv2dReuseState {
     pub fn reset(&mut self) {
         self.prev_codes.clear();
         self.prev_linear.clear();
-        self.changed.clear();
+        self.deltas.clear();
         self.initialized = false;
     }
 
@@ -189,10 +222,14 @@ impl Conv2dReuseState {
     /// Allocation-free core of [`Self::execute`]: clears `out` and writes
     /// the linear feature maps (`[out_c, oh, ow]`, flattened) into it.
     ///
-    /// Changed inputs are diffed serially; corrections are applied in
-    /// parallel with each worker owning whole output feature maps, so every
-    /// output accumulates its deltas in input order and the result is
-    /// bit-identical to serial execution.
+    /// Changed inputs are diffed serially (precomputing each delta's
+    /// geometry); corrections are applied filter-outer/delta-inner with
+    /// each worker owning whole output feature maps and streaming every
+    /// delta through one filter's L1-resident weight block at a time. Every
+    /// output accumulates its deltas in input order, so the result is
+    /// bit-identical to serial execution and to the unblocked
+    /// [`Self::execute_into_naive`] walk. Correction frames below the
+    /// config's inline-FLOP threshold run inline with no thread spawns.
     ///
     /// `input` is the flat row-major `[in_c, h, w]` data; only its length is
     /// checked (the shape-checked entry points are [`Self::execute`] /
@@ -208,6 +245,34 @@ impl Conv2dReuseState {
         quantizer: &LinearQuantizer,
         input: &[f32],
         out: &mut Vec<f32>,
+    ) -> Result<ConvExecStats, ReuseError> {
+        self.execute_into_impl(config, layer, quantizer, input, out, false)
+    }
+
+    /// [`Self::execute_into`] with the original scattered correction walk
+    /// over the `[in_c, kh, kw, out_c]` weight transpose (built lazily on
+    /// first use). Bit-identity oracle and `kernel_bench` baseline for the
+    /// blocked path; not for production use.
+    #[doc(hidden)]
+    pub fn execute_into_naive(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &Conv2dLayer,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ConvExecStats, ReuseError> {
+        self.execute_into_impl(config, layer, quantizer, input, out, true)
+    }
+
+    fn execute_into_impl(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &Conv2dLayer,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+        naive: bool,
     ) -> Result<ConvExecStats, ReuseError> {
         if input.len() != self.in_shape.volume() {
             return Err(ReuseError::InvalidConfig {
@@ -249,11 +314,12 @@ impl Conv2dReuseState {
         }
 
         // Pass 1 (serial): diff the quantized codes in input order,
-        // collecting the changed list and the MAC count of the correction.
+        // precomputing each delta's geometry and the correction MAC count.
         let x = input;
         let mut macs = 0u64;
         let (kh, kw, s, p) = (spec.kh, spec.kw, spec.stride, spec.pad);
-        self.changed.clear();
+        let k_plane = kh * kw;
+        self.deltas.clear();
         for (idx, &xv) in x.iter().enumerate() {
             let code = quantizer.quantize(xv);
             let prev = self.prev_codes[idx];
@@ -262,48 +328,118 @@ impl Conv2dReuseState {
             }
             self.prev_codes[idx] = code;
             let delta = quantizer.centroid(code) - quantizer.centroid(prev);
-            self.changed.push((idx as u32, delta));
+            let c = idx / (h * w);
             let y = (idx / w) % h;
             let xw = idx % w;
             let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
             let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
             macs += ((oy_hi - oy_lo) * (ox_hi - ox_lo) * fc) as u64;
+            self.deltas.push(ConvDelta {
+                delta,
+                wc: c * k_plane,
+                zp: 0,
+                yp: y + p,
+                xp: xw + p,
+                oz_lo: 0,
+                oz_hi: 1,
+                oy_lo,
+                oy_hi,
+                ox_lo,
+                ox_hi,
+            });
         }
 
-        // Pass 2 (parallel over output feature maps): each worker applies
-        // every delta to the planes it owns.
+        // Pass 2 (parallel over output feature maps).
         let o_plane = oh * ow;
-        let w_t: &[f32] = &self.w_t;
-        let changed: &[(u32, f32)] = &self.changed;
-        parallel_for_mut(config, &mut self.prev_linear, o_plane, |offset, chunk| {
-            let first_f = offset / o_plane;
-            let n_f = chunk.len() / o_plane;
-            for &(idx, delta) in changed {
-                let idx = idx as usize;
-                let c = idx / (h * w);
-                let y = (idx / w) % h;
-                let xw = idx % w;
-                let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
-                let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
-                for oy in oy_lo..oy_hi {
-                    let ky = y + p - oy * s;
-                    for ox in ox_lo..ox_hi {
-                        let kx = xw + p - ox * s;
-                        let wrow = &w_t[((c * kh + ky) * kw + kx) * fc + first_f..][..n_f];
-                        let obase = oy * ow + ox;
-                        // Output layout is [f, oy, ox]; stride over f is oh*ow.
-                        for (f, &wv) in wrow.iter().enumerate() {
-                            chunk[f * o_plane + obase] += delta * wv;
+        let Self {
+            w_t,
+            deltas,
+            prev_linear,
+            ..
+        } = self;
+        let deltas: &[ConvDelta] = deltas;
+        let w_t: &[f32] =
+            w_t.get_or_insert_with(|| transpose_2d(layer.weights().as_slice(), fc, &spec));
+        if naive {
+            // Original scattered walk over the [c, ky, kx, f] transpose.
+            parallel_for_mut(config, prev_linear, o_plane, |offset, chunk| {
+                let first_f = offset / o_plane;
+                let n_f = chunk.len() / o_plane;
+                for d in deltas {
+                    for oy in d.oy_lo..d.oy_hi {
+                        let ky = d.yp - oy * s;
+                        for ox in d.ox_lo..d.ox_hi {
+                            let kx = d.xp - ox * s;
+                            let wrow = &w_t[(d.wc + ky * kw + kx) * fc + first_f..][..n_f];
+                            let obase = oy * ow + ox;
+                            // Output layout is [f, oy, ox]; f stride is oh*ow.
+                            for (f, &wv) in wrow.iter().enumerate() {
+                                chunk[f * o_plane + obase] += d.delta * wv;
+                            }
                         }
                     }
                 }
-            }
-        });
+            });
+        } else {
+            // Blocked walk: filter-tile-outer, delta-inner. A tile of
+            // [`FILTER_TILE`] output planes stays cache-resident while
+            // every delta streams through it, each delta's precomputed
+            // geometry amortized over the tile; the [c, ky, kx, f]
+            // transpose makes the tile's weights for one tap a single
+            // contiguous load.
+            let one = |plane: &mut [f32], f: usize, group: &[ConvDelta]| {
+                for d in group {
+                    for oy in d.oy_lo..d.oy_hi {
+                        let ky = d.yp - oy * s;
+                        let wrow = d.wc + ky * kw;
+                        let orow = oy * ow;
+                        for ox in d.ox_lo..d.ox_hi {
+                            let kx = d.xp - ox * s;
+                            plane[orow + ox] += d.delta * w_t[(wrow + kx) * fc + f];
+                        }
+                    }
+                }
+            };
+            parallel_for_mut_cost(config, prev_linear, o_plane, 2 * macs, |offset, chunk| {
+                for group in deltas.chunks(DELTA_BLOCK) {
+                    let mut f = offset / o_plane;
+                    for tile in chunk.chunks_mut(FILTER_TILE * o_plane) {
+                        if tile.len() == FILTER_TILE * o_plane {
+                            let (p0, rest) = tile.split_at_mut(o_plane);
+                            let (p1, rest) = rest.split_at_mut(o_plane);
+                            let (p2, p3) = rest.split_at_mut(o_plane);
+                            for d in group {
+                                for oy in d.oy_lo..d.oy_hi {
+                                    let ky = d.yp - oy * s;
+                                    let wrow = d.wc + ky * kw;
+                                    let orow = oy * ow;
+                                    for ox in d.ox_lo..d.ox_hi {
+                                        let wt =
+                                            &w_t[(wrow + d.xp - ox * s) * fc + f..][..FILTER_TILE];
+                                        let oi = orow + ox;
+                                        p0[oi] += d.delta * wt[0];
+                                        p1[oi] += d.delta * wt[1];
+                                        p2[oi] += d.delta * wt[2];
+                                        p3[oi] += d.delta * wt[3];
+                                    }
+                                }
+                            }
+                            f += FILTER_TILE;
+                        } else {
+                            for plane in tile.chunks_mut(o_plane) {
+                                one(plane, f, group);
+                                f += 1;
+                            }
+                        }
+                    }
+                }
+            });
+        }
         out.clear();
         out.extend_from_slice(&self.prev_linear);
         Ok(ConvExecStats {
             n_inputs: n_in,
-            n_changed: self.changed.len() as u64,
+            n_changed: self.deltas.len() as u64,
             macs_total,
             macs_performed: macs,
             from_scratch: false,
@@ -311,15 +447,35 @@ impl Conv2dReuseState {
     }
 }
 
+/// Builds the `[in_c, kh, kw, out_c]` transpose of `[out_c, in_c, kh, kw]`
+/// weights (the naive-oracle correction layout).
+fn transpose_2d(w: &[f32], fc: usize, spec: &reuse_tensor::conv::Conv2dSpec) -> Vec<f32> {
+    let (cc, kh, kw) = (spec.in_channels, spec.kh, spec.kw);
+    let mut w_t = vec![0.0f32; w.len()];
+    for f in 0..fc {
+        for c in 0..cc {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let src = ((f * cc + c) * kh + ky) * kw + kx;
+                    let dst = ((c * kh + ky) * kw + kx) * fc + f;
+                    w_t[dst] = w[src];
+                }
+            }
+        }
+    }
+    w_t
+}
+
 /// Buffered state of one 3D convolutional layer between executions.
 #[derive(Debug, Clone)]
 pub struct Conv3dReuseState {
     prev_codes: Vec<QuantCode>,
     prev_linear: Vec<f32>,
-    /// Weights transposed to `[in_c, kd, kh, kw, out_c]`.
-    w_t: Vec<f32>,
-    /// Scratch `(input index, centroid delta)` list; see [`Conv2dReuseState`].
-    changed: Vec<(u32, f32)>,
+    /// Lazily-built `[in_c, kd, kh, kw, out_c]` weight transpose shared by
+    /// both correction paths (see [`Conv2dReuseState`]).
+    w_t: Option<Vec<f32>>,
+    /// Precomputed per-delta scratch; see [`Conv2dReuseState`].
+    deltas: Vec<ConvDelta>,
     in_shape: Shape,
     out_shape: Shape,
     initialized: bool,
@@ -341,28 +497,11 @@ impl Conv3dReuseState {
         let spec = layer.spec();
         let (od, oh, ow) = spec.output_dhw(d[1], d[2], d[3])?;
         let out_shape = Shape::d4(spec.out_channels, od, oh, ow);
-        let w = layer.weights().as_slice();
-        let (fc, cc) = (spec.out_channels, spec.in_channels);
-        let (kd, kh, kw) = (spec.kd, spec.kh, spec.kw);
-        let mut w_t = vec![0.0f32; w.len()];
-        for f in 0..fc {
-            for c in 0..cc {
-                for kz in 0..kd {
-                    for ky in 0..kh {
-                        for kx in 0..kw {
-                            let src = (((f * cc + c) * kd + kz) * kh + ky) * kw + kx;
-                            let dst = (((c * kd + kz) * kh + ky) * kw + kx) * fc + f;
-                            w_t[dst] = w[src];
-                        }
-                    }
-                }
-            }
-        }
         Ok(Conv3dReuseState {
             prev_codes: Vec::new(),
             prev_linear: Vec::new(),
-            w_t,
-            changed: Vec::new(),
+            w_t: None,
+            deltas: Vec::with_capacity(in_shape.volume()),
             in_shape: in_shape.clone(),
             out_shape,
             initialized: false,
@@ -378,7 +517,7 @@ impl Conv3dReuseState {
     pub fn reset(&mut self) {
         self.prev_codes.clear();
         self.prev_linear.clear();
-        self.changed.clear();
+        self.deltas.clear();
         self.initialized = false;
     }
 
@@ -446,8 +585,9 @@ impl Conv3dReuseState {
     }
 
     /// Allocation-free core of [`Self::execute`]; see
-    /// [`Conv2dReuseState::execute_into`] for the two-pass scheme. Workers
-    /// own whole output volumes, so results are bit-identical to serial.
+    /// [`Conv2dReuseState::execute_into`] for the blocked two-pass scheme.
+    /// Workers own whole output volumes, so results are bit-identical to
+    /// serial and to [`Self::execute_into_naive`].
     ///
     /// `input` is the flat row-major `[in_c, d, h, w]` data; only its length
     /// is checked.
@@ -462,6 +602,33 @@ impl Conv3dReuseState {
         quantizer: &LinearQuantizer,
         input: &[f32],
         out: &mut Vec<f32>,
+    ) -> Result<ConvExecStats, ReuseError> {
+        self.execute_into_impl(config, layer, quantizer, input, out, false)
+    }
+
+    /// [`Self::execute_into`] with the original scattered correction walk
+    /// (lazily-built weight transpose); the bit-identity oracle and
+    /// `kernel_bench` baseline. Not for production use.
+    #[doc(hidden)]
+    pub fn execute_into_naive(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &Conv3dLayer,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ConvExecStats, ReuseError> {
+        self.execute_into_impl(config, layer, quantizer, input, out, true)
+    }
+
+    fn execute_into_impl(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &Conv3dLayer,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+        naive: bool,
     ) -> Result<ConvExecStats, ReuseError> {
         if input.len() != self.in_shape.volume() {
             return Err(ReuseError::InvalidConfig {
@@ -502,14 +669,16 @@ impl Conv3dReuseState {
             });
         }
 
-        // Pass 1 (serial): diff codes in input order, collect changed list
-        // and the MAC count of the correction.
+        // Pass 1 (serial): diff codes in input order, precomputing each
+        // delta's geometry and the MAC count of the correction.
         let x = input;
         let mut macs = 0u64;
         let (kd, kh, kw, s, p) = (spec.kd, spec.kh, spec.kw, spec.stride, spec.pad);
+        let k_plane = kh * kw;
+        let k_vol = kd * k_plane;
         let o_plane = oh * ow;
         let o_vol = od * o_plane;
-        self.changed.clear();
+        self.deltas.clear();
         for (idx, &xv) in x.iter().enumerate() {
             let code = quantizer.quantize(xv);
             let prev = self.prev_codes[idx];
@@ -518,7 +687,7 @@ impl Conv3dReuseState {
             }
             self.prev_codes[idx] = code;
             let delta = quantizer.centroid(code) - quantizer.centroid(prev);
-            self.changed.push((idx as u32, delta));
+            let c = idx / (d * h * w);
             let z = (idx / (h * w)) % d;
             let y = (idx / w) % h;
             let xw = idx % w;
@@ -526,51 +695,147 @@ impl Conv3dReuseState {
             let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
             let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
             macs += ((oz_hi - oz_lo) * (oy_hi - oy_lo) * (ox_hi - ox_lo) * fc) as u64;
+            self.deltas.push(ConvDelta {
+                delta,
+                wc: c * k_vol,
+                zp: z + p,
+                yp: y + p,
+                xp: xw + p,
+                oz_lo,
+                oz_hi,
+                oy_lo,
+                oy_hi,
+                ox_lo,
+                ox_hi,
+            });
         }
 
-        // Pass 2 (parallel over output volumes): each worker applies every
-        // delta to the filter volumes it owns.
-        let w_t: &[f32] = &self.w_t;
-        let changed: &[(u32, f32)] = &self.changed;
-        parallel_for_mut(config, &mut self.prev_linear, o_vol, |offset, chunk| {
-            let first_f = offset / o_vol;
-            let n_f = chunk.len() / o_vol;
-            for &(idx, delta) in changed {
-                let idx = idx as usize;
-                let c = idx / (d * h * w);
-                let z = (idx / (h * w)) % d;
-                let y = (idx / w) % h;
-                let xw = idx % w;
-                let (oz_lo, oz_hi) = affected_range(z, kd, s, p, od);
-                let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
-                let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
-                for oz in oz_lo..oz_hi {
-                    let kz = z + p - oz * s;
-                    for oy in oy_lo..oy_hi {
-                        let ky = y + p - oy * s;
-                        for ox in ox_lo..ox_hi {
-                            let kx = xw + p - ox * s;
-                            let wrow =
-                                &w_t[(((c * kd + kz) * kh + ky) * kw + kx) * fc + first_f..][..n_f];
-                            let obase = (oz * oh + oy) * ow + ox;
-                            for (f, &wv) in wrow.iter().enumerate() {
-                                chunk[f * o_vol + obase] += delta * wv;
+        // Pass 2 (parallel over output volumes).
+        let Self {
+            w_t,
+            deltas,
+            prev_linear,
+            ..
+        } = self;
+        let deltas: &[ConvDelta] = deltas;
+        let w_t: &[f32] =
+            w_t.get_or_insert_with(|| transpose_3d(layer.weights().as_slice(), fc, &spec));
+        if naive {
+            // Original scattered walk over the [c, kz, ky, kx, f] transpose.
+            parallel_for_mut(config, prev_linear, o_vol, |offset, chunk| {
+                let first_f = offset / o_vol;
+                let n_f = chunk.len() / o_vol;
+                for dl in deltas {
+                    for oz in dl.oz_lo..dl.oz_hi {
+                        let kz = dl.zp - oz * s;
+                        for oy in dl.oy_lo..dl.oy_hi {
+                            let ky = dl.yp - oy * s;
+                            for ox in dl.ox_lo..dl.ox_hi {
+                                let kx = dl.xp - ox * s;
+                                let wrow = &w_t
+                                    [(dl.wc + kz * k_plane + ky * kw + kx) * fc + first_f..][..n_f];
+                                let obase = (oz * oh + oy) * ow + ox;
+                                for (f, &wv) in wrow.iter().enumerate() {
+                                    chunk[f * o_vol + obase] += dl.delta * wv;
+                                }
                             }
                         }
                     }
                 }
-            }
-        });
+            });
+        } else {
+            // Blocked walk: filter-tile-outer, delta-inner; tile volumes
+            // stay cache-resident and one tap's tile weights are a single
+            // contiguous load (see Conv2dReuseState::execute_into).
+            let one = |vol: &mut [f32], f: usize, group: &[ConvDelta]| {
+                for dl in group {
+                    for oz in dl.oz_lo..dl.oz_hi {
+                        let kz = dl.zp - oz * s;
+                        let wz = dl.wc + kz * k_plane;
+                        let oplane = oz * o_plane;
+                        for oy in dl.oy_lo..dl.oy_hi {
+                            let ky = dl.yp - oy * s;
+                            let wrow = wz + ky * kw;
+                            let orow = oplane + oy * ow;
+                            for ox in dl.ox_lo..dl.ox_hi {
+                                let kx = dl.xp - ox * s;
+                                vol[orow + ox] += dl.delta * w_t[(wrow + kx) * fc + f];
+                            }
+                        }
+                    }
+                }
+            };
+            parallel_for_mut_cost(config, prev_linear, o_vol, 2 * macs, |offset, chunk| {
+                for group in deltas.chunks(DELTA_BLOCK) {
+                    let mut f = offset / o_vol;
+                    for tile in chunk.chunks_mut(FILTER_TILE * o_vol) {
+                        if tile.len() == FILTER_TILE * o_vol {
+                            let (v0, rest) = tile.split_at_mut(o_vol);
+                            let (v1, rest) = rest.split_at_mut(o_vol);
+                            let (v2, v3) = rest.split_at_mut(o_vol);
+                            for dl in group {
+                                for oz in dl.oz_lo..dl.oz_hi {
+                                    let kz = dl.zp - oz * s;
+                                    let wz = dl.wc + kz * k_plane;
+                                    let oplane = oz * o_plane;
+                                    for oy in dl.oy_lo..dl.oy_hi {
+                                        let ky = dl.yp - oy * s;
+                                        let wrow = wz + ky * kw;
+                                        let orow = oplane + oy * ow;
+                                        for ox in dl.ox_lo..dl.ox_hi {
+                                            let wt = &w_t[(wrow + dl.xp - ox * s) * fc + f..]
+                                                [..FILTER_TILE];
+                                            let oi = orow + ox;
+                                            v0[oi] += dl.delta * wt[0];
+                                            v1[oi] += dl.delta * wt[1];
+                                            v2[oi] += dl.delta * wt[2];
+                                            v3[oi] += dl.delta * wt[3];
+                                        }
+                                    }
+                                }
+                            }
+                            f += FILTER_TILE;
+                        } else {
+                            for vol in tile.chunks_mut(o_vol) {
+                                one(vol, f, group);
+                                f += 1;
+                            }
+                        }
+                    }
+                }
+            });
+        }
         out.clear();
         out.extend_from_slice(&self.prev_linear);
         Ok(ConvExecStats {
             n_inputs: n_in,
-            n_changed: self.changed.len() as u64,
+            n_changed: self.deltas.len() as u64,
             macs_total,
             macs_performed: macs,
             from_scratch: false,
         })
     }
+}
+
+/// Builds the `[in_c, kd, kh, kw, out_c]` transpose of
+/// `[out_c, in_c, kd, kh, kw]` weights (naive-oracle layout).
+fn transpose_3d(w: &[f32], fc: usize, spec: &reuse_tensor::conv::Conv3dSpec) -> Vec<f32> {
+    let (cc, kd, kh, kw) = (spec.in_channels, spec.kd, spec.kh, spec.kw);
+    let mut w_t = vec![0.0f32; w.len()];
+    for f in 0..fc {
+        for c in 0..cc {
+            for kz in 0..kd {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let src = (((f * cc + c) * kd + kz) * kh + ky) * kw + kx;
+                        let dst = (((c * kd + kz) * kh + ky) * kw + kx) * fc + f;
+                        w_t[dst] = w[src];
+                    }
+                }
+            }
+        }
+    }
+    w_t
 }
 
 #[cfg(test)]
@@ -721,6 +986,73 @@ mod tests {
         let expect = layer.forward_linear(&qb).unwrap();
         for (x, y) in out.as_slice().iter().zip(expect.as_slice().iter()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_correction_matches_naive_walk_bitwise_2d() {
+        for (stride, pad) in [(1usize, 0usize), (1, 1), (2, 0), (2, 1)] {
+            let layer = layer2d(stride, pad);
+            let in_shape = Shape::d3(2, 7, 7);
+            let mut blocked = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+            let mut naive = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+            let cfg = ParallelConfig::serial();
+            let mut data = rand_input(in_shape.clone(), 11).into_vec();
+            let mut rng = Rng64::new(23);
+            let (mut out_b, mut out_n) = (Vec::new(), Vec::new());
+            for _ in 0..12 {
+                for _ in 0..8 {
+                    let i = (rng.next_u64() % data.len() as u64) as usize;
+                    data[i] = (data[i] + rng.uniform(0.6)).clamp(-1.0, 1.0);
+                }
+                let sb = blocked
+                    .execute_into(&cfg, &layer, &q(), &data, &mut out_b)
+                    .unwrap();
+                let sn = naive
+                    .execute_into_naive(&cfg, &layer, &q(), &data, &mut out_n)
+                    .unwrap();
+                assert_eq!(sb, sn, "stride {stride} pad {pad}");
+                let bb: Vec<u32> = out_b.iter().map(|v| v.to_bits()).collect();
+                let nb: Vec<u32> = out_n.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bb, nb, "stride {stride} pad {pad}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_correction_matches_naive_walk_bitwise_3d() {
+        let spec = Conv3dSpec {
+            in_channels: 2,
+            out_channels: 3,
+            kd: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let layer = Conv3dLayer::random(spec, Activation::Identity, &mut Rng64::new(9));
+        let in_shape = Shape::d4(2, 4, 5, 5);
+        let mut blocked = Conv3dReuseState::new(&layer, &in_shape).unwrap();
+        let mut naive = Conv3dReuseState::new(&layer, &in_shape).unwrap();
+        let cfg = ParallelConfig::serial();
+        let mut data = rand_input(in_shape.clone(), 31).into_vec();
+        let mut rng = Rng64::new(37);
+        let (mut out_b, mut out_n) = (Vec::new(), Vec::new());
+        for _ in 0..10 {
+            for _ in 0..10 {
+                let i = (rng.next_u64() % data.len() as u64) as usize;
+                data[i] = (data[i] + rng.uniform(0.6)).clamp(-1.0, 1.0);
+            }
+            let sb = blocked
+                .execute_into(&cfg, &layer, &q(), &data, &mut out_b)
+                .unwrap();
+            let sn = naive
+                .execute_into_naive(&cfg, &layer, &q(), &data, &mut out_n)
+                .unwrap();
+            assert_eq!(sb, sn);
+            let bb: Vec<u32> = out_b.iter().map(|v| v.to_bits()).collect();
+            let nb: Vec<u32> = out_n.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bb, nb);
         }
     }
 

@@ -134,8 +134,8 @@ enum SlotState {
     Conv3d(Conv3dReuseState),
     Lstm(LstmReuseState),
     BiLstm {
-        fwd: LstmReuseState,
-        bwd: LstmReuseState,
+        fwd: Box<LstmReuseState>,
+        bwd: Box<LstmReuseState>,
     },
 }
 
@@ -281,8 +281,8 @@ impl ReuseEngine {
                 ),
                 Layer::Lstm(cell) => SlotState::Lstm(LstmReuseState::new(cell)),
                 Layer::BiLstm(l) => SlotState::BiLstm {
-                    fwd: LstmReuseState::new(l.forward_cell()),
-                    bwd: LstmReuseState::new(l.backward_cell()),
+                    fwd: Box::new(LstmReuseState::new(l.forward_cell())),
+                    bwd: Box::new(LstmReuseState::new(l.backward_cell())),
                 },
                 _ => continue,
             };

@@ -12,6 +12,7 @@
 
 use reuse_nn::FullyConnected;
 use reuse_quant::{LinearQuantizer, QuantCode};
+use reuse_tensor::block::apply_deltas_rows;
 use reuse_tensor::parallel::parallel_for_mut;
 use reuse_tensor::{ParallelConfig, Shape, Tensor};
 
@@ -136,10 +137,16 @@ impl FcReuseState {
     /// the `n_out` linear outputs into it, reusing its capacity.
     ///
     /// Changed inputs are detected serially (updating the code buffer in
-    /// input order), then the corrections are applied to contiguous chunks
-    /// of the buffered linear outputs — each output neuron accumulates its
-    /// deltas in ascending input order on exactly one thread, so the result
-    /// is bit-identical for any `config`.
+    /// input order), then the whole batch of `(i, Δc)` deltas is applied
+    /// panel-by-panel over the layer's cache-blocked weight repack: each
+    /// 8-output panel is loaded once and every delta streams through it
+    /// before the next panel (sequential weight reads, multiple deltas per
+    /// panel pass). Each output neuron still accumulates its deltas in
+    /// changed-list (ascending input) order on exactly one thread, so the
+    /// result is bit-identical to the unblocked row walk
+    /// ([`Self::execute_into_naive`]) for any `config`. Correction frames
+    /// below the config's inline-FLOP threshold run inline with no thread
+    /// spawns.
     ///
     /// # Errors
     ///
@@ -151,6 +158,34 @@ impl FcReuseState {
         quantizer: &LinearQuantizer,
         input: &[f32],
         out: &mut Vec<f32>,
+    ) -> Result<FcExecStats, ReuseError> {
+        self.execute_into_impl(config, layer, quantizer, input, out, false)
+    }
+
+    /// [`Self::execute_into`] with the original unblocked correction walk
+    /// (one scattered weight-row pass per changed input). Serves as the
+    /// bit-identity oracle for the panel-batched path in proptests and as
+    /// the before/after baseline in `kernel_bench`; not for production use.
+    #[doc(hidden)]
+    pub fn execute_into_naive(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &FullyConnected,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<FcExecStats, ReuseError> {
+        self.execute_into_impl(config, layer, quantizer, input, out, true)
+    }
+
+    fn execute_into_impl(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &FullyConnected,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+        naive: bool,
     ) -> Result<FcExecStats, ReuseError> {
         let n_in = layer.n_in();
         let n_out = layer.n_out();
@@ -203,17 +238,26 @@ impl FcReuseState {
 
         // Pass 2 (parallel over output neurons): apply every delta to this
         // worker's span of the buffered linear outputs.
-        let w = layer.weights().as_slice();
         let changed: &[(u32, f32)] = &self.changed;
-        parallel_for_mut(config, &mut self.prev_linear, 1, |offset, chunk| {
-            for &(i, delta) in changed {
-                let base = i as usize * n_out + offset;
-                let row = &w[base..base + chunk.len()];
-                for (z, &wij) in chunk.iter_mut().zip(row.iter()) {
-                    *z += delta * wij;
+        if naive {
+            // Original scattered walk: one n_out-wide weight-row pass per
+            // changed input.
+            let w = layer.weights().as_slice();
+            parallel_for_mut(config, &mut self.prev_linear, 1, |offset, chunk| {
+                for &(i, delta) in changed {
+                    let base = i as usize * n_out + offset;
+                    let row = &w[base..base + chunk.len()];
+                    for (z, &wij) in chunk.iter_mut().zip(row.iter()) {
+                        *z += delta * wij;
+                    }
                 }
-            }
-        });
+            });
+        } else {
+            // Batched walk: DELTA_BATCH changed rows streamed together, one
+            // read-modify-write sweep of the buffered outputs per batch.
+            let w = layer.weights().as_slice();
+            apply_deltas_rows(config, w, n_out, changed, &mut self.prev_linear);
+        }
         out.clear();
         out.extend_from_slice(&self.prev_linear);
         Ok(FcExecStats {
@@ -316,6 +360,36 @@ mod tests {
             for (x, y) in out.as_slice().iter().zip(expect.iter()) {
                 assert!((x - y).abs() < 1e-3, "step {step}: {x} vs {y}");
             }
+        }
+    }
+
+    #[test]
+    fn batched_correction_matches_naive_walk_bitwise() {
+        // Odd dims (partial tail panel) + drifting frames: the panel-batched
+        // pass 2 must equal the original scattered row walk bit-for-bit and
+        // report identical stats (telemetry MAC counts unchanged).
+        let layer = FullyConnected::random(23, 29, Activation::Identity, &mut Rng64::new(5));
+        let q = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let mut blocked = FcReuseState::new(&layer);
+        let mut naive = FcReuseState::new(&layer);
+        let cfg = ParallelConfig::serial();
+        let mut input = vec![0.0f32; 23];
+        let mut rng = Rng64::new(17);
+        let (mut out_b, mut out_n) = (Vec::new(), Vec::new());
+        for _ in 0..30 {
+            for v in input.iter_mut().take(6) {
+                *v = (*v + rng.uniform(0.4)).clamp(-1.0, 1.0);
+            }
+            let sb = blocked
+                .execute_into(&cfg, &layer, &q, &input, &mut out_b)
+                .unwrap();
+            let sn = naive
+                .execute_into_naive(&cfg, &layer, &q, &input, &mut out_n)
+                .unwrap();
+            assert_eq!(sb, sn);
+            let bb: Vec<u32> = out_b.iter().map(|v| v.to_bits()).collect();
+            let nb: Vec<u32> = out_n.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bb, nb);
         }
     }
 

@@ -17,6 +17,7 @@
 use reuse_nn::lstm::NUM_GATES;
 use reuse_nn::{LstmCell, LstmState};
 use reuse_quant::{LinearQuantizer, QuantCode};
+use reuse_tensor::block::apply_deltas_rows;
 use reuse_tensor::parallel::parallel_for_mut;
 use reuse_tensor::ParallelConfig;
 
@@ -49,21 +50,46 @@ pub struct LstmReuseState {
     changed_x: Vec<(u32, f32)>,
     /// Scratch changed list for the recurrent inputs.
     changed_h: Vec<(u32, f32)>,
+    /// All four gates' feed-forward weights combined into one row-major
+    /// `[n_in, NUM_GATES·d]` matrix (column `g·d + u` is gate `g`, unit
+    /// `u`), built once at construction. Its column layout matches the
+    /// `[NUM_GATES × d]` pre-activation buffer, so one batched row walk
+    /// corrects all four gates — the "one comparison pays four gates"
+    /// property of the paper, with the gate loop folded into the row.
+    combined_x: Vec<f32>,
+    /// Same combined matrix for the recurrent weights (`[d, NUM_GATES·d]`).
+    combined_h: Vec<f32>,
     /// Recurrent (h, c) state carried between timesteps.
     state: LstmState,
     initialized: bool,
 }
 
 impl LstmReuseState {
-    /// Creates empty state for a cell.
+    /// Creates empty state for a cell. Combines the eight gate weight
+    /// matrices into the two four-gate matrices here (once,
+    /// pre-steady-state) so every later correction is allocation-free.
     pub fn new(cell: &LstmCell) -> Self {
+        let (n_in, d) = (cell.n_in(), cell.cell_dim());
+        let combine = |rows: usize, gates: [&[f32]; NUM_GATES]| {
+            let mut all = vec![0.0f32; rows * NUM_GATES * d];
+            for (g, w) in gates.iter().enumerate() {
+                for i in 0..rows {
+                    all[i * NUM_GATES * d + g * d..][..d].copy_from_slice(&w[i * d..(i + 1) * d]);
+                }
+            }
+            all
+        };
+        let combined_x = combine(n_in, core::array::from_fn(|g| cell.w_x(g).as_slice()));
+        let combined_h = combine(d, core::array::from_fn(|g| cell.w_h(g).as_slice()));
         LstmReuseState {
-            prev_x_codes: Vec::with_capacity(cell.n_in()),
-            prev_h_codes: Vec::with_capacity(cell.cell_dim()),
+            prev_x_codes: Vec::with_capacity(n_in),
+            prev_h_codes: Vec::with_capacity(d),
             prev_pre: Vec::new(),
-            changed_x: Vec::with_capacity(cell.n_in()),
-            changed_h: Vec::with_capacity(cell.cell_dim()),
-            state: LstmState::zeros(cell.cell_dim()),
+            changed_x: Vec::with_capacity(n_in),
+            changed_h: Vec::with_capacity(d),
+            combined_x,
+            combined_h,
+            state: LstmState::zeros(d),
             initialized: false,
         }
     }
@@ -143,10 +169,12 @@ impl LstmReuseState {
     /// new hidden output `h_t` into it.
     ///
     /// Changed x and h inputs are diffed serially, then the corrections are
-    /// applied to disjoint chunks of the `[NUM_GATES × cell_dim]`
-    /// pre-activation buffer — within a chunk each element accumulates all x
-    /// deltas then all h deltas in input order, exactly like the serial
-    /// path, so results are bit-identical for any `config`.
+    /// applied through the combined four-gate matrices in delta batches:
+    /// every output accumulates all x deltas then all h deltas in input
+    /// order — the same per-output order as the naive scattered row walk
+    /// ([`Self::step_into_naive`]) — so results are bit-identical for any
+    /// `config`. Calls cheaper than the config's inline-FLOP threshold stay
+    /// on the calling thread.
     ///
     /// # Errors
     ///
@@ -159,6 +187,40 @@ impl LstmReuseState {
         h_quantizer: &LinearQuantizer,
         x: &[f32],
         h_out: &mut Vec<f32>,
+    ) -> Result<LstmExecStats, ReuseError> {
+        self.step_into_impl(config, cell, x_quantizer, h_quantizer, x, h_out, false)
+    }
+
+    /// [`Self::step_into`] through the pre-blocking scattered row walk.
+    /// Kept as the bit-identity oracle for tests and as the before-side of
+    /// the kernel benchmarks; not part of the supported API.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `x` has the wrong length.
+    #[doc(hidden)]
+    pub fn step_into_naive(
+        &mut self,
+        config: &ParallelConfig,
+        cell: &LstmCell,
+        x_quantizer: &LinearQuantizer,
+        h_quantizer: &LinearQuantizer,
+        x: &[f32],
+        h_out: &mut Vec<f32>,
+    ) -> Result<LstmExecStats, ReuseError> {
+        self.step_into_impl(config, cell, x_quantizer, h_quantizer, x, h_out, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_into_impl(
+        &mut self,
+        config: &ParallelConfig,
+        cell: &LstmCell,
+        x_quantizer: &LinearQuantizer,
+        h_quantizer: &LinearQuantizer,
+        x: &[f32],
+        h_out: &mut Vec<f32>,
+        naive: bool,
     ) -> Result<LstmExecStats, ReuseError> {
         let n_in = cell.n_in();
         let d = cell.cell_dim();
@@ -225,38 +287,62 @@ impl LstmReuseState {
             self.changed_h.push((i as u32, delta));
         }
 
-        // Pass 2 (parallel over the 4×d pre-activation buffer): a chunk may
-        // span gate boundaries, so walk its per-gate segments; one index
-        // comparison above pays for the correction in all four gates.
+        // Pass 2: correct the 4×d pre-activation buffer; one index
+        // comparison above pays for the correction in all four gates. Each
+        // output accumulates all x deltas then all h deltas in input order
+        // on both branches, so they are bit-identical.
         let changed_x: &[(u32, f32)] = &self.changed_x;
         let changed_h: &[(u32, f32)] = &self.changed_h;
-        parallel_for_mut(config, &mut self.prev_pre, 1, |offset, chunk| {
-            let end = offset + chunk.len();
-            for g in offset / d..NUM_GATES {
-                let lo = (g * d).max(offset);
-                let hi = ((g + 1) * d).min(end);
-                if lo >= hi {
-                    break;
-                }
-                let within = lo - g * d;
-                let seg_len = hi - lo;
-                let seg = &mut chunk[lo - offset..hi - offset];
-                let wx = cell.w_x(g).as_slice();
-                for &(i, delta) in changed_x {
-                    let row = &wx[i as usize * d + within..][..seg_len];
-                    for (z, &wij) in seg.iter_mut().zip(row.iter()) {
-                        *z += delta * wij;
+        if naive {
+            // Scattered row walk over the raw weight matrices; a chunk may
+            // span gate boundaries, so walk its per-gate segments.
+            parallel_for_mut(config, &mut self.prev_pre, 1, |offset, chunk| {
+                let end = offset + chunk.len();
+                for g in offset / d..NUM_GATES {
+                    let lo = (g * d).max(offset);
+                    let hi = ((g + 1) * d).min(end);
+                    if lo >= hi {
+                        break;
+                    }
+                    let within = lo - g * d;
+                    let seg_len = hi - lo;
+                    let seg = &mut chunk[lo - offset..hi - offset];
+                    let wx = cell.w_x(g).as_slice();
+                    for &(i, delta) in changed_x {
+                        let row = &wx[i as usize * d + within..][..seg_len];
+                        for (z, &wij) in seg.iter_mut().zip(row.iter()) {
+                            *z += delta * wij;
+                        }
+                    }
+                    let wh = cell.w_h(g).as_slice();
+                    for &(i, delta) in changed_h {
+                        let row = &wh[i as usize * d + within..][..seg_len];
+                        for (z, &wij) in seg.iter_mut().zip(row.iter()) {
+                            *z += delta * wij;
+                        }
                     }
                 }
-                let wh = cell.w_h(g).as_slice();
-                for &(i, delta) in changed_h {
-                    let row = &wh[i as usize * d + within..][..seg_len];
-                    for (z, &wij) in seg.iter_mut().zip(row.iter()) {
-                        *z += delta * wij;
-                    }
-                }
-            }
-        });
+            });
+        } else {
+            // Delta-batched walk over the combined four-gate matrices:
+            // DELTA_BATCH changed rows streamed together per pass, all
+            // gates corrected in one sweep per source.
+            let width = NUM_GATES * d;
+            apply_deltas_rows(
+                config,
+                &self.combined_x,
+                width,
+                changed_x,
+                &mut self.prev_pre,
+            );
+            apply_deltas_rows(
+                config,
+                &self.combined_h,
+                width,
+                changed_h,
+                &mut self.prev_pre,
+            );
+        }
         let changed = (self.changed_x.len() + self.changed_h.len()) as u64;
         cell.step_from_preactivations_in_place(&self.prev_pre, &mut self.state);
         h_out.clear();
@@ -390,6 +476,35 @@ mod tests {
         // drift, which is zero at the fixed point).
         assert_eq!(s.macs_performed % (4 * 3) as u64, 0);
         assert!(s.macs_performed >= (4 * 3) as u64);
+    }
+
+    #[test]
+    fn panel_batched_step_matches_naive_walk_bitwise() {
+        // Odd cell_dim so the packed panels have a partial tail lane.
+        let cell = LstmCell::random(13, 11, &mut Rng64::new(5));
+        let xq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let hq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let mut blocked = LstmReuseState::new(&cell);
+        let mut naive = LstmReuseState::new(&cell);
+        let cfg = ParallelConfig::serial();
+        let mut rng = Rng64::new(17);
+        let mut frame = vec![0.0f32; 13];
+        let (mut hb, mut hn) = (Vec::new(), Vec::new());
+        for _ in 0..25 {
+            for v in &mut frame {
+                *v = (*v + rng.uniform(0.2)).clamp(-1.0, 1.0);
+            }
+            let sb = blocked
+                .step_into(&cfg, &cell, &xq, &hq, &frame, &mut hb)
+                .unwrap();
+            let sn = naive
+                .step_into_naive(&cfg, &cell, &xq, &hq, &frame, &mut hn)
+                .unwrap();
+            assert_eq!(sb, sn);
+            let bb: Vec<u32> = hb.iter().map(|v| v.to_bits()).collect();
+            let nb: Vec<u32> = hn.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bb, nb);
+        }
     }
 
     #[test]

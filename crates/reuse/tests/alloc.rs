@@ -121,3 +121,59 @@ fn steady_state_with_telemetry_is_allocation_free() {
         assert!(layer.reuse_executions >= 11);
     }
 }
+
+#[test]
+fn conv_state_steady_frames_are_allocation_free() {
+    // The blocked conv correction path builds its weight transpose lazily on
+    // the first incremental frame; after that, pass 1 writes the precomputed
+    // delta list into capacity reserved at construction and pass 2 walks
+    // buffers in place, so steady-state frames must not allocate.
+    use reuse_core::conv::Conv2dReuseState;
+    use reuse_nn::Conv2dLayer;
+    use reuse_quant::{InputRange, LinearQuantizer};
+    use reuse_tensor::conv::Conv2dSpec;
+    use reuse_tensor::{ParallelConfig, Shape};
+
+    let spec = Conv2dSpec {
+        in_channels: 3,
+        out_channels: 8,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let layer = Conv2dLayer::random(spec, Activation::Identity, &mut Rng64::new(5));
+    let quantizer = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 32).unwrap();
+    let in_shape = Shape::d3(3, 12, 12);
+    let mut state = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+
+    let mut rng = Rng64::new(17);
+    let mut frame: Vec<f32> = (0..in_shape.volume()).map(|_| rng.uniform(0.9)).collect();
+    let mut out = Vec::new();
+    let config = ParallelConfig::serial();
+
+    // From-scratch init, then one incremental frame to build the lazy
+    // transpose and size `out`.
+    for _ in 0..2 {
+        state
+            .execute_into(&config, &layer, &quantizer, &frame, &mut out)
+            .unwrap();
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        for _ in 0..16 {
+            let i = (rng.next_u64() % frame.len() as u64) as usize;
+            frame[i] = (frame[i] + rng.uniform(0.5)).clamp(-1.0, 1.0);
+        }
+        let stats = state
+            .execute_into(&config, &layer, &quantizer, &frame, &mut out)
+            .unwrap();
+        assert!(stats.n_changed > 0, "drifted frame must correct something");
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "steady-state conv frames allocated {allocations} times"
+    );
+}

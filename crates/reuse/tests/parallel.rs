@@ -21,7 +21,12 @@ fn quantizer(clusters: usize) -> LinearQuantizer {
 }
 
 fn cfg(threads: usize) -> ParallelConfig {
-    ParallelConfig::with_threads(threads).min_work_per_thread(1)
+    // Force real splits regardless of host size or call cost: no work
+    // floor, no inline-FLOP threshold, clamp bypassed.
+    ParallelConfig::with_threads(threads)
+        .min_work_per_thread(1)
+        .inline_flops(0)
+        .oversubscribed()
 }
 
 /// A drifting input stream: each frame perturbs a few positions of the last.

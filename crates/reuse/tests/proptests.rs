@@ -107,3 +107,80 @@ proptest! {
         prop_assert_eq!(stats.macs_performed, 0);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The blocked correction paths must match the pre-blocking scattered
+    // walks bit for bit AND report identical activity counters: blocking
+    // reorders which outputs are walked together, never which MACs are
+    // performed or skipped.
+
+    #[test]
+    fn fc_batched_corrections_match_naive_bitwise(
+        xs in frames(6, 11),
+        n_out in 1usize..40,
+    ) {
+        let layer = FullyConnected::random(11, n_out, Activation::Identity, &mut Rng64::new(23));
+        let q = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let cfg = reuse_tensor::ParallelConfig::serial();
+        let mut blocked = FcReuseState::new(&layer);
+        let mut naive = FcReuseState::new(&layer);
+        let (mut out_b, mut out_n) = (Vec::new(), Vec::new());
+        for x in &xs {
+            let sb = blocked.execute_into(&cfg, &layer, &q, x, &mut out_b).unwrap();
+            let sn = naive.execute_into_naive(&cfg, &layer, &q, x, &mut out_n).unwrap();
+            let bb: Vec<u32> = out_b.iter().map(|v| v.to_bits()).collect();
+            let nb: Vec<u32> = out_n.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(bb, nb);
+            prop_assert_eq!(sb.macs_performed, sn.macs_performed);
+            prop_assert_eq!(sb.n_changed, sn.n_changed);
+        }
+    }
+
+    #[test]
+    fn conv_blocked_corrections_match_naive_bitwise(
+        xs in frames(4, 3 * 6 * 7),
+        out_c in 1usize..7,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let spec = Conv2dSpec { in_channels: 3, out_channels: out_c, kh: 3, kw: 3, stride, pad };
+        let layer = Conv2dLayer::random(spec, Activation::Identity, &mut Rng64::new(29));
+        let q = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let cfg = reuse_tensor::ParallelConfig::serial();
+        let in_shape = Shape::d3(3, 6, 7);
+        let mut blocked = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        let mut naive = Conv2dReuseState::new(&layer, &in_shape).unwrap();
+        let (mut out_b, mut out_n) = (Vec::new(), Vec::new());
+        for x in &xs {
+            let sb = blocked.execute_into(&cfg, &layer, &q, x, &mut out_b).unwrap();
+            let sn = naive.execute_into_naive(&cfg, &layer, &q, x, &mut out_n).unwrap();
+            let bb: Vec<u32> = out_b.iter().map(|v| v.to_bits()).collect();
+            let nb: Vec<u32> = out_n.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(bb, nb);
+            prop_assert_eq!(sb.macs_performed, sn.macs_performed);
+            prop_assert_eq!(sb.n_changed, sn.n_changed);
+        }
+    }
+
+    #[test]
+    fn lstm_batched_corrections_match_naive_bitwise(xs in frames(8, 9)) {
+        let cell = LstmCell::random(9, 5, &mut Rng64::new(31));
+        let xq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let hq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
+        let cfg = reuse_tensor::ParallelConfig::serial();
+        let mut blocked = LstmReuseState::new(&cell);
+        let mut naive = LstmReuseState::new(&cell);
+        let (mut h_b, mut h_n) = (Vec::new(), Vec::new());
+        for x in &xs {
+            let sb = blocked.step_into(&cfg, &cell, &xq, &hq, x, &mut h_b).unwrap();
+            let sn = naive.step_into_naive(&cfg, &cell, &xq, &hq, x, &mut h_n).unwrap();
+            let bb: Vec<u32> = h_b.iter().map(|v| v.to_bits()).collect();
+            let nb: Vec<u32> = h_n.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(bb, nb);
+            prop_assert_eq!(sb.macs_performed, sn.macs_performed);
+            prop_assert_eq!(sb.n_changed, sn.n_changed);
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Cache-blocked weight panels and the 8-lane FC microkernel.
+//!
+//! The naive FC kernel streams the whole input-major weight matrix once per
+//! call, touching `n_out` floats per input row but accumulating into a
+//! cache-resident output chunk. That is already sequential, but every
+//! accumulator lives in memory and the compiler cannot keep a fixed set of
+//! registers hot. The blocked kernel instead repacks the weights **once per
+//! layer** into column panels of [`PANEL_WIDTH`] output neurons:
+//!
+//! ```text
+//! packed[(p · n_in + i) · 8 + l] = w[i · n_out + p · 8 + l]
+//! ```
+//!
+//! i.e. panel `p` holds the weights of outputs `8p .. 8p+8` for *all*
+//! inputs, contiguously, input-major within the panel (tail lanes of the
+//! last panel are zero-padded). One panel of a Kaldi-sized layer
+//! (`n_in = 400`) is `400 × 8 × 4 B = 12.5 KiB` — it fits L1 and is
+//! streamed exactly once per forward pass while the eight accumulators sit
+//! in registers as a fixed-width array the compiler auto-vectorizes.
+//!
+//! **Bit-identity.** For each output `j`, the blocked kernel performs the
+//! same additions in the same order as the naive loop: bias first, then
+//! `x[i] · w[i][j]` for `i` ascending, skipping `x[i] == 0.0` terms. Only
+//! *which outputs are walked together* changes, and IEEE-754 addition is
+//! performed per output — so results are bit-identical to
+//! [`crate::matmul::fc_forward_into`], which the proptests in
+//! `tests/blocked.rs` verify across odd shapes.
+
+use crate::matmul::fc_flops;
+use crate::parallel::{parallel_for_mut_cost, ParallelConfig};
+use crate::{Tensor, TensorError};
+
+/// Number of output lanes per packed panel. Eight `f32` lanes fill one
+/// 256-bit vector register; on narrower machines the compiler splits the
+/// fixed-width accumulator array into two 128-bit operations.
+pub const PANEL_WIDTH: usize = 8;
+
+/// Panels walked together per microkernel pass. Each panel's 8-lane
+/// accumulator is an *independent* floating-point dependency chain, so four
+/// panels in flight hide the FP-add latency that a single chain would
+/// serialize on (the adds within one output stay strictly ordered — ILP
+/// comes from interleaving different outputs, which does not change any
+/// output's accumulation order).
+pub(crate) const TILE_PANELS: usize = 4;
+
+/// Output lanes per tile pass (`TILE_PANELS × PANEL_WIDTH`).
+pub(crate) const TILE_LANES: usize = TILE_PANELS * PANEL_WIDTH;
+
+/// An input-major weight matrix repacked into [`PANEL_WIDTH`]-output column
+/// panels (see the module docs for the exact layout).
+///
+/// Packing is a one-time, per-layer cost paid at construction; the packed
+/// buffer is then read-only and streamed by the forward microkernel.
+/// (Reuse corrections read the *raw* row-major matrix instead — see
+/// [`apply_deltas_rows`] — because a sparse changed set touches only its
+/// own rows, and panel interleaving would waste half of every cache line.)
+/// [`PackedPanels::pack_into`] exposes the pooled-buffer form for callers
+/// that recycle allocations.
+#[derive(Debug, Clone)]
+pub struct PackedPanels {
+    data: Vec<f32>,
+    n_in: usize,
+    n_out: usize,
+}
+
+impl PackedPanels {
+    /// Packs a rank-2 input-major (`[n_in, n_out]`) weight tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `weights` is not rank-2.
+    pub fn pack(weights: &Tensor) -> Result<Self, TensorError> {
+        let dims = weights.shape().dims();
+        if dims.len() != 2 {
+            return Err(TensorError::ShapeMismatch {
+                context: format!("packed weights must be rank-2, got {}", weights.shape()),
+            });
+        }
+        Ok(Self::pack_slice(weights.as_slice(), dims[0], dims[1]))
+    }
+
+    /// Packs a raw input-major weight slice of shape `[n_in, n_out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `w.len() != n_in * n_out`.
+    pub fn pack_slice(w: &[f32], n_in: usize, n_out: usize) -> Self {
+        let mut data = Vec::new();
+        Self::pack_into(w, n_in, n_out, &mut data);
+        PackedPanels { data, n_in, n_out }
+    }
+
+    /// Pooled-buffer packing core: clears `buf`, reuses its capacity, and
+    /// fills it with the panel layout. Tail lanes beyond `n_out` are
+    /// zero-filled so the microkernel can always read full 8-lane rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `w.len() != n_in * n_out`.
+    pub fn pack_into(w: &[f32], n_in: usize, n_out: usize, buf: &mut Vec<f32>) {
+        assert_eq!(w.len(), n_in * n_out, "weight slice/shape mismatch");
+        let n_panels = n_out.div_ceil(PANEL_WIDTH);
+        buf.clear();
+        buf.resize(n_panels * n_in * PANEL_WIDTH, 0.0);
+        for p in 0..n_panels {
+            let col0 = p * PANEL_WIDTH;
+            let lanes = (n_out - col0).min(PANEL_WIDTH);
+            let panel = &mut buf[p * n_in * PANEL_WIDTH..(p + 1) * n_in * PANEL_WIDTH];
+            for i in 0..n_in {
+                let src = &w[i * n_out + col0..i * n_out + col0 + lanes];
+                panel[i * PANEL_WIDTH..i * PANEL_WIDTH + lanes].copy_from_slice(src);
+            }
+        }
+    }
+
+    /// Wraps an already-packed buffer (e.g. one produced by
+    /// [`Self::pack_into`] through a pool) without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` disagrees with the panel layout for
+    /// `[n_in, n_out]`.
+    pub fn from_packed_vec(data: Vec<f32>, n_in: usize, n_out: usize) -> Self {
+        let n_panels = n_out.div_ceil(PANEL_WIDTH);
+        assert_eq!(data.len(), n_panels * n_in * PANEL_WIDTH, "bad packed len");
+        PackedPanels { data, n_in, n_out }
+    }
+
+    /// Number of weight-matrix rows (layer inputs).
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Number of weight-matrix columns (layer outputs).
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Number of [`PANEL_WIDTH`]-output panels (`ceil(n_out / 8)`).
+    pub fn n_panels(&self) -> usize {
+        self.n_out.div_ceil(PANEL_WIDTH)
+    }
+
+    /// Panel `p` as a `[n_in × PANEL_WIDTH]` row-major slice: row `i` holds
+    /// `w[i][8p .. 8p+8]` (zero-padded past `n_out`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p >= n_panels()`.
+    pub fn panel(&self, p: usize) -> &[f32] {
+        let stride = self.n_in * PANEL_WIDTH;
+        &self.data[p * stride..(p + 1) * stride]
+    }
+
+    /// Heap bytes held by the packed buffer.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * core::mem::size_of::<f32>()
+    }
+}
+
+/// Blocked fully-connected forward pass: `out[j] = Σ_i w[i][j]·x[i] + b[j]`,
+/// bit-identical to [`crate::matmul::fc_forward_into`] (same per-output
+/// accumulation order — bias first, then ascending `i` with the
+/// `x[i] == 0.0` skip), but walking the one-time-packed panels with an
+/// 8-lane register accumulator.
+///
+/// Dispatch is adaptive: the call runs inline when its FLOP estimate is
+/// below [`ParallelConfig::inline_flops`], and output panels are otherwise
+/// chunked across the clamped worker count (granule = one panel).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `x` or `bias` disagree with
+/// the packed shape.
+pub fn fc_forward_packed_into(
+    config: &ParallelConfig,
+    packed: &PackedPanels,
+    x: &[f32],
+    bias: &[f32],
+    out: &mut Vec<f32>,
+) -> Result<(), TensorError> {
+    if x.len() != packed.n_in {
+        return Err(TensorError::ShapeMismatch {
+            context: format!(
+                "packed fc input length {} does not match weight rows {}",
+                x.len(),
+                packed.n_in
+            ),
+        });
+    }
+    if bias.len() != packed.n_out {
+        return Err(TensorError::ShapeMismatch {
+            context: format!(
+                "packed fc bias length {} does not match weight cols {}",
+                bias.len(),
+                packed.n_out
+            ),
+        });
+    }
+    out.clear();
+    out.extend_from_slice(bias);
+    let flops = fc_flops(packed.n_in, packed.n_out);
+    parallel_for_mut_cost(config, out, PANEL_WIDTH, flops, |offset, chunk| {
+        debug_assert_eq!(offset % PANEL_WIDTH, 0);
+        forward_panels(packed, x, offset / PANEL_WIDTH, chunk);
+    });
+    Ok(())
+}
+
+/// Walks a run of output panels starting at `first_panel`, four at a time
+/// with the tile kernel and one at a time for the remainder.
+#[inline]
+pub(crate) fn forward_panels(
+    packed: &PackedPanels,
+    x: &[f32],
+    first_panel: usize,
+    out: &mut [f32],
+) {
+    let mut p = first_panel;
+    for seg in out.chunks_mut(TILE_LANES) {
+        if seg.len() == TILE_LANES {
+            panel_tile_kernel(
+                [
+                    packed.panel(p),
+                    packed.panel(p + 1),
+                    packed.panel(p + 2),
+                    packed.panel(p + 3),
+                ],
+                x,
+                seg,
+            );
+            p += TILE_PANELS;
+        } else {
+            for sub in seg.chunks_mut(PANEL_WIDTH) {
+                panel_kernel(packed.panel(p), x, sub);
+                p += 1;
+            }
+        }
+    }
+}
+
+/// The wide microkernel: accumulates four panels' outputs over all inputs
+/// with four independent 8-lane register chains. `seg` enters holding the
+/// 32 valid outputs' biases (or partial sums) and leaves holding the
+/// results; per-output accumulation order is identical to
+/// [`panel_kernel`]'s.
+#[inline]
+fn panel_tile_kernel(panels: [&[f32]; TILE_PANELS], x: &[f32], seg: &mut [f32]) {
+    let mut acc = [0.0f32; TILE_LANES];
+    acc.copy_from_slice(seg);
+    let rows = x
+        .iter()
+        .zip(panels[0].chunks_exact(PANEL_WIDTH))
+        .zip(panels[1].chunks_exact(PANEL_WIDTH))
+        .zip(panels[2].chunks_exact(PANEL_WIDTH))
+        .zip(panels[3].chunks_exact(PANEL_WIDTH));
+    for ((((&xi, r0), r1), r2), r3) in rows {
+        if xi == 0.0 {
+            continue;
+        }
+        for l in 0..PANEL_WIDTH {
+            acc[l] += xi * r0[l];
+            acc[PANEL_WIDTH + l] += xi * r1[l];
+            acc[2 * PANEL_WIDTH + l] += xi * r2[l];
+            acc[3 * PANEL_WIDTH + l] += xi * r3[l];
+        }
+    }
+    seg.copy_from_slice(&acc);
+}
+
+/// The 8-lane microkernel: accumulates one panel's outputs over all inputs.
+/// `seg` enters holding the bias (or any partial sums) for the panel's
+/// `seg.len() ≤ 8` valid outputs and leaves holding the results.
+#[inline]
+pub(crate) fn panel_kernel(panel: &[f32], x: &[f32], seg: &mut [f32]) {
+    let mut acc = [0.0f32; PANEL_WIDTH];
+    acc[..seg.len()].copy_from_slice(seg);
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            // Same no-op skip as the naive kernel: keeps the flop pattern
+            // (and the bit pattern) identical.
+            continue;
+        }
+        let row = &panel[i * PANEL_WIDTH..i * PANEL_WIDTH + PANEL_WIDTH];
+        for l in 0..PANEL_WIDTH {
+            acc[l] += xi * row[l];
+        }
+    }
+    seg.copy_from_slice(&acc[..seg.len()]);
+}
+
+/// Changed-input deltas batched per correction pass: their weight rows are
+/// streamed together so the buffered pre-activation vector is
+/// read-modified-written once per batch instead of once per delta.
+pub const DELTA_BATCH: usize = 4;
+
+/// Applies a batch of reuse-correction deltas `(i, Δc·s)` to a buffered
+/// pre-activation vector `z`, reading the row-major `[n_in, n_out]` weight
+/// matrix directly. Deltas are processed [`DELTA_BATCH`] at a time: the
+/// batch's weight rows are walked as parallel sequential streams and `z` is
+/// loaded and stored once per batch, instead of one full `z`
+/// read-modify-write sweep per changed input. Sparse changed sets touch
+/// only the changed rows, and every touched cache line is consumed in full.
+///
+/// Per output `j` the additions are `Δ₀·w[i₀][j], Δ₁·w[i₁][j], …` in
+/// `deltas` order — exactly the order the naive correction loop uses — so
+/// the result is bit-identical to the unblocked path (paper Eq. 10).
+///
+/// The FLOP estimate for adaptive dispatch is `2 · deltas · n_out`; small
+/// correction frames stay inline and never pay thread-spawn cost.
+///
+/// # Panics
+///
+/// Panics (in debug) when `z.len() * max(i)` overruns `w`.
+pub fn apply_deltas_rows(
+    config: &ParallelConfig,
+    w: &[f32],
+    n_out: usize,
+    deltas: &[(u32, f32)],
+    z: &mut [f32],
+) {
+    debug_assert_eq!(z.len(), n_out);
+    if deltas.is_empty() || n_out == 0 {
+        return;
+    }
+    let flops = 2 * deltas.len() as u64 * n_out as u64;
+    parallel_for_mut_cost(config, z, 1, flops, |offset, chunk| {
+        let len = chunk.len();
+        let mut batches = deltas.chunks_exact(DELTA_BATCH);
+        for batch in batches.by_ref() {
+            let (i0, d0) = batch[0];
+            let (i1, d1) = batch[1];
+            let (i2, d2) = batch[2];
+            let (i3, d3) = batch[3];
+            let r0 = &w[i0 as usize * n_out + offset..][..len];
+            let r1 = &w[i1 as usize * n_out + offset..][..len];
+            let r2 = &w[i2 as usize * n_out + offset..][..len];
+            let r3 = &w[i3 as usize * n_out + offset..][..len];
+            for (j, zj) in chunk.iter_mut().enumerate() {
+                // One chain per output element; vectorizing over `j` gives
+                // the ILP, and the in-order adds keep bit-identity.
+                let mut acc = *zj;
+                acc += d0 * r0[j];
+                acc += d1 * r1[j];
+                acc += d2 * r2[j];
+                acc += d3 * r3[j];
+                *zj = acc;
+            }
+        }
+        for &(i, delta) in batches.remainder() {
+            let row = &w[i as usize * n_out + offset..][..len];
+            for (zj, &wij) in chunk.iter_mut().zip(row.iter()) {
+                *zj += delta * wij;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::fc_forward_into;
+    use crate::Shape;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|v| (v as f32) * 0.25 - 3.0).collect()
+    }
+
+    #[test]
+    fn pack_layout_round_trips() {
+        let (n_in, n_out) = (3, 11); // tail panel of 3 lanes
+        let w = ramp(n_in * n_out);
+        let packed = PackedPanels::pack_slice(&w, n_in, n_out);
+        assert_eq!(packed.n_panels(), 2);
+        for p in 0..packed.n_panels() {
+            let panel = packed.panel(p);
+            for i in 0..n_in {
+                for l in 0..PANEL_WIDTH {
+                    let j = p * PANEL_WIDTH + l;
+                    let expect = if j < n_out { w[i * n_out + j] } else { 0.0 };
+                    assert_eq!(panel[i * PANEL_WIDTH + l], expect, "p={p} i={i} l={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_forward_matches_naive_bitwise() {
+        for (n_in, n_out) in [(1usize, 1usize), (3, 8), (5, 13), (17, 31), (40, 64)] {
+            let w = Tensor::from_vec(Shape::d2(n_in, n_out), ramp(n_in * n_out)).unwrap();
+            let mut xv = ramp(n_in);
+            if n_in > 2 {
+                xv[2] = 0.0; // exercise the zero-skip path
+            }
+            let x = Tensor::from_vec(Shape::d1(n_in), xv).unwrap();
+            let b = Tensor::from_vec(Shape::d1(n_out), ramp(n_out)).unwrap();
+            let cfg = ParallelConfig::serial();
+            let mut naive = Vec::new();
+            fc_forward_into(&cfg, &w, &x, &b, &mut naive).unwrap();
+            let packed = PackedPanels::pack(&w).unwrap();
+            let mut blocked = Vec::new();
+            fc_forward_packed_into(&cfg, &packed, x.as_slice(), b.as_slice(), &mut blocked)
+                .unwrap();
+            let nb: Vec<u32> = naive.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = blocked.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(nb, bb, "n_in={n_in} n_out={n_out}");
+        }
+    }
+
+    #[test]
+    fn batched_deltas_match_row_walk_bitwise() {
+        // 9 deltas exercises two full DELTA_BATCH groups plus a remainder.
+        let (n_in, n_out) = (13usize, 21usize);
+        let w = ramp(n_in * n_out);
+        let deltas: Vec<(u32, f32)> = vec![
+            (0, 0.5),
+            (1, -1.25),
+            (3, 2.0),
+            (4, 0.75),
+            (6, -0.5),
+            (7, 1.5),
+            (9, -2.25),
+            (10, 0.25),
+            (12, 3.0),
+        ];
+        let mut z_blocked = ramp(n_out);
+        let mut z_naive = z_blocked.clone();
+        // Naive order: for each output, deltas applied in list order.
+        for &(i, d) in &deltas {
+            for (j, zj) in z_naive.iter_mut().enumerate() {
+                *zj += d * w[i as usize * n_out + j];
+            }
+        }
+        apply_deltas_rows(
+            &ParallelConfig::serial(),
+            &w,
+            n_out,
+            &deltas,
+            &mut z_blocked,
+        );
+        let nb: Vec<u32> = z_naive.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = z_blocked.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(nb, bb);
+    }
+
+    #[test]
+    fn pack_rejects_non_rank2() {
+        let t = Tensor::zeros(Shape::d1(4));
+        assert!(PackedPanels::pack(&t).is_err());
+    }
+
+    #[test]
+    fn forward_validates_dimensions() {
+        let packed = PackedPanels::pack_slice(&ramp(6), 2, 3);
+        let mut out = Vec::new();
+        let cfg = ParallelConfig::serial();
+        assert!(fc_forward_packed_into(&cfg, &packed, &[1.0], &[0.0; 3], &mut out).is_err());
+        assert!(fc_forward_packed_into(&cfg, &packed, &[1.0, 2.0], &[0.0; 2], &mut out).is_err());
+    }
+}

@@ -14,8 +14,12 @@
 //! Input layout is `[channels, (depth,) height, width]`; weights are
 //! `[out_channels, in_channels, (kd,) kh, kw]`.
 
-use crate::parallel::{parallel_for_mut, ParallelConfig};
+use crate::parallel::{parallel_for_mut_cost, ParallelConfig};
 use crate::{Shape, Tensor, TensorError};
+
+/// Lane count of the fixed-width accumulator tile the blocked conv kernels
+/// carry along each output row (mirrors [`crate::block::PANEL_WIDTH`]).
+const LANES: usize = crate::block::PANEL_WIDTH;
 
 /// Geometry of a 2D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,7 +172,15 @@ pub fn conv2d_forward(
 /// [`conv2d_forward`] with an explicit parallelism budget. Output channels
 /// are chunked across workers (granule = one `oh×ow` output plane), so each
 /// output element is accumulated by one thread in the serial loop order —
-/// results are bit-identical to the serial path.
+/// results are bit-identical to [`conv2d_forward_naive`].
+///
+/// The kernel is cache-blocked: one filter's weight block
+/// `[in_c × kh × kw]` *is* the L1 panel (it is read front-to-back per
+/// output plane), and each output row is walked in [`LANES`]-wide tiles
+/// with a fixed-width register accumulator, `kx` innermost over the tile.
+/// Per output element the additions still happen in ascending
+/// `(ic, ky, kx)` order with the same out-of-bounds skips as the naive
+/// triple loop, so blocking never changes the bits.
 ///
 /// # Errors
 ///
@@ -181,6 +193,113 @@ pub fn conv2d_forward_with(
     weights: &Tensor,
     bias: &Tensor,
 ) -> Result<Tensor, TensorError> {
+    let (h, w, oh, ow) = check_conv2d(spec, input, weights, bias)?;
+    let x = input.as_slice();
+    let wv = weights.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * oh * ow];
+
+    let in_plane = h * w;
+    let k_plane = spec.kh * spec.kw;
+    let w_per_filter = spec.in_channels * k_plane;
+    let s = spec.stride;
+    let pad = spec.pad;
+    let o_plane = oh * ow;
+    // Interior columns: every kx tap lands inside [0, w).
+    let (int_lo, int_hi) = interior_range(w, spec.kw, s, pad, ow);
+    let flops = spec.flops(h, w);
+    parallel_for_mut_cost(config, &mut out, o_plane, flops, |chunk_offset, chunk| {
+        let first_oc = chunk_offset / o_plane;
+        for (p, plane) in chunk.chunks_mut(o_plane).enumerate() {
+            let oc = first_oc + p;
+            plane.fill(bv[oc]);
+            let wf = &wv[oc * w_per_filter..(oc + 1) * w_per_filter];
+            for ic in 0..spec.in_channels {
+                let xc = &x[ic * in_plane..(ic + 1) * in_plane];
+                let wc = &wf[ic * k_plane..(ic + 1) * k_plane];
+                for ky in 0..spec.kh {
+                    let wrow = &wc[ky * spec.kw..(ky + 1) * spec.kw];
+                    for oy in 0..oh {
+                        let iy = (oy * s + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = &xc[iy as usize * w..(iy as usize + 1) * w];
+                        let orow = &mut plane[oy * ow..(oy + 1) * ow];
+                        conv_row_pass(orow, xrow, wrow, w, s, pad, int_lo, int_hi);
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(Shape::d3(spec.out_channels, oh, ow), out)
+}
+
+/// The unblocked serial oracle for [`conv2d_forward`]: the original
+/// per-output triple loop with no row tiling. Kept public so proptests and
+/// `kernel_bench` can compare the blocked kernel against the original
+/// baseline.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when any dimension disagrees with
+/// the spec.
+pub fn conv2d_forward_naive(
+    spec: &Conv2dSpec,
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let (h, w, oh, ow) = check_conv2d(spec, input, weights, bias)?;
+    let x = input.as_slice();
+    let wv = weights.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * oh * ow];
+
+    let in_plane = h * w;
+    let k_plane = spec.kh * spec.kw;
+    let w_per_filter = spec.in_channels * k_plane;
+    let pad = spec.pad as isize;
+    let o_plane = oh * ow;
+    for (oc, plane) in out.chunks_mut(o_plane).enumerate() {
+        let wbase = oc * w_per_filter;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bv[oc];
+                let iy0 = (oy * spec.stride) as isize - pad;
+                let ix0 = (ox * spec.stride) as isize - pad;
+                for ic in 0..spec.in_channels {
+                    let ibase = ic * in_plane;
+                    let wcbase = wbase + ic * k_plane;
+                    for ky in 0..spec.kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let irow = ibase + iy as usize * w;
+                        let wrow = wcbase + ky * spec.kw;
+                        for kx in 0..spec.kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += x[irow + ix as usize] * wv[wrow + kx];
+                        }
+                    }
+                }
+                plane[oy * ow + ox] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d3(spec.out_channels, oh, ow), out)
+}
+
+fn check_conv2d(
+    spec: &Conv2dSpec,
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+) -> Result<(usize, usize, usize, usize), TensorError> {
     let idims = input.shape().dims();
     if idims.len() != 3 || idims[0] != spec.in_channels {
         return Err(TensorError::ShapeMismatch {
@@ -211,51 +330,96 @@ pub fn conv2d_forward_with(
     }
     let (h, w) = (idims[1], idims[2]);
     let (oh, ow) = spec.output_hw(h, w)?;
-    let x = input.as_slice();
-    let wv = weights.as_slice();
-    let bv = bias.as_slice();
-    let mut out = vec![0.0f32; spec.out_channels * oh * ow];
+    Ok((h, w, oh, ow))
+}
 
-    let in_plane = h * w;
-    let k_plane = spec.kh * spec.kw;
-    let w_per_filter = spec.in_channels * k_plane;
-    let pad = spec.pad as isize;
-    let o_plane = oh * ow;
-    parallel_for_mut(config, &mut out, o_plane, |chunk_offset, chunk| {
-        let first_oc = chunk_offset / o_plane;
-        for (p, plane) in chunk.chunks_mut(o_plane).enumerate() {
-            let oc = first_oc + p;
-            let wbase = oc * w_per_filter;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = bv[oc];
-                    let iy0 = (oy * spec.stride) as isize - pad;
-                    let ix0 = (ox * spec.stride) as isize - pad;
-                    for ic in 0..spec.in_channels {
-                        let ibase = ic * in_plane;
-                        let wcbase = wbase + ic * k_plane;
-                        for ky in 0..spec.kh {
-                            let iy = iy0 + ky as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let irow = ibase + iy as usize * w;
-                            let wrow = wcbase + ky * spec.kw;
-                            for kx in 0..spec.kw {
-                                let ix = ix0 + kx as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                acc += x[irow + ix as usize] * wv[wrow + kx];
-                            }
-                        }
-                    }
-                    plane[oy * ow + ox] = acc;
+/// Output-column range `[lo, hi]` (inclusive) whose kernel taps all land
+/// inside `[0, w)`, i.e. where the row pass can skip per-tap bounds checks.
+/// Returns an empty range (`lo > hi`) when no column is fully interior.
+fn interior_range(
+    w: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ow: usize,
+) -> (usize, Option<usize>) {
+    let lo = pad.div_ceil(stride);
+    let hi_num = w as isize + pad as isize - kw as isize;
+    if hi_num < 0 || lo >= ow {
+        return (lo, None);
+    }
+    Some((hi_num as usize / stride).min(ow - 1))
+        .filter(|&hi| hi >= lo)
+        .map_or((lo, None), |hi| (lo, Some(hi)))
+}
+
+/// One `(ic, [kz,] ky)` accumulation pass over an output row.
+///
+/// Interior columns run in [`LANES`]-wide register tiles (`kx` innermost,
+/// preserving per-output tap order); the padded border columns fall back to
+/// the scalar per-tap-checked walk. Bit-identical to visiting each output
+/// column independently.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn conv_row_pass(
+    orow: &mut [f32],
+    xrow: &[f32],
+    wrow: &[f32],
+    w: usize,
+    stride: usize,
+    pad: usize,
+    int_lo: usize,
+    int_hi: Option<usize>,
+) {
+    let ow = orow.len();
+    let kw = wrow.len();
+    let scalar = |orow: &mut [f32], ox: usize| {
+        let ix0 = (ox * stride) as isize - pad as isize;
+        let mut acc = orow[ox];
+        for (kx, &wk) in wrow.iter().enumerate() {
+            let ix = ix0 + kx as isize;
+            if ix < 0 || ix >= w as isize {
+                continue;
+            }
+            acc += xrow[ix as usize] * wk;
+        }
+        orow[ox] = acc;
+    };
+    let Some(int_hi) = int_hi else {
+        for ox in 0..ow {
+            scalar(orow, ox);
+        }
+        return;
+    };
+    for ox in 0..int_lo.min(ow) {
+        scalar(orow, ox);
+    }
+    let mut t = int_lo;
+    while t <= int_hi {
+        let len = LANES.min(int_hi + 1 - t);
+        let mut acc = [0.0f32; LANES];
+        acc[..len].copy_from_slice(&orow[t..t + len]);
+        for (kx, &wk) in wrow.iter().enumerate() {
+            let xbase = t * stride + kx - pad;
+            if kw == 1 || stride == 1 {
+                // Contiguous loads: the common stride-1 fast path the
+                // compiler vectorizes cleanly.
+                let xs = &xrow[xbase..xbase + (len - 1) * stride + 1];
+                for (l, a) in acc[..len].iter_mut().enumerate() {
+                    *a += xs[l * stride] * wk;
+                }
+            } else {
+                for (l, a) in acc[..len].iter_mut().enumerate() {
+                    *a += xrow[xbase + l * stride] * wk;
                 }
             }
         }
-    });
-    Tensor::from_vec(Shape::d3(spec.out_channels, oh, ow), out)
+        orow[t..t + len].copy_from_slice(&acc[..len]);
+        t += len;
+    }
+    for ox in (int_hi + 1).max(int_lo)..ow {
+        scalar(orow, ox);
+    }
 }
 
 /// Direct 3D convolution with symmetric zero padding (paper Eq. 2).
@@ -278,7 +442,12 @@ pub fn conv3d_forward(
 
 /// [`conv3d_forward`] with an explicit parallelism budget. Output filters
 /// are chunked across workers (granule = one `od×oh×ow` output volume);
-/// results are bit-identical to the serial path.
+/// results are bit-identical to [`conv3d_forward_naive`].
+///
+/// Blocked exactly like [`conv2d_forward_with`]: the filter's weight block
+/// is streamed front-to-back as the L1 panel and output rows run in
+/// [`LANES`]-wide register tiles, preserving the naive per-output
+/// `(ic, kz, ky, kx)` tap order.
 ///
 /// # Errors
 ///
@@ -291,6 +460,137 @@ pub fn conv3d_forward_with(
     weights: &Tensor,
     bias: &Tensor,
 ) -> Result<Tensor, TensorError> {
+    let (d, h, w, od, oh, ow) = check_conv3d(spec, input, weights, bias)?;
+    let x = input.as_slice();
+    let wv = weights.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * od * oh * ow];
+
+    let in_plane = h * w;
+    let in_vol = d * in_plane;
+    let k_plane = spec.kh * spec.kw;
+    let k_vol = spec.kd * k_plane;
+    let w_per_filter = spec.in_channels * k_vol;
+    let s = spec.stride;
+    let pad = spec.pad;
+    let o_plane = oh * ow;
+    let o_vol = od * o_plane;
+    let (int_lo, int_hi) = interior_range(w, spec.kw, s, pad, ow);
+    let flops = spec.flops(d, h, w);
+    parallel_for_mut_cost(config, &mut out, o_vol, flops, |chunk_offset, chunk| {
+        let first_oc = chunk_offset / o_vol;
+        for (p, vol) in chunk.chunks_mut(o_vol).enumerate() {
+            let oc = first_oc + p;
+            vol.fill(bv[oc]);
+            let wf = &wv[oc * w_per_filter..(oc + 1) * w_per_filter];
+            for ic in 0..spec.in_channels {
+                let xc = &x[ic * in_vol..(ic + 1) * in_vol];
+                let wc = &wf[ic * k_vol..(ic + 1) * k_vol];
+                for kz in 0..spec.kd {
+                    let wz = &wc[kz * k_plane..(kz + 1) * k_plane];
+                    for oz in 0..od {
+                        let iz = (oz * s + kz) as isize - pad as isize;
+                        if iz < 0 || iz >= d as isize {
+                            continue;
+                        }
+                        let xz = &xc[iz as usize * in_plane..(iz as usize + 1) * in_plane];
+                        let oplane = &mut vol[oz * o_plane..(oz + 1) * o_plane];
+                        for ky in 0..spec.kh {
+                            let wrow = &wz[ky * spec.kw..(ky + 1) * spec.kw];
+                            for oy in 0..oh {
+                                let iy = (oy * s + ky) as isize - pad as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let xrow = &xz[iy as usize * w..(iy as usize + 1) * w];
+                                let orow = &mut oplane[oy * ow..(oy + 1) * ow];
+                                conv_row_pass(orow, xrow, wrow, w, s, pad, int_lo, int_hi);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(Shape::d4(spec.out_channels, od, oh, ow), out)
+}
+
+/// The unblocked serial oracle for [`conv3d_forward`] (see
+/// [`conv2d_forward_naive`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when any dimension disagrees with
+/// the spec.
+pub fn conv3d_forward_naive(
+    spec: &Conv3dSpec,
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let (d, h, w, od, oh, ow) = check_conv3d(spec, input, weights, bias)?;
+    let x = input.as_slice();
+    let wv = weights.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * od * oh * ow];
+
+    let in_plane = h * w;
+    let in_vol = d * in_plane;
+    let k_plane = spec.kh * spec.kw;
+    let k_vol = spec.kd * k_plane;
+    let w_per_filter = spec.in_channels * k_vol;
+    let pad = spec.pad as isize;
+    let o_vol = od * oh * ow;
+    for (oc, vol) in out.chunks_mut(o_vol).enumerate() {
+        let wbase = oc * w_per_filter;
+        for oz in 0..od {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bv[oc];
+                    let iz0 = (oz * spec.stride) as isize - pad;
+                    let iy0 = (oy * spec.stride) as isize - pad;
+                    let ix0 = (ox * spec.stride) as isize - pad;
+                    for ic in 0..spec.in_channels {
+                        let icbase = ic * in_vol;
+                        let wcbase = wbase + ic * k_vol;
+                        for kz in 0..spec.kd {
+                            let iz = iz0 + kz as isize;
+                            if iz < 0 || iz >= d as isize {
+                                continue;
+                            }
+                            let izbase = icbase + iz as usize * in_plane;
+                            let wzbase = wcbase + kz * k_plane;
+                            for ky in 0..spec.kh {
+                                let iy = iy0 + ky as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let irow = izbase + iy as usize * w;
+                                let wrow = wzbase + ky * spec.kw;
+                                for kx in 0..spec.kw {
+                                    let ix = ix0 + kx as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += x[irow + ix as usize] * wv[wrow + kx];
+                                }
+                            }
+                        }
+                    }
+                    vol[(oz * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d4(spec.out_channels, od, oh, ow), out)
+}
+
+fn check_conv3d(
+    spec: &Conv3dSpec,
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+) -> Result<(usize, usize, usize, usize, usize, usize), TensorError> {
     let idims = input.shape().dims();
     if idims.len() != 4 || idims[0] != spec.in_channels {
         return Err(TensorError::ShapeMismatch {
@@ -321,64 +621,7 @@ pub fn conv3d_forward_with(
     }
     let (d, h, w) = (idims[1], idims[2], idims[3]);
     let (od, oh, ow) = spec.output_dhw(d, h, w)?;
-    let x = input.as_slice();
-    let wv = weights.as_slice();
-    let bv = bias.as_slice();
-    let mut out = vec![0.0f32; spec.out_channels * od * oh * ow];
-
-    let in_plane = h * w;
-    let in_vol = d * in_plane;
-    let k_plane = spec.kh * spec.kw;
-    let k_vol = spec.kd * k_plane;
-    let w_per_filter = spec.in_channels * k_vol;
-    let pad = spec.pad as isize;
-    let o_vol = od * oh * ow;
-    parallel_for_mut(config, &mut out, o_vol, |chunk_offset, chunk| {
-        let first_oc = chunk_offset / o_vol;
-        for (p, vol) in chunk.chunks_mut(o_vol).enumerate() {
-            let oc = first_oc + p;
-            let wbase = oc * w_per_filter;
-            for oz in 0..od {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bv[oc];
-                        let iz0 = (oz * spec.stride) as isize - pad;
-                        let iy0 = (oy * spec.stride) as isize - pad;
-                        let ix0 = (ox * spec.stride) as isize - pad;
-                        for ic in 0..spec.in_channels {
-                            let icbase = ic * in_vol;
-                            let wcbase = wbase + ic * k_vol;
-                            for kz in 0..spec.kd {
-                                let iz = iz0 + kz as isize;
-                                if iz < 0 || iz >= d as isize {
-                                    continue;
-                                }
-                                let izbase = icbase + iz as usize * in_plane;
-                                let wzbase = wcbase + kz * k_plane;
-                                for ky in 0..spec.kh {
-                                    let iy = iy0 + ky as isize;
-                                    if iy < 0 || iy >= h as isize {
-                                        continue;
-                                    }
-                                    let irow = izbase + iy as usize * w;
-                                    let wrow = wzbase + ky * spec.kw;
-                                    for kx in 0..spec.kw {
-                                        let ix = ix0 + kx as isize;
-                                        if ix < 0 || ix >= w as isize {
-                                            continue;
-                                        }
-                                        acc += x[irow + ix as usize] * wv[wrow + kx];
-                                    }
-                                }
-                            }
-                        }
-                        vol[(oz * oh + oy) * ow + ox] = acc;
-                    }
-                }
-            }
-        }
-    });
-    Tensor::from_vec(Shape::d4(spec.out_channels, od, oh, ow), out)
+    Ok((d, h, w, od, oh, ow))
 }
 
 fn pool_extent(size: usize, window: usize, stride: usize, ceil: bool) -> usize {
@@ -783,5 +1026,64 @@ mod tests {
     fn pool_rejects_oversized_window() {
         let input = Tensor::zeros(Shape::d3(1, 2, 2));
         assert!(max_pool2d(&input, 3, 3).is_err());
+    }
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|v| (v as f32) * 0.31 - 4.0).collect()
+    }
+
+    #[test]
+    fn blocked_conv2d_matches_naive_bitwise() {
+        // (in_c, out_c, k, stride, pad, h, w) — borders, stride>1, 1×1.
+        for (ic, oc, k, s, p, h, w) in [
+            (1usize, 1usize, 1usize, 1usize, 0usize, 5usize, 9usize),
+            (2, 3, 3, 1, 1, 6, 11),
+            (3, 2, 5, 2, 0, 9, 17),
+            (1, 2, 3, 2, 2, 4, 4),
+        ] {
+            let spec = Conv2dSpec {
+                in_channels: ic,
+                out_channels: oc,
+                kh: k,
+                kw: k,
+                stride: s,
+                pad: p,
+            };
+            let input = Tensor::from_vec(Shape::d3(ic, h, w), ramp(ic * h * w)).unwrap();
+            let wt = Tensor::from_vec(spec.weight_shape(), ramp(oc * ic * k * k)).unwrap();
+            let b = Tensor::from_vec(Shape::d1(oc), ramp(oc)).unwrap();
+            let naive = conv2d_forward_naive(&spec, &input, &wt, &b).unwrap();
+            let blocked = conv2d_forward(&spec, &input, &wt, &b).unwrap();
+            let nb: Vec<u32> = naive.as_slice().iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = blocked.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(nb, bb, "ic={ic} oc={oc} k={k} s={s} p={p} {h}x{w}");
+        }
+    }
+
+    #[test]
+    fn blocked_conv3d_matches_naive_bitwise() {
+        for (s, p) in [(1usize, 0usize), (1, 1), (2, 1)] {
+            let spec = Conv3dSpec {
+                in_channels: 2,
+                out_channels: 3,
+                kd: 3,
+                kh: 3,
+                kw: 3,
+                stride: s,
+                pad: p,
+            };
+            let (d, h, w) = (4usize, 5usize, 11usize);
+            if spec.output_dhw(d, h, w).is_err() {
+                continue;
+            }
+            let input = Tensor::from_vec(Shape::d4(2, d, h, w), ramp(2 * d * h * w)).unwrap();
+            let wt = Tensor::from_vec(spec.weight_shape(), ramp(3 * 2 * 27)).unwrap();
+            let b = Tensor::from_vec(Shape::d1(3), ramp(3)).unwrap();
+            let naive = conv3d_forward_naive(&spec, &input, &wt, &b).unwrap();
+            let blocked = conv3d_forward(&spec, &input, &wt, &b).unwrap();
+            let nb: Vec<u32> = naive.as_slice().iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = blocked.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(nb, bb, "s={s} p={p}");
+        }
     }
 }

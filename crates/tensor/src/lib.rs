@@ -12,8 +12,11 @@
 //!   layers (no im2col; the accelerator model mirrors the direct loop nest).
 //! * [`fixed`] — Q-format fixed-point scalars used by the reduced-precision
 //!   accelerator study (paper Section VI-A).
-//! * [`parallel`] — dependency-free scoped-thread runtime; kernels partition
-//!   their outputs across workers while staying bit-identical to serial.
+//! * [`parallel`] — dependency-free scoped-thread runtime with adaptive
+//!   serial/parallel dispatch; kernels partition their outputs across
+//!   workers while staying bit-identical to serial.
+//! * [`block`] — cache-blocked weight panels and the 8-lane FC microkernel
+//!   shared by the forward and reuse-correction hot paths.
 //!
 //! # Example
 //!
@@ -27,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod conv;
 mod error;
 pub mod fixed;
@@ -36,7 +40,10 @@ pub mod parallel;
 mod shape;
 mod tensor;
 
+pub use block::{PackedPanels, PANEL_WIDTH};
 pub use error::TensorError;
-pub use parallel::{parallel_for_mut, parallel_map, ParallelConfig};
+pub use parallel::{
+    hardware_threads, parallel_for_mut, parallel_for_mut_cost, parallel_map, ParallelConfig,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -7,7 +7,8 @@
 //! is exactly what the reuse scheme needs to skip or correct one input at a
 //! time.
 
-use crate::parallel::{parallel_for_mut, ParallelConfig};
+use crate::block::PackedPanels;
+use crate::parallel::{parallel_for_mut_cost, ParallelConfig};
 use crate::{Shape, Tensor, TensorError};
 
 /// Computes `out[j] = Σ_i w[i][j] · x[i] + b[j]` (paper Eq. 1).
@@ -52,6 +53,11 @@ pub fn fc_forward_with(
 /// `out[o] +=` targets are partitioned — so every output element sees the
 /// same additions in the same order regardless of thread count.
 ///
+/// This unpacked walk is the **serial oracle** for the cache-blocked
+/// [`crate::block::fc_forward_packed_into`] kernel (which is bit-identical
+/// to it); layers that run repeatedly should pack once and use the blocked
+/// path instead.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] when dimensions disagree.
@@ -91,7 +97,8 @@ pub fn fc_forward_into(
     let x = input.as_slice();
     out.clear();
     out.extend_from_slice(bias.as_slice());
-    parallel_for_mut(config, out, 1, |offset, chunk| {
+    let flops = fc_flops(n_in, n_out);
+    parallel_for_mut_cost(config, out, 1, flops, |offset, chunk| {
         for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 // Mathematically a no-op; skipping keeps the flop pattern
@@ -124,29 +131,67 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// [`matmul`] with an explicit parallelism budget. Rows of `C` are chunked
 /// across workers (granule = one output row), so each `C[i][j]` is
 /// accumulated by one thread in the serial order — results are bit-identical
-/// to [`matmul`].
+/// to [`matmul_naive`].
+///
+/// When `A` has at least [`MATMUL_PACK_MIN_ROWS`] rows the kernel repacks
+/// `B` into [`crate::block::PANEL_WIDTH`]-column cache panels (a per-call cost amortized
+/// over the rows of `C`) and runs the 8-lane blocked microkernel; smaller
+/// products use the naive row walk. Both paths perform each `C[i][j]`'s
+/// additions in ascending-`l` order with the `A[i][l] == 0.0` skip, so the
+/// choice never changes the bits.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] when inner dimensions disagree or
 /// either operand is not rank-2.
 pub fn matmul_with(config: &ParallelConfig, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (ad, bd) = (a.shape().dims(), b.shape().dims());
-    if ad.len() != 2 || bd.len() != 2 {
-        return Err(TensorError::ShapeMismatch {
-            context: "matmul operands must be rank-2".into(),
-        });
-    }
-    let (m, k) = (ad[0], ad[1]);
-    let (k2, n) = (bd[0], bd[1]);
-    if k != k2 {
-        return Err(TensorError::ShapeMismatch {
-            context: format!("matmul inner dims {k} vs {k2}"),
-        });
+    let (m, k, n) = matmul_dims(a, b)?;
+    if m < MATMUL_PACK_MIN_ROWS {
+        return matmul_naive_with(config, a, b);
     }
     let (av, bv) = (a.as_slice(), b.as_slice());
+    let packed = PackedPanels::pack_slice(bv, k, n);
     let mut c = vec![0.0f32; m * n];
-    parallel_for_mut(config, &mut c, n, |offset, chunk| {
+    let flops = 2 * (m as u64) * (k as u64) * (n as u64);
+    parallel_for_mut_cost(config, &mut c, n, flops, |offset, chunk| {
+        let first_row = offset / n;
+        for (r, crow) in chunk.chunks_mut(n).enumerate() {
+            let arow = &av[(first_row + r) * k..(first_row + r + 1) * k];
+            // crow starts zeroed, so the microkernels' accumulators begin
+            // at 0.0 exactly like the naive loop.
+            crate::block::forward_panels(&packed, arow, 0, crow);
+        }
+    });
+    Tensor::from_vec(Shape::d2(m, n), c)
+}
+
+/// Row threshold below which [`matmul_with`] skips the per-call `B` repack:
+/// packing costs `k·n` writes, so it only pays for itself once several rows
+/// of `C` stream the same panels.
+pub const MATMUL_PACK_MIN_ROWS: usize = 4;
+
+/// The unblocked serial oracle for [`matmul`]: a plain row walk with no
+/// weight repacking. Kept public so proptests and `kernel_bench` can compare
+/// the blocked kernel against the original baseline.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when inner dimensions disagree or
+/// either operand is not rank-2.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_naive_with(&ParallelConfig::serial(), a, b)
+}
+
+fn matmul_naive_with(
+    config: &ParallelConfig,
+    a: &Tensor,
+    b: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let (m, k, n) = matmul_dims(a, b)?;
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut c = vec![0.0f32; m * n];
+    let flops = 2 * (m as u64) * (k as u64) * (n as u64);
+    parallel_for_mut_cost(config, &mut c, n, flops, |offset, chunk| {
         let first_row = offset / n;
         for (r, crow) in chunk.chunks_mut(n).enumerate() {
             let i = first_row + r;
@@ -163,6 +208,23 @@ pub fn matmul_with(config: &ParallelConfig, a: &Tensor, b: &Tensor) -> Result<Te
         }
     });
     Tensor::from_vec(Shape::d2(m, n), c)
+}
+
+fn matmul_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize), TensorError> {
+    let (ad, bd) = (a.shape().dims(), b.shape().dims());
+    if ad.len() != 2 || bd.len() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            context: "matmul operands must be rank-2".into(),
+        });
+    }
+    let (m, k) = (ad[0], ad[1]);
+    let (k2, n) = (bd[0], bd[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            context: format!("matmul inner dims {k} vs {k2}"),
+        });
+    }
+    Ok((m, k, n))
 }
 
 /// Number of multiply and add operations an FC layer performs from scratch:
@@ -235,5 +297,23 @@ mod tests {
     #[test]
     fn flops_formula() {
         assert_eq!(fc_flops(400, 2000), 1_600_000);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise() {
+        // Shapes straddling MATMUL_PACK_MIN_ROWS and the 8-lane panel width.
+        for (m, k, n) in [(4usize, 3usize, 5usize), (6, 7, 8), (9, 11, 13), (5, 1, 17)] {
+            let av: Vec<f32> = (0..m * k).map(|v| (v as f32) * 0.37 - 2.0).collect();
+            let bv: Vec<f32> = (0..k * n).map(|v| 1.5 - (v as f32) * 0.21).collect();
+            let mut av = av;
+            av[1] = 0.0; // exercise the zero-skip
+            let a = Tensor::from_vec(Shape::d2(m, k), av).unwrap();
+            let b = Tensor::from_vec(Shape::d2(k, n), bv).unwrap();
+            let naive = matmul_naive(&a, &b).unwrap();
+            let blocked = matmul(&a, &b).unwrap();
+            let nb: Vec<u32> = naive.as_slice().iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = blocked.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(nb, bb, "m={m} k={k} n={n}");
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! Scoped-thread parallel runtime for the kernels.
+//! Scoped-thread parallel runtime with adaptive serial/parallel dispatch.
 //!
 //! The build environment pins an offline registry, so there is no rayon
 //! here: workers are plain `std::thread::scope` threads. Every parallel
@@ -9,23 +9,63 @@
 //! bit-identical to serial ones, and the paper's incremental-correction
 //! invariant (`z' = z + (c'−c)·w`, Eq. 10) is preserved under any thread
 //! count. See DESIGN.md, "Threading model & determinism".
+//!
+//! Dispatch is adaptive on two axes:
+//!
+//! * **Hardware clamp** — a config never resolves to more workers than the
+//!   host exposes ([`hardware_threads`]), even when `num_threads` asks for
+//!   more. Oversubscribing a small host turns every spawn into pure
+//!   scheduling overhead (the regression PR 1's `BENCH_kernels.json`
+//!   recorded on a 1-thread machine). Tests that need to exercise the
+//!   chunking logic itself can opt out with
+//!   [`ParallelConfig::oversubscribed`].
+//! * **Work-size threshold** — kernels that know their FLOP count call
+//!   [`parallel_for_mut_cost`]; calls below
+//!   [`ParallelConfig::inline_flops`] run inline on the caller thread, so
+//!   tiny reuse-correction frames never pay thread-spawn latency.
+
+/// The detected number of hardware threads (`1` when detection fails).
+pub fn hardware_threads() -> usize {
+    // Cached: `available_parallelism` is a syscall, and adaptive dispatch
+    // consults the clamp on every kernel call.
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
 
 /// How much parallelism a kernel call may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
     /// Worker threads to use. `0` means "ask the OS"
     /// (`std::thread::available_parallelism`); `1` runs inline with no
-    /// thread spawns at all.
+    /// thread spawns at all. Explicit counts are clamped to the hardware
+    /// thread count unless [`Self::oversubscribed`] is set.
     pub num_threads: usize,
     /// Minimum output elements each worker must receive. Calls whose total
     /// output is below `2 × min_work_per_thread` run inline; otherwise the
     /// worker count is capped at `total / min_work_per_thread`. This keeps
     /// tiny layers from paying thread-spawn latency for nothing.
     pub min_work_per_thread: usize,
+    /// Total-work threshold in FLOPs below which a cost-aware call
+    /// ([`parallel_for_mut_cost`]) runs inline regardless of output size.
+    /// Kernels estimate this from `fc_flops` / `Conv*Spec::flops` / the
+    /// changed-delta count. Default [`DEFAULT_INLINE_FLOPS`].
+    pub inline_flops: u64,
+    /// Allows `num_threads` to exceed the hardware thread count. Off by
+    /// default (the clamp); tests of the chunking logic switch it on to
+    /// force multi-chunk execution on small hosts.
+    pub oversubscribe: bool,
 }
 
 /// Default floor under which spawning a thread costs more than it saves.
 pub const DEFAULT_MIN_WORK: usize = 1024;
+
+/// Default FLOP threshold for inline dispatch (~0.1 ms of serial work on
+/// this class of host — comfortably above thread spawn+join latency).
+pub const DEFAULT_INLINE_FLOPS: u64 = 1_000_000;
 
 impl Default for ParallelConfig {
     fn default() -> Self {
@@ -39,14 +79,17 @@ impl ParallelConfig {
         ParallelConfig {
             num_threads: 1,
             min_work_per_thread: DEFAULT_MIN_WORK,
+            inline_flops: DEFAULT_INLINE_FLOPS,
+            oversubscribe: false,
         }
     }
 
-    /// Use exactly `n` workers (clamped to at least 1).
+    /// Use up to `n` workers (clamped to at least 1, and to the hardware
+    /// thread count at resolution time unless [`Self::oversubscribed`]).
     pub fn with_threads(n: usize) -> Self {
         ParallelConfig {
             num_threads: n.max(1),
-            min_work_per_thread: DEFAULT_MIN_WORK,
+            ..ParallelConfig::serial()
         }
     }
 
@@ -54,7 +97,7 @@ impl ParallelConfig {
     pub fn auto() -> Self {
         ParallelConfig {
             num_threads: 0,
-            min_work_per_thread: DEFAULT_MIN_WORK,
+            ..ParallelConfig::serial()
         }
     }
 
@@ -64,18 +107,41 @@ impl ParallelConfig {
         self
     }
 
+    /// Overrides the FLOP threshold below which cost-aware calls stay
+    /// inline (`0` disables the threshold entirely).
+    pub fn inline_flops(mut self, flops: u64) -> Self {
+        self.inline_flops = flops;
+        self
+    }
+
+    /// Disables the hardware clamp, letting `num_threads` spawn more
+    /// workers than the host has hardware threads. Only useful for testing
+    /// the chunk partitioning itself; never faster.
+    pub fn oversubscribed(mut self) -> Self {
+        self.oversubscribe = true;
+        self
+    }
+
     /// Resolved worker count for a call producing `total_work` output
     /// elements. Always at least 1; 1 means "run inline".
     pub fn workers_for(&self, total_work: usize) -> usize {
-        let hw = if self.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
+        self.workers_for_with(total_work, hardware_threads())
+    }
+
+    /// [`Self::workers_for`] with an explicit hardware thread count —
+    /// the pure resolution logic, exposed so tests and benches can check
+    /// clamping deterministically on any host.
+    pub fn workers_for_with(&self, total_work: usize, hardware: usize) -> usize {
+        let hardware = hardware.max(1);
+        let requested = if self.num_threads == 0 {
+            hardware
+        } else if self.oversubscribe {
             self.num_threads
+        } else {
+            self.num_threads.min(hardware)
         };
         let work_cap = total_work / self.min_work_per_thread.max(1);
-        hw.min(work_cap.max(1)).min(total_work.max(1))
+        requested.min(work_cap.max(1)).min(total_work.max(1))
     }
 }
 
@@ -98,7 +164,33 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    parallel_for_mut_cost(config, out, granule, u64::MAX, body);
+}
+
+/// Cost-aware variant of [`parallel_for_mut`]: `flops` is the caller's
+/// estimate of the call's total arithmetic work. Calls below
+/// [`ParallelConfig::inline_flops`] run inline on the caller thread — the
+/// adaptive-dispatch path that keeps small corrections from paying
+/// thread-spawn latency. Results are bit-identical either way.
+///
+/// # Panics
+///
+/// Propagates panics from `body` (the scope joins all workers first).
+pub fn parallel_for_mut_cost<T, F>(
+    config: &ParallelConfig,
+    out: &mut [T],
+    granule: usize,
+    flops: u64,
+    body: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     if out.is_empty() {
+        return;
+    }
+    if flops < config.inline_flops {
+        body(0, out);
         return;
     }
     let granule = granule.max(1);
@@ -161,6 +253,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn serial_config_never_splits() {
@@ -170,16 +263,87 @@ mod tests {
     #[test]
     fn worker_count_respects_work_floor() {
         let cfg = ParallelConfig::with_threads(8).min_work_per_thread(100);
-        assert_eq!(cfg.workers_for(50), 1);
-        assert_eq!(cfg.workers_for(250), 2);
-        assert_eq!(cfg.workers_for(100_000), 8);
+        // Resolved against an 8-thread host so the floor is the only limit.
+        assert_eq!(cfg.workers_for_with(50, 8), 1);
+        assert_eq!(cfg.workers_for_with(250, 8), 2);
+        assert_eq!(cfg.workers_for_with(100_000, 8), 8);
+    }
+
+    #[test]
+    fn explicit_thread_count_is_clamped_to_hardware() {
+        // The oversubscription fix: with_threads(8) on a 2-thread host
+        // resolves to 2 workers, not 8.
+        let cfg = ParallelConfig::with_threads(8).min_work_per_thread(1);
+        assert_eq!(cfg.workers_for_with(1 << 20, 2), 2);
+        assert_eq!(cfg.workers_for_with(1 << 20, 1), 1);
+        // auto() asks the host directly.
+        assert_eq!(
+            ParallelConfig::auto()
+                .min_work_per_thread(1)
+                .workers_for_with(1 << 20, 3),
+            3
+        );
+    }
+
+    /// The CI clamp gate: honors a forced `REUSE_THREADS` (default 8) and
+    /// asserts the *detected-hardware* resolution never exceeds the host.
+    #[test]
+    fn clamp_holds_under_forced_reuse_threads() {
+        let requested: usize = std::env::var("REUSE_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(8);
+        let cfg = ParallelConfig::with_threads(requested).min_work_per_thread(1);
+        let resolved = cfg.workers_for(usize::MAX);
+        assert!(
+            resolved <= hardware_threads(),
+            "resolved {resolved} workers on a {}-thread host (requested {requested})",
+            hardware_threads()
+        );
+    }
+
+    #[test]
+    fn oversubscribed_escape_hatch_bypasses_clamp() {
+        let cfg = ParallelConfig::with_threads(8)
+            .min_work_per_thread(1)
+            .oversubscribed();
+        assert_eq!(cfg.workers_for_with(1 << 20, 2), 8);
+    }
+
+    #[test]
+    fn inline_flops_threshold_keeps_small_calls_inline() {
+        let cfg = ParallelConfig::with_threads(4)
+            .min_work_per_thread(1)
+            .oversubscribed();
+        let chunks = AtomicUsize::new(0);
+        let mut out = vec![0u32; 64];
+        // Below the default threshold: one inline chunk.
+        parallel_for_mut_cost(&cfg, &mut out, 1, DEFAULT_INLINE_FLOPS - 1, |_, _| {
+            chunks.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(chunks.load(Ordering::Relaxed), 1);
+        // At/above the threshold: splits into several chunks.
+        chunks.store(0, Ordering::Relaxed);
+        parallel_for_mut_cost(&cfg, &mut out, 1, DEFAULT_INLINE_FLOPS, |_, _| {
+            chunks.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(chunks.load(Ordering::Relaxed), 4);
+        // inline_flops(0) disables the threshold.
+        chunks.store(0, Ordering::Relaxed);
+        parallel_for_mut_cost(&cfg.inline_flops(0), &mut out, 1, 1, |_, _| {
+            chunks.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(chunks.load(Ordering::Relaxed), 4);
     }
 
     #[test]
     fn chunks_cover_every_element_once() {
         for threads in 1..6 {
             for len in [1usize, 2, 7, 64, 65] {
-                let cfg = ParallelConfig::with_threads(threads).min_work_per_thread(1);
+                let cfg = ParallelConfig::with_threads(threads)
+                    .min_work_per_thread(1)
+                    .oversubscribed();
                 let mut out = vec![0u32; len];
                 parallel_for_mut(&cfg, &mut out, 1, |offset, chunk| {
                     for (k, v) in chunk.iter_mut().enumerate() {
@@ -194,7 +358,9 @@ mod tests {
 
     #[test]
     fn granules_are_never_split() {
-        let cfg = ParallelConfig::with_threads(3).min_work_per_thread(1);
+        let cfg = ParallelConfig::with_threads(3)
+            .min_work_per_thread(1)
+            .oversubscribed();
         let granule = 4;
         let mut out = vec![usize::MAX; granule * 7];
         parallel_for_mut(&cfg, &mut out, granule, |offset, chunk| {
@@ -213,7 +379,7 @@ mod tests {
     fn parallel_map_preserves_order() {
         let items: Vec<usize> = (0..57).collect();
         for threads in [1, 2, 5] {
-            let cfg = ParallelConfig::with_threads(threads);
+            let cfg = ParallelConfig::with_threads(threads).oversubscribed();
             let mapped = parallel_map(&cfg, &items, |&v| v * 3);
             assert_eq!(mapped, items.iter().map(|v| v * 3).collect::<Vec<_>>());
         }

@@ -1,0 +1,179 @@
+//! Property-based bit-identity of the cache-blocked kernels against their
+//! naive serial oracles.
+//!
+//! The blocked kernels promise more than numerical closeness: for every
+//! output element they perform the same IEEE-754 additions in the same
+//! order as the naive loops, so the results must be *bit-identical* across
+//! arbitrary shapes — including dimensions that are not a multiple of the
+//! panel width or tile width, 1×1 convolutions, and strides > 1.
+
+use proptest::prelude::*;
+use reuse_tensor::block::{apply_deltas_rows, fc_forward_packed_into};
+use reuse_tensor::conv::{
+    conv2d_forward_naive, conv2d_forward_with, conv3d_forward_naive, conv3d_forward_with,
+    Conv2dSpec, Conv3dSpec,
+};
+use reuse_tensor::matmul::{fc_forward_into, matmul_naive, matmul_with};
+use reuse_tensor::{PackedPanels, ParallelConfig, Shape, Tensor};
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_fc_forward_matches_naive_bitwise(
+        n_in in 1usize..40,
+        n_out in 1usize..70,
+        seed in 0u64..1000,
+    ) {
+        let mut gen = seed;
+        let mut next = move || {
+            gen = gen.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((gen >> 33) % 201) as i64 - 100;
+            // Every ~4th value an exact zero to exercise the skip.
+            if gen % 4 == 0 { 0.0 } else { v as f32 / 10.0 }
+        };
+        let w: Vec<f32> = (0..n_in * n_out).map(|_| next()).collect();
+        let x: Vec<f32> = (0..n_in).map(|_| next()).collect();
+        let b: Vec<f32> = (0..n_out).map(|_| next()).collect();
+        let weights = Tensor::from_vec(Shape::d2(n_in, n_out), w.clone()).unwrap();
+        let tx = Tensor::from_slice_1d(&x).unwrap();
+        let tb = Tensor::from_slice_1d(&b).unwrap();
+        let cfg = ParallelConfig::serial();
+
+        let mut naive = Vec::new();
+        fc_forward_into(&cfg, &weights, &tx, &tb, &mut naive).unwrap();
+
+        let packed = PackedPanels::pack_slice(&w, n_in, n_out);
+        let mut blocked = Vec::new();
+        fc_forward_packed_into(&cfg, &packed, &x, &b, &mut blocked).unwrap();
+
+        prop_assert_eq!(bits(&naive), bits(&blocked));
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise(
+        m in 1usize..6,
+        k in 1usize..20,
+        n in 1usize..50,
+        seed in 0u64..1000,
+    ) {
+        let mut gen = seed.wrapping_add(1);
+        let mut next = move || {
+            gen = gen.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((gen >> 33) % 201) as i64 as f32 / 10.0 - 10.0
+        };
+        let av: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let bv: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let ta = Tensor::from_vec(Shape::d2(m, k), av).unwrap();
+        let tb = Tensor::from_vec(Shape::d2(k, n), bv).unwrap();
+
+        let naive = matmul_naive(&ta, &tb).unwrap();
+        let blocked = matmul_with(&ParallelConfig::serial(), &ta, &tb).unwrap();
+
+        prop_assert_eq!(bits(naive.as_slice()), bits(blocked.as_slice()));
+    }
+
+    #[test]
+    fn blocked_conv2d_matches_naive_bitwise(
+        in_c in 1usize..4,
+        out_c in 1usize..7,
+        h in 3usize..9,
+        w in 3usize..11,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let spec = Conv2dSpec { in_channels: in_c, out_channels: out_c, kh, kw, stride, pad };
+        let mut gen = (h * 31 + w) as u64;
+        let mut next = move || {
+            gen = gen.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((gen >> 33) % 201) as i64 as f32 / 10.0 - 10.0
+        };
+        let input = Tensor::from_fn(Shape::d3(in_c, h, w), |_| next());
+        let weights = Tensor::from_fn(spec.weight_shape(), |_| next());
+        let bias = Tensor::from_fn(Shape::d1(out_c), |_| next());
+
+        let naive = conv2d_forward_naive(&spec, &input, &weights, &bias).unwrap();
+        let blocked =
+            conv2d_forward_with(&ParallelConfig::serial(), &spec, &input, &weights, &bias)
+                .unwrap();
+
+        prop_assert_eq!(bits(naive.as_slice()), bits(blocked.as_slice()));
+    }
+
+    #[test]
+    fn blocked_conv3d_matches_naive_bitwise(
+        in_c in 1usize..3,
+        out_c in 1usize..5,
+        d in 2usize..5,
+        h in 3usize..7,
+        w in 3usize..7,
+        kd in 1usize..3,
+        khw in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        prop_assume!(d + 2 * pad >= kd);
+        let spec = Conv3dSpec {
+            in_channels: in_c,
+            out_channels: out_c,
+            kd,
+            kh: khw,
+            kw: khw,
+            stride,
+            pad,
+        };
+        let mut gen = (d * 97 + h * 13 + w) as u64;
+        let mut next = move || {
+            gen = gen.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((gen >> 33) % 201) as i64 as f32 / 10.0 - 10.0
+        };
+        let input = Tensor::from_fn(Shape::d4(in_c, d, h, w), |_| next());
+        let weights = Tensor::from_fn(spec.weight_shape(), |_| next());
+        let bias = Tensor::from_fn(Shape::d1(out_c), |_| next());
+
+        let naive = conv3d_forward_naive(&spec, &input, &weights, &bias).unwrap();
+        let blocked =
+            conv3d_forward_with(&ParallelConfig::serial(), &spec, &input, &weights, &bias)
+                .unwrap();
+
+        prop_assert_eq!(bits(naive.as_slice()), bits(blocked.as_slice()));
+    }
+
+    #[test]
+    fn batched_delta_rows_match_naive_walk_bitwise(
+        n_in in 1usize..30,
+        n_out in 1usize..60,
+        mask in 0u64..(1u64 << 30),
+        w_seed in 0u64..500,
+    ) {
+        let mut gen = w_seed.wrapping_add(7);
+        let mut next = move || {
+            gen = gen.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((gen >> 33) % 201) as i64 as f32 / 10.0 - 10.0
+        };
+        let w: Vec<f32> = (0..n_in * n_out).map(|_| next()).collect();
+        // Strictly-ascending changed list, as pass 1 produces it; arbitrary
+        // length covers full DELTA_BATCH groups plus ragged remainders.
+        let deltas: Vec<(u32, f32)> = (0..n_in)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| (i as u32, next()))
+            .collect();
+        let mut z_blocked: Vec<f32> = (0..n_out).map(|_| next()).collect();
+        let mut z_naive = z_blocked.clone();
+
+        for &(i, d) in &deltas {
+            for (j, zj) in z_naive.iter_mut().enumerate() {
+                *zj += d * w[i as usize * n_out + j];
+            }
+        }
+        apply_deltas_rows(&ParallelConfig::serial(), &w, n_out, &deltas, &mut z_blocked);
+
+        prop_assert_eq!(bits(&z_naive), bits(&z_blocked));
+    }
+}

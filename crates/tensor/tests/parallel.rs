@@ -22,8 +22,14 @@ fn vec_of(len: usize) -> impl Strategy<Value = Vec<f32>> {
 }
 
 fn cfg(threads: usize) -> ParallelConfig {
-    // Zero work floor so even tiny outputs actually split across workers.
-    ParallelConfig::with_threads(threads).min_work_per_thread(1)
+    // Zero work floor so even tiny outputs actually split across workers,
+    // zero inline threshold so small kernels don't dodge the thread pool,
+    // and oversubscription allowed so the split still happens on hosts with
+    // fewer hardware threads than `threads`.
+    ParallelConfig::with_threads(threads)
+        .min_work_per_thread(1)
+        .inline_flops(0)
+        .oversubscribed()
 }
 
 fn assert_bits_eq(a: &Tensor, b: &Tensor) -> Result<(), TestCaseError> {

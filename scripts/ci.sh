@@ -18,4 +18,14 @@ echo "== telemetry overhead smoke (budget ${REUSE_TELEMETRY_OVERHEAD_PCT:-5}%) =
 # bench binary exits nonzero when the on/off delta exceeds the budget.
 cargo run --release -q -p reuse-bench --bin kernel_bench -- --telemetry-smoke
 
+echo "== blocked-kernel perf smoke (floor ${REUSE_BLOCKED_MIN_SPEEDUP:-1.0}x) =="
+# The cache-blocked matmul must never lose to the naive serial kernel; the
+# floor is tunable for noisy hosts via REUSE_BLOCKED_MIN_SPEEDUP.
+cargo run --release -q -p reuse-bench --bin kernel_bench -- --perf-smoke
+
+echo "== thread-clamp check (forced REUSE_THREADS=8) =="
+# Adaptive dispatch must clamp worker counts to the hardware even when the
+# environment demands more.
+REUSE_THREADS=8 cargo test -q -p reuse-tensor clamp_holds_under_forced_reuse_threads
+
 echo "CI OK"
