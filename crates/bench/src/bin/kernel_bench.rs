@@ -38,7 +38,7 @@ use std::time::Instant;
 use reuse_core::conv::{Conv2dReuseState, Conv3dReuseState};
 use reuse_core::fc::FcReuseState;
 use reuse_core::lstm::LstmReuseState;
-use reuse_core::{ReuseConfig, ReuseEngine};
+use reuse_core::{CompiledModel, ReuseConfig, ReuseSession};
 use reuse_nn::{
     init::Rng64, Activation, Conv2dLayer, Conv3dLayer, FullyConnected, LstmCell, NetworkBuilder,
 };
@@ -179,18 +179,18 @@ fn walk_frames(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         .collect()
 }
 
-/// Times steady-state `execute_into` frames on an already-built engine.
-/// Measured twice, keeping the minimum, to damp scheduler noise — the
-/// telemetry-overhead smoke check compares two of these numbers.
-fn time_engine(engine: &mut ReuseEngine, frames: &[Vec<f32>]) -> f64 {
+/// Times steady-state `execute_into` frames on an already-calibrated
+/// session. Measured twice, keeping the minimum, to damp scheduler noise —
+/// the telemetry-overhead smoke check compares two of these numbers.
+fn time_session(session: &mut ReuseSession, frames: &[Vec<f32>]) -> f64 {
     let mut out = Vec::new();
     for frame in frames.iter().take(3) {
-        engine.execute_into(frame, &mut out).unwrap();
+        session.execute_into(frame, &mut out).unwrap();
     }
     let mut pass = || {
         let mut i = 0usize;
         time_ns(|| {
-            engine
+            session
                 .execute_into(black_box(&frames[i % frames.len()]), &mut out)
                 .unwrap();
             i += 1;
@@ -211,12 +211,16 @@ fn bench_engine_pair() -> EngineBench {
         .unwrap();
     let frames = walk_frames(16, 256, 21);
 
-    let mut base = ReuseEngine::from_network(&net, &ReuseConfig::uniform(16));
-    let base_ns = time_engine(&mut base, &frames);
+    // One compiled model per config (telemetry is a compile-time setting);
+    // the timed state is a per-stream session, same as the serving path.
+    let base_model = std::sync::Arc::new(CompiledModel::new(&net, &ReuseConfig::uniform(16)));
+    let mut base = base_model.new_session();
+    let base_ns = time_session(&mut base, &frames);
 
     let config = ReuseConfig::uniform(16).telemetry(true);
-    let mut tel = ReuseEngine::from_network(&net, &config);
-    let telemetry_ns = time_engine(&mut tel, &frames);
+    let tel_model = std::sync::Arc::new(CompiledModel::new(&net, &config));
+    let mut tel = tel_model.new_session();
+    let telemetry_ns = time_session(&mut tel, &frames);
 
     let snap = tel.telemetry_snapshot().expect("telemetry enabled");
     let layers = snap

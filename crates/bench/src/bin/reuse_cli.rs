@@ -4,6 +4,7 @@
 //! reuse_cli inspect <kaldi|eesen|c3d|autopilot>     layer table + model stats
 //! reuse_cli run <workload> [executions]             run the reuse engine, print summary
 //! reuse_cli run <workload> [executions] --telemetry print the TelemetrySnapshot as JSON
+//! reuse_cli run <workload> [executions] --sessions N multi-session smoke over one model
 //! reuse_cli simulate <workload> [executions]        accelerator baseline vs reuse
 //! reuse_cli export <workload> <path>                serialize the model to a file
 //! reuse_cli experiments                             list the table/figure binaries
@@ -13,11 +14,12 @@
 //! like the experiment binaries.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use reuse_accel::{AcceleratorConfig, SimInput, Simulator};
 use reuse_bench::measure::executions_from_env;
 use reuse_bench::table::{human_bytes, human_joules, human_seconds};
-use reuse_core::{summary, ReuseEngine};
+use reuse_core::{summary, CompiledModel, ReuseEngine, ReuseSession};
 use reuse_nn::stats::network_stats;
 use reuse_workloads::{Scale, Workload, WorkloadKind};
 
@@ -38,6 +40,8 @@ fn usage() -> ExitCode {
          \x20 inspect  <workload>               layer table and model statistics\n\
          \x20 run      <workload> [executions]  run the reuse engine, print the reuse summary\n\
          \x20          [--telemetry]            ... and print the TelemetrySnapshot as JSON\n\
+         \x20          [--sessions N]           ... interleave N sessions over one shared model\n\
+         \x20                                   and check them against standalone engines\n\
          \x20 simulate <workload> [executions]  simulate baseline vs reuse accelerators\n\
          \x20 export   <workload> <path>        serialize the model to a file\n\
          \x20 experiments                       list the paper-artifact binaries\n\n\
@@ -46,10 +50,120 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Runs N [`ReuseSession`]s interleaved over one shared [`CompiledModel`]
+/// and checks every stream bit-for-bit against a standalone engine fed the
+/// same inputs alone. Streams are offset copies of one generated input
+/// stream, so each session sees realistic frame-to-frame similarity while
+/// no two sessions see identical inputs at the same step.
+fn run_sessions_smoke(
+    w: &Workload,
+    config: &reuse_core::ReuseConfig,
+    executions: usize,
+    n: usize,
+) -> ExitCode {
+    let model = Arc::new(CompiledModel::new(w.network(), config));
+    let mut sessions: Vec<ReuseSession> = (0..n).map(|_| model.new_session()).collect();
+    let mut engines: Vec<ReuseEngine> = (0..n)
+        .map(|_| ReuseEngine::from_network(w.network(), config))
+        .collect();
+    let mut mismatches = 0usize;
+    let mut check = |s: usize, got: &[f32], want: &[f32]| {
+        let ok = got.len() == want.len()
+            && got
+                .iter()
+                .zip(want.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !ok {
+            eprintln!("session {s}: output diverged from standalone engine");
+            mismatches += 1;
+        }
+    };
+    if w.is_recurrent() {
+        let seq_len = 40.min(executions.max(2));
+        let n_seq = executions.div_ceil(seq_len) + 1;
+        let seqs = w.generate_sequences(n_seq + n - 1, seq_len, 42);
+        for t in 0..n_seq {
+            for s in 0..n {
+                let seq = &seqs[s + t];
+                let (got, want) = match (
+                    sessions[s].execute_sequence(seq),
+                    engines[s].execute_sequence(seq),
+                ) {
+                    (Ok(g), Ok(w)) => (g, w),
+                    (g, w) => {
+                        eprintln!(
+                            "session {s} sequence failed: {:?} vs {:?}",
+                            g.err(),
+                            w.err()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                };
+                for (a, b) in got.iter().zip(want.iter()) {
+                    check(s, a.as_slice(), b.as_slice());
+                }
+            }
+        }
+    } else {
+        let frames = w.generate_frames(executions + n - 1, 42);
+        for t in 0..executions {
+            for s in 0..n {
+                let frame = &frames[s + t];
+                let (got, want) = match (sessions[s].execute(frame), engines[s].execute(frame)) {
+                    (Ok(g), Ok(w)) => (g, w),
+                    (g, w) => {
+                        eprintln!("session {s} frame failed: {:?} vs {:?}", g.err(), w.err());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                check(s, got.as_slice(), want.as_slice());
+            }
+        }
+    }
+    println!(
+        "{}: {n} interleaved sessions over one compiled model ({} packed weight bytes shared)",
+        w.network().name(),
+        model.packed_weight_bytes(),
+    );
+    for (s, (session, engine)) in sessions.iter().zip(engines.iter()).enumerate() {
+        let m = session.metrics();
+        let same = m == engine.metrics();
+        println!(
+            "  session {s}: input similarity {:5.1}%  computation reuse {:5.1}%  metrics {}",
+            m.overall_input_similarity() * 100.0,
+            m.overall_computation_reuse() * 100.0,
+            if same { "== standalone" } else { "DIVERGED" },
+        );
+        if !same {
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} session/engine mismatches");
+        return ExitCode::FAILURE;
+    }
+    println!("all sessions bit-identical to standalone engines");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry = args.iter().any(|a| a == "--telemetry");
     args.retain(|a| a != "--telemetry");
+    let sessions = match args.iter().position(|a| a == "--sessions") {
+        Some(i) => {
+            let Some(n) = args
+                .get(i + 1)
+                .and_then(|a| a.parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+            else {
+                return usage();
+            };
+            args.drain(i..=i + 1);
+            Some(n)
+        }
+        None => None,
+    };
     let scale = Scale::from_env();
     match args.first().map(String::as_str) {
         Some("inspect") => {
@@ -80,6 +194,9 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| executions_from_env(kind, scale));
             let w = Workload::build(kind, scale);
             let config = w.reuse_config().clone().telemetry(telemetry);
+            if let Some(n) = sessions {
+                return run_sessions_smoke(&w, &config, executions, n);
+            }
             let mut engine = ReuseEngine::from_network(w.network(), &config);
             if w.is_recurrent() {
                 let seq_len = 40.min(executions.max(2));

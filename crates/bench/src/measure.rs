@@ -2,6 +2,7 @@
 //! reuse engine and collect everything the experiment binaries need.
 
 use reuse_core::{ExecutionTrace, ParallelConfig, ReuseConfig, ReuseEngine};
+use reuse_tensor::Tensor;
 use reuse_workloads::accuracy::{
     classification_agreement, mean_relative_error, regression_agreement, AgreementReport,
 };
@@ -163,10 +164,19 @@ pub fn measure_with_config(
         )
     } else {
         let frames = workload.generate_frames(executions, seed);
+        // Back-to-back frames through the pooled, allocation-conscious
+        // sequence path; outputs materialize as tensors only afterwards,
+        // for the accuracy comparison.
+        let mut outs: Vec<Vec<f32>> = Vec::new();
+        engine
+            .execute_sequence_into(&frames, &mut outs)
+            .expect("workload frames are valid");
+        let test: Vec<Tensor> = outs
+            .iter()
+            .map(|o| Tensor::from_slice_1d(o).expect("flat network output"))
+            .collect();
         let mut reference = Vec::new();
-        let mut test = Vec::new();
         for frame in &frames {
-            test.push(engine.execute(frame).expect("workload frames are valid"));
             reference.push(
                 workload
                     .network()
@@ -204,8 +214,8 @@ pub fn measure_with_config(
         .filter(|((_, l), _)| l.has_weights())
         .map(|((name, layer), in_shape)| {
             let m = metrics.layer(name);
-            let enabled =
-                config.setting_for(name).enabled && !engine.auto_disabled_layers().contains(name);
+            let enabled = config.setting_for(name).enabled
+                && !engine.auto_disabled_layers().any(|n| n == name);
             let out = layer.output_shape(in_shape).expect("validated").volume();
             LayerSummary {
                 name: name.clone(),

@@ -198,6 +198,59 @@ impl Layer {
         }
     }
 
+    /// Whether the layer is recurrent (consumes whole sequences rather than
+    /// independent frames).
+    pub fn is_recurrent(&self) -> bool {
+        matches!(self, Layer::Lstm(_) | Layer::BiLstm(_))
+    }
+
+    /// The activation applied after the linear part of a weighted
+    /// frame-wise layer. `None` for pooling/reshape layers (no activation)
+    /// and recurrent layers (their nonlinearity is internal to the cell).
+    pub fn activation(&self) -> Option<Activation> {
+        match self {
+            Layer::FullyConnected(l) => Some(l.activation()),
+            Layer::Conv2d(l) => Some(l.activation()),
+            Layer::Conv3d(l) => Some(l.activation()),
+            _ => None,
+        }
+    }
+
+    /// Serial linear (pre-activation) forward pass of a weighted frame-wise
+    /// layer — the exact baseline the reuse engine's drift watchdog adopts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for layers without a frame-wise
+    /// linear part (pooling, reshape, recurrent) and propagates shape
+    /// errors.
+    pub fn forward_linear(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        match self {
+            Layer::FullyConnected(l) => l.forward_linear(input),
+            Layer::Conv2d(l) => l.forward_linear(input),
+            Layer::Conv3d(l) => l.forward_linear(input),
+            _ => Err(NnError::InvalidConfig {
+                context: "forward_linear requires a weighted frame-wise layer".into(),
+            }),
+        }
+    }
+
+    /// Full-precision sequence pass of a recurrent layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for non-recurrent layers and
+    /// propagates shape errors.
+    pub fn forward_sequence(&self, xs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, NnError> {
+        match self {
+            Layer::Lstm(l) => l.forward_sequence(xs),
+            Layer::BiLstm(l) => l.forward_sequence(xs),
+            _ => Err(NnError::InvalidConfig {
+                context: "forward_sequence requires a recurrent layer".into(),
+            }),
+        }
+    }
+
     /// Multiply+add count of a from-scratch execution on `input`.
     pub fn flops(&self, input: &Shape) -> u64 {
         match self {
@@ -284,9 +337,7 @@ impl Network {
 
     /// Whether the network contains recurrent layers.
     pub fn is_recurrent(&self) -> bool {
-        self.layers
-            .iter()
-            .any(|(_, l)| matches!(l, Layer::Lstm(_) | Layer::BiLstm(_)))
+        self.layers.iter().any(|(_, l)| l.is_recurrent())
     }
 
     /// Total parameter count.
@@ -390,29 +441,18 @@ impl Network {
             })
             .collect::<Result<_, _>>()?;
         for ((_, layer), in_shape) in self.layers.iter().zip(self.layer_inputs.iter()) {
-            match layer {
-                Layer::Lstm(l) => {
-                    let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
-                    let out = l.forward_sequence(&xs)?;
-                    seq = out
-                        .into_iter()
-                        .map(|o| Tensor::from_slice_1d(&o).map_err(NnError::from))
-                        .collect::<Result<_, _>>()?;
-                }
-                Layer::BiLstm(l) => {
-                    let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
-                    let out = l.forward_sequence(&xs)?;
-                    seq = out
-                        .into_iter()
-                        .map(|o| Tensor::from_slice_1d(&o).map_err(NnError::from))
-                        .collect::<Result<_, _>>()?;
-                }
-                _ => {
-                    seq = seq
-                        .into_iter()
-                        .map(|t| apply_layer(layer, t, in_shape))
-                        .collect::<Result<_, _>>()?;
-                }
+            if layer.is_recurrent() {
+                let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
+                let out = layer.forward_sequence(&xs)?;
+                seq = out
+                    .into_iter()
+                    .map(|o| Tensor::from_slice_1d(&o).map_err(NnError::from))
+                    .collect::<Result<_, _>>()?;
+            } else {
+                seq = seq
+                    .into_iter()
+                    .map(|t| apply_layer(layer, t, in_shape))
+                    .collect::<Result<_, _>>()?;
             }
         }
         Ok(seq)

@@ -11,7 +11,7 @@
 //! serially and precomputes each changed input's geometry (channel weight
 //! offset, padded coordinates, affected output ranges) into a reusable
 //! scratch list; pass 2 walks the outputs **filter-tile-outer,
-//! delta-inner** — a worker owns a tile of [`FILTER_TILE`] filters' output
+//! delta-inner** — a worker owns a tile of `FILTER_TILE` filters' output
 //! planes, which stay cache-resident while every delta streams through
 //! them, so each delta's geometry is computed once per tile instead of once
 //! per filter. Both paths read the lazily-built `[in_c, k.., out_c]`
@@ -91,6 +91,53 @@ struct ConvDelta {
     oy_hi: usize,
     ox_lo: usize,
     ox_hi: usize,
+}
+
+/// The immutable `[in_c, kh, kw, out_c]` weight transpose of a 2D
+/// convolutional layer, packed once so every stream's correction pass can
+/// share one copy (it lives in `CompiledModel`, not in per-stream state).
+/// Built by the same routine as the per-state lazy transpose, so corrections
+/// through a pack are bit-identical to the standalone path.
+#[derive(Debug, Clone)]
+pub struct Conv2dPack {
+    w_t: Vec<f32>,
+}
+
+impl Conv2dPack {
+    /// Packs a layer's weights into the shared correction transpose.
+    pub fn new(layer: &Conv2dLayer) -> Self {
+        let spec = layer.spec();
+        Conv2dPack {
+            w_t: transpose_2d(layer.weights().as_slice(), spec.out_channels, spec),
+        }
+    }
+
+    /// Bytes occupied by the packed transpose.
+    pub fn bytes(&self) -> u64 {
+        (self.w_t.len() * 4) as u64
+    }
+}
+
+/// The immutable `[in_c, kd, kh, kw, out_c]` weight transpose of a 3D
+/// convolutional layer; see [`Conv2dPack`].
+#[derive(Debug, Clone)]
+pub struct Conv3dPack {
+    w_t: Vec<f32>,
+}
+
+impl Conv3dPack {
+    /// Packs a layer's weights into the shared correction transpose.
+    pub fn new(layer: &Conv3dLayer) -> Self {
+        let spec = layer.spec();
+        Conv3dPack {
+            w_t: transpose_3d(layer.weights().as_slice(), spec.out_channels, spec),
+        }
+    }
+
+    /// Bytes occupied by the packed transpose.
+    pub fn bytes(&self) -> u64 {
+        (self.w_t.len() * 4) as u64
+    }
 }
 
 /// Buffered state of one 2D convolutional layer between executions.
@@ -246,7 +293,28 @@ impl Conv2dReuseState {
         input: &[f32],
         out: &mut Vec<f32>,
     ) -> Result<ConvExecStats, ReuseError> {
-        self.execute_into_impl(config, layer, quantizer, input, out, false)
+        self.execute_into_impl(config, layer, quantizer, input, out, None, false)
+    }
+
+    /// [`Self::execute_into`] reading the weight transpose from a shared
+    /// [`Conv2dPack`] instead of the state's lazily-built copy, so many
+    /// per-stream states can correct against one packed model. Bit-identical
+    /// to [`Self::execute_into`] (same transpose contents, same walk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `input` has the wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_into_packed(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &Conv2dLayer,
+        pack: &Conv2dPack,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ConvExecStats, ReuseError> {
+        self.execute_into_impl(config, layer, quantizer, input, out, Some(&pack.w_t), false)
     }
 
     /// [`Self::execute_into`] with the original scattered correction walk
@@ -262,9 +330,10 @@ impl Conv2dReuseState {
         input: &[f32],
         out: &mut Vec<f32>,
     ) -> Result<ConvExecStats, ReuseError> {
-        self.execute_into_impl(config, layer, quantizer, input, out, true)
+        self.execute_into_impl(config, layer, quantizer, input, out, None, true)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute_into_impl(
         &mut self,
         config: &ParallelConfig,
@@ -272,6 +341,7 @@ impl Conv2dReuseState {
         quantizer: &LinearQuantizer,
         input: &[f32],
         out: &mut Vec<f32>,
+        shared_w_t: Option<&[f32]>,
         naive: bool,
     ) -> Result<ConvExecStats, ReuseError> {
         if input.len() != self.in_shape.volume() {
@@ -358,8 +428,10 @@ impl Conv2dReuseState {
             ..
         } = self;
         let deltas: &[ConvDelta] = deltas;
-        let w_t: &[f32] =
-            w_t.get_or_insert_with(|| transpose_2d(layer.weights().as_slice(), fc, &spec));
+        let w_t: &[f32] = match shared_w_t {
+            Some(shared) => shared,
+            None => w_t.get_or_insert_with(|| transpose_2d(layer.weights().as_slice(), fc, &spec)),
+        };
         if naive {
             // Original scattered walk over the [c, ky, kx, f] transpose.
             parallel_for_mut(config, prev_linear, o_plane, |offset, chunk| {
@@ -603,7 +675,26 @@ impl Conv3dReuseState {
         input: &[f32],
         out: &mut Vec<f32>,
     ) -> Result<ConvExecStats, ReuseError> {
-        self.execute_into_impl(config, layer, quantizer, input, out, false)
+        self.execute_into_impl(config, layer, quantizer, input, out, None, false)
+    }
+
+    /// [`Self::execute_into`] reading the weight transpose from a shared
+    /// [`Conv3dPack`]; see [`Conv2dReuseState::execute_into_packed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `input` has the wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_into_packed(
+        &mut self,
+        config: &ParallelConfig,
+        layer: &Conv3dLayer,
+        pack: &Conv3dPack,
+        quantizer: &LinearQuantizer,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ConvExecStats, ReuseError> {
+        self.execute_into_impl(config, layer, quantizer, input, out, Some(&pack.w_t), false)
     }
 
     /// [`Self::execute_into`] with the original scattered correction walk
@@ -618,9 +709,10 @@ impl Conv3dReuseState {
         input: &[f32],
         out: &mut Vec<f32>,
     ) -> Result<ConvExecStats, ReuseError> {
-        self.execute_into_impl(config, layer, quantizer, input, out, true)
+        self.execute_into_impl(config, layer, quantizer, input, out, None, true)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute_into_impl(
         &mut self,
         config: &ParallelConfig,
@@ -628,6 +720,7 @@ impl Conv3dReuseState {
         quantizer: &LinearQuantizer,
         input: &[f32],
         out: &mut Vec<f32>,
+        shared_w_t: Option<&[f32]>,
         naive: bool,
     ) -> Result<ConvExecStats, ReuseError> {
         if input.len() != self.in_shape.volume() {
@@ -718,8 +811,10 @@ impl Conv3dReuseState {
             ..
         } = self;
         let deltas: &[ConvDelta] = deltas;
-        let w_t: &[f32] =
-            w_t.get_or_insert_with(|| transpose_3d(layer.weights().as_slice(), fc, &spec));
+        let w_t: &[f32] = match shared_w_t {
+            Some(shared) => shared,
+            None => w_t.get_or_insert_with(|| transpose_3d(layer.weights().as_slice(), fc, &spec)),
+        };
         if naive {
             // Original scattered walk over the [c, kz, ky, kx, f] transpose.
             parallel_for_mut(config, prev_linear, o_vol, |offset, chunk| {

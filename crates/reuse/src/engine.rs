@@ -1,214 +1,26 @@
-//! The reuse engine: runs a network over a temporal sequence, quantizing
-//! layer inputs, buffering per-layer state and reusing results across
-//! consecutive executions (paper Section IV).
+//! The reuse engine: a thin compatibility facade over the shared-model /
+//! per-stream split ([`CompiledModel`] + [`ReuseSession`]).
+//!
+//! Historically this module held the whole engine; it is now a facade that
+//! compiles the model and owns exactly one session, preserving the
+//! original single-stream API. New code that shares one model across
+//! streams should build a [`CompiledModel`] and call
+//! [`CompiledModel::new_session`] directly.
 
-use reuse_nn::{Layer, LayerKind, Network};
-use reuse_quant::{LinearQuantizer, RangeProfiler};
+use std::sync::Arc;
+
+use reuse_quant::LinearQuantizer;
 use reuse_tensor::Tensor;
 
-use crate::conv::{Conv2dReuseState, Conv3dReuseState, ConvExecStats};
-use crate::drift::max_abs_diff;
-use crate::fc::{FcExecStats, FcReuseState};
-use crate::lstm::{LstmExecStats, LstmReuseState};
-use crate::metrics::{relative_difference, EngineMetrics, LayerMetrics};
-use crate::telemetry::{
-    EngineTelemetry, LayerTelemetrySnapshot, PoolStats, TelemetrySnapshot, WatchdogStats,
-};
-use crate::trace::{ExecutionTrace, LayerTrace, TraceKind};
-use crate::{LayerSetting, ReuseConfig, ReuseError};
+use crate::metrics::EngineMetrics;
+use crate::model::CompiledModel;
+use crate::session::ReuseSession;
+use crate::telemetry::{EngineTelemetry, PoolStats, TelemetrySnapshot, WatchdogStats};
+use crate::trace::ExecutionTrace;
+use crate::{ReuseConfig, ReuseError};
 
-/// `Instant::now()` only when spans are being recorded, so the disabled
-/// path pays a single branch.
-fn span_start(timed: bool) -> Option<std::time::Instant> {
-    timed.then(std::time::Instant::now)
-}
-
-fn span_elapsed_ns(start: Option<std::time::Instant>) -> u64 {
-    start.map_or(0, |t| t.elapsed().as_nanos() as u64)
-}
-
-/// A recycling arena of `f32` buffers for the engine's per-frame
-/// intermediates.
-///
-/// Every buffer taken during a frame is given back before the frame ends, so
-/// after the first reuse-phase execution the pool holds one buffer per
-/// pipeline stage and steady-state frames allocate nothing. Once `steady` is
-/// armed, a pool miss (which would allocate) trips a debug assertion — the
-/// zero-allocation contract of [`ReuseEngine::execute_into`].
-#[derive(Debug)]
-struct BufferPool {
-    free: Vec<Vec<f32>>,
-    steady: bool,
-    max_free: usize,
-    /// Hit/miss counters, exported through [`TelemetrySnapshot`].
-    stats: PoolStats,
-}
-
-impl BufferPool {
-    fn new(max_free: usize) -> Self {
-        BufferPool {
-            free: Vec::new(),
-            steady: false,
-            max_free,
-            stats: PoolStats::default(),
-        }
-    }
-
-    /// Takes a cleared buffer with at least `cap` capacity (best fit), or
-    /// allocates one on a miss. Only buffers with `capacity >= cap` are
-    /// candidates — a smaller recycled buffer must never be handed out, or
-    /// the caller's `extend_from_slice` would silently reallocate and defeat
-    /// the zero-alloc invariant while the pool reported a hit.
-    fn take(&mut self, cap: usize) -> Vec<f32> {
-        let mut best: Option<(usize, usize)> = None;
-        for (i, b) in self.free.iter().enumerate() {
-            let c = b.capacity();
-            if c >= cap && best.is_none_or(|(_, bc)| c < bc) {
-                best = Some((i, c));
-            }
-        }
-        let buf = match best {
-            Some((i, _)) => {
-                self.stats.hits += 1;
-                let mut b = self.free.swap_remove(i);
-                b.clear();
-                b
-            }
-            None => {
-                self.stats.misses += 1;
-                debug_assert!(
-                    !self.steady,
-                    "steady-state buffer-pool miss: a frame allocated (needed capacity {cap})"
-                );
-                Vec::with_capacity(cap)
-            }
-        };
-        debug_assert!(
-            buf.capacity() >= cap,
-            "pool handed out an undersized buffer"
-        );
-        buf
-    }
-
-    /// Returns a buffer to the pool for reuse by later frames. Pipelines
-    /// with full-precision fallback layers route buffers through the tensor
-    /// API (losing them to the pool), so cap the free list to stop foreign
-    /// replacement buffers from accumulating.
-    fn give(&mut self, buf: Vec<f32>) {
-        if self.free.len() < self.max_free {
-            self.free.push(buf);
-        }
-    }
-}
-
-/// Buffered reuse machinery for one weighted layer.
-#[derive(Debug)]
-struct LayerSlot {
-    /// Index into the network's layer list.
-    layer_index: usize,
-    name: String,
-    kind: LayerKind,
-    setting: LayerSetting,
-    /// Set when the profiled range was degenerate and reuse was auto-disabled.
-    auto_disabled: bool,
-    profiler_x: RangeProfiler,
-    profiler_h: RangeProfiler,
-    quantizer_x: Option<LinearQuantizer>,
-    quantizer_h: Option<LinearQuantizer>,
-    state: SlotState,
-    /// Index into `EngineMetrics::layers`.
-    metrics_index: usize,
-    /// Previous raw input (for the Fig. 4 relative-difference series).
-    prev_raw_input: Option<Vec<f32>>,
-    /// Times the drift watchdog re-baselined this layer's buffered outputs.
-    rebaselines: u64,
-    /// Re-baselines where this layer's own buffered outputs had drifted
-    /// beyond the bound (feeds the auto-disable escalation).
-    drift_strikes: u64,
-}
-
-#[derive(Debug)]
-enum SlotState {
-    Fc(FcReuseState),
-    Conv2d(Conv2dReuseState),
-    Conv3d(Conv3dReuseState),
-    Lstm(LstmReuseState),
-    BiLstm {
-        fwd: Box<LstmReuseState>,
-        bwd: Box<LstmReuseState>,
-    },
-}
-
-/// Normalized per-execution stats shared by all layer families.
-#[derive(Debug, Clone, Copy)]
-struct ExecStats {
-    n_inputs: u64,
-    n_changed: u64,
-    macs_total: u64,
-    macs_performed: u64,
-    from_scratch: bool,
-}
-
-impl From<FcExecStats> for ExecStats {
-    fn from(s: FcExecStats) -> Self {
-        ExecStats {
-            n_inputs: s.n_inputs,
-            n_changed: s.n_changed,
-            macs_total: s.macs_total,
-            macs_performed: s.macs_performed,
-            from_scratch: s.from_scratch,
-        }
-    }
-}
-
-impl From<ConvExecStats> for ExecStats {
-    fn from(s: ConvExecStats) -> Self {
-        ExecStats {
-            n_inputs: s.n_inputs,
-            n_changed: s.n_changed,
-            macs_total: s.macs_total,
-            macs_performed: s.macs_performed,
-            from_scratch: s.from_scratch,
-        }
-    }
-}
-
-impl From<LstmExecStats> for ExecStats {
-    fn from(s: LstmExecStats) -> Self {
-        ExecStats {
-            n_inputs: s.n_inputs,
-            n_changed: s.n_changed,
-            macs_total: s.macs_total,
-            macs_performed: s.macs_performed,
-            from_scratch: s.from_scratch,
-        }
-    }
-}
-
-impl ExecStats {
-    fn merge(self, other: ExecStats) -> ExecStats {
-        ExecStats {
-            n_inputs: self.n_inputs + other.n_inputs,
-            n_changed: self.n_changed + other.n_changed,
-            macs_total: self.macs_total + other.macs_total,
-            macs_performed: self.macs_performed + other.macs_performed,
-            from_scratch: self.from_scratch || other.from_scratch,
-        }
-    }
-
-    fn mode(&self, enabled: bool) -> TraceKind {
-        if !enabled {
-            TraceKind::ScratchFp32
-        } else if self.from_scratch {
-            TraceKind::ScratchQuantized
-        } else {
-            TraceKind::Incremental
-        }
-    }
-}
-
-/// Runs a [`Network`] over a temporal sequence with the paper's computation
-/// reuse scheme.
+/// Runs a [`Network`](reuse_nn::Network) over a temporal sequence with the
+/// paper's computation reuse scheme.
 ///
 /// Lifecycle:
 ///
@@ -221,312 +33,130 @@ impl ExecStats {
 /// 3. Every further execution quantizes inputs, skips unchanged ones and
 ///    corrects the buffered outputs (Eq. 10).
 ///
-/// See the crate-level example for basic usage.
+/// Since the model/session split, `ReuseEngine` is [`CompiledModel`] + one
+/// owned [`ReuseSession`]: single-stream callers keep this API, multi-stream
+/// callers share an `Arc<CompiledModel>` across sessions. See the
+/// crate-level example for basic usage.
 #[derive(Debug)]
 pub struct ReuseEngine {
-    network: Network,
-    config: ReuseConfig,
-    /// Slot per weighted layer, ordered by layer index.
-    slots: Vec<LayerSlot>,
-    /// Map from layer index to slot position (usize::MAX = no slot).
-    slot_of_layer: Vec<usize>,
-    metrics: EngineMetrics,
-    traces: Vec<ExecutionTrace>,
-    calibrated: bool,
-    executions_seen: u64,
-    calibration_units_seen: u64,
-    /// Output volume of every layer, precomputed so the hot path never
-    /// re-derives shapes.
-    layer_out_volumes: Vec<usize>,
-    /// Recycled per-frame intermediate buffers (zero-alloc steady state).
-    pool: BufferPool,
-    /// Per-layer ring-buffer counters, preallocated when enabled in config.
-    telemetry: Option<EngineTelemetry>,
-    /// Drift-watchdog counters (maintained even without telemetry).
-    watchdog: WatchdogStats,
-    /// Reuse-phase feed-forward frames seen (drives the watchdog cadence).
-    reuse_frames: u64,
+    session: ReuseSession,
 }
 
 impl ReuseEngine {
-    /// Creates an engine for a network (cloned) under a reuse configuration.
+    /// Creates an engine for a network (cloned) under a reuse configuration:
+    /// compiles the model and opens one session on it.
     ///
     /// # Panics
     ///
     /// Panics if a convolutional layer's state cannot be sized — impossible
     /// for networks built through `NetworkBuilder`, whose shapes are
     /// validated.
-    pub fn from_network(network: &Network, config: &ReuseConfig) -> Self {
-        let network = network.clone();
-        let mut slots = Vec::new();
-        let mut slot_of_layer = vec![usize::MAX; network.layers().len()];
-        let mut metrics = EngineMetrics::default();
-        for (i, ((name, layer), in_shape)) in network
-            .layers()
-            .iter()
-            .zip(network.layer_input_shapes().iter())
-            .enumerate()
-        {
-            if !layer.has_weights() {
-                continue;
-            }
-            let setting = config.setting_for(name);
-            let state = match layer {
-                Layer::FullyConnected(fc) => SlotState::Fc(FcReuseState::new(fc)),
-                Layer::Conv2d(c) => SlotState::Conv2d(
-                    Conv2dReuseState::new(c, in_shape).expect("validated at network build"),
-                ),
-                Layer::Conv3d(c) => SlotState::Conv3d(
-                    Conv3dReuseState::new(c, in_shape).expect("validated at network build"),
-                ),
-                Layer::Lstm(cell) => SlotState::Lstm(LstmReuseState::new(cell)),
-                Layer::BiLstm(l) => SlotState::BiLstm {
-                    fwd: Box::new(LstmReuseState::new(l.forward_cell())),
-                    bwd: Box::new(LstmReuseState::new(l.backward_cell())),
-                },
-                _ => continue,
-            };
-            let metrics_index = metrics.layers.len();
-            metrics.layers.push(LayerMetrics::new(name));
-            slot_of_layer[i] = slots.len();
-            slots.push(LayerSlot {
-                layer_index: i,
-                name: name.clone(),
-                kind: layer.kind(),
-                setting,
-                auto_disabled: false,
-                profiler_x: RangeProfiler::new(),
-                profiler_h: RangeProfiler::new(),
-                quantizer_x: None,
-                quantizer_h: None,
-                state,
-                metrics_index,
-                prev_raw_input: None,
-                rebaselines: 0,
-                drift_strikes: 0,
-            });
-        }
-        let layer_out_volumes: Vec<usize> = network
-            .layers()
-            .iter()
-            .zip(network.layer_input_shapes().iter())
-            .map(|((_, layer), in_shape)| {
-                layer
-                    .output_shape(in_shape)
-                    .expect("validated at network build")
-                    .volume()
-            })
-            .collect();
-        let telemetry = config
-            .records_telemetry()
-            .then(|| EngineTelemetry::new(slots.iter().map(|s| s.name.as_str()), config.window()));
+    pub fn from_network(network: &reuse_nn::Network, config: &ReuseConfig) -> Self {
+        let model = Arc::new(CompiledModel::new(network, config));
         ReuseEngine {
-            network,
-            config: config.clone(),
-            slots,
-            slot_of_layer,
-            metrics,
-            traces: Vec::new(),
-            calibrated: false,
-            executions_seen: 0,
-            calibration_units_seen: 0,
-            pool: BufferPool::new(layer_out_volumes.len() + 2),
-            layer_out_volumes,
-            telemetry,
-            watchdog: WatchdogStats::default(),
-            reuse_frames: 0,
+            session: model.new_session(),
         }
     }
 
+    /// The shared compiled model behind this engine.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        self.session.model()
+    }
+
+    /// The engine's single owned session.
+    pub fn session(&self) -> &ReuseSession {
+        &self.session
+    }
+
+    /// Mutable access to the owned session.
+    pub fn session_mut(&mut self) -> &mut ReuseSession {
+        &mut self.session
+    }
+
     /// The wrapped network.
-    pub fn network(&self) -> &Network {
-        &self.network
+    pub fn network(&self) -> &reuse_nn::Network {
+        self.session.network()
     }
 
     /// Accumulated reuse metrics.
     pub fn metrics(&self) -> &EngineMetrics {
-        &self.metrics
+        self.session.metrics()
     }
 
     /// Total executions so far (calibration included; timesteps for
     /// recurrent networks).
     pub fn executions(&self) -> u64 {
-        self.executions_seen
+        self.session.executions()
     }
 
     /// Whether quantizers have been built (calibration finished).
     pub fn is_calibrated(&self) -> bool {
-        self.calibrated
+        self.session.is_calibrated()
     }
 
     /// Layers whose profiled range was degenerate, forcing full-precision
-    /// execution.
-    pub fn auto_disabled_layers(&self) -> Vec<String> {
-        self.slots
-            .iter()
-            .filter(|s| s.auto_disabled)
-            .map(|s| s.name.clone())
-            .collect()
+    /// execution. Borrowed names — no allocation, safe to call per frame.
+    pub fn auto_disabled_layers(&self) -> impl Iterator<Item = &str> + '_ {
+        self.session.auto_disabled_layers()
     }
 
     /// Takes the recorded execution traces (empties the internal buffer).
     pub fn take_traces(&mut self) -> Vec<ExecutionTrace> {
-        std::mem::take(&mut self.traces)
+        self.session.take_traces()
     }
 
     /// Drift-watchdog counters (zeroed when the watchdog is not armed).
     pub fn watchdog_stats(&self) -> WatchdogStats {
-        self.watchdog
+        self.session.watchdog_stats()
     }
 
     /// Buffer-pool hit/miss counters.
     pub fn pool_stats(&self) -> PoolStats {
-        self.pool.stats
+        self.session.pool_stats()
     }
 
     /// Live per-layer telemetry, when enabled via
     /// [`ReuseConfig::telemetry`].
     pub fn telemetry(&self) -> Option<&EngineTelemetry> {
-        self.telemetry.as_ref()
+        self.session.telemetry()
     }
 
     /// Builds an owned, serializable snapshot of the current telemetry.
     /// Returns `None` unless telemetry was enabled in the config. This
     /// allocates — call it from reporting paths, not per frame.
     pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
-        let tel = self.telemetry.as_ref()?;
-        let layers = self
-            .slots
-            .iter()
-            .map(|slot| {
-                let lt = &tel.layers[slot.metrics_index];
-                LayerTelemetrySnapshot {
-                    name: slot.name.clone(),
-                    reuse_executions: lt.reuse_executions,
-                    hit_rate: lt.lifetime_hit_rate(),
-                    hit_rate_window: lt.hit_rate.mean(),
-                    corrections_total: lt.corrections_total,
-                    macs_skipped_total: lt.macs_skipped_total,
-                    span_ns_window: lt.span_ns.mean(),
-                    rebaselines: slot.rebaselines,
-                    auto_disabled: slot.auto_disabled,
-                }
-            })
-            .collect();
-        Some(TelemetrySnapshot {
-            network: self.network.name().to_string(),
-            frames: tel.frames,
-            window: tel.window(),
-            pool: self.pool.stats,
-            watchdog: self.watchdog,
-            drift_check_every: self.config.drift_check_every(),
-            drift_bound: self.config.drift_bound(),
-            layers,
-        })
+        self.session.telemetry_snapshot()
     }
 
     /// The quantizer used for a layer's (feed-forward) inputs, if built.
     pub fn quantizer_for(&self, name: &str) -> Option<&LinearQuantizer> {
-        self.slots
-            .iter()
-            .find(|s| s.name == name)
-            .and_then(|s| s.quantizer_x.as_ref())
+        self.session.quantizer_for(name)
     }
 
     /// The Fig. 4 relative-difference series recorded for a layer (requires
     /// [`ReuseConfig::record_relative_difference`]).
     pub fn layer_relative_differences(&self, name: &str) -> Option<&[f32]> {
-        let slot = self.slots.iter().find(|s| s.name == name)?;
-        Some(&self.metrics.layers[slot.metrics_index].relative_differences)
+        self.session.layer_relative_differences(name)
     }
 
     /// Extra I/O-buffer/main-memory bytes the reuse scheme needs: indices
     /// plus buffered outputs for every enabled layer (Table III accounting).
     pub fn reuse_storage_bytes(&self) -> u64 {
-        let mut total = 0u64;
-        for slot in self.slots.iter().filter(|s| self.slot_enabled(s)) {
-            let (_, layer) = &self.network.layers()[slot.layer_index];
-            total += match (&slot.state, layer) {
-                (SlotState::Fc(st), Layer::FullyConnected(fc)) => st.storage_bytes(fc),
-                (SlotState::Conv2d(st), _) => st.storage_bytes(),
-                (SlotState::Conv3d(st), _) => st.storage_bytes(),
-                (SlotState::Lstm(st), Layer::Lstm(cell)) => st.storage_bytes(cell),
-                (SlotState::BiLstm { fwd, bwd }, Layer::BiLstm(l)) => {
-                    fwd.storage_bytes(l.forward_cell()) + bwd.storage_bytes(l.backward_cell())
-                }
-                _ => 0,
-            };
-        }
-        total
+        self.session.reuse_storage_bytes()
     }
 
     /// Bytes of centroid tables stored in the control unit (paper reports
     /// 1.25 KB for its configuration).
     pub fn centroid_table_bytes(&self) -> u64 {
-        self.slots
-            .iter()
-            .filter(|s| self.slot_enabled(s))
-            .map(|s| {
-                s.quantizer_x.map_or(0, |q| q.centroid_table_bytes() as u64)
-                    + s.quantizer_h.map_or(0, |q| q.centroid_table_bytes() as u64)
-            })
-            .sum()
-    }
-
-    /// Drops buffered layer state only — metrics, telemetry and calibration
-    /// are untouched. This is the between-sequence power-gate reset
-    /// (statistics keep accumulating across a recurrent workload's
-    /// sequences, paper Fig. 5).
-    fn reset_buffers(&mut self) {
-        for slot in &mut self.slots {
-            let (_, layer) = &self.network.layers()[slot.layer_index];
-            match (&mut slot.state, layer) {
-                (SlotState::Fc(st), _) => st.reset(),
-                (SlotState::Conv2d(st), _) => st.reset(),
-                (SlotState::Conv3d(st), _) => st.reset(),
-                (SlotState::Lstm(st), Layer::Lstm(cell)) => st.reset(cell),
-                (SlotState::BiLstm { fwd, bwd }, Layer::BiLstm(l)) => {
-                    fwd.reset(l.forward_cell());
-                    bwd.reset(l.backward_cell());
-                }
-                _ => {}
-            }
-            slot.prev_raw_input = None;
-        }
+        self.session.centroid_table_bytes()
     }
 
     /// Drops all buffered layer state; the next execution recomputes from
     /// scratch. Models the accelerator being power-gated between sequences.
-    ///
-    /// Accumulated statistics are cleared along with the buffers:
-    /// [`EngineMetrics`], the per-layer relative-difference series, pending
-    /// traces, telemetry rings and watchdog counters all restart from zero —
-    /// a reset engine must not report the previous sequence's numbers. If
-    /// calibration had not finished, it is re-armed from the beginning
-    /// (profiled ranges are discarded). Built quantizers and auto-disable
-    /// decisions are kept.
+    /// See [`ReuseSession::reset_state`] for what is cleared and what is
+    /// kept.
     pub fn reset_state(&mut self) {
-        self.reset_buffers();
-        self.metrics.reset();
-        self.traces.clear();
-        if let Some(tel) = self.telemetry.as_mut() {
-            tel.reset();
-        }
-        self.watchdog = WatchdogStats::default();
-        self.reuse_frames = 0;
-        for slot in &mut self.slots {
-            slot.rebaselines = 0;
-            slot.drift_strikes = 0;
-        }
-        if !self.calibrated {
-            // A partial calibration must not mix pre- and post-reset frames:
-            // discard the profiled ranges and start over.
-            self.calibration_units_seen = 0;
-            for slot in &mut self.slots {
-                slot.profiler_x = RangeProfiler::new();
-                slot.profiler_h = RangeProfiler::new();
-            }
-        }
+        self.session.reset_state()
     }
 
     /// Full-precision from-scratch output for the same frame — the accuracy
@@ -536,11 +166,7 @@ impl ReuseEngine {
     ///
     /// Propagates network errors.
     pub fn reference_forward(&self, frame: &[f32]) -> Result<Tensor, ReuseError> {
-        Ok(self.network.forward_flat(frame)?)
-    }
-
-    fn slot_enabled(&self, slot: &LayerSlot) -> bool {
-        slot.setting.enabled && !slot.auto_disabled
+        self.session.reference_forward(frame)
     }
 
     /// Executes the network on one frame (feed-forward networks only).
@@ -550,56 +176,19 @@ impl ReuseEngine {
     /// Returns [`ReuseError::WrongApi`] for recurrent networks; otherwise
     /// propagates shape/quantizer errors.
     pub fn execute(&mut self, frame: &[f32]) -> Result<Tensor, ReuseError> {
-        if self.network.is_recurrent() {
-            return Err(ReuseError::WrongApi {
-                context: "recurrent network: use execute_sequence".into(),
-            });
-        }
-        if !self.calibrated && self.calibration_units_seen < self.config.calibration() as u64 {
-            let out = self.calibration_execute(frame)?;
-            self.calibration_units_seen += 1;
-            return Ok(out);
-        }
-        if !self.calibrated {
-            self.build_quantizers();
-        }
-        let mut out = Vec::new();
-        self.reuse_execute_into(frame, &mut out)?;
-        Ok(Tensor::from_vec(self.network.output_shape().clone(), out)?)
+        self.session.execute(frame)
     }
 
     /// Allocation-free variant of [`Self::execute`]: clears `out` and writes
     /// the flat network output into it, reusing its capacity across calls.
-    ///
-    /// Once the buffered state is initialized (second reuse-phase frame
-    /// onward) and with the default serial [`ParallelConfig`], a call
-    /// performs **zero heap allocations**: per-frame intermediates come from
-    /// an internal recycling pool and the per-layer scratch (changed lists,
-    /// quantized codes, buffered outputs) is reused in place. Calibration
-    /// frames, the state-initializing first execution, tracing and the
-    /// relative-difference recorder still allocate.
+    /// See [`ReuseSession::execute_into`] for the zero-allocation contract.
     ///
     /// # Errors
     ///
     /// Returns [`ReuseError::WrongApi`] for recurrent networks; otherwise
     /// propagates shape/quantizer errors.
     pub fn execute_into(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
-        if self.network.is_recurrent() {
-            return Err(ReuseError::WrongApi {
-                context: "recurrent network: use execute_sequence".into(),
-            });
-        }
-        if !self.calibrated && self.calibration_units_seen < self.config.calibration() as u64 {
-            let t = self.calibration_execute(frame)?;
-            self.calibration_units_seen += 1;
-            out.clear();
-            out.extend_from_slice(t.as_slice());
-            return Ok(());
-        }
-        if !self.calibrated {
-            self.build_quantizers();
-        }
-        self.reuse_execute_into(frame, out)
+        self.session.execute_into(frame, out)
     }
 
     /// Executes a whole temporal sequence. For feed-forward networks the
@@ -612,774 +201,24 @@ impl ReuseEngine {
     ///
     /// Returns [`ReuseError::Nn`] on shape mismatches or an empty sequence.
     pub fn execute_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
-        if frames.is_empty() {
-            return Err(ReuseError::Nn(reuse_nn::NnError::EmptySequence));
-        }
-        if !self.network.is_recurrent() {
-            return frames.iter().map(|f| self.execute(f)).collect();
-        }
-        if !self.calibrated && self.calibration_units_seen < self.config.calibration() as u64 {
-            let out = self.calibration_sequence(frames)?;
-            self.calibration_units_seen += 1;
-            return Ok(out);
-        }
-        if !self.calibrated {
-            self.build_quantizers();
-        }
-        self.reuse_sequence(frames)
+        self.session.execute_sequence(frames)
     }
 
-    // ---------------------------------------------------------------------
-    // Calibration phase
-    // ---------------------------------------------------------------------
-
-    fn calibration_execute(&mut self, frame: &[f32]) -> Result<Tensor, ReuseError> {
-        let input_shape = self.network.input_shape().clone();
-        if frame.len() != input_shape.volume() {
-            return Err(ReuseError::Nn(reuse_nn::NnError::InputShape {
-                expected: input_shape.volume(),
-                actual: frame.len(),
-            }));
-        }
-        let mut cur = Tensor::from_vec(input_shape, frame.to_vec())?;
-        let mut trace = ExecutionTrace::default();
-        for i in 0..self.network.layers().len() {
-            cur = self.reshape_to_layer(cur, i)?;
-            let slot_pos = self.slot_of_layer[i];
-            if slot_pos != usize::MAX {
-                let enabled = {
-                    let slot = &self.slots[slot_pos];
-                    self.slot_enabled(slot)
-                };
-                if enabled {
-                    self.slots[slot_pos]
-                        .profiler_x
-                        .observe_slice(cur.as_slice());
-                }
-                if self.config.records_trace() {
-                    trace
-                        .layers
-                        .push(self.scratch_trace_entry(i, cur.len() as u64));
-                }
-            }
-            cur = self.network.apply_layer(i, cur)?;
-        }
-        if self.config.records_trace() {
-            self.traces.push(trace);
-        }
-        self.executions_seen += 1;
-        self.metrics.executions += 1;
-        Ok(cur)
-    }
-
-    fn calibration_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
-        let input_shape = self.network.input_shape().clone();
-        let mut seq: Vec<Tensor> = frames
-            .iter()
-            .map(|f| Tensor::from_vec(input_shape.clone(), f.clone()).map_err(ReuseError::from))
-            .collect::<Result<_, _>>()?;
-        let n_layers = self.network.layers().len();
-        let mut traces: Vec<ExecutionTrace> = vec![ExecutionTrace::default(); frames.len()];
-        for i in 0..n_layers {
-            let slot_pos = self.slot_of_layer[i];
-            let is_recurrent_layer = matches!(
-                self.network.layers()[i].1,
-                Layer::Lstm(_) | Layer::BiLstm(_)
-            );
-            if slot_pos != usize::MAX {
-                let enabled = self.slot_enabled(&self.slots[slot_pos]);
-                if enabled {
-                    for t in &seq {
-                        self.slots[slot_pos].profiler_x.observe_slice(t.as_slice());
-                    }
-                }
-                if self.config.records_trace() {
-                    for (t, frame) in seq.iter().enumerate() {
-                        traces[t]
-                            .layers
-                            .push(self.scratch_trace_entry(i, frame.len() as u64));
-                    }
-                }
-            }
-            if let Layer::Lstm(cell) = &self.network.layers()[i].1 {
-                // Unidirectional cell: step manually so the recurrent
-                // inputs (h) can be profiled too.
-                let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
-                let mut h_values: Vec<f32> = Vec::new();
-                let mut state = reuse_nn::LstmState::zeros(cell.cell_dim());
-                let mut out = Vec::with_capacity(xs.len());
-                for x in &xs {
-                    h_values.extend_from_slice(&state.h);
-                    state = cell.step(x, &state)?;
-                    out.push(state.h.clone());
-                }
-                if slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]) {
-                    self.slots[slot_pos].profiler_h.observe_slice(&h_values);
-                }
-                seq = out
-                    .into_iter()
-                    .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
-                    .collect::<Result<_, _>>()?;
-            } else if is_recurrent_layer {
-                // Step the cells manually so the recurrent inputs (h) can be
-                // profiled too.
-                let Layer::BiLstm(layer) = &self.network.layers()[i].1 else {
-                    unreachable!()
-                };
-                let d = layer.cell_dim();
-                let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
-                let mut out = vec![vec![0.0f32; 2 * d]; xs.len()];
-                let mut h_values: Vec<f32> = Vec::new();
-                let mut state = reuse_nn::LstmState::zeros(d);
-                for (t, x) in xs.iter().enumerate() {
-                    h_values.extend_from_slice(&state.h);
-                    state = layer.forward_cell().step(x, &state)?;
-                    out[t][..d].copy_from_slice(&state.h);
-                }
-                let mut state = reuse_nn::LstmState::zeros(d);
-                for (t, x) in xs.iter().enumerate().rev() {
-                    h_values.extend_from_slice(&state.h);
-                    state = layer.backward_cell().step(x, &state)?;
-                    out[t][d..].copy_from_slice(&state.h);
-                }
-                if slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]) {
-                    self.slots[slot_pos].profiler_h.observe_slice(&h_values);
-                }
-                seq = out
-                    .into_iter()
-                    .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
-                    .collect::<Result<_, _>>()?;
-            } else {
-                seq = seq
-                    .into_iter()
-                    .map(|t| -> Result<Tensor, ReuseError> {
-                        let t = self.reshape_to_layer(t, i)?;
-                        Ok(self.network.apply_layer(i, t)?)
-                    })
-                    .collect::<Result<_, _>>()?;
-            }
-        }
-        if self.config.records_trace() {
-            self.traces.extend(traces);
-        }
-        self.executions_seen += frames.len() as u64;
-        self.metrics.executions += frames.len() as u64;
-        Ok(seq)
-    }
-
-    fn scratch_trace_entry(&self, layer_index: usize, input_len: u64) -> LayerTrace {
-        let (name, layer) = &self.network.layers()[layer_index];
-        let in_shape = &self.network.layer_input_shapes()[layer_index];
-        let macs = layer.flops(in_shape) / 2;
-        LayerTrace {
-            name: name.clone(),
-            kind: layer.kind(),
-            mode: TraceKind::ScratchFp32,
-            n_inputs: input_len,
-            n_changed: input_len,
-            n_outputs: self.layer_out_volumes[layer_index] as u64,
-            n_params: layer.param_count(),
-            macs_total: macs,
-            macs_performed: macs,
-        }
-    }
-
-    fn build_quantizers(&mut self) {
-        let margin = self.config.margin();
-        for slot in &mut self.slots {
-            if !slot.setting.enabled {
-                continue;
-            }
-            match slot.profiler_x.range(margin) {
-                Ok(range) => match LinearQuantizer::new(range, slot.setting.clusters) {
-                    Ok(q) => slot.quantizer_x = Some(q),
-                    Err(_) => slot.auto_disabled = true,
-                },
-                Err(_) => slot.auto_disabled = true,
-            }
-            if matches!(slot.state, SlotState::Lstm(_) | SlotState::BiLstm { .. })
-                && !slot.auto_disabled
-            {
-                match slot.profiler_h.range(margin) {
-                    Ok(range) => match LinearQuantizer::new(range, slot.setting.clusters) {
-                        Ok(q) => slot.quantizer_h = Some(q),
-                        Err(_) => slot.auto_disabled = true,
-                    },
-                    Err(_) => slot.auto_disabled = true,
-                }
-            }
-        }
-        self.calibrated = true;
-    }
-
-    // ---------------------------------------------------------------------
-    // Reuse phase
-    // ---------------------------------------------------------------------
-
-    fn reshape_to_layer(&self, cur: Tensor, layer_index: usize) -> Result<Tensor, ReuseError> {
-        let expected = &self.network.layer_input_shapes()[layer_index];
-        if cur.shape() == expected {
-            Ok(cur)
-        } else {
-            Ok(cur.reshape(expected.clone())?)
-        }
-    }
-
-    fn record_layer_execution(
+    /// Allocation-conscious sequence runner for feed-forward networks:
+    /// executes the frames back-to-back through [`Self::execute_into`],
+    /// reusing the inner `Vec`s of `outs` across calls instead of
+    /// allocating a fresh `Tensor` per frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::WrongApi`] for recurrent networks and
+    /// [`ReuseError::Nn`] on an empty sequence; otherwise propagates
+    /// shape/quantizer errors.
+    pub fn execute_sequence_into(
         &mut self,
-        slot_pos: usize,
-        raw_input: Option<&[f32]>,
-        stats: ExecStats,
-        n_outputs: u64,
-        span_ns: u64,
-        trace: Option<&mut ExecutionTrace>,
-    ) {
-        let record_rd = self.config.records_relative_difference();
-        let slot = &mut self.slots[slot_pos];
-        let m = &mut self.metrics.layers[slot.metrics_index];
-        if !stats.from_scratch {
-            m.record(
-                stats.n_inputs,
-                stats.n_inputs - stats.n_changed,
-                stats.macs_total,
-                stats.macs_performed,
-            );
-            // Same indexing and same inputs as the metrics record above, so
-            // a telemetry snapshot's lifetime hit rate equals the metric's
-            // input similarity exactly. Ring pushes never allocate.
-            if let Some(tel) = self.telemetry.as_mut() {
-                tel.layers[slot.metrics_index].record(
-                    stats.n_inputs,
-                    stats.n_changed,
-                    stats.macs_total,
-                    stats.macs_performed,
-                    span_ns,
-                );
-            }
-        }
-        if record_rd {
-            if let Some(raw) = raw_input {
-                if let Some(prev) = &slot.prev_raw_input {
-                    if prev.len() == raw.len() {
-                        m.relative_differences.push(relative_difference(prev, raw));
-                    }
-                }
-                slot.prev_raw_input = Some(raw.to_vec());
-            }
-        }
-        if let Some(trace) = trace {
-            let n_params = self.network.layers()[slot.layer_index].1.param_count();
-            trace.layers.push(LayerTrace {
-                name: slot.name.clone(),
-                kind: slot.kind,
-                mode: stats.mode(true),
-                n_inputs: stats.n_inputs,
-                n_changed: stats.n_changed,
-                n_outputs,
-                n_params,
-                macs_total: stats.macs_total,
-                macs_performed: stats.macs_performed,
-            });
-        }
-    }
-
-    /// The reuse-phase hot path. Layer intermediates live in flat pooled
-    /// `Vec<f32>` buffers (the network's layers all consume row-major data,
-    /// so "reshapes" between layers are no-ops on the flat representation);
-    /// every buffer taken from the pool is returned before the frame ends.
-    fn reuse_execute_into(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
-        let expected_len = self.network.input_shape().volume();
-        if frame.len() != expected_len {
-            return Err(ReuseError::Nn(reuse_nn::NnError::InputShape {
-                expected: expected_len,
-                actual: frame.len(),
-            }));
-        }
-        let parallel = *self.config.parallel_config();
-        let mut pool_intact = true;
-        let mut cur = self.pool.take(frame.len());
-        cur.extend_from_slice(frame);
-        let mut trace = if self.config.records_trace() {
-            Some(ExecutionTrace::default())
-        } else {
-            None
-        };
-        let timed = self.telemetry.is_some();
-        let n_layers = self.network.layers().len();
-        for i in 0..n_layers {
-            let slot_pos = self.slot_of_layer[i];
-            let run_reuse = slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]);
-            if run_reuse {
-                let mut next = self.pool.take(self.layer_out_volumes[i]);
-                let span = span_start(timed);
-                let stats: ExecStats = {
-                    let network = &self.network;
-                    let slot = &mut self.slots[slot_pos];
-                    let q = slot
-                        .quantizer_x
-                        .as_ref()
-                        .expect("enabled slot has quantizer");
-                    match (&mut slot.state, &network.layers()[i].1) {
-                        (SlotState::Fc(st), Layer::FullyConnected(fc)) => {
-                            let s = st.execute_into(&parallel, fc, q, &cur, &mut next)?;
-                            fc.activation().apply_in_place(&mut next);
-                            s.into()
-                        }
-                        (SlotState::Conv2d(st), Layer::Conv2d(c)) => {
-                            let s = st.execute_into(&parallel, c, q, &cur, &mut next)?;
-                            c.activation().apply_in_place(&mut next);
-                            s.into()
-                        }
-                        (SlotState::Conv3d(st), Layer::Conv3d(c)) => {
-                            let s = st.execute_into(&parallel, c, q, &cur, &mut next)?;
-                            c.activation().apply_in_place(&mut next);
-                            s.into()
-                        }
-                        _ => unreachable!("slot state matches layer kind by construction"),
-                    }
-                };
-                let span_ns = span_elapsed_ns(span);
-                // `cur` (this layer's raw input) is still alive here, so the
-                // relative-difference recorder reads it without the per-layer
-                // copy the old path made unconditionally.
-                let n_outputs = next.len() as u64;
-                self.record_layer_execution(
-                    slot_pos,
-                    Some(&cur),
-                    stats,
-                    n_outputs,
-                    span_ns,
-                    trace.as_mut(),
-                );
-                self.pool.give(std::mem::replace(&mut cur, next));
-            } else {
-                // Full-precision fallback (no-weight or disabled layers):
-                // route through the tensor API; allocation here is outside
-                // the reuse steady-state contract.
-                if let Some(trace) = trace.as_mut() {
-                    if slot_pos != usize::MAX {
-                        trace
-                            .layers
-                            .push(self.scratch_trace_entry(i, cur.len() as u64));
-                    }
-                }
-                let in_shape = self.network.layer_input_shapes()[i].clone();
-                let t = Tensor::from_vec(in_shape, std::mem::take(&mut cur))?;
-                cur = self.network.apply_layer(i, t)?.into_vec();
-                pool_intact = false;
-            }
-        }
-        if let Some(trace) = trace {
-            self.traces.push(trace);
-        }
-        self.executions_seen += 1;
-        self.metrics.executions += 1;
-        if let Some(tel) = self.telemetry.as_mut() {
-            tel.frames += 1;
-        }
-        out.clear();
-        out.extend_from_slice(&cur);
-        self.pool.give(cur);
-        // From here on every pool take must hit a recycled buffer; a miss
-        // would mean a steady-state frame allocated. Pipelines with
-        // full-precision fallback stages lose buffers to the tensor API, so
-        // the contract (and its assertion) only covers all-reuse pipelines.
-        if pool_intact {
-            self.pool.steady = true;
-        }
-        self.reuse_frames += 1;
-        let every = self.config.drift_check_every();
-        if every > 0 && self.reuse_frames.is_multiple_of(every) {
-            // Watchdog frames allocate (reference forward + re-baseline are
-            // cold paths by design); they are outside the zero-alloc
-            // contract, which covers the frames between checks.
-            self.watchdog_check(frame, out)?;
-        }
-        Ok(())
-    }
-
-    /// One drift-watchdog check: compares this frame's incremental output
-    /// against the full-precision reference and re-baselines every reuse
-    /// layer when the deviation exceeds the configured bound. `out` is
-    /// replaced with the exact reference output after a re-baseline.
-    fn watchdog_check(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
-        let reference = self.reference_forward(frame)?;
-        let drift = max_abs_diff(out, reference.as_slice());
-        self.watchdog.checks += 1;
-        self.watchdog.last_drift = drift;
-        self.watchdog.max_drift = self.watchdog.max_drift.max(drift);
-        if drift > self.config.drift_bound() {
-            self.rebaseline_frame(frame, out)?;
-            self.watchdog.rebaselines += 1;
-        }
-        Ok(())
-    }
-
-    /// Re-baselines every enabled reuse layer onto full-precision values for
-    /// `frame`: buffered codes become the quantization of the layer's raw
-    /// input and buffered linear outputs become the exact (serial) linear
-    /// forward on that raw input, so this frame's output — written to `out` —
-    /// is bit-identical to [`Self::reference_forward`] and subsequent frames
-    /// correct from an exact baseline. Layers whose own buffered outputs had
-    /// drifted beyond the bound collect a strike; a layer reaching
-    /// [`ReuseConfig::drift_escalate_after`] strikes is auto-disabled
-    /// (escalation into [`Self::auto_disabled_layers`]).
-    fn rebaseline_frame(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
-        let bound = self.config.drift_bound();
-        let escalate_after = self.config.escalate_after();
-        let mut cur = Tensor::from_vec(self.network.input_shape().clone(), frame.to_vec())?;
-        let n_layers = self.network.layers().len();
-        for i in 0..n_layers {
-            cur = self.reshape_to_layer(cur, i)?;
-            let slot_pos = self.slot_of_layer[i];
-            let run_reuse = slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]);
-            if !run_reuse {
-                cur = self.network.apply_layer(i, cur)?;
-                continue;
-            }
-            let network = &self.network;
-            let slot = &mut self.slots[slot_pos];
-            let q = slot
-                .quantizer_x
-                .as_ref()
-                .expect("enabled slot has quantizer");
-            // Serial linear forward on the RAW input — the same code path
-            // `reference_forward` takes, so the adopted baseline is exact.
-            let (linear, activation) = match &network.layers()[i].1 {
-                Layer::FullyConnected(fc) => (fc.forward_linear(&cur)?, fc.activation()),
-                Layer::Conv2d(c) => (c.forward_linear(&cur)?, c.activation()),
-                Layer::Conv3d(c) => (c.forward_linear(&cur)?, c.activation()),
-                _ => unreachable!("watchdog only runs on feed-forward networks"),
-            };
-            let buffered = match &slot.state {
-                SlotState::Fc(st) => st.buffered_linear(),
-                SlotState::Conv2d(st) => st.buffered_linear(),
-                SlotState::Conv3d(st) => st.buffered_linear(),
-                _ => &[],
-            };
-            // Separating genuine accumulated drift from plain quantization
-            // error would need a second, quantized recomputation per layer;
-            // the strike heuristic instead compares the buffered values
-            // against the raw recomputation using the engine-level bound —
-            // conservative, but consistent with what the watchdog just
-            // observed at the network output.
-            let drifted =
-                buffered.len() == linear.len() && max_abs_diff(buffered, linear.as_slice()) > bound;
-            match &mut slot.state {
-                SlotState::Fc(st) => st.adopt_baseline(q, cur.as_slice(), linear.as_slice()),
-                SlotState::Conv2d(st) => st.adopt_baseline(q, cur.as_slice(), linear.as_slice()),
-                SlotState::Conv3d(st) => st.adopt_baseline(q, cur.as_slice(), linear.as_slice()),
-                _ => unreachable!("watchdog only runs on feed-forward networks"),
-            }
-            slot.rebaselines += 1;
-            if drifted {
-                slot.drift_strikes += 1;
-                if escalate_after > 0 && slot.drift_strikes >= escalate_after {
-                    slot.auto_disabled = true;
-                    // The pipeline now has a full-precision stage that routes
-                    // buffers through the tensor API, so the all-reuse
-                    // zero-alloc contract no longer holds: disarm the pool's
-                    // steady-state assertion.
-                    self.pool.steady = false;
-                }
-            }
-            cur = activation.apply(&linear);
-        }
-        out.clear();
-        out.extend_from_slice(cur.as_slice());
-        Ok(())
-    }
-
-    fn reuse_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
-        // Paper Section IV-D: the accelerator is power-gated between
-        // sequences, so all buffered state starts fresh (metrics keep
-        // accumulating across sequences).
-        self.reset_buffers();
-        let parallel = *self.config.parallel_config();
-        let input_shape = self.network.input_shape().clone();
-        let mut seq: Vec<Tensor> = frames
-            .iter()
-            .map(|f| Tensor::from_vec(input_shape.clone(), f.clone()).map_err(ReuseError::from))
-            .collect::<Result<_, _>>()?;
-        let n_layers = self.network.layers().len();
-        let record_trace = self.config.records_trace();
-        let mut traces: Vec<ExecutionTrace> = vec![ExecutionTrace::default(); frames.len()];
-        for i in 0..n_layers {
-            let slot_pos = self.slot_of_layer[i];
-            let run_reuse = slot_pos != usize::MAX && self.slot_enabled(&self.slots[slot_pos]);
-            let is_recurrent_layer = matches!(
-                self.network.layers()[i].1,
-                Layer::Lstm(_) | Layer::BiLstm(_)
-            );
-            if is_recurrent_layer && run_reuse {
-                if matches!(self.network.layers()[i].1, Layer::Lstm(_)) {
-                    seq = self.reuse_lstm_layer(i, slot_pos, seq, &mut traces)?;
-                } else {
-                    seq = self.reuse_bilstm_layer(i, slot_pos, seq, &mut traces)?;
-                }
-            } else if is_recurrent_layer {
-                // Disabled recurrent layer: full-precision sequence pass.
-                let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
-                if record_trace {
-                    for (t, frame) in seq.iter().enumerate() {
-                        traces[t]
-                            .layers
-                            .push(self.scratch_trace_entry(i, frame.len() as u64));
-                    }
-                }
-                let out = match &self.network.layers()[i].1 {
-                    Layer::Lstm(cell) => cell.forward_sequence(&xs)?,
-                    Layer::BiLstm(layer) => layer.forward_sequence(&xs)?,
-                    _ => unreachable!(),
-                };
-                seq = out
-                    .into_iter()
-                    .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
-                    .collect::<Result<_, _>>()?;
-            } else if run_reuse {
-                // Weighted frame-wise layer inside a recurrent network
-                // (e.g. an FC output layer): consecutive timesteps are
-                // consecutive executions.
-                let timed = self.telemetry.is_some();
-                let mut out_seq = Vec::with_capacity(seq.len());
-                for (t, frame) in seq.iter().enumerate() {
-                    let frame = self.reshape_to_layer(frame.clone(), i)?;
-                    let span = span_start(timed);
-                    let (out, stats): (Tensor, ExecStats) = {
-                        let network = &self.network;
-                        let slot = &mut self.slots[slot_pos];
-                        let q = slot
-                            .quantizer_x
-                            .as_ref()
-                            .expect("enabled slot has quantizer");
-                        match (&mut slot.state, &network.layers()[i].1) {
-                            (SlotState::Fc(st), Layer::FullyConnected(fc)) => {
-                                let (lin, s) =
-                                    st.execute_with(&parallel, fc, q, frame.as_slice())?;
-                                (fc.activation().apply(&lin), s.into())
-                            }
-                            _ => unreachable!(
-                                "recurrent nets only contain FC and BiLSTM weighted layers"
-                            ),
-                        }
-                    };
-                    let span_ns = span_elapsed_ns(span);
-                    let n_outputs = out.len() as u64;
-                    let trace_ref = if record_trace {
-                        Some(&mut traces[t])
-                    } else {
-                        None
-                    };
-                    self.record_layer_execution(
-                        slot_pos,
-                        Some(frame.as_slice()),
-                        stats,
-                        n_outputs,
-                        span_ns,
-                        trace_ref,
-                    );
-                    out_seq.push(out);
-                }
-                seq = out_seq;
-            } else {
-                if record_trace {
-                    for (t, frame) in seq.iter().enumerate() {
-                        if slot_pos != usize::MAX {
-                            traces[t]
-                                .layers
-                                .push(self.scratch_trace_entry(i, frame.len() as u64));
-                        }
-                    }
-                }
-                seq = seq
-                    .into_iter()
-                    .map(|t| -> Result<Tensor, ReuseError> {
-                        let t = self.reshape_to_layer(t, i)?;
-                        Ok(self.network.apply_layer(i, t)?)
-                    })
-                    .collect::<Result<_, _>>()?;
-            }
-        }
-        if record_trace {
-            self.traces.extend(traces);
-        }
-        self.executions_seen += frames.len() as u64;
-        self.metrics.executions += frames.len() as u64;
-        if let Some(tel) = self.telemetry.as_mut() {
-            tel.frames += frames.len() as u64;
-        }
-        Ok(seq)
-    }
-
-    /// Runs one unidirectional LSTM layer over the sequence with reuse
-    /// between consecutive timesteps.
-    fn reuse_lstm_layer(
-        &mut self,
-        layer_index: usize,
-        slot_pos: usize,
-        seq: Vec<Tensor>,
-        traces: &mut [ExecutionTrace],
-    ) -> Result<Vec<Tensor>, ReuseError> {
-        let record_trace = self.config.records_trace();
-        let timed = self.telemetry.is_some();
-        let parallel = *self.config.parallel_config();
-        let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
-        let (out, stats, spans) = {
-            let network = &self.network;
-            let Layer::Lstm(cell) = &network.layers()[layer_index].1 else {
-                unreachable!()
-            };
-            let slot = &mut self.slots[slot_pos];
-            let qx = slot.quantizer_x.expect("enabled lstm has x quantizer");
-            let qh = slot.quantizer_h.expect("enabled lstm has h quantizer");
-            let SlotState::Lstm(state) = &mut slot.state else {
-                unreachable!()
-            };
-            let mut out = Vec::with_capacity(xs.len());
-            let mut stats: Vec<ExecStats> = Vec::with_capacity(xs.len());
-            let mut spans: Vec<u64> = Vec::with_capacity(xs.len());
-            for x in &xs {
-                let span = span_start(timed);
-                let (h, s) = state.step_with(&parallel, cell, &qx, &qh, x)?;
-                spans.push(span_elapsed_ns(span));
-                out.push(h);
-                stats.push(s.into());
-            }
-            (out, stats, spans)
-        };
-        for (t, s) in stats.into_iter().enumerate() {
-            let trace_ref = if record_trace {
-                Some(&mut traces[t])
-            } else {
-                None
-            };
-            let n_outputs = out[t].len() as u64;
-            self.record_layer_execution(slot_pos, Some(&xs[t]), s, n_outputs, spans[t], trace_ref);
-        }
-        out.into_iter()
-            .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
-            .collect()
-    }
-
-    /// Runs one BiLSTM layer over the sequence with per-direction reuse.
-    fn reuse_bilstm_layer(
-        &mut self,
-        layer_index: usize,
-        slot_pos: usize,
-        seq: Vec<Tensor>,
-        traces: &mut [ExecutionTrace],
-    ) -> Result<Vec<Tensor>, ReuseError> {
-        let record_trace = self.config.records_trace();
-        let timed = self.telemetry.is_some();
-        let parallel = *self.config.parallel_config();
-        let n = seq.len();
-        let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
-        let (out, fwd_stats, bwd_stats, spans) = {
-            let network = &self.network;
-            let Layer::BiLstm(layer) = &network.layers()[layer_index].1 else {
-                unreachable!()
-            };
-            let d = layer.cell_dim();
-            let slot = &mut self.slots[slot_pos];
-            let qx = slot.quantizer_x.expect("enabled bilstm has x quantizer");
-            let qh = slot.quantizer_h.expect("enabled bilstm has h quantizer");
-            let SlotState::BiLstm { fwd, bwd } = &mut slot.state else {
-                unreachable!()
-            };
-            let mut out = vec![vec![0.0f32; 2 * d]; n];
-            let mut fwd_stats: Vec<ExecStats> = Vec::with_capacity(n);
-            let mut bwd_stats: Vec<Option<ExecStats>> = vec![None; n];
-            // Per-timestep span: forward and backward direction summed.
-            let mut spans: Vec<u64> = vec![0; n];
-            for (t, x) in xs.iter().enumerate() {
-                let span = span_start(timed);
-                let (h, s) = fwd.step_with(&parallel, layer.forward_cell(), &qx, &qh, x)?;
-                spans[t] += span_elapsed_ns(span);
-                out[t][..d].copy_from_slice(&h);
-                fwd_stats.push(s.into());
-            }
-            for (t, x) in xs.iter().enumerate().rev() {
-                let span = span_start(timed);
-                let (h, s) = bwd.step_with(&parallel, layer.backward_cell(), &qx, &qh, x)?;
-                spans[t] += span_elapsed_ns(span);
-                out[t][d..].copy_from_slice(&h);
-                bwd_stats[t] = Some(s.into());
-            }
-            (out, fwd_stats, bwd_stats, spans)
-        };
-        // Record metrics and traces per timestep, merging the two directions.
-        for t in 0..n {
-            let merged = fwd_stats[t].merge(bwd_stats[t].expect("filled for every t"));
-            let trace_ref = if record_trace {
-                Some(&mut traces[t])
-            } else {
-                None
-            };
-            let n_outputs = out[t].len() as u64;
-            self.record_layer_execution(
-                slot_pos,
-                Some(&xs[t]),
-                merged,
-                n_outputs,
-                spans[t],
-                trace_ref,
-            );
-        }
-        out.into_iter()
-            .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
-            .collect()
-    }
-}
-
-// Engine-level behaviour is exercised by the integration tests in
-// `crates/reuse/tests/engine.rs`; unit tests here cover the private pieces.
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use reuse_nn::{Activation, NetworkBuilder};
-    use reuse_tensor::Shape;
-
-    #[test]
-    fn slots_cover_only_weighted_layers() {
-        let net = NetworkBuilder::with_input_shape("cnn", Shape::d3(1, 6, 6))
-            .conv2d(2, 3, 1, 1, Activation::Relu)
-            .pool2d(2)
-            .flatten()
-            .fully_connected(4, Activation::Identity)
-            .build()
-            .unwrap();
-        let engine = ReuseEngine::from_network(&net, &ReuseConfig::uniform(16));
-        assert_eq!(engine.slots.len(), 2);
-        assert_eq!(engine.metrics().layers.len(), 2);
-        assert_eq!(engine.slot_of_layer[0], 0);
-        assert_eq!(engine.slot_of_layer[1], usize::MAX);
-        assert_eq!(engine.slot_of_layer[3], 1);
-    }
-
-    #[test]
-    fn exec_stats_merge_adds_counts() {
-        let a = ExecStats {
-            n_inputs: 10,
-            n_changed: 2,
-            macs_total: 100,
-            macs_performed: 20,
-            from_scratch: false,
-        };
-        let b = ExecStats {
-            n_inputs: 5,
-            n_changed: 5,
-            macs_total: 50,
-            macs_performed: 50,
-            from_scratch: true,
-        };
-        let m = a.merge(b);
-        assert_eq!(m.n_inputs, 15);
-        assert_eq!(m.n_changed, 7);
-        assert_eq!(m.macs_total, 150);
-        assert_eq!(m.macs_performed, 70);
-        assert!(m.from_scratch);
-        assert_eq!(m.mode(true), TraceKind::ScratchQuantized);
-        assert_eq!(a.mode(true), TraceKind::Incremental);
-        assert_eq!(a.mode(false), TraceKind::ScratchFp32);
+        frames: &[Vec<f32>],
+        outs: &mut Vec<Vec<f32>>,
+    ) -> Result<(), ReuseError> {
+        self.session.execute_sequence_into(frames, outs)
     }
 }

@@ -1,0 +1,580 @@
+//! The uniform per-layer reuse interface.
+//!
+//! Every reuse-enabled layer family (fully-connected, conv2d/3d, LSTM,
+//! BiLSTM) exposes the same small surface to the execution engine through
+//! [`ReuseLayer`]: correct buffered outputs for one frame, adopt a fresh
+//! baseline after a watchdog re-baseline, reset between sequences, and
+//! report per-stream storage. The engine walks a plan of trait objects
+//! built once per session — no per-kind `match` remains on the execute
+//! path. Immutable inputs (network layer, packed weights, quantizers) come
+//! in through [`StepCtx`], borrowed from the shared
+//! [`CompiledModel`](crate::CompiledModel); everything behind `&mut self`
+//! is per-stream session state.
+
+use reuse_nn::{Layer, LayerKind};
+use reuse_quant::LinearQuantizer;
+use reuse_tensor::ParallelConfig;
+
+use crate::conv::{Conv2dReuseState, Conv3dReuseState, ConvExecStats};
+use crate::fc::{FcExecStats, FcReuseState};
+use crate::lstm::{LstmExecStats, LstmReuseState};
+use crate::model::CompiledWeights;
+use crate::trace::TraceKind;
+use crate::ReuseError;
+
+/// `Instant::now()` only when spans are being recorded, so the disabled
+/// path pays a single branch.
+pub(crate) fn span_start(timed: bool) -> Option<std::time::Instant> {
+    timed.then(std::time::Instant::now)
+}
+
+pub(crate) fn span_elapsed_ns(start: Option<std::time::Instant>) -> u64 {
+    start.map_or(0, |t| t.elapsed().as_nanos() as u64)
+}
+
+/// Everything a [`ReuseLayer`] step needs that is *not* per-stream state:
+/// the network layer, the model's packed weights for it, and the session's
+/// quantizers. Borrowed per call — the layer object itself stores only
+/// mutable stream state.
+#[derive(Debug)]
+pub struct StepCtx<'a> {
+    /// Thread-pool configuration for the correction kernels.
+    pub parallel: &'a ParallelConfig,
+    /// The network layer this state corrects for.
+    pub layer: &'a Layer,
+    /// Packed/blocked weights shared by every session of the model.
+    pub weights: &'a CompiledWeights,
+    /// Quantizer for the layer's feed-forward inputs.
+    pub quantizer_x: &'a LinearQuantizer,
+    /// Quantizer for the recurrent inputs (LSTM/BiLSTM only).
+    pub quantizer_h: Option<&'a LinearQuantizer>,
+}
+
+/// Normalized per-execution stats shared by all layer families.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecStats {
+    /// Inputs inspected this execution (x plus h for recurrent cells).
+    pub n_inputs: u64,
+    /// Inputs whose quantized index changed since the previous execution.
+    pub n_changed: u64,
+    /// MACs a from-scratch execution would perform.
+    pub macs_total: u64,
+    /// MACs actually performed (corrections only).
+    pub macs_performed: u64,
+    /// Whether this execution initialized state from scratch.
+    pub from_scratch: bool,
+}
+
+impl From<FcExecStats> for ExecStats {
+    fn from(s: FcExecStats) -> Self {
+        ExecStats {
+            n_inputs: s.n_inputs,
+            n_changed: s.n_changed,
+            macs_total: s.macs_total,
+            macs_performed: s.macs_performed,
+            from_scratch: s.from_scratch,
+        }
+    }
+}
+
+impl From<ConvExecStats> for ExecStats {
+    fn from(s: ConvExecStats) -> Self {
+        ExecStats {
+            n_inputs: s.n_inputs,
+            n_changed: s.n_changed,
+            macs_total: s.macs_total,
+            macs_performed: s.macs_performed,
+            from_scratch: s.from_scratch,
+        }
+    }
+}
+
+impl From<LstmExecStats> for ExecStats {
+    fn from(s: LstmExecStats) -> Self {
+        ExecStats {
+            n_inputs: s.n_inputs,
+            n_changed: s.n_changed,
+            macs_total: s.macs_total,
+            macs_performed: s.macs_performed,
+            from_scratch: s.from_scratch,
+        }
+    }
+}
+
+impl ExecStats {
+    /// Sums the counters of two executions (e.g. the two directions of a
+    /// BiLSTM timestep).
+    pub fn merge(self, other: ExecStats) -> ExecStats {
+        ExecStats {
+            n_inputs: self.n_inputs + other.n_inputs,
+            n_changed: self.n_changed + other.n_changed,
+            macs_total: self.macs_total + other.macs_total,
+            macs_performed: self.macs_performed + other.macs_performed,
+            from_scratch: self.from_scratch || other.from_scratch,
+        }
+    }
+
+    /// The trace mode this execution ran in.
+    pub fn mode(&self, enabled: bool) -> TraceKind {
+        if !enabled {
+            TraceKind::ScratchFp32
+        } else if self.from_scratch {
+            TraceKind::ScratchQuantized
+        } else {
+            TraceKind::Incremental
+        }
+    }
+}
+
+fn wrong_layer(expected: &'static str) -> ReuseError {
+    ReuseError::WrongApi {
+        context: format!("reuse state dispatched against a non-{expected} layer"),
+    }
+}
+
+/// One reuse-enabled layer's per-stream state behind a uniform interface.
+///
+/// Implementations hold only mutable stream state (previous quantized
+/// indices, buffered linear outputs, LSTM cell/hidden baselines); the
+/// immutable half — weights, packs, quantizers — arrives through
+/// [`StepCtx`] so one [`CompiledModel`](crate::CompiledModel) can serve
+/// many sessions.
+pub trait ReuseLayer: std::fmt::Debug + Send {
+    /// The layer family this state corrects for.
+    fn kind(&self) -> LayerKind;
+
+    /// Corrects the buffered outputs for one frame and writes the layer's
+    /// *post-step* values into `out` (linear pre-activations for
+    /// frame-wise layers, the hidden state for recurrent cells).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] on shape mismatches or when the state is
+    /// stepped against the wrong layer kind.
+    fn correct(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ExecStats, ReuseError>;
+
+    /// One full execution: [`Self::correct`] plus the layer's activation
+    /// (recurrent cells apply their nonlinearities inside `correct`, where
+    /// [`Layer::activation`] is `None`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::correct`] errors.
+    fn step(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ExecStats, ReuseError> {
+        let stats = self.correct(ctx, input, out)?;
+        if let Some(act) = ctx.layer.activation() {
+            act.apply_in_place(out);
+        }
+        Ok(stats)
+    }
+
+    /// Runs a whole sequence through this layer, one [`Self::step`] per
+    /// timestep, appending one entry per timestep to `out`/`stats`/`spans`
+    /// (expected empty on entry). BiLSTM overrides this with its
+    /// forward-then-backward schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::step`] errors.
+    fn step_sequence(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        xs: &[Vec<f32>],
+        timed: bool,
+        out: &mut Vec<Vec<f32>>,
+        stats: &mut Vec<ExecStats>,
+        spans: &mut Vec<u64>,
+    ) -> Result<(), ReuseError> {
+        for x in xs {
+            let span = span_start(timed);
+            let mut h = Vec::new();
+            let s = self.step(ctx, x, &mut h)?;
+            spans.push(span_elapsed_ns(span));
+            out.push(h);
+            stats.push(s);
+        }
+        Ok(())
+    }
+
+    /// Re-baselines the buffered state onto exact full-precision values:
+    /// codes become the quantization of `input`, buffered outputs become
+    /// `linear` (the serial linear forward on `input`). Only meaningful for
+    /// frame-wise layers — the drift watchdog never runs on recurrent
+    /// networks.
+    fn adopt_baseline(&mut self, ctx: &StepCtx<'_>, input: &[f32], linear: &[f32]);
+
+    /// The buffered linear outputs (empty for recurrent cells, whose
+    /// baseline is the gate pre-activation buffer the watchdog never
+    /// inspects).
+    fn buffered_linear(&self) -> &[f32];
+
+    /// Drops buffered state; the next execution recomputes from scratch
+    /// (the between-sequence power-gate reset).
+    fn reset(&mut self, layer: &Layer);
+
+    /// Extra I/O-buffer/main-memory bytes this stream's state needs:
+    /// indices plus buffered outputs (Table III accounting). Per session —
+    /// shared packed weights are accounted on the model.
+    fn storage_bytes(&self, layer: &Layer) -> u64;
+}
+
+impl ReuseLayer for FcReuseState {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Fc
+    }
+
+    fn correct(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ExecStats, ReuseError> {
+        let Layer::FullyConnected(fc) = ctx.layer else {
+            return Err(wrong_layer("fully-connected"));
+        };
+        Ok(self
+            .execute_into(ctx.parallel, fc, ctx.quantizer_x, input, out)?
+            .into())
+    }
+
+    fn adopt_baseline(&mut self, ctx: &StepCtx<'_>, input: &[f32], linear: &[f32]) {
+        FcReuseState::adopt_baseline(self, ctx.quantizer_x, input, linear);
+    }
+
+    fn buffered_linear(&self) -> &[f32] {
+        FcReuseState::buffered_linear(self)
+    }
+
+    fn reset(&mut self, _layer: &Layer) {
+        FcReuseState::reset(self);
+    }
+
+    fn storage_bytes(&self, layer: &Layer) -> u64 {
+        match layer {
+            Layer::FullyConnected(fc) => FcReuseState::storage_bytes(self, fc),
+            _ => 0,
+        }
+    }
+}
+
+impl ReuseLayer for Conv2dReuseState {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv
+    }
+
+    fn correct(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ExecStats, ReuseError> {
+        let (Layer::Conv2d(c), CompiledWeights::Conv2d(pack)) = (ctx.layer, ctx.weights) else {
+            return Err(wrong_layer("conv2d"));
+        };
+        Ok(self
+            .execute_into_packed(ctx.parallel, c, pack, ctx.quantizer_x, input, out)?
+            .into())
+    }
+
+    fn adopt_baseline(&mut self, ctx: &StepCtx<'_>, input: &[f32], linear: &[f32]) {
+        Conv2dReuseState::adopt_baseline(self, ctx.quantizer_x, input, linear);
+    }
+
+    fn buffered_linear(&self) -> &[f32] {
+        Conv2dReuseState::buffered_linear(self)
+    }
+
+    fn reset(&mut self, _layer: &Layer) {
+        Conv2dReuseState::reset(self);
+    }
+
+    fn storage_bytes(&self, _layer: &Layer) -> u64 {
+        Conv2dReuseState::storage_bytes(self)
+    }
+}
+
+impl ReuseLayer for Conv3dReuseState {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv
+    }
+
+    fn correct(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ExecStats, ReuseError> {
+        let (Layer::Conv3d(c), CompiledWeights::Conv3d(pack)) = (ctx.layer, ctx.weights) else {
+            return Err(wrong_layer("conv3d"));
+        };
+        Ok(self
+            .execute_into_packed(ctx.parallel, c, pack, ctx.quantizer_x, input, out)?
+            .into())
+    }
+
+    fn adopt_baseline(&mut self, ctx: &StepCtx<'_>, input: &[f32], linear: &[f32]) {
+        Conv3dReuseState::adopt_baseline(self, ctx.quantizer_x, input, linear);
+    }
+
+    fn buffered_linear(&self) -> &[f32] {
+        Conv3dReuseState::buffered_linear(self)
+    }
+
+    fn reset(&mut self, _layer: &Layer) {
+        Conv3dReuseState::reset(self);
+    }
+
+    fn storage_bytes(&self, _layer: &Layer) -> u64 {
+        Conv3dReuseState::storage_bytes(self)
+    }
+}
+
+impl ReuseLayer for LstmReuseState {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Recurrent
+    }
+
+    /// One full LSTM timestep — the cell nonlinearities are inherent to the
+    /// step, so `correct` returns the hidden state and the default
+    /// [`ReuseLayer::step`] adds nothing ([`Layer::activation`] is `None`
+    /// for recurrent layers).
+    fn correct(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ExecStats, ReuseError> {
+        let (Layer::Lstm(cell), CompiledWeights::Lstm(pack)) = (ctx.layer, ctx.weights) else {
+            return Err(wrong_layer("lstm"));
+        };
+        let qh = ctx.quantizer_h.ok_or_else(|| ReuseError::WrongApi {
+            context: "lstm step without a hidden-state quantizer".into(),
+        })?;
+        Ok(self
+            .step_into_packed(ctx.parallel, cell, pack, ctx.quantizer_x, qh, input, out)?
+            .into())
+    }
+
+    fn adopt_baseline(&mut self, _ctx: &StepCtx<'_>, _input: &[f32], _linear: &[f32]) {
+        debug_assert!(
+            false,
+            "the drift watchdog never re-baselines recurrent layers"
+        );
+    }
+
+    fn buffered_linear(&self) -> &[f32] {
+        &[]
+    }
+
+    fn reset(&mut self, layer: &Layer) {
+        if let Layer::Lstm(cell) = layer {
+            LstmReuseState::reset(self, cell);
+        }
+    }
+
+    fn storage_bytes(&self, layer: &Layer) -> u64 {
+        match layer {
+            Layer::Lstm(cell) => LstmReuseState::storage_bytes(self, cell),
+            _ => 0,
+        }
+    }
+}
+
+/// Per-stream state for one BiLSTM layer: an independent [`LstmReuseState`]
+/// per direction, scheduled forward-then-backward over each sequence.
+#[derive(Debug)]
+pub struct BiLstmReuseState {
+    fwd: LstmReuseState,
+    bwd: LstmReuseState,
+}
+
+impl BiLstmReuseState {
+    /// Creates both directional states with empty gate packs (corrections
+    /// go through the model's shared [`CompiledWeights::BiLstm`]).
+    pub fn new(layer: &reuse_nn::BiLstmLayer) -> Self {
+        BiLstmReuseState {
+            fwd: LstmReuseState::new_shared(layer.forward_cell()),
+            bwd: LstmReuseState::new_shared(layer.backward_cell()),
+        }
+    }
+}
+
+impl ReuseLayer for BiLstmReuseState {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Recurrent
+    }
+
+    /// BiLSTM has no single-frame step — the backward direction needs the
+    /// whole sequence. Use [`ReuseLayer::step_sequence`].
+    fn correct(
+        &mut self,
+        _ctx: &StepCtx<'_>,
+        _input: &[f32],
+        _out: &mut Vec<f32>,
+    ) -> Result<ExecStats, ReuseError> {
+        Err(ReuseError::WrongApi {
+            context: "bilstm layers run per sequence: use step_sequence".into(),
+        })
+    }
+
+    /// Forward pass over ascending timesteps, backward pass over descending
+    /// timesteps, `out[t] = [h_fwd | h_bwd]`; per-timestep stats are the two
+    /// directions merged and spans summed.
+    fn step_sequence(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        xs: &[Vec<f32>],
+        timed: bool,
+        out: &mut Vec<Vec<f32>>,
+        stats: &mut Vec<ExecStats>,
+        spans: &mut Vec<u64>,
+    ) -> Result<(), ReuseError> {
+        let (Layer::BiLstm(layer), CompiledWeights::BiLstm { fwd, bwd }) = (ctx.layer, ctx.weights)
+        else {
+            return Err(wrong_layer("bilstm"));
+        };
+        let qh = ctx.quantizer_h.ok_or_else(|| ReuseError::WrongApi {
+            context: "bilstm step without a hidden-state quantizer".into(),
+        })?;
+        let d = layer.cell_dim();
+        let n = xs.len();
+        out.clear();
+        out.resize(n, Vec::new());
+        spans.clear();
+        spans.resize(n, 0);
+        let mut fwd_stats: Vec<ExecStats> = Vec::with_capacity(n);
+        let mut h = Vec::new();
+        for (t, x) in xs.iter().enumerate() {
+            let span = span_start(timed);
+            let s = self.fwd.step_into_packed(
+                ctx.parallel,
+                layer.forward_cell(),
+                fwd,
+                ctx.quantizer_x,
+                qh,
+                x,
+                &mut h,
+            )?;
+            spans[t] += span_elapsed_ns(span);
+            out[t].resize(2 * d, 0.0);
+            out[t][..d].copy_from_slice(&h);
+            fwd_stats.push(s.into());
+        }
+        let mut bwd_stats: Vec<Option<ExecStats>> = vec![None; n];
+        for (t, x) in xs.iter().enumerate().rev() {
+            let span = span_start(timed);
+            let s = self.bwd.step_into_packed(
+                ctx.parallel,
+                layer.backward_cell(),
+                bwd,
+                ctx.quantizer_x,
+                qh,
+                x,
+                &mut h,
+            )?;
+            spans[t] += span_elapsed_ns(span);
+            out[t][d..].copy_from_slice(&h);
+            bwd_stats[t] = Some(s.into());
+        }
+        stats.clear();
+        for t in 0..n {
+            stats.push(fwd_stats[t].merge(bwd_stats[t].expect("filled for every t")));
+        }
+        Ok(())
+    }
+
+    fn adopt_baseline(&mut self, _ctx: &StepCtx<'_>, _input: &[f32], _linear: &[f32]) {
+        debug_assert!(
+            false,
+            "the drift watchdog never re-baselines recurrent layers"
+        );
+    }
+
+    fn buffered_linear(&self) -> &[f32] {
+        &[]
+    }
+
+    fn reset(&mut self, layer: &Layer) {
+        if let Layer::BiLstm(l) = layer {
+            self.fwd.reset(l.forward_cell());
+            self.bwd.reset(l.backward_cell());
+        }
+    }
+
+    fn storage_bytes(&self, layer: &Layer) -> u64 {
+        match layer {
+            Layer::BiLstm(l) => {
+                self.fwd.storage_bytes(l.forward_cell()) + self.bwd.storage_bytes(l.backward_cell())
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Builds the per-stream state object for one weighted layer. Construction
+/// is the only place layer kinds are matched — from here on the engine
+/// dispatches through the trait.
+///
+/// # Panics
+///
+/// Panics if a convolutional layer's state cannot be sized — impossible for
+/// networks built through `NetworkBuilder`, whose shapes are validated.
+pub(crate) fn build_state(
+    layer: &Layer,
+    in_shape: &reuse_tensor::Shape,
+) -> Option<Box<dyn ReuseLayer>> {
+    match layer {
+        Layer::FullyConnected(fc) => Some(Box::new(FcReuseState::new(fc))),
+        Layer::Conv2d(c) => Some(Box::new(
+            Conv2dReuseState::new(c, in_shape).expect("validated at network build"),
+        )),
+        Layer::Conv3d(c) => Some(Box::new(
+            Conv3dReuseState::new(c, in_shape).expect("validated at network build"),
+        )),
+        Layer::Lstm(cell) => Some(Box::new(LstmReuseState::new_shared(cell))),
+        Layer::BiLstm(l) => Some(Box::new(BiLstmReuseState::new(l))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_stats_merge_adds_counts() {
+        let a = ExecStats {
+            n_inputs: 10,
+            n_changed: 2,
+            macs_total: 100,
+            macs_performed: 20,
+            from_scratch: false,
+        };
+        let b = ExecStats {
+            n_inputs: 5,
+            n_changed: 5,
+            macs_total: 50,
+            macs_performed: 50,
+            from_scratch: true,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.n_inputs, 15);
+        assert_eq!(m.n_changed, 7);
+        assert_eq!(m.macs_total, 150);
+        assert_eq!(m.macs_performed, 70);
+        assert!(m.from_scratch);
+        assert_eq!(m.mode(true), TraceKind::ScratchQuantized);
+        assert_eq!(a.mode(true), TraceKind::Incremental);
+        assert_eq!(a.mode(false), TraceKind::ScratchFp32);
+    }
+}

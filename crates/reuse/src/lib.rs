@@ -19,9 +19,18 @@
 //! # Crate layout
 //!
 //! * [`ReuseConfig`] — which layers participate and with how many clusters.
-//! * [`ReuseEngine`] — runs a `reuse_nn::Network` over a sequence of frames,
-//!   calibrating quantizers, buffering per-layer state and producing
-//!   outputs, metrics and execution traces.
+//! * [`CompiledModel`] — the immutable, `Sync` compile step: network,
+//!   execution plan and packed/blocked weights, built once and shared
+//!   behind an `Arc` by any number of streams.
+//! * [`ReuseSession`] — one input stream's mutable state: quantizers,
+//!   buffered per-layer reuse state, metrics, telemetry, buffer pool.
+//!   Created with [`CompiledModel::new_session`].
+//! * [`ReuseEngine`] — single-stream facade (one model + one session):
+//!   runs a `reuse_nn::Network` over a sequence of frames, calibrating
+//!   quantizers, buffering per-layer state and producing outputs, metrics
+//!   and execution traces.
+//! * [`layer`] — the [`ReuseLayer`] trait the session dispatches through,
+//!   one implementation per layer family.
 //! * [`fc`], [`conv`], [`lstm`] — the incremental kernels for each layer
 //!   family (paper Sections IV-B/C/D).
 //! * [`metrics`] — input similarity, computation reuse and the Fig. 4
@@ -57,9 +66,12 @@ pub mod drift;
 mod engine;
 mod error;
 pub mod fc;
+pub mod layer;
 pub mod lstm;
 pub mod metrics;
+mod model;
 pub mod replay;
+mod session;
 pub mod summary;
 pub mod telemetry;
 pub mod trace;
@@ -67,8 +79,11 @@ pub mod trace;
 pub use config::{LayerSetting, ReuseConfig};
 pub use engine::ReuseEngine;
 pub use error::ReuseError;
+pub use layer::{ExecStats, ReuseLayer, StepCtx};
 pub use metrics::{relative_difference, EngineMetrics, LayerMetrics};
+pub use model::{CompiledModel, CompiledWeights};
 pub use reuse_tensor::ParallelConfig;
+pub use session::ReuseSession;
 pub use telemetry::{
     EngineTelemetry, LayerTelemetry, LayerTelemetrySnapshot, PoolStats, TelemetrySnapshot,
     WatchdogStats,

@@ -38,6 +38,44 @@ pub struct LstmExecStats {
     pub from_scratch: bool,
 }
 
+/// The immutable combined four-gate weight matrices of one LSTM cell,
+/// packed once so every stream's correction pass can share one copy (it
+/// lives in `CompiledModel`, not in per-stream state). Column `g·d + u` is
+/// gate `g`, unit `u` — the layout the batched row walk corrects against.
+#[derive(Debug, Clone)]
+pub struct LstmGatePack {
+    /// All four gates' feed-forward weights, row-major `[n_in, NUM_GATES·d]`.
+    combined_x: Vec<f32>,
+    /// Same combined matrix for the recurrent weights (`[d, NUM_GATES·d]`).
+    combined_h: Vec<f32>,
+}
+
+impl LstmGatePack {
+    /// Combines the eight gate weight matrices into the two four-gate
+    /// matrices.
+    pub fn new(cell: &LstmCell) -> Self {
+        let (n_in, d) = (cell.n_in(), cell.cell_dim());
+        let combine = |rows: usize, gates: [&[f32]; NUM_GATES]| {
+            let mut all = vec![0.0f32; rows * NUM_GATES * d];
+            for (g, w) in gates.iter().enumerate() {
+                for i in 0..rows {
+                    all[i * NUM_GATES * d + g * d..][..d].copy_from_slice(&w[i * d..(i + 1) * d]);
+                }
+            }
+            all
+        };
+        LstmGatePack {
+            combined_x: combine(n_in, core::array::from_fn(|g| cell.w_x(g).as_slice())),
+            combined_h: combine(d, core::array::from_fn(|g| cell.w_h(g).as_slice())),
+        }
+    }
+
+    /// Bytes occupied by the two combined matrices.
+    pub fn bytes(&self) -> u64 {
+        ((self.combined_x.len() + self.combined_h.len()) * 4) as u64
+    }
+}
+
 /// Buffered reuse state of one LSTM cell (one direction of a BiLSTM layer).
 #[derive(Debug, Clone)]
 pub struct LstmReuseState {
@@ -69,26 +107,35 @@ impl LstmReuseState {
     /// matrices into the two four-gate matrices here (once,
     /// pre-steady-state) so every later correction is allocation-free.
     pub fn new(cell: &LstmCell) -> Self {
+        let pack = LstmGatePack::new(cell);
         let (n_in, d) = (cell.n_in(), cell.cell_dim());
-        let combine = |rows: usize, gates: [&[f32]; NUM_GATES]| {
-            let mut all = vec![0.0f32; rows * NUM_GATES * d];
-            for (g, w) in gates.iter().enumerate() {
-                for i in 0..rows {
-                    all[i * NUM_GATES * d + g * d..][..d].copy_from_slice(&w[i * d..(i + 1) * d]);
-                }
-            }
-            all
-        };
-        let combined_x = combine(n_in, core::array::from_fn(|g| cell.w_x(g).as_slice()));
-        let combined_h = combine(d, core::array::from_fn(|g| cell.w_h(g).as_slice()));
         LstmReuseState {
             prev_x_codes: Vec::with_capacity(n_in),
             prev_h_codes: Vec::with_capacity(d),
             prev_pre: Vec::new(),
             changed_x: Vec::with_capacity(n_in),
             changed_h: Vec::with_capacity(d),
-            combined_x,
-            combined_h,
+            combined_x: pack.combined_x,
+            combined_h: pack.combined_h,
+            state: LstmState::zeros(d),
+            initialized: false,
+        }
+    }
+
+    /// Creates state that carries **no** private combined weight matrices:
+    /// corrections must go through [`Self::step_into_packed`] with a shared
+    /// [`LstmGatePack`]. This is what per-stream sessions use — N streams
+    /// share one pack instead of rebuilding `O(params)` copies each.
+    pub fn new_shared(cell: &LstmCell) -> Self {
+        let (n_in, d) = (cell.n_in(), cell.cell_dim());
+        LstmReuseState {
+            prev_x_codes: Vec::with_capacity(n_in),
+            prev_h_codes: Vec::with_capacity(d),
+            prev_pre: Vec::new(),
+            changed_x: Vec::with_capacity(n_in),
+            changed_h: Vec::with_capacity(d),
+            combined_x: Vec::new(),
+            combined_h: Vec::new(),
             state: LstmState::zeros(d),
             initialized: false,
         }
@@ -188,7 +235,48 @@ impl LstmReuseState {
         x: &[f32],
         h_out: &mut Vec<f32>,
     ) -> Result<LstmExecStats, ReuseError> {
-        self.step_into_impl(config, cell, x_quantizer, h_quantizer, x, h_out, false)
+        self.step_into_impl(
+            config,
+            cell,
+            x_quantizer,
+            h_quantizer,
+            x,
+            h_out,
+            None,
+            false,
+        )
+    }
+
+    /// [`Self::step_into`] correcting through a shared [`LstmGatePack`]
+    /// instead of the state's private combined matrices, so many per-stream
+    /// states can share one packed copy of the gate weights. Bit-identical
+    /// to [`Self::step_into`] (same combined layout, same walk). Required
+    /// for states built with [`Self::new_shared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError`] when `x` has the wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_into_packed(
+        &mut self,
+        config: &ParallelConfig,
+        cell: &LstmCell,
+        pack: &LstmGatePack,
+        x_quantizer: &LinearQuantizer,
+        h_quantizer: &LinearQuantizer,
+        x: &[f32],
+        h_out: &mut Vec<f32>,
+    ) -> Result<LstmExecStats, ReuseError> {
+        self.step_into_impl(
+            config,
+            cell,
+            x_quantizer,
+            h_quantizer,
+            x,
+            h_out,
+            Some(pack),
+            false,
+        )
     }
 
     /// [`Self::step_into`] through the pre-blocking scattered row walk.
@@ -208,7 +296,7 @@ impl LstmReuseState {
         x: &[f32],
         h_out: &mut Vec<f32>,
     ) -> Result<LstmExecStats, ReuseError> {
-        self.step_into_impl(config, cell, x_quantizer, h_quantizer, x, h_out, true)
+        self.step_into_impl(config, cell, x_quantizer, h_quantizer, x, h_out, None, true)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -220,6 +308,7 @@ impl LstmReuseState {
         h_quantizer: &LinearQuantizer,
         x: &[f32],
         h_out: &mut Vec<f32>,
+        pack: Option<&LstmGatePack>,
         naive: bool,
     ) -> Result<LstmExecStats, ReuseError> {
         let n_in = cell.n_in();
@@ -328,20 +417,12 @@ impl LstmReuseState {
             // DELTA_BATCH changed rows streamed together per pass, all
             // gates corrected in one sweep per source.
             let width = NUM_GATES * d;
-            apply_deltas_rows(
-                config,
-                &self.combined_x,
-                width,
-                changed_x,
-                &mut self.prev_pre,
-            );
-            apply_deltas_rows(
-                config,
-                &self.combined_h,
-                width,
-                changed_h,
-                &mut self.prev_pre,
-            );
+            let (cx, ch) = match pack {
+                Some(p) => (&p.combined_x[..], &p.combined_h[..]),
+                None => (&self.combined_x[..], &self.combined_h[..]),
+            };
+            apply_deltas_rows(config, cx, width, changed_x, &mut self.prev_pre);
+            apply_deltas_rows(config, ch, width, changed_h, &mut self.prev_pre);
         }
         let changed = (self.changed_x.len() + self.changed_h.len()) as u64;
         cell.step_from_preactivations_in_place(&self.prev_pre, &mut self.state);

@@ -96,7 +96,7 @@ impl LayerMetrics {
 }
 
 /// Aggregated metrics for a whole engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineMetrics {
     /// Per-layer metrics, in network layer order (weighted layers only).
     pub layers: Vec<LayerMetrics>,

@@ -1,0 +1,218 @@
+//! The immutable, shareable half of the reuse engine.
+//!
+//! A [`CompiledModel`] is built once per network/config pair and holds
+//! everything every stream reads but never writes: the network itself, the
+//! per-layer reuse settings, the execution plan (which layers have reuse
+//! slots), and the packed/blocked weight layouts the correction kernels
+//! walk. It is `Sync`, so one `Arc<CompiledModel>` can back any number of
+//! concurrent [`ReuseSession`](crate::ReuseSession)s — the model/state
+//! split that per-stream serving needs.
+
+use std::sync::Arc;
+
+use reuse_nn::{Layer, LayerKind, Network};
+
+use crate::conv::{Conv2dPack, Conv3dPack};
+use crate::lstm::LstmGatePack;
+use crate::session::ReuseSession;
+use crate::{LayerSetting, ReuseConfig};
+
+/// Packed/blocked weight layouts for one reuse slot, shared by every
+/// session of the model. Fully-connected corrections read weight rows
+/// straight from the network, so they carry no pack.
+#[derive(Debug)]
+pub enum CompiledWeights {
+    /// Fully-connected: corrections walk the network's own row-major
+    /// weights — nothing to pack.
+    Fc,
+    /// Conv2d: the `[in_c, kh, kw, out_c]` weight transpose.
+    Conv2d(Conv2dPack),
+    /// Conv3d: the `[in_c, kd, kh, kw, out_c]` weight transpose.
+    Conv3d(Conv3dPack),
+    /// LSTM: the combined four-gate `[rows, 4*d]` matrices.
+    Lstm(LstmGatePack),
+    /// BiLSTM: one combined gate pack per direction.
+    BiLstm {
+        /// Forward-direction gate pack.
+        fwd: LstmGatePack,
+        /// Backward-direction gate pack.
+        bwd: LstmGatePack,
+    },
+}
+
+impl CompiledWeights {
+    fn new(layer: &Layer) -> Option<Self> {
+        match layer {
+            Layer::FullyConnected(_) => Some(CompiledWeights::Fc),
+            Layer::Conv2d(c) => Some(CompiledWeights::Conv2d(Conv2dPack::new(c))),
+            Layer::Conv3d(c) => Some(CompiledWeights::Conv3d(Conv3dPack::new(c))),
+            Layer::Lstm(cell) => Some(CompiledWeights::Lstm(LstmGatePack::new(cell))),
+            Layer::BiLstm(l) => Some(CompiledWeights::BiLstm {
+                fwd: LstmGatePack::new(l.forward_cell()),
+                bwd: LstmGatePack::new(l.backward_cell()),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Bytes of packed weights this slot shares across sessions.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            CompiledWeights::Fc => 0,
+            CompiledWeights::Conv2d(p) => p.bytes(),
+            CompiledWeights::Conv3d(p) => p.bytes(),
+            CompiledWeights::Lstm(p) => p.bytes(),
+            CompiledWeights::BiLstm { fwd, bwd } => fwd.bytes() + bwd.bytes(),
+        }
+    }
+}
+
+/// The compile-time plan entry for one weighted layer.
+#[derive(Debug)]
+pub(crate) struct CompiledSlot {
+    /// Index into the network's layer list.
+    pub(crate) layer_index: usize,
+    pub(crate) name: String,
+    pub(crate) kind: LayerKind,
+    pub(crate) setting: LayerSetting,
+    /// Index into `EngineMetrics::layers` (== slot position).
+    pub(crate) metrics_index: usize,
+    /// Packed weights shared by every session.
+    pub(crate) weights: CompiledWeights,
+}
+
+/// The immutable network + plan + packed weights + config, built once and
+/// shared by reference across [`ReuseSession`]s.
+///
+/// `CompiledModel` is `Sync`: it holds no interior mutability, so an
+/// `Arc<CompiledModel>` can be handed to any number of threads, each
+/// running its own session (see [`CompiledModel::new_session`]).
+#[derive(Debug)]
+pub struct CompiledModel {
+    network: Network,
+    config: ReuseConfig,
+    /// Slot per weighted layer, ordered by layer index.
+    slots: Vec<CompiledSlot>,
+    /// Map from layer index to slot position (`usize::MAX` = no slot).
+    slot_of_layer: Vec<usize>,
+    /// Output volume of every layer, precomputed so the hot path never
+    /// re-derives shapes.
+    layer_out_volumes: Vec<usize>,
+}
+
+impl CompiledModel {
+    /// Compiles a network (cloned) under a reuse configuration: builds the
+    /// execution plan and the packed weight layouts the correction kernels
+    /// share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layer's output shape cannot be derived — impossible for
+    /// networks built through `NetworkBuilder`, whose shapes are validated.
+    pub fn new(network: &Network, config: &ReuseConfig) -> Self {
+        let network = network.clone();
+        let mut slots = Vec::new();
+        let mut slot_of_layer = vec![usize::MAX; network.layers().len()];
+        for (i, (name, layer)) in network.layers().iter().enumerate() {
+            if !layer.has_weights() {
+                continue;
+            }
+            let Some(weights) = CompiledWeights::new(layer) else {
+                continue;
+            };
+            let metrics_index = slots.len();
+            slot_of_layer[i] = slots.len();
+            slots.push(CompiledSlot {
+                layer_index: i,
+                name: name.clone(),
+                kind: layer.kind(),
+                setting: config.setting_for(name),
+                metrics_index,
+                weights,
+            });
+        }
+        let layer_out_volumes: Vec<usize> = network
+            .layers()
+            .iter()
+            .zip(network.layer_input_shapes().iter())
+            .map(|((_, layer), in_shape)| {
+                layer
+                    .output_shape(in_shape)
+                    .expect("validated at network build")
+                    .volume()
+            })
+            .collect();
+        CompiledModel {
+            network,
+            config: config.clone(),
+            slots,
+            slot_of_layer,
+            layer_out_volumes,
+        }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The reuse configuration the model was compiled under.
+    pub fn config(&self) -> &ReuseConfig {
+        &self.config
+    }
+
+    /// Creates a fresh per-stream session against this shared model. Each
+    /// session owns all mutable state — buffered indices and outputs,
+    /// quantizer calibration, metrics, telemetry, drift-watchdog counters,
+    /// buffer pool — and sessions never observe one another.
+    pub fn new_session(self: &Arc<Self>) -> ReuseSession {
+        ReuseSession::new(Arc::clone(self))
+    }
+
+    /// Bytes of packed weights shared by all sessions (weight transposes,
+    /// combined gate matrices).
+    pub fn packed_weight_bytes(&self) -> u64 {
+        self.slots.iter().map(|s| s.weights.bytes()).sum()
+    }
+
+    pub(crate) fn slots(&self) -> &[CompiledSlot] {
+        &self.slots
+    }
+
+    pub(crate) fn slot_of_layer(&self) -> &[usize] {
+        &self.slot_of_layer
+    }
+
+    pub(crate) fn layer_out_volumes(&self) -> &[usize] {
+        &self.layer_out_volumes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reuse_nn::{Activation, NetworkBuilder};
+    use reuse_tensor::Shape;
+
+    #[test]
+    fn slots_cover_only_weighted_layers() {
+        let net = NetworkBuilder::with_input_shape("cnn", Shape::d3(1, 6, 6))
+            .conv2d(2, 3, 1, 1, Activation::Relu)
+            .pool2d(2)
+            .flatten()
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap();
+        let model = CompiledModel::new(&net, &ReuseConfig::uniform(16));
+        assert_eq!(model.slots().len(), 2);
+        assert_eq!(model.slot_of_layer()[0], 0);
+        assert_eq!(model.slot_of_layer()[1], usize::MAX);
+        assert_eq!(model.slot_of_layer()[3], 1);
+    }
+
+    #[test]
+    fn compiled_model_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<CompiledModel>();
+    }
+}

@@ -1,0 +1,1092 @@
+//! The mutable, per-stream half of the reuse engine.
+//!
+//! A [`ReuseSession`] owns everything one input stream mutates — buffered
+//! quantized indices and outputs, quantizer calibration, metrics,
+//! telemetry rings, drift-watchdog counters and the recycling buffer pool —
+//! while reading the immutable network, plan and packed weights from a
+//! shared [`CompiledModel`]. Sessions are created, reset and dropped
+//! independently: interleaving many sessions over one model is
+//! bit-identical to running each stream alone.
+
+use std::sync::Arc;
+
+use reuse_nn::Layer;
+use reuse_quant::{LinearQuantizer, RangeProfiler};
+use reuse_tensor::Tensor;
+
+use crate::drift::max_abs_diff;
+use crate::layer::{build_state, span_elapsed_ns, span_start, ExecStats, ReuseLayer, StepCtx};
+use crate::metrics::{relative_difference, EngineMetrics, LayerMetrics};
+use crate::model::CompiledModel;
+use crate::telemetry::{
+    EngineTelemetry, LayerTelemetrySnapshot, PoolStats, TelemetrySnapshot, WatchdogStats,
+};
+use crate::trace::{ExecutionTrace, LayerTrace, TraceKind};
+use crate::ReuseError;
+
+/// A recycling arena of `f32` buffers for a session's per-frame
+/// intermediates.
+///
+/// Every buffer taken during a frame is given back before the frame ends, so
+/// after the first reuse-phase execution the pool holds one buffer per
+/// pipeline stage and steady-state frames allocate nothing. Once `steady` is
+/// armed, a pool miss (which would allocate) trips a debug assertion — the
+/// zero-allocation contract of [`ReuseSession::execute_into`].
+#[derive(Debug)]
+struct BufferPool {
+    free: Vec<Vec<f32>>,
+    steady: bool,
+    max_free: usize,
+    /// Hit/miss counters, exported through [`TelemetrySnapshot`].
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    fn new(max_free: usize) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            steady: false,
+            max_free,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Takes a cleared buffer with at least `cap` capacity (best fit), or
+    /// allocates one on a miss. Only buffers with `capacity >= cap` are
+    /// candidates — a smaller recycled buffer must never be handed out, or
+    /// the caller's `extend_from_slice` would silently reallocate and defeat
+    /// the zero-alloc invariant while the pool reported a hit.
+    fn take(&mut self, cap: usize) -> Vec<f32> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.free.iter().enumerate() {
+            let c = b.capacity();
+            if c >= cap && best.is_none_or(|(_, bc)| c < bc) {
+                best = Some((i, c));
+            }
+        }
+        let buf = match best {
+            Some((i, _)) => {
+                self.stats.hits += 1;
+                let mut b = self.free.swap_remove(i);
+                b.clear();
+                b
+            }
+            None => {
+                self.stats.misses += 1;
+                debug_assert!(
+                    !self.steady,
+                    "steady-state buffer-pool miss: a frame allocated (needed capacity {cap})"
+                );
+                Vec::with_capacity(cap)
+            }
+        };
+        debug_assert!(
+            buf.capacity() >= cap,
+            "pool handed out an undersized buffer"
+        );
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse by later frames. Pipelines
+    /// with full-precision fallback layers route buffers through the tensor
+    /// API (losing them to the pool), so cap the free list to stop foreign
+    /// replacement buffers from accumulating.
+    fn give(&mut self, buf: Vec<f32>) {
+        if self.free.len() < self.max_free {
+            self.free.push(buf);
+        }
+    }
+}
+
+/// Per-stream runtime state for one reuse slot: calibration, quantizers,
+/// drift counters and the layer's buffered state behind the
+/// [`ReuseLayer`] trait.
+#[derive(Debug)]
+struct SlotRuntime {
+    /// Set when the profiled range was degenerate (or drift escalated) and
+    /// reuse was disabled for this stream.
+    auto_disabled: bool,
+    profiler_x: RangeProfiler,
+    profiler_h: RangeProfiler,
+    quantizer_x: Option<LinearQuantizer>,
+    quantizer_h: Option<LinearQuantizer>,
+    /// Previous raw input (for the Fig. 4 relative-difference series).
+    prev_raw_input: Option<Vec<f32>>,
+    /// Times the drift watchdog re-baselined this layer's buffered outputs.
+    rebaselines: u64,
+    /// Re-baselines where this layer's own buffered outputs had drifted
+    /// beyond the bound (feeds the auto-disable escalation).
+    drift_strikes: u64,
+    /// The layer's buffered reuse state, dispatched through the trait.
+    state: Box<dyn ReuseLayer>,
+}
+
+/// One stream's mutable reuse state over a shared [`CompiledModel`].
+///
+/// Lifecycle (same as [`ReuseEngine`](crate::ReuseEngine), which is now a
+/// facade over one session):
+///
+/// 1. The first `calibration_executions` executions (sequences, for
+///    recurrent networks) run in full precision while input ranges are
+///    profiled per layer — the paper's offline profiling pass.
+/// 2. The next execution builds the linear quantizers and runs from scratch
+///    on quantized inputs, initializing the buffered state (the paper's
+///    "first execution", Fig. 7).
+/// 3. Every further execution quantizes inputs, skips unchanged ones and
+///    corrects the buffered outputs (Eq. 10).
+///
+/// Calibration and quantizers are per-session: each stream profiles its own
+/// input ranges, so a session behaves bit-identically to a standalone
+/// engine built from the same network and config.
+#[derive(Debug)]
+pub struct ReuseSession {
+    model: Arc<CompiledModel>,
+    /// Runtime per plan slot, ordered like `model.slots()`.
+    runtimes: Vec<SlotRuntime>,
+    metrics: EngineMetrics,
+    traces: Vec<ExecutionTrace>,
+    calibrated: bool,
+    executions_seen: u64,
+    calibration_units_seen: u64,
+    /// Recycled per-frame intermediate buffers (zero-alloc steady state).
+    pool: BufferPool,
+    /// Per-layer ring-buffer counters, preallocated when enabled in config.
+    telemetry: Option<EngineTelemetry>,
+    /// Drift-watchdog counters (maintained even without telemetry).
+    watchdog: WatchdogStats,
+    /// Reuse-phase feed-forward frames seen (drives the watchdog cadence).
+    reuse_frames: u64,
+}
+
+impl ReuseSession {
+    pub(crate) fn new(model: Arc<CompiledModel>) -> Self {
+        let config = model.config();
+        let mut metrics = EngineMetrics::default();
+        let runtimes: Vec<SlotRuntime> = model
+            .slots()
+            .iter()
+            .map(|slot| {
+                metrics.layers.push(LayerMetrics::new(&slot.name));
+                let (_, layer) = &model.network().layers()[slot.layer_index];
+                let in_shape = &model.network().layer_input_shapes()[slot.layer_index];
+                SlotRuntime {
+                    auto_disabled: false,
+                    profiler_x: RangeProfiler::new(),
+                    profiler_h: RangeProfiler::new(),
+                    quantizer_x: None,
+                    quantizer_h: None,
+                    prev_raw_input: None,
+                    rebaselines: 0,
+                    drift_strikes: 0,
+                    state: build_state(layer, in_shape).expect("slot layers have reuse states"),
+                }
+            })
+            .collect();
+        let telemetry = config.records_telemetry().then(|| {
+            EngineTelemetry::new(
+                model.slots().iter().map(|s| s.name.as_str()),
+                config.window(),
+            )
+        });
+        let pool = BufferPool::new(model.layer_out_volumes().len() + 2);
+        ReuseSession {
+            model,
+            runtimes,
+            metrics,
+            traces: Vec::new(),
+            calibrated: false,
+            executions_seen: 0,
+            calibration_units_seen: 0,
+            pool,
+            telemetry,
+            watchdog: WatchdogStats::default(),
+            reuse_frames: 0,
+        }
+    }
+
+    /// The shared compiled model this session runs against.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &reuse_nn::Network {
+        self.model.network()
+    }
+
+    /// Accumulated reuse metrics for this stream.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Total executions so far (calibration included; timesteps for
+    /// recurrent networks).
+    pub fn executions(&self) -> u64 {
+        self.executions_seen
+    }
+
+    /// Whether quantizers have been built (calibration finished).
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    /// Layers whose profiled range was degenerate (or whose drift
+    /// escalated), forcing full-precision execution for this stream.
+    /// Borrowed names — no allocation, safe to call per frame.
+    pub fn auto_disabled_layers(&self) -> impl Iterator<Item = &str> + '_ {
+        self.model
+            .slots()
+            .iter()
+            .zip(self.runtimes.iter())
+            .filter(|(_, rt)| rt.auto_disabled)
+            .map(|(s, _)| s.name.as_str())
+    }
+
+    /// Takes the recorded execution traces (empties the internal buffer).
+    pub fn take_traces(&mut self) -> Vec<ExecutionTrace> {
+        std::mem::take(&mut self.traces)
+    }
+
+    /// Drift-watchdog counters (zeroed when the watchdog is not armed).
+    /// Returned by value — `WatchdogStats` is `Copy`, no allocation.
+    pub fn watchdog_stats(&self) -> WatchdogStats {
+        self.watchdog
+    }
+
+    /// Buffer-pool hit/miss counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats
+    }
+
+    /// Live per-layer telemetry, when enabled via
+    /// [`crate::ReuseConfig::telemetry`].
+    pub fn telemetry(&self) -> Option<&EngineTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Builds an owned, serializable snapshot of the current telemetry.
+    /// Returns `None` unless telemetry was enabled in the config. This
+    /// allocates — call it from reporting paths, not per frame.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        let tel = self.telemetry.as_ref()?;
+        let layers = self
+            .model
+            .slots()
+            .iter()
+            .zip(self.runtimes.iter())
+            .map(|(slot, rt)| {
+                let lt = &tel.layers[slot.metrics_index];
+                LayerTelemetrySnapshot {
+                    name: slot.name.clone(),
+                    reuse_executions: lt.reuse_executions,
+                    hit_rate: lt.lifetime_hit_rate(),
+                    hit_rate_window: lt.hit_rate.mean(),
+                    corrections_total: lt.corrections_total,
+                    macs_skipped_total: lt.macs_skipped_total,
+                    span_ns_window: lt.span_ns.mean(),
+                    rebaselines: rt.rebaselines,
+                    auto_disabled: rt.auto_disabled,
+                }
+            })
+            .collect();
+        Some(TelemetrySnapshot {
+            network: self.model.network().name().to_string(),
+            frames: tel.frames,
+            window: tel.window(),
+            pool: self.pool.stats,
+            watchdog: self.watchdog,
+            drift_check_every: self.model.config().drift_check_every(),
+            drift_bound: self.model.config().drift_bound(),
+            layers,
+        })
+    }
+
+    /// The quantizer used for a layer's (feed-forward) inputs, if built.
+    pub fn quantizer_for(&self, name: &str) -> Option<&LinearQuantizer> {
+        let pos = self.model.slots().iter().position(|s| s.name == name)?;
+        self.runtimes[pos].quantizer_x.as_ref()
+    }
+
+    /// The Fig. 4 relative-difference series recorded for a layer (requires
+    /// [`crate::ReuseConfig::record_relative_difference`]).
+    pub fn layer_relative_differences(&self, name: &str) -> Option<&[f32]> {
+        let slot = self.model.slots().iter().find(|s| s.name == name)?;
+        Some(&self.metrics.layers[slot.metrics_index].relative_differences)
+    }
+
+    /// Extra I/O-buffer/main-memory bytes this stream's reuse state needs:
+    /// indices plus buffered outputs for every enabled layer (Table III
+    /// accounting). Per session — the packed weights shared across sessions
+    /// are accounted by [`CompiledModel::packed_weight_bytes`].
+    pub fn reuse_storage_bytes(&self) -> u64 {
+        self.model
+            .slots()
+            .iter()
+            .zip(self.runtimes.iter())
+            .filter(|(slot, rt)| slot.setting.enabled && !rt.auto_disabled)
+            .map(|(slot, rt)| {
+                let (_, layer) = &self.model.network().layers()[slot.layer_index];
+                rt.state.storage_bytes(layer)
+            })
+            .sum()
+    }
+
+    /// Bytes of centroid tables stored in the control unit (paper reports
+    /// 1.25 KB for its configuration).
+    pub fn centroid_table_bytes(&self) -> u64 {
+        self.model
+            .slots()
+            .iter()
+            .zip(self.runtimes.iter())
+            .filter(|(slot, rt)| slot.setting.enabled && !rt.auto_disabled)
+            .map(|(_, rt)| {
+                rt.quantizer_x
+                    .map_or(0, |q| q.centroid_table_bytes() as u64)
+                    + rt.quantizer_h
+                        .map_or(0, |q| q.centroid_table_bytes() as u64)
+            })
+            .sum()
+    }
+
+    /// Drops buffered layer state only — metrics, telemetry and calibration
+    /// are untouched. This is the between-sequence power-gate reset
+    /// (statistics keep accumulating across a recurrent workload's
+    /// sequences, paper Fig. 5).
+    fn reset_buffers(&mut self) {
+        let model = Arc::clone(&self.model);
+        for (slot, rt) in model.slots().iter().zip(self.runtimes.iter_mut()) {
+            let (_, layer) = &model.network().layers()[slot.layer_index];
+            rt.state.reset(layer);
+            rt.prev_raw_input = None;
+        }
+    }
+
+    /// Drops all buffered layer state; the next execution recomputes from
+    /// scratch. Models the accelerator being power-gated between sequences.
+    ///
+    /// Accumulated statistics are cleared along with the buffers:
+    /// [`EngineMetrics`], the per-layer relative-difference series, pending
+    /// traces, telemetry rings and watchdog counters all restart from zero —
+    /// a reset session must not report the previous sequence's numbers. If
+    /// calibration had not finished, it is re-armed from the beginning
+    /// (profiled ranges are discarded). Built quantizers and auto-disable
+    /// decisions are kept.
+    pub fn reset_state(&mut self) {
+        self.reset_buffers();
+        self.metrics.reset();
+        self.traces.clear();
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.reset();
+        }
+        self.watchdog = WatchdogStats::default();
+        self.reuse_frames = 0;
+        for rt in &mut self.runtimes {
+            rt.rebaselines = 0;
+            rt.drift_strikes = 0;
+        }
+        if !self.calibrated {
+            // A partial calibration must not mix pre- and post-reset frames:
+            // discard the profiled ranges and start over.
+            self.calibration_units_seen = 0;
+            for rt in &mut self.runtimes {
+                rt.profiler_x = RangeProfiler::new();
+                rt.profiler_h = RangeProfiler::new();
+            }
+        }
+    }
+
+    /// Full-precision from-scratch output for the same frame — the accuracy
+    /// oracle used by the workloads' accuracy proxy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn reference_forward(&self, frame: &[f32]) -> Result<Tensor, ReuseError> {
+        Ok(self.model.network().forward_flat(frame)?)
+    }
+
+    fn slot_enabled(&self, slot_pos: usize) -> bool {
+        self.model.slots()[slot_pos].setting.enabled && !self.runtimes[slot_pos].auto_disabled
+    }
+
+    /// Executes the network on one frame (feed-forward networks only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::WrongApi`] for recurrent networks; otherwise
+    /// propagates shape/quantizer errors.
+    pub fn execute(&mut self, frame: &[f32]) -> Result<Tensor, ReuseError> {
+        if self.model.network().is_recurrent() {
+            return Err(ReuseError::WrongApi {
+                context: "recurrent network: use execute_sequence".into(),
+            });
+        }
+        if !self.calibrated
+            && self.calibration_units_seen < self.model.config().calibration() as u64
+        {
+            let out = self.calibration_execute(frame)?;
+            self.calibration_units_seen += 1;
+            return Ok(out);
+        }
+        if !self.calibrated {
+            self.build_quantizers();
+        }
+        let mut out = Vec::new();
+        self.reuse_execute_into(frame, &mut out)?;
+        Ok(Tensor::from_vec(
+            self.model.network().output_shape().clone(),
+            out,
+        )?)
+    }
+
+    /// Allocation-free variant of [`Self::execute`]: clears `out` and writes
+    /// the flat network output into it, reusing its capacity across calls.
+    ///
+    /// Once the buffered state is initialized (second reuse-phase frame
+    /// onward) and with the default serial
+    /// [`ParallelConfig`](crate::ParallelConfig), a call performs **zero
+    /// heap allocations**: per-frame intermediates come from the session's
+    /// recycling pool and the per-layer scratch (changed lists, quantized
+    /// codes, buffered outputs) is reused in place. Calibration frames, the
+    /// state-initializing first execution, tracing and the
+    /// relative-difference recorder still allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::WrongApi`] for recurrent networks; otherwise
+    /// propagates shape/quantizer errors.
+    pub fn execute_into(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
+        if self.model.network().is_recurrent() {
+            return Err(ReuseError::WrongApi {
+                context: "recurrent network: use execute_sequence".into(),
+            });
+        }
+        if !self.calibrated
+            && self.calibration_units_seen < self.model.config().calibration() as u64
+        {
+            let t = self.calibration_execute(frame)?;
+            self.calibration_units_seen += 1;
+            out.clear();
+            out.extend_from_slice(t.as_slice());
+            return Ok(());
+        }
+        if !self.calibrated {
+            self.build_quantizers();
+        }
+        self.reuse_execute_into(frame, out)
+    }
+
+    /// Executes a whole temporal sequence. For feed-forward networks the
+    /// frames are executed back-to-back (state carries across frames). For
+    /// recurrent networks the sequence is the paper's execution unit: each
+    /// layer runs over all timesteps before the next layer, with reuse
+    /// between consecutive timesteps, and all state resets at the start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::Nn`] on shape mismatches or an empty sequence.
+    pub fn execute_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
+        if frames.is_empty() {
+            return Err(ReuseError::Nn(reuse_nn::NnError::EmptySequence));
+        }
+        if !self.model.network().is_recurrent() {
+            return frames.iter().map(|f| self.execute(f)).collect();
+        }
+        if !self.calibrated
+            && self.calibration_units_seen < self.model.config().calibration() as u64
+        {
+            let out = self.calibration_sequence(frames)?;
+            self.calibration_units_seen += 1;
+            return Ok(out);
+        }
+        if !self.calibrated {
+            self.build_quantizers();
+        }
+        self.reuse_sequence(frames)
+    }
+
+    /// Allocation-conscious sequence runner for feed-forward networks:
+    /// executes the frames back-to-back through [`Self::execute_into`],
+    /// reusing the inner `Vec`s of `outs` across calls instead of
+    /// allocating a fresh `Tensor` per frame. `outs` is resized to
+    /// `frames.len()`; extra entries are dropped, missing entries appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::WrongApi`] for recurrent networks and
+    /// [`ReuseError::Nn`] on an empty sequence; otherwise propagates
+    /// shape/quantizer errors.
+    pub fn execute_sequence_into(
+        &mut self,
+        frames: &[Vec<f32>],
+        outs: &mut Vec<Vec<f32>>,
+    ) -> Result<(), ReuseError> {
+        if frames.is_empty() {
+            return Err(ReuseError::Nn(reuse_nn::NnError::EmptySequence));
+        }
+        if self.model.network().is_recurrent() {
+            return Err(ReuseError::WrongApi {
+                context: "recurrent network: use execute_sequence".into(),
+            });
+        }
+        outs.truncate(frames.len());
+        while outs.len() < frames.len() {
+            outs.push(Vec::new());
+        }
+        for (frame, out) in frames.iter().zip(outs.iter_mut()) {
+            self.execute_into(frame, out)?;
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------------
+    // Calibration phase
+    // ---------------------------------------------------------------------
+
+    fn calibration_execute(&mut self, frame: &[f32]) -> Result<Tensor, ReuseError> {
+        let model = Arc::clone(&self.model);
+        let input_shape = model.network().input_shape().clone();
+        if frame.len() != input_shape.volume() {
+            return Err(ReuseError::Nn(reuse_nn::NnError::InputShape {
+                expected: input_shape.volume(),
+                actual: frame.len(),
+            }));
+        }
+        let mut cur = Tensor::from_vec(input_shape, frame.to_vec())?;
+        let mut trace = ExecutionTrace::default();
+        for i in 0..model.network().layers().len() {
+            cur = self.reshape_to_layer(cur, i)?;
+            let slot_pos = model.slot_of_layer()[i];
+            if slot_pos != usize::MAX {
+                if self.slot_enabled(slot_pos) {
+                    self.runtimes[slot_pos]
+                        .profiler_x
+                        .observe_slice(cur.as_slice());
+                }
+                if model.config().records_trace() {
+                    trace
+                        .layers
+                        .push(self.scratch_trace_entry(i, cur.len() as u64));
+                }
+            }
+            cur = model.network().apply_layer(i, cur)?;
+        }
+        if model.config().records_trace() {
+            self.traces.push(trace);
+        }
+        self.executions_seen += 1;
+        self.metrics.executions += 1;
+        Ok(cur)
+    }
+
+    fn calibration_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
+        let model = Arc::clone(&self.model);
+        let input_shape = model.network().input_shape().clone();
+        let mut seq: Vec<Tensor> = frames
+            .iter()
+            .map(|f| Tensor::from_vec(input_shape.clone(), f.clone()).map_err(ReuseError::from))
+            .collect::<Result<_, _>>()?;
+        let n_layers = model.network().layers().len();
+        let mut traces: Vec<ExecutionTrace> = vec![ExecutionTrace::default(); frames.len()];
+        for i in 0..n_layers {
+            let slot_pos = model.slot_of_layer()[i];
+            let layer = &model.network().layers()[i].1;
+            if slot_pos != usize::MAX {
+                if self.slot_enabled(slot_pos) {
+                    for t in &seq {
+                        self.runtimes[slot_pos]
+                            .profiler_x
+                            .observe_slice(t.as_slice());
+                    }
+                }
+                if model.config().records_trace() {
+                    for (t, frame) in seq.iter().enumerate() {
+                        traces[t]
+                            .layers
+                            .push(self.scratch_trace_entry(i, frame.len() as u64));
+                    }
+                }
+            }
+            // Calibration is a cold path, so stepping the recurrent cells
+            // manually (to profile the hidden-state inputs too) may match on
+            // the concrete layer kinds — the no-kind-match contract covers
+            // the reuse execute path, which dispatches through `ReuseLayer`.
+            if let Layer::Lstm(cell) = layer {
+                let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
+                let mut h_values: Vec<f32> = Vec::new();
+                let mut state = reuse_nn::LstmState::zeros(cell.cell_dim());
+                let mut out = Vec::with_capacity(xs.len());
+                for x in &xs {
+                    h_values.extend_from_slice(&state.h);
+                    state = cell.step(x, &state)?;
+                    out.push(state.h.clone());
+                }
+                if slot_pos != usize::MAX && self.slot_enabled(slot_pos) {
+                    self.runtimes[slot_pos].profiler_h.observe_slice(&h_values);
+                }
+                seq = out
+                    .into_iter()
+                    .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
+                    .collect::<Result<_, _>>()?;
+            } else if let Layer::BiLstm(layer) = layer {
+                let d = layer.cell_dim();
+                let xs: Vec<Vec<f32>> = seq.iter().map(|t| t.as_slice().to_vec()).collect();
+                let mut out = vec![vec![0.0f32; 2 * d]; xs.len()];
+                let mut h_values: Vec<f32> = Vec::new();
+                let mut state = reuse_nn::LstmState::zeros(d);
+                for (t, x) in xs.iter().enumerate() {
+                    h_values.extend_from_slice(&state.h);
+                    state = layer.forward_cell().step(x, &state)?;
+                    out[t][..d].copy_from_slice(&state.h);
+                }
+                let mut state = reuse_nn::LstmState::zeros(d);
+                for (t, x) in xs.iter().enumerate().rev() {
+                    h_values.extend_from_slice(&state.h);
+                    state = layer.backward_cell().step(x, &state)?;
+                    out[t][d..].copy_from_slice(&state.h);
+                }
+                if slot_pos != usize::MAX && self.slot_enabled(slot_pos) {
+                    self.runtimes[slot_pos].profiler_h.observe_slice(&h_values);
+                }
+                seq = out
+                    .into_iter()
+                    .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
+                    .collect::<Result<_, _>>()?;
+            } else {
+                seq = seq
+                    .into_iter()
+                    .map(|t| -> Result<Tensor, ReuseError> {
+                        let t = self.reshape_to_layer(t, i)?;
+                        Ok(model.network().apply_layer(i, t)?)
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+        }
+        if model.config().records_trace() {
+            self.traces.extend(traces);
+        }
+        self.executions_seen += frames.len() as u64;
+        self.metrics.executions += frames.len() as u64;
+        Ok(seq)
+    }
+
+    fn scratch_trace_entry(&self, layer_index: usize, input_len: u64) -> LayerTrace {
+        let (name, layer) = &self.model.network().layers()[layer_index];
+        let in_shape = &self.model.network().layer_input_shapes()[layer_index];
+        let macs = layer.flops(in_shape) / 2;
+        LayerTrace {
+            name: name.clone(),
+            kind: layer.kind(),
+            mode: TraceKind::ScratchFp32,
+            n_inputs: input_len,
+            n_changed: input_len,
+            n_outputs: self.model.layer_out_volumes()[layer_index] as u64,
+            n_params: layer.param_count(),
+            macs_total: macs,
+            macs_performed: macs,
+        }
+    }
+
+    fn build_quantizers(&mut self) {
+        let model = Arc::clone(&self.model);
+        let margin = model.config().margin();
+        for (slot, rt) in model.slots().iter().zip(self.runtimes.iter_mut()) {
+            if !slot.setting.enabled {
+                continue;
+            }
+            match rt.profiler_x.range(margin) {
+                Ok(range) => match LinearQuantizer::new(range, slot.setting.clusters) {
+                    Ok(q) => rt.quantizer_x = Some(q),
+                    Err(_) => rt.auto_disabled = true,
+                },
+                Err(_) => rt.auto_disabled = true,
+            }
+            if slot.kind == reuse_nn::LayerKind::Recurrent && !rt.auto_disabled {
+                match rt.profiler_h.range(margin) {
+                    Ok(range) => match LinearQuantizer::new(range, slot.setting.clusters) {
+                        Ok(q) => rt.quantizer_h = Some(q),
+                        Err(_) => rt.auto_disabled = true,
+                    },
+                    Err(_) => rt.auto_disabled = true,
+                }
+            }
+        }
+        self.calibrated = true;
+    }
+
+    // ---------------------------------------------------------------------
+    // Reuse phase
+    // ---------------------------------------------------------------------
+
+    fn reshape_to_layer(&self, cur: Tensor, layer_index: usize) -> Result<Tensor, ReuseError> {
+        let expected = &self.model.network().layer_input_shapes()[layer_index];
+        if cur.shape() == expected {
+            Ok(cur)
+        } else {
+            Ok(cur.reshape(expected.clone())?)
+        }
+    }
+
+    fn record_layer_execution(
+        &mut self,
+        slot_pos: usize,
+        raw_input: Option<&[f32]>,
+        stats: ExecStats,
+        n_outputs: u64,
+        span_ns: u64,
+        trace: Option<&mut ExecutionTrace>,
+    ) {
+        let model = Arc::clone(&self.model);
+        let record_rd = model.config().records_relative_difference();
+        let slot = &model.slots()[slot_pos];
+        let rt = &mut self.runtimes[slot_pos];
+        let m = &mut self.metrics.layers[slot.metrics_index];
+        if !stats.from_scratch {
+            m.record(
+                stats.n_inputs,
+                stats.n_inputs - stats.n_changed,
+                stats.macs_total,
+                stats.macs_performed,
+            );
+            // Same indexing and same inputs as the metrics record above, so
+            // a telemetry snapshot's lifetime hit rate equals the metric's
+            // input similarity exactly. Ring pushes never allocate.
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.layers[slot.metrics_index].record(
+                    stats.n_inputs,
+                    stats.n_changed,
+                    stats.macs_total,
+                    stats.macs_performed,
+                    span_ns,
+                );
+            }
+        }
+        if record_rd {
+            if let Some(raw) = raw_input {
+                if let Some(prev) = &rt.prev_raw_input {
+                    if prev.len() == raw.len() {
+                        m.relative_differences.push(relative_difference(prev, raw));
+                    }
+                }
+                rt.prev_raw_input = Some(raw.to_vec());
+            }
+        }
+        if let Some(trace) = trace {
+            let n_params = model.network().layers()[slot.layer_index].1.param_count();
+            trace.layers.push(LayerTrace {
+                name: slot.name.clone(),
+                kind: slot.kind,
+                mode: stats.mode(true),
+                n_inputs: stats.n_inputs,
+                n_changed: stats.n_changed,
+                n_outputs,
+                n_params,
+                macs_total: stats.macs_total,
+                macs_performed: stats.macs_performed,
+            });
+        }
+    }
+
+    /// The reuse-phase hot path. Layer intermediates live in flat pooled
+    /// `Vec<f32>` buffers (the network's layers all consume row-major data,
+    /// so "reshapes" between layers are no-ops on the flat representation);
+    /// every buffer taken from the pool is returned before the frame ends.
+    /// Dispatch is uniform: every enabled slot steps through its
+    /// [`ReuseLayer`] trait object — no per-kind `match`.
+    fn reuse_execute_into(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
+        let model = Arc::clone(&self.model);
+        let expected_len = model.network().input_shape().volume();
+        if frame.len() != expected_len {
+            return Err(ReuseError::Nn(reuse_nn::NnError::InputShape {
+                expected: expected_len,
+                actual: frame.len(),
+            }));
+        }
+        let parallel = *model.config().parallel_config();
+        let mut pool_intact = true;
+        let mut cur = self.pool.take(frame.len());
+        cur.extend_from_slice(frame);
+        let mut trace = if model.config().records_trace() {
+            Some(ExecutionTrace::default())
+        } else {
+            None
+        };
+        let timed = self.telemetry.is_some();
+        let n_layers = model.network().layers().len();
+        for i in 0..n_layers {
+            let slot_pos = model.slot_of_layer()[i];
+            let run_reuse = slot_pos != usize::MAX && self.slot_enabled(slot_pos);
+            if run_reuse {
+                let mut next = self.pool.take(model.layer_out_volumes()[i]);
+                let span = span_start(timed);
+                let stats = {
+                    let slot = &model.slots()[slot_pos];
+                    let rt = &mut self.runtimes[slot_pos];
+                    let qx = rt.quantizer_x.expect("enabled slot has quantizer");
+                    let qh = rt.quantizer_h;
+                    let ctx = StepCtx {
+                        parallel: &parallel,
+                        layer: &model.network().layers()[i].1,
+                        weights: &slot.weights,
+                        quantizer_x: &qx,
+                        quantizer_h: qh.as_ref(),
+                    };
+                    rt.state.step(&ctx, &cur, &mut next)?
+                };
+                let span_ns = span_elapsed_ns(span);
+                // `cur` (this layer's raw input) is still alive here, so the
+                // relative-difference recorder reads it without the per-layer
+                // copy the old path made unconditionally.
+                let n_outputs = next.len() as u64;
+                self.record_layer_execution(
+                    slot_pos,
+                    Some(&cur),
+                    stats,
+                    n_outputs,
+                    span_ns,
+                    trace.as_mut(),
+                );
+                self.pool.give(std::mem::replace(&mut cur, next));
+            } else {
+                // Full-precision fallback (no-weight or disabled layers):
+                // route through the tensor API; allocation here is outside
+                // the reuse steady-state contract.
+                if let Some(trace) = trace.as_mut() {
+                    if slot_pos != usize::MAX {
+                        trace
+                            .layers
+                            .push(self.scratch_trace_entry(i, cur.len() as u64));
+                    }
+                }
+                let in_shape = model.network().layer_input_shapes()[i].clone();
+                let t = Tensor::from_vec(in_shape, std::mem::take(&mut cur))?;
+                cur = model.network().apply_layer(i, t)?.into_vec();
+                pool_intact = false;
+            }
+        }
+        if let Some(trace) = trace {
+            self.traces.push(trace);
+        }
+        self.executions_seen += 1;
+        self.metrics.executions += 1;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.frames += 1;
+        }
+        out.clear();
+        out.extend_from_slice(&cur);
+        self.pool.give(cur);
+        // From here on every pool take must hit a recycled buffer; a miss
+        // would mean a steady-state frame allocated. Pipelines with
+        // full-precision fallback stages lose buffers to the tensor API, so
+        // the contract (and its assertion) only covers all-reuse pipelines.
+        if pool_intact {
+            self.pool.steady = true;
+        }
+        self.reuse_frames += 1;
+        let every = model.config().drift_check_every();
+        if every > 0 && self.reuse_frames.is_multiple_of(every) {
+            // Watchdog frames allocate (reference forward + re-baseline are
+            // cold paths by design); they are outside the zero-alloc
+            // contract, which covers the frames between checks.
+            self.watchdog_check(frame, out)?;
+        }
+        Ok(())
+    }
+
+    /// One drift-watchdog check: compares this frame's incremental output
+    /// against the full-precision reference and re-baselines every reuse
+    /// layer when the deviation exceeds the configured bound. `out` is
+    /// replaced with the exact reference output after a re-baseline.
+    fn watchdog_check(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
+        let reference = self.reference_forward(frame)?;
+        let drift = max_abs_diff(out, reference.as_slice());
+        self.watchdog.checks += 1;
+        self.watchdog.last_drift = drift;
+        self.watchdog.max_drift = self.watchdog.max_drift.max(drift);
+        if drift > self.model.config().drift_bound() {
+            self.rebaseline_frame(frame, out)?;
+            self.watchdog.rebaselines += 1;
+        }
+        Ok(())
+    }
+
+    /// Re-baselines every enabled reuse layer onto full-precision values for
+    /// `frame`: buffered codes become the quantization of the layer's raw
+    /// input and buffered linear outputs become the exact (serial) linear
+    /// forward on that raw input, so this frame's output — written to `out` —
+    /// is bit-identical to [`Self::reference_forward`] and subsequent frames
+    /// correct from an exact baseline. Layers whose own buffered outputs had
+    /// drifted beyond the bound collect a strike; a layer reaching
+    /// [`crate::ReuseConfig::drift_escalate_after`] strikes is auto-disabled
+    /// (escalation into [`Self::auto_disabled_layers`]).
+    fn rebaseline_frame(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
+        let model = Arc::clone(&self.model);
+        let bound = model.config().drift_bound();
+        let escalate_after = model.config().escalate_after();
+        let parallel = *model.config().parallel_config();
+        let mut cur = Tensor::from_vec(model.network().input_shape().clone(), frame.to_vec())?;
+        let n_layers = model.network().layers().len();
+        for i in 0..n_layers {
+            cur = self.reshape_to_layer(cur, i)?;
+            let slot_pos = model.slot_of_layer()[i];
+            let run_reuse = slot_pos != usize::MAX && self.slot_enabled(slot_pos);
+            if !run_reuse {
+                cur = model.network().apply_layer(i, cur)?;
+                continue;
+            }
+            let slot = &model.slots()[slot_pos];
+            let layer = &model.network().layers()[i].1;
+            let rt = &mut self.runtimes[slot_pos];
+            // Serial linear forward on the RAW input — the same code path
+            // `reference_forward` takes, so the adopted baseline is exact.
+            let linear = layer.forward_linear(&cur)?;
+            let activation = layer
+                .activation()
+                .expect("watchdog only runs on feed-forward networks");
+            // Separating genuine accumulated drift from plain quantization
+            // error would need a second, quantized recomputation per layer;
+            // the strike heuristic instead compares the buffered values
+            // against the raw recomputation using the engine-level bound —
+            // conservative, but consistent with what the watchdog just
+            // observed at the network output.
+            let buffered = rt.state.buffered_linear();
+            let drifted =
+                buffered.len() == linear.len() && max_abs_diff(buffered, linear.as_slice()) > bound;
+            let qx = rt.quantizer_x.expect("enabled slot has quantizer");
+            let qh = rt.quantizer_h;
+            let ctx = StepCtx {
+                parallel: &parallel,
+                layer,
+                weights: &slot.weights,
+                quantizer_x: &qx,
+                quantizer_h: qh.as_ref(),
+            };
+            rt.state
+                .adopt_baseline(&ctx, cur.as_slice(), linear.as_slice());
+            rt.rebaselines += 1;
+            if drifted {
+                rt.drift_strikes += 1;
+                if escalate_after > 0 && rt.drift_strikes >= escalate_after {
+                    rt.auto_disabled = true;
+                    // The pipeline now has a full-precision stage that routes
+                    // buffers through the tensor API, so the all-reuse
+                    // zero-alloc contract no longer holds: disarm the pool's
+                    // steady-state assertion.
+                    self.pool.steady = false;
+                }
+            }
+            cur = activation.apply(&linear);
+        }
+        out.clear();
+        out.extend_from_slice(cur.as_slice());
+        Ok(())
+    }
+
+    /// Sequence runner for recurrent networks: each layer runs over all
+    /// timesteps before the next layer. Enabled slots — recurrent or
+    /// frame-wise — dispatch uniformly through
+    /// [`ReuseLayer::step_sequence`]; disabled recurrent layers fall back to
+    /// the full-precision sequence pass and passive layers apply frame-wise.
+    fn reuse_sequence(&mut self, frames: &[Vec<f32>]) -> Result<Vec<Tensor>, ReuseError> {
+        // Paper Section IV-D: the accelerator is power-gated between
+        // sequences, so all buffered state starts fresh (metrics keep
+        // accumulating across sequences).
+        self.reset_buffers();
+        let model = Arc::clone(&self.model);
+        let parallel = *model.config().parallel_config();
+        let input_shape = model.network().input_shape().clone();
+        // Flat per-timestep buffers; the from_vec round-trip validates the
+        // frame shapes exactly like the tensor-based path did.
+        let mut seq: Vec<Vec<f32>> = frames
+            .iter()
+            .map(|f| {
+                Tensor::from_vec(input_shape.clone(), f.clone())
+                    .map(Tensor::into_vec)
+                    .map_err(ReuseError::from)
+            })
+            .collect::<Result<_, _>>()?;
+        let n_layers = model.network().layers().len();
+        let record_trace = model.config().records_trace();
+        let timed = self.telemetry.is_some();
+        let mut traces: Vec<ExecutionTrace> = vec![ExecutionTrace::default(); frames.len()];
+        for i in 0..n_layers {
+            let slot_pos = model.slot_of_layer()[i];
+            let run_reuse = slot_pos != usize::MAX && self.slot_enabled(slot_pos);
+            let layer = &model.network().layers()[i].1;
+            if run_reuse {
+                let mut out: Vec<Vec<f32>> = Vec::with_capacity(seq.len());
+                let mut stats: Vec<ExecStats> = Vec::with_capacity(seq.len());
+                let mut spans: Vec<u64> = Vec::with_capacity(seq.len());
+                {
+                    let slot = &model.slots()[slot_pos];
+                    let rt = &mut self.runtimes[slot_pos];
+                    let qx = rt.quantizer_x.expect("enabled slot has quantizer");
+                    let qh = rt.quantizer_h;
+                    let ctx = StepCtx {
+                        parallel: &parallel,
+                        layer,
+                        weights: &slot.weights,
+                        quantizer_x: &qx,
+                        quantizer_h: qh.as_ref(),
+                    };
+                    rt.state
+                        .step_sequence(&ctx, &seq, timed, &mut out, &mut stats, &mut spans)?;
+                }
+                for (t, s) in stats.into_iter().enumerate() {
+                    let trace_ref = if record_trace {
+                        Some(&mut traces[t])
+                    } else {
+                        None
+                    };
+                    let n_outputs = out[t].len() as u64;
+                    self.record_layer_execution(
+                        slot_pos,
+                        Some(&seq[t]),
+                        s,
+                        n_outputs,
+                        spans[t],
+                        trace_ref,
+                    );
+                }
+                seq = out;
+            } else if layer.is_recurrent() {
+                // Disabled recurrent layer: full-precision sequence pass.
+                if record_trace {
+                    for (t, frame) in seq.iter().enumerate() {
+                        traces[t]
+                            .layers
+                            .push(self.scratch_trace_entry(i, frame.len() as u64));
+                    }
+                }
+                seq = layer.forward_sequence(&seq)?;
+            } else {
+                if record_trace && slot_pos != usize::MAX {
+                    for (t, frame) in seq.iter().enumerate() {
+                        traces[t]
+                            .layers
+                            .push(self.scratch_trace_entry(i, frame.len() as u64));
+                    }
+                }
+                let in_shape = model.network().layer_input_shapes()[i].clone();
+                seq = seq
+                    .into_iter()
+                    .map(|f| -> Result<Vec<f32>, ReuseError> {
+                        let t = Tensor::from_vec(in_shape.clone(), f)?;
+                        Ok(model.network().apply_layer(i, t)?.into_vec())
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+        }
+        if record_trace {
+            self.traces.extend(traces);
+        }
+        self.executions_seen += frames.len() as u64;
+        self.metrics.executions += frames.len() as u64;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.frames += frames.len() as u64;
+        }
+        seq.into_iter()
+            .map(|o| Tensor::from_slice_1d(&o).map_err(ReuseError::from))
+            .collect()
+    }
+}

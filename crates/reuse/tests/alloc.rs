@@ -123,6 +123,62 @@ fn steady_state_with_telemetry_is_allocation_free() {
 }
 
 #[test]
+fn session_steady_state_execute_into_is_allocation_free() {
+    // The buffer pool lives in the per-stream session: two sessions sharing
+    // one compiled model each reach a zero-alloc steady state independently,
+    // even with their frames interleaved.
+    use std::sync::Arc;
+
+    use reuse_core::CompiledModel;
+
+    let net = NetworkBuilder::new("steady-sessions", 32)
+        .fully_connected(64, Activation::Relu)
+        .fully_connected(48, Activation::Relu)
+        .fully_connected(10, Activation::Identity)
+        .build()
+        .unwrap();
+    let model = Arc::new(CompiledModel::new(&net, &ReuseConfig::uniform(16)));
+    let mut a = model.new_session();
+    let mut b = model.new_session();
+
+    let mut rng = Rng64::new(23);
+    let mut frame_a: Vec<f32> = (0..32).map(|_| rng.uniform(0.9)).collect();
+    let mut frame_b: Vec<f32> = (0..32).map(|_| rng.uniform(0.9)).collect();
+    let mut out_a = Vec::new();
+    let mut out_b = Vec::new();
+
+    // Calibration, state-initializing first reuse execution, and one steady
+    // frame to prime each session's pool and the output capacities.
+    for _ in 0..3 {
+        a.execute_into(&frame_a, &mut out_a).unwrap();
+        b.execute_into(&frame_b, &mut out_b).unwrap();
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        for _ in 0..8 {
+            let i = (rng.next_u64() % 32) as usize;
+            frame_a[i] = (frame_a[i] + rng.uniform(0.5)).clamp(-1.0, 1.0);
+            let j = (rng.next_u64() % 32) as usize;
+            frame_b[j] = (frame_b[j] + rng.uniform(0.5)).clamp(-1.0, 1.0);
+        }
+        a.execute_into(&frame_a, &mut out_a).unwrap();
+        b.execute_into(&frame_b, &mut out_b).unwrap();
+        // Bench hot loops poll these per frame; they must stay
+        // allocation-free (borrowed names / `Copy` stats, regression guard
+        // against the old per-call `Vec<String>`).
+        assert_eq!(a.auto_disabled_layers().count(), 0);
+        let _stats = a.watchdog_stats();
+        let _pool = b.pool_stats();
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "interleaved session steady-state frames allocated {allocations} times"
+    );
+}
+
+#[test]
 fn conv_state_steady_frames_are_allocation_free() {
     // The blocked conv correction path builds its weight transpose lazily on
     // the first incremental frame; after that, pass 1 writes the precomputed

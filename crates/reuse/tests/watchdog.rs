@@ -99,14 +99,14 @@ fn repeated_strikes_escalate_to_auto_disable() {
     for frame in &frames {
         engine.execute(frame).unwrap();
     }
-    let disabled = engine.auto_disabled_layers();
+    let disabled = engine.auto_disabled_layers().count();
     assert!(
-        !disabled.is_empty(),
+        disabled > 0,
         "a 1e-5 bound with 2 clusters must accumulate strikes: {:?}",
         engine.watchdog_stats()
     );
     // Once every layer is disabled, execution is full-precision end to end.
-    if disabled.len() == 3 {
+    if disabled == 3 {
         let last = frames.last().unwrap();
         let out = engine.execute(last).unwrap();
         let reference = engine.reference_forward(last).unwrap();

@@ -176,7 +176,7 @@ pub fn conv2d_forward(
 ///
 /// The kernel is cache-blocked: one filter's weight block
 /// `[in_c × kh × kw]` *is* the L1 panel (it is read front-to-back per
-/// output plane), and each output row is walked in [`LANES`]-wide tiles
+/// output plane), and each output row is walked in `LANES`-wide tiles
 /// with a fixed-width register accumulator, `kx` innermost over the tile.
 /// Per output element the additions still happen in ascending
 /// `(ic, ky, kx)` order with the same out-of-bounds skips as the naive
@@ -355,7 +355,7 @@ fn interior_range(
 
 /// One `(ic, [kz,] ky)` accumulation pass over an output row.
 ///
-/// Interior columns run in [`LANES`]-wide register tiles (`kx` innermost,
+/// Interior columns run in `LANES`-wide register tiles (`kx` innermost,
 /// preserving per-output tap order); the padded border columns fall back to
 /// the scalar per-tap-checked walk. Bit-identical to visiting each output
 /// column independently.
@@ -446,7 +446,7 @@ pub fn conv3d_forward(
 ///
 /// Blocked exactly like [`conv2d_forward_with`]: the filter's weight block
 /// is streamed front-to-back as the L1 panel and output rows run in
-/// [`LANES`]-wide register tiles, preserving the naive per-output
+/// `LANES`-wide register tiles, preserving the naive per-output
 /// `(ic, kz, ky, kx)` tap order.
 ///
 /// # Errors

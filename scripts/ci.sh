@@ -23,6 +23,19 @@ echo "== blocked-kernel perf smoke (floor ${REUSE_BLOCKED_MIN_SPEEDUP:-1.0}x) ==
 # floor is tunable for noisy hosts via REUSE_BLOCKED_MIN_SPEEDUP.
 cargo run --release -q -p reuse-bench --bin kernel_bench -- --perf-smoke
 
+echo "== multi-session smoke (4 sessions, one compiled model) =="
+# Interleaves four ReuseSessions over one shared CompiledModel and checks
+# every stream bit-for-bit (outputs and metrics, so per-session hit rates
+# match a single-session run exactly) against standalone engines; the CLI
+# exits nonzero on any divergence.
+REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- run kaldi 40 --sessions 4
+REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- run eesen 20 --sessions 3
+
+echo "== cargo doc (no-deps, -D warnings) =="
+# The model/session split is documented API surface; broken intra-doc links
+# or missing docs fail the build.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== thread-clamp check (forced REUSE_THREADS=8) =="
 # Adaptive dispatch must clamp worker counts to the hardware even when the
 # environment demands more.

@@ -47,7 +47,7 @@ pub use reuse_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use reuse_accel::{AcceleratorConfig, Simulator};
-    pub use reuse_core::{ParallelConfig, ReuseConfig, ReuseEngine};
+    pub use reuse_core::{CompiledModel, ParallelConfig, ReuseConfig, ReuseEngine, ReuseSession};
     pub use reuse_nn::{Activation, Network, NetworkBuilder};
     pub use reuse_quant::LinearQuantizer;
     pub use reuse_tensor::{Shape, Tensor};
