@@ -5,6 +5,7 @@
 //! reuse_cli run <workload> [executions]             run the reuse engine, print summary
 //! reuse_cli run <workload> [executions] --telemetry print the TelemetrySnapshot as JSON
 //! reuse_cli run <workload> [executions] --sessions N multi-session smoke over one model
+//! reuse_cli serve [workload] --streams N --frames M StreamServer smoke vs standalone
 //! reuse_cli simulate <workload> [executions]        accelerator baseline vs reuse
 //! reuse_cli export <workload> <path>                serialize the model to a file
 //! reuse_cli experiments                             list the table/figure binaries
@@ -12,6 +13,12 @@
 //!
 //! Scale is controlled by `REUSE_SCALE` (full/small/tiny, default small),
 //! like the experiment binaries.
+//!
+//! Diagnostics and failures go to stderr; stdout carries only the
+//! machine-parseable result (tables, summaries, JSON). Every early-exit
+//! path has a distinct code so CI can tell failure modes apart:
+//! `2` usage, `3` execution failure, `4` session/engine divergence,
+//! `5` I/O failure, `6` serve/standalone divergence.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -21,7 +28,19 @@ use reuse_bench::measure::executions_from_env;
 use reuse_bench::table::{human_bytes, human_joules, human_seconds};
 use reuse_core::{summary, CompiledModel, ReuseEngine, ReuseSession};
 use reuse_nn::stats::network_stats;
+use reuse_serve::{ServerConfig, StreamServer, SubmitResult};
 use reuse_workloads::{Scale, Workload, WorkloadKind};
+
+/// Bad arguments.
+const EXIT_USAGE: u8 = 2;
+/// An engine/session execution returned an error.
+const EXIT_EXEC: u8 = 3;
+/// Interleaved sessions diverged from standalone engines.
+const EXIT_DIVERGED: u8 = 4;
+/// Filesystem I/O failed.
+const EXIT_IO: u8 = 5;
+/// The serving runtime diverged from standalone sessions.
+const EXIT_SERVE_DIVERGED: u8 = 6;
 
 fn parse_workload(name: &str) -> Option<WorkloadKind> {
     match name.to_lowercase().as_str() {
@@ -42,12 +61,16 @@ fn usage() -> ExitCode {
          \x20          [--telemetry]            ... and print the TelemetrySnapshot as JSON\n\
          \x20          [--sessions N]           ... interleave N sessions over one shared model\n\
          \x20                                   and check them against standalone engines\n\
+         \x20 serve    [workload]               serve N streams through a StreamServer and\n\
+         \x20          [--streams N]            check every stream bit-for-bit against a\n\
+         \x20          [--frames M]             standalone session (prints the server\n\
+         \x20                                   snapshot JSON; exits {EXIT_SERVE_DIVERGED} on divergence)\n\
          \x20 simulate <workload> [executions]  simulate baseline vs reuse accelerators\n\
          \x20 export   <workload> <path>        serialize the model to a file\n\
          \x20 experiments                       list the paper-artifact binaries\n\n\
          workloads: kaldi, eesen, c3d, autopilot (REUSE_SCALE=full|small|tiny)"
     );
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_USAGE)
 }
 
 /// Runs N [`ReuseSession`]s interleaved over one shared [`CompiledModel`]
@@ -96,7 +119,7 @@ fn run_sessions_smoke(
                             g.err(),
                             w.err()
                         );
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_EXEC);
                     }
                 };
                 for (a, b) in got.iter().zip(want.iter()) {
@@ -113,7 +136,7 @@ fn run_sessions_smoke(
                     (Ok(g), Ok(w)) => (g, w),
                     (g, w) => {
                         eprintln!("session {s} frame failed: {:?} vs {:?}", g.err(), w.err());
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_EXEC);
                     }
                 };
                 check(s, got.as_slice(), want.as_slice());
@@ -127,22 +150,181 @@ fn run_sessions_smoke(
     );
     for (s, (session, engine)) in sessions.iter().zip(engines.iter()).enumerate() {
         let m = session.metrics();
-        let same = m == engine.metrics();
         println!(
-            "  session {s}: input similarity {:5.1}%  computation reuse {:5.1}%  metrics {}",
+            "  session {s}: input similarity {:5.1}%  computation reuse {:5.1}%",
             m.overall_input_similarity() * 100.0,
             m.overall_computation_reuse() * 100.0,
-            if same { "== standalone" } else { "DIVERGED" },
         );
-        if !same {
+        if m != engine.metrics() {
+            eprintln!("session {s}: metrics diverged from standalone engine");
             mismatches += 1;
         }
     }
     if mismatches > 0 {
         eprintln!("FAIL: {mismatches} session/engine mismatches");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_DIVERGED);
     }
     println!("all sessions bit-identical to standalone engines");
+    ExitCode::SUCCESS
+}
+
+/// Serves `n` offset streams through a [`StreamServer`] over one shared
+/// model and checks every stream's outputs and metrics bit-for-bit against
+/// a standalone [`ReuseSession`] fed the same frames alone. Prints the
+/// server snapshot JSON to stdout; all diagnostics go to stderr.
+fn run_serve_smoke(
+    w: &Workload,
+    config: &reuse_core::ReuseConfig,
+    n: usize,
+    frames_per_stream: usize,
+) -> ExitCode {
+    let model = Arc::new(CompiledModel::new(w.network(), config));
+    let seq_len = if w.is_recurrent() {
+        10.min(frames_per_stream.max(2))
+    } else {
+        0
+    };
+    // Round each stream up to whole sequences for recurrent models.
+    let frames_per_stream = if seq_len > 0 {
+        frames_per_stream.div_ceil(seq_len) * seq_len
+    } else {
+        frames_per_stream
+    };
+    let server_config = ServerConfig::default()
+        .max_sessions(n)
+        .queue_capacity((2 * seq_len).max(8))
+        .batch_max(4)
+        .sequence_len(seq_len);
+    let mut server = match StreamServer::new(Arc::clone(&model), server_config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot construct server: {e}");
+            return ExitCode::from(EXIT_EXEC);
+        }
+    };
+    // Offset copies of one generated stream: realistic frame-to-frame
+    // similarity per stream, no two streams identical at the same step.
+    let all: Vec<Vec<f32>> = match frames_per_stream.checked_div(seq_len) {
+        Some(n_seq) => w
+            .generate_sequences(n_seq + n - 1, seq_len, 42)
+            .into_iter()
+            .flatten()
+            .collect(),
+        None => w.generate_frames(frames_per_stream + n - 1, 42),
+    };
+    let stream_frames = |s: usize| {
+        if seq_len > 0 {
+            // Stream s starts `s` whole sequences into the pool.
+            let start = s * seq_len;
+            &all[start..start + frames_per_stream]
+        } else {
+            &all[s..s + frames_per_stream]
+        }
+    };
+
+    let mut collected: Vec<Vec<Vec<f32>>> = vec![Vec::new(); n];
+    for t in 0..frames_per_stream {
+        for (s, outs) in collected.iter_mut().enumerate() {
+            let frame = &stream_frames(s)[t];
+            loop {
+                match server.submit(s as u64, frame) {
+                    Ok(SubmitResult::Accepted) => break,
+                    Ok(SubmitResult::QueueFull) | Ok(SubmitResult::Shed) => {
+                        if let Err(e) = server.tick() {
+                            eprintln!("tick failed: {e}");
+                            return ExitCode::from(EXIT_EXEC);
+                        }
+                        server.drain_outputs(s as u64, |out| outs.push(out.to_vec()));
+                    }
+                    Err(e) => {
+                        eprintln!("submit failed: {e}");
+                        return ExitCode::from(EXIT_EXEC);
+                    }
+                }
+            }
+        }
+        if let Err(e) = server.tick() {
+            eprintln!("tick failed: {e}");
+            return ExitCode::from(EXIT_EXEC);
+        }
+        for (s, outs) in collected.iter_mut().enumerate() {
+            server.drain_outputs(s as u64, |out| outs.push(out.to_vec()));
+        }
+    }
+    while server.ready_units() > 0 {
+        if let Err(e) = server.tick() {
+            eprintln!("tick failed: {e}");
+            return ExitCode::from(EXIT_EXEC);
+        }
+        for (s, outs) in collected.iter_mut().enumerate() {
+            server.drain_outputs(s as u64, |out| outs.push(out.to_vec()));
+        }
+    }
+
+    let mut mismatches = 0usize;
+    for (s, outs) in collected.iter().enumerate() {
+        let frames = stream_frames(s);
+        if outs.len() != frames.len() {
+            eprintln!(
+                "stream {s}: served {} outputs for {} frames",
+                outs.len(),
+                frames.len()
+            );
+            mismatches += 1;
+            continue;
+        }
+        let mut alone = model.new_session();
+        let reference: Vec<Vec<f32>> = if seq_len > 0 {
+            let mut r = Vec::new();
+            for seq in frames.chunks(seq_len) {
+                match alone.execute_sequence(seq) {
+                    Ok(outs) => r.extend(outs.into_iter().map(|t| t.into_vec())),
+                    Err(e) => {
+                        eprintln!("standalone sequence failed: {e}");
+                        return ExitCode::from(EXIT_EXEC);
+                    }
+                }
+            }
+            r
+        } else {
+            let mut r = Vec::new();
+            let mut out = Vec::new();
+            for frame in frames {
+                if let Err(e) = alone.execute_into(frame, &mut out) {
+                    eprintln!("standalone frame failed: {e}");
+                    return ExitCode::from(EXIT_EXEC);
+                }
+                r.push(out.clone());
+            }
+            r
+        };
+        for (t, (got, want)) in outs.iter().zip(reference.iter()).enumerate() {
+            let ok = got.len() == want.len()
+                && got
+                    .iter()
+                    .zip(want.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !ok {
+                eprintln!("stream {s} frame {t}: served output diverged from standalone session");
+                mismatches += 1;
+            }
+        }
+        if server.session(s as u64).map(|sess| sess.metrics()) != Some(alone.metrics()) {
+            eprintln!("stream {s}: metrics diverged from standalone session");
+            mismatches += 1;
+        }
+    }
+
+    // Machine-readable result: the snapshot JSON is the whole stdout.
+    print!("{}", server.snapshot().to_json());
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} serve/standalone mismatches");
+        return ExitCode::from(EXIT_SERVE_DIVERGED);
+    }
+    eprintln!(
+        "{}: {n} streams x {frames_per_stream} frames bit-identical to standalone sessions",
+        w.network().name()
+    );
     ExitCode::SUCCESS
 }
 
@@ -163,6 +345,28 @@ fn main() -> ExitCode {
             Some(n)
         }
         None => None,
+    };
+    let mut flag_value = |flag: &str| -> Result<Option<usize>, ()> {
+        match args.iter().position(|a| a == flag) {
+            Some(i) => {
+                let Some(v) = args
+                    .get(i + 1)
+                    .and_then(|a| a.parse::<usize>().ok())
+                    .filter(|v| *v >= 1)
+                else {
+                    return Err(());
+                };
+                args.drain(i..=i + 1);
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    };
+    let Ok(streams) = flag_value("--streams") else {
+        return usage();
+    };
+    let Ok(frames) = flag_value("--frames") else {
+        return usage();
     };
     let scale = Scale::from_env();
     match args.first().map(String::as_str) {
@@ -203,14 +407,14 @@ fn main() -> ExitCode {
                 for seq in w.generate_sequences(executions.div_ceil(seq_len) + 1, seq_len, 42) {
                     if let Err(e) = engine.execute_sequence(&seq) {
                         eprintln!("execution failed: {e}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_EXEC);
                     }
                 }
             } else {
                 for frame in w.generate_frames(executions, 42) {
                     if let Err(e) = engine.execute(&frame) {
                         eprintln!("execution failed: {e}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_EXEC);
                     }
                 }
             }
@@ -224,6 +428,20 @@ fn main() -> ExitCode {
                 print!("{}", summary::render(&engine));
             }
             ExitCode::SUCCESS
+        }
+        Some("serve") => {
+            let kind = match args.get(1) {
+                Some(name) => match parse_workload(name) {
+                    Some(kind) => kind,
+                    None => return usage(),
+                },
+                None => WorkloadKind::Kaldi,
+            };
+            let w = Workload::build(kind, scale);
+            let n = streams.unwrap_or(4);
+            let frames_per_stream =
+                frames.unwrap_or_else(|| executions_from_env(kind, scale).min(64));
+            run_serve_smoke(&w, w.reuse_config(), n, frames_per_stream)
         }
         Some("simulate") => {
             let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else {
@@ -282,7 +500,7 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("cannot write {path}: {e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(EXIT_IO)
                 }
             }
         }

@@ -122,6 +122,15 @@ impl LinearQuantizer {
         xs.iter().map(|&x| self.quantize(x)).collect()
     }
 
+    /// Quantizes a slice into a caller-owned buffer, clearing it first.
+    /// Allocation-free once `out` has capacity — replay loops quantizing
+    /// thousands of frames reuse one scratch buffer instead of allocating
+    /// a fresh `Vec` per frame.
+    pub fn quantize_slice_into(&self, xs: &[f32], out: &mut Vec<QuantCode>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.quantize(x)));
+    }
+
     /// Quantized values (centroids) of a slice.
     pub fn quantized_values(&self, xs: &[f32]) -> Vec<f32> {
         xs.iter().map(|&x| self.quantized_value(x)).collect()

@@ -98,14 +98,32 @@ pub struct ReplaySimilarity {
 /// Replays one layer's recorded stream under `clusters`-way linear
 /// quantization with a range profiled from the stream itself (margin 0).
 ///
-/// Returns `None` for unknown layers or degenerate streams.
+/// Returns `None` for unknown layers or degenerate streams (fewer than two
+/// executions, zero-width frames, or a zero-width profiled range) — a
+/// similarity over zero comparisons is meaningless, not `0.0`.
 pub fn replay_similarity(
     recorder: &InputRecorder,
     layer: &str,
     clusters: usize,
 ) -> Option<ReplaySimilarity> {
     let stream = recorder.stream(layer)?;
-    if stream.len() < 2 {
+    let mut prev = Vec::new();
+    let mut cur = Vec::new();
+    replay_similarity_on(layer, stream, clusters, &mut prev, &mut cur)
+}
+
+/// The replay core: evaluates one already-resolved stream, reusing the
+/// caller's two code scratch buffers (previous / current frame) so a sweep
+/// over many cluster counts quantizes thousands of frames without
+/// allocating per frame.
+fn replay_similarity_on(
+    layer: &str,
+    stream: &[Vec<f32>],
+    clusters: usize,
+    prev: &mut Vec<reuse_quant::QuantCode>,
+    cur: &mut Vec<reuse_quant::QuantCode>,
+) -> Option<ReplaySimilarity> {
+    if stream.len() < 2 || stream[0].is_empty() {
         return None;
     }
     let mut profiler = RangeProfiler::new();
@@ -114,40 +132,44 @@ pub fn replay_similarity(
     }
     let range: InputRange = profiler.range(0.0).ok()?;
     let quantizer = LinearQuantizer::new(range, clusters).ok()?;
-    let mut prev = quantizer.quantize_slice(&stream[0]);
+    quantizer.quantize_slice_into(&stream[0], prev);
     let mut same = 0u64;
     let mut total = 0u64;
     for input in &stream[1..] {
-        let codes = quantizer.quantize_slice(input);
-        same += codes
-            .iter()
-            .zip(prev.iter())
-            .filter(|(a, b)| a == b)
-            .count() as u64;
-        total += codes.len() as u64;
-        prev = codes;
+        quantizer.quantize_slice_into(input, cur);
+        same += cur.iter().zip(prev.iter()).filter(|(a, b)| a == b).count() as u64;
+        total += cur.len() as u64;
+        std::mem::swap(prev, cur);
+    }
+    if total == 0 {
+        return None;
     }
     Some(ReplaySimilarity {
         name: layer.to_string(),
-        input_similarity: same as f64 / total.max(1) as f64,
+        input_similarity: same as f64 / total as f64,
         step: quantizer.step(),
     })
 }
 
 /// Replays every recorded layer under a set of cluster counts:
-/// `result[layer][cluster_config]`.
+/// `result[layer][cluster_config]`. Each layer's stream is resolved once
+/// and its code buffers are shared across the whole sweep.
 pub fn replay_sweep(
     recorder: &InputRecorder,
     cluster_counts: &[usize],
 ) -> Vec<Vec<Option<ReplaySimilarity>>> {
+    let mut prev = Vec::new();
+    let mut cur = Vec::new();
     recorder
         .layer_names()
-        .to_vec()
         .iter()
         .map(|name| {
+            let stream = recorder.stream(name);
             cluster_counts
                 .iter()
-                .map(|&c| replay_similarity(recorder, name, c))
+                .map(|&c| {
+                    stream.and_then(|s| replay_similarity_on(name, s, c, &mut prev, &mut cur))
+                })
                 .collect()
         })
         .collect()
@@ -253,10 +275,39 @@ mod tests {
     #[test]
     fn degenerate_streams_return_none() {
         let net = mlp();
+        // No frames at all: nothing was recorded.
+        let rec = InputRecorder::record(&net, &[]).unwrap();
+        assert_eq!(rec.executions(), 0);
+        assert!(replay_similarity(&rec, "fc1", 16).is_none());
+        // A single execution has no previous frame to compare against.
         let rec = InputRecorder::record(&net, &walk(1, 8, 0.1, 5)).unwrap();
         assert!(replay_similarity(&rec, "fc1", 16).is_none());
         // Constant stream: zero-width range.
         let rec2 = InputRecorder::record(&net, &vec![vec![0.5; 8]; 4]).unwrap();
         assert!(replay_similarity(&rec2, "fc1", 16).is_none());
+        // The sweep mirrors the per-layer result instead of fabricating
+        // zeros (fc1's raw stream is zero-width; fc2's activations still
+        // span a range and replay as fully similar).
+        let sweep = replay_sweep(&rec2, &[8, 16]);
+        assert!(sweep[0].iter().all(Option::is_none));
+        assert!(sweep[1]
+            .iter()
+            .all(|r| r.as_ref().is_some_and(|s| s.input_similarity == 1.0)));
+    }
+
+    #[test]
+    fn sweep_matches_individual_replays() {
+        // The sweep's hoisted stream lookup and shared scratch buffers must
+        // not change any result relative to independent replay calls.
+        let net = mlp();
+        let rec = InputRecorder::record(&net, &walk(20, 8, 0.12, 9)).unwrap();
+        let sweep = replay_sweep(&rec, &[4, 16, 64]);
+        assert_eq!(sweep.len(), rec.layer_names().len());
+        for (name, row) in rec.layer_names().iter().zip(sweep.iter()) {
+            for (&clusters, got) in [4usize, 16, 64].iter().zip(row.iter()) {
+                let alone = replay_similarity(&rec, name, clusters);
+                assert_eq!(got, &alone, "{name} @ {clusters}");
+            }
+        }
     }
 }

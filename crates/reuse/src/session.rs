@@ -1090,3 +1090,91 @@ impl ReuseSession {
             .collect()
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::BufferPool;
+
+    /// A miss (empty pool, or no candidate large enough) must allocate
+    /// exactly the requested capacity — over-allocating would hide sizing
+    /// bugs behind slack, under-allocating would trip the caller's extend.
+    #[test]
+    fn pool_miss_allocates_exactly_the_requested_capacity() {
+        let mut pool = BufferPool::new(8);
+        let buf = pool.take(100);
+        assert_eq!(buf.capacity(), 100);
+        assert!(buf.is_empty());
+        assert_eq!(pool.stats.misses, 1);
+        // An oversized request with only smaller buffers free is still a
+        // miss with an exact allocation, never a smaller recycled buffer.
+        pool.give(Vec::with_capacity(10));
+        let buf = pool.take(1000);
+        assert_eq!(buf.capacity(), 1000);
+        assert_eq!(pool.stats.misses, 2);
+        assert_eq!(pool.stats.hits, 0);
+    }
+
+    /// Best fit: among candidates that are large enough, the smallest wins,
+    /// so big buffers stay available for big layers.
+    #[test]
+    fn pool_take_prefers_the_smallest_sufficient_buffer() {
+        let mut pool = BufferPool::new(8);
+        pool.give(Vec::with_capacity(400));
+        pool.give(Vec::with_capacity(64));
+        pool.give(Vec::with_capacity(100));
+        let buf = pool.take(80);
+        assert_eq!(buf.capacity(), 100, "best fit is 100, not 400");
+        assert_eq!(pool.stats.hits, 1);
+        // The 400 survives for a later large request.
+        let big = pool.take(300);
+        assert_eq!(big.capacity(), 400);
+        assert_eq!(pool.stats.hits, 2);
+        assert_eq!(pool.stats.misses, 0);
+    }
+
+    /// Regression for the serving dispatch pattern: layers of mismatched
+    /// sizes interleave takes and gives. Once one buffer per size class has
+    /// been allocated, steady-state cycles are all hits — the undersized-
+    /// buffer and steady-miss debug_asserts in `take` must never fire.
+    #[test]
+    fn interleaved_mismatched_capacities_reach_a_steady_state() {
+        let mut pool = BufferPool::new(8);
+        let caps = [24usize, 64, 48, 10];
+        // Priming pass: one miss per distinct request size.
+        let bufs: Vec<Vec<f32>> = caps.iter().map(|&c| pool.take(c)).collect();
+        assert_eq!(pool.stats.misses, caps.len() as u64);
+        for b in bufs {
+            pool.give(b);
+        }
+        // Steady state: any request order must be served from the free
+        // list with adequate capacity.
+        pool.steady = true;
+        for round in 0..4 {
+            // Rotate the take order so every size eventually sees every
+            // free-list configuration.
+            let mut held = Vec::new();
+            for i in 0..caps.len() {
+                let cap = caps[(i + round) % caps.len()];
+                let mut buf = pool.take(cap);
+                buf.resize(cap, 0.0);
+                held.push(buf);
+            }
+            for b in held {
+                pool.give(b);
+            }
+        }
+        assert_eq!(pool.stats.misses, caps.len() as u64, "no steady misses");
+        assert_eq!(pool.stats.hits, 16);
+    }
+
+    /// The free list stays capped: foreign buffers beyond `max_free` are
+    /// dropped, not hoarded.
+    #[test]
+    fn pool_free_list_is_capped() {
+        let mut pool = BufferPool::new(2);
+        for _ in 0..5 {
+            pool.give(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.free.len(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the serving runtime.
+
+use std::fmt;
+
+use reuse_core::ReuseError;
+
+/// Errors produced by the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The server configuration is inconsistent with the model.
+    Config {
+        /// Description of the inconsistency.
+        context: String,
+    },
+    /// An error surfaced from a stream's underlying reuse session.
+    Reuse(ReuseError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config { context } => {
+                write!(f, "invalid server configuration: {context}")
+            }
+            ServeError::Reuse(e) => write!(f, "stream execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Reuse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReuseError> for ServeError {
+    fn from(e: ReuseError) -> Self {
+        ServeError::Reuse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        use std::error::Error;
+        let e: ServeError = ReuseError::WrongApi {
+            context: "x".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("stream execution"));
+        let e = ServeError::Config {
+            context: "bad".into(),
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<ServeError>();
+    }
+}

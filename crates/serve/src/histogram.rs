@@ -1,0 +1,160 @@
+//! A preallocated, lock-free latency histogram.
+//!
+//! The serving runtime records one sample per completed frame on the
+//! dispatch hot path, possibly from several worker threads at once, so the
+//! recorder must be wait-free and allocation-free: samples land in
+//! power-of-two nanosecond buckets held in atomics, all allocated at
+//! construction. Quantile queries walk the buckets and are meant for cold
+//! reporting paths (snapshots), not per-frame use.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets: bucket `b` holds samples whose value
+/// needs exactly `b` significant bits, so bucket 0 is `0 ns`, bucket 1 is
+/// `1 ns`, bucket 34 is `[2^33, 2^34) ns` (~8.6–17.2 s) — far beyond any
+/// frame latency this runtime can produce.
+const BUCKETS: usize = 65;
+
+/// Fixed-size log₂ histogram of nanosecond latencies.
+///
+/// `record` is lock-free (one relaxed `fetch_add` plus a `fetch_max`) and
+/// never allocates; resolution is one power of two, which is plenty for
+/// p50/p99 tail reporting. Created once per [`crate::StreamServer`].
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    /// `buckets[b]` counts samples with bit-length `b`.
+    buckets: Vec<AtomicU64>,
+    /// Largest exact sample observed.
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram (allocates its buckets once).
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket a sample falls into (its bit length).
+    fn bucket_of(ns: u64) -> usize {
+        (u64::BITS - ns.leading_zeros()) as usize
+    }
+
+    /// Records one latency sample. Wait-free, allocation-free; safe to call
+    /// concurrently from dispatch workers.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Largest exact sample observed (`0` when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// The latency below which a `q` fraction of samples fall, reported as
+    /// the upper edge of the containing power-of-two bucket (`0` when
+    /// empty). `q` is clamped to `[0, 1]`; resolution is one power of two.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * total), at least 1: the rank of the target sample.
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_edge(b);
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Inclusive upper edge of bucket `b` in nanoseconds.
+    fn bucket_upper_edge(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Drops all samples, keeping the allocation.
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn buckets_are_bit_lengths() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples (~1 µs) and 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max_ns(), 1_000_000);
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        // p50 lands in the microsecond bucket, p99 in the millisecond one.
+        assert!((1_000..4_096).contains(&p50), "p50 {p50}");
+        assert!((524_288..2_097_152).contains(&p99), "p99 {p99}");
+        assert!(p50 < p99);
+        h.clear();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn zero_samples_stay_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_ns(1.0), 0);
+    }
+}

@@ -1,0 +1,640 @@
+//! The [`StreamServer`]: N independent frame streams multiplexed over one
+//! shared [`CompiledModel`].
+//!
+//! Each stream owns a [`ReuseSession`] (lazily created on first submit),
+//! a bounded ingress queue of pending frames, and a bounded queue of
+//! completed outputs. A scheduling tick batches every stream's ready frames
+//! and fans the per-stream batches out across the scoped thread pool with
+//! dynamic (work-stealing) scheduling, so the pool is fed large, even units
+//! of work even when queues are ragged. Sessions never share mutable state,
+//! so outputs are bit-identical to running each stream alone through its
+//! own standalone session, under any interleaving and any worker count.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use reuse_core::{CompiledModel, ReuseSession};
+use reuse_tensor::{parallel_for_each_mut, ParallelConfig};
+
+use crate::error::ServeError;
+use crate::histogram::LatencyHistogram;
+use crate::snapshot::{ServerSnapshot, StreamSnapshot};
+
+/// Outcome of submitting one frame to a stream's ingress queue — the
+/// explicit backpressure signal callers react to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitResult {
+    /// The frame was queued and will execute on a later tick.
+    Accepted,
+    /// The stream's bounded ingress queue is full; retry after a tick.
+    QueueFull,
+    /// The frame was load-shed: the stream is degraded (its session's drift
+    /// watchdog auto-disabled reuse layers, so it runs at full-precision
+    /// cost) and its queue is past the shed watermark. Dropping fresh
+    /// frames keeps a degraded stream from starving healthy ones.
+    Shed,
+}
+
+/// What one scheduling tick accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickStats {
+    /// Frames completed this tick (timesteps, for recurrent models).
+    pub frames: u64,
+    /// Streams that completed at least one frame this tick.
+    pub streams: usize,
+}
+
+/// Configuration of a [`StreamServer`]. All knobs have serving-friendly
+/// defaults; setters consume and return `self` like
+/// [`reuse_core::ReuseConfig`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    max_sessions: usize,
+    queue_capacity: usize,
+    shed_watermark: usize,
+    batch_max: usize,
+    sequence_len: usize,
+    parallel: ParallelConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            queue_capacity: 32,
+            shed_watermark: 16,
+            batch_max: 8,
+            sequence_len: 0,
+            parallel: ParallelConfig::serial(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Session-pool cap (minimum 1). A submit for an unknown stream beyond
+    /// the cap evicts the least-recently-used stream first.
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n.max(1);
+        self
+    }
+
+    /// Per-stream ingress-queue capacity in frames (minimum 1).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Queue depth at/above which a degraded stream's submits are shed
+    /// (see [`SubmitResult::Shed`]). Clamped to the queue capacity.
+    pub fn shed_watermark(mut self, n: usize) -> Self {
+        self.shed_watermark = n;
+        self
+    }
+
+    /// Max ready units one stream may complete per tick (minimum 1) — a
+    /// unit is one frame, or one sequence for recurrent models. Bounds how
+    /// long a backlogged stream can monopolize a worker.
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.batch_max = n.max(1);
+        self
+    }
+
+    /// Timesteps per execution unit for recurrent models: frames accumulate
+    /// in the ingress queue and execute as one sequence once `n` are
+    /// queued. Required (nonzero) for recurrent networks, and must be 0 for
+    /// feed-forward ones.
+    pub fn sequence_len(mut self, n: usize) -> Self {
+        self.sequence_len = n;
+        self
+    }
+
+    /// Parallelism budget for the cross-stream dispatch loop (default
+    /// serial). This fans *streams* out across workers; each session's own
+    /// kernels use the parallel config compiled into the model.
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Effective shed watermark (clamped to the queue capacity).
+    fn effective_watermark(&self) -> usize {
+        self.shed_watermark.min(self.queue_capacity)
+    }
+}
+
+/// One queued input frame plus its enqueue timestamp (for the
+/// submit-to-completion latency histogram).
+#[derive(Debug)]
+struct QueuedFrame {
+    data: Vec<f32>,
+    enqueued: Instant,
+}
+
+/// One stream's slot in the server: its session, bounded queues, and
+/// recycling buffer lists. Everything here is preallocated at stream
+/// creation so the steady-state submit/tick/drain cycle never allocates
+/// (feed-forward models, serial dispatch).
+#[derive(Debug)]
+struct StreamEntry {
+    id: u64,
+    session: ReuseSession,
+    /// Pending input frames, oldest first (capacity = `queue_capacity`).
+    queue: VecDeque<QueuedFrame>,
+    /// Recycled ingress frame buffers.
+    frame_free: Vec<Vec<f32>>,
+    /// Completed outputs, oldest first (capacity = `queue_capacity`).
+    outputs: VecDeque<Vec<f32>>,
+    /// Recycled output buffers.
+    out_free: Vec<Vec<f32>>,
+    /// Scratch for assembling recurrent sequences (timestep buffers are
+    /// moved in from the queue and returned to `frame_free` after).
+    seq_scratch: Vec<Vec<f32>>,
+    /// Logical-clock value of the stream's last submit (LRU key).
+    last_used: u64,
+    /// Whether the session's drift watchdog has auto-disabled any reuse
+    /// layer (recomputed after each tick; drives the shed policy).
+    degraded: bool,
+    /// Frames accepted into the queue over the stream's lifetime.
+    frames_in: u64,
+    /// Frames completed over the stream's lifetime.
+    frames_done: u64,
+    /// Completed outputs overwritten because the output queue was full
+    /// (the caller stopped draining).
+    outputs_dropped: u64,
+    /// Frames this entry completed in the current tick (summed after the
+    /// parallel loop — keeps the dispatch workers free of shared counters).
+    tick_frames: u64,
+    /// First execution error, if any; an errored stream is skipped by later
+    /// ticks and surfaced through [`StreamServer::tick`].
+    error: Option<reuse_core::ReuseError>,
+}
+
+impl StreamEntry {
+    fn new(id: u64, session: ReuseSession, config: &ServerConfig) -> Self {
+        StreamEntry {
+            id,
+            session,
+            queue: VecDeque::with_capacity(config.queue_capacity),
+            frame_free: Vec::with_capacity(config.queue_capacity),
+            outputs: VecDeque::with_capacity(config.queue_capacity),
+            out_free: Vec::with_capacity(config.queue_capacity + 1),
+            seq_scratch: Vec::with_capacity(config.sequence_len),
+            last_used: 0,
+            degraded: false,
+            frames_in: 0,
+            frames_done: 0,
+            outputs_dropped: 0,
+            tick_frames: 0,
+            error: None,
+        }
+    }
+
+    /// Frames ready to execute: every queued frame for feed-forward
+    /// streams, whole sequences only for recurrent ones.
+    fn ready_units(&self, sequence_len: usize) -> usize {
+        self.queue
+            .len()
+            .checked_div(sequence_len)
+            .unwrap_or(self.queue.len())
+    }
+
+    /// Pushes one completed output, recycling the oldest if the bounded
+    /// output queue is full (the caller stopped draining).
+    fn push_output(&mut self, out: Vec<f32>, cap: usize) {
+        if self.outputs.len() >= cap {
+            if let Some(old) = self.outputs.pop_front() {
+                self.out_free.push(old);
+                self.outputs_dropped += 1;
+            }
+        }
+        self.outputs.push_back(out);
+    }
+
+    /// Runs up to `batch_max` ready units on this entry's session. Called
+    /// from the dispatch workers: touches only this entry plus the shared
+    /// (lock-free) histogram.
+    fn process(&mut self, config: &ServerConfig, latency: &LatencyHistogram) {
+        self.tick_frames = 0;
+        if self.error.is_some() {
+            return;
+        }
+        let mut units = 0usize;
+        while units < config.batch_max && self.ready_units(config.sequence_len) > 0 {
+            if config.sequence_len == 0 {
+                let frame = self.queue.pop_front().expect("ready unit implies frame");
+                let mut out = self.out_free.pop().unwrap_or_default();
+                match self.session.execute_into(&frame.data, &mut out) {
+                    Ok(()) => {
+                        latency.record(frame.enqueued.elapsed().as_nanos() as u64);
+                        self.push_output(out, config.queue_capacity);
+                        self.frames_done += 1;
+                        self.tick_frames += 1;
+                    }
+                    Err(e) => {
+                        self.out_free.push(out);
+                        self.error = Some(e);
+                    }
+                }
+                self.frame_free.push(frame.data);
+                if self.error.is_some() {
+                    break;
+                }
+            } else {
+                self.process_sequence(config, latency);
+                if self.error.is_some() {
+                    break;
+                }
+            }
+            units += 1;
+        }
+        self.degraded = self.session.auto_disabled_layers().next().is_some();
+    }
+
+    /// Executes one full sequence (recurrent models). Sequence execution
+    /// goes through [`ReuseSession::execute_sequence`], which allocates —
+    /// recurrent serving is outside the zero-alloc dispatch contract, same
+    /// as the engine itself.
+    fn process_sequence(&mut self, config: &ServerConfig, latency: &LatencyHistogram) {
+        let len = config.sequence_len;
+        debug_assert!(self.queue.len() >= len);
+        self.seq_scratch.clear();
+        let mut enqueued = Vec::with_capacity(len);
+        for _ in 0..len {
+            let frame = self.queue.pop_front().expect("checked above");
+            self.seq_scratch.push(frame.data);
+            enqueued.push(frame.enqueued);
+        }
+        match self.session.execute_sequence(&self.seq_scratch) {
+            Ok(outs) => {
+                for (t, tensor) in outs.iter().enumerate() {
+                    let mut out = self.out_free.pop().unwrap_or_default();
+                    out.clear();
+                    out.extend_from_slice(tensor.as_slice());
+                    latency.record(enqueued[t].elapsed().as_nanos() as u64);
+                    self.push_output(out, config.queue_capacity);
+                    self.frames_done += 1;
+                    self.tick_frames += 1;
+                }
+            }
+            Err(e) => self.error = Some(e),
+        }
+        for data in self.seq_scratch.drain(..) {
+            self.frame_free.push(data);
+        }
+    }
+}
+
+/// A multi-stream serving runtime over one shared [`CompiledModel`].
+///
+/// Lifecycle: [`submit`](Self::submit) frames tagged with a stream id
+/// (sessions are created lazily, the least-recently-used stream is evicted
+/// past [`ServerConfig::max_sessions`]), call [`tick`](Self::tick) to
+/// execute every stream's ready frames, and
+/// [`drain_outputs`](Self::drain_outputs) to consume results in order.
+///
+/// **Determinism:** each stream's frames execute in submission order on
+/// that stream's private session, so per-stream outputs and metrics are
+/// bit-identical to a standalone [`ReuseSession`] fed the same frames —
+/// regardless of how streams interleave or how many dispatch workers run
+/// (property-tested in `tests/serve.rs`).
+///
+/// **Allocation:** with feed-forward models and the default serial
+/// dispatch, the steady-state submit → tick → drain cycle performs zero
+/// heap allocations: ingress frames, outputs, and session intermediates
+/// all come from preallocated recycling lists (enforced by the
+/// counting-allocator test in `tests/alloc.rs`). Parallel dispatch spawns
+/// scoped threads per tick; recurrent sequences allocate inside the
+/// engine.
+#[derive(Debug)]
+pub struct StreamServer {
+    model: Arc<CompiledModel>,
+    config: ServerConfig,
+    entries: Vec<StreamEntry>,
+    /// Stream id → index into `entries`.
+    index: HashMap<u64, usize>,
+    /// Logical clock advanced on every submit (LRU ordering).
+    clock: u64,
+    latency: LatencyHistogram,
+    frame_len: usize,
+    ticks: u64,
+    frames_submitted: u64,
+    frames_completed: u64,
+    rejected_queue_full: u64,
+    shed: u64,
+    evictions: u64,
+    /// Queued frames discarded when their stream was evicted.
+    evicted_frames: u64,
+}
+
+impl StreamServer {
+    /// Creates a server over a compiled model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] when [`ServerConfig::sequence_len`]
+    /// does not match the model (recurrent networks need a nonzero
+    /// sequence length that fits the queue; feed-forward networks need 0).
+    pub fn new(model: Arc<CompiledModel>, config: ServerConfig) -> Result<Self, ServeError> {
+        let recurrent = model.network().is_recurrent();
+        if recurrent && config.sequence_len == 0 {
+            return Err(ServeError::Config {
+                context: "recurrent model: set ServerConfig::sequence_len".into(),
+            });
+        }
+        if !recurrent && config.sequence_len != 0 {
+            return Err(ServeError::Config {
+                context: "feed-forward model: ServerConfig::sequence_len must be 0".into(),
+            });
+        }
+        if config.sequence_len > config.queue_capacity {
+            return Err(ServeError::Config {
+                context: format!(
+                    "sequence_len {} exceeds queue_capacity {}: sequences would never be ready",
+                    config.sequence_len, config.queue_capacity
+                ),
+            });
+        }
+        let frame_len = model.network().input_shape().volume();
+        Ok(StreamServer {
+            model,
+            config,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            clock: 0,
+            latency: LatencyHistogram::new(),
+            frame_len,
+            ticks: 0,
+            frames_submitted: 0,
+            frames_completed: 0,
+            rejected_queue_full: 0,
+            shed: 0,
+            evictions: 0,
+            evicted_frames: 0,
+        })
+    }
+
+    /// The shared compiled model.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Active streams (sessions currently in the pool).
+    pub fn stream_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether a stream currently has a session in the pool.
+    pub fn contains(&self, id: u64) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// A stream's session, for introspection (metrics, telemetry).
+    pub fn session(&self, id: u64) -> Option<&ReuseSession> {
+        self.index.get(&id).map(|&slot| &self.entries[slot].session)
+    }
+
+    /// Queued (not yet executed) frames for one stream.
+    pub fn queue_len(&self, id: u64) -> usize {
+        self.index
+            .get(&id)
+            .map_or(0, |&slot| self.entries[slot].queue.len())
+    }
+
+    /// Total queued frames across all streams.
+    pub fn pending(&self) -> usize {
+        self.entries.iter().map(|e| e.queue.len()).sum()
+    }
+
+    /// Execution units (frames, or whole sequences for recurrent models)
+    /// ready to run on the next tick.
+    pub fn ready_units(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.ready_units(self.config.sequence_len))
+            .sum()
+    }
+
+    /// Scheduling ticks run so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Frames accepted across all streams (lifetime).
+    pub fn frames_submitted(&self) -> u64 {
+        self.frames_submitted
+    }
+
+    /// Frames completed across all streams (lifetime).
+    pub fn frames_completed(&self) -> u64 {
+        self.frames_completed
+    }
+
+    /// Submits rejected with [`SubmitResult::QueueFull`].
+    pub fn rejected_queue_full(&self) -> u64 {
+        self.rejected_queue_full
+    }
+
+    /// Submits rejected with [`SubmitResult::Shed`].
+    pub fn shed_frames(&self) -> u64 {
+        self.shed
+    }
+
+    /// Streams evicted by the LRU session-pool cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The submit-to-completion latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Submits one frame to a stream's ingress queue. Creates the stream's
+    /// session lazily on first submit (evicting the least-recently-used
+    /// stream when the pool is at [`ServerConfig::max_sessions`]); applies
+    /// the queue-full and load-shedding backpressure policies.
+    ///
+    /// Steady-state submits (existing stream, recycled buffer available)
+    /// perform zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Reuse`] when the frame length does not match
+    /// the model's input volume.
+    pub fn submit(&mut self, id: u64, frame: &[f32]) -> Result<SubmitResult, ServeError> {
+        if frame.len() != self.frame_len {
+            return Err(ServeError::Reuse(reuse_core::ReuseError::Nn(
+                reuse_nn::NnError::InputShape {
+                    expected: self.frame_len,
+                    actual: frame.len(),
+                },
+            )));
+        }
+        let slot = match self.index.get(&id) {
+            Some(&slot) => slot,
+            None => self.create_stream(id),
+        };
+        self.clock += 1;
+        let watermark = self.config.effective_watermark();
+        let entry = &mut self.entries[slot];
+        entry.last_used = self.clock;
+        if entry.queue.len() >= self.config.queue_capacity {
+            self.rejected_queue_full += 1;
+            return Ok(SubmitResult::QueueFull);
+        }
+        if entry.degraded && entry.queue.len() >= watermark {
+            self.shed += 1;
+            return Ok(SubmitResult::Shed);
+        }
+        let mut data = entry.frame_free.pop().unwrap_or_default();
+        data.clear();
+        data.extend_from_slice(frame);
+        entry.queue.push_back(QueuedFrame {
+            data,
+            enqueued: Instant::now(),
+        });
+        entry.frames_in += 1;
+        self.frames_submitted += 1;
+        Ok(SubmitResult::Accepted)
+    }
+
+    /// Creates the entry for a new stream, evicting the LRU stream first
+    /// when the pool is at its cap. Cold path: allocates the session and
+    /// its queues.
+    fn create_stream(&mut self, id: u64) -> usize {
+        if self.entries.len() >= self.config.max_sessions {
+            self.evict_lru();
+        }
+        let slot = self.entries.len();
+        self.entries
+            .push(StreamEntry::new(id, self.model.new_session(), &self.config));
+        self.index.insert(id, slot);
+        slot
+    }
+
+    /// Evicts the least-recently-used stream: resets the session's buffered
+    /// state and drops the entry, releasing its queues and buffer pools.
+    /// Queued frames of the evicted stream are discarded (counted in the
+    /// snapshot's `evicted_frames`).
+    fn evict_lru(&mut self) {
+        let Some(slot) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let mut entry = self.entries.swap_remove(slot);
+        self.index.remove(&entry.id);
+        // The session is about to be dropped; reset_state releases its
+        // buffered per-layer state eagerly (and makes the session inert if
+        // anything still holds it through shared introspection).
+        entry.session.reset_state();
+        self.evicted_frames += entry.queue.len() as u64;
+        self.evictions += 1;
+        // swap_remove moved the tail entry into `slot`: fix its index.
+        if let Some(moved) = self.entries.get(slot) {
+            self.index.insert(moved.id, slot);
+        }
+    }
+
+    /// Runs one scheduling tick: every stream with ready units executes up
+    /// to [`ServerConfig::batch_max`] of them, in submission order, with
+    /// the per-stream batches fanned out across dispatch workers by
+    /// work-stealing ([`parallel_for_each_mut`]). Returns what was done.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stream execution error encountered; the failed
+    /// stream is skipped by later ticks.
+    pub fn tick(&mut self) -> Result<TickStats, ServeError> {
+        self.ticks += 1;
+        let config = &self.config;
+        let latency = &self.latency;
+        parallel_for_each_mut(
+            &config.parallel.min_work_per_thread(1),
+            &mut self.entries,
+            |_, entry| entry.process(config, latency),
+        );
+        let mut stats = TickStats::default();
+        let mut first_error = None;
+        for entry in &mut self.entries {
+            stats.frames += entry.tick_frames;
+            if entry.tick_frames > 0 {
+                stats.streams += 1;
+            }
+            if first_error.is_none() {
+                if let Some(e) = entry.error.take() {
+                    first_error = Some(e);
+                }
+            }
+        }
+        self.frames_completed += stats.frames;
+        match first_error {
+            Some(e) => Err(ServeError::Reuse(e)),
+            None => Ok(stats),
+        }
+    }
+
+    /// Drains a stream's completed outputs in completion order, invoking
+    /// `f` with each flat output and recycling the buffer. Returns the
+    /// number of outputs drained. Allocation-free.
+    pub fn drain_outputs(&mut self, id: u64, mut f: impl FnMut(&[f32])) -> usize {
+        let Some(&slot) = self.index.get(&id) else {
+            return 0;
+        };
+        let entry = &mut self.entries[slot];
+        let mut drained = 0usize;
+        while let Some(out) = entry.outputs.pop_front() {
+            f(&out);
+            entry.out_free.push(out);
+            drained += 1;
+        }
+        drained
+    }
+
+    /// Builds an owned, serializable snapshot of the server's aggregate and
+    /// per-stream state. Allocates — call from reporting paths, not per
+    /// tick.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        let outputs_dropped = self.entries.iter().map(|e| e.outputs_dropped).sum();
+        let streams = self
+            .entries
+            .iter()
+            .map(|e| StreamSnapshot {
+                id: e.id,
+                frames_in: e.frames_in,
+                frames_done: e.frames_done,
+                queue_len: e.queue.len(),
+                degraded: e.degraded,
+                hit_rate: e.session.metrics().overall_input_similarity(),
+            })
+            .collect();
+        ServerSnapshot {
+            network: self.model.network().name().to_string(),
+            active_streams: self.entries.len(),
+            max_sessions: self.config.max_sessions,
+            ticks: self.ticks,
+            frames_submitted: self.frames_submitted,
+            frames_completed: self.frames_completed,
+            rejected_queue_full: self.rejected_queue_full,
+            shed: self.shed,
+            evictions: self.evictions,
+            evicted_frames: self.evicted_frames,
+            outputs_dropped,
+            latency_count: self.latency.count(),
+            p50_ns: self.latency.quantile_ns(0.50),
+            p99_ns: self.latency.quantile_ns(0.99),
+            max_ns: self.latency.max_ns(),
+            streams,
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Owned, serializable snapshots of server state.
+//!
+//! Mirrors the hand-rolled JSON style of
+//! `reuse_core`'s `TelemetrySnapshot` — no external serialization
+//! dependencies (the build environment pins an offline registry).
+
+use std::fmt::Write as _;
+
+/// Aggregate and per-stream server state at one point in time. Built by
+/// [`crate::StreamServer::snapshot`]; owns all its data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSnapshot {
+    /// Network name of the shared compiled model.
+    pub network: String,
+    /// Streams currently holding a session in the pool.
+    pub active_streams: usize,
+    /// Session-pool cap.
+    pub max_sessions: usize,
+    /// Scheduling ticks run.
+    pub ticks: u64,
+    /// Frames accepted across all streams.
+    pub frames_submitted: u64,
+    /// Frames completed across all streams.
+    pub frames_completed: u64,
+    /// Submits rejected because the stream's ingress queue was full.
+    pub rejected_queue_full: u64,
+    /// Submits load-shed on degraded streams.
+    pub shed: u64,
+    /// Streams evicted by the LRU session-pool cap.
+    pub evictions: u64,
+    /// Queued frames discarded with their evicted stream.
+    pub evicted_frames: u64,
+    /// Completed outputs overwritten because callers stopped draining.
+    pub outputs_dropped: u64,
+    /// Samples in the latency histogram.
+    pub latency_count: u64,
+    /// Median submit-to-completion latency (power-of-two bucket edge, ns).
+    pub p50_ns: u64,
+    /// 99th-percentile submit-to-completion latency (ns).
+    pub p99_ns: u64,
+    /// Largest exact latency sample (ns).
+    pub max_ns: u64,
+    /// Per-stream detail, in pool order.
+    pub streams: Vec<StreamSnapshot>,
+}
+
+/// One stream's state within a [`ServerSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSnapshot {
+    /// Caller-chosen stream id.
+    pub id: u64,
+    /// Frames accepted into this stream's queue.
+    pub frames_in: u64,
+    /// Frames completed for this stream.
+    pub frames_done: u64,
+    /// Frames currently queued.
+    pub queue_len: usize,
+    /// Whether the stream's drift watchdog has auto-disabled reuse layers.
+    pub degraded: bool,
+    /// Overall input-similarity hit rate of the stream's session.
+    pub hit_rate: f64,
+}
+
+/// `f64` → JSON number, `null` for non-finite values.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal JSON string escaping for network names.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl ServerSnapshot {
+    /// Serializes the snapshot as pretty-printed JSON (hand-rolled, same
+    /// style as the engine's telemetry snapshot and the bench binaries).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"network\": {},", json_str(&self.network));
+        let _ = writeln!(s, "  \"active_streams\": {},", self.active_streams);
+        let _ = writeln!(s, "  \"max_sessions\": {},", self.max_sessions);
+        let _ = writeln!(s, "  \"ticks\": {},", self.ticks);
+        let _ = writeln!(s, "  \"frames_submitted\": {},", self.frames_submitted);
+        let _ = writeln!(s, "  \"frames_completed\": {},", self.frames_completed);
+        let _ = writeln!(
+            s,
+            "  \"backpressure\": {{\"queue_full\": {}, \"shed\": {}, \"outputs_dropped\": {}}},",
+            self.rejected_queue_full, self.shed, self.outputs_dropped
+        );
+        let _ = writeln!(
+            s,
+            "  \"evictions\": {{\"streams\": {}, \"frames\": {}}},",
+            self.evictions, self.evicted_frames
+        );
+        let _ = writeln!(
+            s,
+            "  \"latency_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}},",
+            self.latency_count, self.p50_ns, self.p99_ns, self.max_ns
+        );
+        s.push_str("  \"streams\": [\n");
+        for (i, st) in self.streams.iter().enumerate() {
+            let comma = if i + 1 == self.streams.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"id\": {}, \"frames_in\": {}, \"frames_done\": {}, \
+                 \"queue_len\": {}, \"degraded\": {}, \"hit_rate\": {}}}{}",
+                st.id,
+                st.frames_in,
+                st.frames_done,
+                st.queue_len,
+                st.degraded,
+                json_num(st.hit_rate),
+                comma
+            );
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let snap = ServerSnapshot {
+            network: "kaldi\"test\"".to_string(),
+            active_streams: 2,
+            max_sessions: 4,
+            ticks: 10,
+            frames_submitted: 20,
+            frames_completed: 18,
+            rejected_queue_full: 1,
+            shed: 0,
+            evictions: 1,
+            evicted_frames: 2,
+            outputs_dropped: 0,
+            latency_count: 18,
+            p50_ns: 4095,
+            p99_ns: 65535,
+            max_ns: 60000,
+            streams: vec![
+                StreamSnapshot {
+                    id: 0,
+                    frames_in: 10,
+                    frames_done: 9,
+                    queue_len: 1,
+                    degraded: false,
+                    hit_rate: 0.75,
+                },
+                StreamSnapshot {
+                    id: 7,
+                    frames_in: 10,
+                    frames_done: 9,
+                    queue_len: 0,
+                    degraded: true,
+                    hit_rate: f64::NAN,
+                },
+            ],
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\\\"test\\\""));
+        assert!(json.contains("\"p99\": 65535"));
+        assert!(json.contains("\"degraded\": true"));
+        // Non-finite hit rate serializes as null, not NaN.
+        assert!(json.contains("\"hit_rate\": null"));
+        assert!(!json.contains("NaN"));
+        // Balanced braces/brackets.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n  ]"));
+    }
+}

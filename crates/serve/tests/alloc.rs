@@ -1,0 +1,104 @@
+//! Zero-allocation contract of the serving dispatch loop.
+//!
+//! A counting global allocator wraps the system allocator; once every
+//! stream is past calibration and the server's recycling lists are primed,
+//! the steady-state submit → tick → drain cycle (feed-forward model,
+//! serial dispatch) must not allocate: ingress frames come from the
+//! recycled frame list, outputs from the recycled output list, and each
+//! session's intermediates from its own buffer pool.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use reuse_core::{CompiledModel, ReuseConfig};
+use reuse_nn::{init::Rng64, Activation, NetworkBuilder};
+use reuse_serve::{ServerConfig, StreamServer, SubmitResult};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_dispatch_loop_is_allocation_free() {
+    let net = NetworkBuilder::new("serve-steady", 32)
+        .fully_connected(64, Activation::Relu)
+        .fully_connected(48, Activation::Relu)
+        .fully_connected(10, Activation::Identity)
+        .build()
+        .unwrap();
+    let model = Arc::new(CompiledModel::new(&net, &ReuseConfig::uniform(16)));
+    let mut server = StreamServer::new(
+        model,
+        ServerConfig::default().queue_capacity(4).batch_max(4),
+    )
+    .unwrap();
+
+    let mut rng = Rng64::new(9);
+    let mut frames: Vec<Vec<f32>> = (0..3)
+        .map(|_| (0..32).map(|_| rng.uniform(0.9)).collect())
+        .collect();
+
+    // Warm-up: create the streams, run calibration + the state-initializing
+    // first reuse frame, and prime every recycling list (ingress frames,
+    // outputs, session pools, `out` capacities).
+    for _ in 0..4 {
+        for (s, frame) in frames.iter().enumerate() {
+            assert_eq!(
+                server.submit(s as u64, frame).unwrap(),
+                SubmitResult::Accepted
+            );
+        }
+        server.tick().unwrap();
+        for s in 0..frames.len() as u64 {
+            server.drain_outputs(s, |out| assert_eq!(out.len(), 10));
+        }
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        // Drift a few inputs per stream so the incremental path does real
+        // correction work, not just the all-reused fast case.
+        for frame in &mut frames {
+            for _ in 0..8 {
+                let i = (rng.next_u64() % 32) as usize;
+                frame[i] = (frame[i] + rng.uniform(0.5)).clamp(-1.0, 1.0);
+            }
+        }
+        for (s, frame) in frames.iter().enumerate() {
+            assert_eq!(
+                server.submit(s as u64, frame).unwrap(),
+                SubmitResult::Accepted
+            );
+        }
+        server.tick().unwrap();
+        for s in 0..frames.len() as u64 {
+            let drained = server.drain_outputs(s, |out| assert_eq!(out.len(), 10));
+            assert_eq!(drained, 1);
+        }
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "steady-state dispatch cycles allocated {allocations} times"
+    );
+}

@@ -223,6 +223,75 @@ pub fn parallel_for_mut_cost<T, F>(
     });
 }
 
+/// Shares a `*mut T` across scoped workers that claim disjoint indices
+/// through an atomic counter. Soundness: every index is produced by exactly
+/// one `fetch_add`, so no two workers ever form a `&mut` to the same
+/// element.
+struct SharedSlice<T>(*mut T);
+
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+/// Runs `f` once per element of `items` with **dynamic (work-stealing)
+/// scheduling**: workers claim the next unprocessed index from a shared
+/// atomic counter, so uneven per-item costs balance automatically. This is
+/// the dispatch primitive for task-shaped work — e.g. the serving runtime's
+/// per-stream batches, where one stream may have a full queue and its
+/// neighbor a single frame — in contrast to [`parallel_for_mut`], whose
+/// static contiguous chunks suit uniform element-wise kernels.
+///
+/// `f(index, item)` receives the item's position in `items`. Items are
+/// claimed in ascending index order, but completion order is unspecified;
+/// callers must not rely on cross-item ordering (each item itself is
+/// processed exactly once, by one worker).
+///
+/// With one resolved worker the loop runs inline on the caller thread and
+/// performs **zero heap allocations** — the serving runtime's steady-state
+/// dispatch contract. Multi-worker calls spawn scoped threads (which
+/// allocate stacks) and join them all before returning.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn parallel_for_each_mut<T, F>(config: &ParallelConfig, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let workers = config.workers_for(n).min(n);
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let shared = SharedSlice(items.as_mut_ptr());
+    let run = |next: &std::sync::atomic::AtomicUsize, shared: &SharedSlice<T>| loop {
+        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        // SAFETY: `i < n` indexes into the live `items` slice, and the
+        // fetch_add above hands each index to exactly one worker.
+        let item = unsafe { &mut *shared.0.add(i) };
+        f(i, item);
+    };
+    std::thread::scope(|scope| {
+        let next = &next;
+        let shared = &shared;
+        let run = &run;
+        for _ in 1..workers {
+            scope.spawn(move || run(next, shared));
+        }
+        run(next, shared);
+    });
+}
+
 /// Maps `f` over `items` with the configured parallelism, preserving order.
 ///
 /// Used by the accelerator config sweep to fan simulation points out across
@@ -373,6 +442,56 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i / granule);
         }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        for threads in [1usize, 2, 3, 5] {
+            for len in [0usize, 1, 2, 7, 64, 65] {
+                let cfg = ParallelConfig::with_threads(threads)
+                    .min_work_per_thread(1)
+                    .oversubscribed();
+                let mut hits = vec![0u32; len];
+                parallel_for_each_mut(&cfg, &mut hits, |i, v| {
+                    *v += i as u32 + 1;
+                });
+                let expect: Vec<u32> = (0..len as u32).map(|i| i + 1).collect();
+                assert_eq!(hits, expect, "threads={threads} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_balances_uneven_tasks() {
+        // One huge task plus many tiny ones: dynamic scheduling must let
+        // other workers drain the tiny tasks while the big one runs, so all
+        // items complete (a static split would also complete — this guards
+        // the claim-counter logic under contention).
+        let cfg = ParallelConfig::with_threads(4)
+            .min_work_per_thread(1)
+            .oversubscribed();
+        let mut items = vec![0u64; 33];
+        parallel_for_each_mut(&cfg, &mut items, |i, v| {
+            let spin = if i == 0 { 20_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            *v = acc | 1;
+        });
+        assert!(items.iter().all(|&v| v != 0));
+    }
+
+    #[test]
+    fn for_each_serial_runs_in_index_order() {
+        let mut order = Vec::new();
+        let mut items = vec![(); 9];
+        // One worker: inline, deterministic ascending order.
+        let log = std::sync::Mutex::new(&mut order);
+        parallel_for_each_mut(&ParallelConfig::serial(), &mut items, |i, ()| {
+            log.lock().unwrap().push(i);
+        });
+        assert_eq!(order, (0..9).collect::<Vec<_>>());
     }
 
     #[test]

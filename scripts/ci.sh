@@ -31,6 +31,19 @@ echo "== multi-session smoke (4 sessions, one compiled model) =="
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- run kaldi 40 --sessions 4
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- run eesen 20 --sessions 3
 
+echo "== serving-runtime smoke (StreamServer vs standalone sessions) =="
+# Serves N offset streams through one StreamServer and checks every output
+# and per-stream metrics bit-for-bit against standalone ReuseSessions; the
+# CLI exits 6 on serve/standalone divergence.
+REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve kaldi --streams 4 --frames 32 > /dev/null
+REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve eesen --streams 3 --frames 20 > /dev/null
+
+echo "== serve throughput smoke (scaling floor ${REUSE_SERVE_MIN_SCALING:-0.9}x, fps floor ${REUSE_SERVE_MIN_FPS:-1.0}) =="
+# Aggregate frames/sec must not drop as the server goes from 1 to 8 streams
+# (the dispatch loop amortizes per-tick overhead); floors are tunable for
+# noisy hosts via REUSE_SERVE_MIN_SCALING / REUSE_SERVE_MIN_FPS.
+REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin serve_bench -- --perf-smoke
+
 echo "== cargo doc (no-deps, -D warnings) =="
 # The model/session split is documented API surface; broken intra-doc links
 # or missing docs fail the build.

@@ -12,6 +12,8 @@
 //! * [`quant`] — linear input quantization (paper Eq. 9) and range profiling.
 //! * [`reuse`] — the paper's contribution: temporal computation reuse across
 //!   consecutive DNN executions (paper Eq. 10).
+//! * [`serve`] — multi-stream serving runtime multiplexing many input
+//!   streams over one shared [`reuse::CompiledModel`].
 //! * [`accel`] — analytical simulator of the tiled accelerator (paper
 //!   Table II) with energy and timing models.
 //! * [`workloads`] — the four evaluation DNNs (Kaldi, EESEN, C3D, AutoPilot)
@@ -41,6 +43,7 @@ pub use reuse_accel as accel;
 pub use reuse_core as reuse;
 pub use reuse_nn as nn;
 pub use reuse_quant as quant;
+pub use reuse_serve as serve;
 pub use reuse_tensor as tensor;
 pub use reuse_workloads as workloads;
 
@@ -50,6 +53,7 @@ pub mod prelude {
     pub use reuse_core::{CompiledModel, ParallelConfig, ReuseConfig, ReuseEngine, ReuseSession};
     pub use reuse_nn::{Activation, Network, NetworkBuilder};
     pub use reuse_quant::LinearQuantizer;
+    pub use reuse_serve::{ServerConfig, StreamServer, SubmitResult};
     pub use reuse_tensor::{Shape, Tensor};
     pub use reuse_workloads::{Workload, WorkloadKind};
 }
