@@ -3,30 +3,47 @@
 //!
 //! Every kernel is measured three ways on identical inputs:
 //!
-//! - **naive**: the original serial loop nest (the bit-identity oracle kept
+//! - **naive**: the original serial loop nest (the exactness oracle kept
 //!   as `matmul_naive` / `conv*_forward_naive` / `execute_into_naive`);
 //! - **blocked**: the cache-blocked, panel-packed kernel on the serial
-//!   config — the before/after pair for the blocking work;
+//!   config, dispatched at the resolved `reuse_tensor::SimdLevel` — the
+//!   before/after pair for the blocking + SIMD work;
 //! - **parallel**: the blocked kernel under `REUSE_THREADS` workers
 //!   (default 4), clamped to the host's hardware threads by
-//!   `ParallelConfig` — the JSON records both the requested and the
-//!   resolved (clamped) count.
+//!   `ParallelConfig` — the JSON records the requested count and, per
+//!   kernel row, the resolved (clamped) count. On hosts where the clamp
+//!   resolves to one worker the parallel columns are skipped (they would
+//!   duplicate the blocked column) and the row says so instead.
 //!
-//! All three produce bit-identical outputs, so only the ns/iter and
-//! GFLOP/s columns vary with the machine. Forward rows use the layer's
-//! analytic FLOP count; reuse-correction rows (at ~10% changed inputs) use
-//! the MACs the correction actually performed, read from the execution
-//! stats.
+//! Outputs are bit-identical across the three under the scalar SIMD level;
+//! under AVX2 the blocked/parallel kernels fuse multiply-adds and agree
+//! with naive within `reuse_tensor::simd::fma_tolerance` (see DESIGN.md).
+//! Only the ns/iter and GFLOP/s columns vary with the machine; the JSON
+//! header records the active and detected SIMD level plus the CPU feature
+//! flags so numbers are never compared across ISAs by accident. Forward
+//! rows use the layer's analytic FLOP count; reuse-correction rows (at
+//! ~10% changed inputs) use the MACs the correction actually performed,
+//! read from the execution stats.
 //!
 //! An engine-level pair is also measured: the same steady-state frames with
 //! telemetry off and on, reporting the overhead of the recording path and
 //! the per-layer hit rates read back from the telemetry snapshot. Running
 //! `kernel_bench --telemetry-smoke` measures only that pair and exits
 //! nonzero when the overhead exceeds `REUSE_TELEMETRY_OVERHEAD_PCT`
-//! (default 5%). Running `kernel_bench --perf-smoke` times only the
-//! naive-vs-blocked matmul pair and exits nonzero when the blocked kernel
-//! is slower than `REUSE_BLOCKED_MIN_SPEEDUP` × naive (default 1.0) — the
-//! CI guard that blocking never regresses.
+//! (default 5%).
+//!
+//! Running `kernel_bench --perf-smoke` times the naive-vs-blocked matmul
+//! pair and exits nonzero when the blocked kernel misses its floors. The
+//! floors follow the active SIMD level: under AVX2 the blocked kernel must
+//! reach `REUSE_BLOCKED_MIN_SPEEDUP` × naive (default 2.0) **and**
+//! `REUSE_BLOCKED_MIN_GFLOPS` absolute GFLOP/s (default 48.0, i.e. ≥4× the
+//! pre-SIMD 11.98 GFLOP/s baseline); without AVX2 the floors auto-relax to
+//! the scalar guard (speedup ≥ 1.0, no absolute floor) so non-x86 CI hosts
+//! still gate against regressions they can actually measure.
+//!
+//! `kernel_bench --validate <out.json>` re-reads a benchmark file and exits
+//! nonzero when the schema (header keys, SIMD provenance, per-row keys) is
+//! missing fields — the CI guard that regenerated files stay parseable.
 //!
 //! Usage: `cargo run --release -p reuse-bench --bin kernel_bench [out.json]`
 
@@ -46,7 +63,9 @@ use reuse_quant::{InputRange, LinearQuantizer};
 use reuse_tensor::conv::{conv2d_forward_naive, conv3d_forward_naive, Conv2dSpec, Conv3dSpec};
 use reuse_tensor::{matmul, ParallelConfig, Shape, Tensor};
 
-/// One naive/blocked/parallel triple of measurements.
+/// One naive/blocked/parallel triple of measurements. `parallel_ns` is
+/// `None` when the thread clamp resolved to one worker — timing it would
+/// only duplicate the blocked column.
 struct Row {
     name: String,
     /// FLOPs one iteration performs (analytic for forwards, measured MACs
@@ -54,15 +73,15 @@ struct Row {
     flops: u64,
     naive_ns: f64,
     blocked_ns: f64,
-    parallel_ns: f64,
+    parallel_ns: Option<f64>,
 }
 
 impl Row {
     fn blocked_speedup(&self) -> f64 {
         self.naive_ns / self.blocked_ns
     }
-    fn parallel_speedup(&self) -> f64 {
-        self.naive_ns / self.parallel_ns
+    fn parallel_speedup(&self) -> Option<f64> {
+        self.parallel_ns.map(|ns| self.naive_ns / ns)
     }
     fn gflops(&self, ns: f64) -> f64 {
         self.flops as f64 / ns
@@ -107,7 +126,9 @@ fn random_input(len: usize, rng: &mut Rng64) -> Vec<f32> {
 }
 
 /// Measures one kernel three ways. `naive` always runs serially; `blocked`
-/// is timed once with the serial config and once with `parallel`.
+/// is timed once with the serial config and — unless the clamp resolved to
+/// a single worker, where the numbers would be the blocked column again —
+/// once with `parallel`.
 fn bench_triple(
     name: &str,
     flops: u64,
@@ -118,7 +139,7 @@ fn bench_triple(
     let serial = ParallelConfig::serial();
     let naive_ns = time_ns(&mut naive);
     let blocked_ns = time_ns(|| blocked(&serial));
-    let parallel_ns = time_ns(|| blocked(parallel));
+    let parallel_ns = (parallel.workers_for(usize::MAX) > 1).then(|| time_ns(|| blocked(parallel)));
     let row = Row {
         name: name.to_string(),
         flops,
@@ -126,22 +147,31 @@ fn bench_triple(
         blocked_ns,
         parallel_ns,
     };
+    let parallel_col = match row.parallel_ns {
+        Some(ns) => format!(
+            "parallel {:>11.0} ns ({:.2}x)",
+            ns,
+            row.parallel_speedup().unwrap_or(f64::NAN)
+        ),
+        None => "parallel skipped (1 worker)".to_string(),
+    };
     eprintln!(
-        "{:<40} naive {:>11.0} ns  blocked {:>11.0} ns ({:.2}x, {:.2} GFLOP/s)  parallel {:>11.0} ns ({:.2}x)",
+        "{:<40} naive {:>11.0} ns  blocked {:>11.0} ns ({:.2}x, {:.2} GFLOP/s)  {parallel_col}",
         row.name,
         row.naive_ns,
         row.blocked_ns,
         row.blocked_speedup(),
         row.gflops(row.blocked_ns),
-        row.parallel_ns,
-        row.parallel_speedup(),
     );
     row
 }
 
 /// The naive-vs-blocked matmul pair used by both the full run and the
 /// `--perf-smoke` CI gate: C = A·B at Kaldi-FC3-like geometry with enough
-/// rows to amortize the per-call B repack.
+/// rows to keep the kernel compute-bound. The blocked side multiplies
+/// against a pre-packed `B` (the steady-state shape for weight matrices:
+/// pack once, multiply every frame), so the columns compare kernels, not
+/// the one-time repack.
 fn matmul_pair() -> (Tensor, Tensor, u64) {
     let (m, k, n) = (64usize, 400usize, 2000usize);
     let mut rng = Rng64::new(12);
@@ -254,29 +284,123 @@ fn smoke_threshold_pct() -> f64 {
 }
 
 /// Times naive vs blocked matmul and exits nonzero when the blocked kernel
-/// falls below `REUSE_BLOCKED_MIN_SPEEDUP` × naive (default 1.0).
+/// misses the active SIMD level's floors.
+///
+/// Under AVX2 the blocked kernel must reach `REUSE_BLOCKED_MIN_SPEEDUP` ×
+/// naive (default 2.0) and `REUSE_BLOCKED_MIN_GFLOPS` absolute throughput
+/// (default 48.0 — ≥4× the pre-SIMD 11.98 GFLOP/s blocked baseline).
+/// Without AVX2 the floors auto-relax to the scalar guard: speedup ≥ 1.0
+/// (still overridable) and no absolute GFLOP/s floor, since scalar
+/// hardware cannot be held to vector throughput.
 fn perf_smoke() -> ExitCode {
+    let level = reuse_tensor::simd::level();
+    let avx2 = level == reuse_tensor::SimdLevel::Avx2;
     let min_speedup: f64 = std::env::var("REUSE_BLOCKED_MIN_SPEEDUP")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
-    let (a, b, _) = matmul_pair();
+        .unwrap_or(if avx2 { 2.0 } else { 1.0 });
+    let min_gflops: f64 = std::env::var("REUSE_BLOCKED_MIN_GFLOPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if avx2 { 48.0 } else { 0.0 });
+    let (a, b, flops) = matmul_pair();
     let serial = ParallelConfig::serial();
     let naive_ns = time_ns(|| {
         black_box(matmul::matmul_naive(black_box(&a), black_box(&b)).unwrap());
     });
+    let (m, n) = (a.shape().dims()[0], b.shape().dims()[1]);
+    let packed = reuse_tensor::PackedPanels::pack(&b).unwrap();
+    let mut c = vec![0.0f32; m * n];
     let blocked_ns = time_ns(|| {
-        black_box(matmul::matmul_with(&serial, black_box(&a), black_box(&b)).unwrap());
+        c.fill(0.0);
+        matmul::matmul_packed_into(&serial, black_box(a.as_slice()), &packed, m, &mut c);
+        black_box(&c);
     });
     let speedup = naive_ns / blocked_ns;
+    let gflops = flops as f64 / blocked_ns;
     eprintln!(
-        "perf smoke: matmul naive {naive_ns:.0} ns, blocked {blocked_ns:.0} ns, \
-         speedup {speedup:.3}x (floor {min_speedup:.3}x)"
+        "perf smoke [{}]: matmul naive {naive_ns:.0} ns, blocked {blocked_ns:.0} ns, \
+         speedup {speedup:.3}x (floor {min_speedup:.3}x), \
+         {gflops:.2} GFLOP/s (floor {min_gflops:.2})",
+        level.name()
     );
+    if !avx2 {
+        eprintln!("perf smoke: AVX2 unavailable or disabled; scalar floors in force");
+    }
+    let mut ok = true;
     if speedup < min_speedup {
         eprintln!("blocked matmul is slower than the {min_speedup:.3}x floor");
+        ok = false;
+    }
+    if gflops < min_gflops {
+        eprintln!("blocked matmul throughput is below the {min_gflops:.2} GFLOP/s floor");
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Re-reads a written benchmark file and checks the schema: every header
+/// key, the SIMD provenance block, and the per-row keys must be present.
+/// Plain substring checks — the writer emits a fixed shape, so this guards
+/// against the writer and its consumers drifting apart.
+fn validate(path: &str) -> ExitCode {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("validate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    const REQUIRED: &[&str] = &[
+        "\"bench\": \"kernel_bench\"",
+        "\"hardware_threads\":",
+        "\"requested_threads\":",
+        "\"resolved_threads\":",
+        "\"simd\":",
+        "\"active\":",
+        "\"detected\":",
+        "\"avx2\":",
+        "\"fma\":",
+        "\"bit_exact\":",
+        "\"engine\":",
+        "\"base_ns_per_frame\":",
+        "\"telemetry_ns_per_frame\":",
+        "\"telemetry_overhead_pct\":",
+        "\"hit_rate\":",
+        "\"kernels\":",
+        "\"flops\":",
+        "\"naive_ns_per_iter\":",
+        "\"blocked_ns_per_iter\":",
+        "\"blocked_speedup\":",
+        "\"naive_gflops\":",
+        "\"blocked_gflops\":",
+    ];
+    let missing: Vec<&str> = REQUIRED
+        .iter()
+        .filter(|k| !body.contains(**k))
+        .copied()
+        .collect();
+    // Each kernel row carries either measured parallel columns or the
+    // explicit skip marker; every row must have one of the two.
+    let rows = body.matches("\"naive_ns_per_iter\":").count();
+    let parallel = body.matches("\"parallel_ns_per_iter\":").count()
+        + body.matches("\"parallel_skipped\":").count();
+    if !missing.is_empty() {
+        eprintln!("validate: {path} is missing keys: {missing:?}");
         return ExitCode::FAILURE;
     }
+    if rows == 0 || parallel != rows {
+        eprintln!(
+            "validate: {path} has {rows} kernel rows but {parallel} \
+             parallel columns/skip markers"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("validate: {path} ok ({rows} kernel rows)");
     ExitCode::SUCCESS
 }
 
@@ -297,6 +421,12 @@ fn main() -> ExitCode {
     if arg.as_deref() == Some("--perf-smoke") {
         return perf_smoke();
     }
+    if arg.as_deref() == Some("--validate") {
+        let path = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+        return validate(&path);
+    }
     let out_path = arg.unwrap_or_else(|| "BENCH_kernels.json".to_string());
     let requested_threads: usize = std::env::var("REUSE_THREADS")
         .ok()
@@ -313,9 +443,14 @@ fn main() -> ExitCode {
     let q = quantizer();
     let mut rows = Vec::new();
 
-    // Dense matmul at Kaldi-like geometry (the perf-smoke pair).
+    // Dense matmul at Kaldi-like geometry (the perf-smoke pair); the
+    // blocked/parallel columns run against a pre-packed B, the steady-state
+    // shape for weight matrices.
     {
         let (a, b, flops) = matmul_pair();
+        let (m, n) = (a.shape().dims()[0], b.shape().dims()[1]);
+        let packed = reuse_tensor::PackedPanels::pack(&b).unwrap();
+        let mut c = vec![0.0f32; m * n];
         rows.push(bench_triple(
             "matmul_64x400x2000",
             flops,
@@ -324,7 +459,9 @@ fn main() -> ExitCode {
                 black_box(matmul::matmul_naive(black_box(&a), black_box(&b)).unwrap());
             },
             |cfg| {
-                black_box(matmul::matmul_with(cfg, black_box(&a), black_box(&b)).unwrap());
+                c.fill(0.0);
+                matmul::matmul_packed_into(cfg, black_box(a.as_slice()), &packed, m, &mut c);
+                black_box(&c);
             },
         ));
     }
@@ -393,6 +530,43 @@ fn main() -> ExitCode {
                 j += 1;
                 state
                     .execute_into(cfg, &layer, &q, black_box(input), &mut out)
+                    .unwrap();
+                black_box(&out);
+            },
+        ));
+    }
+
+    // L2-resident FC geometry: 400 x 400 weights (~640 KiB) fit in L2, so
+    // this row shows the compute-bound ceiling of the single-frame forward
+    // kernel. The Kaldi FC3 row above streams a ~3.2 MB matrix from L3 and
+    // is bandwidth-capped regardless of ISA — compare the two to separate
+    // memory-bound from compute-bound headroom (see DESIGN.md roofline).
+    {
+        let layer = FullyConnected::random(400, 400, Activation::Relu, &mut Rng64::new(9));
+        let mut rng = Rng64::new(10);
+        let base = random_input(400, &mut rng);
+        let input = Tensor::from_slice_1d(&base).unwrap();
+        let mut naive_out = Vec::new();
+        let mut out = Vec::new();
+        let serial = ParallelConfig::serial();
+        rows.push(bench_triple(
+            "fc_l2_400x400/forward",
+            matmul::fc_flops(400, 400),
+            &parallel,
+            || {
+                matmul::fc_forward_into(
+                    &serial,
+                    layer.weights(),
+                    black_box(&input),
+                    layer.bias(),
+                    &mut naive_out,
+                )
+                .unwrap();
+                black_box(&naive_out);
+            },
+            |cfg| {
+                layer
+                    .forward_linear_into(cfg, black_box(&input), &mut out)
                     .unwrap();
                 black_box(&out);
             },
@@ -588,12 +762,39 @@ fn main() -> ExitCode {
 
     let engine = bench_engine_pair();
 
+    let active = reuse_tensor::simd::level();
+    #[cfg(target_arch = "x86_64")]
+    let (has_avx2, has_fma) = (
+        std::arch::is_x86_feature_detected!("avx2"),
+        std::arch::is_x86_feature_detected!("fma"),
+    );
+    #[cfg(not(target_arch = "x86_64"))]
+    let (has_avx2, has_fma) = (false, false);
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"kernel_bench\",");
     let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
     let _ = writeln!(json, "  \"requested_threads\": {requested_threads},");
     let _ = writeln!(json, "  \"resolved_threads\": {resolved_threads},");
+    // ISA provenance: throughput numbers are only comparable between runs
+    // that resolved the same SIMD level on the same feature set.
+    let _ = writeln!(json, "  \"simd\": {{");
+    let _ = writeln!(json, "    \"active\": \"{}\",", active.name());
+    let _ = writeln!(
+        json,
+        "    \"detected\": \"{}\",",
+        reuse_tensor::simd::detected().name()
+    );
+    let _ = writeln!(json, "    \"arch\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(json, "    \"avx2\": {has_avx2},");
+    let _ = writeln!(json, "    \"fma\": {has_fma},");
+    let _ = writeln!(
+        json,
+        "    \"bit_exact\": {}",
+        reuse_tensor::simd::is_bit_exact()
+    );
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"engine\": {{");
     let _ = writeln!(json, "    \"base_ns_per_frame\": {:.0},", engine.base_ns);
     let _ = writeln!(
@@ -616,33 +817,48 @@ fn main() -> ExitCode {
     }
     json.push_str("    ]\n  },\n");
     if hardware_threads < requested_threads {
+        let skipped = if resolved_threads <= 1 {
+            "; parallel columns are skipped (one worker would duplicate the blocked column)"
+        } else {
+            ""
+        };
         let _ = writeln!(
             json,
             "  \"note\": \"host exposes {hardware_threads} hardware thread(s); the \
              requested {requested_threads} workers were clamped to \
-             {resolved_threads}, so the parallel column matches blocked \
-             single-thread performance here\","
+             {resolved_threads}{skipped}\","
         );
     }
     json.push_str("  \"kernels\": [\n");
     for (k, r) in rows.iter().enumerate() {
+        let parallel_cols = match r.parallel_ns {
+            Some(ns) => format!(
+                "\"parallel_ns_per_iter\": {:.0}, \"parallel_speedup\": {:.3}, \
+                 \"parallel_gflops\": {:.3}",
+                ns,
+                r.parallel_speedup().unwrap_or(f64::NAN),
+                r.gflops(ns)
+            ),
+            None => format!(
+                "\"parallel_skipped\": \"thread clamp resolved to 1 worker; \
+                 column would duplicate blocked ({requested_threads} requested, \
+                 {hardware_threads} hw)\""
+            ),
+        };
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"flops\": {}, \
+             \"resolved_threads\": {resolved_threads}, \
              \"naive_ns_per_iter\": {:.0}, \"blocked_ns_per_iter\": {:.0}, \
-             \"parallel_ns_per_iter\": {:.0}, \"blocked_speedup\": {:.3}, \
-             \"parallel_speedup\": {:.3}, \"naive_gflops\": {:.3}, \
-             \"blocked_gflops\": {:.3}, \"parallel_gflops\": {:.3}}}{}",
+             \"blocked_speedup\": {:.3}, \"naive_gflops\": {:.3}, \
+             \"blocked_gflops\": {:.3}, {parallel_cols}}}{}",
             r.name,
             r.flops,
             r.naive_ns,
             r.blocked_ns,
-            r.parallel_ns,
             r.blocked_speedup(),
-            r.parallel_speedup(),
             r.gflops(r.naive_ns),
             r.gflops(r.blocked_ns),
-            r.gflops(r.parallel_ns),
             if k + 1 < rows.len() { "," } else { "" }
         );
     }

@@ -289,6 +289,11 @@ impl LstmCell {
 }
 
 /// `dst[j] += Σ_i w[i][j]·v[i]` with `w` stored input-major `[len(v), len(dst)]`.
+///
+/// The per-row axpy is dispatched on the resolved SIMD level (see
+/// `reuse_tensor::simd`): identical separate mul-then-add under the scalar
+/// level, fused multiply-add under AVX2. The `vi == 0.0` skip is exact at
+/// both levels (skipping a zero contribution never changes the sum).
 fn accumulate_input_major(w: &[f32], v: &[f32], dst: &mut [f32]) {
     let n_out = dst.len();
     for (i, &vi) in v.iter().enumerate() {
@@ -296,9 +301,7 @@ fn accumulate_input_major(w: &[f32], v: &[f32], dst: &mut [f32]) {
             continue;
         }
         let row = &w[i * n_out..(i + 1) * n_out];
-        for (d, &wij) in dst.iter_mut().zip(row.iter()) {
-            *d += vi * wij;
-        }
+        reuse_tensor::simd::row_axpy(dst, row, vi);
     }
 }
 

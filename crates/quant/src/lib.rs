@@ -33,6 +33,8 @@ pub mod fixed;
 pub mod kmeans;
 mod linear;
 mod range;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 
 pub use error::QuantError;
 pub use linear::{LinearQuantizer, QuantCode};

@@ -9,7 +9,10 @@ use crate::{InputRange, QuantError};
 /// the reuse scheme exactly when their codes are equal. Codes fit in one
 /// byte for all evaluated cluster counts (≤32), which is what the Table III
 /// overhead accounting assumes.
+/// `repr(transparent)` over `i32` so code buffers can be reinterpreted as
+/// integer lanes by the vectorized quantize/diff kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct QuantCode(pub i32);
 
 impl std::fmt::Display for QuantCode {
@@ -119,16 +122,104 @@ impl LinearQuantizer {
 
     /// Quantizes a slice to codes.
     pub fn quantize_slice(&self, xs: &[f32]) -> Vec<QuantCode> {
-        xs.iter().map(|&x| self.quantize(x)).collect()
+        let mut out = Vec::new();
+        self.quantize_slice_into(xs, &mut out);
+        out
     }
 
     /// Quantizes a slice into a caller-owned buffer, clearing it first.
     /// Allocation-free once `out` has capacity — replay loops quantizing
     /// thousands of frames reuse one scratch buffer instead of allocating
     /// a fresh `Vec` per frame.
+    ///
+    /// Dispatched on the resolved [`reuse_tensor::simd::level`]. The AVX2
+    /// kernel is **bit-exact** against [`Self::quantize`] — codes, and with
+    /// them reuse statistics, never depend on the active SIMD level.
     pub fn quantize_slice_into(&self, xs: &[f32], out: &mut Vec<QuantCode>) {
+        match reuse_tensor::simd::level() {
+            #[cfg(target_arch = "x86_64")]
+            reuse_tensor::SimdLevel::Avx2 => {
+                out.clear();
+                out.resize(xs.len(), QuantCode(0));
+                crate::simd::quantize_slice(self, xs, out);
+            }
+            _ => self.quantize_slice_into_scalar(xs, out),
+        }
+    }
+
+    /// The scalar body of [`Self::quantize_slice_into`], exposed
+    /// (doc-hidden) as the oracle for the SIMD==scalar equivalence suites.
+    #[doc(hidden)]
+    pub fn quantize_slice_into_scalar(&self, xs: &[f32], out: &mut Vec<QuantCode>) {
         out.clear();
         out.extend(xs.iter().map(|&x| self.quantize(x)));
+    }
+
+    /// The AVX2 body of [`Self::quantize_slice_into`], exposed (doc-hidden)
+    /// so equivalence suites can pin it against the scalar oracle even when
+    /// `REUSE_SIMD=off`. Panics when AVX2+FMA is unavailable.
+    #[doc(hidden)]
+    #[cfg(target_arch = "x86_64")]
+    pub fn quantize_slice_into_avx2(&self, xs: &[f32], out: &mut Vec<QuantCode>) {
+        out.clear();
+        out.resize(xs.len(), QuantCode(0));
+        crate::simd::quantize_slice(self, xs, out);
+    }
+
+    /// Quantizes `xs`, diffs the new codes against `prev`, and collects the
+    /// changed inputs as `(index, centroid delta)` pairs in ascending index
+    /// order — the paper's per-execution compare pass over the I/O-buffer
+    /// indices area. `prev` is updated to the new codes, `scratch` holds
+    /// them between passes, and `changed` is cleared first; at steady state
+    /// the whole pass is allocation-free.
+    ///
+    /// Both phases are dispatched on the resolved SIMD level and both are
+    /// bit-exact: quantization lane-matches [`Self::quantize`] and the
+    /// vectorized compare skips eight unchanged codes per step without ever
+    /// altering which indices are reported or the delta arithmetic
+    /// (`centroid(new) - centroid(old)`, in f32, exactly as the scalar
+    /// walk).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` and `prev` have different lengths.
+    pub fn diff_codes_into(
+        &self,
+        xs: &[f32],
+        prev: &mut [QuantCode],
+        scratch: &mut Vec<QuantCode>,
+        changed: &mut Vec<(u32, f32)>,
+    ) {
+        assert_eq!(
+            xs.len(),
+            prev.len(),
+            "diff_codes_into: input/code-buffer length mismatch"
+        );
+        self.quantize_slice_into(xs, scratch);
+        changed.clear();
+        {
+            let prev_ro: &[QuantCode] = prev;
+            let mut record = |i: usize| {
+                let delta = self.centroid(scratch[i]) - self.centroid(prev_ro[i]);
+                changed.push((i as u32, delta));
+            };
+            match reuse_tensor::simd::level() {
+                #[cfg(target_arch = "x86_64")]
+                reuse_tensor::SimdLevel::Avx2 => {
+                    crate::simd::for_each_changed(prev_ro, scratch, &mut record);
+                }
+                _ => {
+                    for (i, (p, s)) in prev_ro.iter().zip(scratch.iter()).enumerate() {
+                        if p != s {
+                            record(i);
+                        }
+                    }
+                }
+            }
+        }
+        for &(i, _) in changed.iter() {
+            prev[i as usize] = scratch[i as usize];
+        }
     }
 
     /// Quantized values (centroids) of a slice.

@@ -1,0 +1,122 @@
+//! AVX2 kernels for the quantize and code-diff hot paths.
+//!
+//! Unlike the FMA-fused tensor kernels, everything here is **bit-exact**:
+//! the vector quantizer reproduces `LinearQuantizer::quantize` — including
+//! `f32::round`'s round-half-away-from-zero semantics, the range-edge
+//! pinning, and the NaN guard — lane for lane, so quantized codes (and
+//! therefore reuse hit rates and changed-input statistics) never depend on
+//! the active SIMD level.
+//!
+//! Round-half-away is emulated on top of the hardware's round-to-nearest-
+//! even: ties are detected by comparing `t - round(t)` against `±0.5` and
+//! bumped one unit away from zero. The subtraction is exact — for
+//! `|t| >= 0.5` the rounded value is within a factor of two of `t`
+//! (Sterbenz's lemma), for `|t| < 0.5` the rounded value is zero, and for
+//! `|t| >= 2^23` `t` is already integral so no tie can occur.
+
+use core::arch::x86_64::{
+    __m256i, _mm256_add_ps, _mm256_and_ps, _mm256_blendv_epi8, _mm256_castps_si256,
+    _mm256_castsi256_ps, _mm256_cmp_ps, _mm256_cmpeq_epi32, _mm256_cvttps_epi32, _mm256_div_ps,
+    _mm256_loadu_ps, _mm256_loadu_si256, _mm256_max_epi32, _mm256_min_epi32, _mm256_movemask_ps,
+    _mm256_or_ps, _mm256_round_ps, _mm256_set1_epi32, _mm256_set1_ps, _mm256_storeu_si256,
+    _mm256_sub_ps, _CMP_EQ_OQ, _CMP_GE_OQ, _CMP_NGT_UQ, _MM_FROUND_NO_EXC,
+    _MM_FROUND_TO_NEAREST_INT,
+};
+
+use crate::{LinearQuantizer, QuantCode};
+
+/// Quantizes `xs` into `out` (already sized to `xs.len()`) with the AVX2
+/// kernel. Caller must have checked [`reuse_tensor::simd::avx2::available`].
+pub(crate) fn quantize_slice(q: &LinearQuantizer, xs: &[f32], out: &mut [QuantCode]) {
+    reuse_tensor::simd::avx2::require();
+    assert_eq!(xs.len(), out.len(), "quantize_slice buffer length mismatch");
+    // SAFETY: AVX2 availability was just asserted.
+    unsafe { quantize_slice_impl(q, xs, out) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn quantize_slice_impl(q: &LinearQuantizer, xs: &[f32], out: &mut [QuantCode]) {
+    let n = xs.len();
+    let vstep = _mm256_set1_ps(q.step());
+    let vmin = _mm256_set1_ps(q.range().min());
+    let vmax = _mm256_set1_ps(q.range().max());
+    let vcode_min = _mm256_set1_epi32(q.code_min());
+    let vcode_max = _mm256_set1_epi32(q.code_max());
+    let sign_mask = _mm256_set1_ps(-0.0);
+    let half = _mm256_set1_ps(0.5);
+    let one = _mm256_set1_ps(1.0);
+    // SAFETY: `QuantCode` is `#[repr(transparent)]` over `i32`.
+    let optr = out.as_mut_ptr().cast::<i32>();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n bounds every lane of the unaligned load/store.
+        let x = unsafe { _mm256_loadu_ps(xs.as_ptr().add(i)) };
+        let t = _mm256_div_ps(x, vstep);
+        // Round half away from zero: nearest-even, then bump exact ties.
+        let y = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(t);
+        let sign = _mm256_and_ps(t, sign_mask);
+        let tie = _mm256_cmp_ps::<_CMP_EQ_OQ>(_mm256_sub_ps(t, y), _mm256_or_ps(half, sign));
+        let r = _mm256_add_ps(y, _mm256_and_ps(tie, _mm256_or_ps(one, sign)));
+        // `r` is integral and bounded by ~`code_max ± 1` for every lane the
+        // edge blends below don't overwrite, so the truncating conversion
+        // never saturates where its result is used.
+        let mut code = _mm256_cvttps_epi32(r);
+        code = _mm256_max_epi32(code, vcode_min);
+        code = _mm256_min_epi32(code, vcode_max);
+        // Edge pinning in the scalar guard order: `x >= max` wins over the
+        // rounded code; NaN or `x <= min` maps to the bottom code. The two
+        // masks are disjoint (`max > min`; NaN fails the ordered compare).
+        let ge_max = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_GE_OQ>(x, vmax));
+        code = _mm256_blendv_epi8(code, vcode_max, ge_max);
+        let le_min = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_NGT_UQ>(x, vmin));
+        code = _mm256_blendv_epi8(code, vcode_min, le_min);
+        // SAFETY: bounds as for the load; lane type matches `repr(i32)`.
+        unsafe { _mm256_storeu_si256(optr.add(i).cast::<__m256i>(), code) };
+        i += 8;
+    }
+    for j in i..n {
+        out[j] = q.quantize(xs[j]);
+    }
+}
+
+/// Calls `f(i)` for every index where `prev[i] != new[i]`, in ascending
+/// order. Eight codes are compared per step; all-equal groups — the common
+/// case at steady-state reuse rates — cost one compare + movemask.
+pub(crate) fn for_each_changed(prev: &[QuantCode], new: &[QuantCode], f: &mut dyn FnMut(usize)) {
+    reuse_tensor::simd::avx2::require();
+    assert_eq!(prev.len(), new.len(), "for_each_changed length mismatch");
+    // SAFETY: AVX2 availability was just asserted.
+    unsafe { for_each_changed_impl(prev, new, f) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn for_each_changed_impl(prev: &[QuantCode], new: &[QuantCode], f: &mut dyn FnMut(usize)) {
+    let n = prev.len();
+    // SAFETY: `QuantCode` is `#[repr(transparent)]` over `i32`.
+    let pp = prev.as_ptr().cast::<i32>();
+    let np = new.as_ptr().cast::<i32>();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n bounds both unaligned loads.
+        let (a, b) = unsafe {
+            (
+                _mm256_loadu_si256(pp.add(i).cast()),
+                _mm256_loadu_si256(np.add(i).cast()),
+            )
+        };
+        let eq = _mm256_cmpeq_epi32(a, b);
+        let mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32 & 0xff;
+        let mut diff = !mask & 0xff;
+        while diff != 0 {
+            let l = diff.trailing_zeros() as usize;
+            f(i + l);
+            diff &= diff - 1;
+        }
+        i += 8;
+    }
+    for j in i..n {
+        if prev[j] != new[j] {
+            f(j);
+        }
+    }
+}

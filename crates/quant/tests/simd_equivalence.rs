@@ -1,0 +1,135 @@
+//! Direct SIMD==scalar equivalence for quantization: the AVX2
+//! `quantize_slice_into` kernel must be **bit-exact** against the scalar
+//! per-element path — same codes for every input, including NaN, infinities,
+//! exact range edges, half-step ties, and values far outside the range. The
+//! AVX2 side is invoked explicitly (gated only on hardware support), so this
+//! holds regardless of which level the process resolved; on non-AVX2 hosts
+//! every test passes vacuously.
+//!
+//! Code-for-code exactness is what keeps reuse *semantics* (hit rates,
+//! changed-index lists, MAC counters) invariant across SIMD levels even
+//! though the float kernels only agree to FMA tolerance.
+
+#![cfg(target_arch = "x86_64")]
+
+use proptest::prelude::*;
+use reuse_quant::{InputRange, LinearQuantizer};
+use reuse_tensor::simd::avx2;
+
+/// The awkward ranges from the unit edge-pin tests: steps that do not
+/// subdivide the range evenly in f32, tiny magnitudes, asymmetric spans.
+const RANGES: [(f32, f32, usize); 6] = [
+    (-1.0, 1.0, 16),
+    (0.0, 6.0, 12),
+    (0.05, 1.0, 10),
+    (-0.3, 0.7, 3),
+    (1e-3, 7e-3, 5),
+    (-123.4, 567.8, 31),
+];
+
+fn assert_codes_equal(q: &LinearQuantizer, xs: &[f32]) -> Result<(), TestCaseError> {
+    let mut fast = Vec::new();
+    let mut slow = Vec::new();
+    q.quantize_slice_into_avx2(xs, &mut fast);
+    q.quantize_slice_into_scalar(xs, &mut slow);
+    prop_assert_eq!(fast.len(), slow.len());
+    for (j, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+        prop_assert!(
+            a == b,
+            "codes diverge at {j}: x={} avx2={:?} scalar={:?} (range [{}, {}], step {})",
+            xs[j],
+            a,
+            b,
+            q.range().min(),
+            q.range().max(),
+            q.step()
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn special_values_quantize_identically() {
+    if !avx2::available() {
+        return;
+    }
+    for (lo, hi, clusters) in RANGES {
+        let q = LinearQuantizer::new(InputRange::new(lo, hi), clusters).unwrap();
+        let step = q.step();
+        let mut xs = vec![
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            lo,
+            hi,
+            lo - 1.0,
+            hi + 1.0,
+            f32::MIN,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            1e30,
+            -1e30,
+        ];
+        // Half-step ties (round-half-away-from-zero territory) and
+        // near-tie neighbours on both sides of zero.
+        for k in [-7i32, -2, -1, 0, 1, 2, 7] {
+            let tie = (k as f32 + 0.5) * step;
+            xs.extend([tie, -tie, tie.next_up(), tie.next_down()]);
+        }
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        q.quantize_slice_into_avx2(&xs, &mut fast);
+        q.quantize_slice_into_scalar(&xs, &mut slow);
+        assert_eq!(fast, slow, "range [{lo}, {hi}] x{clusters}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_slices_quantize_identically(
+        range_idx in 0usize..6,
+        xs in proptest::collection::vec(
+            (0u8..8, -700.0f32..700.0, 0u32..=u32::MAX).prop_map(|(sel, v, bits)| {
+                match sel {
+                    // Mostly in-or-near-range floats, with a steady trickle
+                    // of tiny values, NaN, and fully arbitrary bit patterns
+                    // (infinities, denormals, negative zero, huge values).
+                    0 => f32::NAN,
+                    1 => f32::from_bits(bits),
+                    2 => v / 700.0,
+                    _ => v,
+                }
+            }),
+            0..64,
+        ),
+    ) {
+        if !avx2::available() {
+            return Ok(());
+        }
+        let (lo, hi, clusters) = RANGES[range_idx];
+        let q = LinearQuantizer::new(InputRange::new(lo, hi), clusters).unwrap();
+        assert_codes_equal(&q, &xs)?;
+    }
+
+    #[test]
+    fn step_multiples_quantize_identically(
+        range_idx in 0usize..6,
+        ks in proptest::collection::vec(-40i32..=40, 1..48),
+        frac in 0.0f32..1.0,
+    ) {
+        if !avx2::available() {
+            return Ok(());
+        }
+        let (lo, hi, clusters) = RANGES[range_idx];
+        let q = LinearQuantizer::new(InputRange::new(lo, hi), clusters).unwrap();
+        // Step multiples plus a shared fractional offset sweep straight
+        // through every rounding boundary the kernel has to honour.
+        let xs: Vec<f32> = ks.iter().map(|&k| (k as f32 + frac) * q.step()).collect();
+        assert_codes_equal(&q, &xs)?;
+    }
+}

@@ -7,19 +7,22 @@
 //! unchanged, the entire fan-out of computations and weight fetches is
 //! skipped.
 //!
-//! The correction pass is cache-blocked: pass 1 diffs the quantized codes
-//! serially and precomputes each changed input's geometry (channel weight
-//! offset, padded coordinates, affected output ranges) into a reusable
-//! scratch list; pass 2 walks the outputs **filter-tile-outer,
-//! delta-inner** — a worker owns a tile of `FILTER_TILE` filters' output
-//! planes, which stay cache-resident while every delta streams through
-//! them, so each delta's geometry is computed once per tile instead of once
-//! per filter. Both paths read the lazily-built `[in_c, k.., out_c]`
-//! weight transpose: it makes one tap's weights for a tile of filters a
-//! single contiguous load. Each output element still receives its delta
-//! corrections in changed-list (input) order, so results are bit-identical
-//! to the original scattered walk, which is kept as a `#[doc(hidden)]`
-//! naive oracle.
+//! The correction pass is cache-blocked: pass 1 quantizes the frame and
+//! diffs the codes through [`LinearQuantizer::diff_codes_into`] (which
+//! dispatches to the runtime-selected SIMD quantize/compare kernels — both
+//! bit-exact at every [`reuse_tensor::SimdLevel`]), then precomputes each
+//! changed input's geometry (channel weight offset, padded coordinates,
+//! affected output ranges) into a reusable scratch list; pass 2 walks the
+//! outputs **filter-tile-outer, delta-inner** — a worker owns a tile of
+//! `FILTER_TILE` filters' output planes, which stay cache-resident while
+//! every delta streams through them, so each delta's geometry is computed
+//! once per tile instead of once per filter. Both paths read the
+//! lazily-built `[in_c, k.., out_c]` weight transpose: it makes one tap's
+//! weights for a tile of filters a single contiguous load. Pass 2 is a
+//! deliberately scalar scatter walk (its access pattern is irregular), and
+//! each output element receives its delta corrections in changed-list
+//! (input) order, so results are bit-identical to the original scattered
+//! walk — kept as a `#[doc(hidden)]` naive oracle — at every SIMD level.
 
 use reuse_nn::{Conv2dLayer, Conv3dLayer};
 use reuse_quant::{LinearQuantizer, QuantCode};
@@ -153,6 +156,10 @@ pub struct Conv2dReuseState {
     /// serially in input order and applied per output-filter panel;
     /// capacity is reserved up front so steady-state frames never allocate.
     deltas: Vec<ConvDelta>,
+    /// Scratch: this frame's fresh codes during the diff pass.
+    scratch_codes: Vec<QuantCode>,
+    /// Scratch: `(input index, centroid delta)` pairs from the diff pass.
+    changed: Vec<(u32, f32)>,
     in_shape: Shape,
     out_shape: Shape,
     initialized: bool,
@@ -181,6 +188,8 @@ impl Conv2dReuseState {
             // Worst case every input changes; reserving up front keeps
             // steady-state execution allocation-free.
             deltas: Vec::with_capacity(in_shape.volume()),
+            scratch_codes: Vec::with_capacity(in_shape.volume()),
+            changed: Vec::with_capacity(in_shape.volume()),
             in_shape: in_shape.clone(),
             out_shape,
             initialized: false,
@@ -197,6 +206,8 @@ impl Conv2dReuseState {
         self.prev_codes.clear();
         self.prev_linear.clear();
         self.deltas.clear();
+        self.scratch_codes.clear();
+        self.changed.clear();
         self.initialized = false;
     }
 
@@ -217,9 +228,7 @@ impl Conv2dReuseState {
     /// from quantizing `input`, linear outputs from `linear`); used by the
     /// drift watchdog to re-baseline onto full-precision values.
     pub fn adopt_baseline(&mut self, quantizer: &LinearQuantizer, input: &[f32], linear: &[f32]) {
-        self.prev_codes.clear();
-        self.prev_codes
-            .extend(input.iter().map(|&x| quantizer.quantize(x)));
+        quantizer.quantize_slice_into(input, &mut self.prev_codes);
         self.prev_linear.clear();
         self.prev_linear.extend_from_slice(linear);
         self.initialized = true;
@@ -362,7 +371,7 @@ impl Conv2dReuseState {
         let n_in = self.in_shape.volume() as u64;
 
         if !self.initialized {
-            self.prev_codes = quantizer.quantize_slice(input);
+            quantizer.quantize_slice_into(input, &mut self.prev_codes);
             let centroids: Vec<f32> = self
                 .prev_codes
                 .iter()
@@ -383,28 +392,31 @@ impl Conv2dReuseState {
             });
         }
 
-        // Pass 1 (serial): diff the quantized codes in input order,
-        // precomputing each delta's geometry and the correction MAC count.
-        let x = input;
+        // Pass 1 (serial): quantize the frame and diff the codes (both
+        // dispatched, bit-exact at every SIMD level), then precompute each
+        // delta's geometry and the correction MAC count in input order.
+        quantizer.diff_codes_into(
+            input,
+            &mut self.prev_codes,
+            &mut self.scratch_codes,
+            &mut self.changed,
+        );
         let mut macs = 0u64;
         let (kh, kw, s, p) = (spec.kh, spec.kw, spec.stride, spec.pad);
         let k_plane = kh * kw;
-        self.deltas.clear();
-        for (idx, &xv) in x.iter().enumerate() {
-            let code = quantizer.quantize(xv);
-            let prev = self.prev_codes[idx];
-            if code == prev {
-                continue;
-            }
-            self.prev_codes[idx] = code;
-            let delta = quantizer.centroid(code) - quantizer.centroid(prev);
+        let Self {
+            deltas, changed, ..
+        } = self;
+        deltas.clear();
+        for &(idx, delta) in changed.iter() {
+            let idx = idx as usize;
             let c = idx / (h * w);
             let y = (idx / w) % h;
             let xw = idx % w;
             let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
             let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
             macs += ((oy_hi - oy_lo) * (ox_hi - ox_lo) * fc) as u64;
-            self.deltas.push(ConvDelta {
+            deltas.push(ConvDelta {
                 delta,
                 wc: c * k_plane,
                 zp: 0,
@@ -548,6 +560,10 @@ pub struct Conv3dReuseState {
     w_t: Option<Vec<f32>>,
     /// Precomputed per-delta scratch; see [`Conv2dReuseState`].
     deltas: Vec<ConvDelta>,
+    /// Scratch: this frame's fresh codes during the diff pass.
+    scratch_codes: Vec<QuantCode>,
+    /// Scratch: `(input index, centroid delta)` pairs from the diff pass.
+    changed: Vec<(u32, f32)>,
     in_shape: Shape,
     out_shape: Shape,
     initialized: bool,
@@ -574,6 +590,8 @@ impl Conv3dReuseState {
             prev_linear: Vec::new(),
             w_t: None,
             deltas: Vec::with_capacity(in_shape.volume()),
+            scratch_codes: Vec::with_capacity(in_shape.volume()),
+            changed: Vec::with_capacity(in_shape.volume()),
             in_shape: in_shape.clone(),
             out_shape,
             initialized: false,
@@ -590,6 +608,8 @@ impl Conv3dReuseState {
         self.prev_codes.clear();
         self.prev_linear.clear();
         self.deltas.clear();
+        self.scratch_codes.clear();
+        self.changed.clear();
         self.initialized = false;
     }
 
@@ -607,9 +627,7 @@ impl Conv3dReuseState {
     /// Replaces the buffered state with externally computed values; see
     /// [`Conv2dReuseState::adopt_baseline`].
     pub fn adopt_baseline(&mut self, quantizer: &LinearQuantizer, input: &[f32], linear: &[f32]) {
-        self.prev_codes.clear();
-        self.prev_codes
-            .extend(input.iter().map(|&x| quantizer.quantize(x)));
+        quantizer.quantize_slice_into(input, &mut self.prev_codes);
         self.prev_linear.clear();
         self.prev_linear.extend_from_slice(linear);
         self.initialized = true;
@@ -741,7 +759,7 @@ impl Conv3dReuseState {
         let n_in = self.in_shape.volume() as u64;
 
         if !self.initialized {
-            self.prev_codes = quantizer.quantize_slice(input);
+            quantizer.quantize_slice_into(input, &mut self.prev_codes);
             let centroids: Vec<f32> = self
                 .prev_codes
                 .iter()
@@ -762,24 +780,27 @@ impl Conv3dReuseState {
             });
         }
 
-        // Pass 1 (serial): diff codes in input order, precomputing each
-        // delta's geometry and the MAC count of the correction.
-        let x = input;
+        // Pass 1 (serial): quantize and diff the codes (dispatched,
+        // bit-exact at every SIMD level), then precompute each delta's
+        // geometry and the MAC count of the correction in input order.
+        quantizer.diff_codes_into(
+            input,
+            &mut self.prev_codes,
+            &mut self.scratch_codes,
+            &mut self.changed,
+        );
         let mut macs = 0u64;
         let (kd, kh, kw, s, p) = (spec.kd, spec.kh, spec.kw, spec.stride, spec.pad);
         let k_plane = kh * kw;
         let k_vol = kd * k_plane;
         let o_plane = oh * ow;
         let o_vol = od * o_plane;
-        self.deltas.clear();
-        for (idx, &xv) in x.iter().enumerate() {
-            let code = quantizer.quantize(xv);
-            let prev = self.prev_codes[idx];
-            if code == prev {
-                continue;
-            }
-            self.prev_codes[idx] = code;
-            let delta = quantizer.centroid(code) - quantizer.centroid(prev);
+        let Self {
+            deltas, changed, ..
+        } = self;
+        deltas.clear();
+        for &(idx, delta) in changed.iter() {
+            let idx = idx as usize;
             let c = idx / (d * h * w);
             let z = (idx / (h * w)) % d;
             let y = (idx / w) % h;
@@ -788,7 +809,7 @@ impl Conv3dReuseState {
             let (oy_lo, oy_hi) = affected_range(y, kh, s, p, oh);
             let (ox_lo, ox_hi) = affected_range(xw, kw, s, p, ow);
             macs += ((oz_hi - oz_lo) * (oy_hi - oy_lo) * (ox_hi - ox_lo) * fc) as u64;
-            self.deltas.push(ConvDelta {
+            deltas.push(ConvDelta {
                 delta,
                 wc: c * k_vol,
                 zp: z + p,

@@ -88,6 +88,8 @@ pub struct LstmReuseState {
     changed_x: Vec<(u32, f32)>,
     /// Scratch changed list for the recurrent inputs.
     changed_h: Vec<(u32, f32)>,
+    /// Scratch: fresh codes during the diff pass (shared by x and h).
+    scratch_codes: Vec<QuantCode>,
     /// All four gates' feed-forward weights combined into one row-major
     /// `[n_in, NUM_GATES·d]` matrix (column `g·d + u` is gate `g`, unit
     /// `u`), built once at construction. Its column layout matches the
@@ -115,6 +117,7 @@ impl LstmReuseState {
             prev_pre: Vec::new(),
             changed_x: Vec::with_capacity(n_in),
             changed_h: Vec::with_capacity(d),
+            scratch_codes: Vec::with_capacity(n_in.max(d)),
             combined_x: pack.combined_x,
             combined_h: pack.combined_h,
             state: LstmState::zeros(d),
@@ -134,6 +137,7 @@ impl LstmReuseState {
             prev_pre: Vec::new(),
             changed_x: Vec::with_capacity(n_in),
             changed_h: Vec::with_capacity(d),
+            scratch_codes: Vec::with_capacity(n_in.max(d)),
             combined_x: Vec::new(),
             combined_h: Vec::new(),
             state: LstmState::zeros(d),
@@ -153,6 +157,7 @@ impl LstmReuseState {
         self.prev_pre.clear();
         self.changed_x.clear();
         self.changed_h.clear();
+        self.scratch_codes.clear();
         let d = cell.cell_dim();
         if self.state.h.len() == d {
             self.state.h.fill(0.0);
@@ -219,9 +224,11 @@ impl LstmReuseState {
     /// applied through the combined four-gate matrices in delta batches:
     /// every output accumulates all x deltas then all h deltas in input
     /// order — the same per-output order as the naive scattered row walk
-    /// ([`Self::step_into_naive`]) — so results are bit-identical for any
-    /// `config`. Calls cheaper than the config's inline-FLOP threshold stay
-    /// on the calling thread.
+    /// ([`Self::step_into_naive`]) — so under the scalar SIMD level results
+    /// are bit-identical for any `config` (under AVX2 the batched walk
+    /// fuses deltas into FMAs and agrees within
+    /// `reuse_tensor::simd::fma_tolerance`). Calls cheaper than the
+    /// config's inline-FLOP threshold stay on the calling thread.
     ///
     /// # Errors
     ///
@@ -325,8 +332,8 @@ impl LstmReuseState {
         if !self.initialized {
             // First timestep: quantize x and h (h starts at zero), compute
             // the four gates from scratch on the centroids.
-            self.prev_x_codes = x_quantizer.quantize_slice(x);
-            self.prev_h_codes = h_quantizer.quantize_slice(&self.state.h);
+            x_quantizer.quantize_slice_into(x, &mut self.prev_x_codes);
+            h_quantizer.quantize_slice_into(&self.state.h, &mut self.prev_h_codes);
             let qx: Vec<f32> = self
                 .prev_x_codes
                 .iter()
@@ -352,34 +359,26 @@ impl LstmReuseState {
         }
 
         // Pass 1 (serial): diff x_t vs x_{t-1} and h_{t-1} vs h_{t-2},
-        // collecting the changed lists in input order.
-        self.changed_x.clear();
-        for (i, &xi) in x.iter().enumerate() {
-            let code = x_quantizer.quantize(xi);
-            let prev = self.prev_x_codes[i];
-            if code == prev {
-                continue;
-            }
-            self.prev_x_codes[i] = code;
-            let delta = x_quantizer.centroid(code) - x_quantizer.centroid(prev);
-            self.changed_x.push((i as u32, delta));
-        }
-        self.changed_h.clear();
-        for (i, &hi) in self.state.h.iter().enumerate() {
-            let code = h_quantizer.quantize(hi);
-            let prev = self.prev_h_codes[i];
-            if code == prev {
-                continue;
-            }
-            self.prev_h_codes[i] = code;
-            let delta = h_quantizer.centroid(code) - h_quantizer.centroid(prev);
-            self.changed_h.push((i as u32, delta));
-        }
+        // collecting the changed lists in input order. Vectorized under the
+        // AVX2 level with bit-exact codes and deltas at every level.
+        x_quantizer.diff_codes_into(
+            x,
+            &mut self.prev_x_codes,
+            &mut self.scratch_codes,
+            &mut self.changed_x,
+        );
+        h_quantizer.diff_codes_into(
+            &self.state.h,
+            &mut self.prev_h_codes,
+            &mut self.scratch_codes,
+            &mut self.changed_h,
+        );
 
         // Pass 2: correct the 4×d pre-activation buffer; one index
         // comparison above pays for the correction in all four gates. Each
         // output accumulates all x deltas then all h deltas in input order
-        // on both branches, so they are bit-identical.
+        // on both branches (bit-identical under the scalar SIMD level,
+        // FMA-fused under AVX2).
         let changed_x: &[(u32, f32)] = &self.changed_x;
         let changed_h: &[(u32, f32)] = &self.changed_h;
         if naive {
@@ -560,18 +559,25 @@ mod tests {
     }
 
     #[test]
-    fn panel_batched_step_matches_naive_walk_bitwise() {
+    fn panel_batched_step_matches_naive_walk() {
         // Odd cell_dim so the packed panels have a partial tail lane.
+        // Under the scalar SIMD level the two walks are bit-identical
+        // (including stats). Under AVX2 the batched walk fuses deltas into
+        // FMAs, and — because h feeds back into the next step's code
+        // comparison — a ULP difference could in principle flip a cluster
+        // boundary, so only the hidden outputs are compared (within FMA
+        // tolerance), not the per-step stats.
         let cell = LstmCell::random(13, 11, &mut Rng64::new(5));
         let xq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
         let hq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
         let mut blocked = LstmReuseState::new(&cell);
         let mut naive = LstmReuseState::new(&cell);
         let cfg = ParallelConfig::serial();
+        let bit_exact = reuse_tensor::simd::is_bit_exact();
         let mut rng = Rng64::new(17);
         let mut frame = vec![0.0f32; 13];
         let (mut hb, mut hn) = (Vec::new(), Vec::new());
-        for _ in 0..25 {
+        for step in 0..25 {
             for v in &mut frame {
                 *v = (*v + rng.uniform(0.2)).clamp(-1.0, 1.0);
             }
@@ -581,10 +587,14 @@ mod tests {
             let sn = naive
                 .step_into_naive(&cfg, &cell, &xq, &hq, &frame, &mut hn)
                 .unwrap();
-            assert_eq!(sb, sn);
-            let bb: Vec<u32> = hb.iter().map(|v| v.to_bits()).collect();
-            let nb: Vec<u32> = hn.iter().map(|v| v.to_bits()).collect();
-            assert_eq!(bb, nb);
+            if bit_exact {
+                assert_eq!(sb, sn);
+            }
+            // σ/φ keep |pre| differences contractive; a loose absolute
+            // bound still catches any real indexing/batching bug.
+            let tol = reuse_tensor::simd::fma_tolerance(24 * 25, 30.0);
+            let mismatch = reuse_tensor::simd::kernel_mismatch(&hb, &hn, tol);
+            assert!(mismatch.is_none(), "step {step}: {mismatch:?}");
         }
     }
 

@@ -112,12 +112,15 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     // The blocked correction paths must match the pre-blocking scattered
-    // walks bit for bit AND report identical activity counters: blocking
-    // reorders which outputs are walked together, never which MACs are
-    // performed or skipped.
+    // walks — bit for bit under the scalar SIMD level, within the FMA
+    // tolerance of `reuse_tensor::simd` under AVX2 (the blocked path fuses
+    // its multiply-adds, the naive oracle never does) — and, where the
+    // quantize/diff pass is the only code-affecting input, report identical
+    // activity counters: blocking reorders which outputs are walked
+    // together, never which MACs are performed or skipped.
 
     #[test]
-    fn fc_batched_corrections_match_naive_bitwise(
+    fn fc_batched_corrections_match_naive(
         xs in frames(6, 11),
         n_out in 1usize..40,
     ) {
@@ -127,12 +130,15 @@ proptest! {
         let mut blocked = FcReuseState::new(&layer);
         let mut naive = FcReuseState::new(&layer);
         let (mut out_b, mut out_n) = (Vec::new(), Vec::new());
+        // Initial forward (11+1 terms) plus up to 11 deltas per frame.
+        let tol = reuse_tensor::simd::fma_tolerance(12 + 11 * xs.len(), 10.0);
         for x in &xs {
             let sb = blocked.execute_into(&cfg, &layer, &q, x, &mut out_b).unwrap();
             let sn = naive.execute_into_naive(&cfg, &layer, &q, x, &mut out_n).unwrap();
-            let bb: Vec<u32> = out_b.iter().map(|v| v.to_bits()).collect();
-            let nb: Vec<u32> = out_n.iter().map(|v| v.to_bits()).collect();
-            prop_assert_eq!(bb, nb);
+            let mismatch = reuse_tensor::simd::kernel_mismatch(&out_b, &out_n, tol);
+            prop_assert!(mismatch.is_none(), "{}", mismatch.unwrap());
+            // Quantize/diff is bit-exact at every level, so the two paths
+            // see identical delta lists and identical counters.
             prop_assert_eq!(sb.macs_performed, sn.macs_performed);
             prop_assert_eq!(sb.n_changed, sn.n_changed);
         }
@@ -165,22 +171,31 @@ proptest! {
     }
 
     #[test]
-    fn lstm_batched_corrections_match_naive_bitwise(xs in frames(8, 9)) {
+    fn lstm_batched_corrections_match_naive(xs in frames(8, 9)) {
         let cell = LstmCell::random(9, 5, &mut Rng64::new(31));
         let xq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
         let hq = LinearQuantizer::new(InputRange::new(-1.0, 1.0), 16).unwrap();
         let cfg = reuse_tensor::ParallelConfig::serial();
+        let bit_exact = reuse_tensor::simd::is_bit_exact();
         let mut blocked = LstmReuseState::new(&cell);
         let mut naive = LstmReuseState::new(&cell);
         let (mut h_b, mut h_n) = (Vec::new(), Vec::new());
+        // (9 + 5 + 1) pre-activation terms per gate, recurrent over the
+        // whole sequence; the gate nonlinearities contract, never expand.
+        let tol = reuse_tensor::simd::fma_tolerance(15 * xs.len(), 30.0);
         for x in &xs {
             let sb = blocked.step_into(&cfg, &cell, &xq, &hq, x, &mut h_b).unwrap();
             let sn = naive.step_into_naive(&cfg, &cell, &xq, &hq, x, &mut h_n).unwrap();
-            let bb: Vec<u32> = h_b.iter().map(|v| v.to_bits()).collect();
-            let nb: Vec<u32> = h_n.iter().map(|v| v.to_bits()).collect();
-            prop_assert_eq!(bb, nb);
-            prop_assert_eq!(sb.macs_performed, sn.macs_performed);
-            prop_assert_eq!(sb.n_changed, sn.n_changed);
+            let mismatch = reuse_tensor::simd::kernel_mismatch(&h_b, &h_n, tol);
+            prop_assert!(mismatch.is_none(), "{}", mismatch.unwrap());
+            // Under AVX2 the recurrent h inputs can differ by ULPs between
+            // the two paths, which may flip a quantization boundary and
+            // change the delta lists — counters are only guaranteed equal
+            // under the bit-exact (scalar) contract.
+            if bit_exact {
+                prop_assert_eq!(sb.macs_performed, sn.macs_performed);
+                prop_assert_eq!(sb.n_changed, sn.n_changed);
+            }
         }
     }
 }

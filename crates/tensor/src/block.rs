@@ -1,4 +1,4 @@
-//! Cache-blocked weight panels and the 8-lane FC microkernel.
+//! Cache-blocked weight panels and the 16-lane FC microkernel.
 //!
 //! The naive FC kernel streams the whole input-major weight matrix once per
 //! call, touching `n_out` floats per input row but accumulating into a
@@ -8,39 +8,48 @@
 //! layer** into column panels of [`PANEL_WIDTH`] output neurons:
 //!
 //! ```text
-//! packed[(p · n_in + i) · 8 + l] = w[i · n_out + p · 8 + l]
+//! packed[(p · n_in + i) · 16 + l] = w[i · n_out + p · 16 + l]
 //! ```
 //!
-//! i.e. panel `p` holds the weights of outputs `8p .. 8p+8` for *all*
+//! i.e. panel `p` holds the weights of outputs `16p .. 16p+16` for *all*
 //! inputs, contiguously, input-major within the panel (tail lanes of the
 //! last panel are zero-padded). One panel of a Kaldi-sized layer
-//! (`n_in = 400`) is `400 × 8 × 4 B = 12.5 KiB` — it fits L1 and is
-//! streamed exactly once per forward pass while the eight accumulators sit
-//! in registers as a fixed-width array the compiler auto-vectorizes.
+//! (`n_in = 400`) is `400 × 16 × 4 B = 25 KiB` — it fits L1 and is
+//! streamed exactly once per forward pass while the accumulators sit in
+//! registers: two 256-bit vectors per panel on the AVX2 path, a fixed-width
+//! array the compiler auto-vectorizes on the scalar path.
 //!
-//! **Bit-identity.** For each output `j`, the blocked kernel performs the
-//! same additions in the same order as the naive loop: bias first, then
-//! `x[i] · w[i][j]` for `i` ascending, skipping `x[i] == 0.0` terms. Only
-//! *which outputs are walked together* changes, and IEEE-754 addition is
-//! performed per output — so results are bit-identical to
-//! [`crate::matmul::fc_forward_into`], which the proptests in
-//! `tests/blocked.rs` verify across odd shapes.
+//! **Exactness.** The kernels dispatch on [`crate::simd::level`]:
+//!
+//! * Scalar level: for each output `j`, the blocked kernel performs the
+//!   same additions in the same order as the naive loop — bias first, then
+//!   `x[i] · w[i][j]` for `i` ascending, skipping `x[i] == 0.0` terms — so
+//!   results are **bit-identical** to [`crate::matmul::fc_forward_into`].
+//! * AVX2 level: same terms, same ascending order, but each step is a fused
+//!   multiply-add and exact zeros are multiplied rather than skipped;
+//!   results agree with the oracle within [`crate::simd::fma_tolerance`].
+//!
+//! Either way every output's accumulation runs on one thread in one chain,
+//! so results never depend on the worker count; the proptests in
+//! `tests/blocked.rs` assert the level-appropriate property across odd
+//! shapes.
 
 use crate::matmul::fc_flops;
 use crate::parallel::{parallel_for_mut_cost, ParallelConfig};
+use crate::simd;
 use crate::{Tensor, TensorError};
 
-/// Number of output lanes per packed panel. Eight `f32` lanes fill one
-/// 256-bit vector register; on narrower machines the compiler splits the
-/// fixed-width accumulator array into two 128-bit operations.
-pub const PANEL_WIDTH: usize = 8;
+/// Number of output lanes per packed panel: 16 `f32` lanes fill two 256-bit
+/// vector registers (the AVX2 kernels' unroll unit); on narrower machines
+/// the compiler splits the fixed-width accumulator array further.
+pub const PANEL_WIDTH: usize = 16;
 
-/// Panels walked together per microkernel pass. Each panel's 8-lane
-/// accumulator is an *independent* floating-point dependency chain, so four
-/// panels in flight hide the FP-add latency that a single chain would
-/// serialize on (the adds within one output stay strictly ordered — ILP
-/// comes from interleaving different outputs, which does not change any
-/// output's accumulation order).
+/// Panels walked together per microkernel pass. Each panel's 16-lane
+/// accumulator is an *independent* pair of floating-point dependency
+/// chains, so four panels in flight (eight chains) hide the FP-add/FMA
+/// latency that a single chain would serialize on (the adds within one
+/// output stay strictly ordered — ILP comes from interleaving different
+/// outputs, which does not change any output's accumulation order).
 pub(crate) const TILE_PANELS: usize = 4;
 
 /// Output lanes per tile pass (`TILE_PANELS × PANEL_WIDTH`).
@@ -92,7 +101,7 @@ impl PackedPanels {
 
     /// Pooled-buffer packing core: clears `buf`, reuses its capacity, and
     /// fills it with the panel layout. Tail lanes beyond `n_out` are
-    /// zero-filled so the microkernel can always read full 8-lane rows.
+    /// zero-filled so the microkernel can always read full 16-lane rows.
     ///
     /// # Panics
     ///
@@ -136,13 +145,13 @@ impl PackedPanels {
         self.n_out
     }
 
-    /// Number of [`PANEL_WIDTH`]-output panels (`ceil(n_out / 8)`).
+    /// Number of [`PANEL_WIDTH`]-output panels (`ceil(n_out / 16)`).
     pub fn n_panels(&self) -> usize {
         self.n_out.div_ceil(PANEL_WIDTH)
     }
 
     /// Panel `p` as a `[n_in × PANEL_WIDTH]` row-major slice: row `i` holds
-    /// `w[i][8p .. 8p+8]` (zero-padded past `n_out`).
+    /// `w[i][16p .. 16p+16]` (zero-padded past `n_out`).
     ///
     /// # Panics
     ///
@@ -159,10 +168,12 @@ impl PackedPanels {
 }
 
 /// Blocked fully-connected forward pass: `out[j] = Σ_i w[i][j]·x[i] + b[j]`,
-/// bit-identical to [`crate::matmul::fc_forward_into`] (same per-output
-/// accumulation order — bias first, then ascending `i` with the
-/// `x[i] == 0.0` skip), but walking the one-time-packed panels with an
-/// 8-lane register accumulator.
+/// walking the one-time-packed panels with register accumulators. Under the
+/// scalar [`crate::simd::level`] it is bit-identical to
+/// [`crate::matmul::fc_forward_into`] (same per-output accumulation order —
+/// bias first, then ascending `i` with the `x[i] == 0.0` skip); under AVX2
+/// it sums the same terms in the same order with fused multiply-adds (see
+/// the [`crate::simd`] contract).
 ///
 /// Dispatch is adaptive: the call runs inline when its FLOP estimate is
 /// below [`ParallelConfig::inline_flops`], and output panels are otherwise
@@ -207,10 +218,30 @@ pub fn fc_forward_packed_into(
     Ok(())
 }
 
-/// Walks a run of output panels starting at `first_panel`, four at a time
-/// with the tile kernel and one at a time for the remainder.
+/// Walks a run of output panels starting at `first_panel`, dispatching on
+/// the active SIMD level: the AVX2 kernels when available, otherwise the
+/// scalar tile walk.
 #[inline]
 pub(crate) fn forward_panels(
+    packed: &PackedPanels,
+    x: &[f32],
+    first_panel: usize,
+    out: &mut [f32],
+) {
+    match simd::level() {
+        #[cfg(target_arch = "x86_64")]
+        simd::SimdLevel::Avx2 => simd::avx2::fc_panels(packed, x, first_panel, out),
+        _ => forward_panels_scalar(packed, x, first_panel, out),
+    }
+}
+
+/// The scalar panel walk: four panels at a time with the tile kernel and
+/// one at a time for the remainder. Bit-identical to the naive row walk.
+/// Public (but hidden) so the SIMD==scalar equivalence suites can pin the
+/// scalar side regardless of the dispatched level.
+#[doc(hidden)]
+#[inline]
+pub fn forward_panels_scalar(
     packed: &PackedPanels,
     x: &[f32],
     first_panel: usize,
@@ -239,10 +270,10 @@ pub(crate) fn forward_panels(
     }
 }
 
-/// The wide microkernel: accumulates four panels' outputs over all inputs
-/// with four independent 8-lane register chains. `seg` enters holding the
-/// 32 valid outputs' biases (or partial sums) and leaves holding the
-/// results; per-output accumulation order is identical to
+/// The wide scalar microkernel: accumulates four panels' outputs over all
+/// inputs with four independent 16-lane register chains. `seg` enters
+/// holding the 64 valid outputs' biases (or partial sums) and leaves
+/// holding the results; per-output accumulation order is identical to
 /// [`panel_kernel`]'s.
 #[inline]
 fn panel_tile_kernel(panels: [&[f32]; TILE_PANELS], x: &[f32], seg: &mut [f32]) {
@@ -268,9 +299,9 @@ fn panel_tile_kernel(panels: [&[f32]; TILE_PANELS], x: &[f32], seg: &mut [f32]) 
     seg.copy_from_slice(&acc);
 }
 
-/// The 8-lane microkernel: accumulates one panel's outputs over all inputs.
-/// `seg` enters holding the bias (or any partial sums) for the panel's
-/// `seg.len() ≤ 8` valid outputs and leaves holding the results.
+/// The 16-lane scalar microkernel: accumulates one panel's outputs over all
+/// inputs. `seg` enters holding the bias (or any partial sums) for the
+/// panel's `seg.len() ≤ 16` valid outputs and leaves holding the results.
 #[inline]
 pub(crate) fn panel_kernel(panel: &[f32], x: &[f32], seg: &mut [f32]) {
     let mut acc = [0.0f32; PANEL_WIDTH];
@@ -304,7 +335,10 @@ pub const DELTA_BATCH: usize = 4;
 ///
 /// Per output `j` the additions are `Δ₀·w[i₀][j], Δ₁·w[i₁][j], …` in
 /// `deltas` order — exactly the order the naive correction loop uses — so
-/// the result is bit-identical to the unblocked path (paper Eq. 10).
+/// under the scalar [`crate::simd::level`] the result is bit-identical to
+/// the unblocked path (paper Eq. 10); the AVX2 level fuses each step and
+/// agrees within [`crate::simd::fma_tolerance`]. Both levels confine each
+/// output to one chain, so results are chunking-independent.
 ///
 /// The FLOP estimate for adaptive dispatch is `2 · deltas · n_out`; small
 /// correction frames stay inline and never pay thread-spawn cost.
@@ -324,7 +358,25 @@ pub fn apply_deltas_rows(
         return;
     }
     let flops = 2 * deltas.len() as u64 * n_out as u64;
-    parallel_for_mut_cost(config, z, 1, flops, |offset, chunk| {
+    parallel_for_mut_cost(config, z, 1, flops, |offset, chunk| match simd::level() {
+        #[cfg(target_arch = "x86_64")]
+        simd::SimdLevel::Avx2 => simd::avx2::apply_deltas(w, n_out, offset, deltas, chunk),
+        _ => apply_deltas_scalar(w, n_out, offset, deltas, chunk),
+    });
+}
+
+/// The scalar correction sweep over one worker's span of `z` (bit-identical
+/// to the naive scattered walk). Public (but hidden) for the SIMD==scalar
+/// equivalence suites.
+#[doc(hidden)]
+pub fn apply_deltas_scalar(
+    w: &[f32],
+    n_out: usize,
+    offset: usize,
+    deltas: &[(u32, f32)],
+    chunk: &mut [f32],
+) {
+    {
         let len = chunk.len();
         let mut batches = deltas.chunks_exact(DELTA_BATCH);
         for batch in batches.by_ref() {
@@ -353,7 +405,7 @@ pub fn apply_deltas_rows(
                 *zj += delta * wij;
             }
         }
-    });
+    }
 }
 
 #[cfg(test)]
@@ -368,7 +420,7 @@ mod tests {
 
     #[test]
     fn pack_layout_round_trips() {
-        let (n_in, n_out) = (3, 11); // tail panel of 3 lanes
+        let (n_in, n_out) = (3, 19); // tail panel of 3 lanes
         let w = ramp(n_in * n_out);
         let packed = PackedPanels::pack_slice(&w, n_in, n_out);
         assert_eq!(packed.n_panels(), 2);
@@ -385,8 +437,17 @@ mod tests {
     }
 
     #[test]
-    fn packed_forward_matches_naive_bitwise() {
-        for (n_in, n_out) in [(1usize, 1usize), (3, 8), (5, 13), (17, 31), (40, 64)] {
+    fn packed_forward_matches_naive_kernel() {
+        // Bit-identical under the scalar level, FMA-tolerance-bounded under
+        // AVX2 (see `crate::simd` for the accumulation contract).
+        for (n_in, n_out) in [
+            (1usize, 1usize),
+            (3, 8),
+            (5, 13),
+            (17, 31),
+            (40, 64),
+            (9, 70),
+        ] {
             let w = Tensor::from_vec(Shape::d2(n_in, n_out), ramp(n_in * n_out)).unwrap();
             let mut xv = ramp(n_in);
             if n_in > 2 {
@@ -401,14 +462,17 @@ mod tests {
             let mut blocked = Vec::new();
             fc_forward_packed_into(&cfg, &packed, x.as_slice(), b.as_slice(), &mut blocked)
                 .unwrap();
-            let nb: Vec<u32> = naive.iter().map(|v| v.to_bits()).collect();
-            let bb: Vec<u32> = blocked.iter().map(|v| v.to_bits()).collect();
-            assert_eq!(nb, bb, "n_in={n_in} n_out={n_out}");
+            let tol = simd::fma_tolerance(n_in + 1, 700.0);
+            let mismatch = simd::kernel_mismatch(&blocked, &naive, tol);
+            assert!(
+                mismatch.is_none(),
+                "n_in={n_in} n_out={n_out}: {mismatch:?}"
+            );
         }
     }
 
     #[test]
-    fn batched_deltas_match_row_walk_bitwise() {
+    fn batched_deltas_match_row_walk() {
         // 9 deltas exercises two full DELTA_BATCH groups plus a remainder.
         let (n_in, n_out) = (13usize, 21usize);
         let w = ramp(n_in * n_out);
@@ -438,9 +502,9 @@ mod tests {
             &deltas,
             &mut z_blocked,
         );
-        let nb: Vec<u32> = z_naive.iter().map(|v| v.to_bits()).collect();
-        let bb: Vec<u32> = z_blocked.iter().map(|v| v.to_bits()).collect();
-        assert_eq!(nb, bb);
+        let tol = simd::fma_tolerance(deltas.len() + 1, 300.0);
+        let mismatch = simd::kernel_mismatch(&z_blocked, &z_naive, tol);
+        assert!(mismatch.is_none(), "{mismatch:?}");
     }
 
     #[test]

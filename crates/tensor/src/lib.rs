@@ -15,8 +15,11 @@
 //! * [`parallel`] — dependency-free scoped-thread runtime with adaptive
 //!   serial/parallel dispatch; kernels partition their outputs across
 //!   workers while staying bit-identical to serial.
-//! * [`block`] — cache-blocked weight panels and the 8-lane FC microkernel
+//! * [`block`] — cache-blocked weight panels and the 16-lane FC microkernel
 //!   shared by the forward and reuse-correction hot paths.
+//! * [`simd`] — runtime-dispatched `std::arch` kernels (AVX2+FMA fast path,
+//!   portable scalar fallback) behind a deterministic accumulation-order
+//!   contract; override with `REUSE_SIMD=off|avx2`.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@ pub mod matmul;
 pub mod ops;
 pub mod parallel;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use block::{PackedPanels, PANEL_WIDTH};
@@ -47,4 +51,5 @@ pub use parallel::{
     ParallelConfig,
 };
 pub use shape::Shape;
+pub use simd::SimdLevel;
 pub use tensor::Tensor;

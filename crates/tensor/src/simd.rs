@@ -1,0 +1,683 @@
+//! Runtime-dispatched SIMD kernels for the forward and correction hot paths.
+//!
+//! Every hot kernel in this crate exists in two implementations:
+//!
+//! * a **scalar** path — the original cache-blocked loops, bit-identical to
+//!   the naive serial oracles (`matmul_naive`, `conv*_forward_naive`, the
+//!   scattered correction walk);
+//! * an **AVX2+FMA** path — explicit `std::arch` intrinsics that widen each
+//!   loop to 256-bit lanes and fuse every multiply-add.
+//!
+//! The active path is resolved **once per process** by [`level`] (a
+//! [`OnceLock`]): AVX2+FMA when the host supports both, scalar otherwise.
+//! The environment variable `REUSE_SIMD` overrides detection for testing:
+//!
+//! * `REUSE_SIMD=off` (or `scalar`) — force the scalar path everywhere;
+//! * `REUSE_SIMD=avx2` — request the AVX2 path (silently falls back to
+//!   scalar when the host lacks AVX2/FMA, so test scripts stay portable).
+//!
+//! # Accumulation-order contract
+//!
+//! Dispatch never changes *which* terms a kernel sums, only how the sums
+//! are rounded:
+//!
+//! * **Scalar level** keeps the historical contract: per output element,
+//!   separate multiply then add in ascending input order, skipping exact
+//!   `0.0` inputs — bit-identical to the naive oracles for every shape.
+//! * **AVX2 level** computes, per output element, the same terms in the
+//!   same ascending order but with **fused** multiply-adds and **no zero
+//!   skip**. Adding `x·w` with `x == 0.0` is exact (for finite weights), so
+//!   the only difference from the scalar path is the single rounding of
+//!   each fused step. Scalar tail elements (output counts that do not fill
+//!   a vector) use [`f32::mul_add`], which rounds identically to the vector
+//!   lanes — so a given output's value never depends on whether it landed
+//!   in a full vector or a tail, and therefore never depends on how worker
+//!   threads chunk the output range.
+//!
+//! Both levels keep every output element's accumulation confined to one
+//! chain on one thread, so results are deterministic for any thread count.
+//! Under the scalar level the kernels are *bit-exact* against the naive
+//! oracles; under AVX2 they agree within an ULP-scale bound that
+//! [`fma_tolerance`] over-approximates. Tests assert the right property for
+//! the active level via [`kernel_mismatch`].
+//!
+//! Quantization (`reuse-quant`) is the exception: its AVX2 kernel emulates
+//! `f32::round` exactly, so quantized codes — and hence changed-input sets,
+//! reuse hit rates, and MAC counts — are bit-identical across levels.
+
+use std::sync::OnceLock;
+
+/// The SIMD instruction level the kernels dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar loops; bit-identical to the naive serial oracles.
+    Scalar,
+    /// 256-bit AVX2 lanes with fused multiply-add (x86-64 only).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Short stable name for logs and benchmark provenance
+    /// (`"scalar"` / `"avx2+fma"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2+fma",
+        }
+    }
+}
+
+static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+
+/// The active kernel level, resolved once per process: the detected level
+/// unless `REUSE_SIMD` overrides it (see the module docs).
+pub fn level() -> SimdLevel {
+    *LEVEL.get_or_init(|| match std::env::var("REUSE_SIMD").as_deref() {
+        Ok("off") | Ok("scalar") | Ok("0") => SimdLevel::Scalar,
+        // An explicit fast-path request still honors the hardware check so
+        // forced-env test runs stay portable to scalar-only hosts.
+        _ => detected(),
+    })
+}
+
+/// The best level the host supports, ignoring the `REUSE_SIMD` override.
+/// Recorded in benchmark provenance alongside the active level.
+pub fn detected() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdLevel::Avx2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// Whether the active level guarantees bit-identity to the naive serial
+/// oracles (true exactly when [`level`] is [`SimdLevel::Scalar`]).
+///
+/// Exactness tests use this to pick their assertion: bit-equality under the
+/// scalar contract, [`fma_tolerance`]-bounded closeness under AVX2.
+pub fn is_bit_exact() -> bool {
+    level() == SimdLevel::Scalar
+}
+
+/// A sound (deliberately loose) absolute bound on the difference between a
+/// fused and an unfused accumulation of `terms` products each bounded by
+/// `max_abs_term`: `4 · terms² · max_abs_term · ε`.
+///
+/// Each of the `terms` rounding steps differs by at most one ULP of the
+/// running sum, which is bounded by `terms · max_abs_term`; the factor 4
+/// absorbs the product rounding. Real kernel deviations are orders of
+/// magnitude smaller; real indexing bugs are orders of magnitude larger, so
+/// the looseness costs no detection power.
+pub fn fma_tolerance(terms: usize, max_abs_term: f32) -> f32 {
+    let n = terms.max(1) as f32;
+    4.0 * n * n * max_abs_term.abs().max(f32::MIN_POSITIVE) * f32::EPSILON
+}
+
+/// Level-aware kernel comparison: returns `None` when `actual` matches
+/// `oracle` under the active level's contract, or a description of the
+/// first violation.
+///
+/// * Scalar level: the slices must be **bit-identical** (the scalar kernels
+///   promise oracle bit-exactness).
+/// * AVX2 level: elementwise `|a − o| ≤ tol`, with NaN matching NaN.
+pub fn kernel_mismatch(actual: &[f32], oracle: &[f32], tol: f32) -> Option<String> {
+    if actual.len() != oracle.len() {
+        return Some(format!(
+            "length mismatch: actual {} vs oracle {}",
+            actual.len(),
+            oracle.len()
+        ));
+    }
+    for (j, (&a, &o)) in actual.iter().zip(oracle.iter()).enumerate() {
+        let ok = if is_bit_exact() {
+            a.to_bits() == o.to_bits()
+        } else {
+            (a.is_nan() && o.is_nan()) || (a - o).abs() <= tol
+        };
+        if !ok {
+            return Some(format!(
+                "[{j}] actual {a:e} vs oracle {o:e} (|Δ| {:e}, tol {tol:e}, level {})",
+                (a - o).abs(),
+                level().name()
+            ));
+        }
+    }
+    None
+}
+
+/// `dst[j] += scale · row[j]`, dispatched on [`level`].
+///
+/// The scalar level performs separate multiply-then-add per element
+/// (bit-identical to the plain loop it replaces); AVX2 fuses each step.
+/// Used by the LSTM from-scratch gate accumulation, where callers may still
+/// skip whole rows with `scale == 0.0` — the skip is exact at both levels.
+pub fn row_axpy(dst: &mut [f32], row: &[f32], scale: f32) {
+    debug_assert_eq!(dst.len(), row.len());
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => avx2::row_axpy(dst, row, scale),
+        _ => {
+            for (d, &r) in dst.iter_mut().zip(row.iter()) {
+                *d += scale * r;
+            }
+        }
+    }
+}
+
+/// AVX2+FMA kernel implementations (x86-64 only).
+///
+/// Every function is a safe wrapper that panics when the host lacks
+/// AVX2/FMA; the dispatchers in `block`/`matmul`/`conv` only call them when
+/// [`level`] resolved to [`SimdLevel::Avx2`], and the SIMD==scalar
+/// equivalence suites gate on `is_x86_feature_detected!` before calling
+/// them directly.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use core::arch::x86_64::*;
+
+    use crate::block::{PackedPanels, DELTA_BATCH, PANEL_WIDTH, TILE_LANES, TILE_PANELS};
+
+    // The kernels hand-unroll two 256-bit registers per panel row.
+    const _: () = assert!(PANEL_WIDTH == 16);
+    const _: () = assert!(TILE_PANELS == 4);
+    const _: () = assert!(DELTA_BATCH == 4);
+
+    /// Whether this host can run the AVX2+FMA kernels.
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    /// Asserts the host can run the AVX2+FMA kernels. Downstream crates
+    /// (e.g. `reuse-quant`) call this before entering their own
+    /// `target_feature` kernels.
+    #[track_caller]
+    pub fn require() {
+        assert!(
+            available(),
+            "AVX2+FMA kernels called on an unsupported host"
+        );
+    }
+
+    /// AVX2 walk of a run of output panels starting at `first_panel`:
+    /// the FC forward hot loop (`out[j] += Σ_i x[i]·w[i][j]`, `out` enters
+    /// holding biases or partial sums). Four panels (eight 256-bit
+    /// accumulators) in flight for full tiles, one panel for the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the host lacks AVX2/FMA.
+    pub fn fc_panels(packed: &PackedPanels, x: &[f32], first_panel: usize, out: &mut [f32]) {
+        require();
+        unsafe { fc_panels_impl(packed, x, first_panel, out) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn fc_panels_impl(
+        packed: &PackedPanels,
+        x: &[f32],
+        first_panel: usize,
+        out: &mut [f32],
+    ) {
+        let mut p = first_panel;
+        for seg in out.chunks_mut(TILE_LANES) {
+            if seg.len() == TILE_LANES {
+                unsafe {
+                    tile4_kernel(
+                        [
+                            packed.panel(p),
+                            packed.panel(p + 1),
+                            packed.panel(p + 2),
+                            packed.panel(p + 3),
+                        ],
+                        x,
+                        seg,
+                    );
+                }
+                p += TILE_PANELS;
+            } else {
+                for sub in seg.chunks_mut(PANEL_WIDTH) {
+                    unsafe { panel_kernel(packed.panel(p), x, sub) };
+                    p += 1;
+                }
+            }
+        }
+    }
+
+    /// Four 16-lane panels accumulated together: eight independent FMA
+    /// chains, enough to hide the 4-5 cycle FMA latency on one core.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile4_kernel(panels: [&[f32]; TILE_PANELS], x: &[f32], seg: &mut [f32]) {
+        debug_assert_eq!(seg.len(), TILE_LANES);
+        let sp = seg.as_mut_ptr();
+        let mut acc = [_mm256_setzero_ps(); 8];
+        for (h, a) in acc.iter_mut().enumerate() {
+            *a = unsafe { _mm256_loadu_ps(sp.add(8 * h)) };
+        }
+        for (i, &xi) in x.iter().enumerate() {
+            let xv = _mm256_set1_ps(xi);
+            let base = i * PANEL_WIDTH;
+            for (t, panel) in panels.iter().enumerate() {
+                let wp = unsafe { panel.as_ptr().add(base) };
+                let w0 = unsafe { _mm256_loadu_ps(wp) };
+                let w1 = unsafe { _mm256_loadu_ps(wp.add(8)) };
+                acc[2 * t] = _mm256_fmadd_ps(xv, w0, acc[2 * t]);
+                acc[2 * t + 1] = _mm256_fmadd_ps(xv, w1, acc[2 * t + 1]);
+            }
+        }
+        for (h, a) in acc.iter().enumerate() {
+            unsafe { _mm256_storeu_ps(sp.add(8 * h), *a) };
+        }
+    }
+
+    /// One 16-lane panel (two FMA chains) for tile remainders; `seg` may be
+    /// a partial panel (the zero-padded tail lanes are computed in registers
+    /// and discarded on store).
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn panel_kernel(panel: &[f32], x: &[f32], seg: &mut [f32]) {
+        debug_assert!(seg.len() <= PANEL_WIDTH);
+        let mut buf = [0.0f32; PANEL_WIDTH];
+        buf[..seg.len()].copy_from_slice(seg);
+        let mut a0 = unsafe { _mm256_loadu_ps(buf.as_ptr()) };
+        let mut a1 = unsafe { _mm256_loadu_ps(buf.as_ptr().add(8)) };
+        for (i, &xi) in x.iter().enumerate() {
+            let xv = _mm256_set1_ps(xi);
+            let wp = unsafe { panel.as_ptr().add(i * PANEL_WIDTH) };
+            a0 = _mm256_fmadd_ps(xv, unsafe { _mm256_loadu_ps(wp) }, a0);
+            a1 = _mm256_fmadd_ps(xv, unsafe { _mm256_loadu_ps(wp.add(8)) }, a1);
+        }
+        unsafe {
+            _mm256_storeu_ps(buf.as_mut_ptr(), a0);
+            _mm256_storeu_ps(buf.as_mut_ptr().add(8), a1);
+        }
+        seg.copy_from_slice(&buf[..seg.len()]);
+    }
+
+    /// AVX2 matmul over a worker's span of `C` rows: panels **outer**, rows
+    /// of `A` in register blocks of four, so each streamed panel row is
+    /// reused by four broadcast FMAs (eight accumulators in flight — the
+    /// compute-bound shape, ~6x the scalar blocked kernel on one core).
+    ///
+    /// `c_chunk` covers rows `first_row ..` of `C` (`c_chunk.len() % n ==
+    /// 0`) and must enter zeroed; `a` is the full `[m, k]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the host lacks AVX2/FMA.
+    pub fn matmul_rows(
+        packed: &PackedPanels,
+        a: &[f32],
+        k: usize,
+        first_row: usize,
+        n: usize,
+        c_chunk: &mut [f32],
+    ) {
+        require();
+        debug_assert_eq!(c_chunk.len() % n, 0);
+        debug_assert_eq!(packed.n_in(), k);
+        debug_assert_eq!(packed.n_out(), n);
+        unsafe { matmul_rows_impl(packed, a, k, first_row, n, c_chunk) }
+    }
+
+    /// Panel-block working-set target. A block of panels (`panels × k × 16`
+    /// floats) is kept within this budget so every 4-row pass re-reads it
+    /// from L2 instead of re-streaming the whole `B` from L3 — for a
+    /// 400×2000 `B` that cuts panel traffic from one full-matrix stream per
+    /// row group to one per block. Purely a traversal-order change: each
+    /// `C[r]` span is still produced by exactly one kernel call, so results
+    /// are independent of the block size.
+    const MATMUL_L2_BLOCK_BYTES: usize = 192 * 1024;
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn matmul_rows_impl(
+        packed: &PackedPanels,
+        a: &[f32],
+        k: usize,
+        first_row: usize,
+        n: usize,
+        c_chunk: &mut [f32],
+    ) {
+        let rows = c_chunk.len() / n;
+        let cp = c_chunk.as_mut_ptr();
+        let n_panels = packed.n_panels();
+        let panel_bytes = k * PANEL_WIDTH * core::mem::size_of::<f32>();
+        let block = (MATMUL_L2_BLOCK_BYTES / panel_bytes.max(1)).max(1);
+        let mut pb = 0;
+        while pb < n_panels {
+            let pend = (pb + block).min(n_panels);
+            let mut r = 0;
+            while r + 4 <= rows {
+                let arows = [
+                    &a[(first_row + r) * k..(first_row + r + 1) * k],
+                    &a[(first_row + r + 1) * k..(first_row + r + 2) * k],
+                    &a[(first_row + r + 2) * k..(first_row + r + 3) * k],
+                    &a[(first_row + r + 3) * k..(first_row + r + 4) * k],
+                ];
+                for p in pb..pend {
+                    let panel = packed.panel(p);
+                    let col0 = p * PANEL_WIDTH;
+                    let lanes = (n - col0).min(PANEL_WIDTH);
+                    unsafe { rows4_kernel(panel, arows, cp.add(r * n + col0), n, lanes) };
+                }
+                r += 4;
+            }
+            while r < rows {
+                let arow = &a[(first_row + r) * k..(first_row + r + 1) * k];
+                for p in pb..pend {
+                    let panel = packed.panel(p);
+                    let col0 = p * PANEL_WIDTH;
+                    let lanes = (n - col0).min(PANEL_WIDTH);
+                    let crow =
+                        unsafe { core::slice::from_raw_parts_mut(cp.add(r * n + col0), lanes) };
+                    unsafe { panel_kernel(panel, arow, crow) };
+                }
+                r += 1;
+            }
+            pb = pend;
+        }
+    }
+
+    /// Four `A` rows × one 16-lane panel: eight accumulators, two panel
+    /// loads and four broadcasts per input — the register-blocked matmul
+    /// microkernel. `c` points at `C[first_row + r][col0]`; rows are `n`
+    /// apart; only `lanes` columns are stored.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn rows4_kernel(panel: &[f32], arows: [&[f32]; 4], c: *mut f32, n: usize, lanes: usize) {
+        let k = arows[0].len();
+        let mut acc = [_mm256_setzero_ps(); 8];
+        for i in 0..k {
+            let wp = unsafe { panel.as_ptr().add(i * PANEL_WIDTH) };
+            let w0 = unsafe { _mm256_loadu_ps(wp) };
+            let w1 = unsafe { _mm256_loadu_ps(wp.add(8)) };
+            for (r, arow) in arows.iter().enumerate() {
+                let b = _mm256_set1_ps(unsafe { *arow.get_unchecked(i) });
+                acc[2 * r] = _mm256_fmadd_ps(b, w0, acc[2 * r]);
+                acc[2 * r + 1] = _mm256_fmadd_ps(b, w1, acc[2 * r + 1]);
+            }
+        }
+        if lanes == PANEL_WIDTH {
+            for r in 0..4 {
+                unsafe {
+                    _mm256_storeu_ps(c.add(r * n), acc[2 * r]);
+                    _mm256_storeu_ps(c.add(r * n + 8), acc[2 * r + 1]);
+                }
+            }
+        } else {
+            let mut buf = [0.0f32; PANEL_WIDTH];
+            for r in 0..4 {
+                unsafe {
+                    _mm256_storeu_ps(buf.as_mut_ptr(), acc[2 * r]);
+                    _mm256_storeu_ps(buf.as_mut_ptr().add(8), acc[2 * r + 1]);
+                    core::ptr::copy_nonoverlapping(buf.as_ptr(), c.add(r * n), lanes);
+                }
+            }
+        }
+    }
+
+    /// AVX2 reuse-correction sweep over one worker's span of the buffered
+    /// pre-activations: `chunk = z[offset .. offset + chunk.len()]`,
+    /// `chunk[j] += Σ_b Δ_b · w[i_b][offset + j]` with deltas applied in
+    /// list order, [`DELTA_BATCH`] weight rows streamed per pass (paper
+    /// Eq. 10). Tail outputs use `mul_add`, matching the vector lanes
+    /// bit-for-bit, so any worker chunking yields the same result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the host lacks AVX2/FMA.
+    pub fn apply_deltas(
+        w: &[f32],
+        n_out: usize,
+        offset: usize,
+        deltas: &[(u32, f32)],
+        chunk: &mut [f32],
+    ) {
+        require();
+        unsafe { apply_deltas_impl(w, n_out, offset, deltas, chunk) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn apply_deltas_impl(
+        w: &[f32],
+        n_out: usize,
+        offset: usize,
+        deltas: &[(u32, f32)],
+        chunk: &mut [f32],
+    ) {
+        let len = chunk.len();
+        let zp = chunk.as_mut_ptr();
+        let mut batches = deltas.chunks_exact(DELTA_BATCH);
+        for batch in batches.by_ref() {
+            let (i0, d0) = batch[0];
+            let (i1, d1) = batch[1];
+            let (i2, d2) = batch[2];
+            let (i3, d3) = batch[3];
+            let r0 = w[i0 as usize * n_out + offset..][..len].as_ptr();
+            let r1 = w[i1 as usize * n_out + offset..][..len].as_ptr();
+            let r2 = w[i2 as usize * n_out + offset..][..len].as_ptr();
+            let r3 = w[i3 as usize * n_out + offset..][..len].as_ptr();
+            let (v0, v1) = (_mm256_set1_ps(d0), _mm256_set1_ps(d1));
+            let (v2, v3) = (_mm256_set1_ps(d2), _mm256_set1_ps(d3));
+            let mut j = 0;
+            while j + 8 <= len {
+                unsafe {
+                    let mut z = _mm256_loadu_ps(zp.add(j));
+                    z = _mm256_fmadd_ps(v0, _mm256_loadu_ps(r0.add(j)), z);
+                    z = _mm256_fmadd_ps(v1, _mm256_loadu_ps(r1.add(j)), z);
+                    z = _mm256_fmadd_ps(v2, _mm256_loadu_ps(r2.add(j)), z);
+                    z = _mm256_fmadd_ps(v3, _mm256_loadu_ps(r3.add(j)), z);
+                    _mm256_storeu_ps(zp.add(j), z);
+                }
+                j += 8;
+            }
+            while j < len {
+                unsafe {
+                    let mut z = *zp.add(j);
+                    z = d0.mul_add(*r0.add(j), z);
+                    z = d1.mul_add(*r1.add(j), z);
+                    z = d2.mul_add(*r2.add(j), z);
+                    z = d3.mul_add(*r3.add(j), z);
+                    *zp.add(j) = z;
+                }
+                j += 1;
+            }
+        }
+        for &(i, delta) in batches.remainder() {
+            let row = w[i as usize * n_out + offset..][..len].as_ptr();
+            let dv = _mm256_set1_ps(delta);
+            let mut j = 0;
+            while j + 8 <= len {
+                unsafe {
+                    let z = _mm256_fmadd_ps(
+                        dv,
+                        _mm256_loadu_ps(row.add(j)),
+                        _mm256_loadu_ps(zp.add(j)),
+                    );
+                    _mm256_storeu_ps(zp.add(j), z);
+                }
+                j += 8;
+            }
+            while j < len {
+                unsafe { *zp.add(j) = delta.mul_add(*row.add(j), *zp.add(j)) };
+                j += 1;
+            }
+        }
+    }
+
+    /// AVX2 accumulation pass over one convolution output row (one
+    /// `(ic, [kz,] ky)` slice of taps). Interior columns — where every `kx`
+    /// tap is in bounds — run eight outputs per FMA step, with contiguous
+    /// loads at stride 1 and gathers otherwise; padded border columns keep
+    /// the scalar per-tap-checked walk (plain multiply-add, bit-identical
+    /// to the naive oracle).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the host lacks AVX2/FMA.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_row_pass(
+        orow: &mut [f32],
+        xrow: &[f32],
+        wrow: &[f32],
+        w: usize,
+        stride: usize,
+        pad: usize,
+        int_lo: usize,
+        int_hi: Option<usize>,
+    ) {
+        require();
+        unsafe { conv_row_pass_impl(orow, xrow, wrow, w, stride, pad, int_lo, int_hi) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn conv_row_pass_impl(
+        orow: &mut [f32],
+        xrow: &[f32],
+        wrow: &[f32],
+        w: usize,
+        stride: usize,
+        pad: usize,
+        int_lo: usize,
+        int_hi: Option<usize>,
+    ) {
+        let ow = orow.len();
+        let scalar = |orow: &mut [f32], ox: usize| {
+            let ix0 = (ox * stride) as isize - pad as isize;
+            let mut acc = orow[ox];
+            for (kx, &wk) in wrow.iter().enumerate() {
+                let ix = ix0 + kx as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
+                }
+                acc += xrow[ix as usize] * wk;
+            }
+            orow[ox] = acc;
+        };
+        let Some(int_hi) = int_hi else {
+            for ox in 0..ow {
+                scalar(orow, ox);
+            }
+            return;
+        };
+        for ox in 0..int_lo.min(ow) {
+            scalar(orow, ox);
+        }
+        let op = orow.as_mut_ptr();
+        let xp = xrow.as_ptr();
+        #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+        let idx = _mm256_mullo_epi32(
+            _mm256_set1_epi32(stride as i32),
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        );
+        let mut t = int_lo;
+        while t + 8 <= int_hi + 1 {
+            let mut acc = unsafe { _mm256_loadu_ps(op.add(t)) };
+            for (kx, &wk) in wrow.iter().enumerate() {
+                let xbase = t * stride + kx - pad;
+                let xv = if stride == 1 {
+                    unsafe { _mm256_loadu_ps(xp.add(xbase)) }
+                } else {
+                    unsafe { _mm256_i32gather_ps::<4>(xp.add(xbase), idx) }
+                };
+                acc = _mm256_fmadd_ps(_mm256_set1_ps(wk), xv, acc);
+            }
+            unsafe { _mm256_storeu_ps(op.add(t), acc) };
+            t += 8;
+        }
+        // Interior remainder: per-column fused chain (same rounding as the
+        // vector lanes; tap order is ascending kx either way).
+        for (ox, out) in orow.iter_mut().enumerate().take(int_hi + 1).skip(t) {
+            let xbase = ox * stride - pad;
+            let mut acc = *out;
+            for (kx, &wk) in wrow.iter().enumerate() {
+                acc = xrow[xbase + kx].mul_add(wk, acc);
+            }
+            *out = acc;
+        }
+        for ox in (int_hi + 1).max(int_lo)..ow {
+            scalar(orow, ox);
+        }
+    }
+
+    /// `dst[j] += scale · row[j]` with fused vector steps and a `mul_add`
+    /// tail (see [`super::row_axpy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the host lacks AVX2/FMA.
+    pub fn row_axpy(dst: &mut [f32], row: &[f32], scale: f32) {
+        require();
+        debug_assert_eq!(dst.len(), row.len());
+        unsafe { row_axpy_impl(dst, row, scale) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn row_axpy_impl(dst: &mut [f32], row: &[f32], scale: f32) {
+        let len = dst.len();
+        let dp = dst.as_mut_ptr();
+        let rp = row.as_ptr();
+        let sv = _mm256_set1_ps(scale);
+        let mut j = 0;
+        while j + 8 <= len {
+            unsafe {
+                let d = _mm256_fmadd_ps(sv, _mm256_loadu_ps(rp.add(j)), _mm256_loadu_ps(dp.add(j)));
+                _mm256_storeu_ps(dp.add(j), d);
+            }
+            j += 8;
+        }
+        while j < len {
+            unsafe { *dp.add(j) = scale.mul_add(*rp.add(j), *dp.add(j)) };
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_name_is_stable() {
+        assert_eq!(SimdLevel::Scalar.name(), "scalar");
+        assert_eq!(SimdLevel::Avx2.name(), "avx2+fma");
+    }
+
+    #[test]
+    fn level_is_detected_or_overridden() {
+        // Whatever the environment, the resolved level must be one the
+        // hardware can actually run.
+        let l = level();
+        assert!(l == SimdLevel::Scalar || detected() == SimdLevel::Avx2);
+        assert_eq!(is_bit_exact(), l == SimdLevel::Scalar);
+    }
+
+    #[test]
+    fn tolerance_grows_with_terms_and_magnitude() {
+        assert!(fma_tolerance(100, 1.0) > fma_tolerance(10, 1.0));
+        assert!(fma_tolerance(10, 100.0) > fma_tolerance(10, 1.0));
+        assert!(fma_tolerance(0, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn mismatch_reports_divergence() {
+        assert!(kernel_mismatch(&[1.0, 2.0], &[1.0, 2.0], 0.0).is_none());
+        assert!(kernel_mismatch(&[1.0], &[1.0, 2.0], 1.0).is_some());
+        assert!(kernel_mismatch(&[1.0, 5.0], &[1.0, 2.0], 1e-3).is_some());
+        if !is_bit_exact() {
+            assert!(kernel_mismatch(&[1.0 + 1e-7], &[1.0], 1e-5).is_none());
+            assert!(kernel_mismatch(&[f32::NAN], &[f32::NAN], 1e-5).is_none());
+        }
+    }
+
+    #[test]
+    fn row_axpy_accumulates() {
+        let mut dst = vec![1.0f32; 19];
+        let row: Vec<f32> = (0..19).map(|v| v as f32).collect();
+        row_axpy(&mut dst, &row, 2.0);
+        for (j, &d) in dst.iter().enumerate() {
+            assert!((d - (1.0 + 2.0 * j as f32)).abs() < 1e-5, "j={j}");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Direct SIMD==scalar equivalence: every AVX2 kernel in
+//! `reuse_tensor::simd::avx2` is pinned against the scalar-level body it
+//! replaces, on the same inputs, regardless of which level the process
+//! resolved (the AVX2 side is invoked explicitly, gated only on hardware
+//! support). This is stronger than the dispatch-level suites in
+//! `tests/blocked.rs`: a bug that made `level()` resolve to the wrong
+//! branch would not hide a kernel divergence here.
+//!
+//! The kernels fuse multiply-adds, so agreement is within
+//! `simd::fma_tolerance` (the scalar bodies multiply then add); the
+//! accumulation *order* is identical by the `reuse_tensor::simd` contract.
+//! On non-AVX2 hosts every test passes vacuously.
+
+#![cfg(target_arch = "x86_64")]
+
+use proptest::prelude::*;
+use reuse_tensor::conv::interior_range;
+use reuse_tensor::simd::{self, avx2};
+use reuse_tensor::PackedPanels;
+
+/// Bounded weight/input values keep `fma_tolerance` meaningful.
+fn vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-64i32..=64).prop_map(|v| v as f32 / 8.0), n)
+}
+
+const MAX_ABS: f32 = 8.0;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fc_panels_matches_scalar(
+        n_in in 1usize..40,
+        n_out in 1usize..90,
+        seed in 0u64..1000,
+    ) {
+        if !avx2::available() {
+            return Ok(());
+        }
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 40) as i32 % 129 - 64) as f32 / 8.0
+        };
+        let w: Vec<f32> = (0..n_in * n_out).map(|_| next()).collect();
+        let x: Vec<f32> = (0..n_in).map(|_| next()).collect();
+        let bias: Vec<f32> = (0..n_out).map(|_| next()).collect();
+        let packed = PackedPanels::pack_slice(&w, n_in, n_out);
+        let mut fast = bias.clone();
+        let mut slow = bias;
+        avx2::fc_panels(&packed, &x, 0, &mut fast);
+        reuse_tensor::block::forward_panels_scalar(&packed, &x, 0, &mut slow);
+        let tol = simd::fma_tolerance(n_in + 1, MAX_ABS * MAX_ABS);
+        for (j, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+            prop_assert!((a - b).abs() <= tol, "out[{j}]: {a} vs {b} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn matmul_rows_matches_per_row_scalar(
+        m in 1usize..6,
+        k in 1usize..20,
+        n in 1usize..70,
+        a in vals(120),
+        w in vals(1400),
+    ) {
+        if !avx2::available() {
+            return Ok(());
+        }
+        prop_assume!(a.len() >= m * k && w.len() >= k * n);
+        let a = &a[..m * k];
+        let w = &w[..k * n];
+        let packed = PackedPanels::pack_slice(w, k, n);
+        let mut fast = vec![0.0f32; m * n];
+        avx2::matmul_rows(&packed, a, k, 0, n, &mut fast);
+        let mut slow = vec![0.0f32; m * n];
+        for (i, row) in slow.chunks_mut(n).enumerate() {
+            reuse_tensor::block::forward_panels_scalar(&packed, &a[i * k..(i + 1) * k], 0, row);
+        }
+        let tol = simd::fma_tolerance(k, MAX_ABS * MAX_ABS);
+        for (j, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+            prop_assert!((a - b).abs() <= tol, "c[{j}]: {a} vs {b} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn apply_deltas_matches_scalar(
+        n_in in 1usize..16,
+        n_out in 1usize..70,
+        split_num in 0usize..=100,
+        w in vals(1024),
+        dvals in vals(16),
+    ) {
+        if !avx2::available() {
+            return Ok(());
+        }
+        prop_assume!(w.len() >= n_in * n_out);
+        let w = &w[..n_in * n_out];
+        let deltas: Vec<(u32, f32)> = dvals
+            .iter()
+            .take(n_in)
+            .enumerate()
+            .map(|(i, &d)| (i as u32, d))
+            .collect();
+        let mut fast = vec![1.0f32; n_out];
+        let mut slow = fast.clone();
+        // Exercise worker-style offsets: correct the two halves separately.
+        let split = split_num * n_out / 100;
+        let (f0, f1) = fast.split_at_mut(split);
+        avx2::apply_deltas(w, n_out, 0, &deltas, f0);
+        avx2::apply_deltas(w, n_out, split, &deltas, f1);
+        let (s0, s1) = slow.split_at_mut(split);
+        reuse_tensor::block::apply_deltas_scalar(w, n_out, 0, &deltas, s0);
+        reuse_tensor::block::apply_deltas_scalar(w, n_out, split, &deltas, s1);
+        let tol = simd::fma_tolerance(deltas.len() + 1, MAX_ABS * MAX_ABS);
+        for (j, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+            prop_assert!((a - b).abs() <= tol, "z[{j}]: {a} vs {b} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn conv_row_pass_matches_scalar(
+        w in 1usize..24,
+        kw in 1usize..6,
+        stride in 1usize..3,
+        pad in 0usize..3,
+        xr in vals(24),
+        wr in vals(6),
+        init in vals(32),
+    ) {
+        if !avx2::available() {
+            return Ok(());
+        }
+        prop_assume!(w + 2 * pad >= kw);
+        let ow = (w + 2 * pad - kw) / stride + 1;
+        prop_assume!(init.len() >= ow);
+        let xrow = &xr[..w];
+        let wrow = &wr[..kw];
+        let (int_lo, int_hi) = interior_range(w, kw, stride, pad, ow);
+        let mut fast = init[..ow].to_vec();
+        let mut slow = fast.clone();
+        avx2::conv_row_pass(&mut fast, xrow, wrow, w, stride, pad, int_lo, int_hi);
+        reuse_tensor::conv::conv_row_pass_scalar(
+            &mut slow, xrow, wrow, w, stride, pad, int_lo, int_hi,
+        );
+        let tol = simd::fma_tolerance(kw + 1, MAX_ABS * MAX_ABS);
+        for (j, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= tol,
+                "orow[{j}] (w {w} kw {kw} s {stride} p {pad}): {a} vs {b} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn row_axpy_matches_scalar(row in vals(40), scale in -8.0f32..8.0) {
+        if !avx2::available() {
+            return Ok(());
+        }
+        let mut fast = vec![0.5f32; row.len()];
+        let mut slow = fast.clone();
+        avx2::row_axpy(&mut fast, &row, scale);
+        for (d, &r) in slow.iter_mut().zip(row.iter()) {
+            *d += scale * r;
+        }
+        // One term per element: a lone FMA vs a lone multiply-add.
+        let tol = simd::fma_tolerance(2, MAX_ABS * MAX_ABS);
+        for (j, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+            prop_assert!((a - b).abs() <= tol, "dst[{j}]: {a} vs {b} (tol {tol})");
+        }
+    }
+}

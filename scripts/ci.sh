@@ -10,18 +10,32 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test (workspace) =="
+echo "== cargo test (workspace, detected SIMD level) =="
 cargo test --workspace -q
+
+echo "== cargo test (workspace, forced REUSE_SIMD=off) =="
+# The scalar level carries the bit-identity contract against the naive
+# oracles; running the full suite with the fast path disabled keeps that
+# contract from rotting on AVX2 hosts (where default runs only exercise
+# the tolerance-based assertions).
+REUSE_SIMD=off cargo test --workspace -q
 
 echo "== telemetry overhead smoke (budget ${REUSE_TELEMETRY_OVERHEAD_PCT:-5}%) =="
 # Telemetry recording must stay in the noise of a steady-state frame; the
 # bench binary exits nonzero when the on/off delta exceeds the budget.
 cargo run --release -q -p reuse-bench --bin kernel_bench -- --telemetry-smoke
 
-echo "== blocked-kernel perf smoke (floor ${REUSE_BLOCKED_MIN_SPEEDUP:-1.0}x) =="
-# The cache-blocked matmul must never lose to the naive serial kernel; the
-# floor is tunable for noisy hosts via REUSE_BLOCKED_MIN_SPEEDUP.
+echo "== blocked-kernel perf smoke (level-aware speedup + GFLOP/s floors) =="
+# Blocked matmul must beat the naive serial kernel and, under AVX2, sustain
+# an absolute-throughput floor; floors auto-relax to scalar expectations
+# when the host lacks AVX2/FMA. Tunable via REUSE_BLOCKED_MIN_SPEEDUP /
+# REUSE_BLOCKED_MIN_GFLOPS for noisy hosts.
 cargo run --release -q -p reuse-bench --bin kernel_bench -- --perf-smoke
+
+echo "== BENCH_kernels.json schema check =="
+# The stored artifact must carry the full provenance schema (thread
+# resolution, SIMD level block, per-row parallel column or skip note).
+cargo run --release -q -p reuse-bench --bin kernel_bench -- --validate BENCH_kernels.json
 
 echo "== multi-session smoke (4 sessions, one compiled model) =="
 # Interleaves four ReuseSessions over one shared CompiledModel and checks
