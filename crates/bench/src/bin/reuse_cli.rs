@@ -6,6 +6,7 @@
 //! reuse_cli run <workload> [executions] --telemetry print the TelemetrySnapshot as JSON
 //! reuse_cli run <workload> [executions] --sessions N multi-session smoke over one model
 //! reuse_cli serve [workload] --streams N --frames M StreamServer smoke vs standalone
+//! reuse_cli serve [workload] --sig-cache            ... plus signature-cache smoke passes
 //! reuse_cli simulate <workload> [executions]        accelerator baseline vs reuse
 //! reuse_cli export <workload> <path>                serialize the model to a file
 //! reuse_cli experiments                             list the table/figure binaries
@@ -64,7 +65,9 @@ fn usage() -> ExitCode {
          \x20 serve    [workload]               serve N streams through a StreamServer and\n\
          \x20          [--streams N]            check every stream bit-for-bit against a\n\
          \x20          [--frames M]             standalone session (prints the server\n\
-         \x20                                   snapshot JSON; exits {EXIT_SERVE_DIVERGED} on divergence)\n\
+         \x20          [--sig-cache]            snapshot JSON; exits {EXIT_SERVE_DIVERGED} on divergence)\n\
+         \x20                                   --sig-cache adds two cross-stream cache passes:\n\
+         \x20                                   capacity 0 (bit-identity) and full capacity\n\
          \x20 simulate <workload> [executions]  simulate baseline vs reuse accelerators\n\
          \x20 export   <workload> <path>        serialize the model to a file\n\
          \x20 experiments                       list the paper-artifact binaries\n\n\
@@ -170,14 +173,17 @@ fn run_sessions_smoke(
 
 /// Serves `n` offset streams through a [`StreamServer`] over one shared
 /// model and checks every stream's outputs and metrics bit-for-bit against
-/// a standalone [`ReuseSession`] fed the same frames alone. Prints the
-/// server snapshot JSON to stdout; all diagnostics go to stderr.
+/// a standalone [`ReuseSession`] fed the same frames alone. With
+/// `emit_snapshot` the server snapshot JSON becomes the whole stdout
+/// (suppressed when a later pass owns stdout, so `serve` always prints
+/// exactly one JSON document); all diagnostics go to stderr.
 fn run_serve_smoke(
     w: &Workload,
     config: &reuse_core::ReuseConfig,
     n: usize,
     frames_per_stream: usize,
-) -> ExitCode {
+    emit_snapshot: bool,
+) -> u8 {
     let model = Arc::new(CompiledModel::new(w.network(), config));
     let seq_len = if w.is_recurrent() {
         10.min(frames_per_stream.max(2))
@@ -199,7 +205,7 @@ fn run_serve_smoke(
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot construct server: {e}");
-            return ExitCode::from(EXIT_EXEC);
+            return EXIT_EXEC;
         }
     };
     // Offset copies of one generated stream: realistic frame-to-frame
@@ -232,20 +238,20 @@ fn run_serve_smoke(
                     Ok(SubmitResult::QueueFull) | Ok(SubmitResult::Shed) => {
                         if let Err(e) = server.tick() {
                             eprintln!("tick failed: {e}");
-                            return ExitCode::from(EXIT_EXEC);
+                            return EXIT_EXEC;
                         }
                         server.drain_outputs(s as u64, |out| outs.push(out.to_vec()));
                     }
                     Err(e) => {
                         eprintln!("submit failed: {e}");
-                        return ExitCode::from(EXIT_EXEC);
+                        return EXIT_EXEC;
                     }
                 }
             }
         }
         if let Err(e) = server.tick() {
             eprintln!("tick failed: {e}");
-            return ExitCode::from(EXIT_EXEC);
+            return EXIT_EXEC;
         }
         for (s, outs) in collected.iter_mut().enumerate() {
             server.drain_outputs(s as u64, |out| outs.push(out.to_vec()));
@@ -254,7 +260,7 @@ fn run_serve_smoke(
     while server.ready_units() > 0 {
         if let Err(e) = server.tick() {
             eprintln!("tick failed: {e}");
-            return ExitCode::from(EXIT_EXEC);
+            return EXIT_EXEC;
         }
         for (s, outs) in collected.iter_mut().enumerate() {
             server.drain_outputs(s as u64, |out| outs.push(out.to_vec()));
@@ -281,7 +287,7 @@ fn run_serve_smoke(
                     Ok(outs) => r.extend(outs.into_iter().map(|t| t.into_vec())),
                     Err(e) => {
                         eprintln!("standalone sequence failed: {e}");
-                        return ExitCode::from(EXIT_EXEC);
+                        return EXIT_EXEC;
                     }
                 }
             }
@@ -292,7 +298,7 @@ fn run_serve_smoke(
             for frame in frames {
                 if let Err(e) = alone.execute_into(frame, &mut out) {
                     eprintln!("standalone frame failed: {e}");
-                    return ExitCode::from(EXIT_EXEC);
+                    return EXIT_EXEC;
                 }
                 r.push(out.clone());
             }
@@ -315,23 +321,130 @@ fn run_serve_smoke(
         }
     }
 
-    // Machine-readable result: the snapshot JSON is the whole stdout.
-    print!("{}", server.snapshot().to_json());
+    if emit_snapshot {
+        // Machine-readable result: the snapshot JSON is the whole stdout.
+        print!("{}", server.snapshot().to_json());
+    }
     if mismatches > 0 {
         eprintln!("FAIL: {mismatches} serve/standalone mismatches");
-        return ExitCode::from(EXIT_SERVE_DIVERGED);
+        return EXIT_SERVE_DIVERGED;
     }
     eprintln!(
         "{}: {n} streams x {frames_per_stream} frames bit-identical to standalone sessions",
         w.network().name()
     );
-    ExitCode::SUCCESS
+    0
+}
+
+/// Serves `n` offset streams over a model compiled with the cross-stream
+/// signature cache at full capacity. With a shared, evolving cache,
+/// per-stream outputs legitimately depend on what other streams published,
+/// so this pass checks completion and counter plumbing rather than bit
+/// identity: every stream must finish all its frames, and on feed-forward
+/// workloads the cache must actually be consulted (`lookups > 0`).
+fn run_serve_cache_smoke(
+    w: &Workload,
+    config: &reuse_core::ReuseConfig,
+    n: usize,
+    frames_per_stream: usize,
+) -> u8 {
+    if w.is_recurrent() {
+        eprintln!(
+            "{}: recurrent network — the signature cache compiles out, nothing to smoke",
+            w.network().name()
+        );
+        return 0;
+    }
+    let model = Arc::new(CompiledModel::new(w.network(), config));
+    let server_config = ServerConfig::default()
+        .max_sessions(n)
+        .queue_capacity(8)
+        .batch_max(4);
+    let mut server = match StreamServer::new(Arc::clone(&model), server_config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot construct server: {e}");
+            return EXIT_EXEC;
+        }
+    };
+    let all = w.generate_frames(frames_per_stream + n - 1, 42);
+    let mut done = vec![0usize; n];
+    for t in 0..frames_per_stream {
+        for (s, count) in done.iter_mut().enumerate() {
+            let frame = &all[s + t];
+            loop {
+                match server.submit(s as u64, frame) {
+                    Ok(SubmitResult::Accepted) => break,
+                    Ok(SubmitResult::QueueFull) | Ok(SubmitResult::Shed) => {
+                        if let Err(e) = server.tick() {
+                            eprintln!("tick failed: {e}");
+                            return EXIT_EXEC;
+                        }
+                        *count += server.drain_outputs(s as u64, |_| {});
+                    }
+                    Err(e) => {
+                        eprintln!("submit failed: {e}");
+                        return EXIT_EXEC;
+                    }
+                }
+            }
+        }
+        if let Err(e) = server.tick() {
+            eprintln!("tick failed: {e}");
+            return EXIT_EXEC;
+        }
+        for (s, count) in done.iter_mut().enumerate() {
+            *count += server.drain_outputs(s as u64, |_| {});
+        }
+    }
+    while server.ready_units() > 0 {
+        if let Err(e) = server.tick() {
+            eprintln!("tick failed: {e}");
+            return EXIT_EXEC;
+        }
+        for (s, count) in done.iter_mut().enumerate() {
+            *count += server.drain_outputs(s as u64, |_| {});
+        }
+    }
+
+    let mut failures = 0usize;
+    for (s, count) in done.iter().enumerate() {
+        if *count != frames_per_stream {
+            eprintln!("stream {s}: served {count} outputs for {frames_per_stream} frames");
+            failures += 1;
+        }
+    }
+    let snap = server.snapshot();
+    let cache_compiled = model.signature_cache().is_some();
+    if cache_compiled && snap.signature.lookups == 0 {
+        eprintln!("signature cache compiled in but never consulted");
+        failures += 1;
+    }
+    // Machine-readable result: the snapshot JSON is the whole stdout.
+    print!("{}", snap.to_json());
+    if failures > 0 {
+        eprintln!("FAIL: {failures} signature-cache smoke failures");
+        return EXIT_SERVE_DIVERGED;
+    }
+    eprintln!(
+        "{}: {n} streams x {frames_per_stream} frames served with the signature cache \
+         ({} lookups, {} hits, {} adoptions, {} bailouts, {} inserts)",
+        w.network().name(),
+        snap.signature.lookups,
+        snap.signature.hits,
+        snap.signature.adoptions,
+        snap.signature.bailouts,
+        snap.signature.inserts,
+    );
+    0
 }
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry = args.iter().any(|a| a == "--telemetry");
     args.retain(|a| a != "--telemetry");
+    let sig_cache = args.iter().any(|a| a == "--sig-cache");
+    args.retain(|a| a != "--sig-cache");
     let sessions = match args.iter().position(|a| a == "--sessions") {
         Some(i) => {
             let Some(n) = args
@@ -441,7 +554,35 @@ fn main() -> ExitCode {
             let n = streams.unwrap_or(4);
             let frames_per_stream =
                 frames.unwrap_or_else(|| executions_from_env(kind, scale).min(64));
-            run_serve_smoke(&w, w.reuse_config(), n, frames_per_stream)
+            if !sig_cache {
+                return ExitCode::from(run_serve_smoke(
+                    &w,
+                    w.reuse_config(),
+                    n,
+                    frames_per_stream,
+                    true,
+                ));
+            }
+            // Pass 1: cache enabled at capacity 0 must degrade to exactly
+            // the per-stream behavior — the bit-identity smoke must pass
+            // unchanged.
+            eprintln!("sig-cache pass 1/2: capacity 0, bit-identity vs standalone");
+            let cap0 = w
+                .reuse_config()
+                .clone()
+                .signature_cache(true)
+                .signature_cache_capacity(0);
+            // Exactly one snapshot JSON on stdout: pass 2 owns it, except
+            // on recurrent workloads where the cache compiles out and pass
+            // 2 has nothing to serve.
+            let code = run_serve_smoke(&w, &cap0, n, frames_per_stream, w.is_recurrent());
+            if code != 0 {
+                return ExitCode::from(code);
+            }
+            // Pass 2: full capacity — completion and counter plumbing.
+            eprintln!("sig-cache pass 2/2: full capacity, completion + counters");
+            let full = w.reuse_config().clone().signature_cache(true);
+            ExitCode::from(run_serve_cache_smoke(&w, &full, n, frames_per_stream))
         }
         Some("simulate") => {
             let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else {

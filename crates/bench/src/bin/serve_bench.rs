@@ -16,11 +16,27 @@
 //! overhead: more streams per tick means fewer ticks per frame, and
 //! frames/sec must not *drop* as streams grow from 1 to 8.
 //!
+//! A second, **churn** scenario measures the cross-stream signature cache:
+//! a bounded session pool cycles through generations of short-lived
+//! streams whose frames are tiny jitters of one shared base walk (think
+//! many near-identical dashcam/ASR clients connecting and disconnecting).
+//! With the cache off every new stream pays its full cold start
+//! (calibration plus a from-scratch frame); with the cache on,
+//! cold-starting streams adopt baselines published by earlier generations
+//! and pay only the correction. The same churn runs with the cache off and
+//! on, and the aggregate fps pair plus the cache counters land in the
+//! `churn` section of the JSON.
+//!
 //! `serve_bench --perf-smoke` times only the 1- and 8-stream Kaldi pair and
 //! exits nonzero when 8-stream aggregate throughput falls below
 //! `REUSE_SERVE_MIN_SCALING` × 1-stream throughput (default 0.9, tunable
 //! for noisy hosts like `REUSE_BLOCKED_MIN_SPEEDUP`) or below the absolute
 //! `REUSE_SERVE_MIN_FPS` floor (default 1.0 frames/sec).
+//!
+//! `serve_bench --validate [file]` checks an existing `BENCH_serve.json`
+//! for every required key (schema drift guard for CI), including the churn
+//! section, and enforces the optional `REUSE_SERVE_MIN_CACHE_SPEEDUP`
+//! floor on the recorded cache speedup.
 //!
 //! Usage: `cargo run --release -p reuse-bench --bin serve_bench [out.json]`
 //! (`REUSE_SCALE` selects the model scale, as everywhere else.)
@@ -145,6 +161,180 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Churn-scenario shape: a pool of [`CHURN_POOL`] live sessions cycles
+/// through [`CHURN_GENERATIONS`] generations of short-lived streams, each
+/// serving [`CHURN_LIFETIME`] frames before being LRU-evicted by the next
+/// generation.
+const CHURN_POOL: usize = 8;
+const CHURN_GENERATIONS: usize = 96;
+const CHURN_LIFETIME: usize = 2;
+
+/// The churn measurement for one model (cache off or on).
+struct ChurnRow {
+    fps: f64,
+    signature: reuse_core::SignatureStats,
+}
+
+/// Runs the generational churn against one model: every stream serves
+/// [`CHURN_LIFETIME`] jittered copies of the same base walk, stream ids
+/// grow monotonically so each generation LRU-evicts the previous one, and
+/// the per-stream cache counters are harvested before eviction destroys
+/// them. Best-of-[`REPEATS`] aggregate fps; counters from the last repeat.
+fn bench_churn(w: &Workload, model: &Arc<CompiledModel>) -> ChurnRow {
+    let base = w.generate_frames(CHURN_LIFETIME, 42);
+    let mut scratch = vec![0f32; base[0].len()];
+    let mut best_fps = 0f64;
+    let mut signature = reuse_core::SignatureStats::default();
+    for _ in 0..REPEATS {
+        let mut server = StreamServer::new(
+            Arc::clone(model),
+            ServerConfig::default()
+                .max_sessions(CHURN_POOL)
+                .queue_capacity(CHURN_LIFETIME.max(2 * BURST))
+                .batch_max(CHURN_LIFETIME),
+        )
+        .expect("feed-forward serve config");
+        let mut acc = reuse_core::SignatureStats::default();
+        let mut sink = 0f32;
+        let start = Instant::now();
+        for gen in 0..CHURN_GENERATIONS {
+            for s in 0..CHURN_POOL {
+                let id = (gen * CHURN_POOL + s) as u64;
+                // Per-stream jitter: a tiny constant offset (≤ ~1e-3), so
+                // streams are near-identical but never bit-equal.
+                let eps = (id.wrapping_mul(2_654_435_761) % 997) as f32 * 1e-6;
+                for frame in &base {
+                    for (dst, src) in scratch.iter_mut().zip(frame.iter()) {
+                        *dst = src + eps;
+                    }
+                    match server.submit(id, &scratch).unwrap() {
+                        SubmitResult::Accepted => {}
+                        r => panic!("churn submit rejected: {r:?}"),
+                    }
+                }
+            }
+            while server.ready_units() > 0 {
+                server.tick().unwrap();
+            }
+            for s in 0..CHURN_POOL {
+                let id = (gen * CHURN_POOL + s) as u64;
+                server.drain_outputs(id, |out| sink += out[0]);
+                if let Some(sess) = server.session(id) {
+                    let st = sess.signature_stats();
+                    acc.lookups += st.lookups;
+                    acc.hits += st.hits;
+                    acc.adoptions += st.adoptions;
+                    acc.bailouts += st.bailouts;
+                    acc.inserts += st.inserts;
+                }
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        black_box(sink);
+        let served = (CHURN_GENERATIONS * CHURN_POOL * CHURN_LIFETIME) as f64;
+        best_fps = best_fps.max(served / secs);
+        signature = acc;
+    }
+    ChurnRow {
+        fps: best_fps,
+        signature,
+    }
+}
+
+/// Runs the churn scenario with the signature cache off and on over the
+/// same workload and returns `(off, on)`.
+fn bench_churn_pair(kind: WorkloadKind, scale: Scale) -> (ChurnRow, ChurnRow) {
+    let w = Workload::build(kind, scale);
+    let off_model = Arc::new(CompiledModel::new(w.network(), w.reuse_config()));
+    let on_config = w.reuse_config().clone().signature_cache(true);
+    let on_model = Arc::new(CompiledModel::new(w.network(), &on_config));
+    let off = bench_churn(&w, &off_model);
+    let on = bench_churn(&w, &on_model);
+    eprintln!(
+        "{:<10} churn: {} gens x {} streams x {} frames  cache-off {:>8.0} frames/s  \
+         cache-on {:>8.0} frames/s  speedup {:.2}x  ({} adoptions, {} bailouts)",
+        kind.name(),
+        CHURN_GENERATIONS,
+        CHURN_POOL,
+        CHURN_LIFETIME,
+        off.fps,
+        on.fps,
+        on.fps / off.fps,
+        on.signature.adoptions,
+        on.signature.bailouts,
+    );
+    (off, on)
+}
+
+/// Schema check for an existing `BENCH_serve.json`: every required key
+/// must be present (CI guard against silent drift), and the recorded
+/// churn speedup must clear the `REUSE_SERVE_MIN_CACHE_SPEEDUP` floor
+/// (default 1.0, i.e. presence-only).
+fn validate(path: &str) -> ExitCode {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("validate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    const REQUIRED: &[&str] = &[
+        "\"bench\": \"serve_bench\"",
+        "\"scale\":",
+        "\"burst\":",
+        "\"repeats\":",
+        "\"configs\":",
+        "\"workload\":",
+        "\"streams\":",
+        "\"frames_per_stream\":",
+        "\"frames_per_sec\":",
+        "\"latency_p50_ns\":",
+        "\"latency_p99_ns\":",
+        "\"latency_max_ns\":",
+        "\"churn\":",
+        "\"pool\":",
+        "\"generations\":",
+        "\"cache_off_fps\":",
+        "\"cache_on_fps\":",
+        "\"speedup\":",
+        "\"signature_cache\":",
+        "\"lookups\":",
+        "\"hits\":",
+        "\"adoptions\":",
+        "\"bailouts\":",
+        "\"inserts\":",
+    ];
+    let missing: Vec<&str> = REQUIRED
+        .iter()
+        .filter(|k| !body.contains(**k))
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("validate: {path} is missing keys: {missing:?}");
+        return ExitCode::FAILURE;
+    }
+    if body.matches("\"frames_per_sec\":").count() == 0 {
+        eprintln!("validate: {path} has no throughput rows");
+        return ExitCode::FAILURE;
+    }
+    let speedup = body
+        .split("\"speedup\": ")
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| c == ',' || c == '}' || c.is_whitespace())
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+        })
+        .unwrap_or(f64::NAN);
+    let floor = env_f64("REUSE_SERVE_MIN_CACHE_SPEEDUP", 1.0);
+    if speedup.is_nan() || speedup < floor {
+        eprintln!("validate: churn speedup {speedup} is below the {floor:.2}x floor");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("validate: {path} ok (churn speedup {speedup:.2}x)");
+    ExitCode::SUCCESS
+}
+
 /// Times the 1-vs-8-stream Kaldi pair and enforces the scaling and
 /// absolute-throughput floors.
 fn perf_smoke(scale: Scale) -> ExitCode {
@@ -177,12 +367,19 @@ fn main() -> ExitCode {
     if arg.as_deref() == Some("--perf-smoke") {
         return perf_smoke(scale);
     }
+    if arg.as_deref() == Some("--validate") {
+        let path = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| "BENCH_serve.json".to_string());
+        return validate(&path);
+    }
     let out_path = arg.unwrap_or_else(|| "BENCH_serve.json".to_string());
 
     // Kaldi covers the full 1→256 sweep (cheap frames stress the dispatch
     // loop hardest); AutoPilot adds a conv workload at the low counts.
     let mut rows = bench_workload(WorkloadKind::Kaldi, scale, &[1, 8, 64, 256]);
     rows.extend(bench_workload(WorkloadKind::AutoPilot, scale, &[1, 8]));
+    let (churn_off, churn_on) = bench_churn_pair(WorkloadKind::Kaldi, scale);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -207,7 +404,25 @@ fn main() -> ExitCode {
             if k + 1 < rows.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"churn\": {{\"workload\": \"{}\", \"pool\": {CHURN_POOL}, \
+         \"generations\": {CHURN_GENERATIONS}, \"frames_per_stream\": {CHURN_LIFETIME}, \
+         \"cache_off_fps\": {:.1}, \"cache_on_fps\": {:.1}, \"speedup\": {:.3}, \
+         \"signature_cache\": {{\"lookups\": {}, \"hits\": {}, \"adoptions\": {}, \
+         \"bailouts\": {}, \"inserts\": {}}}}}",
+        WorkloadKind::Kaldi.name(),
+        churn_off.fps,
+        churn_on.fps,
+        churn_on.fps / churn_off.fps,
+        churn_on.signature.lookups,
+        churn_on.signature.hits,
+        churn_on.signature.adoptions,
+        churn_on.signature.bailouts,
+        churn_on.signature.inserts,
+    );
+    json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     eprintln!("wrote {out_path} ({} configurations)", rows.len());
     ExitCode::SUCCESS

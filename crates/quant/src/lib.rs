@@ -14,6 +14,8 @@
 //! * [`RangeProfiler`] — accumulates ranges over calibration data.
 //! * [`fixed`] — an 8-bit fixed-point quantizer for the reduced-precision
 //!   accelerator study (paper Section VI-A).
+//! * [`RpqPlanes`] — MERCURY-style random-projection signatures for the
+//!   cross-stream signature cache.
 //!
 //! # Example
 //!
@@ -33,9 +35,11 @@ pub mod fixed;
 pub mod kmeans;
 mod linear;
 mod range;
+mod rpq;
 #[cfg(target_arch = "x86_64")]
 mod simd;
 
 pub use error::QuantError;
 pub use linear::{LinearQuantizer, QuantCode};
 pub use range::{InputRange, RangeProfiler};
+pub use rpq::{hamming, RpqPlanes, MAX_SIGNATURE_BITS};

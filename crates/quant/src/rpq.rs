@@ -1,0 +1,197 @@
+//! Random Projection with Quantization (RPQ) signatures.
+//!
+//! MERCURY-style locality-sensitive hashing for cross-input reuse: a layer
+//! input vector is projected onto `bits` fixed random hyperplanes and each
+//! projection contributes one sign bit to a short binary signature. Inputs
+//! with a small angle between them agree on most hyperplane sides, so
+//! near-identical inputs (silence frames, idle video) collapse onto the
+//! same signature with high probability while dissimilar inputs spread
+//! across the signature space.
+//!
+//! The planes are generated once from a seed and thereafter immutable, so a
+//! [`RpqPlanes`] can be baked into a shared compiled model and hashed
+//! against concurrently without synchronization.
+
+/// A fixed set of random hyperplanes hashing `dim`-element vectors to
+/// signatures of `bits` sign bits (at most 64, so a signature is one `u64`).
+#[derive(Debug, Clone)]
+pub struct RpqPlanes {
+    dim: usize,
+    bits: u32,
+    /// `bits` rows of `dim` normal deviates, row-major.
+    planes: Vec<f32>,
+}
+
+/// Maximum signature width: signatures are packed into a single `u64`.
+pub const MAX_SIGNATURE_BITS: u32 = 64;
+
+/// A tiny deterministic generator for the plane coefficients
+/// (xorshift64* core, Box-Muller for the normal deviates). Local to this
+/// module so the quant crate stays dependency-free.
+struct PlaneRng(u64);
+
+impl PlaneRng {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point and decorrelate nearby seeds.
+        PlaneRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in the open interval (0, 1].
+    fn uniform(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// A standard normal deviate (Box-Muller; the sine half is discarded —
+    /// plane generation is a one-time setup cost).
+    fn normal(&mut self) -> f32 {
+        let r = (-2.0 * self.uniform().ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * self.uniform();
+        (r * theta.cos()) as f32
+    }
+}
+
+impl RpqPlanes {
+    /// Builds `bits` random hyperplanes over `dim`-element inputs.
+    ///
+    /// `bits` is clamped to `1..=`[`MAX_SIGNATURE_BITS`]. The same
+    /// `(dim, bits, seed)` always yields the same planes, so every process
+    /// sharing a model derives identical signatures.
+    pub fn new(dim: usize, bits: u32, seed: u64) -> Self {
+        let bits = bits.clamp(1, MAX_SIGNATURE_BITS);
+        let mut rng = PlaneRng::new(seed ^ (dim as u64).rotate_left(17));
+        let planes = (0..bits as usize * dim).map(|_| rng.normal()).collect();
+        RpqPlanes { dim, bits, planes }
+    }
+
+    /// Input dimensionality the planes were built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Signature width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Bytes held by the plane matrix.
+    pub fn storage_bytes(&self) -> usize {
+        self.planes.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Hashes an input vector: bit `k` of the result is the sign of the
+    /// projection onto plane `k` (non-negative → 1). `xs` longer than `dim`
+    /// uses only the first `dim` elements; shorter inputs treat the missing
+    /// tail as zero, so callers never panic on shape drift.
+    pub fn signature(&self, xs: &[f32]) -> u64 {
+        let n = self.dim.min(xs.len());
+        let mut sig = 0u64;
+        for k in 0..self.bits as usize {
+            let row = &self.planes[k * self.dim..k * self.dim + n];
+            let mut dot = 0.0f32;
+            for (w, x) in row.iter().zip(xs) {
+                dot += w * x;
+            }
+            if dot >= 0.0 {
+                sig |= 1 << k;
+            }
+        }
+        sig
+    }
+}
+
+/// Number of differing bits between two signatures.
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dim: usize) -> Vec<f32> {
+        (0..dim).map(|i| (i as f32 * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = RpqPlanes::new(64, 16, 42);
+        let b = RpqPlanes::new(64, 16, 42);
+        let xs = ramp(64);
+        assert_eq!(a.signature(&xs), b.signature(&xs));
+    }
+
+    #[test]
+    fn different_seeds_give_different_planes() {
+        let a = RpqPlanes::new(64, 32, 1);
+        let b = RpqPlanes::new(64, 32, 2);
+        let xs = ramp(64);
+        assert_ne!(a.signature(&xs), b.signature(&xs));
+    }
+
+    #[test]
+    fn bits_clamped_to_u64_width() {
+        let p = RpqPlanes::new(8, 200, 7);
+        assert_eq!(p.bits(), MAX_SIGNATURE_BITS);
+        let p = RpqPlanes::new(8, 0, 7);
+        assert_eq!(p.bits(), 1);
+    }
+
+    #[test]
+    fn unused_high_bits_stay_zero() {
+        let p = RpqPlanes::new(32, 12, 3);
+        let sig = p.signature(&ramp(32));
+        assert_eq!(sig >> 12, 0);
+    }
+
+    #[test]
+    fn nearby_inputs_share_a_signature() {
+        let p = RpqPlanes::new(128, 16, 9);
+        let xs = ramp(128);
+        let mut ys = xs.clone();
+        for y in &mut ys {
+            *y += 1e-5;
+        }
+        assert_eq!(p.signature(&xs), p.signature(&ys));
+    }
+
+    #[test]
+    fn scaling_preserves_the_signature() {
+        // Sign-of-projection hashing is invariant to positive scaling.
+        let p = RpqPlanes::new(64, 24, 11);
+        let xs = ramp(64);
+        let ys: Vec<f32> = xs.iter().map(|x| x * 3.5).collect();
+        assert_eq!(p.signature(&xs), p.signature(&ys));
+    }
+
+    #[test]
+    fn dissimilar_inputs_diverge() {
+        let p = RpqPlanes::new(128, 32, 5);
+        let xs = ramp(128);
+        let ys: Vec<f32> = xs.iter().map(|x| -x + 0.9).collect();
+        assert!(hamming(p.signature(&xs), p.signature(&ys)) > 4);
+    }
+
+    #[test]
+    fn short_input_hashes_like_zero_padded() {
+        let p = RpqPlanes::new(16, 8, 13);
+        let xs = ramp(12);
+        let mut padded = xs.clone();
+        padded.resize(16, 0.0);
+        assert_eq!(p.signature(&xs), p.signature(&padded));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = RpqPlanes::new(100, 16, 1);
+        assert_eq!(p.storage_bytes(), 16 * 100 * 4);
+    }
+}

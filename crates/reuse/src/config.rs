@@ -19,6 +19,19 @@ pub struct LayerSetting {
     pub clusters: usize,
 }
 
+/// When a session publishes a baseline into the shared signature cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureInsertPolicy {
+    /// Insert only after cold-start from-scratch executions (a stream's
+    /// first reuse frame, or the first frame after a state reset). Keeps
+    /// cache-write traffic off the steady-state path entirely.
+    ColdStart,
+    /// Additionally refresh the cache whenever the drift watchdog
+    /// re-baselines a layer — the freshly recomputed full-precision
+    /// baseline replaces whatever the signature previously mapped to.
+    ColdStartAndRebaseline,
+}
+
 /// Configuration of a [`crate::ReuseEngine`].
 #[derive(Debug, Clone)]
 pub struct ReuseConfig {
@@ -34,6 +47,11 @@ pub struct ReuseConfig {
     drift_bound: f32,
     drift_escalate_after: u64,
     parallel: ParallelConfig,
+    signature_cache: bool,
+    signature_capacity: usize,
+    signature_bits: u32,
+    signature_insert: SignatureInsertPolicy,
+    signature_bailout: f32,
 }
 
 impl ReuseConfig {
@@ -52,6 +70,11 @@ impl ReuseConfig {
             drift_bound: 1e-3,
             drift_escalate_after: 0,
             parallel: ParallelConfig::serial(),
+            signature_cache: false,
+            signature_capacity: 1024,
+            signature_bits: 16,
+            signature_insert: SignatureInsertPolicy::ColdStart,
+            signature_bailout: 0.25,
         }
     }
 
@@ -149,6 +172,76 @@ impl ReuseConfig {
     pub fn drift_escalate_after(mut self, strikes: u64) -> Self {
         self.drift_escalate_after = strikes;
         self
+    }
+
+    /// Enables the MCACHE-style cross-stream signature cache: when a
+    /// session's per-stream frame-(t-1) baseline is missing (first reuse
+    /// frame of a new stream, or after a state reset), the layer input is
+    /// hashed with [`reuse_quant::RpqPlanes`] and a matching baseline
+    /// published by *any* session of the same [`crate::CompiledModel`] is
+    /// adopted and corrected with the ordinary `z' = z + (c'-c)·w` pass.
+    /// Off by default; feed-forward networks only.
+    pub fn signature_cache(mut self, on: bool) -> Self {
+        self.signature_cache = on;
+        self
+    }
+
+    /// Bounds the shared signature cache to roughly this many entries
+    /// across all layers (default 1024). `0` keeps the cache armed but
+    /// empty: every lookup misses and every insert is dropped, degrading
+    /// to exactly the per-stream-only behavior.
+    pub fn signature_cache_capacity(mut self, entries: usize) -> Self {
+        self.signature_capacity = entries;
+        self
+    }
+
+    /// Signature width in hyperplane sign bits, clamped to
+    /// `1..=`[`reuse_quant::MAX_SIGNATURE_BITS`] (default 16). More bits
+    /// mean fewer false collisions but also fewer cross-stream hits.
+    pub fn signature_bits(mut self, bits: u32) -> Self {
+        self.signature_bits = bits.clamp(1, reuse_quant::MAX_SIGNATURE_BITS);
+        self
+    }
+
+    /// Sets when sessions publish baselines into the cache
+    /// (default [`SignatureInsertPolicy::ColdStart`]).
+    pub fn signature_insert_policy(mut self, policy: SignatureInsertPolicy) -> Self {
+        self.signature_insert = policy;
+        self
+    }
+
+    /// False-positive guard: a signature hit whose cached input disagrees
+    /// with the live input on more than this fraction of quantized codes is
+    /// abandoned (counted as a bailout) and the layer runs from scratch.
+    /// Clamped to `0.0..=1.0`; default 0.25.
+    pub fn signature_bailout_fraction(mut self, fraction: f32) -> Self {
+        self.signature_bailout = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Whether the cross-stream signature cache is enabled.
+    pub fn signature_cache_enabled(&self) -> bool {
+        self.signature_cache
+    }
+
+    /// Shared signature-cache entry bound.
+    pub fn signature_capacity(&self) -> usize {
+        self.signature_capacity
+    }
+
+    /// Signature width in bits.
+    pub fn signature_bits_config(&self) -> u32 {
+        self.signature_bits
+    }
+
+    /// When sessions publish baselines into the cache.
+    pub fn signature_insert_policy_config(&self) -> SignatureInsertPolicy {
+        self.signature_insert
+    }
+
+    /// Mismatched-code fraction above which a signature hit is abandoned.
+    pub fn signature_bailout(&self) -> f32 {
+        self.signature_bailout
     }
 
     /// The effective setting for a layer.
@@ -308,6 +401,37 @@ mod tests {
         assert_eq!(c.drift_check_every(), 8);
         assert!((c.drift_bound() - 0.5).abs() < 1e-9);
         assert_eq!(c.escalate_after(), 3);
+    }
+
+    #[test]
+    fn signature_cache_knobs() {
+        let c = ReuseConfig::uniform(16);
+        assert!(!c.signature_cache_enabled());
+        assert_eq!(c.signature_capacity(), 1024);
+        assert_eq!(c.signature_bits_config(), 16);
+        assert_eq!(
+            c.signature_insert_policy_config(),
+            SignatureInsertPolicy::ColdStart
+        );
+        assert!((c.signature_bailout() - 0.25).abs() < 1e-9);
+        let c = c
+            .signature_cache(true)
+            .signature_cache_capacity(0)
+            .signature_bits(200)
+            .signature_insert_policy(SignatureInsertPolicy::ColdStartAndRebaseline)
+            .signature_bailout_fraction(2.0);
+        assert!(c.signature_cache_enabled());
+        assert_eq!(c.signature_capacity(), 0);
+        assert_eq!(
+            c.signature_bits_config(),
+            reuse_quant::MAX_SIGNATURE_BITS,
+            "bits clamp to one u64"
+        );
+        assert_eq!(
+            c.signature_insert_policy_config(),
+            SignatureInsertPolicy::ColdStartAndRebaseline
+        );
+        assert_eq!(c.signature_bailout(), 1.0, "fraction clamps to [0, 1]");
     }
 
     #[test]

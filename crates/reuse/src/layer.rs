@@ -218,6 +218,14 @@ pub trait ReuseLayer: std::fmt::Debug + Send {
     /// inspects).
     fn buffered_linear(&self) -> &[f32];
 
+    /// Whether a baseline (codes + buffered outputs) is in place, i.e. the
+    /// next [`Self::step`] will correct incrementally instead of running
+    /// from scratch. Recurrent cells report `true`: the cross-stream
+    /// signature cache (the only caller) never adopts into them.
+    fn is_initialized(&self) -> bool {
+        true
+    }
+
     /// Drops buffered state; the next execution recomputes from scratch
     /// (the between-sequence power-gate reset).
     fn reset(&mut self, layer: &Layer);
@@ -253,6 +261,10 @@ impl ReuseLayer for FcReuseState {
 
     fn buffered_linear(&self) -> &[f32] {
         FcReuseState::buffered_linear(self)
+    }
+
+    fn is_initialized(&self) -> bool {
+        FcReuseState::is_initialized(self)
     }
 
     fn reset(&mut self, _layer: &Layer) {
@@ -294,6 +306,10 @@ impl ReuseLayer for Conv2dReuseState {
         Conv2dReuseState::buffered_linear(self)
     }
 
+    fn is_initialized(&self) -> bool {
+        Conv2dReuseState::is_initialized(self)
+    }
+
     fn reset(&mut self, _layer: &Layer) {
         Conv2dReuseState::reset(self);
     }
@@ -328,6 +344,10 @@ impl ReuseLayer for Conv3dReuseState {
 
     fn buffered_linear(&self) -> &[f32] {
         Conv3dReuseState::buffered_linear(self)
+    }
+
+    fn is_initialized(&self) -> bool {
+        Conv3dReuseState::is_initialized(self)
     }
 
     fn reset(&mut self, _layer: &Layer) {

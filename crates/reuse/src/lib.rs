@@ -33,6 +33,9 @@
 //!   one implementation per layer family.
 //! * [`fc`], [`conv`], [`lstm`] — the incremental kernels for each layer
 //!   family (paper Sections IV-B/C/D).
+//! * [`signature`] — the MCACHE-style cross-stream signature cache: RPQ
+//!   hashes of layer inputs let a new stream adopt a near-identical
+//!   baseline published by any other stream of the same model.
 //! * [`metrics`] — input similarity, computation reuse and the Fig. 4
 //!   relative-difference metric.
 //! * [`trace`] — per-execution, per-layer activity records consumed by the
@@ -72,11 +75,12 @@ pub mod metrics;
 mod model;
 pub mod replay;
 mod session;
+pub mod signature;
 pub mod summary;
 pub mod telemetry;
 pub mod trace;
 
-pub use config::{LayerSetting, ReuseConfig};
+pub use config::{LayerSetting, ReuseConfig, SignatureInsertPolicy};
 pub use engine::ReuseEngine;
 pub use error::ReuseError;
 pub use layer::{ExecStats, ReuseLayer, StepCtx};
@@ -84,8 +88,9 @@ pub use metrics::{relative_difference, EngineMetrics, LayerMetrics};
 pub use model::{CompiledModel, CompiledWeights};
 pub use reuse_tensor::ParallelConfig;
 pub use session::ReuseSession;
+pub use signature::{CachedBaseline, SignatureCache};
 pub use telemetry::{
-    EngineTelemetry, LayerTelemetry, LayerTelemetrySnapshot, PoolStats, TelemetrySnapshot,
-    WatchdogStats,
+    EngineTelemetry, LayerTelemetry, LayerTelemetrySnapshot, PoolStats, SignatureStats,
+    TelemetrySnapshot, WatchdogStats,
 };
 pub use trace::{ExecutionTrace, LayerTrace, TraceKind};

@@ -15,6 +15,7 @@ use reuse_nn::{Layer, LayerKind, Network};
 use crate::conv::{Conv2dPack, Conv3dPack};
 use crate::lstm::LstmGatePack;
 use crate::session::ReuseSession;
+use crate::signature::{ModelSignatures, SignatureCache};
 use crate::{LayerSetting, ReuseConfig};
 
 /// Packed/blocked weight layouts for one reuse slot, shared by every
@@ -84,9 +85,12 @@ pub(crate) struct CompiledSlot {
 /// The immutable network + plan + packed weights + config, built once and
 /// shared by reference across [`ReuseSession`]s.
 ///
-/// `CompiledModel` is `Sync`: it holds no interior mutability, so an
-/// `Arc<CompiledModel>` can be handed to any number of threads, each
-/// running its own session (see [`CompiledModel::new_session`]).
+/// `CompiledModel` is `Sync`. The plan and weights hold no interior
+/// mutability; the only mutable state is the optional cross-stream
+/// [`SignatureCache`], whose per-shard `Mutex`es are touched exclusively
+/// on cold-start (never steady-state) paths. An `Arc<CompiledModel>` can
+/// be handed to any number of threads, each running its own session (see
+/// [`CompiledModel::new_session`]).
 #[derive(Debug)]
 pub struct CompiledModel {
     network: Network,
@@ -98,6 +102,9 @@ pub struct CompiledModel {
     /// Output volume of every layer, precomputed so the hot path never
     /// re-derives shapes.
     layer_out_volumes: Vec<usize>,
+    /// RPQ planes + shared cache when the config enables cross-stream
+    /// signature reuse (feed-forward networks only).
+    signatures: Option<ModelSignatures>,
 }
 
 impl CompiledModel {
@@ -142,12 +149,26 @@ impl CompiledModel {
                     .volume()
             })
             .collect();
+        // Signature adoption rides the feed-forward step path; recurrent
+        // networks keep their per-stream-only reuse (sequence resets make
+        // a cross-stream baseline meaningless mid-sequence).
+        let signatures = if config.signature_cache_enabled() && !network.is_recurrent() {
+            let input_volumes: Vec<usize> = network
+                .layer_input_shapes()
+                .iter()
+                .map(reuse_tensor::Shape::volume)
+                .collect();
+            Some(ModelSignatures::new(&slots, &input_volumes, config))
+        } else {
+            None
+        };
         CompiledModel {
             network,
             config: config.clone(),
             slots,
             slot_of_layer,
             layer_out_volumes,
+            signatures,
         }
     }
 
@@ -186,6 +207,25 @@ impl CompiledModel {
     pub(crate) fn layer_out_volumes(&self) -> &[usize] {
         &self.layer_out_volumes
     }
+
+    pub(crate) fn signatures(&self) -> Option<&ModelSignatures> {
+        self.signatures.as_ref()
+    }
+
+    /// The shared cross-stream signature cache, when the model was
+    /// compiled with [`ReuseConfig::signature_cache`] on a feed-forward
+    /// network.
+    pub fn signature_cache(&self) -> Option<&SignatureCache> {
+        self.signatures.as_ref().map(ModelSignatures::cache)
+    }
+
+    /// Bytes held by the baked-in RPQ plane matrices (0 when the
+    /// signature cache is off).
+    pub fn signature_plane_bytes(&self) -> usize {
+        self.signatures
+            .as_ref()
+            .map_or(0, ModelSignatures::plane_bytes)
+    }
 }
 
 #[cfg(test)]
@@ -214,5 +254,48 @@ mod tests {
     fn compiled_model_is_sync_and_send() {
         fn assert_sync_send<T: Sync + Send>() {}
         assert_sync_send::<CompiledModel>();
+    }
+
+    #[test]
+    fn signature_cache_is_off_by_default_and_feed_forward_only() {
+        let net = NetworkBuilder::new("mlp", 8)
+            .fully_connected(16, Activation::Relu)
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap();
+        let off = CompiledModel::new(&net, &ReuseConfig::uniform(16));
+        assert!(off.signature_cache().is_none());
+        assert_eq!(off.signature_plane_bytes(), 0);
+
+        let on = CompiledModel::new(&net, &ReuseConfig::uniform(16).signature_cache(true));
+        assert!(on.signature_cache().is_some());
+        assert!(on.signature_plane_bytes() > 0);
+
+        let rnn = NetworkBuilder::new("rnn", 8)
+            .lstm(6)
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap();
+        let rnn_on = CompiledModel::new(&rnn, &ReuseConfig::uniform(16).signature_cache(true));
+        assert!(
+            rnn_on.signature_cache().is_none(),
+            "recurrent networks keep per-stream-only reuse"
+        );
+    }
+
+    #[test]
+    fn disabled_layers_get_no_planes() {
+        let net = NetworkBuilder::new("mlp", 8)
+            .fully_connected(16, Activation::Relu)
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap();
+        let config = ReuseConfig::uniform(16)
+            .signature_cache(true)
+            .disable_layer("fc1");
+        let model = CompiledModel::new(&net, &config);
+        let sigs = model.signatures().unwrap();
+        assert!(sigs.planes(0).is_none(), "fc1 is reuse-disabled");
+        assert!(sigs.planes(1).is_some());
     }
 }

@@ -11,18 +11,20 @@
 use std::sync::Arc;
 
 use reuse_nn::Layer;
-use reuse_quant::{LinearQuantizer, RangeProfiler};
-use reuse_tensor::Tensor;
+use reuse_quant::{LinearQuantizer, QuantCode, RangeProfiler};
+use reuse_tensor::{ParallelConfig, Tensor};
 
 use crate::drift::max_abs_diff;
 use crate::layer::{build_state, span_elapsed_ns, span_start, ExecStats, ReuseLayer, StepCtx};
 use crate::metrics::{relative_difference, EngineMetrics, LayerMetrics};
 use crate::model::CompiledModel;
+use crate::signature::CachedBaseline;
 use crate::telemetry::{
-    EngineTelemetry, LayerTelemetrySnapshot, PoolStats, TelemetrySnapshot, WatchdogStats,
+    EngineTelemetry, LayerTelemetrySnapshot, PoolStats, SignatureStats, TelemetrySnapshot,
+    WatchdogStats,
 };
 use crate::trace::{ExecutionTrace, LayerTrace, TraceKind};
-use crate::ReuseError;
+use crate::{ReuseError, SignatureInsertPolicy};
 
 /// A recycling arena of `f32` buffers for a session's per-frame
 /// intermediates.
@@ -156,6 +158,13 @@ pub struct ReuseSession {
     watchdog: WatchdogStats,
     /// Reuse-phase feed-forward frames seen (drives the watchdog cadence).
     reuse_frames: u64,
+    /// Cross-stream signature-cache counters (maintained even without
+    /// telemetry, like the watchdog's).
+    signature: SignatureStats,
+    /// Scratch code buffers for the signature false-positive pre-check
+    /// (cold path, but reused so repeated cold starts don't churn).
+    sig_scratch_cur: Vec<QuantCode>,
+    sig_scratch_cached: Vec<QuantCode>,
 }
 
 impl ReuseSession {
@@ -201,6 +210,9 @@ impl ReuseSession {
             telemetry,
             watchdog: WatchdogStats::default(),
             reuse_frames: 0,
+            signature: SignatureStats::default(),
+            sig_scratch_cur: Vec::new(),
+            sig_scratch_cached: Vec::new(),
         }
     }
 
@@ -258,6 +270,13 @@ impl ReuseSession {
         self.pool.stats
     }
 
+    /// Cross-stream signature-cache counters for this session (all zero
+    /// when the model carries no cache). Returned by value —
+    /// `SignatureStats` is `Copy`, no allocation.
+    pub fn signature_stats(&self) -> SignatureStats {
+        self.signature
+    }
+
     /// Live per-layer telemetry, when enabled via
     /// [`crate::ReuseConfig::telemetry`].
     pub fn telemetry(&self) -> Option<&EngineTelemetry> {
@@ -286,6 +305,9 @@ impl ReuseSession {
                     span_ns_window: lt.span_ns.mean(),
                     rebaselines: rt.rebaselines,
                     auto_disabled: rt.auto_disabled,
+                    signature_lookups: lt.signature_lookups,
+                    signature_hits: lt.signature_hits,
+                    signature_bailouts: lt.signature_bailouts,
                 }
             })
             .collect();
@@ -297,6 +319,7 @@ impl ReuseSession {
             watchdog: self.watchdog,
             drift_check_every: self.model.config().drift_check_every(),
             drift_bound: self.model.config().drift_bound(),
+            signature: self.signature,
             layers,
         })
     }
@@ -380,6 +403,7 @@ impl ReuseSession {
         }
         self.watchdog = WatchdogStats::default();
         self.reuse_frames = 0;
+        self.signature = SignatureStats::default();
         for rt in &mut self.runtimes {
             rt.rebaselines = 0;
             rt.drift_strikes = 0;
@@ -818,6 +842,16 @@ impl ReuseSession {
             let run_reuse = slot_pos != usize::MAX && self.slot_enabled(slot_pos);
             if run_reuse {
                 let mut next = self.pool.take(model.layer_out_volumes()[i]);
+                // Cross-stream adoption runs only when this stream has no
+                // baseline yet (cold start), so steady-state frames pay a
+                // single branch here and never touch the shared cache.
+                let pending_sig = if model.signatures().is_some()
+                    && !self.runtimes[slot_pos].state.is_initialized()
+                {
+                    self.signature_lookup(slot_pos, i, &cur, &parallel)
+                } else {
+                    None
+                };
                 let span = span_start(timed);
                 let stats = {
                     let slot = &model.slots()[slot_pos];
@@ -834,6 +868,15 @@ impl ReuseSession {
                     rt.state.step(&ctx, &cur, &mut next)?
                 };
                 let span_ns = span_elapsed_ns(span);
+                if let Some(sig) = pending_sig {
+                    if stats.from_scratch {
+                        // The lookup missed (or bailed) and the slot just
+                        // initialized from scratch: publish the fresh
+                        // baseline for other streams under the signature
+                        // computed from the same input.
+                        self.signature_insert(slot_pos, sig, &cur);
+                    }
+                }
                 // `cur` (this layer's raw input) is still alive here, so the
                 // relative-difference recorder reads it without the per-layer
                 // copy the old path made unconditionally.
@@ -891,6 +934,100 @@ impl ReuseSession {
             self.watchdog_check(frame, out)?;
         }
         Ok(())
+    }
+
+    /// Attempts cross-stream baseline adoption for an uninitialized slot.
+    ///
+    /// Hashes the raw layer input with the model's RPQ planes and consults
+    /// the shared cache. On a hit that survives the false-positive guard,
+    /// the cached baseline is adopted — codes become *this* session's
+    /// quantization of the cached raw input, buffered outputs become the
+    /// cached linear values — and the regular step that follows corrects
+    /// the few differing codes through the ordinary `z' = z + (c'-c)·w`
+    /// pass. Returns the signature when no adoption happened (miss or
+    /// bailout) so the caller can publish the from-scratch baseline under
+    /// it, and `None` after a successful adoption (the cache already
+    /// covers this signature).
+    fn signature_lookup(
+        &mut self,
+        slot_pos: usize,
+        layer_index: usize,
+        input: &[f32],
+        parallel: &ParallelConfig,
+    ) -> Option<u64> {
+        let model = Arc::clone(&self.model);
+        let sigs = model.signatures()?;
+        let planes = sigs.planes(slot_pos)?;
+        let sig = planes.signature(input);
+        self.signature.lookups += 1;
+        let metrics_index = model.slots()[slot_pos].metrics_index;
+        let Some(entry) = sigs.cache().get(slot_pos as u32, sig) else {
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.layers[metrics_index].record_signature(false, false);
+            }
+            return Some(sig);
+        };
+        self.signature.hits += 1;
+        // False-positive guard: quantize both the live and the cached
+        // input under this session's grid and count disagreeing codes. A
+        // hash collision between genuinely different inputs shows up as a
+        // large changed fraction, where adopting would cost more in
+        // corrections (and accuracy) than running from scratch.
+        let qx = self.runtimes[slot_pos]
+            .quantizer_x
+            .expect("enabled slot has quantizer");
+        let bail = entry.input.len() != input.len() || {
+            qx.quantize_slice_into(input, &mut self.sig_scratch_cur);
+            qx.quantize_slice_into(&entry.input, &mut self.sig_scratch_cached);
+            let changed = self
+                .sig_scratch_cur
+                .iter()
+                .zip(self.sig_scratch_cached.iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            changed as f32 > model.config().signature_bailout() * input.len() as f32
+        };
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.layers[metrics_index].record_signature(true, bail);
+        }
+        if bail {
+            self.signature.bailouts += 1;
+            return Some(sig);
+        }
+        let qh = self.runtimes[slot_pos].quantizer_h;
+        let ctx = StepCtx {
+            parallel,
+            layer: &model.network().layers()[layer_index].1,
+            weights: &model.slots()[slot_pos].weights,
+            quantizer_x: &qx,
+            quantizer_h: qh.as_ref(),
+        };
+        self.runtimes[slot_pos]
+            .state
+            .adopt_baseline(&ctx, &entry.input, &entry.linear);
+        self.signature.adoptions += 1;
+        None
+    }
+
+    /// Publishes a slot's freshly initialized baseline — the raw input it
+    /// just ran from scratch on plus the buffered linear outputs — into
+    /// the shared cache under `sig`.
+    fn signature_insert(&mut self, slot_pos: usize, sig: u64, input: &[f32]) {
+        let model = Arc::clone(&self.model);
+        let Some(sigs) = model.signatures() else {
+            return;
+        };
+        let linear = self.runtimes[slot_pos].state.buffered_linear();
+        if linear.is_empty() {
+            return;
+        }
+        let entry = CachedBaseline {
+            input: input.to_vec(),
+            linear: linear.to_vec(),
+        };
+        if sigs.cache().insert(slot_pos as u32, sig, entry) {
+            self.signature.inserts += 1;
+        }
     }
 
     /// One drift-watchdog check: compares this frame's incremental output
@@ -973,6 +1110,25 @@ impl ReuseSession {
                     // zero-alloc contract no longer holds: disarm the pool's
                     // steady-state assertion.
                     self.pool.steady = false;
+                }
+            }
+            if model.config().signature_insert_policy_config()
+                == SignatureInsertPolicy::ColdStartAndRebaseline
+            {
+                // The re-baseline just recomputed an exact full-precision
+                // baseline; refresh the shared cache so other streams
+                // adopt the corrected values instead of the drifted ones.
+                if let Some(sigs) = model.signatures() {
+                    if let Some(planes) = sigs.planes(slot_pos) {
+                        let sig = planes.signature(cur.as_slice());
+                        let entry = CachedBaseline {
+                            input: cur.as_slice().to_vec(),
+                            linear: linear.as_slice().to_vec(),
+                        };
+                        if sigs.cache().insert(slot_pos as u32, sig, entry) {
+                            self.signature.inserts += 1;
+                        }
+                    }
                 }
             }
             cur = activation.apply(&linear);

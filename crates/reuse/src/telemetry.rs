@@ -121,6 +121,24 @@ pub struct WatchdogStats {
     pub max_drift: f32,
 }
 
+/// Cross-stream signature-cache activity for one session (see
+/// [`crate::signature`]): lookups are attempted only when the per-stream
+/// frame-(t-1) baseline is missing, so every counter here is cold-path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SignatureStats {
+    /// Signature lookups attempted (uninitialized baseline + eligible slot).
+    pub lookups: u64,
+    /// Lookups that found a cached entry for the signature.
+    pub hits: u64,
+    /// Hits adopted as the layer's baseline.
+    pub adoptions: u64,
+    /// Hits abandoned because the cached input disagreed with the live
+    /// input on too many quantized codes (false-positive collisions).
+    pub bailouts: u64,
+    /// Baselines this session published into the shared cache.
+    pub inserts: u64,
+}
+
 /// Per-layer, per-execution telemetry: recent-window rings plus lifetime
 /// totals. Only incremental (non-from-scratch) executions are recorded,
 /// matching [`crate::LayerMetrics`].
@@ -148,6 +166,12 @@ pub struct LayerTelemetry {
     pub macs_skipped_total: u64,
     /// Measured span nanoseconds summed across executions.
     pub span_ns_total: u64,
+    /// Cross-stream signature lookups attempted for this layer.
+    pub signature_lookups: u64,
+    /// Signature hits for this layer.
+    pub signature_hits: u64,
+    /// Signature hits abandoned by the false-positive guard.
+    pub signature_bailouts: u64,
 }
 
 impl LayerTelemetry {
@@ -164,6 +188,9 @@ impl LayerTelemetry {
             corrections_total: 0,
             macs_skipped_total: 0,
             span_ns_total: 0,
+            signature_lookups: 0,
+            signature_hits: 0,
+            signature_bailouts: 0,
         }
     }
 
@@ -204,6 +231,18 @@ impl LayerTelemetry {
         self.span_ns.push(span_ns as f32);
     }
 
+    /// Records the outcome of one cross-stream signature lookup
+    /// (cold path, but still allocation-free).
+    pub(crate) fn record_signature(&mut self, hit: bool, bailed: bool) {
+        self.signature_lookups += 1;
+        if hit {
+            self.signature_hits += 1;
+        }
+        if bailed {
+            self.signature_bailouts += 1;
+        }
+    }
+
     fn reset(&mut self) {
         self.hit_rate.clear();
         self.corrections.clear();
@@ -215,6 +254,9 @@ impl LayerTelemetry {
         self.corrections_total = 0;
         self.macs_skipped_total = 0;
         self.span_ns_total = 0;
+        self.signature_lookups = 0;
+        self.signature_hits = 0;
+        self.signature_bailouts = 0;
     }
 }
 
@@ -278,6 +320,9 @@ pub struct TelemetrySnapshot {
     pub drift_check_every: u64,
     /// Configured drift bound.
     pub drift_bound: f32,
+    /// Cross-stream signature-cache counters (all zero when the cache is
+    /// disabled for the model).
+    pub signature: SignatureStats,
     /// Per-layer records, in network order.
     pub layers: Vec<LayerTelemetrySnapshot>,
 }
@@ -303,6 +348,12 @@ pub struct LayerTelemetrySnapshot {
     pub rebaselines: u64,
     /// Whether the layer has been escalated to full-precision execution.
     pub auto_disabled: bool,
+    /// Cross-stream signature lookups attempted for this layer.
+    pub signature_lookups: u64,
+    /// Signature hits for this layer.
+    pub signature_hits: u64,
+    /// Signature hits abandoned by the false-positive guard.
+    pub signature_bailouts: u64,
 }
 
 /// Formats an `f64` as a JSON number (`null` for non-finite values).
@@ -357,6 +408,16 @@ impl TelemetrySnapshot {
             json_num(f64::from(self.watchdog.last_drift)),
             json_num(f64::from(self.watchdog.max_drift)),
         );
+        let _ = writeln!(
+            s,
+            "  \"signature_cache\": {{\"lookups\": {}, \"hits\": {}, \"adoptions\": {}, \
+             \"bailouts\": {}, \"inserts\": {}}},",
+            self.signature.lookups,
+            self.signature.hits,
+            self.signature.adoptions,
+            self.signature.bailouts,
+            self.signature.inserts,
+        );
         s.push_str("  \"layers\": [\n");
         for (i, l) in self.layers.iter().enumerate() {
             let _ = writeln!(
@@ -364,7 +425,9 @@ impl TelemetrySnapshot {
                 "    {{\"name\": {}, \"reuse_executions\": {}, \"hit_rate\": {}, \
                  \"hit_rate_window\": {}, \"corrections_total\": {}, \
                  \"macs_skipped_total\": {}, \"span_ns_window\": {}, \
-                 \"rebaselines\": {}, \"auto_disabled\": {}}}{}",
+                 \"rebaselines\": {}, \"auto_disabled\": {}, \
+                 \"signature_lookups\": {}, \"signature_hits\": {}, \
+                 \"signature_bailouts\": {}}}{}",
                 json_str(&l.name),
                 l.reuse_executions,
                 json_num(l.hit_rate),
@@ -374,6 +437,9 @@ impl TelemetrySnapshot {
                 json_num(l.span_ns_window),
                 l.rebaselines,
                 l.auto_disabled,
+                l.signature_lookups,
+                l.signature_hits,
+                l.signature_bailouts,
                 if i + 1 < self.layers.len() { "," } else { "" }
             );
         }
@@ -450,6 +516,13 @@ mod tests {
             },
             drift_check_every: 4,
             drift_bound: 1e-3,
+            signature: SignatureStats {
+                lookups: 5,
+                hits: 3,
+                adoptions: 2,
+                bailouts: 1,
+                inserts: 4,
+            },
             layers: vec![LayerTelemetrySnapshot {
                 name: "fc1".to_string(),
                 reuse_executions: 10,
@@ -460,12 +533,17 @@ mod tests {
                 span_ns_window: 1234.5,
                 rebaselines: 1,
                 auto_disabled: false,
+                signature_lookups: 2,
+                signature_hits: 1,
+                signature_bailouts: 0,
             }],
         };
         let json = snap.to_json();
         assert!(json.contains("\"network\": \"demo\\\"net\""));
         assert!(json.contains("\"hit_rate\": 0.875000"));
         assert!(json.contains("\"misses\": 4"));
+        assert!(json.contains("\"signature_cache\": {\"lookups\": 5, \"hits\": 3"));
+        assert!(json.contains("\"signature_lookups\": 2"));
         // Non-finite floats degrade to null, keeping the JSON parseable.
         assert!(json.contains("\"max_drift\": null"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -1,0 +1,155 @@
+//! Cross-stream signature cache integration: capacity-0 degrades to
+//! per-stream behavior bit for bit, similar streams adopt each other's
+//! baselines, and the bailout guard keeps dissimilar hits from ever
+//! corrupting outputs.
+
+use std::sync::Arc;
+
+use reuse_core::{CompiledModel, ReuseConfig, ReuseSession};
+use reuse_nn::{init::Rng64, Activation, Network, NetworkBuilder};
+
+/// A smooth random walk of frames, mimicking consecutive audio windows.
+fn walk(len: usize, dim: usize, step: f32, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Rng64::new(seed);
+    let mut frame: Vec<f32> = (0..dim).map(|_| rng.uniform(0.5)).collect();
+    (0..len)
+        .map(|_| {
+            for v in &mut frame {
+                *v = (*v + rng.uniform(step)).clamp(-1.0, 1.0);
+            }
+            frame.clone()
+        })
+        .collect()
+}
+
+fn mlp() -> Network {
+    NetworkBuilder::new("mlp", 12)
+        .seed(5)
+        .fully_connected(24, Activation::Relu)
+        .fully_connected(16, Activation::Relu)
+        .fully_connected(4, Activation::Identity)
+        .build()
+        .unwrap()
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+    }
+}
+
+fn run(session: &mut ReuseSession, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    frames
+        .iter()
+        .map(|f| session.execute(f).unwrap().as_slice().to_vec())
+        .collect()
+}
+
+/// Capacity 0 keeps the lookup plumbing alive but can never hit or
+/// insert, so outputs must be bit-identical to a cache-off model.
+#[test]
+fn capacity_zero_is_bit_identical_to_cache_off() {
+    let net = mlp();
+    let frames = walk(20, 12, 0.08, 31);
+
+    let off = Arc::new(CompiledModel::new(&net, &ReuseConfig::uniform(16)));
+    let on = Arc::new(CompiledModel::new(
+        &net,
+        &ReuseConfig::uniform(16)
+            .signature_cache(true)
+            .signature_cache_capacity(0),
+    ));
+    assert!(on.signature_cache().is_some());
+
+    let mut s_off = off.new_session();
+    let mut s_on = on.new_session();
+    let outs_off = run(&mut s_off, &frames);
+    let outs_on = run(&mut s_on, &frames);
+    for (a, b) in outs_off.iter().zip(outs_on.iter()) {
+        assert_bits_eq(a, b);
+    }
+    assert_eq!(s_off.metrics(), s_on.metrics(), "reuse metrics unchanged");
+
+    let stats = s_on.signature_stats();
+    assert!(stats.lookups > 0, "cold-start lookups still happen");
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.adoptions, 0);
+    assert_eq!(stats.inserts, 0, "capacity 0 rejects inserts");
+    assert!(on.signature_cache().unwrap().is_empty());
+}
+
+/// A second stream with the same frames adopts the first stream's
+/// published baseline instead of running its cold-start from scratch.
+#[test]
+fn similar_stream_adopts_cached_baseline() {
+    let net = mlp();
+    let frames = walk(10, 12, 0.05, 7);
+    let model = Arc::new(CompiledModel::new(
+        &net,
+        &ReuseConfig::uniform(16).signature_cache(true),
+    ));
+
+    let mut producer = model.new_session();
+    let baseline_outs = run(&mut producer, &frames);
+    let p = producer.signature_stats();
+    assert!(p.lookups > 0);
+    assert_eq!(p.hits, 0, "empty cache cannot hit");
+    assert!(p.inserts > 0, "cold-start from-scratch frames publish");
+    assert!(!model.signature_cache().unwrap().is_empty());
+
+    let mut consumer = model.new_session();
+    let adopted_outs = run(&mut consumer, &frames);
+    let c = consumer.signature_stats();
+    assert!(c.hits > 0, "identical frames must hit the cache");
+    assert!(c.adoptions > 0, "in-tolerance hits adopt the baseline");
+    assert_eq!(c.bailouts, 0, "identical inputs change no codes");
+
+    // Adoption corrects against the producer's buffered linear outputs:
+    // numerically close to the from-scratch path, not bit-identical.
+    for (a, b) in baseline_outs.iter().zip(adopted_outs.iter()) {
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 0.05, "adopted output drifted: {x} vs {y}");
+        }
+    }
+}
+
+/// With the bailout fraction at 0 any changed code aborts adoption, so
+/// hits degrade to from-scratch and outputs stay bit-identical to a
+/// cache-off model.
+#[test]
+fn zero_tolerance_bailout_preserves_bit_identity() {
+    let net = mlp();
+    let frames = walk(10, 12, 0.05, 7);
+    // Same walk, with the cold-start frame nudged just enough to move a
+    // few quantized codes while (deterministically) keeping the same
+    // 16-bit signature.
+    let mut nudged = frames.clone();
+    for v in &mut nudged[1] {
+        *v += 0.004;
+    }
+
+    let strict = Arc::new(CompiledModel::new(
+        &net,
+        &ReuseConfig::uniform(16)
+            .signature_cache(true)
+            .signature_bailout_fraction(0.0),
+    ));
+    let off = Arc::new(CompiledModel::new(&net, &ReuseConfig::uniform(16)));
+
+    let mut producer = strict.new_session();
+    run(&mut producer, &frames);
+
+    let mut consumer = strict.new_session();
+    let outs = run(&mut consumer, &nudged);
+    let c = consumer.signature_stats();
+    assert!(c.hits > 0, "nudge must stay inside the signature");
+    assert!(c.bailouts > 0, "changed codes must trip the zero tolerance");
+    assert_eq!(c.adoptions, 0);
+
+    let mut alone = off.new_session();
+    let alone_outs = run(&mut alone, &nudged);
+    for (a, b) in outs.iter().zip(alone_outs.iter()) {
+        assert_bits_eq(a, b);
+    }
+}

@@ -165,9 +165,13 @@ struct StreamEntry {
     /// Frames this entry completed in the current tick (summed after the
     /// parallel loop — keeps the dispatch workers free of shared counters).
     tick_frames: u64,
-    /// First execution error, if any; an errored stream is skipped by later
-    /// ticks and surfaced through [`StreamServer::tick`].
+    /// First execution error, if any. The error is sticky: a failed stream
+    /// stays failed (skipped by later ticks, zero ready units) until it is
+    /// evicted — it must never silently resume.
     error: Option<reuse_core::ReuseError>,
+    /// Whether [`StreamServer::tick`] has already surfaced this stream's
+    /// error to the caller (each failure is reported exactly once).
+    error_reported: bool,
 }
 
 impl StreamEntry {
@@ -187,12 +191,18 @@ impl StreamEntry {
             outputs_dropped: 0,
             tick_frames: 0,
             error: None,
+            error_reported: false,
         }
     }
 
     /// Frames ready to execute: every queued frame for feed-forward
-    /// streams, whole sequences only for recurrent ones.
+    /// streams, whole sequences only for recurrent ones. A failed stream
+    /// has no ready units — its queued frames stay parked so drain loops
+    /// spinning on [`StreamServer::ready_units`] terminate.
     fn ready_units(&self, sequence_len: usize) -> usize {
+        if self.error.is_some() {
+            return 0;
+        }
         self.queue
             .len()
             .checked_div(sequence_len)
@@ -399,6 +409,31 @@ impl StreamServer {
         self.index.get(&id).map(|&slot| &self.entries[slot].session)
     }
 
+    /// Whether a stream has failed (its sticky execution error is set). A
+    /// failed stream is skipped by ticks until evicted.
+    pub fn stream_failed(&self, id: u64) -> bool {
+        self.index
+            .get(&id)
+            .is_some_and(|&slot| self.entries[slot].error.is_some())
+    }
+
+    /// Marks a stream failed with `error`, as if one of its frames had
+    /// errored during a tick. Returns `false` when the stream does not
+    /// exist. Test hook for the sticky-error path: real execution errors
+    /// are unreachable through `submit`'s pre-validation.
+    #[doc(hidden)]
+    pub fn inject_stream_error(&mut self, id: u64, error: reuse_core::ReuseError) -> bool {
+        let Some(&slot) = self.index.get(&id) else {
+            return false;
+        };
+        let entry = &mut self.entries[slot];
+        if entry.error.is_none() {
+            entry.error = Some(error);
+            entry.error_reported = false;
+        }
+        true
+    }
+
     /// Queued (not yet executed) frames for one stream.
     pub fn queue_len(&self, id: u64) -> usize {
         self.index
@@ -480,10 +515,8 @@ impl StreamServer {
             Some(&slot) => slot,
             None => self.create_stream(id),
         };
-        self.clock += 1;
         let watermark = self.config.effective_watermark();
         let entry = &mut self.entries[slot];
-        entry.last_used = self.clock;
         if entry.queue.len() >= self.config.queue_capacity {
             self.rejected_queue_full += 1;
             return Ok(SubmitResult::QueueFull);
@@ -492,6 +525,13 @@ impl StreamServer {
             self.shed += 1;
             return Ok(SubmitResult::Shed);
         }
+        // Only accepted frames refresh the LRU clock: a spammer whose every
+        // submit is rejected must not look recently used and push healthy
+        // streams out of the session pool. (A brand-new stream's first
+        // submit cannot be rejected — its queue is empty and it is not
+        // degraded — so a just-created entry always gets a clock value.)
+        self.clock += 1;
+        entry.last_used = self.clock;
         let mut data = entry.frame_free.pop().unwrap_or_default();
         data.clear();
         data.extend_from_slice(frame);
@@ -553,8 +593,10 @@ impl StreamServer {
     ///
     /// # Errors
     ///
-    /// Returns the first stream execution error encountered; the failed
-    /// stream is skipped by later ticks.
+    /// Returns the first not-yet-reported stream execution error. The error
+    /// stays on the stream (sticky): the failed stream is skipped by every
+    /// later tick and never silently resumes, but each failure is surfaced
+    /// through this result exactly once.
     pub fn tick(&mut self) -> Result<TickStats, ServeError> {
         self.ticks += 1;
         let config = &self.config;
@@ -571,9 +613,10 @@ impl StreamServer {
             if entry.tick_frames > 0 {
                 stats.streams += 1;
             }
-            if first_error.is_none() {
-                if let Some(e) = entry.error.take() {
-                    first_error = Some(e);
+            if first_error.is_none() && !entry.error_reported {
+                if let Some(e) = &entry.error {
+                    first_error = Some(e.clone());
+                    entry.error_reported = true;
                 }
             }
         }
@@ -606,6 +649,15 @@ impl StreamServer {
     /// tick.
     pub fn snapshot(&self) -> ServerSnapshot {
         let outputs_dropped = self.entries.iter().map(|e| e.outputs_dropped).sum();
+        let mut signature = reuse_core::SignatureStats::default();
+        for e in &self.entries {
+            let s = e.session.signature_stats();
+            signature.lookups += s.lookups;
+            signature.hits += s.hits;
+            signature.adoptions += s.adoptions;
+            signature.bailouts += s.bailouts;
+            signature.inserts += s.inserts;
+        }
         let streams = self
             .entries
             .iter()
@@ -615,7 +667,8 @@ impl StreamServer {
                 frames_done: e.frames_done,
                 queue_len: e.queue.len(),
                 degraded: e.degraded,
-                hit_rate: e.session.metrics().overall_input_similarity(),
+                failed: e.error.is_some(),
+                input_similarity: e.session.metrics().overall_input_similarity(),
             })
             .collect();
         ServerSnapshot {
@@ -634,6 +687,7 @@ impl StreamServer {
             p50_ns: self.latency.quantile_ns(0.50),
             p99_ns: self.latency.quantile_ns(0.99),
             max_ns: self.latency.max_ns(),
+            signature,
             streams,
         }
     }

@@ -6,6 +6,8 @@
 
 use std::fmt::Write as _;
 
+use reuse_core::SignatureStats;
+
 /// Aggregate and per-stream server state at one point in time. Built by
 /// [`crate::StreamServer::snapshot`]; owns all its data.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +42,9 @@ pub struct ServerSnapshot {
     pub p99_ns: u64,
     /// Largest exact latency sample (ns).
     pub max_ns: u64,
+    /// Cross-stream signature-cache counters summed over the pool's live
+    /// sessions (all zero when the model compiles the cache out).
+    pub signature: SignatureStats,
     /// Per-stream detail, in pool order.
     pub streams: Vec<StreamSnapshot>,
 }
@@ -57,8 +62,13 @@ pub struct StreamSnapshot {
     pub queue_len: usize,
     /// Whether the stream's drift watchdog has auto-disabled reuse layers.
     pub degraded: bool,
-    /// Overall input-similarity hit rate of the stream's session.
-    pub hit_rate: f64,
+    /// Whether the stream has a sticky execution error (skipped by ticks).
+    pub failed: bool,
+    /// The session's overall input similarity
+    /// ([`reuse_core::EngineMetrics::overall_input_similarity`]): the
+    /// fraction of layer inputs whose quantized code matched frame t-1.
+    /// Formerly (mis)named `hit_rate`.
+    pub input_similarity: f64,
 }
 
 /// `f64` → JSON number, `null` for non-finite values.
@@ -115,19 +125,31 @@ impl ServerSnapshot {
             "  \"latency_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}},",
             self.latency_count, self.p50_ns, self.p99_ns, self.max_ns
         );
+        let _ = writeln!(
+            s,
+            "  \"signature_cache\": {{\"lookups\": {}, \"hits\": {}, \"adoptions\": {}, \
+             \"bailouts\": {}, \"inserts\": {}}},",
+            self.signature.lookups,
+            self.signature.hits,
+            self.signature.adoptions,
+            self.signature.bailouts,
+            self.signature.inserts
+        );
         s.push_str("  \"streams\": [\n");
         for (i, st) in self.streams.iter().enumerate() {
             let comma = if i + 1 == self.streams.len() { "" } else { "," };
             let _ = writeln!(
                 s,
                 "    {{\"id\": {}, \"frames_in\": {}, \"frames_done\": {}, \
-                 \"queue_len\": {}, \"degraded\": {}, \"hit_rate\": {}}}{}",
+                 \"queue_len\": {}, \"degraded\": {}, \"failed\": {}, \
+                 \"input_similarity\": {}}}{}",
                 st.id,
                 st.frames_in,
                 st.frames_done,
                 st.queue_len,
                 st.degraded,
-                json_num(st.hit_rate),
+                st.failed,
+                json_num(st.input_similarity),
                 comma
             );
         }
@@ -159,6 +181,13 @@ mod tests {
             p50_ns: 4095,
             p99_ns: 65535,
             max_ns: 60000,
+            signature: SignatureStats {
+                lookups: 6,
+                hits: 4,
+                adoptions: 3,
+                bailouts: 1,
+                inserts: 2,
+            },
             streams: vec![
                 StreamSnapshot {
                     id: 0,
@@ -166,7 +195,8 @@ mod tests {
                     frames_done: 9,
                     queue_len: 1,
                     degraded: false,
-                    hit_rate: 0.75,
+                    failed: false,
+                    input_similarity: 0.75,
                 },
                 StreamSnapshot {
                     id: 7,
@@ -174,7 +204,8 @@ mod tests {
                     frames_done: 9,
                     queue_len: 0,
                     degraded: true,
-                    hit_rate: f64::NAN,
+                    failed: true,
+                    input_similarity: f64::NAN,
                 },
             ],
         };
@@ -182,8 +213,13 @@ mod tests {
         assert!(json.contains("\\\"test\\\""));
         assert!(json.contains("\"p99\": 65535"));
         assert!(json.contains("\"degraded\": true"));
-        // Non-finite hit rate serializes as null, not NaN.
-        assert!(json.contains("\"hit_rate\": null"));
+        assert!(json.contains("\"failed\": true"));
+        assert!(json.contains(
+            "\"signature_cache\": {\"lookups\": 6, \"hits\": 4, \"adoptions\": 3, \
+             \"bailouts\": 1, \"inserts\": 2}"
+        ));
+        // Non-finite similarity serializes as null, not NaN.
+        assert!(json.contains("\"input_similarity\": null"));
         assert!(!json.contains("NaN"));
         // Balanced braces/brackets.
         assert_eq!(

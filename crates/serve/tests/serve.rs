@@ -395,8 +395,232 @@ fn undrained_outputs_drop_oldest_not_newest() {
     assert_bits_eq(&outs[1], &expected[3]);
 }
 
+/// Regression (sticky errors): a stream that hit an execution error must
+/// not silently resume on the next tick. The error is reported exactly
+/// once; the stream then stays parked — no frames complete, no ready
+/// units — until eviction.
+#[test]
+fn failed_stream_stays_failed_and_reports_once() {
+    let net = mlp();
+    let model = Arc::new(CompiledModel::new(&net, &ReuseConfig::uniform(16)));
+    let mut server = StreamServer::new(model, ServerConfig::default()).unwrap();
+    let frames = walk(6, 12, 0.1, 13);
+
+    for frame in &frames[..3] {
+        assert_eq!(server.submit(5, frame).unwrap(), SubmitResult::Accepted);
+    }
+    server.tick().unwrap();
+    server.drain_outputs(5, |_| {});
+    let done_before = server.frames_completed();
+
+    let injected = reuse_core::ReuseError::Nn(reuse_nn::NnError::InputShape {
+        expected: 12,
+        actual: 11,
+    });
+    assert!(server.inject_stream_error(5, injected));
+    assert!(server.stream_failed(5));
+    for frame in &frames[3..] {
+        assert_eq!(server.submit(5, frame).unwrap(), SubmitResult::Accepted);
+    }
+    assert_eq!(
+        server.ready_units(),
+        0,
+        "a failed stream's queued frames are not ready work"
+    );
+
+    // First tick after the failure surfaces the error...
+    let err = server.tick().unwrap_err();
+    assert!(matches!(err, ServeError::Reuse(_)), "{err}");
+    assert_eq!(server.frames_completed(), done_before);
+
+    // ...and later ticks neither re-report it nor resume the stream.
+    for _ in 0..2 {
+        let stats = server.tick().unwrap();
+        assert_eq!(stats.frames, 0, "failed stream must not execute frames");
+    }
+    assert_eq!(server.frames_completed(), done_before);
+    assert!(server.stream_failed(5));
+    let snap = server.snapshot();
+    assert!(snap.streams.iter().any(|s| s.id == 5 && s.failed));
+}
+
+/// Regression (LRU clock): rejected submits must not refresh a stream's
+/// LRU position. A spammer whose queue is full would otherwise always
+/// look recently used and push healthy streams out of the pool.
+#[test]
+fn rejected_submits_do_not_refresh_the_lru_clock() {
+    let net = mlp();
+    let model = Arc::new(CompiledModel::new(&net, &ReuseConfig::uniform(16)));
+    let mut server = StreamServer::new(
+        model,
+        ServerConfig::default().max_sessions(2).queue_capacity(2),
+    )
+    .unwrap();
+    let frame = vec![0.25; 12];
+
+    // Stream 0 fills its queue, then stream 1 submits once (making 0 the
+    // least recently *accepted*).
+    assert_eq!(server.submit(0, &frame).unwrap(), SubmitResult::Accepted);
+    assert_eq!(server.submit(0, &frame).unwrap(), SubmitResult::Accepted);
+    assert_eq!(server.submit(1, &frame).unwrap(), SubmitResult::Accepted);
+
+    // Stream 0 spams its full queue: every submit is rejected.
+    for _ in 0..5 {
+        assert_eq!(server.submit(0, &frame).unwrap(), SubmitResult::QueueFull);
+    }
+    assert_eq!(server.rejected_queue_full(), 5);
+
+    // Stream 2 arrives at the pool cap: the spammer (stream 0), not the
+    // healthy stream 1, must be the LRU eviction victim.
+    assert_eq!(server.submit(2, &frame).unwrap(), SubmitResult::Accepted);
+    assert!(
+        !server.contains(0),
+        "queue-full spammer must be the eviction victim"
+    );
+    assert!(server.contains(1), "healthy stream must survive");
+    assert!(server.contains(2));
+    assert_eq!(server.evictions(), 1);
+}
+
+/// Signature cache at capacity 0: the lookup plumbing runs but can never
+/// hit, so serving must degrade to exactly the cache-off behavior —
+/// outputs and metrics bit-identical to standalone sessions of a
+/// cache-off model.
+#[test]
+fn capacity_zero_signature_cache_serves_bit_identically() {
+    let net = mlp();
+    let on = Arc::new(CompiledModel::new(
+        &net,
+        &ReuseConfig::uniform(16)
+            .signature_cache(true)
+            .signature_cache_capacity(0),
+    ));
+    let off = Arc::new(CompiledModel::new(&net, &ReuseConfig::uniform(16)));
+    let streams = vec![
+        (1u64, walk(20, 12, 0.08, 61)),
+        (2u64, walk(20, 12, 0.12, 62)),
+    ];
+    let mut server = StreamServer::new(
+        Arc::clone(&on),
+        ServerConfig::default().queue_capacity(4).batch_max(2),
+    )
+    .unwrap();
+    let collected = run_server(&mut server, &streams, 3);
+    check_against_standalone(&off, &server, &streams, &collected);
+    let snap = server.snapshot();
+    assert!(snap.signature.lookups > 0, "plumbing is alive");
+    assert_eq!(snap.signature.hits, 0);
+    assert_eq!(snap.signature.adoptions, 0);
+    assert_eq!(snap.signature.inserts, 0);
+}
+
+/// An evicted stream's cache entries must not leak stale baselines into
+/// its replacement: a successor with dissimilar frames misses the cache
+/// (signatures differ) and stays bit-identical to a cache-off run.
+#[test]
+fn evicted_streams_cache_entries_do_not_leak_into_replacement() {
+    let net = mlp();
+    let on = Arc::new(CompiledModel::new(
+        &net,
+        &ReuseConfig::uniform(16).signature_cache(true),
+    ));
+    let off = Arc::new(CompiledModel::new(&net, &ReuseConfig::uniform(16)));
+    let mut server =
+        StreamServer::new(Arc::clone(&on), ServerConfig::default().max_sessions(1)).unwrap();
+
+    // Stream 0 warms up and publishes its cold-start baselines.
+    let warm = walk(8, 12, 0.06, 1);
+    for frame in &warm {
+        server.submit(0, frame).unwrap();
+        server.tick().unwrap();
+        server.drain_outputs(0, |_| {});
+    }
+    assert!(
+        server.snapshot().signature.inserts > 0,
+        "baselines published"
+    );
+
+    // Stream 1 (negated frames: every signature bit flips) evicts it.
+    let replacement: Vec<Vec<f32>> = warm
+        .iter()
+        .map(|f| f.iter().map(|v| -v).collect())
+        .collect();
+    let mut outs = Vec::new();
+    for frame in &replacement {
+        server.submit(1, frame).unwrap();
+        server.tick().unwrap();
+        server.drain_outputs(1, |out| outs.push(out.to_vec()));
+    }
+    assert!(!server.contains(0));
+    assert_eq!(server.evictions(), 1);
+
+    let session = server.session(1).expect("replacement resident");
+    assert_eq!(
+        session.signature_stats().adoptions,
+        0,
+        "dissimilar replacement must not adopt the evicted stream's baselines"
+    );
+
+    // Bit-identical to a fresh standalone session on a cache-off model.
+    let mut alone = off.new_session();
+    let mut reference = Vec::new();
+    assert_eq!(outs.len(), replacement.len());
+    for (frame, out) in replacement.iter().zip(outs.iter()) {
+        alone.execute_into(frame, &mut reference).unwrap();
+        assert_bits_eq(out, &reference);
+    }
+    assert_eq!(session.metrics(), alone.metrics());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: a server over a cache-enabled model with capacity 0 is
+    /// bit-identical — outputs and `EngineMetrics` — to standalone
+    /// sessions of a cache-off model, under random interleavings.
+    #[test]
+    fn capacity_zero_cache_matches_cache_off_standalone(
+        seed_a in 0u64..1000,
+        seed_b in 1000u64..2000,
+        queue_capacity in 1usize..5,
+        batch_max in 1usize..4,
+        chunk in 1usize..4,
+    ) {
+        let net = mlp();
+        let on = Arc::new(CompiledModel::new(
+            &net,
+            &ReuseConfig::uniform(16)
+                .signature_cache(true)
+                .signature_cache_capacity(0),
+        ));
+        let off = Arc::new(CompiledModel::new(&net, &ReuseConfig::uniform(16)));
+        let streams = vec![
+            (11u64, walk(12, 12, 0.08, seed_a)),
+            (22u64, walk(12, 12, 0.15, seed_b)),
+        ];
+        let mut server = StreamServer::new(
+            Arc::clone(&on),
+            ServerConfig::default()
+                .queue_capacity(queue_capacity)
+                .batch_max(batch_max),
+        )
+        .unwrap();
+        let collected = run_server(&mut server, &streams, chunk);
+        for ((id, stream), outs) in streams.iter().zip(collected.iter()) {
+            prop_assert_eq!(outs.len(), stream.len());
+            let mut alone = off.new_session();
+            let mut reference = Vec::new();
+            for (frame, out) in stream.iter().zip(outs.iter()) {
+                alone.execute_into(frame, &mut reference).unwrap();
+                prop_assert_eq!(out.len(), reference.len());
+                for (x, y) in out.iter().zip(reference.iter()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            let session = server.session(*id).expect("stream resident");
+            prop_assert_eq!(session.metrics(), alone.metrics());
+        }
+    }
 
     /// Property: under random stream contents, queue bounds, batch sizes,
     /// and submit chunking, the server's per-stream outputs and

@@ -52,11 +52,24 @@ echo "== serving-runtime smoke (StreamServer vs standalone sessions) =="
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve kaldi --streams 4 --frames 32 > /dev/null
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve eesen --streams 3 --frames 20 > /dev/null
 
+echo "== cross-stream signature-cache smoke (capacity 0 + full capacity) =="
+# Two passes: with the cache compiled in at capacity 0 the server must stay
+# bit-identical to standalone sessions (exactly today's behavior), then a
+# full-capacity pass checks completion and that the cache is actually
+# consulted (lookups > 0). Exit 6 on either failure.
+REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve kaldi --streams 4 --frames 32 --sig-cache > /dev/null
+REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve eesen --streams 3 --frames 20 --sig-cache > /dev/null
+
 echo "== serve throughput smoke (scaling floor ${REUSE_SERVE_MIN_SCALING:-0.9}x, fps floor ${REUSE_SERVE_MIN_FPS:-1.0}) =="
 # Aggregate frames/sec must not drop as the server goes from 1 to 8 streams
 # (the dispatch loop amortizes per-tick overhead); floors are tunable for
 # noisy hosts via REUSE_SERVE_MIN_SCALING / REUSE_SERVE_MIN_FPS.
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin serve_bench -- --perf-smoke
+
+echo "== BENCH_serve.json schema check =="
+# The stored serving artifact must carry the throughput rows and the
+# signature-cache churn section (fps pair, speedup, cache counters).
+cargo run --release -q -p reuse-bench --bin serve_bench -- --validate BENCH_serve.json
 
 echo "== cargo doc (no-deps, -D warnings) =="
 # The model/session split is documented API surface; broken intra-doc links
