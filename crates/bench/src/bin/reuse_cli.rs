@@ -7,6 +7,8 @@
 //! reuse_cli run <workload> [executions] --sessions N multi-session smoke over one model
 //! reuse_cli serve [workload] --streams N --frames M StreamServer smoke vs standalone
 //! reuse_cli serve [workload] --sig-cache            ... plus signature-cache smoke passes
+//! reuse_cli serve-net [workload] --port P --shards N serve over TCP (length-prefixed frames)
+//! reuse_cli serve-net [workload] --smoke            loopback round-trip vs standalone
 //! reuse_cli simulate <workload> [executions]        accelerator baseline vs reuse
 //! reuse_cli export <workload> <path>                serialize the model to a file
 //! reuse_cli experiments                             list the table/figure binaries
@@ -21,15 +23,19 @@
 //! `2` usage, `3` execution failure, `4` session/engine divergence,
 //! `5` I/O failure, `6` serve/standalone divergence.
 
+use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use reuse_accel::{AcceleratorConfig, SimInput, Simulator};
 use reuse_bench::measure::executions_from_env;
 use reuse_bench::table::{human_bytes, human_joules, human_seconds};
 use reuse_core::{summary, CompiledModel, ReuseEngine, ReuseSession};
 use reuse_nn::stats::network_stats;
-use reuse_serve::{ServerConfig, StreamServer, SubmitResult};
+use reuse_serve::{default_shards, ServerConfig, StreamServer, SubmitResult};
+use reuse_serve_net::{NetClient, NetServer, Status};
 use reuse_workloads::{Scale, Workload, WorkloadKind};
 
 /// Bad arguments.
@@ -68,6 +74,13 @@ fn usage() -> ExitCode {
          \x20          [--sig-cache]            snapshot JSON; exits {EXIT_SERVE_DIVERGED} on divergence)\n\
          \x20                                   --sig-cache adds two cross-stream cache passes:\n\
          \x20                                   capacity 0 (bit-identity) and full capacity\n\
+         \x20 serve-net [workload]              serve the sharded tier over TCP (length-\n\
+         \x20          [--port P]               prefixed binary frames; default port 7433)\n\
+         \x20          [--shards N]             shard count (default: hardware threads, max 8)\n\
+         \x20          [--streams N]            --smoke binds an OS-assigned loopback port,\n\
+         \x20          [--frames M]             drives N streams x M frames through a real\n\
+         \x20          [--smoke]                client, and checks every output bit-for-bit\n\
+         \x20                                   against standalone sessions (exits {EXIT_SERVE_DIVERGED})\n\
          \x20 simulate <workload> [executions]  simulate baseline vs reuse accelerators\n\
          \x20 export   <workload> <path>        serialize the model to a file\n\
          \x20 experiments                       list the paper-artifact binaries\n\n\
@@ -235,7 +248,9 @@ fn run_serve_smoke(
             loop {
                 match server.submit(s as u64, frame) {
                     Ok(SubmitResult::Accepted) => break,
-                    Ok(SubmitResult::QueueFull) | Ok(SubmitResult::Shed) => {
+                    Ok(SubmitResult::QueueFull)
+                    | Ok(SubmitResult::Shed)
+                    | Ok(SubmitResult::DeadlineShed) => {
                         if let Err(e) = server.tick() {
                             eprintln!("tick failed: {e}");
                             return EXIT_EXEC;
@@ -375,7 +390,9 @@ fn run_serve_cache_smoke(
             loop {
                 match server.submit(s as u64, frame) {
                     Ok(SubmitResult::Accepted) => break,
-                    Ok(SubmitResult::QueueFull) | Ok(SubmitResult::Shed) => {
+                    Ok(SubmitResult::QueueFull)
+                    | Ok(SubmitResult::Shed)
+                    | Ok(SubmitResult::DeadlineShed) => {
                         if let Err(e) = server.tick() {
                             eprintln!("tick failed: {e}");
                             return EXIT_EXEC;
@@ -439,12 +456,163 @@ fn run_serve_cache_smoke(
     0
 }
 
+/// Serves `n` offset streams through the full network stack — a real
+/// [`NetServer`] on an OS-assigned loopback port, driven by a blocking
+/// [`NetClient`] — and checks every response payload bit-for-bit against a
+/// standalone session fed the same frames. This is the CI smoke behind
+/// `reuse_cli serve-net --smoke`: it exercises preamble negotiation, frame
+/// framing, shard hashing, worker ticks, and tagged response pairing.
+fn run_serve_net_smoke(w: &Workload, shards: usize, n: usize, frames_per_stream: usize) -> u8 {
+    if w.is_recurrent() {
+        eprintln!(
+            "{}: recurrent network — serve-net is per-frame only, nothing to smoke",
+            w.network().name()
+        );
+        return 0;
+    }
+    let model = Arc::new(CompiledModel::new(w.network(), w.reuse_config()));
+    let mut server = match NetServer::bind(
+        SocketAddr::from(([127, 0, 0, 1], 0)),
+        Arc::clone(&model),
+        ServerConfig::default().max_sessions(n),
+        shards,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind loopback server: {e}");
+            return EXIT_IO;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return EXIT_IO;
+        }
+    };
+    let sharded = Arc::clone(server.sharded());
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(&stop2));
+
+    let serve = || -> Result<Vec<Vec<Vec<f32>>>, String> {
+        let mut client =
+            NetClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| format!("cannot set read timeout: {e}"))?;
+        let all = w.generate_frames(frames_per_stream + n - 1, 42);
+        let mut outputs: Vec<Vec<Vec<f32>>> = vec![Vec::new(); n];
+        for t in 0..frames_per_stream {
+            for (s, outs) in outputs.iter_mut().enumerate() {
+                let resp = client
+                    .roundtrip(s as u64 + 1, t as u32, &all[s + t])
+                    .map_err(|e| format!("stream {s} frame {t}: round-trip failed: {e}"))?;
+                if resp.status != Status::Ok {
+                    return Err(format!("stream {s} frame {t}: status {:?}", resp.status));
+                }
+                outs.push(resp.payload);
+            }
+        }
+        Ok(outputs)
+    };
+    let served = serve();
+    stop.store(true, Ordering::SeqCst);
+    let run_result = handle.join();
+    let outputs = match served {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return EXIT_EXEC;
+        }
+    };
+    match run_result {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            eprintln!("server event loop failed: {e}");
+            return EXIT_EXEC;
+        }
+        Err(_) => {
+            eprintln!("server event loop panicked");
+            return EXIT_EXEC;
+        }
+    }
+
+    let all = w.generate_frames(frames_per_stream + n - 1, 42);
+    let mut mismatches = 0usize;
+    for (s, outs) in outputs.iter().enumerate() {
+        let mut alone = model.new_session();
+        let mut out = Vec::new();
+        for (t, got) in outs.iter().enumerate() {
+            if let Err(e) = alone.execute_into(&all[s + t], &mut out) {
+                eprintln!("standalone frame failed: {e}");
+                return EXIT_EXEC;
+            }
+            let ok = got.len() == out.len()
+                && got
+                    .iter()
+                    .zip(out.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !ok {
+                eprintln!("stream {s} frame {t}: served output diverged from standalone session");
+                mismatches += 1;
+            }
+        }
+    }
+    // Machine-readable result: the sharded snapshot JSON is the whole stdout.
+    print!("{}", sharded.snapshot().to_json());
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} serve-net/standalone mismatches");
+        return EXIT_SERVE_DIVERGED;
+    }
+    eprintln!(
+        "{}: {n} streams x {frames_per_stream} frames over TCP ({shards} shards) \
+         bit-identical to standalone sessions",
+        w.network().name()
+    );
+    0
+}
+
+/// Binds the sharded serving tier to a real port and runs the event loop
+/// until the process is killed.
+fn run_serve_net_listen(w: &Workload, shards: usize, port: u16) -> u8 {
+    let model = Arc::new(CompiledModel::new(w.network(), w.reuse_config()));
+    let mut server = match NetServer::bind(
+        SocketAddr::from(([0, 0, 0, 0], port)),
+        model,
+        ServerConfig::default(),
+        shards,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind port {port}: {e}");
+            return EXIT_IO;
+        }
+    };
+    let addr = server.local_addr().ok();
+    eprintln!(
+        "serving {} on {} with {shards} shards (kill the process to stop)",
+        w.network().name(),
+        addr.map_or_else(|| format!("port {port}"), |a| a.to_string()),
+    );
+    let stop = AtomicBool::new(false);
+    match server.run(&stop) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("server event loop failed: {e}");
+            EXIT_EXEC
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry = args.iter().any(|a| a == "--telemetry");
     args.retain(|a| a != "--telemetry");
     let sig_cache = args.iter().any(|a| a == "--sig-cache");
     args.retain(|a| a != "--sig-cache");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
     let sessions = match args.iter().position(|a| a == "--sessions") {
         Some(i) => {
             let Some(n) = args
@@ -479,6 +647,12 @@ fn main() -> ExitCode {
         return usage();
     };
     let Ok(frames) = flag_value("--frames") else {
+        return usage();
+    };
+    let Ok(port) = flag_value("--port") else {
+        return usage();
+    };
+    let Ok(shards) = flag_value("--shards") else {
         return usage();
     };
     let scale = Scale::from_env();
@@ -583,6 +757,27 @@ fn main() -> ExitCode {
             eprintln!("sig-cache pass 2/2: full capacity, completion + counters");
             let full = w.reuse_config().clone().signature_cache(true);
             ExitCode::from(run_serve_cache_smoke(&w, &full, n, frames_per_stream))
+        }
+        Some("serve-net") => {
+            let kind = match args.get(1) {
+                Some(name) => match parse_workload(name) {
+                    Some(kind) => kind,
+                    None => return usage(),
+                },
+                None => WorkloadKind::Kaldi,
+            };
+            let w = Workload::build(kind, scale);
+            let shard_count = shards.unwrap_or_else(default_shards);
+            if smoke {
+                let n = streams.unwrap_or(4);
+                let frames_per_stream =
+                    frames.unwrap_or_else(|| executions_from_env(kind, scale).min(64));
+                return ExitCode::from(run_serve_net_smoke(&w, shard_count, n, frames_per_stream));
+            }
+            let Ok(port) = u16::try_from(port.unwrap_or(7433)) else {
+                return usage();
+            };
+            ExitCode::from(run_serve_net_listen(&w, shard_count, port))
         }
         Some("simulate") => {
             let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else {

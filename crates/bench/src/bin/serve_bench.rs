@@ -7,9 +7,10 @@
 //! steady-state submit → tick → drain cycle is timed; the aggregate
 //! frames/sec and the submit-to-completion latency quantiles from the
 //! server's own histogram are reported per stream count. Every repeat runs
-//! the same cycle on fresh frames and the **max** frames/sec is kept —
-//! single-core hosts schedule-jitter the slower repeats, and the question
-//! here is runtime capability, not host noise.
+//! the same cycle on fresh frames and the per-config row reports the
+//! **min/median/max** frames/sec across repeats — `frames_per_sec` stays
+//! the max (runtime capability; single-core hosts schedule-jitter the
+//! slower repeats) while the min/median spread quantifies host noise.
 //!
 //! Per-frame kernel work is identical at every stream count, so aggregate
 //! throughput measures how well the dispatch loop amortizes its per-tick
@@ -27,16 +28,40 @@
 //! on, and the aggregate fps pair plus the cache counters land in the
 //! `churn` section of the JSON.
 //!
+//! A third, **sharded** scenario drives the same closed-loop cycle through
+//! a [`ShardedServer`] with [`default_shards`] shards and background
+//! [`ShardWorkers`] threads — the multi-core serving path. Its rows land
+//! in the `sharded` section, and the 64-stream row's throughput is the
+//! measured capacity that anchors the open-loop sweep.
+//!
+//! The **open-loop** sweep submits frames at fixed offered arrival rates
+//! (fractions of measured capacity) without waiting for completions — the
+//! tail-latency methodology for serving systems: closed-loop drivers hide
+//! queueing delay because a slow frame stalls its own submitter. Each
+//! point reports achieved frames/sec, p50/p99/p999 submit-to-completion
+//! latency, and the queue-full / shed / deadline-shed / expired counts.
+//! The overload point (>1× capacity) submits with a deadline so the
+//! projected-miss admission path sheds at ingress instead of letting the
+//! queue collapse. Points land in the `open_loop` section.
+//!
 //! `serve_bench --perf-smoke` times only the 1- and 8-stream Kaldi pair and
 //! exits nonzero when 8-stream aggregate throughput falls below
 //! `REUSE_SERVE_MIN_SCALING` × 1-stream throughput (default 0.9, tunable
 //! for noisy hosts like `REUSE_BLOCKED_MIN_SPEEDUP`) or below the absolute
 //! `REUSE_SERVE_MIN_FPS` floor (default 1.0 frames/sec).
 //!
+//! `serve_bench --open-loop --perf-smoke` times the sharded 1-vs-64-stream
+//! Kaldi pair with worker threads and enforces the host-aware
+//! `REUSE_SERVE_MIN_SHARD_SCALING` floor (default `min(2.5, 0.9 ×
+//! hardware_threads)` — a 1-core CI host cannot scale, a many-core host
+//! must), then runs one open-loop point at half capacity and enforces the
+//! `REUSE_SERVE_MAX_P99_NS` tail floor (default 50 ms).
+//!
 //! `serve_bench --validate [file]` checks an existing `BENCH_serve.json`
-//! for every required key (schema drift guard for CI), including the churn
-//! section, and enforces the optional `REUSE_SERVE_MIN_CACHE_SPEEDUP`
-//! floor on the recorded cache speedup.
+//! for every required key (schema drift guard for CI), including the
+//! churn, sharded, and open-loop sections and the per-config fps spread,
+//! and enforces the optional `REUSE_SERVE_MIN_CACHE_SPEEDUP` floor on the
+//! recorded cache speedup.
 //!
 //! Usage: `cargo run --release -p reuse-bench --bin serve_bench [out.json]`
 //! (`REUSE_SCALE` selects the model scale, as everywhere else.)
@@ -45,33 +70,57 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use reuse_core::CompiledModel;
-use reuse_serve::{ServerConfig, StreamServer, SubmitResult};
+use reuse_serve::{
+    default_shards, ServerConfig, ShardWorkers, ShardedServer, StreamServer, SubmitOptions,
+    SubmitResult,
+};
 use reuse_workloads::{Scale, Workload, WorkloadKind};
 
 /// Frames submitted per stream between ticks: large enough that a tick's
 /// fixed costs spread over real work, small enough to keep queues short.
 const BURST: usize = 4;
 
-/// Timed repeats per configuration (max frames/sec wins).
+/// Timed repeats per configuration (max frames/sec wins; min/median
+/// recorded alongside).
 const REPEATS: usize = 3;
+
+/// Min/median/max aggregate throughput across the timed repeats.
+#[derive(Clone, Copy)]
+struct FpsSpread {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+impl FpsSpread {
+    fn from_repeats(mut fps: Vec<f64>) -> FpsSpread {
+        assert!(!fps.is_empty());
+        fps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        FpsSpread {
+            min: fps[0],
+            median: fps[fps.len() / 2],
+            max: fps[fps.len() - 1],
+        }
+    }
+}
 
 /// One stream-count configuration's measurement.
 struct ServeRow {
     workload: &'static str,
     streams: usize,
     frames_per_stream: usize,
-    fps: f64,
+    fps: FpsSpread,
     p50_ns: u64,
     p99_ns: u64,
     max_ns: u64,
 }
 
 /// Serves `n` streams of `measure` steady frames each (after warm-up) and
-/// returns the best-of-[`REPEATS`] aggregate throughput plus the latency
-/// quantiles across all timed frames.
+/// returns the [`FpsSpread`] over [`REPEATS`] aggregate-throughput runs
+/// plus the latency quantiles across all timed frames.
 fn bench_streams(w: &Workload, model: &Arc<CompiledModel>, n: usize, measure: usize) -> ServeRow {
     let mut server = StreamServer::new(
         Arc::clone(model),
@@ -111,12 +160,12 @@ fn bench_streams(w: &Workload, model: &Arc<CompiledModel>, n: usize, measure: us
 
     cycle(&mut server, 0, warm, &mut sink);
     server.latency().clear();
-    let mut best_fps = 0f64;
+    let mut fps = Vec::with_capacity(REPEATS);
     for r in 0..REPEATS {
         let start = Instant::now();
         cycle(&mut server, warm + r * measure, measure, &mut sink);
         let secs = start.elapsed().as_secs_f64();
-        best_fps = best_fps.max((n * measure) as f64 / secs);
+        fps.push((n * measure) as f64 / secs);
     }
     black_box(sink);
     assert_eq!(server.frames_completed() as usize, total * n);
@@ -124,7 +173,7 @@ fn bench_streams(w: &Workload, model: &Arc<CompiledModel>, n: usize, measure: us
         workload: "",
         streams: n,
         frames_per_stream: measure,
-        fps: best_fps,
+        fps: FpsSpread::from_repeats(fps),
         p50_ns: server.latency().quantile_ns(0.50),
         p99_ns: server.latency().quantile_ns(0.99),
         max_ns: server.latency().max_ns(),
@@ -146,8 +195,16 @@ fn bench_workload(kind: WorkloadKind, scale: Scale, stream_counts: &[usize]) -> 
             let mut row = bench_streams(&w, &model, n, frames_for(n));
             row.workload = kind.name();
             eprintln!(
-                "{:<10} {:>4} streams  {:>10.0} frames/s  p50 {:>9} ns  p99 {:>9} ns  max {:>9} ns",
-                row.workload, row.streams, row.fps, row.p50_ns, row.p99_ns, row.max_ns
+                "{:<10} {:>4} streams  {:>10.0} frames/s (min {:>10.0} med {:>10.0})  \
+                 p50 {:>9} ns  p99 {:>9} ns  max {:>9} ns",
+                row.workload,
+                row.streams,
+                row.fps.max,
+                row.fps.min,
+                row.fps.median,
+                row.p50_ns,
+                row.p99_ns,
+                row.max_ns
             );
             row
         })
@@ -159,6 +216,396 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// One sharded closed-loop configuration's measurement (worker-driven).
+struct ShardRow {
+    streams: usize,
+    shards: usize,
+    frames_per_stream: usize,
+    fps: FpsSpread,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+}
+
+/// Drains every stream's outputs into `sink` (anti-DCE) and returns how
+/// many completions were observed.
+fn drain_all(server: &ShardedServer, n: usize, sink: &mut f32) -> usize {
+    let mut got = 0usize;
+    for s in 0..n {
+        got += server.drain_outputs(s as u64, |out| *sink += out[0]);
+    }
+    got
+}
+
+/// Spins (yielding) until the sharded server has completed `target`
+/// lifetime frames, draining outputs as they appear.
+fn wait_completed(server: &ShardedServer, n: usize, target: u64, sink: &mut f32) {
+    let give_up = Instant::now() + Duration::from_secs(60);
+    while server.frames_completed() < target {
+        drain_all(server, n, sink);
+        assert!(
+            Instant::now() < give_up,
+            "sharded bench stalled: {}/{} frames completed",
+            server.frames_completed(),
+            target
+        );
+        std::thread::yield_now();
+    }
+    drain_all(server, n, sink);
+}
+
+/// Closed-loop throughput through a worker-driven [`ShardedServer`]: the
+/// driver thread submits bursts (retrying queue-full) while per-shard
+/// worker threads execute, so multi-core hosts overlap frame execution
+/// across shards. Returns the repeat spread plus merged latency quantiles.
+fn bench_sharded(
+    w: &Workload,
+    model: &Arc<CompiledModel>,
+    n: usize,
+    shards: usize,
+    measure: usize,
+) -> ShardRow {
+    let server = Arc::new(
+        ShardedServer::new(
+            Arc::clone(model),
+            ServerConfig::default()
+                .max_sessions(n)
+                .queue_capacity(2 * BURST)
+                .batch_max(BURST),
+            shards,
+        )
+        .expect("feed-forward serve config"),
+    );
+    let mut workers = ShardWorkers::start(Arc::clone(&server));
+    let warm = 3usize;
+    let total = warm + REPEATS * measure;
+    let all = w.generate_frames(total + n - 1, 42);
+    let mut sink = 0f32;
+
+    let cycle = |from: usize, count: usize, sink: &mut f32| {
+        let mut t = from;
+        let end = from + count;
+        while t < end {
+            let burst = BURST.min(end - t);
+            for b in 0..burst {
+                for s in 0..n {
+                    loop {
+                        match server.submit(s as u64, &all[s + t + b]).unwrap() {
+                            SubmitResult::Accepted => break,
+                            SubmitResult::QueueFull => {
+                                drain_all(&server, n, sink);
+                                std::thread::yield_now();
+                            }
+                            r => panic!("sharded steady submit rejected: {r:?}"),
+                        }
+                    }
+                }
+            }
+            drain_all(&server, n, sink);
+            t += burst;
+        }
+    };
+
+    cycle(0, warm, &mut sink);
+    wait_completed(&server, n, (warm * n) as u64, &mut sink);
+    server.clear_latency();
+    let mut fps = Vec::with_capacity(REPEATS);
+    for r in 0..REPEATS {
+        let start = Instant::now();
+        cycle(warm + r * measure, measure, &mut sink);
+        wait_completed(
+            &server,
+            n,
+            ((warm + (r + 1) * measure) * n) as u64,
+            &mut sink,
+        );
+        let secs = start.elapsed().as_secs_f64();
+        fps.push((n * measure) as f64 / secs);
+    }
+    black_box(sink);
+    let latency = server.merged_latency();
+    let row = ShardRow {
+        streams: n,
+        shards,
+        frames_per_stream: measure,
+        fps: FpsSpread::from_repeats(fps),
+        p50_ns: latency.p50_ns(),
+        p99_ns: latency.p99_ns(),
+        p999_ns: latency.p999_ns(),
+        max_ns: latency.max_ns(),
+    };
+    workers.stop();
+    let errors = workers.take_errors();
+    assert!(errors.is_empty(), "shard workers reported: {errors:?}");
+    row
+}
+
+/// One open-loop offered-load point's measurement.
+struct OpenRow {
+    load_factor: f64,
+    offered_fps: f64,
+    achieved_fps: f64,
+    deadline_us: u32,
+    offered: u64,
+    completed: u64,
+    queue_full: u64,
+    shed: u64,
+    deadline_shed: u64,
+    expired: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+}
+
+/// Sleeps (coarsely) then yields (finely) until `due` past `start`.
+fn pace_until(start: Instant, due: Duration) {
+    loop {
+        let now = start.elapsed();
+        if now >= due {
+            return;
+        }
+        let slack = due - now;
+        if slack > Duration::from_micros(400) {
+            std::thread::sleep(slack - Duration::from_micros(200));
+        } else {
+            // Yield instead of spinning so shard workers get the core on
+            // single-core hosts.
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One open-loop point's offered load: rate, frame budget, and the
+/// per-frame deadline (0 = none).
+struct OpenLoopSpec {
+    load_factor: f64,
+    offered_fps: f64,
+    frames: usize,
+    deadline_us: u32,
+}
+
+/// Submits frames at a fixed offered arrival rate across `n` streams of a
+/// worker-driven [`ShardedServer`] without waiting for completions, then
+/// drains the pipe and reports achieved throughput, tail latency, and the
+/// rejection/shed/expiry counters. `spec.deadline_us > 0` attaches a
+/// deadline to every frame (exercising projected-miss ingress shedding
+/// under overload).
+fn open_loop_point(
+    w: &Workload,
+    model: &Arc<CompiledModel>,
+    n: usize,
+    shards: usize,
+    spec: OpenLoopSpec,
+) -> OpenRow {
+    let OpenLoopSpec {
+        load_factor,
+        offered_fps,
+        frames: frames_total,
+        deadline_us,
+    } = spec;
+    let server = Arc::new(
+        ShardedServer::new(
+            Arc::clone(model),
+            ServerConfig::default()
+                .max_sessions(n)
+                .queue_capacity(4 * BURST)
+                .batch_max(BURST),
+            shards,
+        )
+        .expect("feed-forward serve config"),
+    );
+    let mut workers = ShardWorkers::start(Arc::clone(&server));
+    let warm = 3usize;
+    let steps = frames_total.div_ceil(n);
+    let all = w.generate_frames(warm + steps + n - 1, 42);
+    let mut sink = 0f32;
+
+    // Closed-loop warm-up: calibrate every stream and seed each shard's
+    // service-time EWMA so deadline projection is live from the first
+    // timed frame.
+    for t in 0..warm {
+        for s in 0..n {
+            loop {
+                match server.submit(s as u64, &all[s + t]).unwrap() {
+                    SubmitResult::Accepted => break,
+                    SubmitResult::QueueFull => {
+                        drain_all(&server, n, &mut sink);
+                        std::thread::yield_now();
+                    }
+                    r => panic!("warm-up submit rejected: {r:?}"),
+                }
+            }
+        }
+    }
+    wait_completed(&server, n, (warm * n) as u64, &mut sink);
+    server.clear_latency();
+    let base = server.snapshot();
+
+    let interval = Duration::from_secs_f64(1.0 / offered_fps);
+    let start = Instant::now();
+    let mut offered = 0u64;
+    let mut expired_seen = 0u64;
+    'submit: for t in 0..steps {
+        for s in 0..n {
+            if offered as usize >= frames_total {
+                break 'submit;
+            }
+            pace_until(start, interval.mul_f64(offered as f64));
+            let mut opts = SubmitOptions::default().tagged(offered);
+            if deadline_us > 0 {
+                opts = opts.with_deadline(Duration::from_micros(u64::from(deadline_us)));
+            }
+            // Rejections (queue-full, shed, deadline-shed) are the point of
+            // an open-loop driver: count them via the server's counters and
+            // keep submitting at the offered rate.
+            let _ = server
+                .submit_with(s as u64, &all[s + warm + t], opts)
+                .unwrap();
+            offered += 1;
+            if offered.is_multiple_of(64) {
+                drain_all(&server, n, &mut sink);
+                for s2 in 0..n {
+                    expired_seen += server.drain_expired(s2 as u64, |_| {}) as u64;
+                }
+            }
+        }
+    }
+    // Let the pipe drain: everything accepted either completes or expires.
+    let give_up = Instant::now() + Duration::from_secs(60);
+    while server.pending() > 0 && Instant::now() < give_up {
+        drain_all(&server, n, &mut sink);
+        std::thread::yield_now();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    drain_all(&server, n, &mut sink);
+    for s in 0..n {
+        expired_seen += server.drain_expired(s as u64, |_| {}) as u64;
+    }
+    black_box(sink);
+    black_box(expired_seen);
+
+    let snap = server.snapshot();
+    let accepted = snap.frames_submitted() - base.frames_submitted();
+    let completed = snap.frames_completed() - base.frames_completed();
+    let queue_full = snap.rejected_queue_full() - base.rejected_queue_full();
+    let shed = snap.shed() - base.shed();
+    let deadline_shed = snap.deadline_shed() - base.deadline_shed();
+    let expired = snap.expired() - base.expired();
+    assert_eq!(
+        offered,
+        accepted + queue_full + shed + deadline_shed,
+        "open-loop admission accounting must balance"
+    );
+    assert_eq!(
+        accepted,
+        completed + expired,
+        "open-loop completion accounting must balance after drain"
+    );
+    let latency = server.merged_latency();
+    let row = OpenRow {
+        load_factor,
+        offered_fps,
+        achieved_fps: completed as f64 / elapsed,
+        deadline_us,
+        offered,
+        completed,
+        queue_full,
+        shed,
+        deadline_shed,
+        expired,
+        p50_ns: latency.p50_ns(),
+        p99_ns: latency.p99_ns(),
+        p999_ns: latency.p999_ns(),
+        max_ns: latency.max_ns(),
+    };
+    workers.stop();
+    let errors = workers.take_errors();
+    assert!(errors.is_empty(), "shard workers reported: {errors:?}");
+    row
+}
+
+/// Frames to offer at one open-loop point: about half a second of load,
+/// bounded so slow scales stay quick and fast scales stay finite.
+fn open_loop_frames(offered_fps: f64) -> usize {
+    ((offered_fps * 0.5) as usize).clamp(200, 4000)
+}
+
+/// Runs the sharded closed-loop rows plus the open-loop sweep anchored at
+/// the top row's measured capacity. Returns `(shard_rows, open_rows)`.
+fn bench_sharded_and_open_loop(
+    kind: WorkloadKind,
+    scale: Scale,
+) -> (Vec<ShardRow>, Vec<OpenRow>, usize) {
+    let w = Workload::build(kind, scale);
+    let model = Arc::new(CompiledModel::new(w.network(), w.reuse_config()));
+    let shards = default_shards();
+    let shard_rows: Vec<ShardRow> = [1usize, 64]
+        .iter()
+        .map(|&n| {
+            let row = bench_sharded(&w, &model, n, shards, frames_for(n));
+            eprintln!(
+                "{:<10} {:>4} streams x {} shards  {:>10.0} frames/s (min {:>10.0} med {:>10.0})  \
+                 p99 {:>9} ns  p999 {:>9} ns",
+                kind.name(),
+                row.streams,
+                row.shards,
+                row.fps.max,
+                row.fps.min,
+                row.fps.median,
+                row.p99_ns,
+                row.p999_ns
+            );
+            row
+        })
+        .collect();
+    let capacity = shard_rows[1].fps.max;
+    // Two under-capacity points map the latency/load curve; the overload
+    // point exercises projected-miss shedding with a deadline derived from
+    // the 0.9-load tail (4× its p99) — tight enough that an overloaded
+    // queue projects past it, loose enough that a healthy queue never does.
+    let factors = [0.5f64, 0.9, 1.4];
+    let mut open_rows: Vec<OpenRow> = Vec::with_capacity(factors.len());
+    for &factor in &factors {
+        let deadline_us = if factor > 1.0 {
+            let p99_at_09 = open_rows.last().map_or(0, |r| r.p99_ns);
+            (((p99_at_09 * 4) / 1_000) as u32).clamp(500, 50_000)
+        } else {
+            0
+        };
+        let offered = capacity * factor;
+        let row = open_loop_point(
+            &w,
+            &model,
+            64,
+            shards,
+            OpenLoopSpec {
+                load_factor: factor,
+                offered_fps: offered,
+                frames: open_loop_frames(offered),
+                deadline_us,
+            },
+        );
+        eprintln!(
+            "{:<10} open-loop {:>4.2}x load  offered {:>10.0} fps  achieved {:>10.0} fps  \
+             p99 {:>9} ns  p999 {:>9} ns  qfull {} shed {} dshed {} expired {}",
+            kind.name(),
+            row.load_factor,
+            row.offered_fps,
+            row.achieved_fps,
+            row.p99_ns,
+            row.p999_ns,
+            row.queue_full,
+            row.shed,
+            row.deadline_shed,
+            row.expired
+        );
+        open_rows.push(row);
+    }
+    (shard_rows, open_rows, shards)
 }
 
 /// Churn-scenario shape: a pool of [`CHURN_POOL`] live sessions cycles
@@ -288,9 +735,26 @@ fn validate(path: &str) -> ExitCode {
         "\"streams\":",
         "\"frames_per_stream\":",
         "\"frames_per_sec\":",
+        "\"frames_per_sec_min\":",
+        "\"frames_per_sec_median\":",
         "\"latency_p50_ns\":",
         "\"latency_p99_ns\":",
         "\"latency_max_ns\":",
+        "\"sharded\":",
+        "\"shards\":",
+        "\"latency_p999_ns\":",
+        "\"open_loop\":",
+        "\"points\":",
+        "\"load_factor\":",
+        "\"offered_fps\":",
+        "\"achieved_fps\":",
+        "\"deadline_us\":",
+        "\"offered_frames\":",
+        "\"completed\":",
+        "\"queue_full\":",
+        "\"shed\":",
+        "\"deadline_shed\":",
+        "\"expired\":",
         "\"churn\":",
         "\"pool\":",
         "\"generations\":",
@@ -315,6 +779,10 @@ fn validate(path: &str) -> ExitCode {
     }
     if body.matches("\"frames_per_sec\":").count() == 0 {
         eprintln!("validate: {path} has no throughput rows");
+        return ExitCode::FAILURE;
+    }
+    if body.matches("\"load_factor\":").count() < 2 {
+        eprintln!("validate: {path} has fewer than two open-loop load points");
         return ExitCode::FAILURE;
     }
     let speedup = body
@@ -342,13 +810,13 @@ fn perf_smoke(scale: Scale) -> ExitCode {
     let min_fps = env_f64("REUSE_SERVE_MIN_FPS", 1.0);
     let rows = bench_workload(WorkloadKind::Kaldi, scale, &[1, 8]);
     let (one, eight) = (&rows[0], &rows[1]);
-    let scaling = eight.fps / one.fps;
+    let scaling = eight.fps.max / one.fps.max;
     eprintln!(
         "serve smoke: 1-stream {:.0} frames/s, 8-stream {:.0} frames/s, \
          scaling {scaling:.3}x (floor {min_scaling:.3}x), fps floor {min_fps:.1}",
-        one.fps, eight.fps
+        one.fps.max, eight.fps.max
     );
-    if eight.fps < min_fps {
+    if eight.fps.max < min_fps {
         eprintln!("8-stream throughput is below the {min_fps:.1} frames/s floor");
         return ExitCode::FAILURE;
     }
@@ -361,24 +829,100 @@ fn perf_smoke(scale: Scale) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn main() -> ExitCode {
-    let arg = std::env::args().nth(1);
-    let scale = Scale::from_env();
-    if arg.as_deref() == Some("--perf-smoke") {
-        return perf_smoke(scale);
+/// Times the sharded 1-vs-64-stream Kaldi pair with worker threads, then
+/// one open-loop point at half capacity, and enforces the host-aware
+/// shard-scaling floor plus the p99 tail floor.
+fn perf_smoke_open_loop(scale: Scale) -> ExitCode {
+    let threads = reuse_tensor::hardware_threads() as f64;
+    // A 1-core CI host cannot overlap shard execution — the floor degrades
+    // to "don't lose throughput"; a many-core host must actually scale.
+    let min_scaling = env_f64("REUSE_SERVE_MIN_SHARD_SCALING", (0.9 * threads).min(2.5));
+    let max_p99_ns = env_f64("REUSE_SERVE_MAX_P99_NS", 50_000_000.0);
+    let w = Workload::build(WorkloadKind::Kaldi, scale);
+    let model = Arc::new(CompiledModel::new(w.network(), w.reuse_config()));
+    let shards = default_shards();
+    let one = bench_sharded(&w, &model, 1, shards, frames_for(1));
+    let many = bench_sharded(&w, &model, 64, shards, frames_for(64));
+    let scaling = many.fps.max / one.fps.max;
+    eprintln!(
+        "shard smoke ({} shards, {} threads): 1-stream {:.0} frames/s, 64-stream {:.0} frames/s, \
+         scaling {scaling:.3}x (floor {min_scaling:.3}x)",
+        shards, threads as usize, one.fps.max, many.fps.max
+    );
+    if scaling < min_scaling {
+        eprintln!("64-stream sharded throughput is below the {min_scaling:.3}x scaling floor");
+        return ExitCode::FAILURE;
     }
-    if arg.as_deref() == Some("--validate") {
-        let path = std::env::args()
-            .nth(2)
+    let offered = many.fps.max * 0.5;
+    let point = open_loop_point(
+        &w,
+        &model,
+        64,
+        shards,
+        OpenLoopSpec {
+            load_factor: 0.5,
+            offered_fps: offered,
+            frames: open_loop_frames(offered).min(1200),
+            deadline_us: 0,
+        },
+    );
+    eprintln!(
+        "open-loop smoke: offered {:.0} fps, achieved {:.0} fps, p99 {} ns (ceiling {:.0} ns)",
+        point.offered_fps, point.achieved_fps, point.p99_ns, max_p99_ns
+    );
+    if point.p99_ns as f64 > max_p99_ns {
+        eprintln!("open-loop p99 at half capacity exceeds the {max_p99_ns:.0} ns ceiling");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut open_loop = false;
+    let mut smoke = false;
+    let mut validate_mode = false;
+    let mut positional: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--open-loop" => open_loop = true,
+            "--perf-smoke" => smoke = true,
+            "--validate" => validate_mode = true,
+            flag if flag.starts_with("--") => {
+                eprintln!(
+                    "unknown flag {flag}\nusage: serve_bench [--open-loop] [--perf-smoke] \
+                     [--validate [file]] [out.json]"
+                );
+                return ExitCode::FAILURE;
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let scale = Scale::from_env();
+    if validate_mode {
+        let path = positional
+            .first()
+            .cloned()
             .unwrap_or_else(|| "BENCH_serve.json".to_string());
         return validate(&path);
     }
-    let out_path = arg.unwrap_or_else(|| "BENCH_serve.json".to_string());
+    if smoke {
+        return if open_loop {
+            perf_smoke_open_loop(scale)
+        } else {
+            perf_smoke(scale)
+        };
+    }
+    let out_path = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
 
     // Kaldi covers the full 1→256 sweep (cheap frames stress the dispatch
     // loop hardest); AutoPilot adds a conv workload at the low counts.
     let mut rows = bench_workload(WorkloadKind::Kaldi, scale, &[1, 8, 64, 256]);
     rows.extend(bench_workload(WorkloadKind::AutoPilot, scale, &[1, 8]));
+    let (shard_rows, open_rows, shards) = bench_sharded_and_open_loop(WorkloadKind::Kaldi, scale);
     let (churn_off, churn_on) = bench_churn_pair(WorkloadKind::Kaldi, scale);
 
     let mut json = String::new();
@@ -392,12 +936,15 @@ fn main() -> ExitCode {
         let _ = writeln!(
             json,
             "    {{\"workload\": \"{}\", \"streams\": {}, \"frames_per_stream\": {}, \
-             \"frames_per_sec\": {:.1}, \"latency_p50_ns\": {}, \"latency_p99_ns\": {}, \
+             \"frames_per_sec\": {:.1}, \"frames_per_sec_min\": {:.1}, \
+             \"frames_per_sec_median\": {:.1}, \"latency_p50_ns\": {}, \"latency_p99_ns\": {}, \
              \"latency_max_ns\": {}}}{}",
             r.workload,
             r.streams,
             r.frames_per_stream,
-            r.fps,
+            r.fps.max,
+            r.fps.min,
+            r.fps.median,
             r.p50_ns,
             r.p99_ns,
             r.max_ns,
@@ -405,6 +952,63 @@ fn main() -> ExitCode {
         );
     }
     json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"sharded\": {{\"workload\": \"{}\", \"shards\": {shards}, \"configs\": [",
+        WorkloadKind::Kaldi.name()
+    );
+    for (k, r) in shard_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"streams\": {}, \"frames_per_stream\": {}, \"frames_per_sec\": {:.1}, \
+             \"frames_per_sec_min\": {:.1}, \"frames_per_sec_median\": {:.1}, \
+             \"latency_p50_ns\": {}, \"latency_p99_ns\": {}, \"latency_p999_ns\": {}, \
+             \"latency_max_ns\": {}}}{}",
+            r.streams,
+            r.frames_per_stream,
+            r.fps.max,
+            r.fps.min,
+            r.fps.median,
+            r.p50_ns,
+            r.p99_ns,
+            r.p999_ns,
+            r.max_ns,
+            if k + 1 < shard_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]},\n");
+    let _ = writeln!(
+        json,
+        "  \"open_loop\": {{\"workload\": \"{}\", \"streams\": 64, \"shards\": {shards}, \
+         \"points\": [",
+        WorkloadKind::Kaldi.name()
+    );
+    for (k, r) in open_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"load_factor\": {:.2}, \"offered_fps\": {:.1}, \"achieved_fps\": {:.1}, \
+             \"deadline_us\": {}, \"offered_frames\": {}, \"completed\": {}, \
+             \"queue_full\": {}, \"shed\": {}, \"deadline_shed\": {}, \"expired\": {}, \
+             \"latency_p50_ns\": {}, \"latency_p99_ns\": {}, \"latency_p999_ns\": {}, \
+             \"latency_max_ns\": {}}}{}",
+            r.load_factor,
+            r.offered_fps,
+            r.achieved_fps,
+            r.deadline_us,
+            r.offered,
+            r.completed,
+            r.queue_full,
+            r.shed,
+            r.deadline_shed,
+            r.expired,
+            r.p50_ns,
+            r.p99_ns,
+            r.p999_ns,
+            r.max_ns,
+            if k + 1 < open_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]},\n");
     let _ = writeln!(
         json,
         "  \"churn\": {{\"workload\": \"{}\", \"pool\": {CHURN_POOL}, \
@@ -424,6 +1028,11 @@ fn main() -> ExitCode {
     );
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
-    eprintln!("wrote {out_path} ({} configurations)", rows.len());
+    eprintln!(
+        "wrote {out_path} ({} configurations, {} sharded rows, {} open-loop points)",
+        rows.len(),
+        shard_rows.len(),
+        open_rows.len()
+    );
     ExitCode::SUCCESS
 }

@@ -1,0 +1,29 @@
+//! Network front-end for the sharded serving tier.
+//!
+//! `reuse-serve-net` puts the [`reuse_serve::ShardedServer`] behind a
+//! TCP socket with a length-prefixed binary frame protocol — no external
+//! event-loop or serialization dependency (the build environment pins an
+//! offline registry), just `std::net` non-blocking sockets polled by one
+//! loop thread while per-shard workers execute frames.
+//!
+//! * [`protocol`] — the wire format: preamble, request/response framing,
+//!   status codes.
+//! * [`NetServer`] — bind + event loop (accept, parse, submit to the
+//!   owning shard, drain completions, write responses).
+//! * [`NetClient`] — a small blocking client used by tests, the CI
+//!   smoke, and `reuse_cli serve-net --smoke`.
+//!
+//! Outputs returned over the wire are bit-identical to running the same
+//! frames through a standalone [`reuse_core::ReuseSession`] — enforced by
+//! `tests/roundtrip.rs` and by the CI smoke (`reuse_cli serve-net
+//! --smoke`).
+
+#![warn(missing_docs)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{NetClient, Response};
+pub use protocol::Status;
+pub use server::NetServer;

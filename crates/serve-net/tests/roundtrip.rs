@@ -1,0 +1,201 @@
+//! Loopback round-trips through the full network stack — preamble,
+//! framing, sharded submit, worker ticks, tagged drains — must return
+//! outputs **bit-identical** to a standalone [`ReuseSession`] fed the
+//! same frames.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use reuse_core::{CompiledModel, ReuseConfig};
+use reuse_nn::{init::Rng64, Activation, Network, NetworkBuilder};
+use reuse_serve::ServerConfig;
+use reuse_serve_net::{NetClient, NetServer, Status};
+
+fn mlp() -> Network {
+    NetworkBuilder::new("net-mlp", 12)
+        .seed(11)
+        .fully_connected(24, Activation::Relu)
+        .fully_connected(16, Activation::Relu)
+        .fully_connected(4, Activation::Identity)
+        .build()
+        .unwrap()
+}
+
+/// A smooth random walk of frames, mimicking consecutive input windows.
+fn walk(len: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Rng64::new(seed);
+    let mut frame: Vec<f32> = (0..dim).map(|_| rng.uniform(0.5)).collect();
+    (0..len)
+        .map(|_| {
+            for v in &mut frame {
+                *v = (*v + rng.uniform(0.05)).clamp(-1.0, 1.0);
+            }
+            frame.clone()
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+    }
+}
+
+/// Starts a server on an OS-assigned loopback port; returns its address
+/// and a guard that stops the event loop on drop.
+fn start_server(model: Arc<CompiledModel>, shards: usize) -> (SocketAddr, ServerGuard) {
+    let mut server = NetServer::bind(
+        "127.0.0.1:0".parse().unwrap(),
+        model,
+        ServerConfig::default(),
+        shards,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(&stop2).unwrap());
+    (
+        addr,
+        ServerGuard {
+            stop,
+            handle: Some(handle),
+        },
+    )
+}
+
+struct ServerGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[test]
+fn roundtrip_is_bit_identical_to_standalone_session() {
+    let model = Arc::new(CompiledModel::new(&mlp(), &ReuseConfig::uniform(8)));
+    let (addr, _guard) = start_server(Arc::clone(&model), 2);
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    assert_eq!(client.input_len(), 12);
+    assert_eq!(client.output_len(), 4);
+
+    // Three streams interleaved over one connection; each must match its
+    // own standalone session exactly.
+    let stream_ids = [3u64, 900, 41];
+    let streams: Vec<Vec<Vec<f32>>> = stream_ids
+        .iter()
+        .map(|&id| walk(24, 12, 1000 + id))
+        .collect();
+    let mut outputs: Vec<Vec<Vec<f32>>> = streams.iter().map(|_| Vec::new()).collect();
+    // Index-driven on purpose: frame t of every stream is submitted before
+    // frame t+1 of any, interleaving the streams over one connection.
+    #[allow(clippy::needless_range_loop)]
+    for t in 0..streams[0].len() {
+        for (s, &id) in stream_ids.iter().enumerate() {
+            let resp = client.roundtrip(id, t as u32, &streams[s][t]).unwrap();
+            assert_eq!(resp.status, Status::Ok, "stream {id} frame {t}");
+            outputs[s].push(resp.payload);
+        }
+    }
+
+    for (s, stream) in streams.iter().enumerate() {
+        let mut session = model.new_session();
+        for (t, frame) in stream.iter().enumerate() {
+            let expect = session.execute(frame).unwrap();
+            assert_bits_eq(&outputs[s][t], expect.as_slice());
+        }
+    }
+}
+
+#[test]
+fn pipelined_submits_complete_in_order() {
+    let model = Arc::new(CompiledModel::new(&mlp(), &ReuseConfig::uniform(8)));
+    let (addr, _guard) = start_server(Arc::clone(&model), 1);
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let frames = walk(16, 12, 77);
+    // Fire the whole stream without waiting (fits the default queue).
+    for (t, frame) in frames.iter().enumerate() {
+        client.send(5, t as u32, 0, 0, frame).unwrap();
+    }
+    let mut session = model.new_session();
+    let mut got = 0usize;
+    while got < frames.len() {
+        let resp = client.recv().unwrap();
+        match resp.status {
+            Status::Ok => {
+                // In-order completion within the stream.
+                assert_eq!(resp.seq as usize, got);
+                let expect = session.execute(&frames[got]).unwrap();
+                assert_bits_eq(&resp.payload, expect.as_slice());
+                got += 1;
+            }
+            Status::QueueFull => {
+                // Resubmit the rejected frame (and everything after it was
+                // not sent yet in this test, so just retry it).
+                let t = resp.seq as usize;
+                std::thread::sleep(Duration::from_micros(500));
+                client.send(5, resp.seq, 0, 0, &frames[t]).unwrap();
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn second_connection_cannot_hijack_a_stream() {
+    let model = Arc::new(CompiledModel::new(&mlp(), &ReuseConfig::uniform(8)));
+    let (addr, _guard) = start_server(model, 2);
+
+    let mut owner = NetClient::connect(addr).unwrap();
+    owner
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let frames = walk(2, 12, 9);
+    let resp = owner.roundtrip(70, 0, &frames[0]).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+
+    let mut intruder = NetClient::connect(addr).unwrap();
+    intruder
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let resp = intruder.roundtrip(70, 0, &frames[1]).unwrap();
+    assert_eq!(resp.status, Status::Failed, "stream 70 belongs to `owner`");
+
+    // The owner keeps working.
+    let resp = owner.roundtrip(70, 1, &frames[1]).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+}
+
+#[test]
+fn wrong_length_frame_fails_cleanly() {
+    let model = Arc::new(CompiledModel::new(&mlp(), &ReuseConfig::uniform(8)));
+    let (addr, _guard) = start_server(model, 1);
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let resp = client.roundtrip(1, 0, &[0.0f32; 5]).unwrap();
+    assert_eq!(resp.status, Status::Failed);
+    // The connection survives and serves correct frames afterwards.
+    let frame = walk(1, 12, 3).pop().unwrap();
+    let resp = client.roundtrip(1, 1, &frame).unwrap();
+    assert_eq!(resp.status, Status::Ok);
+}

@@ -3,26 +3,39 @@
 //! The serving runtime records one sample per completed frame on the
 //! dispatch hot path, possibly from several worker threads at once, so the
 //! recorder must be wait-free and allocation-free: samples land in
-//! power-of-two nanosecond buckets held in atomics, all allocated at
+//! log-linear nanosecond buckets held in atomics, all allocated at
 //! construction. Quantile queries walk the buckets and are meant for cold
 //! reporting paths (snapshots), not per-frame use.
+//!
+//! **Resolution.** Buckets are HdrHistogram-style log-linear: each
+//! power-of-two range is split into [`SUB_BUCKETS`] linear sub-buckets, so
+//! the relative quantization error of any reported quantile is at most
+//! `1 / SUB_BUCKETS` (6.25%). The previous pure power-of-two layout made
+//! p50/p99 snap to bucket edges (524287, 2097151, 134217727 ns — a 2×
+//! error band), which is useless for tail comparison across runs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of power-of-two buckets: bucket `b` holds samples whose value
-/// needs exactly `b` significant bits, so bucket 0 is `0 ns`, bucket 1 is
-/// `1 ns`, bucket 34 is `[2^33, 2^34) ns` (~8.6–17.2 s) — far beyond any
-/// frame latency this runtime can produce.
-const BUCKETS: usize = 65;
+/// log₂ of the linear sub-buckets per power-of-two range.
+const SUB_BITS: u32 = 4;
 
-/// Fixed-size log₂ histogram of nanosecond latencies.
+/// Linear sub-buckets per power-of-two range (relative error ≤ 1/16).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: values below [`SUB_BUCKETS`] are exact (one bucket
+/// per nanosecond); each higher power-of-two range `[2^m, 2^(m+1))` for
+/// `m = SUB_BITS ..= 63` contributes [`SUB_BUCKETS`] sub-buckets.
+const BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BITS) as u64 * SUB_BUCKETS) as usize;
+
+/// Fixed-size log-linear histogram of nanosecond latencies.
 ///
 /// `record` is lock-free (one relaxed `fetch_add` plus a `fetch_max`) and
-/// never allocates; resolution is one power of two, which is plenty for
-/// p50/p99 tail reporting. Created once per [`crate::StreamServer`].
+/// never allocates; resolution is ≤ 6.25% relative, which makes p50, p99
+/// and p999 comparable across runs. Created once per
+/// [`crate::StreamServer`].
 #[derive(Debug)]
 pub struct LatencyHistogram {
-    /// `buckets[b]` counts samples with bit-length `b`.
+    /// Log-linear sample counts (see [`Self::bucket_of`]).
     buckets: Vec<AtomicU64>,
     /// Largest exact sample observed.
     max_ns: AtomicU64,
@@ -43,9 +56,35 @@ impl LatencyHistogram {
         }
     }
 
-    /// Index of the bucket a sample falls into (its bit length).
+    /// Index of the bucket a sample falls into. Values below
+    /// [`SUB_BUCKETS`] are their own bucket (exact); a larger value with
+    /// most-significant bit `m` keeps its top `SUB_BITS + 1` bits:
+    /// group `m - SUB_BITS + 1`, sub-bucket = the `SUB_BITS` bits after
+    /// the leading one.
     fn bucket_of(ns: u64) -> usize {
-        (u64::BITS - ns.leading_zeros()) as usize
+        if ns < SUB_BUCKETS {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let group = (msb - SUB_BITS + 1) as u64;
+        let sub = (ns >> shift) & (SUB_BUCKETS - 1);
+        (group * SUB_BUCKETS + sub) as usize
+    }
+
+    /// Inclusive upper edge of bucket `b` in nanoseconds — what quantile
+    /// queries report, so the reported value over-estimates the true
+    /// sample by at most one sub-bucket width (≤ 6.25% relative).
+    fn bucket_upper_edge(b: usize) -> u64 {
+        let b = b as u64;
+        if b < SUB_BUCKETS {
+            return b;
+        }
+        let group = b / SUB_BUCKETS;
+        let sub = b % SUB_BUCKETS;
+        let shift = (group - 1).min(63 - SUB_BITS as u64) as u32;
+        let lower = (SUB_BUCKETS + sub) << shift;
+        lower.saturating_add((1u64 << shift) - 1)
     }
 
     /// Records one latency sample. Wait-free, allocation-free; safe to call
@@ -66,8 +105,9 @@ impl LatencyHistogram {
     }
 
     /// The latency below which a `q` fraction of samples fall, reported as
-    /// the upper edge of the containing power-of-two bucket (`0` when
-    /// empty). `q` is clamped to `[0, 1]`; resolution is one power of two.
+    /// the upper edge of the containing log-linear sub-bucket (`0` when
+    /// empty), clamped to the exact observed maximum. `q` is clamped to
+    /// `[0, 1]`; relative resolution is ≤ `1 / SUB_BUCKETS` (6.25%).
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -80,21 +120,38 @@ impl LatencyHistogram {
         for (b, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                return Self::bucket_upper_edge(b);
+                return Self::bucket_upper_edge(b).min(self.max_ns());
             }
         }
         self.max_ns()
     }
 
-    /// Inclusive upper edge of bucket `b` in nanoseconds.
-    fn bucket_upper_edge(b: usize) -> u64 {
-        if b == 0 {
-            0
-        } else if b >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << b) - 1
+    /// Median latency (see [`Self::quantile_ns`]).
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile latency (see [`Self::quantile_ns`]).
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// 99.9th-percentile latency — the tail the serving SLO gates on.
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+
+    /// Merges another histogram's samples into this one (used to aggregate
+    /// per-shard histograms into a server-wide view). Not atomic as a
+    /// whole; concurrent `record`s land in one histogram or the other.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v > 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
         }
+        self.max_ns.fetch_max(other.max_ns(), Ordering::Relaxed);
     }
 
     /// Drops all samples, keeping the allocation.
@@ -116,16 +173,40 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.max_ns(), 0);
         assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.p999_ns(), 0);
     }
 
     #[test]
-    fn buckets_are_bit_lengths() {
-        assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(1), 1);
-        assert_eq!(LatencyHistogram::bucket_of(2), 2);
-        assert_eq!(LatencyHistogram::bucket_of(3), 2);
-        assert_eq!(LatencyHistogram::bucket_of(4), 3);
-        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 64);
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS {
+            let b = LatencyHistogram::bucket_of(v);
+            assert_eq!(b, v as usize);
+            assert_eq!(LatencyHistogram::bucket_upper_edge(b), v);
+        }
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_tight() {
+        // Every sample's reported upper edge is >= the sample and within
+        // 1/SUB_BUCKETS relative error; bucket indices never decrease.
+        let mut prev = 0usize;
+        for shift in 0..60 {
+            for base in [16u64, 17, 23, 31] {
+                let v = base << shift;
+                let b = LatencyHistogram::bucket_of(v);
+                assert!(b >= prev, "bucket order broke at {v}");
+                prev = b;
+                let edge = LatencyHistogram::bucket_upper_edge(b);
+                assert!(edge >= v, "edge {edge} below sample {v}");
+                let err = (edge - v) as f64 / v as f64;
+                assert!(err <= 1.0 / SUB_BUCKETS as f64, "err {err} at {v}");
+            }
+        }
+        assert_eq!(
+            LatencyHistogram::bucket_of(u64::MAX),
+            BUCKETS - 1,
+            "u64::MAX lands in the last bucket"
+        );
     }
 
     #[test]
@@ -142,12 +223,50 @@ mod tests {
         assert_eq!(h.max_ns(), 1_000_000);
         let p50 = h.quantile_ns(0.50);
         let p99 = h.quantile_ns(0.99);
-        // p50 lands in the microsecond bucket, p99 in the millisecond one.
-        assert!((1_000..4_096).contains(&p50), "p50 {p50}");
-        assert!((524_288..2_097_152).contains(&p99), "p99 {p99}");
+        // Log-linear buckets: quantiles land within 6.25% of the sample.
+        assert!((1_000..=1_063).contains(&p50), "p50 {p50}");
+        assert!((1_000_000..=1_062_500).contains(&p99), "p99 {p99}");
         assert!(p50 < p99);
         h.clear();
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn p999_separates_the_extreme_tail() {
+        let h = LatencyHistogram::new();
+        for _ in 0..998 {
+            h.record(10_000);
+        }
+        h.record(5_000_000);
+        h.record(80_000_000);
+        let p99 = h.p99_ns();
+        let p999 = h.p999_ns();
+        assert!(p99 < 5_300_000, "p99 {p99} should exclude the 1/1000 tail");
+        assert!(
+            (5_000_000..=5_312_500).contains(&p999),
+            "p999 {p999} should capture the second-worst sample"
+        );
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let h = LatencyHistogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.quantile_ns(1.0), 1_000_003);
+        assert_eq!(h.p999_ns(), 1_000_003);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_max() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(100);
+        b.record(200_000);
+        b.record(300_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ns(), 300_000);
+        assert!(a.quantile_ns(1.0) >= 300_000 - 300_000 / 16);
     }
 
     #[test]

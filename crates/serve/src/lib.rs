@@ -28,6 +28,12 @@
 //!   scheduling; sessions share no mutable state, so per-stream results
 //!   are bit-identical to standalone execution under any interleaving and
 //!   any worker count.
+//! * **Sharding + deadline scheduling** — [`ShardedServer`] hashes
+//!   streams across N independent shards (each its own session pool,
+//!   queues, and histogram over one shared model) driven by dedicated
+//!   per-shard worker threads ([`ShardWorkers`]); submits can carry a
+//!   deadline and priority lane ([`SubmitOptions`]), with
+//!   projected-deadline-miss shedding at ingress.
 //! * **Telemetry** — aggregate throughput, submit-to-completion latency
 //!   (preallocated lock-free [`LatencyHistogram`]), backpressure and
 //!   eviction counters, and per-stream hit rates, exported as a
@@ -64,11 +70,13 @@
 mod error;
 mod histogram;
 mod server;
+mod shard;
 mod snapshot;
 
 pub use error::ServeError;
 pub use histogram::LatencyHistogram;
-pub use server::{ServerConfig, StreamServer, SubmitResult, TickStats};
+pub use server::{Priority, ServerConfig, StreamServer, SubmitOptions, SubmitResult, TickStats};
+pub use shard::{default_shards, ShardWorkers, ShardedServer, ShardedSnapshot};
 pub use snapshot::{ServerSnapshot, StreamSnapshot};
 
 // Re-exported so downstream code can name the shared-model types without a

@@ -12,10 +12,10 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use reuse_core::{CompiledModel, ReuseSession};
-use reuse_tensor::{parallel_for_each_mut, ParallelConfig};
+use reuse_tensor::{parallel_for_each_mut, parallel_for_each_mut_order, ParallelConfig};
 
 use crate::error::ServeError;
 use crate::histogram::LatencyHistogram;
@@ -34,6 +34,66 @@ pub enum SubmitResult {
     /// cost) and its queue is past the shed watermark. Dropping fresh
     /// frames keeps a degraded stream from starving healthy ones.
     Shed,
+    /// The frame was load-shed because it is projected to miss its
+    /// deadline: queued work × the observed per-frame service time
+    /// (EWMA over recent ticks) already exceeds the slack the caller
+    /// allowed. Shedding at ingress costs nothing; executing a frame whose
+    /// result arrives too late costs a full forward pass.
+    DeadlineShed,
+}
+
+/// Ingress scheduling class of a submitted frame. Frames within one stream
+/// always execute in submission order (the reuse chain is sequential);
+/// priority controls *cross-stream* service order inside a tick: streams
+/// with a high-priority frame at the head of their queue are dispatched
+/// before normal ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Default lane.
+    #[default]
+    Normal,
+    /// Served before `Normal` streams within each scheduling tick.
+    High,
+}
+
+/// Per-frame submission options: deadline and ingress priority. The
+/// plain [`StreamServer::submit`] uses `SubmitOptions::default()` — no
+/// deadline, normal priority — and behaves exactly as before.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Absolute completion deadline. Submits projected to miss it are
+    /// rejected with [`SubmitResult::DeadlineShed`]; queued frames whose
+    /// deadline has already passed when they reach the head of the queue
+    /// are dropped (counted as `expired`) instead of executed.
+    pub deadline: Option<Instant>,
+    /// Ingress lane (see [`Priority`]).
+    pub priority: Priority,
+    /// Opaque caller tag carried through to the frame's completion:
+    /// reported by [`StreamServer::drain_outputs_tagged`] alongside the
+    /// output, or by [`StreamServer::drain_expired`] when the frame is
+    /// dropped past-deadline. The network front-end uses it to pair
+    /// responses with request sequence numbers; `0` by default.
+    pub tag: u64,
+}
+
+impl SubmitOptions {
+    /// Deadline `slack` from now.
+    pub fn with_deadline(mut self, slack: Duration) -> Self {
+        self.deadline = Some(Instant::now() + slack);
+        self
+    }
+
+    /// High-priority ingress lane.
+    pub fn high_priority(mut self) -> Self {
+        self.priority = Priority::High;
+        self
+    }
+
+    /// Opaque completion tag (see [`Self::tag`]).
+    pub fn tagged(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
 }
 
 /// What one scheduling tick accomplished.
@@ -124,11 +184,15 @@ impl ServerConfig {
 }
 
 /// One queued input frame plus its enqueue timestamp (for the
-/// submit-to-completion latency histogram).
+/// submit-to-completion latency histogram) and scheduling metadata.
 #[derive(Debug)]
 struct QueuedFrame {
     data: Vec<f32>,
     enqueued: Instant,
+    deadline: Option<Instant>,
+    priority: Priority,
+    /// Caller tag, reported back on completion or expiry.
+    tag: u64,
 }
 
 /// One stream's slot in the server: its session, bounded queues, and
@@ -143,10 +207,14 @@ struct StreamEntry {
     queue: VecDeque<QueuedFrame>,
     /// Recycled ingress frame buffers.
     frame_free: Vec<Vec<f32>>,
-    /// Completed outputs, oldest first (capacity = `queue_capacity`).
-    outputs: VecDeque<Vec<f32>>,
+    /// Completed outputs with their caller tags, oldest first (capacity =
+    /// `queue_capacity`).
+    outputs: VecDeque<(u64, Vec<f32>)>,
     /// Recycled output buffers.
     out_free: Vec<Vec<f32>>,
+    /// Tags of frames dropped past-deadline, oldest first (bounded like
+    /// the output queue; oldest dropped if the caller never drains).
+    expired_tags: VecDeque<u64>,
     /// Scratch for assembling recurrent sequences (timestep buffers are
     /// moved in from the queue and returned to `frame_free` after).
     seq_scratch: Vec<Vec<f32>>,
@@ -159,12 +227,27 @@ struct StreamEntry {
     frames_in: u64,
     /// Frames completed over the stream's lifetime.
     frames_done: u64,
+    /// Submits rejected with [`SubmitResult::QueueFull`] (lifetime).
+    rejected_queue_full: u64,
+    /// Submits rejected with [`SubmitResult::Shed`] (lifetime).
+    shed: u64,
+    /// Submits rejected with [`SubmitResult::DeadlineShed`] (lifetime).
+    deadline_shed: u64,
+    /// Queued frames dropped at execution time because their deadline had
+    /// already passed (lifetime).
+    expired: u64,
+    /// Queued frames with [`Priority::High`] (kept in sync by submit and
+    /// the dispatch workers; drives the per-tick priority ordering).
+    high_pending: usize,
     /// Completed outputs overwritten because the output queue was full
     /// (the caller stopped draining).
     outputs_dropped: u64,
     /// Frames this entry completed in the current tick (summed after the
     /// parallel loop — keeps the dispatch workers free of shared counters).
     tick_frames: u64,
+    /// Frames this entry dropped past-deadline in the current tick (summed
+    /// into the server-wide `expired` counter after the parallel loop).
+    tick_expired: u64,
     /// First execution error, if any. The error is sticky: a failed stream
     /// stays failed (skipped by later ticks, zero ready units) until it is
     /// evicted — it must never silently resume.
@@ -183,13 +266,20 @@ impl StreamEntry {
             frame_free: Vec::with_capacity(config.queue_capacity),
             outputs: VecDeque::with_capacity(config.queue_capacity),
             out_free: Vec::with_capacity(config.queue_capacity + 1),
+            expired_tags: VecDeque::with_capacity(config.queue_capacity),
             seq_scratch: Vec::with_capacity(config.sequence_len),
             last_used: 0,
             degraded: false,
             frames_in: 0,
             frames_done: 0,
+            rejected_queue_full: 0,
+            shed: 0,
+            deadline_shed: 0,
+            expired: 0,
+            high_pending: 0,
             outputs_dropped: 0,
             tick_frames: 0,
+            tick_expired: 0,
             error: None,
             error_reported: false,
         }
@@ -211,14 +301,22 @@ impl StreamEntry {
 
     /// Pushes one completed output, recycling the oldest if the bounded
     /// output queue is full (the caller stopped draining).
-    fn push_output(&mut self, out: Vec<f32>, cap: usize) {
+    fn push_output(&mut self, tag: u64, out: Vec<f32>, cap: usize) {
         if self.outputs.len() >= cap {
-            if let Some(old) = self.outputs.pop_front() {
+            if let Some((_, old)) = self.outputs.pop_front() {
                 self.out_free.push(old);
                 self.outputs_dropped += 1;
             }
         }
-        self.outputs.push_back(out);
+        self.outputs.push_back((tag, out));
+    }
+
+    /// Records one past-deadline drop's tag, bounded like the output queue.
+    fn push_expired(&mut self, tag: u64, cap: usize) {
+        if self.expired_tags.len() >= cap {
+            self.expired_tags.pop_front();
+        }
+        self.expired_tags.push_back(tag);
     }
 
     /// Runs up to `batch_max` ready units on this entry's session. Called
@@ -226,6 +324,7 @@ impl StreamEntry {
     /// (lock-free) histogram.
     fn process(&mut self, config: &ServerConfig, latency: &LatencyHistogram) {
         self.tick_frames = 0;
+        self.tick_expired = 0;
         if self.error.is_some() {
             return;
         }
@@ -233,11 +332,26 @@ impl StreamEntry {
         while units < config.batch_max && self.ready_units(config.sequence_len) > 0 {
             if config.sequence_len == 0 {
                 let frame = self.queue.pop_front().expect("ready unit implies frame");
+                if frame.priority == Priority::High {
+                    self.high_pending -= 1;
+                }
+                // A frame whose deadline already passed is dropped, not
+                // executed: its result would arrive too late to matter,
+                // and the forward pass it saves goes to frames that can
+                // still make their deadlines.
+                if frame.deadline.is_some_and(|d| Instant::now() > d) {
+                    self.expired += 1;
+                    self.tick_expired += 1;
+                    self.push_expired(frame.tag, config.queue_capacity);
+                    self.frame_free.push(frame.data);
+                    units += 1;
+                    continue;
+                }
                 let mut out = self.out_free.pop().unwrap_or_default();
                 match self.session.execute_into(&frame.data, &mut out) {
                     Ok(()) => {
                         latency.record(frame.enqueued.elapsed().as_nanos() as u64);
-                        self.push_output(out, config.queue_capacity);
+                        self.push_output(frame.tag, out, config.queue_capacity);
                         self.frames_done += 1;
                         self.tick_frames += 1;
                     }
@@ -270,10 +384,15 @@ impl StreamEntry {
         debug_assert!(self.queue.len() >= len);
         self.seq_scratch.clear();
         let mut enqueued = Vec::with_capacity(len);
+        let mut tags = Vec::with_capacity(len);
         for _ in 0..len {
             let frame = self.queue.pop_front().expect("checked above");
+            if frame.priority == Priority::High {
+                self.high_pending -= 1;
+            }
             self.seq_scratch.push(frame.data);
             enqueued.push(frame.enqueued);
+            tags.push(frame.tag);
         }
         match self.session.execute_sequence(&self.seq_scratch) {
             Ok(outs) => {
@@ -282,7 +401,7 @@ impl StreamEntry {
                     out.clear();
                     out.extend_from_slice(tensor.as_slice());
                     latency.record(enqueued[t].elapsed().as_nanos() as u64);
-                    self.push_output(out, config.queue_capacity);
+                    self.push_output(tags[t], out, config.queue_capacity);
                     self.frames_done += 1;
                     self.tick_frames += 1;
                 }
@@ -332,9 +451,25 @@ pub struct StreamServer {
     frames_completed: u64,
     rejected_queue_full: u64,
     shed: u64,
+    /// Submits rejected by the projected-deadline-miss policy.
+    deadline_shed: u64,
+    /// Queued frames dropped at execution time (deadline already passed).
+    expired: u64,
     evictions: u64,
     /// Queued frames discarded when their stream was evicted.
     evicted_frames: u64,
+    /// Total queued frames across streams (kept incrementally so the
+    /// per-submit deadline projection is O(1), not O(streams)).
+    pending_total: usize,
+    /// Queued high-priority frames across streams (when zero — the common
+    /// case — ticks skip the priority ordering pass entirely).
+    high_pending: usize,
+    /// EWMA of the observed per-frame service time in nanoseconds over
+    /// recent ticks; `0` until the first frame completes. This is the
+    /// `s̄` in the projected-deadline-miss formula (DESIGN.md §13).
+    service_ewma_ns: f64,
+    /// Scratch for the priority-ordered dispatch index (reused per tick).
+    order: Vec<usize>,
 }
 
 impl StreamServer {
@@ -379,8 +514,14 @@ impl StreamServer {
             frames_completed: 0,
             rejected_queue_full: 0,
             shed: 0,
+            deadline_shed: 0,
+            expired: 0,
             evictions: 0,
             evicted_frames: 0,
+            pending_total: 0,
+            high_pending: 0,
+            service_ewma_ns: 0.0,
+            order: Vec::new(),
         })
     }
 
@@ -480,6 +621,33 @@ impl StreamServer {
         self.shed
     }
 
+    /// Submits rejected with [`SubmitResult::DeadlineShed`].
+    pub fn deadline_shed_frames(&self) -> u64 {
+        self.deadline_shed
+    }
+
+    /// Queued frames dropped at execution time because their deadline had
+    /// already passed.
+    pub fn expired_frames(&self) -> u64 {
+        self.expired
+    }
+
+    /// EWMA of the observed per-frame service time in nanoseconds (`0.0`
+    /// until the first tick completes a frame). Aggregate across the
+    /// server: with in-shard parallel dispatch it reflects effective
+    /// (wall-clock ÷ frames) service time, which is what the deadline
+    /// projection needs.
+    pub fn service_ewma_ns(&self) -> f64 {
+        self.service_ewma_ns
+    }
+
+    /// Projected wait in nanoseconds for a frame submitted now: queued
+    /// frames × observed per-frame service time. `0` until a service-time
+    /// estimate exists.
+    pub fn projected_wait_ns(&self) -> u64 {
+        (self.pending_total as f64 * self.service_ewma_ns) as u64
+    }
+
     /// Streams evicted by the LRU session-pool cap.
     pub fn evictions(&self) -> u64 {
         self.evictions
@@ -503,6 +671,32 @@ impl StreamServer {
     /// Returns [`ServeError::Reuse`] when the frame length does not match
     /// the model's input volume.
     pub fn submit(&mut self, id: u64, frame: &[f32]) -> Result<SubmitResult, ServeError> {
+        self.submit_with(id, frame, SubmitOptions::default())
+    }
+
+    /// [`Self::submit`] with per-frame scheduling options: an absolute
+    /// completion deadline and an ingress priority lane.
+    ///
+    /// With a deadline set, the submit is additionally subject to the
+    /// **projected-deadline-miss** policy: if queued work × the observed
+    /// per-frame service time (EWMA over recent ticks) already reaches
+    /// past the deadline, the frame is rejected with
+    /// [`SubmitResult::DeadlineShed`] instead of queued — executing it
+    /// would deliver a result nobody can use while delaying frames that
+    /// can still make their deadlines. A queued frame whose deadline
+    /// passes before it reaches the head of its queue is likewise dropped
+    /// (`expired`) rather than executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Reuse`] when the frame length does not match
+    /// the model's input volume.
+    pub fn submit_with(
+        &mut self,
+        id: u64,
+        frame: &[f32],
+        opts: SubmitOptions,
+    ) -> Result<SubmitResult, ServeError> {
         if frame.len() != self.frame_len {
             return Err(ServeError::Reuse(reuse_core::ReuseError::Nn(
                 reuse_nn::NnError::InputShape {
@@ -516,14 +710,27 @@ impl StreamServer {
             None => self.create_stream(id),
         };
         let watermark = self.config.effective_watermark();
+        // Projected completion: now + (queued-across-server + 1) × s̄.
+        // Computed before borrowing the entry; `0` disables the check
+        // until a service-time estimate exists (first tick).
+        let projected_ns = ((self.pending_total + 1) as f64 * self.service_ewma_ns) as u64;
         let entry = &mut self.entries[slot];
         if entry.queue.len() >= self.config.queue_capacity {
             self.rejected_queue_full += 1;
+            entry.rejected_queue_full += 1;
             return Ok(SubmitResult::QueueFull);
         }
         if entry.degraded && entry.queue.len() >= watermark {
             self.shed += 1;
+            entry.shed += 1;
             return Ok(SubmitResult::Shed);
+        }
+        if let Some(deadline) = opts.deadline {
+            if projected_ns > 0 && Instant::now() + Duration::from_nanos(projected_ns) > deadline {
+                self.deadline_shed += 1;
+                entry.deadline_shed += 1;
+                return Ok(SubmitResult::DeadlineShed);
+            }
         }
         // Only accepted frames refresh the LRU clock: a spammer whose every
         // submit is rejected must not look recently used and push healthy
@@ -538,9 +745,17 @@ impl StreamServer {
         entry.queue.push_back(QueuedFrame {
             data,
             enqueued: Instant::now(),
+            deadline: opts.deadline,
+            priority: opts.priority,
+            tag: opts.tag,
         });
+        if opts.priority == Priority::High {
+            entry.high_pending += 1;
+            self.high_pending += 1;
+        }
         entry.frames_in += 1;
         self.frames_submitted += 1;
+        self.pending_total += 1;
         Ok(SubmitResult::Accepted)
     }
 
@@ -555,6 +770,12 @@ impl StreamServer {
         self.entries
             .push(StreamEntry::new(id, self.model.new_session(), &self.config));
         self.index.insert(id, slot);
+        // Cold path: keep the priority-order scratch large enough that
+        // ticks never grow it (zero-alloc steady state).
+        let need = self.entries.len();
+        if self.order.capacity() < need {
+            self.order.reserve(need - self.order.len());
+        }
         slot
     }
 
@@ -579,6 +800,8 @@ impl StreamServer {
         // anything still holds it through shared introspection).
         entry.session.reset_state();
         self.evicted_frames += entry.queue.len() as u64;
+        self.pending_total -= entry.queue.len();
+        self.high_pending -= entry.high_pending;
         self.evictions += 1;
         // swap_remove moved the tail entry into `slot`: fix its index.
         if let Some(moved) = self.entries.get(slot) {
@@ -599,20 +822,55 @@ impl StreamServer {
     /// through this result exactly once.
     pub fn tick(&mut self) -> Result<TickStats, ServeError> {
         self.ticks += 1;
+        let started = Instant::now();
         let config = &self.config;
         let latency = &self.latency;
-        parallel_for_each_mut(
-            &config.parallel.min_work_per_thread(1),
-            &mut self.entries,
-            |_, entry| entry.process(config, latency),
-        );
+        if self.high_pending > 0 {
+            // Priority lanes: streams whose *head* frame is high-priority
+            // are dispatched first (stable partition, so FIFO order is
+            // preserved within each lane). The scratch index is reused
+            // across ticks; its capacity is reserved on stream creation.
+            self.order.clear();
+            self.order.extend(
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.queue.front().map(|f| f.priority) == Some(Priority::High))
+                    .map(|(i, _)| i),
+            );
+            self.order.extend(
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.queue.front().map(|f| f.priority) != Some(Priority::High))
+                    .map(|(i, _)| i),
+            );
+            parallel_for_each_mut_order(
+                &config.parallel.min_work_per_thread(1),
+                &mut self.entries,
+                &self.order,
+                |_, entry| entry.process(config, latency),
+            );
+        } else {
+            parallel_for_each_mut(
+                &config.parallel.min_work_per_thread(1),
+                &mut self.entries,
+                |_, entry| entry.process(config, latency),
+            );
+        }
         let mut stats = TickStats::default();
         let mut first_error = None;
+        let mut pending = 0usize;
+        let mut high = 0usize;
         for entry in &mut self.entries {
             stats.frames += entry.tick_frames;
             if entry.tick_frames > 0 {
                 stats.streams += 1;
             }
+            self.expired += entry.tick_expired;
+            entry.tick_expired = 0;
+            pending += entry.queue.len();
+            high += entry.high_pending;
             if first_error.is_none() && !entry.error_reported {
                 if let Some(e) = &entry.error {
                     first_error = Some(e.clone());
@@ -620,7 +878,20 @@ impl StreamServer {
                 }
             }
         }
+        self.pending_total = pending;
+        self.high_pending = high;
         self.frames_completed += stats.frames;
+        if stats.frames > 0 {
+            // Observed per-frame service time this tick, folded into the
+            // EWMA the deadline projection reads (α = 0.25; the first
+            // observation seeds the estimate directly).
+            let per_frame = started.elapsed().as_nanos() as f64 / stats.frames as f64;
+            self.service_ewma_ns = if self.service_ewma_ns == 0.0 {
+                per_frame
+            } else {
+                0.75 * self.service_ewma_ns + 0.25 * per_frame
+            };
+        }
         match first_error {
             Some(e) => Err(ServeError::Reuse(e)),
             None => Ok(stats),
@@ -631,14 +902,38 @@ impl StreamServer {
     /// `f` with each flat output and recycling the buffer. Returns the
     /// number of outputs drained. Allocation-free.
     pub fn drain_outputs(&mut self, id: u64, mut f: impl FnMut(&[f32])) -> usize {
+        self.drain_outputs_tagged(id, |_, out| f(out))
+    }
+
+    /// [`Self::drain_outputs`], additionally passing each output's
+    /// submission tag ([`SubmitOptions::tagged`]) — how the network
+    /// front-end pairs completions with request sequence numbers.
+    /// Allocation-free.
+    pub fn drain_outputs_tagged(&mut self, id: u64, mut f: impl FnMut(u64, &[f32])) -> usize {
         let Some(&slot) = self.index.get(&id) else {
             return 0;
         };
         let entry = &mut self.entries[slot];
         let mut drained = 0usize;
-        while let Some(out) = entry.outputs.pop_front() {
-            f(&out);
+        while let Some((tag, out)) = entry.outputs.pop_front() {
+            f(tag, &out);
             entry.out_free.push(out);
+            drained += 1;
+        }
+        drained
+    }
+
+    /// Drains the tags of a stream's frames dropped past-deadline since the
+    /// last call, oldest first (see [`SubmitOptions::with_deadline`]).
+    /// Returns the number drained. Allocation-free.
+    pub fn drain_expired(&mut self, id: u64, mut f: impl FnMut(u64)) -> usize {
+        let Some(&slot) = self.index.get(&id) else {
+            return 0;
+        };
+        let entry = &mut self.entries[slot];
+        let mut drained = 0usize;
+        while let Some(tag) = entry.expired_tags.pop_front() {
+            f(tag);
             drained += 1;
         }
         drained
@@ -666,6 +961,10 @@ impl StreamServer {
                 frames_in: e.frames_in,
                 frames_done: e.frames_done,
                 queue_len: e.queue.len(),
+                rejected_queue_full: e.rejected_queue_full,
+                shed: e.shed,
+                deadline_shed: e.deadline_shed,
+                expired: e.expired,
                 degraded: e.degraded,
                 failed: e.error.is_some(),
                 input_similarity: e.session.metrics().overall_input_similarity(),
@@ -680,13 +979,17 @@ impl StreamServer {
             frames_completed: self.frames_completed,
             rejected_queue_full: self.rejected_queue_full,
             shed: self.shed,
+            deadline_shed: self.deadline_shed,
+            expired: self.expired,
             evictions: self.evictions,
             evicted_frames: self.evicted_frames,
             outputs_dropped,
             latency_count: self.latency.count(),
             p50_ns: self.latency.quantile_ns(0.50),
             p99_ns: self.latency.quantile_ns(0.99),
+            p999_ns: self.latency.quantile_ns(0.999),
             max_ns: self.latency.max_ns(),
+            service_ewma_ns: self.service_ewma_ns,
             signature,
             streams,
         }

@@ -28,6 +28,10 @@ pub struct ServerSnapshot {
     pub rejected_queue_full: u64,
     /// Submits load-shed on degraded streams.
     pub shed: u64,
+    /// Submits rejected by the projected-deadline-miss policy.
+    pub deadline_shed: u64,
+    /// Queued frames dropped at execution time (deadline already passed).
+    pub expired: u64,
     /// Streams evicted by the LRU session-pool cap.
     pub evictions: u64,
     /// Queued frames discarded with their evicted stream.
@@ -36,12 +40,17 @@ pub struct ServerSnapshot {
     pub outputs_dropped: u64,
     /// Samples in the latency histogram.
     pub latency_count: u64,
-    /// Median submit-to-completion latency (power-of-two bucket edge, ns).
+    /// Median submit-to-completion latency (log-linear bucket edge, ns).
     pub p50_ns: u64,
     /// 99th-percentile submit-to-completion latency (ns).
     pub p99_ns: u64,
+    /// 99.9th-percentile submit-to-completion latency (ns).
+    pub p999_ns: u64,
     /// Largest exact latency sample (ns).
     pub max_ns: u64,
+    /// EWMA of the per-frame service time feeding the deadline projection
+    /// (ns; `0.0` before the first completed frame).
+    pub service_ewma_ns: f64,
     /// Cross-stream signature-cache counters summed over the pool's live
     /// sessions (all zero when the model compiles the cache out).
     pub signature: SignatureStats,
@@ -60,6 +69,16 @@ pub struct StreamSnapshot {
     pub frames_done: u64,
     /// Frames currently queued.
     pub queue_len: usize,
+    /// This stream's submits rejected because its queue was full.
+    pub rejected_queue_full: u64,
+    /// This stream's submits load-shed while degraded.
+    pub shed: u64,
+    /// This stream's submits rejected by the projected-deadline-miss
+    /// policy.
+    pub deadline_shed: u64,
+    /// This stream's queued frames dropped with an already-passed
+    /// deadline.
+    pub expired: u64,
     /// Whether the stream's drift watchdog has auto-disabled reuse layers.
     pub degraded: bool,
     /// Whether the stream has a sticky execution error (skipped by ticks).
@@ -112,8 +131,13 @@ impl ServerSnapshot {
         let _ = writeln!(s, "  \"frames_completed\": {},", self.frames_completed);
         let _ = writeln!(
             s,
-            "  \"backpressure\": {{\"queue_full\": {}, \"shed\": {}, \"outputs_dropped\": {}}},",
-            self.rejected_queue_full, self.shed, self.outputs_dropped
+            "  \"backpressure\": {{\"queue_full\": {}, \"shed\": {}, \"deadline_shed\": {}, \
+             \"expired\": {}, \"outputs_dropped\": {}}},",
+            self.rejected_queue_full,
+            self.shed,
+            self.deadline_shed,
+            self.expired,
+            self.outputs_dropped
         );
         let _ = writeln!(
             s,
@@ -122,8 +146,14 @@ impl ServerSnapshot {
         );
         let _ = writeln!(
             s,
-            "  \"latency_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}},",
-            self.latency_count, self.p50_ns, self.p99_ns, self.max_ns
+            "  \"latency_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \
+             \"max\": {}}},",
+            self.latency_count, self.p50_ns, self.p99_ns, self.p999_ns, self.max_ns
+        );
+        let _ = writeln!(
+            s,
+            "  \"service_ewma_ns\": {},",
+            json_num(self.service_ewma_ns)
         );
         let _ = writeln!(
             s,
@@ -141,12 +171,17 @@ impl ServerSnapshot {
             let _ = writeln!(
                 s,
                 "    {{\"id\": {}, \"frames_in\": {}, \"frames_done\": {}, \
-                 \"queue_len\": {}, \"degraded\": {}, \"failed\": {}, \
-                 \"input_similarity\": {}}}{}",
+                 \"queue_len\": {}, \"queue_full\": {}, \"shed\": {}, \
+                 \"deadline_shed\": {}, \"expired\": {}, \"degraded\": {}, \
+                 \"failed\": {}, \"input_similarity\": {}}}{}",
                 st.id,
                 st.frames_in,
                 st.frames_done,
                 st.queue_len,
+                st.rejected_queue_full,
+                st.shed,
+                st.deadline_shed,
+                st.expired,
                 st.degraded,
                 st.failed,
                 json_num(st.input_similarity),
@@ -174,13 +209,17 @@ mod tests {
             frames_completed: 18,
             rejected_queue_full: 1,
             shed: 0,
+            deadline_shed: 3,
+            expired: 1,
             evictions: 1,
             evicted_frames: 2,
             outputs_dropped: 0,
             latency_count: 18,
             p50_ns: 4095,
             p99_ns: 65535,
+            p999_ns: 65535,
             max_ns: 60000,
+            service_ewma_ns: 1234.5,
             signature: SignatureStats {
                 lookups: 6,
                 hits: 4,
@@ -194,6 +233,10 @@ mod tests {
                     frames_in: 10,
                     frames_done: 9,
                     queue_len: 1,
+                    rejected_queue_full: 0,
+                    shed: 0,
+                    deadline_shed: 2,
+                    expired: 1,
                     degraded: false,
                     failed: false,
                     input_similarity: 0.75,
@@ -203,6 +246,10 @@ mod tests {
                     frames_in: 10,
                     frames_done: 9,
                     queue_len: 0,
+                    rejected_queue_full: 1,
+                    shed: 0,
+                    deadline_shed: 0,
+                    expired: 0,
                     degraded: true,
                     failed: true,
                     input_similarity: f64::NAN,
@@ -212,6 +259,10 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\\\"test\\\""));
         assert!(json.contains("\"p99\": 65535"));
+        assert!(json.contains("\"p999\": 65535"));
+        assert!(json.contains("\"deadline_shed\": 3"));
+        assert!(json.contains("\"expired\": 1"));
+        assert!(json.contains("\"service_ewma_ns\": 1234.5"));
         assert!(json.contains("\"degraded\": true"));
         assert!(json.contains("\"failed\": true"));
         assert!(json.contains(

@@ -74,7 +74,9 @@ fn run_server(
                             server.tick().unwrap();
                             server.drain_outputs(*id, |out| collected[s].push(out.to_vec()));
                         }
-                        SubmitResult::Shed => panic!("healthy stream must not shed"),
+                        SubmitResult::Shed | SubmitResult::DeadlineShed => {
+                            panic!("healthy stream must not shed")
+                        }
                     }
                 }
             }

@@ -60,11 +60,29 @@ echo "== cross-stream signature-cache smoke (capacity 0 + full capacity) =="
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve kaldi --streams 4 --frames 32 --sig-cache > /dev/null
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve eesen --streams 3 --frames 20 --sig-cache > /dev/null
 
+echo "== serve-net loopback smoke (TCP round-trip vs standalone, both SIMD levels) =="
+# Starts the sharded tier behind a real loopback TCP socket, drives streams
+# through the in-tree binary-protocol client, and checks every response
+# payload bit-for-bit against standalone ReuseSessions (exit 6 on
+# divergence). Runs at both SIMD levels so the wire path inherits the
+# scalar bit-identity contract.
+REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve-net kaldi --streams 4 --frames 32 --smoke > /dev/null
+REUSE_SCALE=tiny REUSE_SIMD=off cargo run --release -q -p reuse-bench --bin reuse_cli -- serve-net kaldi --streams 4 --frames 32 --smoke > /dev/null
+
 echo "== serve throughput smoke (scaling floor ${REUSE_SERVE_MIN_SCALING:-0.9}x, fps floor ${REUSE_SERVE_MIN_FPS:-1.0}) =="
 # Aggregate frames/sec must not drop as the server goes from 1 to 8 streams
 # (the dispatch loop amortizes per-tick overhead); floors are tunable for
 # noisy hosts via REUSE_SERVE_MIN_SCALING / REUSE_SERVE_MIN_FPS.
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin serve_bench -- --perf-smoke
+
+echo "== sharded open-loop smoke (shard-scaling + p99 floors, both SIMD levels) =="
+# Worker-driven ShardedServer: 64-stream throughput must clear the
+# host-aware REUSE_SERVE_MIN_SHARD_SCALING floor (default min(2.5, 0.9 x
+# hardware threads) — a 1-core host cannot scale, a many-core host must),
+# and the open-loop p99 at half capacity must stay under
+# REUSE_SERVE_MAX_P99_NS (default 50 ms).
+REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin serve_bench -- --open-loop --perf-smoke
+REUSE_SCALE=tiny REUSE_SIMD=off cargo run --release -q -p reuse-bench --bin serve_bench -- --open-loop --perf-smoke
 
 echo "== BENCH_serve.json schema check =="
 # The stored serving artifact must carry the throughput rows and the
