@@ -185,6 +185,9 @@ fn matmul_pair() -> (Tensor, Tensor, u64) {
 struct EngineBench {
     base_ns: f64,
     telemetry_ns: f64,
+    /// Active reuse-policy name resolved by the compiled model
+    /// (`"static"` unless a policy override is wired in).
+    policy: String,
     layers: Vec<(String, f64)>,
 }
 
@@ -261,6 +264,7 @@ fn bench_engine_pair() -> EngineBench {
     let bench = EngineBench {
         base_ns,
         telemetry_ns,
+        policy: tel_model.policy_name().to_string(),
         layers,
     };
     eprintln!(
@@ -367,6 +371,7 @@ fn validate(path: &str) -> ExitCode {
         "\"fma\":",
         "\"bit_exact\":",
         "\"engine\":",
+        "\"policy\":",
         "\"base_ns_per_frame\":",
         "\"telemetry_ns_per_frame\":",
         "\"telemetry_overhead_pct\":",
@@ -807,6 +812,7 @@ fn main() -> ExitCode {
         "    \"telemetry_overhead_pct\": {:.3},",
         engine.overhead_pct()
     );
+    let _ = writeln!(json, "    \"policy\": \"{}\",", engine.policy);
     json.push_str("    \"layers\": [\n");
     for (k, (name, rate)) in engine.layers.iter().enumerate() {
         let _ = writeln!(

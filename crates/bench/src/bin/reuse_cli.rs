@@ -10,6 +10,8 @@
 //! reuse_cli serve-net [workload] --port P --shards N serve over TCP (length-prefixed frames)
 //! reuse_cli serve-net [workload] --smoke            loopback round-trip vs standalone
 //! reuse_cli simulate <workload> [executions]        accelerator baseline vs reuse
+//! reuse_cli tune <workload> [executions]            replay auto-tuner: static vs adaptive,
+//!                [--out FILE] [--smoke]             emits a tuned policy file (JSON)
 //! reuse_cli export <workload> <path>                serialize the model to a file
 //! reuse_cli experiments                             list the table/figure binaries
 //! ```
@@ -32,7 +34,10 @@ use std::time::Duration;
 use reuse_accel::{AcceleratorConfig, SimInput, Simulator};
 use reuse_bench::measure::executions_from_env;
 use reuse_bench::table::{human_bytes, human_joules, human_seconds};
-use reuse_core::{summary, CompiledModel, ReuseEngine, ReuseSession};
+use reuse_core::{
+    summary, AdaptivePolicy, CompiledModel, LayerPolicyState, ReuseEngine, ReuseSession,
+    TunedLayerPolicy, TunedPolicy, WatchdogStats,
+};
 use reuse_nn::stats::network_stats;
 use reuse_serve::{default_shards, ServerConfig, StreamServer, SubmitResult};
 use reuse_serve_net::{NetClient, NetServer, Status};
@@ -82,6 +87,13 @@ fn usage() -> ExitCode {
          \x20          [--smoke]                client, and checks every output bit-for-bit\n\
          \x20                                   against standalone sessions (exits {EXIT_SERVE_DIVERGED})\n\
          \x20 simulate <workload> [executions]  simulate baseline vs reuse accelerators\n\
+         \x20 tune     <workload> [executions]  replay auto-tuner: run static vs adaptive\n\
+         \x20          [--out FILE]             sessions over the same stream, print both\n\
+         \x20          [--smoke]                operating points, and emit the adaptive\n\
+         \x20                                   run's final per-layer state as a tuned\n\
+         \x20                                   policy file (stdout, plus --out FILE); the\n\
+         \x20                                   file is reparsed and recompiled, exiting\n\
+         \x20                                   {EXIT_DIVERGED} on round-trip mismatch (--smoke: short run)\n\
          \x20 export   <workload> <path>        serialize the model to a file\n\
          \x20 experiments                       list the paper-artifact binaries\n\n\
          workloads: kaldi, eesen, c3d, autopilot (REUSE_SCALE=full|small|tiny)"
@@ -605,6 +617,190 @@ fn run_serve_net_listen(w: &Workload, shards: usize, port: u16) -> u8 {
     }
 }
 
+/// One policy's replayed operating point: overall computation reuse, the
+/// watchdog's accuracy-proxy stats, and the final per-layer policy state.
+struct TuneRun {
+    reuse: f64,
+    similarity: f64,
+    watchdog: WatchdogStats,
+    states: Vec<LayerPolicyState>,
+}
+
+/// Runs one compiled configuration over the given frames in a fresh
+/// session and collects its [`TuneRun`].
+fn tune_run(
+    w: &Workload,
+    config: &reuse_core::ReuseConfig,
+    frames: &[Vec<f32>],
+) -> Result<TuneRun, reuse_core::ReuseError> {
+    let model = Arc::new(CompiledModel::try_new(w.network(), config)?);
+    let mut session = model.new_session();
+    let mut out = Vec::new();
+    for frame in frames {
+        session.execute_into(frame, &mut out)?;
+    }
+    Ok(TuneRun {
+        reuse: session.metrics().overall_computation_reuse(),
+        similarity: session.metrics().overall_input_similarity(),
+        watchdog: session.watchdog_stats(),
+        states: session.policy_states(),
+    })
+}
+
+/// Replay-driven auto-tuner: replays the workload's generated stream
+/// through a static and an adaptive session (same frames, drift watchdog
+/// armed), prints both operating points plus an offline cluster-count
+/// replay sweep, and emits the adaptive run's final per-layer state as a
+/// tuned policy file. The emitted file is reparsed and recompiled to prove
+/// the round trip; stdout carries only the policy JSON.
+fn run_tune(w: &Workload, executions: usize, out: Option<&str>, smoke: bool) -> ExitCode {
+    if w.is_recurrent() {
+        eprintln!(
+            "tune: adaptive policies are masked on recurrent networks ({}); nothing to tune",
+            w.network().name()
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let executions = if smoke {
+        executions.min(48)
+    } else {
+        executions
+    };
+    let frames = w.generate_frames(executions, 42);
+
+    // The adaptive controller tunes against the watchdog's accuracy proxy;
+    // arm it when the workload config leaves it off. The 0.25 band matches
+    // the convergence tests: loose enough that the paper's static grids sit
+    // inside it on every feed-forward Table-I workload, tight enough that a
+    // runaway grid trips it.
+    let mut base = w.reuse_config().clone();
+    if base.drift_check_every() == 0 {
+        base = base.drift_watchdog(8, 0.25);
+    }
+    let bound = base.drift_bound();
+
+    // Offline replay sweep (paper §III): input similarity of the recorded
+    // raw streams under candidate cluster counts, for context next to the
+    // online controller's chosen operating points.
+    match reuse_core::replay::InputRecorder::record(w.network(), &frames) {
+        Ok(recorder) => {
+            let counts = [8usize, 16, 32, 64];
+            let sweep = reuse_core::replay::replay_sweep(&recorder, &counts);
+            eprintln!("replay sweep (input similarity by cluster count):");
+            for (name, row) in recorder.layer_names().iter().zip(&sweep) {
+                let cells: Vec<String> = counts
+                    .iter()
+                    .zip(row)
+                    .map(|(c, r)| match r {
+                        Some(r) => format!("{c}:{:.3}", r.input_similarity),
+                        None => format!("{c}:-"),
+                    })
+                    .collect();
+                eprintln!("  {name:<12} {}", cells.join("  "));
+            }
+        }
+        Err(e) => {
+            eprintln!("tune: replay recording failed: {e}");
+            return ExitCode::from(EXIT_EXEC);
+        }
+    }
+
+    let static_run = match tune_run(w, &base, &frames) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tune: static run failed: {e}");
+            return ExitCode::from(EXIT_EXEC);
+        }
+    };
+    let adaptive_config = base
+        .clone()
+        .reuse_policy(Arc::new(AdaptivePolicy::default()));
+    let adaptive_run = match tune_run(w, &adaptive_config, &frames) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tune: adaptive run failed: {e}");
+            return ExitCode::from(EXIT_EXEC);
+        }
+    };
+    for (label, r) in [("static", &static_run), ("adaptive", &adaptive_run)] {
+        eprintln!(
+            "{label:<8} similarity {:>5.1}%  computation reuse {:>5.1}%  drift max {:.4} \
+             (bound {bound:.4})  {} checks, {} rebaselines",
+            r.similarity * 100.0,
+            r.reuse * 100.0,
+            r.watchdog.max_drift,
+            r.watchdog.checks,
+            r.watchdog.rebaselines,
+        );
+    }
+    eprintln!("tuned per-layer operating points (from the adaptive run):");
+    for s in &adaptive_run.states {
+        eprintln!(
+            "  {:<12} clusters {:>3}  step_scale {:>5.2}  threshold {:.2}  \
+             ({} grows, {} shrinks, {} refreshes)",
+            s.name, s.clusters, s.step_scale, s.reuse_threshold, s.grows, s.shrinks, s.refreshes
+        );
+    }
+
+    let tuned = TunedPolicy {
+        network: w.network().name().to_string(),
+        layers: adaptive_run
+            .states
+            .iter()
+            .map(|s| TunedLayerPolicy {
+                layer: s.name.clone(),
+                clusters: s.clusters,
+                step_scale: s.step_scale.clamp(1.0, 64.0),
+                reuse_threshold: s.reuse_threshold.clamp(1e-6, 1.0),
+                adaptive: s.adaptive,
+            })
+            .collect(),
+    };
+    let text = tuned.to_json();
+    // Round trip: what a later run would load must equal what was tuned.
+    let reread = match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("tune: cannot write {path}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+            match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("tune: cannot re-read {path}: {e}");
+                    return ExitCode::from(EXIT_IO);
+                }
+            }
+        }
+        None => text.clone(),
+    };
+    let reloaded = match TunedPolicy::from_json(&reread) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("tune: emitted policy file fails to parse: {e}");
+            return ExitCode::from(EXIT_DIVERGED);
+        }
+    };
+    if reloaded != tuned {
+        eprintln!("tune: policy file round trip mismatch");
+        return ExitCode::from(EXIT_DIVERGED);
+    }
+    // The reloaded file must compile and serve frames.
+    let tuned_config = base.clone().reuse_policy(Arc::new(reloaded));
+    match tune_run(w, &tuned_config, &frames[..frames.len().min(16)]) {
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("tune: reloaded policy failed to execute: {e}");
+            return ExitCode::from(EXIT_DIVERGED);
+        }
+    }
+    if let Some(path) = out {
+        eprintln!("wrote {path}");
+    }
+    print!("{text}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry = args.iter().any(|a| a == "--telemetry");
@@ -613,6 +809,16 @@ fn main() -> ExitCode {
     args.retain(|a| a != "--sig-cache");
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => {
+            let Some(p) = args.get(i + 1).cloned() else {
+                return usage();
+            };
+            args.drain(i..=i + 1);
+            Some(p)
+        }
+        None => None,
+    };
     let sessions = match args.iter().position(|a| a == "--sessions") {
         Some(i) => {
             let Some(n) = args
@@ -820,6 +1026,17 @@ fn main() -> ExitCode {
                 (1.0 - reuse.normalized_energy_to(&base)) * 100.0
             );
             ExitCode::SUCCESS
+        }
+        Some("tune") => {
+            let Some(kind) = args.get(1).and_then(|a| parse_workload(a)) else {
+                return usage();
+            };
+            let executions: usize = args
+                .get(2)
+                .and_then(|a| a.parse().ok())
+                .unwrap_or_else(|| executions_from_env(kind, scale));
+            let w = Workload::build(kind, scale);
+            run_tune(&w, executions, out_path.as_deref(), smoke)
         }
         Some("export") => {
             let (Some(kind), Some(path)) =

@@ -74,8 +74,8 @@ use std::time::{Duration, Instant};
 
 use reuse_core::CompiledModel;
 use reuse_serve::{
-    default_shards, ServerConfig, ShardWorkers, ShardedServer, StreamServer, SubmitOptions,
-    SubmitResult,
+    default_shards, ServerConfig, ServerSnapshot, ShardWorkers, ShardedServer, StreamServer,
+    SubmitOptions, SubmitResult,
 };
 use reuse_workloads::{Scale, Workload, WorkloadKind};
 
@@ -730,6 +730,9 @@ fn validate(path: &str) -> ExitCode {
         "\"scale\":",
         "\"burst\":",
         "\"repeats\":",
+        "\"policy\":",
+        "\"policy_layers\":",
+        "\"step_scale\":",
         "\"configs\":",
         "\"workload\":",
         "\"streams\":",
@@ -877,6 +880,33 @@ fn perf_smoke_open_loop(scale: Scale) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Serves a short two-stream burst and returns the server's snapshot, so
+/// the JSON header can mirror the `policy`/`policy_layers` block that
+/// [`ServerSnapshot::to_json`] reports in production — live step sizes and
+/// controller counters, not just the compiled spec.
+fn policy_probe(kind: WorkloadKind, scale: Scale) -> ServerSnapshot {
+    let w = Workload::build(kind, scale);
+    let model = Arc::new(CompiledModel::new(w.network(), w.reuse_config()));
+    let mut server = StreamServer::new(model, ServerConfig::default().max_sessions(2))
+        .expect("feed-forward serve config");
+    let frames = w.generate_frames(9, 7);
+    let mut sink = 0f32;
+    for frame in &frames {
+        for s in 0..2u64 {
+            match server.submit(s, frame).unwrap() {
+                SubmitResult::Accepted => {}
+                r => panic!("policy probe submit rejected: {r:?}"),
+            }
+        }
+        server.tick().unwrap();
+        for s in 0..2u64 {
+            server.drain_outputs(s, |out| sink += out[0]);
+        }
+    }
+    black_box(sink);
+    server.snapshot()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut open_loop = false;
@@ -931,6 +961,24 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"scale\": \"{scale}\",");
     let _ = writeln!(json, "  \"burst\": {BURST},");
     let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    // Policy provenance: which reuse policy served these rows, and the
+    // per-layer operating point a live server reports for it.
+    let probe = policy_probe(WorkloadKind::Kaldi, scale);
+    let _ = writeln!(json, "  \"policy\": \"{}\",", probe.policy);
+    json.push_str("  \"policy_layers\": [\n");
+    for (k, p) in probe.policy_layers.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {}{}",
+            p.to_json(),
+            if k + 1 < probe.policy_layers.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"configs\": [\n");
     for (k, r) in rows.iter().enumerate() {
         let _ = writeln!(

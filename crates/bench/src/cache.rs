@@ -18,7 +18,7 @@ use reuse_workloads::{Scale, WorkloadKind};
 use crate::measure::{measure_workload, LayerSummary, Measurement};
 
 /// Cache format version; bump when the line protocol changes.
-const VERSION: u32 = 6;
+const VERSION: u32 = 7;
 
 /// Directory holding the cache files.
 pub fn cache_dir() -> PathBuf {
@@ -136,6 +136,7 @@ pub fn serialize(m: &Measurement) -> String {
     ));
     s.push_str(&format!("centroid {}\n", m.centroid_table_bytes));
     s.push_str(&format!("relerr {}\n", m.mean_relative_error));
+    s.push_str(&format!("policy {}\n", m.policy));
     for l in &m.layers {
         s.push_str(&format!(
             "layer {} {} {} {} {} {} {}\n",
@@ -195,6 +196,9 @@ pub fn deserialize(text: &str) -> Option<Measurement> {
         reuse_storage_bytes: f[11].parse().ok()?,
         centroid_table_bytes: 0,
         mean_relative_error: 0.0,
+        // Pre-policy cache files carry no policy line; they were all
+        // measured under the static resolution.
+        policy: "static".to_string(),
         layers: Vec::new(),
         traces: Vec::new(),
     };
@@ -206,6 +210,9 @@ pub fn deserialize(text: &str) -> Option<Measurement> {
             }
             Some("relerr") if f.len() == 2 => {
                 m.mean_relative_error = f[1].parse().ok()?;
+            }
+            Some("policy") if f.len() == 2 => {
+                m.policy = f[1].to_string();
             }
             Some("layer") if f.len() == 8 => {
                 m.layers.push(LayerSummary {

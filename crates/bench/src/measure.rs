@@ -38,6 +38,9 @@ pub struct Measurement {
     pub scale: Scale,
     /// Executions performed (timesteps for EESEN).
     pub executions: u64,
+    /// Active reuse-policy name resolved by the engine configuration
+    /// (`"static"`, `"adaptive"`, or `"tuned"`).
+    pub policy: String,
     /// Per-layer summaries for weighted layers, in network order.
     pub layers: Vec<LayerSummary>,
     /// Input similarity over all reuse-enabled layers (Fig. 5).
@@ -262,6 +265,7 @@ pub fn measure_with_config(
         kind,
         scale,
         executions: metrics.executions,
+        policy: config.policy_name().to_string(),
         layers,
         overall_similarity: metrics.overall_input_similarity(),
         overall_reuse: metrics.overall_computation_reuse(),

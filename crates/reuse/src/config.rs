@@ -7,8 +7,12 @@
 //! output layers are excluded because they have nothing to save.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use reuse_tensor::ParallelConfig;
+
+use crate::policy::ReusePolicy;
+use crate::ReuseError;
 
 /// Per-layer reuse setting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +56,9 @@ pub struct ReuseConfig {
     signature_bits: u32,
     signature_insert: SignatureInsertPolicy,
     signature_bailout: f32,
+    /// The reuse policy every per-layer decision resolves through;
+    /// `None` means [`crate::StaticPolicy`] (exactly the legacy behavior).
+    policy: Option<Arc<dyn ReusePolicy>>,
 }
 
 impl ReuseConfig {
@@ -75,7 +82,70 @@ impl ReuseConfig {
             signature_bits: 16,
             signature_insert: SignatureInsertPolicy::ColdStart,
             signature_bailout: 0.25,
+            policy: None,
         }
+    }
+
+    /// Routes every per-layer reuse decision through `policy` (cluster
+    /// count, step scale, refresh threshold, signature bailout, watchdog
+    /// escalation). The default — no policy — resolves through
+    /// [`crate::StaticPolicy`], which is bit-identical to the legacy
+    /// hard-coded knobs.
+    pub fn reuse_policy(mut self, policy: Arc<dyn ReusePolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The configured reuse policy, if any.
+    pub fn reuse_policy_config(&self) -> Option<&Arc<dyn ReusePolicy>> {
+        self.policy.as_ref()
+    }
+
+    /// The active policy's short name (`"static"` when none is set) —
+    /// recorded as provenance by the bench artifacts.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.as_ref().map_or("static", |p| p.name())
+    }
+
+    /// Checks the configuration for values that would silently misbehave
+    /// downstream. Called by
+    /// [`CompiledModel::try_new`](crate::CompiledModel::try_new); exposed
+    /// for callers that assemble configs from external input and want the
+    /// error before compiling a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::InvalidConfig`] when a cluster count is 0
+    /// (the default or any enabled per-layer override), the signature
+    /// bailout fraction lies outside `[0, 1]`, or the telemetry window
+    /// is 0.
+    pub fn validate(&self) -> Result<(), ReuseError> {
+        if self.default_clusters == 0 {
+            return Err(ReuseError::InvalidConfig {
+                context: "default cluster count must be at least 1".into(),
+            });
+        }
+        for (name, setting) in &self.overrides {
+            if setting.enabled && setting.clusters == 0 {
+                return Err(ReuseError::InvalidConfig {
+                    context: format!("layer {name:?}: cluster count must be at least 1"),
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.signature_bailout) || self.signature_bailout.is_nan() {
+            return Err(ReuseError::InvalidConfig {
+                context: format!(
+                    "signature bailout fraction must be in [0, 1], got {}",
+                    self.signature_bailout
+                ),
+            });
+        }
+        if self.telemetry_window == 0 {
+            return Err(ReuseError::InvalidConfig {
+                context: "telemetry window must be at least 1 execution".into(),
+            });
+        }
+        Ok(())
     }
 
     /// Disables quantization + reuse for one layer (it runs from scratch in
@@ -146,10 +216,11 @@ impl ReuseConfig {
         self
     }
 
-    /// Sets the telemetry ring-buffer capacity in executions (default 64,
-    /// minimum 1).
+    /// Sets the telemetry ring-buffer capacity in executions (default 64).
+    /// A window of 0 is rejected by [`Self::validate`] when the model is
+    /// compiled — it used to be clamped silently, hiding the caller's bug.
     pub fn telemetry_window(mut self, window: usize) -> Self {
-        self.telemetry_window = window.max(1);
+        self.telemetry_window = window;
         self
     }
 
@@ -213,9 +284,11 @@ impl ReuseConfig {
     /// False-positive guard: a signature hit whose cached input disagrees
     /// with the live input on more than this fraction of quantized codes is
     /// abandoned (counted as a bailout) and the layer runs from scratch.
-    /// Clamped to `0.0..=1.0`; default 0.25.
+    /// Default 0.25. Fractions outside `0.0..=1.0` are rejected by
+    /// [`Self::validate`] when the model is compiled — the old silent clamp
+    /// hid the caller's bug.
     pub fn signature_bailout_fraction(mut self, fraction: f32) -> Self {
-        self.signature_bailout = fraction.clamp(0.0, 1.0);
+        self.signature_bailout = fraction;
         self
     }
 
@@ -393,11 +466,11 @@ mod tests {
         assert_eq!(c.escalate_after(), 0);
         let c = c
             .telemetry(true)
-            .telemetry_window(0)
+            .telemetry_window(7)
             .drift_watchdog(8, 0.5)
             .drift_escalate_after(3);
         assert!(c.records_telemetry());
-        assert_eq!(c.window(), 1, "window has a minimum of 1");
+        assert_eq!(c.window(), 7);
         assert_eq!(c.drift_check_every(), 8);
         assert!((c.drift_bound() - 0.5).abs() < 1e-9);
         assert_eq!(c.escalate_after(), 3);
@@ -419,7 +492,7 @@ mod tests {
             .signature_cache_capacity(0)
             .signature_bits(200)
             .signature_insert_policy(SignatureInsertPolicy::ColdStartAndRebaseline)
-            .signature_bailout_fraction(2.0);
+            .signature_bailout_fraction(0.75);
         assert!(c.signature_cache_enabled());
         assert_eq!(c.signature_capacity(), 0);
         assert_eq!(
@@ -431,7 +504,60 @@ mod tests {
             c.signature_insert_policy_config(),
             SignatureInsertPolicy::ColdStartAndRebaseline
         );
-        assert_eq!(c.signature_bailout(), 1.0, "fraction clamps to [0, 1]");
+        assert_eq!(c.signature_bailout(), 0.75);
+    }
+
+    #[test]
+    fn validate_accepts_the_defaults() {
+        assert!(ReuseConfig::uniform(16).validate().is_ok());
+        assert!(ReuseConfig::uniform(16)
+            .signature_bailout_fraction(0.0)
+            .validate()
+            .is_ok());
+        assert!(ReuseConfig::uniform(16)
+            .signature_bailout_fraction(1.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_clusters() {
+        let err = ReuseConfig::uniform(0).validate().unwrap_err();
+        assert!(matches!(err, crate::ReuseError::InvalidConfig { .. }));
+        let err = ReuseConfig::uniform(16)
+            .layer_clusters("fc1", 0)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, crate::ReuseError::InvalidConfig { .. }));
+        // A disabled layer's cluster count is never used, so it may be 0.
+        assert!(ReuseConfig::uniform(16)
+            .layer_clusters("fc1", 0)
+            .disable_layer("fc1")
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_bailout_fraction() {
+        for bad in [-0.1f32, 1.5, f32::NAN] {
+            let err = ReuseConfig::uniform(16)
+                .signature_bailout_fraction(bad)
+                .validate()
+                .unwrap_err();
+            assert!(
+                matches!(err, crate::ReuseError::InvalidConfig { .. }),
+                "bailout {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_telemetry_window() {
+        let err = ReuseConfig::uniform(16)
+            .telemetry_window(0)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, crate::ReuseError::InvalidConfig { .. }));
     }
 
     #[test]

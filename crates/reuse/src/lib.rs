@@ -19,6 +19,11 @@
 //! # Crate layout
 //!
 //! * [`ReuseConfig`] — which layers participate and with how many clusters.
+//! * [`policy`] — the [`ReusePolicy`] abstraction: every per-layer reuse
+//!   knob (cluster count, quantization step scale, refresh threshold,
+//!   signature bailout, watchdog escalation) resolved in one place, with a
+//!   bit-identical [`StaticPolicy`], an online [`AdaptivePolicy`] controller
+//!   and a replay-tuned [`TunedPolicy`] loaded from a policy file.
 //! * [`CompiledModel`] — the immutable, `Sync` compile step: network,
 //!   execution plan and packed/blocked weights, built once and shared
 //!   behind an `Arc` by any number of streams.
@@ -73,6 +78,7 @@ pub mod layer;
 pub mod lstm;
 pub mod metrics;
 mod model;
+pub mod policy;
 pub mod replay;
 mod session;
 pub mod signature;
@@ -86,6 +92,10 @@ pub use error::ReuseError;
 pub use layer::{ExecStats, ReuseLayer, StepCtx};
 pub use metrics::{relative_difference, EngineMetrics, LayerMetrics};
 pub use model::{CompiledModel, CompiledWeights};
+pub use policy::{
+    AdaptiveController, AdaptivePolicy, LayerPolicy, LayerPolicyState, ReusePolicy, StaticPolicy,
+    TunedLayerPolicy, TunedPolicy,
+};
 pub use reuse_tensor::ParallelConfig;
 pub use session::ReuseSession;
 pub use signature::{CachedBaseline, SignatureCache};

@@ -14,9 +14,10 @@ use reuse_nn::{Layer, LayerKind, Network};
 
 use crate::conv::{Conv2dPack, Conv3dPack};
 use crate::lstm::LstmGatePack;
+use crate::policy::{LayerPolicy, ReusePolicy, StaticPolicy};
 use crate::session::ReuseSession;
 use crate::signature::{ModelSignatures, SignatureCache};
-use crate::{LayerSetting, ReuseConfig};
+use crate::{LayerSetting, ReuseConfig, ReuseError};
 
 /// Packed/blocked weight layouts for one reuse slot, shared by every
 /// session of the model. Fully-connected corrections read weight rows
@@ -76,6 +77,8 @@ pub(crate) struct CompiledSlot {
     pub(crate) name: String,
     pub(crate) kind: LayerKind,
     pub(crate) setting: LayerSetting,
+    /// The resolved per-layer reuse policy (every reuse decision knob).
+    pub(crate) policy: LayerPolicy,
     /// Index into `EngineMetrics::layers` (== slot position).
     pub(crate) metrics_index: usize,
     /// Packed weights shared by every session.
@@ -110,14 +113,41 @@ pub struct CompiledModel {
 impl CompiledModel {
     /// Compiles a network (cloned) under a reuse configuration: builds the
     /// execution plan and the packed weight layouts the correction kernels
-    /// share.
+    /// share. Infallible wrapper over [`Self::try_new`].
     ///
     /// # Panics
     ///
-    /// Panics if a layer's output shape cannot be derived — impossible for
+    /// Panics if [`Self::try_new`] rejects the configuration (invalid
+    /// knob values, or an adaptive policy without the drift watchdog), or
+    /// if a layer's output shape cannot be derived — impossible for
     /// networks built through `NetworkBuilder`, whose shapes are validated.
     pub fn new(network: &Network, config: &ReuseConfig) -> Self {
+        Self::try_new(network, config).expect("valid reuse configuration")
+    }
+
+    /// Fallible compilation: validates the configuration (see
+    /// [`ReuseConfig::validate`]) and resolves the per-layer reuse policy
+    /// before building the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::InvalidConfig`] when the config fails
+    /// validation or when the resolved policy marks any layer adaptive
+    /// while the drift watchdog is disarmed — the adaptive controller
+    /// tunes against the watchdog's accuracy proxy and cannot run without
+    /// it.
+    pub fn try_new(network: &Network, config: &ReuseConfig) -> Result<Self, ReuseError> {
+        config.validate()?;
         let network = network.clone();
+        let static_policy = StaticPolicy;
+        let policy: &dyn ReusePolicy = config
+            .reuse_policy_config()
+            .map_or(&static_policy, |p| p.as_ref());
+        // Recurrent networks mask the adaptive machinery off: the drift
+        // watchdog (the controller's feedback signal) only runs on the
+        // feed-forward frame path, and sequence resets would discard the
+        // rescaled grids mid-stream anyway.
+        let mask_adaptive = network.is_recurrent();
         let mut slots = Vec::new();
         let mut slot_of_layer = vec![usize::MAX; network.layers().len()];
         for (i, (name, layer)) in network.layers().iter().enumerate() {
@@ -127,13 +157,32 @@ impl CompiledModel {
             let Some(weights) = CompiledWeights::new(layer) else {
                 continue;
             };
+            let setting = config.setting_for(name);
+            let mut layer_policy = policy.layer_policy(name, &setting, config);
+            if mask_adaptive {
+                layer_policy = LayerPolicy::static_for(&setting, config);
+            }
+            if layer_policy.clusters == 0 {
+                return Err(ReuseError::InvalidConfig {
+                    context: format!("policy resolved 0 clusters for layer {name:?}"),
+                });
+            }
+            if layer_policy.adaptive && config.drift_check_every() == 0 {
+                return Err(ReuseError::InvalidConfig {
+                    context: format!(
+                        "layer {name:?} is adaptive but the drift watchdog is disarmed; \
+                         arm it with ReuseConfig::drift_watchdog"
+                    ),
+                });
+            }
             let metrics_index = slots.len();
             slot_of_layer[i] = slots.len();
             slots.push(CompiledSlot {
                 layer_index: i,
                 name: name.clone(),
                 kind: layer.kind(),
-                setting: config.setting_for(name),
+                setting,
+                policy: layer_policy,
                 metrics_index,
                 weights,
             });
@@ -162,14 +211,25 @@ impl CompiledModel {
         } else {
             None
         };
-        CompiledModel {
+        Ok(CompiledModel {
             network,
             config: config.clone(),
             slots,
             slot_of_layer,
             layer_out_volumes,
             signatures,
-        }
+        })
+    }
+
+    /// The active policy's short name (`"static"` when none was set).
+    pub fn policy_name(&self) -> &'static str {
+        self.config.policy_name()
+    }
+
+    /// The resolved per-layer policy specs, in slot order — the immutable
+    /// half of the policy state (sessions own the mutable controllers).
+    pub fn layer_policy_specs(&self) -> impl Iterator<Item = (&str, LayerPolicy)> + '_ {
+        self.slots.iter().map(|s| (s.name.as_str(), s.policy))
     }
 
     /// The wrapped network.
@@ -281,6 +341,46 @@ mod tests {
             rnn_on.signature_cache().is_none(),
             "recurrent networks keep per-stream-only reuse"
         );
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs_and_blind_adaptive_policies() {
+        use crate::policy::AdaptivePolicy;
+        use std::sync::Arc;
+        let net = NetworkBuilder::new("mlp", 8)
+            .fully_connected(16, Activation::Relu)
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap();
+        // Config validation surfaces through try_new.
+        let err = CompiledModel::try_new(&net, &ReuseConfig::uniform(0)).unwrap_err();
+        assert!(matches!(err, ReuseError::InvalidConfig { .. }));
+        // Adaptive without the watchdog is flying blind: rejected.
+        let blind = ReuseConfig::uniform(16).reuse_policy(Arc::new(AdaptivePolicy::default()));
+        let err = CompiledModel::try_new(&net, &blind).unwrap_err();
+        assert!(matches!(err, ReuseError::InvalidConfig { .. }));
+        // With the watchdog armed it compiles, and the slots are adaptive.
+        let armed = blind.drift_watchdog(8, 0.05);
+        let model = CompiledModel::try_new(&net, &armed).unwrap();
+        assert!(model.layer_policy_specs().all(|(_, p)| p.adaptive));
+        assert_eq!(model.policy_name(), "adaptive");
+    }
+
+    #[test]
+    fn adaptive_policy_is_masked_off_on_recurrent_networks() {
+        use crate::policy::AdaptivePolicy;
+        use std::sync::Arc;
+        let rnn = NetworkBuilder::new("rnn", 8)
+            .lstm(6)
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap();
+        // Masked to static before the watchdog check, so this compiles
+        // even without the watchdog and behaves exactly like the legacy
+        // engine.
+        let config = ReuseConfig::uniform(16).reuse_policy(Arc::new(AdaptivePolicy::default()));
+        let model = CompiledModel::try_new(&rnn, &config).unwrap();
+        assert!(model.layer_policy_specs().all(|(_, p)| !p.adaptive));
     }
 
     #[test]

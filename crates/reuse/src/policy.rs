@@ -1,0 +1,1018 @@
+//! Per-layer reuse policies: the single place every reuse decision lives.
+//!
+//! Historically the knobs steering reuse were scattered — cluster counts in
+//! [`LayerSetting`], the signature bailout fraction and watchdog escalation
+//! in [`ReuseConfig`], and the "always correct, never refresh" decision
+//! hard-coded in the fc/conv/lstm step loops. A [`ReusePolicy`] gathers
+//! them behind one trait: the model resolves an immutable [`LayerPolicy`]
+//! per slot at compile time, and sessions of adaptive policies own a
+//! mutable [`AdaptiveController`] per layer that retunes the quantization
+//! step and refresh threshold online against the drift watchdog's accuracy
+//! proxy.
+//!
+//! Three implementations ship:
+//!
+//! * [`StaticPolicy`] — resolves every knob to exactly the value the
+//!   pre-policy engine used; sessions behave bit-identically to the legacy
+//!   path (property-tested in `tests/policy.rs`).
+//! * [`AdaptivePolicy`] — arms a per-layer online controller (requires the
+//!   drift watchdog; feed-forward networks only).
+//! * [`TunedPolicy`] — a per-layer policy file emitted by `reuse_cli tune`,
+//!   hand-rolled JSON with a dependency-free parser, loadable by
+//!   [`CompiledModel`](crate::CompiledModel).
+
+use std::fmt::Write as _;
+
+use crate::{LayerSetting, ReuseConfig, ReuseError};
+
+/// The resolved, immutable reuse policy of one layer — what a
+/// [`CompiledModel`](crate::CompiledModel) stores per slot.
+///
+/// For a [`StaticPolicy`] every field mirrors the legacy knob it replaced
+/// (`clusters` from the layer setting, `signature_bailout` and
+/// `escalate_after` from the config) and `adaptive` is `false`, which
+/// makes the whole policy layer a provable no-op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerPolicy {
+    /// Quantization cluster count (the paper's `C`); the calibrated base
+    /// step is `range / clusters`.
+    pub clusters: usize,
+    /// Initial multiplier on the calibrated base step (1.0 = paper
+    /// behavior). Adaptive controllers start here and move within
+    /// `[1.0, max_step_scale]`.
+    pub step_scale: f32,
+    /// Upper bound for the controller's step scale.
+    pub max_step_scale: f32,
+    /// Changed-code fraction above which an adaptive layer refreshes: it
+    /// recomputes exactly from the raw input and re-adopts a
+    /// full-precision baseline instead of correcting. Ignored (never
+    /// evaluated) when `adaptive` is `false`.
+    pub reuse_threshold: f32,
+    /// Input-similarity level at which the controller stops coarsening the
+    /// grid — coarsening past it buys accuracy risk for no reuse gain.
+    pub target_similarity: f32,
+    /// Fraction of the drift bound considered safe headroom: the
+    /// controller only grows the step while observed drift stays at or
+    /// under `headroom * drift_bound`.
+    pub headroom: f32,
+    /// Signature-cache false-positive guard for this layer (mismatched
+    /// quantized-code fraction above which a hit is abandoned).
+    pub signature_bailout: f32,
+    /// Drift strikes after which this layer is auto-disabled (0 = never).
+    pub escalate_after: u64,
+    /// Whether sessions attach an [`AdaptiveController`] to this layer.
+    pub adaptive: bool,
+}
+
+impl LayerPolicy {
+    /// The legacy resolution: every knob exactly where the pre-policy
+    /// engine read it.
+    pub fn static_for(setting: &LayerSetting, config: &ReuseConfig) -> Self {
+        LayerPolicy {
+            clusters: setting.clusters,
+            step_scale: 1.0,
+            max_step_scale: 1.0,
+            reuse_threshold: 1.0,
+            target_similarity: 1.0,
+            headroom: 0.5,
+            signature_bailout: config.signature_bailout(),
+            escalate_after: config.escalate_after(),
+            adaptive: false,
+        }
+    }
+}
+
+/// A reuse policy: resolves the per-layer decision knobs at model-compile
+/// time. Implementations must be cheap and deterministic — `layer_policy`
+/// is called once per weighted layer per [`CompiledModel`](crate::CompiledModel).
+pub trait ReusePolicy: std::fmt::Debug + Send + Sync {
+    /// Short name for telemetry/bench provenance (`"static"`, `"adaptive"`,
+    /// `"tuned"`).
+    fn name(&self) -> &'static str;
+
+    /// Resolves the policy for one weighted layer given its legacy setting
+    /// and the engine config.
+    fn layer_policy(
+        &self,
+        layer: &str,
+        setting: &LayerSetting,
+        config: &ReuseConfig,
+    ) -> LayerPolicy;
+}
+
+/// The do-exactly-what-the-paper-does policy: one fixed quantization step
+/// per layer, correct every frame, never refresh. Bit-identical to the
+/// pre-policy engine — this is the default when no policy is configured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticPolicy;
+
+impl ReusePolicy for StaticPolicy {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn layer_policy(
+        &self,
+        _layer: &str,
+        setting: &LayerSetting,
+        config: &ReuseConfig,
+    ) -> LayerPolicy {
+        LayerPolicy::static_for(setting, config)
+    }
+}
+
+/// The online self-tuning policy: each layer gets an
+/// [`AdaptiveController`] that coarsens the quantization step while the
+/// drift watchdog's accuracy proxy shows headroom and backs off (down to
+/// exactly the static grid) when it does not.
+///
+/// Requires an armed drift watchdog
+/// ([`ReuseConfig::drift_watchdog`](crate::ReuseConfig::drift_watchdog)) —
+/// [`CompiledModel::try_new`](crate::CompiledModel::try_new) rejects the
+/// combination otherwise, since without the proxy the controller would be
+/// flying blind. On recurrent networks the adaptive bits are masked off
+/// and every layer runs the static resolution (sequence resets make the
+/// drift feedback loop meaningless mid-sequence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Initial step-scale for every layer (default 1.0 — start at the
+    /// paper's grid and earn coarseness from observed drift headroom).
+    pub initial_step_scale: f32,
+    /// Upper bound on the step scale (default 8.0).
+    pub max_step_scale: f32,
+    /// Initial changed-code-fraction refresh threshold (default 0.75).
+    pub reuse_threshold: f32,
+    /// Input-similarity target past which coarsening stops (default 0.95).
+    pub target_similarity: f32,
+    /// Safe fraction of the drift bound for growth (default 0.5).
+    pub headroom: f32,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            initial_step_scale: 1.0,
+            max_step_scale: 8.0,
+            reuse_threshold: 0.75,
+            target_similarity: 0.95,
+            headroom: 0.5,
+        }
+    }
+}
+
+impl ReusePolicy for AdaptivePolicy {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn layer_policy(
+        &self,
+        _layer: &str,
+        setting: &LayerSetting,
+        config: &ReuseConfig,
+    ) -> LayerPolicy {
+        LayerPolicy {
+            clusters: setting.clusters,
+            step_scale: self.initial_step_scale.max(1.0),
+            max_step_scale: self.max_step_scale.max(1.0),
+            reuse_threshold: self.reuse_threshold,
+            target_similarity: self.target_similarity,
+            headroom: self.headroom,
+            signature_bailout: config.signature_bailout(),
+            escalate_after: config.escalate_after(),
+            adaptive: true,
+        }
+    }
+}
+
+/// How far the refresh threshold may tighten below its configured start.
+const MIN_THRESHOLD_FACTOR: f32 = 0.25;
+/// Multiplicative step-scale growth per safe watchdog observation.
+const SCALE_GROW: f32 = 1.5;
+/// Multiplicative step-scale backoff per drift violation.
+const SCALE_SHRINK: f32 = 0.5;
+/// EWMA smoothing for the per-frame unchanged-fraction observation.
+const EWMA_ALPHA: f32 = 0.1;
+
+/// Mutable per-layer controller state owned by a session of an adaptive
+/// policy (AIMD-style loop over the watchdog's drift observations).
+///
+/// Control law, evaluated once per watchdog check:
+///
+/// * drift **above** the bound → the refresh threshold tightens
+///   (`t ← max(0.25·t₀, 0.5·t)`) and the step scale halves toward 1.0 —
+///   the grid backs off to, at worst, exactly the static one.
+/// * drift in band but the hot path **refreshed** since the last check →
+///   the step scale halves toward 1.0 without growing. Refreshed frames
+///   pay full recompute cost *and* pin the output to the exact values, so
+///   the watchdog cannot see the coarse grid's error — a controller that
+///   kept growing here would climb to max scale on an adversarial stream
+///   while buying nothing. Backing off toward the static grid is the
+///   known-safe operating point until the stream calms down.
+/// * drift **at or under** `headroom · bound`, no refreshes since the
+///   last check, and smoothed input similarity still below
+///   `target_similarity` → the step scale grows (`s ← min(max, 1.5·s)`),
+///   merging more inputs per code and raising skipped MACs; the threshold
+///   relaxes back toward its start (`t ← min(t₀, 1.2·t)`).
+///
+/// A scale change is proposed first and committed only after the session
+/// successfully rebuilds the layer's quantizer at the new step and
+/// re-baselines the buffered state — the controller never disagrees with
+/// the grid actually in use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveController {
+    policy: LayerPolicy,
+    step_scale: f32,
+    reuse_threshold: f32,
+    /// Smoothed unchanged-code fraction over recent incremental frames.
+    ewma_unchanged: f32,
+    seen_execution: bool,
+    /// Threshold refreshes since the last watchdog observation (refresh
+    /// pressure — see the control law above).
+    refreshes_since_check: u64,
+    observations: u64,
+    grows: u64,
+    shrinks: u64,
+    refreshes: u64,
+}
+
+impl AdaptiveController {
+    /// A controller at the policy's initial operating point.
+    pub fn new(policy: &LayerPolicy) -> Self {
+        AdaptiveController {
+            policy: *policy,
+            step_scale: policy.step_scale.max(1.0),
+            reuse_threshold: policy.reuse_threshold,
+            ewma_unchanged: 0.0,
+            seen_execution: false,
+            refreshes_since_check: 0,
+            observations: 0,
+            grows: 0,
+            shrinks: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// Current step-scale multiplier on the calibrated base step.
+    pub fn step_scale(&self) -> f32 {
+        self.step_scale
+    }
+
+    /// Current changed-code-fraction refresh threshold.
+    pub fn reuse_threshold(&self) -> f32 {
+        self.reuse_threshold
+    }
+
+    /// Watchdog observations consumed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Committed step-scale growths.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Committed step-scale backoffs.
+    pub fn shrinks(&self) -> u64 {
+        self.shrinks
+    }
+
+    /// Threshold-triggered full refreshes performed by the hot path.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Feeds one incremental execution's unchanged-code fraction into the
+    /// similarity EWMA (hot path; no allocation, a handful of flops).
+    pub fn observe_execution(&mut self, unchanged_fraction: f32) {
+        if self.seen_execution {
+            self.ewma_unchanged += EWMA_ALPHA * (unchanged_fraction - self.ewma_unchanged);
+        } else {
+            self.ewma_unchanged = unchanged_fraction;
+            self.seen_execution = true;
+        }
+    }
+
+    /// Counts one threshold-triggered refresh.
+    pub fn note_refresh(&mut self) {
+        self.refreshes += 1;
+        self.refreshes_since_check += 1;
+    }
+
+    /// Consumes one watchdog observation (network-output drift vs. the
+    /// full-precision reference). Returns the step scale the controller
+    /// wants to move to, or `None` to stay put; the caller rebuilds the
+    /// quantizer and then calls [`Self::commit_scale`].
+    pub fn on_watchdog(&mut self, drift: f32, bound: f32) -> Option<f32> {
+        self.observations += 1;
+        let refresh_pressure = self.refreshes_since_check > 0;
+        self.refreshes_since_check = 0;
+        let floor = self.policy.reuse_threshold * MIN_THRESHOLD_FACTOR;
+        if drift > bound {
+            self.reuse_threshold = (self.reuse_threshold * 0.5).max(floor);
+            if self.step_scale > 1.0 {
+                return Some((self.step_scale * SCALE_SHRINK).max(1.0));
+            }
+            return None;
+        }
+        if refresh_pressure {
+            // Refreshed frames paid full cost and hid the grid's error from
+            // the drift proxy; back off toward the static grid instead of
+            // growing blind.
+            if self.step_scale > 1.0 {
+                return Some((self.step_scale * SCALE_SHRINK).max(1.0));
+            }
+            return None;
+        }
+        self.reuse_threshold = (self.reuse_threshold * 1.2).min(self.policy.reuse_threshold);
+        if drift <= self.policy.headroom * bound
+            && self.seen_execution
+            && self.ewma_unchanged < self.policy.target_similarity
+            && self.step_scale < self.policy.max_step_scale
+        {
+            return Some((self.step_scale * SCALE_GROW).min(self.policy.max_step_scale));
+        }
+        None
+    }
+
+    /// Commits a scale proposed by [`Self::on_watchdog`] after the session
+    /// rebuilt the quantizer at the new step.
+    pub fn commit_scale(&mut self, scale: f32) {
+        if scale > self.step_scale {
+            self.grows += 1;
+        } else {
+            self.shrinks += 1;
+        }
+        self.step_scale = scale;
+    }
+}
+
+/// Point-in-time policy state of one layer, exported through
+/// [`TelemetrySnapshot`](crate::TelemetrySnapshot) and the serving tier's
+/// `ServerSnapshot` so operators can see what the controllers chose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPolicyState {
+    /// Layer name.
+    pub name: String,
+    /// Whether an adaptive controller is attached.
+    pub adaptive: bool,
+    /// Configured cluster count (base grid).
+    pub clusters: usize,
+    /// Current effective quantization step (0.0 until calibrated).
+    pub step: f32,
+    /// Current step-scale multiplier (1.0 = the paper's grid).
+    pub step_scale: f32,
+    /// Current refresh threshold (changed-code fraction).
+    pub reuse_threshold: f32,
+    /// Watchdog observations the controller consumed.
+    pub observations: u64,
+    /// Committed step-scale growths.
+    pub grows: u64,
+    /// Committed step-scale backoffs.
+    pub shrinks: u64,
+    /// Threshold-triggered full refreshes.
+    pub refreshes: u64,
+}
+
+impl LayerPolicyState {
+    /// One-line JSON object (no trailing newline), composed into telemetry
+    /// and server snapshots.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"name\": {}, \"adaptive\": {}, \"clusters\": {}, \"step\": {}, \
+             \"step_scale\": {}, \"reuse_threshold\": {}, \"observations\": {}, \
+             \"grows\": {}, \"shrinks\": {}, \"refreshes\": {}}}",
+            crate::telemetry::json_str(&self.name),
+            self.adaptive,
+            self.clusters,
+            crate::telemetry::json_num(f64::from(self.step)),
+            crate::telemetry::json_num(f64::from(self.step_scale)),
+            crate::telemetry::json_num(f64::from(self.reuse_threshold)),
+            self.observations,
+            self.grows,
+            self.shrinks,
+            self.refreshes,
+        );
+        s
+    }
+}
+
+/// One layer's entry in a tuned policy file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedLayerPolicy {
+    /// Layer name the entry applies to.
+    pub layer: String,
+    /// Cluster count for the base grid.
+    pub clusters: usize,
+    /// Initial step-scale multiplier.
+    pub step_scale: f32,
+    /// Changed-code-fraction refresh threshold.
+    pub reuse_threshold: f32,
+    /// Whether the layer keeps adapting online (else the tuned operating
+    /// point is frozen).
+    pub adaptive: bool,
+}
+
+/// A per-model policy file: the artifact `reuse_cli tune` emits after
+/// sweeping replayed streams, loadable back into a
+/// [`CompiledModel`](crate::CompiledModel) via
+/// [`ReuseConfig::reuse_policy`](crate::ReuseConfig::reuse_policy).
+///
+/// Layers without an entry fall back to the static resolution. The file
+/// format is hand-rolled JSON (the workspace carries no serde):
+///
+/// ```json
+/// {
+///   "policy_file": "reuse-policy",
+///   "version": 1,
+///   "network": "autopilot",
+///   "layers": [
+///     {"layer": "fc1", "clusters": 32, "step_scale": 2.25,
+///      "reuse_threshold": 0.75, "adaptive": true}
+///   ]
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedPolicy {
+    /// Network the file was tuned for (informational; layer names do the
+    /// actual matching).
+    pub network: String,
+    /// Per-layer tuned operating points.
+    pub layers: Vec<TunedLayerPolicy>,
+}
+
+impl ReusePolicy for TunedPolicy {
+    fn name(&self) -> &'static str {
+        "tuned"
+    }
+
+    fn layer_policy(
+        &self,
+        layer: &str,
+        setting: &LayerSetting,
+        config: &ReuseConfig,
+    ) -> LayerPolicy {
+        let Some(t) = self.layers.iter().find(|l| l.layer == layer) else {
+            return LayerPolicy::static_for(setting, config);
+        };
+        let defaults = AdaptivePolicy::default();
+        LayerPolicy {
+            clusters: t.clusters,
+            step_scale: t.step_scale.max(1.0),
+            max_step_scale: defaults.max_step_scale.max(t.step_scale),
+            reuse_threshold: t.reuse_threshold,
+            target_similarity: defaults.target_similarity,
+            headroom: defaults.headroom,
+            signature_bailout: config.signature_bailout(),
+            escalate_after: config.escalate_after(),
+            adaptive: t.adaptive,
+        }
+    }
+}
+
+impl TunedPolicy {
+    /// Serializes the policy file (schema documented on the type).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"policy_file\": \"reuse-policy\",\n");
+        s.push_str("  \"version\": 1,\n");
+        let _ = writeln!(
+            s,
+            "  \"network\": {},",
+            crate::telemetry::json_str(&self.network)
+        );
+        s.push_str("  \"layers\": [\n");
+        for (i, l) in self.layers.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"layer\": {}, \"clusters\": {}, \"step_scale\": {}, \
+                 \"reuse_threshold\": {}, \"adaptive\": {}}}{}",
+                crate::telemetry::json_str(&l.layer),
+                l.clusters,
+                l.step_scale,
+                l.reuse_threshold,
+                l.adaptive,
+                if i + 1 < self.layers.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a policy file (the inverse of [`Self::to_json`]; tolerant of
+    /// whitespace and key order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseError::InvalidConfig`] on malformed JSON, a missing
+    /// or wrong `policy_file`/`version` header, or out-of-range values
+    /// (`clusters < 2`, `step_scale` outside `[1, 64]`, `reuse_threshold`
+    /// outside `(0, 1]`).
+    pub fn from_json(text: &str) -> Result<Self, ReuseError> {
+        let invalid = |context: String| ReuseError::InvalidConfig { context };
+        let root = json::parse(text).map_err(|e| invalid(format!("policy file: {e}")))?;
+        let obj = root
+            .as_object()
+            .ok_or_else(|| invalid("policy file: root is not an object".into()))?;
+        let field = |key: &str| -> Result<&json::Value, ReuseError> {
+            obj.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| invalid(format!("policy file: missing key {key:?}")))
+        };
+        match field("policy_file")?.as_str() {
+            Some("reuse-policy") => {}
+            _ => return Err(invalid("policy file: not a reuse-policy file".into())),
+        }
+        if field("version")?.as_f64() != Some(1.0) {
+            return Err(invalid("policy file: unsupported version".into()));
+        }
+        let network = field("network")?
+            .as_str()
+            .ok_or_else(|| invalid("policy file: network must be a string".into()))?
+            .to_string();
+        let layers_val = field("layers")?
+            .as_array()
+            .ok_or_else(|| invalid("policy file: layers must be an array".into()))?;
+        let mut layers = Vec::with_capacity(layers_val.len());
+        for (i, entry) in layers_val.iter().enumerate() {
+            let obj = entry
+                .as_object()
+                .ok_or_else(|| invalid(format!("policy file: layers[{i}] is not an object")))?;
+            let get = |key: &str| -> Result<&json::Value, ReuseError> {
+                obj.iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| invalid(format!("policy file: layers[{i}] missing {key:?}")))
+            };
+            let layer = get("layer")?
+                .as_str()
+                .ok_or_else(|| invalid(format!("policy file: layers[{i}].layer not a string")))?
+                .to_string();
+            let clusters = get("clusters")?.as_f64().unwrap_or(-1.0);
+            if clusters < 2.0 || clusters.fract() != 0.0 || clusters > 1e6 {
+                return Err(invalid(format!(
+                    "policy file: layer {layer:?} clusters must be an integer >= 2"
+                )));
+            }
+            let step_scale = get("step_scale")?.as_f64().unwrap_or(f64::NAN) as f32;
+            if !(1.0..=64.0).contains(&step_scale) {
+                return Err(invalid(format!(
+                    "policy file: layer {layer:?} step_scale must be in [1, 64]"
+                )));
+            }
+            let reuse_threshold = get("reuse_threshold")?.as_f64().unwrap_or(f64::NAN) as f32;
+            if !(reuse_threshold > 0.0 && reuse_threshold <= 1.0) {
+                return Err(invalid(format!(
+                    "policy file: layer {layer:?} reuse_threshold must be in (0, 1]"
+                )));
+            }
+            let adaptive = get("adaptive")?.as_bool().ok_or_else(|| {
+                invalid(format!("policy file: layers[{i}].adaptive not a boolean"))
+            })?;
+            layers.push(TunedLayerPolicy {
+                layer,
+                clusters: clusters as usize,
+                step_scale,
+                reuse_threshold,
+                adaptive,
+            });
+        }
+        Ok(TunedPolicy { network, layers })
+    }
+}
+
+/// A minimal recursive-descent JSON reader — just enough for policy files.
+/// The workspace's JSON *writers* are hand-rolled `format!` calls and its
+/// schema *checks* are substring scans; the policy file is the first
+/// artifact the engine reads back, so it gets a real (tiny) parser.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (parsed as f64).
+        Num(f64),
+        /// A string (escapes decoded).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, as ordered key/value pairs (duplicate keys keep the
+        /// first occurrence on lookup).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(_) => self.number(),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "non-utf8 number".to_string())?;
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (multi-byte sequences pass
+                        // through unvalidated bytes of a &str, so they are
+                        // valid by construction).
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest).map_err(|_| "non-utf8 string")?;
+                        let c = s.chars().next().ok_or("unterminated string")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(items));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                items.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(items));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ReuseConfig {
+        ReuseConfig::uniform(16)
+            .signature_bailout_fraction(0.3)
+            .drift_escalate_after(5)
+    }
+
+    #[test]
+    fn static_policy_mirrors_legacy_knobs() {
+        let config = cfg();
+        let setting = config.setting_for("fc1");
+        let lp = StaticPolicy.layer_policy("fc1", &setting, &config);
+        assert_eq!(lp.clusters, 16);
+        assert_eq!(lp.step_scale, 1.0);
+        assert!(!lp.adaptive);
+        assert!((lp.signature_bailout - 0.3).abs() < 1e-9);
+        assert_eq!(lp.escalate_after, 5);
+    }
+
+    #[test]
+    fn adaptive_controller_grows_on_headroom_and_shrinks_on_violation() {
+        let config = cfg();
+        let setting = config.setting_for("fc1");
+        let lp = AdaptivePolicy::default().layer_policy("fc1", &setting, &config);
+        let mut c = AdaptiveController::new(&lp);
+        // Low similarity + tiny drift: the controller wants a coarser grid.
+        c.observe_execution(0.4);
+        let proposed = c.on_watchdog(0.001, 0.05).expect("should grow");
+        assert!(proposed > 1.0);
+        c.commit_scale(proposed);
+        assert_eq!(c.grows(), 1);
+        // A violation walks it back down and tightens the threshold.
+        let t_before = c.reuse_threshold();
+        let back = c.on_watchdog(0.2, 0.05).expect("should shrink");
+        assert!(back < proposed);
+        c.commit_scale(back);
+        assert_eq!(c.shrinks(), 1);
+        assert!(c.reuse_threshold() < t_before);
+        // At scale 1.0 a violation has nothing left to shrink.
+        let mut floor = AdaptiveController::new(&lp);
+        assert_eq!(floor.on_watchdog(0.2, 0.05), None);
+        assert_eq!(floor.step_scale(), 1.0);
+    }
+
+    #[test]
+    fn adaptive_controller_respects_target_similarity_and_max_scale() {
+        let config = cfg();
+        let setting = config.setting_for("fc1");
+        let lp = AdaptivePolicy {
+            max_step_scale: 2.0,
+            ..AdaptivePolicy::default()
+        }
+        .layer_policy("fc1", &setting, &config);
+        let mut c = AdaptiveController::new(&lp);
+        // Similarity already above target: no growth however safe.
+        c.observe_execution(0.99);
+        assert_eq!(c.on_watchdog(0.0, 0.05), None);
+        // Below target: grows, but saturates at the configured max.
+        let mut c = AdaptiveController::new(&lp);
+        c.observe_execution(0.2);
+        let s1 = c.on_watchdog(0.0, 0.05).unwrap();
+        c.commit_scale(s1);
+        let s2 = c.on_watchdog(0.0, 0.05).unwrap();
+        c.commit_scale(s2);
+        assert_eq!(s2, 2.0);
+        assert_eq!(c.on_watchdog(0.0, 0.05), None, "saturated at max scale");
+    }
+
+    #[test]
+    fn adaptive_controller_backs_off_under_refresh_pressure() {
+        let config = cfg();
+        let setting = config.setting_for("fc1");
+        let lp = AdaptivePolicy::default().layer_policy("fc1", &setting, &config);
+        let mut c = AdaptiveController::new(&lp);
+        c.observe_execution(0.3);
+        let s = c.on_watchdog(0.0, 0.05).expect("grows while calm");
+        c.commit_scale(s);
+        // Refreshed frames hide the grid's error from the drift proxy, so
+        // even a perfectly safe observation must shrink, not grow.
+        c.note_refresh();
+        let back = c.on_watchdog(0.0, 0.05).expect("backs off under pressure");
+        assert!(back < s);
+        c.commit_scale(back);
+        // Pressure is consumed per check: the next calm observation may
+        // grow again.
+        assert!(c.on_watchdog(0.0, 0.05).is_some());
+        // At the static grid, pressure has nothing left to shrink.
+        let mut flat = AdaptiveController::new(&lp);
+        flat.note_refresh();
+        assert_eq!(flat.on_watchdog(0.0, 0.05), None);
+        assert_eq!(flat.step_scale(), 1.0);
+    }
+
+    #[test]
+    fn tuned_policy_round_trips_through_json() {
+        let p = TunedPolicy {
+            network: "autopilot".to_string(),
+            layers: vec![
+                TunedLayerPolicy {
+                    layer: "conv1".to_string(),
+                    clusters: 32,
+                    step_scale: 2.25,
+                    reuse_threshold: 0.75,
+                    adaptive: true,
+                },
+                TunedLayerPolicy {
+                    layer: "fc\"odd\\name".to_string(),
+                    clusters: 8,
+                    step_scale: 1.0,
+                    reuse_threshold: 1.0,
+                    adaptive: false,
+                },
+            ],
+        };
+        let text = p.to_json();
+        let back = TunedPolicy::from_json(&text).expect("round trip parses");
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn tuned_policy_rejects_malformed_files() {
+        assert!(TunedPolicy::from_json("").is_err());
+        assert!(TunedPolicy::from_json("{\"policy_file\": \"other\"}").is_err());
+        assert!(TunedPolicy::from_json(
+            "{\"policy_file\": \"reuse-policy\", \"version\": 2, \
+             \"network\": \"x\", \"layers\": []}"
+        )
+        .is_err());
+        // Out-of-range values are rejected with typed errors.
+        for (clusters, scale, thresh) in [
+            ("1", "2.0", "0.5"),
+            ("16", "0.5", "0.5"),
+            ("16", "2.0", "0.0"),
+        ] {
+            let text = format!(
+                "{{\"policy_file\": \"reuse-policy\", \"version\": 1, \
+                 \"network\": \"x\", \"layers\": [{{\"layer\": \"fc1\", \
+                 \"clusters\": {clusters}, \"step_scale\": {scale}, \
+                 \"reuse_threshold\": {thresh}, \"adaptive\": true}}]}}"
+            );
+            let err = TunedPolicy::from_json(&text).unwrap_err();
+            assert!(matches!(err, ReuseError::InvalidConfig { .. }), "{text}");
+        }
+    }
+
+    #[test]
+    fn tuned_policy_falls_back_to_static_for_unknown_layers() {
+        let config = cfg();
+        let setting = config.setting_for("fc9");
+        let p = TunedPolicy {
+            network: "x".to_string(),
+            layers: vec![TunedLayerPolicy {
+                layer: "fc1".to_string(),
+                clusters: 4,
+                step_scale: 3.0,
+                reuse_threshold: 0.5,
+                adaptive: true,
+            }],
+        };
+        let known = p.layer_policy("fc1", &setting, &config);
+        assert_eq!(known.clusters, 4);
+        assert!(known.adaptive);
+        let unknown = p.layer_policy("fc9", &setting, &config);
+        assert_eq!(unknown, LayerPolicy::static_for(&setting, &config));
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v = super::json::parse(
+            " { \"a\" : [1, -2.5e1, true, null, \"q\\u0041\\n\"] , \"b\": {} } ",
+        )
+        .unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-25.0));
+        assert_eq!(arr[2].as_bool(), Some(true));
+        assert_eq!(arr[4].as_str(), Some("qA\n"));
+        assert!(super::json::parse("{\"a\": }").is_err());
+        assert!(super::json::parse("[1,]").is_err());
+        assert!(super::json::parse("{} trailing").is_err());
+    }
+}

@@ -11,13 +11,14 @@
 use std::sync::Arc;
 
 use reuse_nn::Layer;
-use reuse_quant::{LinearQuantizer, QuantCode, RangeProfiler};
+use reuse_quant::{InputRange, LinearQuantizer, QuantCode, QuantError, RangeProfiler};
 use reuse_tensor::{ParallelConfig, Tensor};
 
 use crate::drift::max_abs_diff;
 use crate::layer::{build_state, span_elapsed_ns, span_start, ExecStats, ReuseLayer, StepCtx};
 use crate::metrics::{relative_difference, EngineMetrics, LayerMetrics};
 use crate::model::CompiledModel;
+use crate::policy::{AdaptiveController, LayerPolicyState};
 use crate::signature::CachedBaseline;
 use crate::telemetry::{
     EngineTelemetry, LayerTelemetrySnapshot, PoolStats, SignatureStats, TelemetrySnapshot,
@@ -112,6 +113,12 @@ struct SlotRuntime {
     profiler_h: RangeProfiler,
     quantizer_x: Option<LinearQuantizer>,
     quantizer_h: Option<LinearQuantizer>,
+    /// Calibrated (margin-padded) input range, kept only for adaptive
+    /// layers so the controller can rebuild the quantizer at a new step.
+    base_range_x: Option<InputRange>,
+    /// Online policy controller — present only when the slot's resolved
+    /// [`LayerPolicy`](crate::LayerPolicy) is adaptive.
+    controller: Option<AdaptiveController>,
     /// Previous raw input (for the Fig. 4 relative-difference series).
     prev_raw_input: Option<Vec<f32>>,
     /// Times the drift watchdog re-baselined this layer's buffered outputs.
@@ -184,6 +191,11 @@ impl ReuseSession {
                     profiler_h: RangeProfiler::new(),
                     quantizer_x: None,
                     quantizer_h: None,
+                    base_range_x: None,
+                    controller: slot
+                        .policy
+                        .adaptive
+                        .then(|| AdaptiveController::new(&slot.policy)),
                     prev_raw_input: None,
                     rebaselines: 0,
                     drift_strikes: 0,
@@ -320,8 +332,44 @@ impl ReuseSession {
             drift_check_every: self.model.config().drift_check_every(),
             drift_bound: self.model.config().drift_bound(),
             signature: self.signature,
+            policy: self.model.policy_name().to_string(),
+            policy_layers: self.policy_states(),
             layers,
         })
+    }
+
+    /// Point-in-time per-layer policy state: the configured grid plus
+    /// whatever operating point the adaptive controllers have moved to
+    /// (static layers report their fixed resolution with zeroed counters).
+    /// Allocates — a reporting path, mirrored into [`TelemetrySnapshot`]
+    /// and the serving tier's snapshot.
+    pub fn policy_states(&self) -> Vec<LayerPolicyState> {
+        self.model
+            .slots()
+            .iter()
+            .zip(self.runtimes.iter())
+            .map(|(slot, rt)| {
+                let (step_scale, reuse_threshold) = rt
+                    .controller
+                    .as_ref()
+                    .map_or((slot.policy.step_scale, slot.policy.reuse_threshold), |c| {
+                        (c.step_scale(), c.reuse_threshold())
+                    });
+                let ctrl = rt.controller.as_ref();
+                LayerPolicyState {
+                    name: slot.name.clone(),
+                    adaptive: slot.policy.adaptive,
+                    clusters: slot.policy.clusters,
+                    step: rt.quantizer_x.map_or(0.0, |q| q.step()),
+                    step_scale,
+                    reuse_threshold,
+                    observations: ctrl.map_or(0, |c| c.observations()),
+                    grows: ctrl.map_or(0, |c| c.grows()),
+                    shrinks: ctrl.map_or(0, |c| c.shrinks()),
+                    refreshes: ctrl.map_or(0, |c| c.refreshes()),
+                }
+            })
+            .collect()
     }
 
     /// The quantizer used for a layer's (feed-forward) inputs, if built.
@@ -404,9 +452,27 @@ impl ReuseSession {
         self.watchdog = WatchdogStats::default();
         self.reuse_frames = 0;
         self.signature = SignatureStats::default();
-        for rt in &mut self.runtimes {
+        let model = Arc::clone(&self.model);
+        for (slot, rt) in model.slots().iter().zip(self.runtimes.iter_mut()) {
             rt.rebaselines = 0;
             rt.drift_strikes = 0;
+            if let Some(ctrl) = rt.controller.as_mut() {
+                // The controller restarts at its initial operating point,
+                // and the grid must follow — a kept scaled quantizer would
+                // disagree with the reset controller.
+                *ctrl = AdaptiveController::new(&slot.policy);
+                if !rt.auto_disabled {
+                    if let Some(range) = rt.base_range_x {
+                        if let Ok(q) = Self::quantizer_at_scale(
+                            range,
+                            slot.policy.clusters,
+                            slot.policy.step_scale.max(1.0),
+                        ) {
+                            rt.quantizer_x = Some(q);
+                        }
+                    }
+                }
+            }
         }
         if !self.calibrated {
             // A partial calibration must not mix pre- and post-reset frames:
@@ -711,6 +777,22 @@ impl ReuseSession {
         }
     }
 
+    /// Builds a layer quantizer at `scale` times the calibrated base step
+    /// (`range / clusters`). Scale 1.0 goes through [`LinearQuantizer::new`]
+    /// — the exact constructor the pre-policy engine used — so static
+    /// policies stay bit-identical; other scales derive the step explicitly.
+    fn quantizer_at_scale(
+        range: InputRange,
+        clusters: usize,
+        scale: f32,
+    ) -> Result<LinearQuantizer, QuantError> {
+        if scale == 1.0 {
+            LinearQuantizer::new(range, clusters)
+        } else {
+            LinearQuantizer::with_step(range, range.width() / clusters as f32 * scale)
+        }
+    }
+
     fn build_quantizers(&mut self) {
         let model = Arc::clone(&self.model);
         let margin = model.config().margin();
@@ -718,16 +800,25 @@ impl ReuseSession {
             if !slot.setting.enabled {
                 continue;
             }
+            let scale = rt
+                .controller
+                .as_ref()
+                .map_or(slot.policy.step_scale, AdaptiveController::step_scale);
             match rt.profiler_x.range(margin) {
-                Ok(range) => match LinearQuantizer::new(range, slot.setting.clusters) {
-                    Ok(q) => rt.quantizer_x = Some(q),
+                Ok(range) => match Self::quantizer_at_scale(range, slot.policy.clusters, scale) {
+                    Ok(q) => {
+                        rt.quantizer_x = Some(q);
+                        if slot.policy.adaptive {
+                            rt.base_range_x = Some(range);
+                        }
+                    }
                     Err(_) => rt.auto_disabled = true,
                 },
                 Err(_) => rt.auto_disabled = true,
             }
             if slot.kind == reuse_nn::LayerKind::Recurrent && !rt.auto_disabled {
                 match rt.profiler_h.range(margin) {
-                    Ok(range) => match LinearQuantizer::new(range, slot.setting.clusters) {
+                    Ok(range) => match LinearQuantizer::new(range, slot.policy.clusters) {
                         Ok(q) => rt.quantizer_h = Some(q),
                         Err(_) => rt.auto_disabled = true,
                     },
@@ -865,7 +956,43 @@ impl ReuseSession {
                         quantizer_x: &qx,
                         quantizer_h: qh.as_ref(),
                     };
-                    rt.state.step(&ctx, &cur, &mut next)?
+                    let mut stats = rt.state.step(&ctx, &cur, &mut next)?;
+                    // Adaptive layers only: when the changed-code fraction
+                    // exceeds the controller's refresh threshold, correcting
+                    // costs more than recomputing — replace the incremental
+                    // result with an exact forward and re-adopt a
+                    // full-precision baseline. Static policies never take
+                    // this branch (no controller), keeping the legacy path
+                    // bit-identical. Refresh frames allocate; like watchdog
+                    // frames they sit outside the zero-alloc contract.
+                    if let Some(ctrl) = rt
+                        .controller
+                        .as_mut()
+                        .filter(|_| !stats.from_scratch && stats.n_inputs > 0)
+                    {
+                        let changed_frac = stats.n_changed as f32 / stats.n_inputs as f32;
+                        ctrl.observe_execution(1.0 - changed_frac);
+                        if changed_frac > ctrl.reuse_threshold() {
+                            let raw = Tensor::from_vec(
+                                model.network().layer_input_shapes()[i].clone(),
+                                cur.clone(),
+                            )?;
+                            let linear = ctx.layer.forward_linear(&raw)?;
+                            let activation = ctx
+                                .layer
+                                .activation()
+                                .expect("adaptive policies run on feed-forward networks");
+                            rt.state.adopt_baseline(&ctx, &cur, linear.as_slice());
+                            let act = activation.apply(&linear);
+                            next.clear();
+                            next.extend_from_slice(act.as_slice());
+                            ctrl.note_refresh();
+                            // Honest accounting: similarity stays what was
+                            // observed, but the frame paid full cost.
+                            stats.macs_performed = stats.macs_total;
+                        }
+                    }
+                    stats
                 };
                 let span_ns = span_elapsed_ns(span);
                 if let Some(sig) = pending_sig {
@@ -985,7 +1112,7 @@ impl ReuseSession {
                 .zip(self.sig_scratch_cached.iter())
                 .filter(|(a, b)| a != b)
                 .count();
-            changed as f32 > model.config().signature_bailout() * input.len() as f32
+            changed as f32 > model.slots()[slot_pos].policy.signature_bailout * input.len() as f32
         };
         if let Some(tel) = self.telemetry.as_mut() {
             tel.layers[metrics_index].record_signature(true, bail);
@@ -1040,11 +1167,52 @@ impl ReuseSession {
         self.watchdog.checks += 1;
         self.watchdog.last_drift = drift;
         self.watchdog.max_drift = self.watchdog.max_drift.max(drift);
-        if drift > self.model.config().drift_bound() {
+        let bound = self.model.config().drift_bound();
+        let violated = drift > bound;
+        // Adaptive controllers consume the same observation as their
+        // accuracy proxy: each proposes a step scale, the quantizer is
+        // rebuilt at it, and the scale commits only on success — the
+        // controller never disagrees with the grid actually in use.
+        let rescaled = self.apply_policy_feedback(drift, bound);
+        if violated || rescaled {
+            // A rescale re-baselines too: buffered codes quantized under
+            // the old grid are meaningless under the new one.
             self.rebaseline_frame(frame, out)?;
+        }
+        if violated {
             self.watchdog.rebaselines += 1;
         }
         Ok(())
+    }
+
+    /// Feeds one watchdog observation to every adaptive controller and
+    /// rebuilds the quantizers of those that moved. Returns whether any
+    /// layer's grid changed (forcing a re-baseline). A no-op — and the
+    /// watchdog path stays exactly the legacy one — when no layer is
+    /// adaptive.
+    fn apply_policy_feedback(&mut self, drift: f32, bound: f32) -> bool {
+        let model = Arc::clone(&self.model);
+        let mut rescaled = false;
+        for (slot, rt) in model.slots().iter().zip(self.runtimes.iter_mut()) {
+            if !slot.setting.enabled || rt.auto_disabled {
+                continue;
+            }
+            let Some(ctrl) = rt.controller.as_mut() else {
+                continue;
+            };
+            let Some(proposed) = ctrl.on_watchdog(drift, bound) else {
+                continue;
+            };
+            let Some(range) = rt.base_range_x else {
+                continue;
+            };
+            if let Ok(q) = Self::quantizer_at_scale(range, slot.policy.clusters, proposed) {
+                rt.quantizer_x = Some(q);
+                ctrl.commit_scale(proposed);
+                rescaled = true;
+            }
+        }
+        rescaled
     }
 
     /// Re-baselines every enabled reuse layer onto full-precision values for
@@ -1053,13 +1221,13 @@ impl ReuseSession {
     /// forward on that raw input, so this frame's output — written to `out` —
     /// is bit-identical to [`Self::reference_forward`] and subsequent frames
     /// correct from an exact baseline. Layers whose own buffered outputs had
-    /// drifted beyond the bound collect a strike; a layer reaching
-    /// [`crate::ReuseConfig::drift_escalate_after`] strikes is auto-disabled
+    /// drifted beyond the bound collect a strike; a layer reaching its
+    /// resolved policy's `escalate_after` strikes (seeded from
+    /// [`crate::ReuseConfig::drift_escalate_after`]) is auto-disabled
     /// (escalation into [`Self::auto_disabled_layers`]).
     fn rebaseline_frame(&mut self, frame: &[f32], out: &mut Vec<f32>) -> Result<(), ReuseError> {
         let model = Arc::clone(&self.model);
         let bound = model.config().drift_bound();
-        let escalate_after = model.config().escalate_after();
         let parallel = *model.config().parallel_config();
         let mut cur = Tensor::from_vec(model.network().input_shape().clone(), frame.to_vec())?;
         let n_layers = model.network().layers().len();
@@ -1103,6 +1271,7 @@ impl ReuseSession {
             rt.rebaselines += 1;
             if drifted {
                 rt.drift_strikes += 1;
+                let escalate_after = slot.policy.escalate_after;
                 if escalate_after > 0 && rt.drift_strikes >= escalate_after {
                     rt.auto_disabled = true;
                     // The pipeline now has a full-precision stage that routes

@@ -323,6 +323,11 @@ pub struct TelemetrySnapshot {
     /// Cross-stream signature-cache counters (all zero when the cache is
     /// disabled for the model).
     pub signature: SignatureStats,
+    /// Active reuse-policy name (`"static"`, `"adaptive"`, `"tuned"`).
+    pub policy: String,
+    /// Per-layer policy state (grid, step scale, refresh threshold and the
+    /// controllers' counters), in slot order.
+    pub policy_layers: Vec<crate::policy::LayerPolicyState>,
     /// Per-layer records, in network order.
     pub layers: Vec<LayerTelemetrySnapshot>,
 }
@@ -357,7 +362,7 @@ pub struct LayerTelemetrySnapshot {
 }
 
 /// Formats an `f64` as a JSON number (`null` for non-finite values).
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
     } else {
@@ -366,7 +371,7 @@ fn json_num(v: f64) -> String {
 }
 
 /// Minimal JSON string escaping for layer/network names.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -418,6 +423,21 @@ impl TelemetrySnapshot {
             self.signature.bailouts,
             self.signature.inserts,
         );
+        let _ = writeln!(s, "  \"policy\": {},", json_str(&self.policy));
+        s.push_str("  \"policy_layers\": [\n");
+        for (i, p) in self.policy_layers.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {}{}",
+                p.to_json(),
+                if i + 1 < self.policy_layers.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"layers\": [\n");
         for (i, l) in self.layers.iter().enumerate() {
             let _ = writeln!(
@@ -523,6 +543,19 @@ mod tests {
                 bailouts: 1,
                 inserts: 4,
             },
+            policy: "adaptive".to_string(),
+            policy_layers: vec![crate::policy::LayerPolicyState {
+                name: "fc1".to_string(),
+                adaptive: true,
+                clusters: 16,
+                step: 0.125,
+                step_scale: 1.5,
+                reuse_threshold: 0.75,
+                observations: 6,
+                grows: 2,
+                shrinks: 1,
+                refreshes: 3,
+            }],
             layers: vec![LayerTelemetrySnapshot {
                 name: "fc1".to_string(),
                 reuse_executions: 10,
@@ -544,6 +577,8 @@ mod tests {
         assert!(json.contains("\"misses\": 4"));
         assert!(json.contains("\"signature_cache\": {\"lookups\": 5, \"hits\": 3"));
         assert!(json.contains("\"signature_lookups\": 2"));
+        assert!(json.contains("\"policy\": \"adaptive\""));
+        assert!(json.contains("\"step_scale\": 1.500000"));
         // Non-finite floats degrade to null, keeping the JSON parseable.
         assert!(json.contains("\"max_drift\": null"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use reuse_core::SignatureStats;
+use reuse_core::{LayerPolicyState, SignatureStats};
 
 /// Aggregate and per-stream server state at one point in time. Built by
 /// [`crate::StreamServer::snapshot`]; owns all its data.
@@ -54,6 +54,12 @@ pub struct ServerSnapshot {
     /// Cross-stream signature-cache counters summed over the pool's live
     /// sessions (all zero when the model compiles the cache out).
     pub signature: SignatureStats,
+    /// Active reuse-policy name (`"static"`, `"adaptive"`, `"tuned"`).
+    pub policy: String,
+    /// Per-layer policy state aggregated over the pool's live sessions:
+    /// controller counters summed, step/scale/threshold averaged (the
+    /// compiled resolution when no session is live).
+    pub policy_layers: Vec<LayerPolicyState>,
     /// Per-stream detail, in pool order.
     pub streams: Vec<StreamSnapshot>,
 }
@@ -165,6 +171,17 @@ impl ServerSnapshot {
             self.signature.bailouts,
             self.signature.inserts
         );
+        let _ = writeln!(s, "  \"policy\": {},", json_str(&self.policy));
+        s.push_str("  \"policy_layers\": [\n");
+        for (i, p) in self.policy_layers.iter().enumerate() {
+            let comma = if i + 1 == self.policy_layers.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(s, "    {}{}", p.to_json(), comma);
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"streams\": [\n");
         for (i, st) in self.streams.iter().enumerate() {
             let comma = if i + 1 == self.streams.len() { "" } else { "," };
@@ -227,6 +244,19 @@ mod tests {
                 bailouts: 1,
                 inserts: 2,
             },
+            policy: "tuned".to_string(),
+            policy_layers: vec![LayerPolicyState {
+                name: "affine1".to_string(),
+                adaptive: true,
+                clusters: 32,
+                step: 0.0625,
+                step_scale: 2.25,
+                reuse_threshold: 0.6,
+                observations: 12,
+                grows: 3,
+                shrinks: 1,
+                refreshes: 2,
+            }],
             streams: vec![
                 StreamSnapshot {
                     id: 0,
@@ -269,6 +299,9 @@ mod tests {
             "\"signature_cache\": {\"lookups\": 6, \"hits\": 4, \"adoptions\": 3, \
              \"bailouts\": 1, \"inserts\": 2}"
         ));
+        assert!(json.contains("\"policy\": \"tuned\""));
+        assert!(json.contains("\"step_scale\": 2.250000"));
+        assert!(json.contains("\"refreshes\": 2"));
         // Non-finite similarity serializes as null, not NaN.
         assert!(json.contains("\"input_similarity\": null"));
         assert!(!json.contains("NaN"));

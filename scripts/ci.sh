@@ -60,6 +60,16 @@ echo "== cross-stream signature-cache smoke (capacity 0 + full capacity) =="
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve kaldi --streams 4 --frames 32 --sig-cache > /dev/null
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve eesen --streams 3 --frames 20 --sig-cache > /dev/null
 
+echo "== reuse-policy smoke (tune round trip + bit-identity suite, both SIMD levels) =="
+# The replay auto-tuner must emit a policy file that reparses and
+# recompiles to the same per-layer operating points (exit 4 on round-trip
+# mismatch, 5 on I/O failure), and the StaticPolicy bit-identity suite
+# must hold with the SIMD fast path on and off.
+REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- tune kaldi --smoke --out target/tuned-kaldi-smoke.json > /dev/null
+REUSE_SCALE=tiny REUSE_SIMD=off cargo run --release -q -p reuse-bench --bin reuse_cli -- tune kaldi --smoke --out target/tuned-kaldi-smoke.json > /dev/null
+cargo test -q -p reuse-core --test policy
+REUSE_SIMD=off cargo test -q -p reuse-core --test policy
+
 echo "== serve-net loopback smoke (TCP round-trip vs standalone, both SIMD levels) =="
 # Starts the sharded tier behind a real loopback TCP socket, drives streams
 # through the in-tree binary-protocol client, and checks every response
