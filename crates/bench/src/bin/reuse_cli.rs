@@ -12,6 +12,8 @@
 //! reuse_cli simulate <workload> [executions]        accelerator baseline vs reuse
 //! reuse_cli tune <workload> [executions]            replay auto-tuner: static vs adaptive,
 //!                [--out FILE] [--smoke]             emits a tuned policy file (JSON)
+//! reuse_cli ingest <model.onnx> [frames] [--smoke]  lower an ONNX model, replay a jitter
+//!                                                   stream, report similarity + fallbacks
 //! reuse_cli export <workload> <path>                serialize the model to a file
 //! reuse_cli experiments                             list the table/figure binaries
 //! ```
@@ -94,6 +96,12 @@ fn usage() -> ExitCode {
          \x20                                   policy file (stdout, plus --out FILE); the\n\
          \x20                                   file is reparsed and recompiled, exiting\n\
          \x20                                   {EXIT_DIVERGED} on round-trip mismatch (--smoke: short run)\n\
+         \x20 ingest   <model.onnx> [frames]    parse + lower an ONNX model, replay a\n\
+         \x20          [--smoke]                synthetic-jitter stream, and report per-layer\n\
+         \x20                                   similarity, skipped-MAC projection and\n\
+         \x20                                   recompute-always fallbacks (--smoke runs the\n\
+         \x20                                   built-in fixture checks; exits {EXIT_DIVERGED} on\n\
+         \x20                                   divergence, {EXIT_EXEC} on parse/lower failure)\n\
          \x20 export   <workload> <path>        serialize the model to a file\n\
          \x20 experiments                       list the paper-artifact binaries\n\n\
          workloads: kaldi, eesen, c3d, autopilot (REUSE_SCALE=full|small|tiny)"
@@ -801,6 +809,189 @@ fn run_tune(w: &Workload, executions: usize, out: Option<&str>, smoke: bool) -> 
     ExitCode::SUCCESS
 }
 
+/// Ingests an ONNX file, runs a synthetic-jitter stream through the reuse
+/// engine under the adaptive policy, and reports per-layer measured input
+/// similarity plus the skipped-MAC projection. Fallback (recompute-always)
+/// layers are called out explicitly.
+fn run_ingest(path: &str, frames: usize) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let lowered = match reuse_onnx_ingest::ingest(&bytes) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot lower {path}: {e}");
+            return ExitCode::from(EXIT_EXEC);
+        }
+    };
+    let net = &lowered.network;
+    eprintln!(
+        "{}: {} layers, {} params, input {}",
+        net.name(),
+        net.layers().len(),
+        net.param_count(),
+        net.input_shape()
+    );
+    for skipped in &lowered.skipped {
+        eprintln!("dropped no-op node {skipped}");
+    }
+    let config = reuse_core::ReuseConfig::uniform(64)
+        .drift_watchdog(8, 0.25)
+        .reuse_policy(Arc::new(AdaptivePolicy::default()));
+    let mut engine = ReuseEngine::from_network(net, &config);
+    let code = if net.is_recurrent() {
+        let dim = net.input_shape().volume();
+        let seq_len = 32.min(frames.max(2));
+        let stream = jitter_stream(frames, dim, 0.04, 42);
+        stream
+            .chunks(seq_len)
+            .try_for_each(|seq| engine.execute_sequence(seq).map(|_| ()))
+    } else {
+        let dim = net.input_shape().volume();
+        jitter_stream(frames, dim, 0.04, 42)
+            .iter()
+            .try_for_each(|frame| engine.execute(frame).map(|_| ()))
+    };
+    if let Err(e) = code {
+        eprintln!("execution failed: {e}");
+        return ExitCode::from(EXIT_EXEC);
+    }
+    let metrics = engine.metrics();
+    let mut macs_total = 0u64;
+    let mut macs_skipped = 0u64;
+    for (name, layer) in net.layers() {
+        match metrics.layer(name) {
+            Some(m) => {
+                let skipped = m.macs_total.saturating_sub(m.macs_performed);
+                macs_total += m.macs_total;
+                macs_skipped += skipped;
+                println!(
+                    "layer {name} kind {:?} similarity {:.4} macs_total {} macs_skipped {}",
+                    layer.kind(),
+                    m.input_similarity(),
+                    m.macs_total,
+                    skipped
+                );
+            }
+            None => println!("layer {name} kind {:?} (no reuse slot)", layer.kind()),
+        }
+    }
+    for (layer, op) in &lowered.fallbacks {
+        println!("fallback {layer} {op}");
+    }
+    println!(
+        "total frames {frames} similarity {:.4} macs_total {macs_total} macs_skipped {macs_skipped} reuse {:.4}",
+        metrics.overall_input_similarity(),
+        if macs_total > 0 {
+            macs_skipped as f64 / macs_total as f64
+        } else {
+            0.0
+        }
+    );
+    ExitCode::SUCCESS
+}
+
+/// A smooth random walk of frames, the synthetic-jitter stream the ingest
+/// report runs over.
+fn jitter_stream(len: usize, dim: usize, step: f32, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = reuse_nn::init::Rng64::new(seed);
+    let mut frame: Vec<f32> = (0..dim).map(|_| rng.uniform(0.5)).collect();
+    (0..len)
+        .map(|_| {
+            for v in &mut frame {
+                *v = (*v + rng.uniform(step)).clamp(-1.0, 1.0);
+            }
+            frame.clone()
+        })
+        .collect()
+}
+
+/// Self-contained ingest smoke for CI: (a) the generated Gemm+Relu fixture
+/// must execute bit-identically to its hand-built twin through the engine;
+/// (b) a graph with an unsupported op must still serve via a
+/// recompute-always passthrough slot charging full MACs and zero reuse.
+fn run_ingest_smoke() -> ExitCode {
+    use reuse_onnx_ingest::fixture;
+
+    // (a) bit-identity: ingested fixture vs hand-built twin.
+    let lowered = match reuse_onnx_ingest::ingest(&fixture::gemm_relu_bytes()) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("fixture failed to lower: {e}");
+            return ExitCode::from(EXIT_EXEC);
+        }
+    };
+    let twin = fixture::gemm_relu_network();
+    let config = reuse_core::ReuseConfig::uniform(64);
+    let mut ingested = ReuseEngine::from_network(&lowered.network, &config);
+    let mut reference = ReuseEngine::from_network(&twin, &config);
+    for frame in jitter_stream(64, fixture::GEMM_IN, 0.05, 42) {
+        let (a, b) = match (ingested.execute(&frame), reference.execute(&frame)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (a, b) => {
+                eprintln!("smoke execution failed: {:?} {:?}", a.err(), b.err());
+                return ExitCode::from(EXIT_EXEC);
+            }
+        };
+        let same = a.as_slice().len() == b.as_slice().len()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+        if !same {
+            eprintln!("ingested fixture diverged from the hand-built network");
+            return ExitCode::from(EXIT_DIVERGED);
+        }
+    }
+    println!("ingest smoke: fixture bit-identical to hand-built network over 64 frames");
+
+    // (b) unsupported op serves through a recompute-always passthrough.
+    let lowered = match reuse_onnx_ingest::ingest(&fixture::unsupported_softmax_bytes()) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("softmax graph failed to lower: {e}");
+            return ExitCode::from(EXIT_EXEC);
+        }
+    };
+    let Some((pass_name, op)) = lowered.fallbacks.first().cloned() else {
+        eprintln!("softmax graph lowered without a fallback slot");
+        return ExitCode::from(EXIT_DIVERGED);
+    };
+    let mut engine = ReuseEngine::from_network(&lowered.network, &config);
+    for frame in jitter_stream(48, 8, 0.03, 7) {
+        if let Err(e) = engine.execute(&frame) {
+            eprintln!("softmax graph execution failed: {e}");
+            return ExitCode::from(EXIT_EXEC);
+        }
+    }
+    let metrics = engine.metrics();
+    let Some(pass) = metrics.layer(&pass_name) else {
+        eprintln!("passthrough layer {pass_name} has no metrics slot");
+        return ExitCode::from(EXIT_DIVERGED);
+    };
+    if pass.macs_total == 0
+        || pass.macs_performed != pass.macs_total
+        || pass.computation_reuse() != 0.0
+    {
+        eprintln!(
+            "passthrough telemetry wrong: total {} performed {} reuse {}",
+            pass.macs_total,
+            pass.macs_performed,
+            pass.computation_reuse()
+        );
+        return ExitCode::from(EXIT_DIVERGED);
+    }
+    println!(
+        "ingest smoke: unsupported op {op} served via {pass_name} \
+         (full MACs charged, zero reuse)"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry = args.iter().any(|a| a == "--telemetry");
@@ -1056,6 +1247,16 @@ fn main() -> ExitCode {
                     ExitCode::from(EXIT_IO)
                 }
             }
+        }
+        Some("ingest") => {
+            if smoke {
+                return run_ingest_smoke();
+            }
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let n_frames: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(96);
+            run_ingest(path, n_frames)
         }
         Some("experiments") => {
             println!(

@@ -717,7 +717,41 @@ fn bench_churn_pair(kind: WorkloadKind, scale: Scale) -> (ChurnRow, ChurnRow) {
 /// must be present (CI guard against silent drift), and the recorded
 /// churn speedup must clear the `REUSE_SERVE_MIN_CACHE_SPEEDUP` floor
 /// (default 1.0, i.e. presence-only).
+/// Empty-histogram contract check: an idle shard (no frames ever
+/// submitted) must report an all-zero latency block through the merged
+/// sharded snapshot, every per-shard snapshot, and the snapshot JSON.
+fn validate_idle_shard() -> Result<(), String> {
+    let w = Workload::build(WorkloadKind::Kaldi, Scale::Tiny);
+    let model = Arc::new(CompiledModel::new(w.network(), w.reuse_config()));
+    let server = ShardedServer::new(model, ServerConfig::default(), 2)
+        .map_err(|e| format!("idle shard construction failed: {e}"))?;
+    let snap = server.snapshot();
+    if snap.latency_count != 0
+        || snap.p50_ns != 0
+        || snap.p99_ns != 0
+        || snap.p999_ns != 0
+        || snap.max_ns != 0
+    {
+        return Err(format!(
+            "idle sharded snapshot not all-zero: count {} p50 {} p99 {} p999 {} max {}",
+            snap.latency_count, snap.p50_ns, snap.p99_ns, snap.p999_ns, snap.max_ns
+        ));
+    }
+    for (i, shard) in snap.shards.iter().enumerate() {
+        let zero_block = "\"latency_ns\": {\"count\": 0, \"p50\": 0, \"p99\": 0, \"p999\": 0, \
+                          \"max\": 0}";
+        if shard.latency_count != 0 || !shard.to_json().contains(zero_block) {
+            return Err(format!("idle shard {i} latency block is not all-zero"));
+        }
+    }
+    Ok(())
+}
+
 fn validate(path: &str) -> ExitCode {
+    if let Err(e) = validate_idle_shard() {
+        eprintln!("validate: {e}");
+        return ExitCode::FAILURE;
+    }
     let body = match std::fs::read_to_string(path) {
         Ok(b) => b,
         Err(e) => {

@@ -86,6 +86,7 @@ fn layer_kind_str(k: LayerKind) -> &'static str {
         LayerKind::Pool => "pool",
         LayerKind::Reshape => "reshape",
         LayerKind::Recurrent => "recurrent",
+        LayerKind::Passthrough => "passthrough",
     }
 }
 
@@ -96,6 +97,7 @@ fn layer_kind_from_str(s: &str) -> Option<LayerKind> {
         "pool" => Some(LayerKind::Pool),
         "reshape" => Some(LayerKind::Reshape),
         "recurrent" => Some(LayerKind::Recurrent),
+        "passthrough" => Some(LayerKind::Passthrough),
         _ => None,
     }
 }

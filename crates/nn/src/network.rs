@@ -5,7 +5,7 @@ use reuse_tensor::{Shape, Tensor};
 
 use crate::{
     init::Rng64, Activation, BiLstmLayer, Conv2dLayer, Conv3dLayer, FullyConnected, LstmCell,
-    NnError, Pool2dLayer, Pool3dLayer,
+    NnError, PassthroughLayer, PassthroughOp, Pool2dLayer, Pool3dLayer,
 };
 
 /// One layer of a sequential [`Network`].
@@ -42,6 +42,10 @@ pub enum Layer {
     Lstm(LstmCell),
     /// Bidirectional LSTM over sequences (paper Fig. 2).
     BiLstm(BiLstmLayer),
+    /// Recompute-always fallback for ingested ops the reuse scheme cannot
+    /// correct incrementally (softmax, general pooling, standalone
+    /// activations). See [`crate::passthrough`].
+    Passthrough(PassthroughLayer),
 }
 
 /// Coarse layer classification used in reports and by the accelerator model.
@@ -57,6 +61,9 @@ pub enum LayerKind {
     Reshape,
     /// Recurrent (LSTM).
     Recurrent,
+    /// Recompute-always fallback from graph ingestion: weightless, charged
+    /// at full cost every frame, excluded from reuse/policy decisions.
+    Passthrough,
 }
 
 impl Layer {
@@ -68,13 +75,17 @@ impl Layer {
             Layer::Pool2d(_) | Layer::Pool3d(_) | Layer::GroupMax { .. } => LayerKind::Pool,
             Layer::Flatten => LayerKind::Reshape,
             Layer::Lstm(_) | Layer::BiLstm(_) => LayerKind::Recurrent,
+            Layer::Passthrough(_) => LayerKind::Passthrough,
         }
     }
 
     /// Whether the layer carries weights (and is therefore a candidate for
     /// the reuse scheme).
     pub fn has_weights(&self) -> bool {
-        !matches!(self.kind(), LayerKind::Pool | LayerKind::Reshape)
+        !matches!(
+            self.kind(),
+            LayerKind::Pool | LayerKind::Reshape | LayerKind::Passthrough
+        )
     }
 
     /// Parameter count of this layer.
@@ -85,7 +96,11 @@ impl Layer {
             Layer::Conv3d(l) => l.param_count(),
             Layer::Lstm(l) => l.param_count(),
             Layer::BiLstm(l) => l.param_count(),
-            Layer::Pool2d(_) | Layer::Pool3d(_) | Layer::Flatten | Layer::GroupMax { .. } => 0,
+            Layer::Pool2d(_)
+            | Layer::Pool3d(_)
+            | Layer::Flatten
+            | Layer::GroupMax { .. }
+            | Layer::Passthrough(_) => 0,
         }
     }
 
@@ -195,6 +210,7 @@ impl Layer {
                 }
                 Ok(Shape::d1(l.n_out()))
             }
+            Layer::Passthrough(p) => p.output_shape(input),
         }
     }
 
@@ -265,6 +281,7 @@ impl Layer {
             }
             Layer::Lstm(l) => l.flops_per_step(),
             Layer::BiLstm(l) => l.flops_per_step(),
+            Layer::Passthrough(p) => p.flops(input),
             Layer::Pool2d(_) | Layer::Pool3d(_) | Layer::Flatten | Layer::GroupMax { .. } => 0,
         }
     }
@@ -486,6 +503,7 @@ fn apply_layer(layer: &Layer, input: Tensor, in_shape: &Shape) -> Result<Tensor,
                 .collect();
             Ok(Tensor::from_vec(Shape::d1(out.len()), out)?)
         }
+        Layer::Passthrough(p) => p.forward(&input),
         Layer::Lstm(_) | Layer::BiLstm(_) => Err(NnError::InvalidConfig {
             context: "recurrent layer cannot run frame-wise".into(),
         }),
@@ -674,6 +692,11 @@ impl NetworkBuilder {
         self.push("groupmax", Layer::GroupMax { group })
     }
 
+    /// Appends a recompute-always passthrough op (ingestion fallback).
+    pub fn passthrough(self, op: PassthroughOp) -> Self {
+        self.push("pass", Layer::Passthrough(PassthroughLayer::new(op)))
+    }
+
     /// Appends a unidirectional LSTM layer with deterministic random
     /// weights.
     pub fn lstm(mut self, cell_dim: usize) -> Self {
@@ -710,6 +733,7 @@ impl NetworkBuilder {
             Layer::GroupMax { .. } => "groupmax",
             Layer::Lstm(_) => "lstm",
             Layer::BiLstm(_) => "bilstm",
+            Layer::Passthrough(_) => "pass",
             _ => "layer",
         };
         self.push(base, layer)

@@ -187,6 +187,9 @@ pub fn to_string(net: &Network) -> String {
                 push_cell(&mut out, l.forward_cell());
                 push_cell(&mut out, l.backward_cell());
             }
+            Layer::Passthrough(p) => {
+                out.push_str(&format!("layer passthrough {name} {}\n", p.spec_tokens()));
+            }
             _ => unreachable!("all shipped layer kinds are serializable"),
         }
     }
@@ -422,6 +425,11 @@ pub fn from_str(text: &str) -> Result<Network, SerializeError> {
                 )));
             }
             "flatten" => layers.push(Layer::Flatten),
+            "passthrough" => {
+                let layer = crate::PassthroughLayer::from_spec_tokens(args)
+                    .ok_or_else(|| bad("bad passthrough descriptor".into()))?;
+                layers.push(Layer::Passthrough(layer));
+            }
             "groupmax" => layers.push(Layer::GroupMax { group: parse(0)? }),
             "lstm" => {
                 let (n_in, cell_dim) = (parse(0)?, parse(1)?);

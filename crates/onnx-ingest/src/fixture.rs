@@ -1,0 +1,157 @@
+//! Deterministic ONNX fixtures, generated with [`crate::wire::Writer`].
+//!
+//! `testdata/gemm_relu.onnx` is these exact bytes checked into the repo; a
+//! test asserts the file matches [`gemm_relu_bytes`] so the fixture can
+//! never drift from the generator. All weights are small multiples of
+//! 1/64 — exactly representable in f32, so the ingested network and the
+//! hand-built twin from [`gemm_relu_network`] are bit-identical.
+
+use crate::wire::Writer;
+use reuse_nn::{Activation, FullyConnected, Layer, Network, NetworkBuilder};
+use reuse_tensor::{Shape, Tensor};
+
+/// Input width of the Gemm+Relu fixture.
+pub const GEMM_IN: usize = 8;
+/// Output width of the Gemm+Relu fixture.
+pub const GEMM_OUT: usize = 4;
+
+/// Deterministic weight at flat index `i`: a multiple of 1/64 in
+/// roughly [-0.17, 0.17].
+fn weight(i: usize) -> f32 {
+    ((i * 7 % 23) as f32 - 11.0) / 64.0
+}
+
+/// Deterministic bias at index `j`: a multiple of 1/16.
+fn bias(j: usize) -> f32 {
+    (j as f32 - 1.5) / 8.0
+}
+
+fn gemm_weights(n_in: usize, n_out: usize, salt: usize) -> Vec<f32> {
+    (0..n_in * n_out).map(|i| weight(i + salt)).collect()
+}
+
+fn gemm_bias(n_out: usize, salt: usize) -> Vec<f32> {
+    (0..n_out).map(|j| bias(j + salt)).collect()
+}
+
+/// Writes a float `TensorProto` with `raw_data` payload.
+pub fn tensor_proto(w: &mut Writer, name: &str, dims: &[usize], data: &[f32]) {
+    for &d in dims {
+        w.field_varint(1, d as u64);
+    }
+    w.field_varint(2, 1); // data_type = FLOAT
+    w.field_str(8, name);
+    let mut raw = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        raw.extend_from_slice(&v.to_le_bytes());
+    }
+    w.field_bytes(9, &raw);
+}
+
+/// Writes a `ValueInfoProto` with a static float tensor shape.
+pub fn value_info(w: &mut Writer, name: &str, dims: &[usize]) {
+    w.field_str(1, name);
+    w.field_message(2, |ty| {
+        ty.field_message(1, |tt| {
+            tt.field_varint(1, 1); // elem_type = FLOAT
+            tt.field_message(2, |shape| {
+                for &d in dims {
+                    shape.field_message(1, |dim| dim.field_varint(1, d as u64));
+                }
+            });
+        });
+    });
+}
+
+/// Writes a `NodeProto`.
+pub fn node(w: &mut Writer, op: &str, name: &str, inputs: &[&str], outputs: &[&str]) {
+    for i in inputs {
+        w.field_str(1, i);
+    }
+    for o in outputs {
+        w.field_str(2, o);
+    }
+    w.field_str(3, name);
+    w.field_str(4, op);
+}
+
+/// The checked-in fixture: `x [1,8] -> Gemm(W [8,4], C [4]) -> Relu -> y`.
+pub fn gemm_relu_bytes() -> Vec<u8> {
+    let mut model = Writer::new();
+    model.field_varint(1, 8); // ir_version
+    model.field_message(7, |graph| {
+        graph.field_str(2, "gemm_relu");
+        graph.field_message(1, |n| {
+            node(n, "Gemm", "dense", &["x", "W", "C"], &["h"]);
+        });
+        graph.field_message(1, |n| {
+            node(n, "Relu", "act", &["h"], &["y"]);
+        });
+        graph.field_message(5, |t| {
+            tensor_proto(
+                t,
+                "W",
+                &[GEMM_IN, GEMM_OUT],
+                &gemm_weights(GEMM_IN, GEMM_OUT, 0),
+            );
+        });
+        graph.field_message(5, |t| {
+            tensor_proto(t, "C", &[GEMM_OUT], &gemm_bias(GEMM_OUT, 0));
+        });
+        graph.field_message(11, |v| value_info(v, "x", &[1, GEMM_IN]));
+        graph.field_message(12, |v| value_info(v, "y", &[1, GEMM_OUT]));
+    });
+    model.into_bytes()
+}
+
+/// The hand-built twin of [`gemm_relu_bytes`]: same weights, same bias,
+/// Relu fused — ingested and hand-built networks must agree bit for bit.
+///
+/// # Panics
+///
+/// Never — the fixture dimensions are static and valid.
+pub fn gemm_relu_network() -> Network {
+    let weights = Tensor::from_vec(
+        Shape::d2(GEMM_IN, GEMM_OUT),
+        gemm_weights(GEMM_IN, GEMM_OUT, 0),
+    )
+    .expect("static fixture shape");
+    let bias = Tensor::from_vec(Shape::d1(GEMM_OUT), gemm_bias(GEMM_OUT, 0))
+        .expect("static fixture shape");
+    let fc = FullyConnected::new(weights, bias, Activation::Relu).expect("static fixture shape");
+    NetworkBuilder::with_input_shape("gemm_relu", Shape::d1(GEMM_IN))
+        .push_layer(Layer::FullyConnected(fc))
+        .build()
+        .expect("static fixture network")
+}
+
+/// An in-memory model with an op the engine cannot reuse:
+/// `x [1,8] -> Gemm(8->4) -> Softmax -> Gemm(4->3) -> y`. The Softmax must
+/// lower to a recompute-always passthrough slot.
+pub fn unsupported_softmax_bytes() -> Vec<u8> {
+    let mut model = Writer::new();
+    model.field_varint(1, 8);
+    model.field_message(7, |graph| {
+        graph.field_str(2, "gemm_softmax_gemm");
+        graph.field_message(1, |n| {
+            node(n, "Gemm", "dense0", &["x", "W0", "C0"], &["h0"]);
+        });
+        graph.field_message(1, |n| {
+            node(n, "Softmax", "probs", &["h0"], &["h1"]);
+        });
+        graph.field_message(1, |n| {
+            node(n, "Gemm", "dense1", &["h1", "W1", "C1"], &["y"]);
+        });
+        graph.field_message(5, |t| {
+            tensor_proto(t, "W0", &[8, 4], &gemm_weights(8, 4, 0));
+        });
+        graph.field_message(5, |t| tensor_proto(t, "C0", &[4], &gemm_bias(4, 0)));
+        graph.field_message(5, |t| {
+            tensor_proto(t, "W1", &[4, 3], &gemm_weights(4, 3, 5));
+        });
+        graph.field_message(5, |t| tensor_proto(t, "C1", &[3], &gemm_bias(3, 2)));
+        graph.field_message(11, |v| value_info(v, "x", &[1, 8]));
+        graph.field_message(12, |v| value_info(v, "y", &[1, 3]));
+    });
+    model.into_bytes()
+}

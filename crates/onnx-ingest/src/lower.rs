@@ -1,0 +1,854 @@
+//! Lowers a parsed ONNX graph into a [`reuse_nn::Network`].
+//!
+//! The reuse engine executes sequential frame-streamed models, so lowering
+//! requires the graph to be a single chain: exactly one non-initializer
+//! input, and each node consuming the previous node's output (other inputs
+//! must be initializers). Supported ops map onto native layers:
+//!
+//! | ONNX                        | lowered to                               |
+//! |-----------------------------|------------------------------------------|
+//! | `Gemm` (transA=0)           | `FullyConnected`                         |
+//! | `MatMul` (+ fused `Add`)    | `FullyConnected`                         |
+//! | `Conv` 2D (group=1)         | `Conv2dLayer`                            |
+//! | `LSTM` fwd / bidirectional  | `LstmCell` / `BiLstmLayer`               |
+//! | `Relu`/`Sigmoid`/`Tanh`     | fused into the producer, else passthrough|
+//! | `Flatten`/`Reshape`/…       | `Layer::Flatten`                         |
+//! | `Identity`/`Dropout`        | dropped                                  |
+//!
+//! Executable-but-not-reusable ops (`MaxPool`, `AveragePool`,
+//! `GlobalAveragePool`, `Softmax`, unfusable activations) become
+//! recompute-always [`PassthroughLayer`]s — full MACs charged, zero reuse
+//! recorded. Anything else is [`IngestError::UnsupportedOp`].
+
+use crate::proto::{GraphProto, ModelProto, NodeProto, TensorInit};
+use crate::IngestError;
+use reuse_nn::lstm::NUM_GATES;
+use reuse_nn::{
+    Activation, BiLstmLayer, Conv2dLayer, FullyConnected, Layer, LstmCell, Network, NetworkBuilder,
+    PassthroughLayer, PassthroughOp, PoolSpec2d,
+};
+use reuse_tensor::conv::Conv2dSpec;
+use reuse_tensor::{Shape, Tensor};
+
+/// The result of lowering: a runnable network plus an account of what did
+/// not lower natively.
+#[derive(Debug)]
+pub struct LoweredModel {
+    /// The lowered network.
+    pub network: Network,
+    /// `(layer_name, onnx_op)` for every recompute-always passthrough slot.
+    pub fallbacks: Vec<(String, String)>,
+    /// Display names of nodes dropped as no-ops (`Identity`, `Dropout`).
+    pub skipped: Vec<String>,
+}
+
+/// Lowers a parsed model.
+///
+/// # Errors
+///
+/// Returns [`IngestError::NotSequential`] for branching graphs,
+/// [`IngestError::UnsupportedOp`] for ops that cannot be executed,
+/// [`IngestError::Shape`]/[`IngestError::MissingField`] for inconsistent
+/// metadata, and [`IngestError::Nn`] when layer construction rejects the
+/// decoded weights.
+pub fn lower(model: &ModelProto) -> Result<LoweredModel, IngestError> {
+    Lowering::new(&model.graph)?.run()
+}
+
+struct Lowering<'a> {
+    graph: &'a GraphProto,
+    /// Accepted names for the current tensor (LSTM exposes both Y and Y_h).
+    cur_names: Vec<String>,
+    cur_shape: Shape,
+    layers: Vec<Layer>,
+    /// `(layer_index, onnx_op)`; resolved to builder names after `build()`.
+    fallback_slots: Vec<(usize, String)>,
+    skipped: Vec<String>,
+}
+
+impl<'a> Lowering<'a> {
+    fn new(graph: &'a GraphProto) -> Result<Self, IngestError> {
+        let data_input = graph_data_input(graph)?;
+        let cur_shape = infer_input_shape(graph, &data_input)?;
+        Ok(Lowering {
+            graph,
+            cur_names: vec![data_input],
+            cur_shape,
+            layers: Vec::new(),
+            fallback_slots: Vec::new(),
+            skipped: Vec::new(),
+        })
+    }
+
+    fn run(mut self) -> Result<LoweredModel, IngestError> {
+        let nodes = &self.graph.nodes;
+        let mut i = 0;
+        while i < nodes.len() {
+            let node = &nodes[i];
+            self.check_chain(node)?;
+            let consumed = self.lower_node(node, nodes.get(i + 1))?;
+            i += consumed;
+        }
+        // The chain must end on a declared graph output (when any are
+        // declared — some hand-built graphs omit them).
+        if !self.graph.outputs.is_empty()
+            && !self
+                .graph
+                .outputs
+                .iter()
+                .any(|o| self.cur_names.contains(&o.name))
+        {
+            return Err(IngestError::NotSequential {
+                context: format!(
+                    "chain ends at {:?} but graph outputs are {:?}",
+                    self.cur_names,
+                    self.graph
+                        .outputs
+                        .iter()
+                        .map(|o| &o.name)
+                        .collect::<Vec<_>>()
+                ),
+            });
+        }
+
+        let name = if self.graph.name.is_empty() {
+            "onnx".to_string()
+        } else {
+            self.graph.name.clone()
+        };
+        let mut builder = NetworkBuilder::with_input_shape(
+            &name,
+            infer_input_shape(self.graph, &graph_data_input(self.graph)?)?,
+        );
+        for layer in self.layers {
+            builder = builder.push_layer(layer);
+        }
+        let network = builder.build()?;
+        let fallbacks = self
+            .fallback_slots
+            .into_iter()
+            .map(|(idx, op)| (network.layers()[idx].0.clone(), op))
+            .collect();
+        Ok(LoweredModel {
+            network,
+            fallbacks,
+            skipped: self.skipped,
+        })
+    }
+
+    /// Verifies the node consumes the current tensor and that every other
+    /// input is an initializer (or an omitted optional, "").
+    fn check_chain(&self, node: &NodeProto) -> Result<(), IngestError> {
+        let Some(first) = node.inputs.first() else {
+            return Err(IngestError::NotSequential {
+                context: format!("node {:?} has no inputs", node.display_name()),
+            });
+        };
+        if !self.cur_names.contains(first) {
+            return Err(IngestError::NotSequential {
+                context: format!(
+                    "node {:?} consumes {first:?} but the chain is at {:?}",
+                    node.display_name(),
+                    self.cur_names
+                ),
+            });
+        }
+        for extra in &node.inputs[1..] {
+            if !extra.is_empty() && self.graph.initializer(extra).is_none() {
+                return Err(IngestError::NotSequential {
+                    context: format!(
+                        "node {:?} input {extra:?} is neither the chain nor an initializer",
+                        node.display_name()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers one node (possibly consuming a following fused node).
+    /// Returns how many nodes were consumed.
+    fn lower_node(
+        &mut self,
+        node: &NodeProto,
+        next: Option<&NodeProto>,
+    ) -> Result<usize, IngestError> {
+        match node.op_type.as_str() {
+            "Gemm" => {
+                let layer = self.lower_gemm(node)?;
+                self.push(node, layer)?;
+                Ok(1)
+            }
+            "MatMul" => self.lower_matmul(node, next),
+            "Conv" => {
+                let layer = self.lower_conv(node)?;
+                self.push(node, layer)?;
+                Ok(1)
+            }
+            "LSTM" => {
+                let layer = self.lower_lstm(node)?;
+                self.layers.push(layer);
+                let idx = self.layers.len() - 1;
+                self.cur_shape = self.layers[idx]
+                    .output_shape(&self.cur_shape)
+                    .map_err(IngestError::Nn)?;
+                // Downstream nodes may read the full sequence Y or the last
+                // hidden state Y_h; frame-wise execution makes them the
+                // same stream, so accept either name.
+                self.cur_names = node
+                    .outputs
+                    .iter()
+                    .filter(|o| !o.is_empty())
+                    .cloned()
+                    .collect();
+                if self.cur_names.is_empty() {
+                    return Err(IngestError::NotSequential {
+                        context: format!("LSTM {:?} has no outputs", node.display_name()),
+                    });
+                }
+                Ok(1)
+            }
+            "Relu" | "Sigmoid" | "Tanh" => {
+                let act = match node.op_type.as_str() {
+                    "Relu" => Activation::Relu,
+                    "Sigmoid" => Activation::Sigmoid,
+                    _ => Activation::Tanh,
+                };
+                if self.fuse_activation(act) {
+                    self.rename(node)?;
+                } else {
+                    self.push_fallback(node, PassthroughOp::Elementwise(act))?;
+                }
+                Ok(1)
+            }
+            "Flatten" | "Reshape" | "Squeeze" | "Unsqueeze" => {
+                // All four are volume-preserving; the engine streams flat
+                // frames, so they lower to a plain flatten.
+                self.push(node, Layer::Flatten)?;
+                Ok(1)
+            }
+            "Identity" | "Dropout" => {
+                self.skipped.push(node.display_name());
+                self.rename(node)?;
+                Ok(1)
+            }
+            "Softmax" => {
+                self.push_fallback(node, PassthroughOp::Softmax)?;
+                Ok(1)
+            }
+            "GlobalAveragePool" => {
+                self.push_fallback(node, PassthroughOp::GlobalAveragePool)?;
+                Ok(1)
+            }
+            "MaxPool" => {
+                let spec = pool_spec(node)?;
+                self.push_fallback(node, PassthroughOp::MaxPool2d(spec))?;
+                Ok(1)
+            }
+            "AveragePool" => {
+                if node.attr_i("count_include_pad", 0) != 0 {
+                    return Err(unsupported(node, "count_include_pad=1 is not implemented"));
+                }
+                let spec = pool_spec(node)?;
+                self.push_fallback(node, PassthroughOp::AveragePool2d(spec))?;
+                Ok(1)
+            }
+            other => Err(IngestError::UnsupportedOp {
+                node: node.display_name(),
+                op: other.to_string(),
+                why: "no native lowering and no correct passthrough execution".into(),
+            }),
+        }
+    }
+
+    /// Pushes a native layer and advances the chain to the node's output.
+    fn push(&mut self, node: &NodeProto, layer: Layer) -> Result<(), IngestError> {
+        self.cur_shape = layer
+            .output_shape(&self.cur_shape)
+            .map_err(IngestError::Nn)?;
+        self.layers.push(layer);
+        self.rename(node)
+    }
+
+    /// Pushes a passthrough fallback layer and records it.
+    fn push_fallback(&mut self, node: &NodeProto, op: PassthroughOp) -> Result<(), IngestError> {
+        let layer = Layer::Passthrough(PassthroughLayer::new(op));
+        self.cur_shape = layer
+            .output_shape(&self.cur_shape)
+            .map_err(IngestError::Nn)?;
+        self.layers.push(layer);
+        self.fallback_slots
+            .push((self.layers.len() - 1, node.op_type.clone()));
+        self.rename(node)
+    }
+
+    /// Advances the chain name to the node's (single) output.
+    fn rename(&mut self, node: &NodeProto) -> Result<(), IngestError> {
+        let Some(out) = node.outputs.first().filter(|o| !o.is_empty()) else {
+            return Err(IngestError::NotSequential {
+                context: format!("node {:?} has no output", node.display_name()),
+            });
+        };
+        self.cur_names = vec![out.clone()];
+        Ok(())
+    }
+
+    /// Rebuilds the previous FC/Conv2d layer with `act` when its activation
+    /// is still `Identity`. Returns false when nothing can absorb it.
+    fn fuse_activation(&mut self, act: Activation) -> bool {
+        match self.layers.last() {
+            Some(Layer::FullyConnected(fc)) if fc.activation() == Activation::Identity => {
+                let fused = FullyConnected::new(fc.weights().clone(), fc.bias().clone(), act)
+                    .expect("rebuilding with identical shapes");
+                *self.layers.last_mut().expect("just matched") = Layer::FullyConnected(fused);
+                true
+            }
+            Some(Layer::Conv2d(conv)) if conv.activation() == Activation::Identity => {
+                let fused = Conv2dLayer::new(
+                    *conv.spec(),
+                    conv.weights().clone(),
+                    conv.bias().clone(),
+                    act,
+                )
+                .expect("rebuilding with identical shapes");
+                *self.layers.last_mut().expect("just matched") = Layer::Conv2d(fused);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn initializer(
+        &self,
+        node: &NodeProto,
+        input_idx: usize,
+    ) -> Result<&'a TensorInit, IngestError> {
+        let name = node
+            .inputs
+            .get(input_idx)
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| IngestError::MissingField {
+                context: format!("node {:?} input #{input_idx}", node.display_name()),
+            })?;
+        self.graph
+            .initializer(name)
+            .ok_or_else(|| IngestError::MissingField {
+                context: format!("initializer {name:?} for node {:?}", node.display_name()),
+            })
+    }
+
+    fn lower_gemm(&self, node: &NodeProto) -> Result<Layer, IngestError> {
+        if node.attr_i("transA", 0) != 0 {
+            return Err(unsupported(node, "transA=1 (transposed data input)"));
+        }
+        let alpha = node.attr_f("alpha", 1.0);
+        let beta = node.attr_f("beta", 1.0);
+        let b = self.initializer(node, 1)?;
+        let (k, n, weights) = if node.attr_i("transB", 0) == 0 {
+            let [k, n] = dims2(b, node)?;
+            (k, n, b.floats()?.to_vec())
+        } else {
+            let [n, k] = dims2(b, node)?;
+            (k, n, transpose(b.floats()?, n, k))
+        };
+        let mut weights = weights;
+        if alpha != 1.0 {
+            for w in &mut weights {
+                *w *= alpha;
+            }
+        }
+        let bias = match node.inputs.get(2).filter(|c| !c.is_empty()) {
+            Some(_) => {
+                let c = self.initializer(node, 2)?;
+                let vals = c.floats()?;
+                let mut bias = match vals.len() {
+                    1 => vec![vals[0]; n],
+                    l if l == n => vals.to_vec(),
+                    l => {
+                        return Err(IngestError::Shape {
+                            context: format!(
+                                "Gemm {:?} bias has {l} elements, expected {n}",
+                                node.display_name()
+                            ),
+                        })
+                    }
+                };
+                if beta != 1.0 {
+                    for v in &mut bias {
+                        *v *= beta;
+                    }
+                }
+                bias
+            }
+            None => vec![0.0; n],
+        };
+        fc_layer(node, k, n, weights, bias, Activation::Identity)
+    }
+
+    /// `MatMul`, fusing a directly-following `Add` of an initializer as the
+    /// bias. Returns how many nodes were consumed (1 or 2).
+    fn lower_matmul(
+        &mut self,
+        node: &NodeProto,
+        next: Option<&NodeProto>,
+    ) -> Result<usize, IngestError> {
+        let b = self.initializer(node, 1)?;
+        let [k, n] = dims2(b, node)?;
+        let weights = b.floats()?.to_vec();
+
+        // Fuse `MatMul -> Add(bias)` when the Add consumes this output and
+        // an initializer of the right length.
+        let fused_add = next.filter(|add| {
+            add.op_type == "Add"
+                && add.inputs.len() == 2
+                && node.outputs.first().is_some_and(|out| {
+                    let other = if add.inputs[0] == *out {
+                        Some(&add.inputs[1])
+                    } else if add.inputs[1] == *out {
+                        Some(&add.inputs[0])
+                    } else {
+                        None
+                    };
+                    other.is_some_and(|name| {
+                        self.graph
+                            .initializer(name)
+                            .is_some_and(|t| t.volume() == n)
+                    })
+                })
+        });
+        let (bias, consumed, chain_node) = match fused_add {
+            Some(add) => {
+                let out = node.outputs.first().expect("checked above");
+                let bias_name = if add.inputs[0] == *out {
+                    &add.inputs[1]
+                } else {
+                    &add.inputs[0]
+                };
+                let t = self.graph.initializer(bias_name).expect("checked above");
+                (t.floats()?.to_vec(), 2, add)
+            }
+            None => (vec![0.0; n], 1, node),
+        };
+        let layer = fc_layer(node, k, n, weights, bias, Activation::Identity)?;
+        self.push(chain_node, layer)?;
+        Ok(consumed)
+    }
+
+    fn lower_conv(&self, node: &NodeProto) -> Result<Layer, IngestError> {
+        if node.attr_i("group", 1) != 1 {
+            return Err(unsupported(node, "grouped convolution"));
+        }
+        if node.attr_ints("dilations").iter().any(|&d| d != 1) {
+            return Err(unsupported(node, "dilated convolution"));
+        }
+        if let Some(auto) = node.attr("auto_pad").and_then(|a| a.s.as_deref()) {
+            if !auto.is_empty() && auto != "NOTSET" {
+                return Err(unsupported(node, "auto_pad"));
+            }
+        }
+        let w = self.initializer(node, 1)?;
+        if w.dims.len() != 4 {
+            return Err(unsupported(node, "only 2D convolution is supported"));
+        }
+        let [m, c, kh, kw] = [
+            w.dims[0] as usize,
+            w.dims[1] as usize,
+            w.dims[2] as usize,
+            w.dims[3] as usize,
+        ];
+        let kernel = node.attr_ints("kernel_shape");
+        if !kernel.is_empty() && kernel != [kh as i64, kw as i64] {
+            return Err(IngestError::Shape {
+                context: format!(
+                    "Conv {:?} kernel_shape {kernel:?} disagrees with weights [{kh}, {kw}]",
+                    node.display_name()
+                ),
+            });
+        }
+        let stride = uniform_attr(node, "strides", 1, "anisotropic strides")?;
+        let pad = symmetric_pad(node)?;
+        if pad.0 != pad.1 {
+            return Err(unsupported(node, "different vertical/horizontal padding"));
+        }
+        let spec = Conv2dSpec {
+            in_channels: c,
+            out_channels: m,
+            kh,
+            kw,
+            stride,
+            pad: pad.0,
+        };
+        // ONNX Conv weights are [M, C, kH, kW] — exactly the native layout.
+        let weights = Tensor::from_vec(spec.weight_shape(), w.floats()?.to_vec())
+            .map_err(|e| shape_err(node, &format!("conv weights: {e}")))?;
+        let bias = match node.inputs.get(2).filter(|b| !b.is_empty()) {
+            Some(_) => {
+                let b = self.initializer(node, 2)?;
+                if b.volume() != m {
+                    return Err(shape_err(
+                        node,
+                        &format!("conv bias has {} elements, expected {m}", b.volume()),
+                    ));
+                }
+                Tensor::from_vec(Shape::d1(m), b.floats()?.to_vec())
+                    .map_err(|e| shape_err(node, &format!("conv bias: {e}")))?
+            }
+            None => Tensor::from_vec(Shape::d1(m), vec![0.0; m])
+                .map_err(|e| shape_err(node, &format!("conv bias: {e}")))?,
+        };
+        Ok(Layer::Conv2d(Conv2dLayer::new(
+            spec,
+            weights,
+            bias,
+            Activation::Identity,
+        )?))
+    }
+
+    fn lower_lstm(&self, node: &NodeProto) -> Result<Layer, IngestError> {
+        let direction = node
+            .attr("direction")
+            .and_then(|a| a.s.clone())
+            .unwrap_or_else(|| "forward".to_string());
+        let num_dirs = match direction.as_str() {
+            "forward" => 1,
+            "bidirectional" => 2,
+            other => return Err(unsupported(node, &format!("direction {other:?}"))),
+        };
+        if let Some(acts) = node.attr("activations") {
+            let default: Vec<String> = ["Sigmoid", "Tanh", "Tanh"]
+                .iter()
+                .cycle()
+                .take(3 * num_dirs)
+                .map(|s| s.to_string())
+                .collect();
+            if acts.strings != default {
+                return Err(unsupported(node, "non-default LSTM activations"));
+            }
+        }
+        // Optional inputs 4..7 (sequence_lens, initial_h, initial_c, P)
+        // must be omitted — the engine streams frames with implicit state.
+        for (idx, what) in [
+            (4, "sequence_lens"),
+            (5, "initial_h"),
+            (6, "initial_c"),
+            (7, "peepholes"),
+        ] {
+            if node.inputs.get(idx).is_some_and(|n| !n.is_empty()) {
+                return Err(unsupported(node, &format!("LSTM input {what}")));
+            }
+        }
+        let w = self.initializer(node, 1)?;
+        let r = self.initializer(node, 2)?;
+        let b = node
+            .inputs
+            .get(3)
+            .filter(|n| !n.is_empty())
+            .map(|_| self.initializer(node, 3))
+            .transpose()?;
+        let [wd0, w4h, n_in] = dims3(w, node)?;
+        let [rd0, r4h, hidden] = dims3(r, node)?;
+        if wd0 != num_dirs || rd0 != num_dirs {
+            return Err(shape_err(node, "LSTM weight direction count mismatch"));
+        }
+        if w4h != 4 * hidden || r4h != 4 * hidden {
+            return Err(shape_err(node, "LSTM gate dimension mismatch"));
+        }
+        let attr_hidden = node.attr_i("hidden_size", hidden as i64);
+        if attr_hidden != hidden as i64 {
+            return Err(shape_err(node, "hidden_size attribute disagrees with R"));
+        }
+        let mut cells = Vec::with_capacity(num_dirs);
+        for dir in 0..num_dirs {
+            cells.push(build_lstm_cell(node, w, r, b, dir, n_in, hidden)?);
+        }
+        let mut cells = cells.into_iter();
+        if num_dirs == 1 {
+            Ok(Layer::Lstm(cells.next().expect("one cell")))
+        } else {
+            let fwd = cells.next().expect("two cells");
+            let bwd = cells.next().expect("two cells");
+            Ok(Layer::BiLstm(BiLstmLayer::new(fwd, bwd)?))
+        }
+    }
+}
+
+/// The single non-initializer graph input.
+fn graph_data_input(graph: &GraphProto) -> Result<String, IngestError> {
+    let mut data: Vec<&str> = graph
+        .inputs
+        .iter()
+        .filter(|v| graph.initializer(&v.name).is_none())
+        .map(|v| v.name.as_str())
+        .collect();
+    match (data.len(), data.pop()) {
+        (1, Some(name)) => Ok(name.to_string()),
+        (0, _) => Err(IngestError::MissingField {
+            context: "graph has no non-initializer input".into(),
+        }),
+        _ => Err(IngestError::NotSequential {
+            context: format!("graph has {} data inputs, need exactly 1", data.len() + 1),
+        }),
+    }
+}
+
+/// Maps the declared ONNX input shape onto a frame shape: `[N, F]` -> `d1(F)`,
+/// `[N, C, H, W]` -> `d3(C, H, W)`, rank 3 feeding an LSTM -> `d1(last)`,
+/// rank 1 -> `d1`. Symbolic dims are only tolerated in the batch position.
+fn infer_input_shape(graph: &GraphProto, input: &str) -> Result<Shape, IngestError> {
+    let info = graph.shape_of(input).ok_or_else(|| IngestError::Shape {
+        context: format!("graph input {input:?} has no declared type"),
+    })?;
+    let fixed = |dim: Option<i64>, pos: usize| -> Result<usize, IngestError> {
+        match dim {
+            Some(d) if d > 0 => Ok(d as usize),
+            other => Err(IngestError::Shape {
+                context: format!(
+                    "graph input {input:?} dim {pos} is {other:?}, need a positive constant"
+                ),
+            }),
+        }
+    };
+    match info.dims.len() {
+        1 => Ok(Shape::d1(fixed(info.dims[0], 0)?)),
+        2 => Ok(Shape::d1(fixed(info.dims[1], 1)?)),
+        3 => {
+            // `[seq, batch, input]` feeding an LSTM: the frame is the last
+            // axis. Anything else rank-3 is ambiguous.
+            let feeds_lstm = graph
+                .nodes
+                .iter()
+                .find(|n| n.inputs.first().is_some_and(|i| i == input))
+                .is_some_and(|n| n.op_type == "LSTM");
+            if feeds_lstm {
+                Ok(Shape::d1(fixed(info.dims[2], 2)?))
+            } else {
+                Err(IngestError::Shape {
+                    context: format!("rank-3 input {input:?} only supported when feeding an LSTM"),
+                })
+            }
+        }
+        4 => Ok(Shape::d3(
+            fixed(info.dims[1], 1)?,
+            fixed(info.dims[2], 2)?,
+            fixed(info.dims[3], 3)?,
+        )),
+        r => Err(IngestError::Shape {
+            context: format!("graph input {input:?} has unsupported rank {r}"),
+        }),
+    }
+}
+
+fn unsupported(node: &NodeProto, why: &str) -> IngestError {
+    IngestError::UnsupportedOp {
+        node: node.display_name(),
+        op: node.op_type.clone(),
+        why: why.to_string(),
+    }
+}
+
+fn shape_err(node: &NodeProto, what: &str) -> IngestError {
+    IngestError::Shape {
+        context: format!("{} {:?}: {what}", node.op_type, node.display_name()),
+    }
+}
+
+fn dims2(t: &TensorInit, node: &NodeProto) -> Result<[usize; 2], IngestError> {
+    match t.dims.as_slice() {
+        [a, b] if *a > 0 && *b > 0 => Ok([*a as usize, *b as usize]),
+        dims => Err(shape_err(
+            node,
+            &format!(
+                "initializer {:?} has dims {dims:?}, expected rank 2",
+                t.name
+            ),
+        )),
+    }
+}
+
+fn dims3(t: &TensorInit, node: &NodeProto) -> Result<[usize; 3], IngestError> {
+    match t.dims.as_slice() {
+        [a, b, c] if *a > 0 && *b > 0 && *c > 0 => Ok([*a as usize, *b as usize, *c as usize]),
+        dims => Err(shape_err(
+            node,
+            &format!(
+                "initializer {:?} has dims {dims:?}, expected rank 3",
+                t.name
+            ),
+        )),
+    }
+}
+
+/// Row-major `[rows, cols]` -> `[cols, rows]`.
+fn transpose(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0; data.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = data[r * cols + c];
+        }
+    }
+    out
+}
+
+fn fc_layer(
+    node: &NodeProto,
+    k: usize,
+    n: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    act: Activation,
+) -> Result<Layer, IngestError> {
+    let weights = Tensor::from_vec(Shape::d2(k, n), weights)
+        .map_err(|e| shape_err(node, &format!("weights: {e}")))?;
+    let bias =
+        Tensor::from_vec(Shape::d1(n), bias).map_err(|e| shape_err(node, &format!("bias: {e}")))?;
+    Ok(Layer::FullyConnected(FullyConnected::new(
+        weights, bias, act,
+    )?))
+}
+
+/// An int-list attribute whose entries must all be equal (e.g. `strides`).
+fn uniform_attr(
+    node: &NodeProto,
+    name: &str,
+    default: usize,
+    why: &str,
+) -> Result<usize, IngestError> {
+    let vals = node.attr_ints(name);
+    match vals {
+        [] => Ok(default),
+        [first, rest @ ..] => {
+            if rest.iter().any(|v| v != first) || *first < 1 {
+                return Err(unsupported(node, why));
+            }
+            Ok(*first as usize)
+        }
+    }
+}
+
+/// Decodes `pads = [t, l, b, r]` requiring top==bottom and left==right.
+fn symmetric_pad(node: &NodeProto) -> Result<(usize, usize), IngestError> {
+    match node.attr_ints("pads") {
+        [] => Ok((0, 0)),
+        [t, l, b, r] => {
+            if t != b || l != r || *t < 0 || *l < 0 {
+                return Err(unsupported(node, "asymmetric padding"));
+            }
+            Ok((*t as usize, *l as usize))
+        }
+        other => Err(unsupported(
+            node,
+            &format!("pads attribute with {} entries", other.len()),
+        )),
+    }
+}
+
+/// Builds a [`PoolSpec2d`] from MaxPool/AveragePool attributes.
+fn pool_spec(node: &NodeProto) -> Result<PoolSpec2d, IngestError> {
+    if node.attr_ints("dilations").iter().any(|&d| d != 1) {
+        return Err(unsupported(node, "dilated pooling"));
+    }
+    if let Some(auto) = node.attr("auto_pad").and_then(|a| a.s.as_deref()) {
+        if !auto.is_empty() && auto != "NOTSET" {
+            return Err(unsupported(node, "auto_pad"));
+        }
+    }
+    let [kh, kw] = match node.attr_ints("kernel_shape") {
+        [kh, kw] if *kh > 0 && *kw > 0 => [*kh as usize, *kw as usize],
+        other => {
+            return Err(unsupported(
+                node,
+                &format!("kernel_shape {other:?}, need two positive entries"),
+            ))
+        }
+    };
+    let (stride_h, stride_w) = match node.attr_ints("strides") {
+        [] => (1, 1),
+        [sh, sw] if *sh > 0 && *sw > 0 => (*sh as usize, *sw as usize),
+        other => {
+            return Err(unsupported(
+                node,
+                &format!("strides {other:?}, need two positive entries"),
+            ))
+        }
+    };
+    let (pad_h, pad_w) = symmetric_pad(node)?;
+    Ok(PoolSpec2d {
+        kh,
+        kw,
+        stride_h,
+        stride_w,
+        pad_h,
+        pad_w,
+        ceil: node.attr_i("ceil_mode", 0) != 0,
+    })
+}
+
+/// Extracts one direction's gates from ONNX `W`/`R`/`B` and builds a cell.
+///
+/// ONNX packs gates in `[i, o, f, c]` chunk order; the native cell wants
+/// `[i, f, g, o]` with transposed (input-major) weight layout.
+fn build_lstm_cell(
+    node: &NodeProto,
+    w: &TensorInit,
+    r: &TensorInit,
+    b: Option<&TensorInit>,
+    dir: usize,
+    n_in: usize,
+    hidden: usize,
+) -> Result<LstmCell, IngestError> {
+    const ONNX_CHUNK_FOR_GATE: [usize; NUM_GATES] = [0, 2, 3, 1];
+    let wf = w.floats()?;
+    let rf = r.floats()?;
+    let w_dir = &wf[dir * 4 * hidden * n_in..(dir + 1) * 4 * hidden * n_in];
+    let r_dir = &rf[dir * 4 * hidden * hidden..(dir + 1) * 4 * hidden * hidden];
+    let b_dir = match b {
+        Some(t) => {
+            if t.volume() != 8 * hidden * w.dims[0] as usize {
+                return Err(shape_err(node, "LSTM bias must be [num_dirs, 8*hidden]"));
+            }
+            Some(&t.floats()?[dir * 8 * hidden..(dir + 1) * 8 * hidden])
+        }
+        None => None,
+    };
+
+    let mut w_x: Vec<Tensor> = Vec::with_capacity(NUM_GATES);
+    let mut w_h: Vec<Tensor> = Vec::with_capacity(NUM_GATES);
+    let mut bias: Vec<Tensor> = Vec::with_capacity(NUM_GATES);
+    for &chunk in &ONNX_CHUNK_FOR_GATE {
+        let wx_chunk = &w_dir[chunk * hidden * n_in..(chunk + 1) * hidden * n_in];
+        w_x.push(
+            Tensor::from_vec(Shape::d2(n_in, hidden), transpose(wx_chunk, hidden, n_in))
+                .map_err(|e| shape_err(node, &format!("LSTM W: {e}")))?,
+        );
+        let wh_chunk = &r_dir[chunk * hidden * hidden..(chunk + 1) * hidden * hidden];
+        w_h.push(
+            Tensor::from_vec(
+                Shape::d2(hidden, hidden),
+                transpose(wh_chunk, hidden, hidden),
+            )
+            .map_err(|e| shape_err(node, &format!("LSTM R: {e}")))?,
+        );
+        let gate_bias = match b_dir {
+            Some(bd) => {
+                let wb = &bd[chunk * hidden..(chunk + 1) * hidden];
+                let rb = &bd[4 * hidden + chunk * hidden..4 * hidden + (chunk + 1) * hidden];
+                wb.iter().zip(rb).map(|(a, b)| a + b).collect()
+            }
+            None => vec![0.0; hidden],
+        };
+        bias.push(
+            Tensor::from_vec(Shape::d1(hidden), gate_bias)
+                .map_err(|e| shape_err(node, &format!("LSTM B: {e}")))?,
+        );
+    }
+    let into4 = |v: Vec<Tensor>| -> [Tensor; NUM_GATES] {
+        v.try_into().expect("exactly NUM_GATES tensors")
+    };
+    Ok(LstmCell::new(
+        n_in,
+        hidden,
+        into4(w_x),
+        into4(w_h),
+        into4(bias),
+    )?)
+}

@@ -1,0 +1,422 @@
+//! ONNX message walkers over the wire reader.
+//!
+//! Field numbers follow `onnx.proto3`: `ModelProto.graph = 7`;
+//! `GraphProto` node=1/name=2/initializer=5/input=11/output=12/
+//! value_info=13; `NodeProto` input=1/output=2/name=3/op_type=4/
+//! attribute=5; `AttributeProto` name=1/f=2/i=3/s=4/floats=7/ints=8;
+//! `TensorProto` dims=1/data_type=2/float_data=4/int32_data=5/
+//! int64_data=7/name=8/raw_data=9; `ValueInfoProto` name=1/type=2 with
+//! `TypeProto.tensor_type.shape.dim.{dim_value,dim_param}`. Unknown fields
+//! are skipped, so models carrying doc strings, metadata or opset imports
+//! parse fine.
+
+use crate::wire::{Reader, WireType};
+use crate::IngestError;
+
+/// `onnx.TensorProto.DataType.FLOAT`.
+pub const DTYPE_FLOAT: i64 = 1;
+/// `onnx.TensorProto.DataType.INT32`.
+pub const DTYPE_INT32: i64 = 6;
+/// `onnx.TensorProto.DataType.INT64`.
+pub const DTYPE_INT64: i64 = 7;
+
+/// Decoded initializer payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorData {
+    /// 32-bit floats (weights, biases).
+    F32(Vec<f32>),
+    /// 64-bit ints (shape operands of `Reshape` and friends).
+    I64(Vec<i64>),
+}
+
+/// One `TensorProto` initializer.
+#[derive(Debug, Clone)]
+pub struct TensorInit {
+    /// Tensor name (graph-unique).
+    pub name: String,
+    /// Declared dimensions.
+    pub dims: Vec<i64>,
+    /// Decoded payload (raw_data or the typed repeated fields).
+    pub data: TensorData,
+}
+
+impl TensorInit {
+    /// The float payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::Shape`] for non-float initializers.
+    pub fn floats(&self) -> Result<&[f32], IngestError> {
+        match &self.data {
+            TensorData::F32(v) => Ok(v),
+            TensorData::I64(_) => Err(IngestError::Shape {
+                context: format!("initializer {:?} is int64, expected float", self.name),
+            }),
+        }
+    }
+
+    /// Element count implied by `dims`.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().map(|&d| d.max(0) as usize).product()
+    }
+}
+
+/// One attribute of a node. ONNX tags attributes with a type enum; we keep
+/// whichever payload fields were present and let the lowering pick.
+#[derive(Debug, Clone, Default)]
+pub struct Attribute {
+    /// Attribute name (`alpha`, `strides`, ...).
+    pub name: String,
+    /// `f =` payload.
+    pub f: Option<f32>,
+    /// `i =` payload.
+    pub i: Option<i64>,
+    /// `s =` payload (UTF-8 decoded).
+    pub s: Option<String>,
+    /// `floats =` payload.
+    pub floats: Vec<f32>,
+    /// `ints =` payload.
+    pub ints: Vec<i64>,
+    /// `strings =` payload (UTF-8 decoded).
+    pub strings: Vec<String>,
+}
+
+/// One graph node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeProto {
+    /// Node name (may be empty).
+    pub name: String,
+    /// Operator (`Gemm`, `Conv`, ...).
+    pub op_type: String,
+    /// Input tensor names ("" marks an omitted optional input).
+    pub inputs: Vec<String>,
+    /// Output tensor names.
+    pub outputs: Vec<String>,
+    /// Attributes.
+    pub attributes: Vec<Attribute>,
+}
+
+impl NodeProto {
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Integer attribute with a default.
+    pub fn attr_i(&self, name: &str, default: i64) -> i64 {
+        self.attr(name).and_then(|a| a.i).unwrap_or(default)
+    }
+
+    /// Float attribute with a default.
+    pub fn attr_f(&self, name: &str, default: f32) -> f32 {
+        self.attr(name).and_then(|a| a.f).unwrap_or(default)
+    }
+
+    /// Int-list attribute ([] when absent).
+    pub fn attr_ints(&self, name: &str) -> &[i64] {
+        self.attr(name).map_or(&[], |a| a.ints.as_slice())
+    }
+
+    /// A display name for diagnostics: the node name, or `op(first_output)`.
+    pub fn display_name(&self) -> String {
+        if !self.name.is_empty() {
+            return self.name.clone();
+        }
+        let out = self.outputs.first().map_or("?", String::as_str);
+        format!("{}({out})", self.op_type)
+    }
+}
+
+/// A `ValueInfoProto`: a named tensor with an optional static shape.
+#[derive(Debug, Clone, Default)]
+pub struct ValueInfo {
+    /// Tensor name.
+    pub name: String,
+    /// One entry per dimension; `None` for symbolic (`dim_param`) dims.
+    pub dims: Vec<Option<i64>>,
+}
+
+/// The flattened `GraphProto`.
+#[derive(Debug, Clone, Default)]
+pub struct GraphProto {
+    /// Graph name.
+    pub name: String,
+    /// Nodes in file order (ONNX requires topological order).
+    pub nodes: Vec<NodeProto>,
+    /// Weight/shape initializers.
+    pub initializers: Vec<TensorInit>,
+    /// Declared inputs (includes initializers in many exporters).
+    pub inputs: Vec<ValueInfo>,
+    /// Declared outputs.
+    pub outputs: Vec<ValueInfo>,
+    /// Intermediate value shapes, when the exporter ran shape inference.
+    pub value_infos: Vec<ValueInfo>,
+}
+
+impl GraphProto {
+    /// Looks up an initializer by name.
+    pub fn initializer(&self, name: &str) -> Option<&TensorInit> {
+        self.initializers.iter().find(|t| t.name == name)
+    }
+
+    /// Static shape knowledge for a tensor name, searched across inputs,
+    /// outputs and value_info.
+    pub fn shape_of(&self, name: &str) -> Option<&ValueInfo> {
+        self.inputs
+            .iter()
+            .chain(self.value_infos.iter())
+            .chain(self.outputs.iter())
+            .find(|v| v.name == name)
+    }
+}
+
+/// The top-level `ModelProto` (only the pieces lowering needs).
+#[derive(Debug, Clone, Default)]
+pub struct ModelProto {
+    /// IR version (informational).
+    pub ir_version: i64,
+    /// The graph.
+    pub graph: GraphProto,
+}
+
+/// Parses a serialized `ModelProto`.
+///
+/// # Errors
+///
+/// Returns [`IngestError::Malformed`] (with a byte offset) on wire-format
+/// violations and [`IngestError::MissingField`] when the model has no graph.
+pub fn parse_model(bytes: &[u8]) -> Result<ModelProto, IngestError> {
+    let mut model = ModelProto::default();
+    let mut has_graph = false;
+    let mut r = Reader::new(bytes);
+    while !r.eof() {
+        let (field, wt) = r.key()?;
+        match field {
+            1 if wt == WireType::Varint => model.ir_version = r.varint()? as i64,
+            7 if wt == WireType::LengthDelimited => {
+                model.graph = parse_graph(&mut r.message()?)?;
+                has_graph = true;
+            }
+            _ => r.skip(wt)?,
+        }
+    }
+    if !has_graph {
+        return Err(IngestError::MissingField {
+            context: "ModelProto.graph".into(),
+        });
+    }
+    Ok(model)
+}
+
+fn parse_graph(r: &mut Reader<'_>) -> Result<GraphProto, IngestError> {
+    let mut g = GraphProto::default();
+    while !r.eof() {
+        let (field, wt) = r.key()?;
+        match field {
+            1 if wt == WireType::LengthDelimited => g.nodes.push(parse_node(&mut r.message()?)?),
+            2 if wt == WireType::LengthDelimited => g.name = r.string()?,
+            5 if wt == WireType::LengthDelimited => {
+                g.initializers.push(parse_tensor(&mut r.message()?)?);
+            }
+            11 if wt == WireType::LengthDelimited => {
+                g.inputs.push(parse_value_info(&mut r.message()?)?);
+            }
+            12 if wt == WireType::LengthDelimited => {
+                g.outputs.push(parse_value_info(&mut r.message()?)?);
+            }
+            13 if wt == WireType::LengthDelimited => {
+                g.value_infos.push(parse_value_info(&mut r.message()?)?);
+            }
+            _ => r.skip(wt)?,
+        }
+    }
+    Ok(g)
+}
+
+fn parse_node(r: &mut Reader<'_>) -> Result<NodeProto, IngestError> {
+    let mut n = NodeProto::default();
+    while !r.eof() {
+        let (field, wt) = r.key()?;
+        match field {
+            1 if wt == WireType::LengthDelimited => n.inputs.push(r.string()?),
+            2 if wt == WireType::LengthDelimited => n.outputs.push(r.string()?),
+            3 if wt == WireType::LengthDelimited => n.name = r.string()?,
+            4 if wt == WireType::LengthDelimited => n.op_type = r.string()?,
+            5 if wt == WireType::LengthDelimited => {
+                n.attributes.push(parse_attribute(&mut r.message()?)?);
+            }
+            _ => r.skip(wt)?,
+        }
+    }
+    Ok(n)
+}
+
+fn parse_attribute(r: &mut Reader<'_>) -> Result<Attribute, IngestError> {
+    let mut a = Attribute::default();
+    while !r.eof() {
+        let (field, wt) = r.key()?;
+        match field {
+            1 if wt == WireType::LengthDelimited => a.name = r.string()?,
+            2 if wt == WireType::Fixed32 => a.f = Some(f32::from_bits(r.fixed32()?)),
+            3 if wt == WireType::Varint => a.i = Some(r.varint()? as i64),
+            4 if wt == WireType::LengthDelimited => a.s = Some(r.string()?),
+            7 => r.repeated_f32(wt, &mut a.floats)?,
+            8 => r.repeated_i64(wt, &mut a.ints)?,
+            9 if wt == WireType::LengthDelimited => a.strings.push(r.string()?),
+            _ => r.skip(wt)?,
+        }
+    }
+    Ok(a)
+}
+
+fn parse_tensor(r: &mut Reader<'_>) -> Result<TensorInit, IngestError> {
+    let start = r.offset();
+    let mut name = String::new();
+    let mut dims: Vec<i64> = Vec::new();
+    let mut data_type: i64 = 0;
+    let mut floats: Vec<f32> = Vec::new();
+    let mut i32s: Vec<i64> = Vec::new();
+    let mut i64s: Vec<i64> = Vec::new();
+    let mut raw: Option<&[u8]> = None;
+    while !r.eof() {
+        let (field, wt) = r.key()?;
+        match field {
+            1 => r.repeated_i64(wt, &mut dims)?,
+            2 if wt == WireType::Varint => data_type = r.varint()? as i64,
+            4 => r.repeated_f32(wt, &mut floats)?,
+            5 => r.repeated_i64(wt, &mut i32s)?,
+            7 => r.repeated_i64(wt, &mut i64s)?,
+            8 if wt == WireType::LengthDelimited => name = r.string()?,
+            9 if wt == WireType::LengthDelimited => raw = Some(r.bytes()?),
+            _ => r.skip(wt)?,
+        }
+    }
+    let data = match data_type {
+        DTYPE_FLOAT => {
+            if let Some(raw) = raw {
+                if !raw.len().is_multiple_of(4) {
+                    return Err(IngestError::Malformed {
+                        offset: start,
+                        what: format!("float raw_data of {} bytes in {name:?}", raw.len()),
+                    });
+                }
+                TensorData::F32(
+                    raw.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                        .collect(),
+                )
+            } else {
+                TensorData::F32(floats)
+            }
+        }
+        DTYPE_INT64 => {
+            if let Some(raw) = raw {
+                if !raw.len().is_multiple_of(8) {
+                    return Err(IngestError::Malformed {
+                        offset: start,
+                        what: format!("int64 raw_data of {} bytes in {name:?}", raw.len()),
+                    });
+                }
+                TensorData::I64(
+                    raw.chunks_exact(8)
+                        .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                        .collect(),
+                )
+            } else {
+                TensorData::I64(i64s)
+            }
+        }
+        DTYPE_INT32 => {
+            if let Some(raw) = raw {
+                if !raw.len().is_multiple_of(4) {
+                    return Err(IngestError::Malformed {
+                        offset: start,
+                        what: format!("int32 raw_data of {} bytes in {name:?}", raw.len()),
+                    });
+                }
+                TensorData::I64(
+                    raw.chunks_exact(4)
+                        .map(|c| i64::from(i32::from_le_bytes(c.try_into().expect("4 bytes"))))
+                        .collect(),
+                )
+            } else {
+                TensorData::I64(i32s)
+            }
+        }
+        other => {
+            return Err(IngestError::UnsupportedOp {
+                node: name,
+                op: format!("initializer data_type {other}"),
+                why: "only FLOAT, INT32 and INT64 initializers are supported".into(),
+            })
+        }
+    };
+    let t = TensorInit { name, dims, data };
+    let len = match &t.data {
+        TensorData::F32(v) => v.len(),
+        TensorData::I64(v) => v.len(),
+    };
+    if len != t.volume() {
+        return Err(IngestError::Shape {
+            context: format!(
+                "initializer {:?} declares dims {:?} ({} elements) but carries {len}",
+                t.name,
+                t.dims,
+                t.volume()
+            ),
+        });
+    }
+    Ok(t)
+}
+
+fn parse_value_info(r: &mut Reader<'_>) -> Result<ValueInfo, IngestError> {
+    let mut v = ValueInfo::default();
+    while !r.eof() {
+        let (field, wt) = r.key()?;
+        match field {
+            1 if wt == WireType::LengthDelimited => v.name = r.string()?,
+            // TypeProto -> tensor_type (1) -> shape (2) -> dim (1).
+            2 if wt == WireType::LengthDelimited => {
+                let mut ty = r.message()?;
+                while !ty.eof() {
+                    let (f2, wt2) = ty.key()?;
+                    if f2 == 1 && wt2 == WireType::LengthDelimited {
+                        let mut tt = ty.message()?;
+                        while !tt.eof() {
+                            let (f3, wt3) = tt.key()?;
+                            if f3 == 2 && wt3 == WireType::LengthDelimited {
+                                let mut shape = tt.message()?;
+                                while !shape.eof() {
+                                    let (f4, wt4) = shape.key()?;
+                                    if f4 == 1 && wt4 == WireType::LengthDelimited {
+                                        v.dims.push(parse_dim(&mut shape.message()?)?);
+                                    } else {
+                                        shape.skip(wt4)?;
+                                    }
+                                }
+                            } else {
+                                tt.skip(wt3)?;
+                            }
+                        }
+                    } else {
+                        ty.skip(wt2)?;
+                    }
+                }
+            }
+            _ => r.skip(wt)?,
+        }
+    }
+    Ok(v)
+}
+
+fn parse_dim(r: &mut Reader<'_>) -> Result<Option<i64>, IngestError> {
+    let mut value = None;
+    while !r.eof() {
+        let (field, wt) = r.key()?;
+        match field {
+            1 if wt == WireType::Varint => value = Some(r.varint()? as i64),
+            _ => r.skip(wt)?,
+        }
+    }
+    Ok(value)
+}

@@ -1,0 +1,378 @@
+//! Protobuf wire-format primitives: a varint/length-delimited field reader
+//! and the tiny writer the test fixtures are generated with.
+//!
+//! ONNX models are protobuf messages, but the reader here knows nothing
+//! about ONNX — it walks the three wire types the format actually uses
+//! (varint, 64/32-bit fixed, length-delimited) and leaves field semantics
+//! to [`crate::proto`]. No protobuf dependency, no code generation.
+
+use crate::IngestError;
+
+/// Wire type of a field key (low 3 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireType {
+    /// Base-128 varint.
+    Varint,
+    /// 8-byte little-endian.
+    Fixed64,
+    /// Length-prefixed bytes (strings, sub-messages, packed repeats).
+    LengthDelimited,
+    /// 4-byte little-endian.
+    Fixed32,
+}
+
+impl WireType {
+    fn from_bits(bits: u64, offset: usize) -> Result<Self, IngestError> {
+        match bits {
+            0 => Ok(WireType::Varint),
+            1 => Ok(WireType::Fixed64),
+            2 => Ok(WireType::LengthDelimited),
+            5 => Ok(WireType::Fixed32),
+            other => Err(IngestError::Malformed {
+                offset,
+                what: format!("wire type {other}"),
+            }),
+        }
+    }
+}
+
+/// Cursor over one protobuf message body.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Byte offset of `buf[0]` in the whole file, so nested readers report
+    /// absolute error positions.
+    base: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reader over a whole message (offsets reported from 0).
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            base: 0,
+        }
+    }
+
+    fn at(buf: &'a [u8], base: usize) -> Self {
+        Reader { buf, pos: 0, base }
+    }
+
+    /// Absolute byte offset of the cursor.
+    pub fn offset(&self) -> usize {
+        self.base + self.pos
+    }
+
+    /// Whether the message body is exhausted.
+    pub fn eof(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn truncated(&self, what: &str) -> IngestError {
+        IngestError::Malformed {
+            offset: self.offset(),
+            what: format!("truncated {what}"),
+        }
+    }
+
+    /// Reads one base-128 varint.
+    pub fn varint(&mut self) -> Result<u64, IngestError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let Some(&b) = self.buf.get(self.pos) else {
+                return Err(self.truncated("varint"));
+            };
+            self.pos += 1;
+            if shift == 63 && b > 1 {
+                return Err(IngestError::Malformed {
+                    offset: self.offset() - 1,
+                    what: "varint overflows 64 bits".into(),
+                });
+            }
+            value |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(IngestError::Malformed {
+                    offset: self.offset(),
+                    what: "varint longer than 10 bytes".into(),
+                });
+            }
+        }
+    }
+
+    /// Reads a field key, returning `(field_number, wire_type)`.
+    pub fn key(&mut self) -> Result<(u64, WireType), IngestError> {
+        let at = self.offset();
+        let key = self.varint()?;
+        let field = key >> 3;
+        if field == 0 {
+            return Err(IngestError::Malformed {
+                offset: at,
+                what: "field number 0".into(),
+            });
+        }
+        Ok((field, WireType::from_bits(key & 0x7, at)?))
+    }
+
+    /// Reads a length-delimited payload and returns a nested reader over it
+    /// (absolute offsets preserved).
+    pub fn message(&mut self) -> Result<Reader<'a>, IngestError> {
+        let bytes = self.bytes()?;
+        // `bytes()` advanced past the length prefix; the payload started
+        // wherever the cursor is now minus the payload length.
+        let start = self.base + self.pos - bytes.len();
+        Ok(Reader::at(bytes, start))
+    }
+
+    /// Reads a length-delimited payload as raw bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], IngestError> {
+        let len = self.varint()? as usize;
+        let Some(slice) = self.buf.get(self.pos..self.pos + len) else {
+            return Err(self.truncated("length-delimited field"));
+        };
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads a length-delimited payload as UTF-8 (lossy for safety — ONNX
+    /// names are metadata, not data).
+    pub fn string(&mut self) -> Result<String, IngestError> {
+        Ok(String::from_utf8_lossy(self.bytes()?).into_owned())
+    }
+
+    /// Reads a 4-byte little-endian value.
+    pub fn fixed32(&mut self) -> Result<u32, IngestError> {
+        let Some(slice) = self.buf.get(self.pos..self.pos + 4) else {
+            return Err(self.truncated("fixed32"));
+        };
+        self.pos += 4;
+        Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
+    }
+
+    /// Reads an 8-byte little-endian value.
+    pub fn fixed64(&mut self) -> Result<u64, IngestError> {
+        let Some(slice) = self.buf.get(self.pos..self.pos + 8) else {
+            return Err(self.truncated("fixed64"));
+        };
+        self.pos += 8;
+        Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+    }
+
+    /// Skips one field of the given wire type.
+    pub fn skip(&mut self, wt: WireType) -> Result<(), IngestError> {
+        match wt {
+            WireType::Varint => {
+                self.varint()?;
+            }
+            WireType::Fixed64 => {
+                self.fixed64()?;
+            }
+            WireType::LengthDelimited => {
+                self.bytes()?;
+            }
+            WireType::Fixed32 => {
+                self.fixed32()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects a repeated int64 field: packed (length-delimited varint
+    /// run) or a single unpacked varint, per the protobuf spec.
+    pub fn repeated_i64(&mut self, wt: WireType, out: &mut Vec<i64>) -> Result<(), IngestError> {
+        match wt {
+            WireType::Varint => out.push(self.varint()? as i64),
+            WireType::LengthDelimited => {
+                let mut packed = self.message()?;
+                while !packed.eof() {
+                    out.push(packed.varint()? as i64);
+                }
+            }
+            other => {
+                return Err(IngestError::Malformed {
+                    offset: self.offset(),
+                    what: format!("int64 field with wire type {other:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects a repeated float field: packed fixed32 run or a single
+    /// unpacked fixed32.
+    pub fn repeated_f32(&mut self, wt: WireType, out: &mut Vec<f32>) -> Result<(), IngestError> {
+        match wt {
+            WireType::Fixed32 => out.push(f32::from_bits(self.fixed32()?)),
+            WireType::LengthDelimited => {
+                let mut packed = self.message()?;
+                while !packed.eof() {
+                    out.push(f32::from_bits(packed.fixed32()?));
+                }
+            }
+            other => {
+                return Err(IngestError::Malformed {
+                    offset: self.offset(),
+                    what: format!("float field with wire type {other:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Minimal protobuf writer — just enough to emit the ONNX test fixtures.
+/// Field semantics stay at the call site; this only knows wire framing.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(b);
+                return;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+
+    fn key(&mut self, field: u64, wt: u8) {
+        self.varint(field << 3 | u64::from(wt));
+    }
+
+    /// Emits a varint field.
+    pub fn field_varint(&mut self, field: u64, v: u64) {
+        self.key(field, 0);
+        self.varint(v);
+    }
+
+    /// Emits a fixed32 field from float bits.
+    pub fn field_f32(&mut self, field: u64, v: f32) {
+        self.key(field, 5);
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Emits a length-delimited field from raw bytes.
+    pub fn field_bytes(&mut self, field: u64, data: &[u8]) {
+        self.key(field, 2);
+        self.varint(data.len() as u64);
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Emits a string field.
+    pub fn field_str(&mut self, field: u64, s: &str) {
+        self.field_bytes(field, s.as_bytes());
+    }
+
+    /// Emits a nested message built by `f`.
+    pub fn field_message(&mut self, field: u64, f: impl FnOnce(&mut Writer)) {
+        let mut nested = Writer::new();
+        f(&mut nested);
+        self.field_bytes(field, &nested.buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut w = Writer::new();
+            w.varint(v);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.eof());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error_with_offset() {
+        let mut r = Reader::new(&[0x80, 0x80]);
+        let err = r.varint().unwrap_err();
+        assert!(
+            matches!(err, IngestError::Malformed { offset: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_varint_rejected() {
+        let bytes = [0xff; 11];
+        let mut r = Reader::new(&bytes);
+        assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn field_walk_skips_unknown() {
+        let mut w = Writer::new();
+        w.field_varint(1, 42);
+        w.field_str(2, "hello");
+        w.field_f32(3, 1.5);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut seen = Vec::new();
+        while !r.eof() {
+            let (field, wt) = r.key().unwrap();
+            if field == 2 {
+                seen.push(r.string().unwrap());
+            } else {
+                r.skip(wt).unwrap();
+            }
+        }
+        assert_eq!(seen, ["hello"]);
+    }
+
+    #[test]
+    fn nested_message_offsets_are_absolute() {
+        let mut w = Writer::new();
+        w.field_message(7, |g| g.field_varint(1, 5));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let (field, _) = r.key().unwrap();
+        assert_eq!(field, 7);
+        let nested = r.message().unwrap();
+        assert!(nested.offset() >= 2, "payload offset counts outer framing");
+    }
+
+    #[test]
+    fn packed_and_unpacked_i64() {
+        // Packed: field 1 length-delimited [1, 300]; unpacked: field 1 varint 7.
+        let mut w = Writer::new();
+        w.field_message(1, |p| {
+            p.varint(1);
+            p.varint(300);
+        });
+        w.field_varint(1, 7);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut vals = Vec::new();
+        while !r.eof() {
+            let (_, wt) = r.key().unwrap();
+            r.repeated_i64(wt, &mut vals).unwrap();
+        }
+        assert_eq!(vals, [1, 300, 7]);
+    }
+}

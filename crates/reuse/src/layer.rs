@@ -44,8 +44,9 @@ pub struct StepCtx<'a> {
     pub layer: &'a Layer,
     /// Packed/blocked weights shared by every session of the model.
     pub weights: &'a CompiledWeights,
-    /// Quantizer for the layer's feed-forward inputs.
-    pub quantizer_x: &'a LinearQuantizer,
+    /// Quantizer for the layer's feed-forward inputs. `None` only for
+    /// passthrough slots, which recompute without quantizing.
+    pub quantizer_x: Option<&'a LinearQuantizer>,
     /// Quantizer for the recurrent inputs (LSTM/BiLSTM only).
     pub quantizer_h: Option<&'a LinearQuantizer>,
 }
@@ -130,6 +131,21 @@ fn wrong_layer(expected: &'static str) -> ReuseError {
     ReuseError::WrongApi {
         context: format!("reuse state dispatched against a non-{expected} layer"),
     }
+}
+
+/// The input quantizer, which every reuse-correcting (non-passthrough)
+/// state requires.
+fn require_qx<'a>(ctx: &StepCtx<'a>) -> Result<&'a LinearQuantizer, ReuseError> {
+    ctx.quantizer_x.ok_or_else(|| ReuseError::WrongApi {
+        context: "reuse correction stepped without an input quantizer".into(),
+    })
+}
+
+/// Infallible variant for `adopt_baseline`, whose signature cannot error:
+/// the watchdog only re-baselines quantizing slots.
+fn expect_qx<'a>(ctx: &StepCtx<'a>) -> &'a LinearQuantizer {
+    ctx.quantizer_x
+        .expect("frame-wise reuse layers carry an input quantizer")
 }
 
 /// One reuse-enabled layer's per-stream state behind a uniform interface.
@@ -251,12 +267,12 @@ impl ReuseLayer for FcReuseState {
             return Err(wrong_layer("fully-connected"));
         };
         Ok(self
-            .execute_into(ctx.parallel, fc, ctx.quantizer_x, input, out)?
+            .execute_into(ctx.parallel, fc, require_qx(ctx)?, input, out)?
             .into())
     }
 
     fn adopt_baseline(&mut self, ctx: &StepCtx<'_>, input: &[f32], linear: &[f32]) {
-        FcReuseState::adopt_baseline(self, ctx.quantizer_x, input, linear);
+        FcReuseState::adopt_baseline(self, expect_qx(ctx), input, linear);
     }
 
     fn buffered_linear(&self) -> &[f32] {
@@ -294,12 +310,12 @@ impl ReuseLayer for Conv2dReuseState {
             return Err(wrong_layer("conv2d"));
         };
         Ok(self
-            .execute_into_packed(ctx.parallel, c, pack, ctx.quantizer_x, input, out)?
+            .execute_into_packed(ctx.parallel, c, pack, require_qx(ctx)?, input, out)?
             .into())
     }
 
     fn adopt_baseline(&mut self, ctx: &StepCtx<'_>, input: &[f32], linear: &[f32]) {
-        Conv2dReuseState::adopt_baseline(self, ctx.quantizer_x, input, linear);
+        Conv2dReuseState::adopt_baseline(self, expect_qx(ctx), input, linear);
     }
 
     fn buffered_linear(&self) -> &[f32] {
@@ -334,12 +350,12 @@ impl ReuseLayer for Conv3dReuseState {
             return Err(wrong_layer("conv3d"));
         };
         Ok(self
-            .execute_into_packed(ctx.parallel, c, pack, ctx.quantizer_x, input, out)?
+            .execute_into_packed(ctx.parallel, c, pack, require_qx(ctx)?, input, out)?
             .into())
     }
 
     fn adopt_baseline(&mut self, ctx: &StepCtx<'_>, input: &[f32], linear: &[f32]) {
-        Conv3dReuseState::adopt_baseline(self, ctx.quantizer_x, input, linear);
+        Conv3dReuseState::adopt_baseline(self, expect_qx(ctx), input, linear);
     }
 
     fn buffered_linear(&self) -> &[f32] {
@@ -381,7 +397,7 @@ impl ReuseLayer for LstmReuseState {
             context: "lstm step without a hidden-state quantizer".into(),
         })?;
         Ok(self
-            .step_into_packed(ctx.parallel, cell, pack, ctx.quantizer_x, qh, input, out)?
+            .step_into_packed(ctx.parallel, cell, pack, require_qx(ctx)?, qh, input, out)?
             .into())
     }
 
@@ -466,6 +482,7 @@ impl ReuseLayer for BiLstmReuseState {
         let qh = ctx.quantizer_h.ok_or_else(|| ReuseError::WrongApi {
             context: "bilstm step without a hidden-state quantizer".into(),
         })?;
+        let qx = require_qx(ctx)?;
         let d = layer.cell_dim();
         let n = xs.len();
         out.clear();
@@ -480,7 +497,7 @@ impl ReuseLayer for BiLstmReuseState {
                 ctx.parallel,
                 layer.forward_cell(),
                 fwd,
-                ctx.quantizer_x,
+                qx,
                 qh,
                 x,
                 &mut h,
@@ -497,7 +514,7 @@ impl ReuseLayer for BiLstmReuseState {
                 ctx.parallel,
                 layer.backward_cell(),
                 bwd,
-                ctx.quantizer_x,
+                qx,
                 qh,
                 x,
                 &mut h,
@@ -541,6 +558,69 @@ impl ReuseLayer for BiLstmReuseState {
     }
 }
 
+/// Per-stream "state" for a recompute-always passthrough slot. There is no
+/// buffered baseline: every `correct` runs the op from scratch and charges
+/// its full MAC-equivalent cost, with every input counted as changed —
+/// honest accounting for ingested ops the reuse scheme cannot correct
+/// incrementally. `is_initialized` stays `true` so the cross-stream
+/// signature cache never attempts an adoption, and `from_scratch` stays
+/// `false` so every execution lands in metrics and telemetry as a fully
+/// recomputed incremental step.
+#[derive(Debug)]
+pub struct PassthroughReuseState {
+    in_shape: reuse_tensor::Shape,
+    /// MAC-equivalents of one from-scratch execution, precomputed.
+    macs: u64,
+}
+
+impl PassthroughReuseState {
+    fn new(layer: &Layer, in_shape: &reuse_tensor::Shape) -> Self {
+        PassthroughReuseState {
+            in_shape: in_shape.clone(),
+            macs: layer.flops(in_shape) / 2,
+        }
+    }
+}
+
+impl ReuseLayer for PassthroughReuseState {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Passthrough
+    }
+
+    fn correct(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<ExecStats, ReuseError> {
+        let Layer::Passthrough(p) = ctx.layer else {
+            return Err(wrong_layer("passthrough"));
+        };
+        p.forward_into(input, &self.in_shape, out)?;
+        Ok(ExecStats {
+            n_inputs: input.len() as u64,
+            n_changed: input.len() as u64,
+            macs_total: self.macs,
+            macs_performed: self.macs,
+            from_scratch: false,
+        })
+    }
+
+    fn adopt_baseline(&mut self, _ctx: &StepCtx<'_>, _input: &[f32], _linear: &[f32]) {
+        debug_assert!(false, "passthrough slots hold no baseline to adopt");
+    }
+
+    fn buffered_linear(&self) -> &[f32] {
+        &[]
+    }
+
+    fn reset(&mut self, _layer: &Layer) {}
+
+    fn storage_bytes(&self, _layer: &Layer) -> u64 {
+        0
+    }
+}
+
 /// Builds the per-stream state object for one weighted layer. Construction
 /// is the only place layer kinds are matched — from here on the engine
 /// dispatches through the trait.
@@ -563,6 +643,7 @@ pub(crate) fn build_state(
         )),
         Layer::Lstm(cell) => Some(Box::new(LstmReuseState::new_shared(cell))),
         Layer::BiLstm(l) => Some(Box::new(BiLstmReuseState::new(l))),
+        Layer::Passthrough(_) => Some(Box::new(PassthroughReuseState::new(layer, in_shape))),
         _ => None,
     }
 }

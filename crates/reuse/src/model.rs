@@ -40,6 +40,8 @@ pub enum CompiledWeights {
         /// Backward-direction gate pack.
         bwd: LstmGatePack,
     },
+    /// Recompute-always passthrough: weightless, nothing to pack.
+    Passthrough,
 }
 
 impl CompiledWeights {
@@ -53,6 +55,7 @@ impl CompiledWeights {
                 fwd: LstmGatePack::new(l.forward_cell()),
                 bwd: LstmGatePack::new(l.backward_cell()),
             }),
+            Layer::Passthrough(_) => Some(CompiledWeights::Passthrough),
             _ => None,
         }
     }
@@ -65,6 +68,7 @@ impl CompiledWeights {
             CompiledWeights::Conv3d(p) => p.bytes(),
             CompiledWeights::Lstm(p) => p.bytes(),
             CompiledWeights::BiLstm { fwd, bwd } => fwd.bytes() + bwd.bytes(),
+            CompiledWeights::Passthrough => 0,
         }
     }
 }
@@ -151,7 +155,10 @@ impl CompiledModel {
         let mut slots = Vec::new();
         let mut slot_of_layer = vec![usize::MAX; network.layers().len()];
         for (i, (name, layer)) in network.layers().iter().enumerate() {
-            if !layer.has_weights() {
+            // Passthrough layers are weightless but still get a slot so
+            // their full recompute cost lands in metrics and telemetry.
+            let passthrough = layer.kind() == LayerKind::Passthrough;
+            if !layer.has_weights() && !passthrough {
                 continue;
             }
             let Some(weights) = CompiledWeights::new(layer) else {
@@ -159,7 +166,9 @@ impl CompiledModel {
             };
             let setting = config.setting_for(name);
             let mut layer_policy = policy.layer_policy(name, &setting, config);
-            if mask_adaptive {
+            if mask_adaptive || passthrough {
+                // Passthroughs never participate in policy decisions:
+                // force the static resolution regardless of active policy.
                 layer_policy = LayerPolicy::static_for(&setting, config);
             }
             if layer_policy.clusters == 0 {
@@ -381,6 +390,36 @@ mod tests {
         let config = ReuseConfig::uniform(16).reuse_policy(Arc::new(AdaptivePolicy::default()));
         let model = CompiledModel::try_new(&rnn, &config).unwrap();
         assert!(model.layer_policy_specs().all(|(_, p)| !p.adaptive));
+    }
+
+    #[test]
+    fn passthrough_slots_compile_static_without_planes() {
+        use crate::policy::AdaptivePolicy;
+        use std::sync::Arc;
+        let net = NetworkBuilder::new("with-pass", 8)
+            .fully_connected(16, Activation::Relu)
+            .passthrough(reuse_nn::PassthroughOp::Softmax)
+            .fully_connected(4, Activation::Identity)
+            .build()
+            .unwrap();
+        // The passthrough gets a slot (honest accounting) but is forced
+        // static even under an adaptive policy, and gets no RPQ planes.
+        let config = ReuseConfig::uniform(16)
+            .signature_cache(true)
+            .reuse_policy(Arc::new(AdaptivePolicy::default()))
+            .drift_watchdog(8, 0.05);
+        let model = CompiledModel::try_new(&net, &config).unwrap();
+        assert_eq!(model.slots().len(), 3);
+        assert_eq!(model.slots()[1].kind, LayerKind::Passthrough);
+        assert!(!model.slots()[1].policy.adaptive);
+        assert!(model.slots()[0].policy.adaptive);
+        let sigs = model.signatures().unwrap();
+        assert!(sigs.planes(0).is_some());
+        assert!(
+            sigs.planes(1).is_none(),
+            "passthrough slots never join the signature cache"
+        );
+        assert!(sigs.planes(2).is_some());
     }
 
     #[test]

@@ -711,20 +711,74 @@ mod json {
             }
         }
 
+        /// Scans a number with the strict JSON grammar
+        /// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`. Rust's
+        /// `f64::parse` is laxer than JSON (it accepts `+1`, `.5`, `1.`,
+        /// `inf`, ...), so the grammar is enforced here byte by byte and
+        /// the parse below can never loosen it.
         fn number(&mut self) -> Result<Value, String> {
             let start = self.pos;
-            while let Some(b) = self.peek() {
-                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            match self.peek() {
+                Some(b'0') => {
                     self.pos += 1;
-                } else {
-                    break;
+                    if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                        return Err(format!("leading zero in number at byte {start}"));
+                    }
+                }
+                Some(b) if b.is_ascii_digit() => {
+                    while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return Err(format!("invalid number at byte {start}: expected a digit")),
+            }
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    return Err(format!(
+                        "invalid number at byte {start}: no digits after decimal point"
+                    ));
+                }
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    return Err(format!(
+                        "invalid number at byte {start}: no digits in exponent"
+                    ));
+                }
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
                 }
             }
             let text = std::str::from_utf8(&self.bytes[start..self.pos])
-                .map_err(|_| "non-utf8 number".to_string())?;
+                .expect("number grammar only admits ASCII");
             text.parse::<f64>()
                 .map(Value::Num)
                 .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        }
+
+        /// Reads exactly four hex digits at `at`. Strict digit validation:
+        /// `u32::from_str_radix` alone would admit a leading `+`.
+        fn hex4(&self, at: usize) -> Result<u32, String> {
+            let hex = self
+                .bytes
+                .get(at..at + 4)
+                .ok_or_else(|| format!("truncated \\u escape at byte {at}"))?;
+            if !hex.iter().all(u8::is_ascii_hexdigit) {
+                return Err(format!("bad \\u escape at byte {at}"));
+            }
+            let text = std::str::from_utf8(hex).expect("ascii hex digits");
+            Ok(u32::from_str_radix(text, 16).expect("four hex digits fit u32"))
         }
 
         fn string(&mut self) -> Result<String, String> {
@@ -747,17 +801,48 @@ mod json {
                             Some(b't') => out.push('\t'),
                             Some(b'r') => out.push('\r'),
                             Some(b'u') => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos + 1..self.pos + 5)
-                                    .ok_or("truncated \\u escape")?;
-                                let code = u32::from_str_radix(
-                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                    16,
-                                )
-                                .map_err(|_| "bad \\u escape")?;
-                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                                self.pos += 4;
+                                // `self.pos` is at the 'u'; the shared
+                                // `self.pos += 1` after this match walks
+                                // past the escape's final hex digit.
+                                let u_pos = self.pos;
+                                let code = self.hex4(u_pos + 1)?;
+                                match code {
+                                    // High surrogate: JSON encodes non-BMP
+                                    // characters as a UTF-16 pair, so the
+                                    // low half must follow immediately.
+                                    0xD800..=0xDBFF => {
+                                        if self.bytes.get(u_pos + 5) != Some(&b'\\')
+                                            || self.bytes.get(u_pos + 6) != Some(&b'u')
+                                        {
+                                            return Err(format!(
+                                                "unpaired surrogate \\u{code:04X} at byte {u_pos}"
+                                            ));
+                                        }
+                                        let lo = self.hex4(u_pos + 7)?;
+                                        if !(0xDC00..=0xDFFF).contains(&lo) {
+                                            return Err(format!(
+                                                "unpaired surrogate \\u{code:04X} at byte {u_pos}"
+                                            ));
+                                        }
+                                        let c = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                        out.push(
+                                            char::from_u32(c)
+                                                .expect("surrogate pairs decode in range"),
+                                        );
+                                        self.pos = u_pos + 10;
+                                    }
+                                    0xDC00..=0xDFFF => {
+                                        return Err(format!(
+                                            "unpaired surrogate \\u{code:04X} at byte {u_pos}"
+                                        ));
+                                    }
+                                    bmp => {
+                                        out.push(
+                                            char::from_u32(bmp).expect("non-surrogate BMP scalar"),
+                                        );
+                                        self.pos = u_pos + 4;
+                                    }
+                                }
                             }
                             _ => return Err(format!("bad escape at byte {}", self.pos)),
                         }
@@ -838,6 +923,86 @@ mod tests {
         ReuseConfig::uniform(16)
             .signature_bailout_fraction(0.3)
             .drift_escalate_after(5)
+    }
+
+    #[test]
+    fn json_numbers_reject_non_json_forms() {
+        // f64::parse accepts all of these; strict JSON must not. Each error
+        // carries the byte offset of the offending number.
+        for (text, offset) in [
+            ("{\"v\": +1}", 6),
+            ("{\"v\": .5}", 6),
+            ("{\"v\": 1.}", 6),
+            ("{\"v\": 1e}", 6),
+            ("{\"v\": 1e+}", 6),
+            ("{\"v\": 01}", 6),
+            ("{\"v\": -}", 6),
+        ] {
+            let err = json::parse(text).expect_err(text);
+            assert!(
+                err.contains(&format!("byte {offset}")),
+                "{text}: error {err:?} must name byte {offset}"
+            );
+        }
+        // The strict grammar still admits every valid JSON shape.
+        for (text, want) in [
+            ("{\"v\": -0.5}", -0.5),
+            ("{\"v\": 0}", 0.0),
+            ("{\"v\": 10.25e-2}", 0.1025),
+            ("{\"v\": 3E2}", 300.0),
+        ] {
+            let root = json::parse(text).expect(text);
+            let obj = root.as_object().unwrap();
+            assert_eq!(obj[0].1.as_f64(), Some(want), "{text}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode_surrogate_pairs() {
+        // One escaped non-BMP char (🚀 = U+1F680) must decode to a single
+        // scalar, not two replacement characters.
+        let root = json::parse("{\"name\": \"net \\ud83d\\ude80 v2\"}").unwrap();
+        let obj = root.as_object().unwrap();
+        assert_eq!(obj[0].1.as_str(), Some("net \u{1F680} v2"));
+        // BMP escapes are unaffected, including literal text after them.
+        let root = json::parse("{\"name\": \"\\u00e9tat\"}").unwrap();
+        assert_eq!(root.as_object().unwrap()[0].1.as_str(), Some("état"));
+    }
+
+    #[test]
+    fn unicode_escapes_reject_lone_surrogates_and_bad_hex() {
+        for text in [
+            "{\"name\": \"\\ud83d\"}",        // lone high surrogate
+            "{\"name\": \"\\ud83d rest\"}",   // high surrogate, no pair
+            "{\"name\": \"\\ude80\"}",        // lone low surrogate
+            "{\"name\": \"\\ud83d\\u0041\"}", // high + non-surrogate
+            "{\"name\": \"\\u+12F\"}",        // from_str_radix would take '+'
+            "{\"name\": \"\\u12G4\"}",        // non-hex digit
+            "{\"name\": \"\\u12\"}",          // truncated
+        ] {
+            assert!(json::parse(text).is_err(), "{text} must be rejected");
+        }
+    }
+
+    #[test]
+    fn policy_round_trips_non_bmp_network_name() {
+        let policy = TunedPolicy {
+            network: "kaldi \u{1F680}".to_string(),
+            layers: vec![TunedLayerPolicy {
+                layer: "fc1".to_string(),
+                clusters: 16,
+                step_scale: 2.0,
+                reuse_threshold: 0.5,
+                adaptive: true,
+            }],
+        };
+        let parsed = TunedPolicy::from_json(&policy.to_json()).unwrap();
+        assert_eq!(parsed.network, "kaldi \u{1F680}");
+        // The same name arriving as an escaped surrogate pair decodes to
+        // the identical string.
+        let escaped = policy.to_json().replace('\u{1F680}', "\\uD83D\\uDE80");
+        let parsed = TunedPolicy::from_json(&escaped).unwrap();
+        assert_eq!(parsed.network, "kaldi \u{1F680}");
     }
 
     #[test]

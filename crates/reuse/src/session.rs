@@ -648,7 +648,10 @@ impl ReuseSession {
             cur = self.reshape_to_layer(cur, i)?;
             let slot_pos = model.slot_of_layer()[i];
             if slot_pos != usize::MAX {
-                if self.slot_enabled(slot_pos) {
+                // Passthrough slots recompute unquantized: no profiling.
+                if self.slot_enabled(slot_pos)
+                    && model.slots()[slot_pos].kind != reuse_nn::LayerKind::Passthrough
+                {
                     self.runtimes[slot_pos]
                         .profiler_x
                         .observe_slice(cur.as_slice());
@@ -682,7 +685,9 @@ impl ReuseSession {
             let slot_pos = model.slot_of_layer()[i];
             let layer = &model.network().layers()[i].1;
             if slot_pos != usize::MAX {
-                if self.slot_enabled(slot_pos) {
+                if self.slot_enabled(slot_pos)
+                    && model.slots()[slot_pos].kind != reuse_nn::LayerKind::Passthrough
+                {
                     for t in &seq {
                         self.runtimes[slot_pos]
                             .profiler_x
@@ -798,6 +803,11 @@ impl ReuseSession {
         let margin = model.config().margin();
         for (slot, rt) in model.slots().iter().zip(self.runtimes.iter_mut()) {
             if !slot.setting.enabled {
+                continue;
+            }
+            // Passthrough slots recompute at full precision: no quantizer,
+            // and nothing that could auto-disable them.
+            if slot.kind == reuse_nn::LayerKind::Passthrough {
                 continue;
             }
             let scale = rt
@@ -947,13 +957,15 @@ impl ReuseSession {
                 let stats = {
                     let slot = &model.slots()[slot_pos];
                     let rt = &mut self.runtimes[slot_pos];
-                    let qx = rt.quantizer_x.expect("enabled slot has quantizer");
+                    // `None` only for passthrough slots, which recompute
+                    // without quantizing.
+                    let qx = rt.quantizer_x;
                     let qh = rt.quantizer_h;
                     let ctx = StepCtx {
                         parallel: &parallel,
                         layer: &model.network().layers()[i].1,
                         weights: &slot.weights,
-                        quantizer_x: &qx,
+                        quantizer_x: qx.as_ref(),
                         quantizer_h: qh.as_ref(),
                     };
                     let mut stats = rt.state.step(&ctx, &cur, &mut next)?;
@@ -1126,7 +1138,7 @@ impl ReuseSession {
             parallel,
             layer: &model.network().layers()[layer_index].1,
             weights: &model.slots()[slot_pos].weights,
-            quantizer_x: &qx,
+            quantizer_x: Some(&qx),
             quantizer_h: qh.as_ref(),
         };
         self.runtimes[slot_pos]
@@ -1241,6 +1253,13 @@ impl ReuseSession {
             }
             let slot = &model.slots()[slot_pos];
             let layer = &model.network().layers()[i].1;
+            // Passthrough slots buffer nothing: there is no baseline to
+            // re-adopt (and no linear part to recompute) — just run the op
+            // exactly and move on.
+            if slot.kind == reuse_nn::LayerKind::Passthrough {
+                cur = model.network().apply_layer(i, cur)?;
+                continue;
+            }
             let rt = &mut self.runtimes[slot_pos];
             // Serial linear forward on the RAW input — the same code path
             // `reference_forward` takes, so the adopted baseline is exact.
@@ -1263,7 +1282,7 @@ impl ReuseSession {
                 parallel: &parallel,
                 layer,
                 weights: &slot.weights,
-                quantizer_x: &qx,
+                quantizer_x: Some(&qx),
                 quantizer_h: qh.as_ref(),
             };
             rt.state
@@ -1345,13 +1364,13 @@ impl ReuseSession {
                 {
                     let slot = &model.slots()[slot_pos];
                     let rt = &mut self.runtimes[slot_pos];
-                    let qx = rt.quantizer_x.expect("enabled slot has quantizer");
+                    let qx = rt.quantizer_x;
                     let qh = rt.quantizer_h;
                     let ctx = StepCtx {
                         parallel: &parallel,
                         layer,
                         weights: &slot.weights,
-                        quantizer_x: &qx,
+                        quantizer_x: qx.as_ref(),
                         quantizer_h: qh.as_ref(),
                     };
                     rt.state

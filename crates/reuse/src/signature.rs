@@ -155,7 +155,11 @@ impl ModelSignatures {
         let planes = slots
             .iter()
             .map(|slot| {
-                if !slot.setting.enabled || slot.kind == LayerKind::Recurrent {
+                // Passthrough slots hold no baseline to share: no planes.
+                if !slot.setting.enabled
+                    || slot.kind == LayerKind::Recurrent
+                    || slot.kind == LayerKind::Passthrough
+                {
                     return None;
                 }
                 let dim = input_volumes[slot.layer_index];

@@ -105,9 +105,15 @@ impl LatencyHistogram {
     }
 
     /// The latency below which a `q` fraction of samples fall, reported as
-    /// the upper edge of the containing log-linear sub-bucket (`0` when
-    /// empty), clamped to the exact observed maximum. `q` is clamped to
-    /// `[0, 1]`; relative resolution is ≤ `1 / SUB_BUCKETS` (6.25%).
+    /// the upper edge of the containing log-linear sub-bucket, clamped to
+    /// the exact observed maximum. `q` is clamped to `[0, 1]`; relative
+    /// resolution is ≤ `1 / SUB_BUCKETS` (6.25%).
+    ///
+    /// **Empty-histogram contract:** with zero samples every quantile is
+    /// `0` — never NaN, never a sentinel. Idle servers therefore report
+    /// all-zero `latency_ns` blocks through their snapshots and JSON, and
+    /// monitoring can treat `count == 0` + zero quantiles as "idle"
+    /// without special-casing.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {

@@ -668,3 +668,26 @@ proptest! {
         }
     }
 }
+
+/// Empty-histogram contract, end to end: an idle server (no frames ever
+/// submitted) must report an all-zero latency block — zero count AND zero
+/// quantiles, never NaN or a sentinel — both in the snapshot struct and in
+/// its JSON rendering.
+#[test]
+fn idle_server_snapshot_reports_zero_latency() {
+    let model = Arc::new(CompiledModel::new(&mlp(), &ReuseConfig::uniform(32)));
+    let server = StreamServer::new(model, ServerConfig::default()).unwrap();
+    let snap = server.snapshot();
+    assert_eq!(snap.latency_count, 0);
+    assert_eq!(snap.p50_ns, 0);
+    assert_eq!(snap.p99_ns, 0);
+    assert_eq!(snap.p999_ns, 0);
+    assert_eq!(snap.max_ns, 0);
+    let json = snap.to_json();
+    assert!(
+        json.contains(
+            "\"latency_ns\": {\"count\": 0, \"p50\": 0, \"p99\": 0, \"p999\": 0, \"max\": 0}"
+        ),
+        "idle latency block must be all zeros: {json}"
+    );
+}

@@ -440,3 +440,29 @@ proptest! {
         );
     }
 }
+
+/// Empty-histogram contract across the sharded tier: idle shards merge to
+/// an all-zero latency view, and every per-shard snapshot renders an
+/// all-zero `latency_ns` JSON block.
+#[test]
+fn idle_sharded_snapshot_reports_zero_latency() {
+    let model = Arc::new(CompiledModel::new(&mlp(), &ReuseConfig::uniform(32)));
+    let server = ShardedServer::new(model, ServerConfig::default(), 3).unwrap();
+    let snap = server.snapshot();
+    assert_eq!(snap.latency_count, 0);
+    assert_eq!(snap.p50_ns, 0);
+    assert_eq!(snap.p99_ns, 0);
+    assert_eq!(snap.p999_ns, 0);
+    assert_eq!(snap.max_ns, 0);
+    assert_eq!(snap.shards.len(), 3);
+    for shard in &snap.shards {
+        assert_eq!(shard.latency_count, 0);
+        assert_eq!(
+            (shard.p50_ns, shard.p99_ns, shard.p999_ns, shard.max_ns),
+            (0, 0, 0, 0)
+        );
+        assert!(shard.to_json().contains(
+            "\"latency_ns\": {\"count\": 0, \"p50\": 0, \"p99\": 0, \"p999\": 0, \"max\": 0}"
+        ));
+    }
+}

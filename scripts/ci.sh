@@ -79,6 +79,16 @@ echo "== serve-net loopback smoke (TCP round-trip vs standalone, both SIMD level
 REUSE_SCALE=tiny cargo run --release -q -p reuse-bench --bin reuse_cli -- serve-net kaldi --streams 4 --frames 32 --smoke > /dev/null
 REUSE_SCALE=tiny REUSE_SIMD=off cargo run --release -q -p reuse-bench --bin reuse_cli -- serve-net kaldi --streams 4 --frames 32 --smoke > /dev/null
 
+echo "== ONNX ingest smoke (fixture bit-identity + fallback serving, both SIMD levels) =="
+# The checked-in Gemm+Relu fixture must lower to a network that executes
+# bit-identically to its hand-built twin through the reuse engine, and a
+# graph with an unsupported op must still serve via a recompute-always
+# passthrough slot (full MACs charged, zero reuse recorded). Exit 4 on
+# divergence, 3 on parse/lower failure.
+cargo run --release -q -p reuse-bench --bin reuse_cli -- ingest --smoke > /dev/null
+REUSE_SIMD=off cargo run --release -q -p reuse-bench --bin reuse_cli -- ingest --smoke > /dev/null
+cargo run --release -q -p reuse-bench --bin reuse_cli -- ingest crates/onnx-ingest/testdata/gemm_relu.onnx 64 > /dev/null
+
 echo "== serve throughput smoke (scaling floor ${REUSE_SERVE_MIN_SCALING:-0.9}x, fps floor ${REUSE_SERVE_MIN_FPS:-1.0}) =="
 # Aggregate frames/sec must not drop as the server goes from 1 to 8 streams
 # (the dispatch loop amortizes per-tick overhead); floors are tunable for
